@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks time the *monitor run* only: specs are compiled and traces
+materialized once per parametrization, outside the timed region.
+"""
+
+import pytest
+
+from repro.bench.runners import flatten_inputs
+from repro.compiler import compile_spec, counting_callback
+
+
+def make_runner(spec, inputs, **compile_kwargs):
+    """Return a zero-argument callable that runs one fresh monitor."""
+    compiled = compile_spec(spec, **compile_kwargs)
+    events = flatten_inputs(inputs)
+
+    def run():
+        on_output, _ = counting_callback()
+        monitor = compiled.new_monitor(on_output)
+        push = monitor.push
+        for ts, name, value in events:
+            push(name, ts, value)
+        monitor.finish()
+
+    return run
+
+
+@pytest.fixture(scope="session")
+def runner_factory():
+    return make_runner

@@ -1,0 +1,37 @@
+"""Ablation: mutable vs persistent vs naive-copy collections.
+
+Justifies the paper's combination of approaches: persistent structures
+(approach 2) already beat naive copying, and the static analysis
+(approach 3) adds in-place updates on top.  Expected order per spec:
+optimized < non-optimized < copying for set/map-dominated monitors.
+"""
+
+import pytest
+
+from repro.speclib import seen_set, spectrum_calculation
+from repro.structures import Backend
+from repro.workloads import power_trace, seen_set_trace
+
+from conftest import make_runner
+
+MODE_KWARGS = {
+    "mutable": {"optimize": True},
+    "persistent": {"optimize": False},
+    "copying": {"backend_override": Backend.COPYING},
+}
+
+
+@pytest.mark.parametrize("mode", list(MODE_KWARGS))
+def test_seen_set_backends(benchmark, mode):
+    inputs = seen_set_trace(3_000, 200)
+    run = make_runner(seen_set(), inputs, **MODE_KWARGS[mode])
+    benchmark.group = "ablation backends: seen_set/medium"
+    benchmark(run)
+
+
+@pytest.mark.parametrize("mode", list(MODE_KWARGS))
+def test_spectrum_backends(benchmark, mode):
+    inputs = power_trace(3_000)
+    run = make_runner(spectrum_calculation(), inputs, **MODE_KWARGS[mode])
+    benchmark.group = "ablation backends: spectrum"
+    benchmark(run)

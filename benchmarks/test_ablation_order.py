@@ -1,0 +1,49 @@
+"""Ablation: optimal vs pessimal translation order.
+
+The contribution the paper claims over prior fixed-schedule work
+(§IV-E step 4 / Fig. 7): choosing the order that satisfies the
+read-before-write constraints keeps the aggregates mutable; a valid but
+badly chosen order forces them persistent.
+"""
+
+import pytest
+
+from repro.bench.ablation import (
+    compile_with_order,
+    mutable_under_order,
+    pessimal_order,
+)
+from repro.analysis import analyze_mutability
+from repro.bench.runners import flatten_inputs
+from repro.compiler import counting_callback
+from repro.lang import check_types, flatten
+from repro.speclib import seen_set
+from repro.workloads import seen_set_trace
+
+
+def order_runner(variant):
+    flat = flatten(seen_set())
+    check_types(flat)
+    result = analyze_mutability(flat)
+    if variant == "optimal":
+        order, mutable = result.order, result.mutable
+    else:
+        order = pessimal_order(flat, result)
+        mutable = mutable_under_order(result, order)
+    compiled = compile_with_order(flat, order, mutable)
+    events = flatten_inputs(seen_set_trace(3_000, 200))
+
+    def run():
+        on_output, _ = counting_callback()
+        monitor = compiled.new_monitor(on_output)
+        for ts, name, value in events:
+            monitor.push(name, ts, value)
+        monitor.finish()
+
+    return run
+
+
+@pytest.mark.parametrize("variant", ["optimal", "pessimal"])
+def test_order_ablation(benchmark, variant):
+    benchmark.group = "ablation order: seen_set/medium"
+    benchmark(order_runner(variant))

@@ -1,0 +1,29 @@
+"""Execution-engine comparison: generated code vs interpreted steps.
+
+Both engines use the identical analysis results; the difference is
+local-variable straight-line code vs dictionary-driven step closures.
+Records the cost of avoiding ``exec``.
+"""
+
+import pytest
+
+from repro.speclib import seen_set
+from repro.workloads import seen_set_trace
+
+from conftest import make_runner
+
+VARIANTS = {
+    "codegen": {"engine": "codegen"},
+    "interpreted": {"engine": "interpreted"},
+}
+
+
+@pytest.mark.parametrize("engine", list(VARIANTS))
+@pytest.mark.parametrize("optimize", [True, False], ids=["opt", "nonopt"])
+def test_engines(benchmark, engine, optimize):
+    inputs = seen_set_trace(3_000, 200)
+    run = make_runner(
+        seen_set(), inputs, optimize=optimize, **VARIANTS[engine]
+    )
+    benchmark.group = f"engines seen_set/{'opt' if optimize else 'nonopt'}"
+    benchmark(run)

@@ -1,0 +1,32 @@
+"""Extension benchmark: Vector Window (arrays — the original aggregate
+update subject) and the delay-driven watchdog baseline."""
+
+import pytest
+
+from repro.speclib import vector_window, watchdog
+from repro.workloads import uniform_int_trace, window_trace
+
+from conftest import make_runner
+
+MODE_KWARGS = {
+    "optimized": {"optimize": True},
+    "non-optimized": {"optimize": False},
+}
+
+
+@pytest.mark.parametrize("mode", list(MODE_KWARGS))
+@pytest.mark.parametrize("size", [10, 200, 2000])
+def test_vector_window(benchmark, size, mode):
+    inputs = window_trace(4_000)
+    run = make_runner(vector_window(size), inputs, **MODE_KWARGS[mode])
+    benchmark.group = f"ext vector_window/{size}"
+    benchmark(run)
+
+
+@pytest.mark.parametrize("mode", list(MODE_KWARGS))
+def test_watchdog_baseline(benchmark, mode):
+    # aggregate-free: the optimization must cost nothing (speedup ~1)
+    inputs = {"hb": uniform_int_trace(4_000, 10, step=2)}
+    run = make_runner(watchdog(timeout=5), inputs, **MODE_KWARGS[mode])
+    benchmark.group = "ext watchdog"
+    benchmark(run)

@@ -1,0 +1,29 @@
+"""Figure 10: Seen Set runtime over the trace length, per set size.
+
+The paper's observation to reproduce: the optimized runtime scales with
+the trace length but is hardly influenced by the set size, while the
+non-optimized runtime grows with both.  (The JIT warm-up non-linearity
+of the JVM curves has no CPython counterpart.)
+"""
+
+import pytest
+
+from repro.speclib import seen_set
+from repro.workloads import SIZES, seen_set_trace
+
+from conftest import make_runner
+
+LENGTHS = (1_000, 4_000, 16_000)
+
+
+@pytest.mark.parametrize("mode,kwargs", [
+    ("optimized", {"optimize": True}),
+    ("non-optimized", {"optimize": False}),
+])
+@pytest.mark.parametrize("length", LENGTHS)
+@pytest.mark.parametrize("size_name", list(SIZES))
+def test_fig10(benchmark, size_name, length, mode, kwargs):
+    inputs = seen_set_trace(length, SIZES[size_name])
+    run = make_runner(seen_set(), inputs, **kwargs)
+    benchmark.group = f"fig10 {size_name}/n={length}"
+    benchmark(run)

@@ -1,0 +1,36 @@
+"""Figure 9: synthetic speedups — Seen Set / Map Window / Queue Window
+at small/medium/large data-structure sizes, optimized vs non-optimized.
+
+Each (spec, size, mode) cell is one pytest benchmark; the paper's
+speedup for a cell is the ratio of its ``non-optimized`` to its
+``optimized`` time.  Expected shape (paper §V-A): optimized wins
+everywhere; the gap grows with the structure size; Seen Set shows the
+largest speedup, Queue Window the smallest (the two-list persistent
+queue loses less than the HAMT).
+"""
+
+import pytest
+
+from repro.bench.fig9 import SPECS, spec_for, trace_for
+from repro.workloads import SIZES
+
+from conftest import make_runner
+
+LENGTH = 4_000
+
+MODE_KWARGS = {
+    "optimized": {"optimize": True},
+    "non-optimized": {"optimize": False},
+}
+
+
+@pytest.mark.parametrize("mode", list(MODE_KWARGS))
+@pytest.mark.parametrize("size_name", list(SIZES))
+@pytest.mark.parametrize("spec_name", SPECS)
+def test_fig9(benchmark, spec_name, size_name, mode):
+    size = SIZES[size_name]
+    spec = spec_for(spec_name, size)
+    inputs = trace_for(spec_name, size, LENGTH)
+    run = make_runner(spec, inputs, **MODE_KWARGS[mode])
+    benchmark.group = f"fig9 {spec_name}/{size_name}"
+    benchmark(run)

@@ -1,0 +1,31 @@
+"""Table I: the four real-world monitors on simulated traces.
+
+Rows (paper): DBTimeConstraint (speedup 1.3), DBAccessConstraint full
+(> 15.5, the persistent monitor effectively diverges on the growing id
+set) and at 33 % of the trace (2.1), PeakDetection (1.9),
+SpectrumCalculation (2.0).  Expected shape here: every optimized cell
+beats its non-optimized partner; DBAccessConstraint(full) shows the
+largest gap because its set grows with the trace.
+"""
+
+import pytest
+
+from repro.bench.table1 import scenarios
+
+from conftest import make_runner
+
+SCALE = 6_000
+
+MODE_KWARGS = {
+    "optimized": {"optimize": True},
+    "non-optimized": {"optimize": False},
+}
+
+
+@pytest.mark.parametrize("mode", list(MODE_KWARGS))
+@pytest.mark.parametrize("scenario", list(scenarios(100)))
+def test_table1(benchmark, scenario, mode):
+    spec, inputs = scenarios(SCALE)[scenario]
+    run = make_runner(spec, inputs, **MODE_KWARGS[mode])
+    benchmark.group = f"table1 {scenario}"
+    benchmark(run)

@@ -1,0 +1,121 @@
+"""repro — Aggregate Update Optimization for Multi-clocked Dataflow Languages.
+
+A Python reproduction of "Aggregate Update Problem for Multi-clocked
+Dataflow Languages" (CGO 2022): a TeSSLa-like timed-event-stream
+language, the static triggering/aliasing/mutability analysis that
+decides which aggregate data structures a generated monitor may update
+in place, and a compiler emitting Python monitors that mix mutable and
+persistent (HAMT-based) collections accordingly.
+
+Quick start::
+
+    from repro import compile_spec, parse_spec
+
+    spec = parse_spec('''
+        in i: Int
+        def m  := merge(y, set_empty(unit))
+        def yl := last(m, i)
+        def y  := set_add(yl, i)
+        def s  := set_contains(yl, i)
+        out s
+    ''')
+    monitor = compile_spec(spec)           # optimized: set updated in place
+    outputs = monitor.run({"i": [(1, 4), (2, 7), (3, 4)]})
+    print(outputs["s"].events)             # [(1, False), (2, False), (3, True)]
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured evaluation results.
+"""
+
+from .analysis import (
+    AliasAnalysis,
+    MutabilityAnalysis,
+    MutabilityResult,
+    TriggeringAnalysis,
+    analyze_mutability,
+)
+from .compiler import (
+    CompiledSpec,
+    MonitorBase,
+    MonitorError,
+    compile_spec,
+    freeze,
+)
+from .frontend import FrontendError, parse_spec
+from .graph import EdgeClass, UsageGraph, build_usage_graph, translation_order
+from .lang import (
+    BOOL,
+    Const,
+    Default,
+    Delay,
+    FLOAT,
+    FlatSpec,
+    INT,
+    Last,
+    Lift,
+    MapType,
+    Merge,
+    Nil,
+    QueueType,
+    STR,
+    SetType,
+    SpecError,
+    Specification,
+    TimeExpr,
+    UNIT,
+    UnitExpr,
+    Var,
+    VectorType,
+    check_types,
+    flatten,
+)
+from .semantics import Stream, interpret
+from .structures import Backend
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AliasAnalysis",
+    "BOOL",
+    "Backend",
+    "CompiledSpec",
+    "Const",
+    "Default",
+    "Delay",
+    "EdgeClass",
+    "FLOAT",
+    "FlatSpec",
+    "FrontendError",
+    "INT",
+    "Last",
+    "Lift",
+    "MapType",
+    "Merge",
+    "MonitorBase",
+    "MonitorError",
+    "MutabilityAnalysis",
+    "MutabilityResult",
+    "Nil",
+    "QueueType",
+    "STR",
+    "SetType",
+    "SpecError",
+    "Specification",
+    "Stream",
+    "TimeExpr",
+    "TriggeringAnalysis",
+    "UNIT",
+    "UnitExpr",
+    "UsageGraph",
+    "Var",
+    "VectorType",
+    "analyze_mutability",
+    "build_usage_graph",
+    "check_types",
+    "compile_spec",
+    "flatten",
+    "freeze",
+    "interpret",
+    "parse_spec",
+    "translation_order",
+]

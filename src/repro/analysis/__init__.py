@@ -1,0 +1,33 @@
+"""Static analyses: triggering behaviour, aliasing, mutability (paper §IV)."""
+
+from .aliasing import AliasAnalysis
+from .formula import FALSE, And, Atom, Formula, Or, conj, disj, implies
+from .mutability import (
+    MutabilityAnalysis,
+    MutabilityResult,
+    ReadBeforeWrite,
+    Rule1Violation,
+    analyze_mutability,
+)
+from .triggering import TriggeringAnalysis, always_initialized
+from .unionfind import UnionFind
+
+__all__ = [
+    "AliasAnalysis",
+    "And",
+    "Atom",
+    "FALSE",
+    "Formula",
+    "MutabilityAnalysis",
+    "MutabilityResult",
+    "Or",
+    "ReadBeforeWrite",
+    "Rule1Violation",
+    "TriggeringAnalysis",
+    "UnionFind",
+    "always_initialized",
+    "analyze_mutability",
+    "conj",
+    "disj",
+    "implies",
+]

@@ -1,0 +1,154 @@
+"""Aliasing analysis (paper §IV-B, Definitions 4-6).
+
+Two stream variables *potentially alias* when they may carry the same
+data structure at the same timestamp.  The analysis proves pairs
+*aliasing-safe* via path-pair reasoning in the Pass/Last subgraph:
+
+* no common ancestor → the variables can never see the same event;
+* otherwise, for **every** common ancestor ``c`` and **every** pair of
+  P/L paths from ``c`` to the two variables, one path must contain
+  strictly more ``last`` hops, the extra hops must be matched by
+  triggering implications (the events on the longer path cannot outpace
+  the shorter one), and every ``last`` on the shorter path must be
+  non-replicating (Def. 5) so the earlier event cannot be re-issued.
+
+Path enumeration is edge-simple (each edge used at most once per path),
+which covers one traversal of every recursion cycle; if enumeration
+overflows, the pair is conservatively declared a potential alias.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..lang.ast import Last
+from ..graph.usage_graph import Edge, EdgeClass, UsageGraph
+from .triggering import TriggeringAnalysis
+
+Path = List[Edge]
+
+
+class AliasAnalysis:
+    """Potential-alias and replicating-last queries for one usage graph."""
+
+    def __init__(
+        self,
+        graph: UsageGraph,
+        triggering: Optional[TriggeringAnalysis] = None,
+        path_limit: int = 256,
+    ) -> None:
+        self.graph = graph
+        self.triggering = triggering or TriggeringAnalysis(graph.flat)
+        #: cap on P/L paths enumerated per (ancestor, node) pair; an
+        #: overflow degrades the pair to "potential alias" (safe)
+        self.path_limit = path_limit
+        self._replicating: Dict[str, bool] = {}
+        self._safe: Dict[Tuple[str, str], bool] = {}
+        self._paths: Dict[Tuple[str, str], Optional[List[Path]]] = {}
+
+    def _paths_from(self, ancestor: str, node: str):
+        """Cached edge-simple P/L paths from *ancestor* to *node*."""
+        key = (ancestor, node)
+        if key not in self._paths:
+            self._paths[key] = self.graph.pl_paths(
+                ancestor, node, limit=self.path_limit
+            )
+        return self._paths[key]
+
+    # -- Definition 5: replicating lasts -----------------------------------
+
+    def is_replicating_last(self, name: str) -> bool:
+        """Is the ``last``-defined stream *name* replicating?
+
+        ``s = last(v, t)`` is replicating iff it may produce an event
+        without a new event on ``v`` — conservatively: unless
+        ``ev'(s) → ev'(v)`` is a tautology.
+        """
+        cached = self._replicating.get(name)
+        if cached is not None:
+            return cached
+        expr = self.graph.flat.definitions.get(name)
+        if not isinstance(expr, Last):
+            raise ValueError(f"{name!r} is not defined by a last expression")
+        result = not self.triggering.implies_events(name, expr.value.name)
+        self._replicating[name] = result
+        return result
+
+    def replicating_lasts(self) -> List[str]:
+        """All replicating last streams of the specification."""
+        return [
+            name
+            for name, expr in self.graph.flat.definitions.items()
+            if isinstance(expr, Last) and self.is_replicating_last(name)
+        ]
+
+    # -- Definition 6: aliasing safety --------------------------------------
+
+    def aliasing_safe(self, u: str, v: str) -> bool:
+        """Can we prove *u* and *v* never carry the same event together?"""
+        if u == v:
+            return False  # a variable trivially aliases itself
+        key = (u, v) if u <= v else (v, u)
+        cached = self._safe.get(key)
+        if cached is not None:
+            return cached
+        result = self._check_safe(u, v)
+        self._safe[key] = result
+        return result
+
+    def potential_alias(self, u: str, v: str) -> bool:
+        """``u ≃ v``: the complement of provable aliasing-safety."""
+        return not self.aliasing_safe(u, v)
+
+    def _check_safe(self, u: str, v: str) -> bool:
+        common = self.graph.pl_ancestors(u) & self.graph.pl_ancestors(v)
+        if not common:
+            return True
+        for ancestor in common:
+            paths_u = self._paths_from(ancestor, u)
+            paths_v = self._paths_from(ancestor, v)
+            if paths_u is None or paths_v is None:
+                return False  # enumeration overflow: be conservative
+            for path_u in paths_u:
+                for path_v in paths_v:
+                    if not self._pair_safe(path_u, path_v):
+                        return False
+        return True
+
+    def _pair_safe(self, path_a: Path, path_b: Path) -> bool:
+        """Def. 6 for one concrete path pair, trying both orientations."""
+        return self._oriented_safe(path_a, path_b) or self._oriented_safe(
+            path_b, path_a
+        )
+
+    def _oriented_safe(self, long_path: Path, short_path: Path) -> bool:
+        """Is (long_path ↦ u, short_path ↦ v) a valid Def. 6 witness?
+
+        ``long_path`` must decompose into n+1 groups ``(P*L)+`` ending at
+        intermediate nodes ``u_i`` (targets of last edges) such that
+        ``ev(u_i) ⊆ ev(v_i)`` for the short path's last targets ``v_i``,
+        and the short path's lasts must all be non-replicating.
+        """
+        long_lasts = [e.dst for e in long_path if e.cls is EdgeClass.LAST]
+        short_lasts = [e.dst for e in short_path if e.cls is EdgeClass.LAST]
+        n, m = len(short_lasts), len(long_lasts)
+        if m < n + 1:
+            return False
+        if any(self.is_replicating_last(name) for name in short_lasts):
+            return False
+        # Greedy leftmost matching of the n implication obligations onto
+        # the long path's last targets; index i may use positions up to
+        # m - n - 1 + i so that at least one last remains for the final
+        # (P*L)+ group.
+        position = -1
+        for i, v_i in enumerate(short_lasts):
+            bound = m - n - 1 + i
+            found = None
+            for j in range(position + 1, bound + 1):
+                if self.triggering.implies_events(long_lasts[j], v_i):
+                    found = j
+                    break
+            if found is None:
+                return False
+            position = found
+        return True

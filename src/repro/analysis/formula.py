@@ -1,0 +1,228 @@
+"""Positive boolean formulas over stream atoms (paper §IV-C).
+
+The triggering approximation ``ev'`` maps each stream to a formula from
+``B⁺(V)`` — conjunctions and disjunctions of stream names, without
+negation, plus ``false`` for the empty stream.  The analysis needs one
+query: is ``f → g`` a tautology?  For *monotone* formulas this holds iff
+``g`` evaluates true under every **prime implicant** of ``f`` (every
+assignment satisfying ``f`` dominates one of its implicants, and ``g``
+is monotone), which is what :func:`implies` checks.
+
+The problem is coNP-complete in general (the paper cites Bloniarz et
+al.) and the DNF can blow up exponentially, so the implicant expansion
+carries a size cap; on overflow :func:`implies` answers ``None``
+("unknown") and callers must treat that conservatively — exactly the
+paper's stance that the approximation "may cause some variables to be
+implemented with persistent data structures while mutable ones would be
+possible".
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional, Set, Tuple
+
+#: One prime implicant: the set of atoms that must be true.
+Implicant = FrozenSet[str]
+
+
+class Formula:
+    """Base class; use the smart constructors below."""
+
+    def atoms(self) -> Set[str]:
+        raise NotImplementedError
+
+    def evaluate(self, true_atoms: Set[str]) -> bool:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return str(self)
+
+
+class _False(Formula):
+    __slots__ = ()
+
+    def atoms(self) -> Set[str]:
+        return set()
+
+    def evaluate(self, true_atoms: Set[str]) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return "false"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _False)
+
+    def __hash__(self) -> int:
+        return hash("false")
+
+
+FALSE = _False()
+
+
+class Atom(Formula):
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def atoms(self) -> Set[str]:
+        return {self.name}
+
+    def evaluate(self, true_atoms: Set[str]) -> bool:
+        return self.name in true_atoms
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Atom) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("atom", self.name))
+
+
+class _Nary(Formula):
+    symbol = "?"
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: Tuple[Formula, ...]) -> None:
+        self.children = children
+
+    def atoms(self) -> Set[str]:
+        result: Set[str] = set()
+        for child in self.children:
+            result |= child.atoms()
+        return result
+
+    def __str__(self) -> str:
+        inner = f" {self.symbol} ".join(
+            f"({c})" if isinstance(c, _Nary) else str(c) for c in self.children
+        )
+        return inner
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(other) is type(self)
+            and set(other.children) == set(self.children)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.symbol, frozenset(self.children)))
+
+
+class And(_Nary):
+    symbol = "∧"
+
+    def evaluate(self, true_atoms: Set[str]) -> bool:
+        return all(c.evaluate(true_atoms) for c in self.children)
+
+
+class Or(_Nary):
+    symbol = "∨"
+
+    def evaluate(self, true_atoms: Set[str]) -> bool:
+        return any(c.evaluate(true_atoms) for c in self.children)
+
+
+def conj(parts: Iterable[Formula]) -> Formula:
+    """Smart conjunction: flattens, deduplicates, propagates ``false``."""
+    flat: list = []
+    seen = set()
+    for part in parts:
+        if part is FALSE or isinstance(part, _False):
+            return FALSE
+        for child in part.children if isinstance(part, And) else (part,):
+            if child not in seen:
+                seen.add(child)
+                flat.append(child)
+    if not flat:
+        raise ValueError("empty conjunction (would be 'true', not positive)")
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def disj(parts: Iterable[Formula]) -> Formula:
+    """Smart disjunction: flattens, deduplicates, drops ``false``."""
+    flat: list = []
+    seen = set()
+    for part in parts:
+        if part is FALSE or isinstance(part, _False):
+            continue
+        for child in part.children if isinstance(part, Or) else (part,):
+            if child not in seen:
+                seen.add(child)
+                flat.append(child)
+    if not flat:
+        return FALSE
+    if len(flat) == 1:
+        return flat[0]
+    return Or(tuple(flat))
+
+
+class ImplicantOverflow(Exception):
+    """Internal: DNF expansion exceeded the size cap."""
+
+
+def _absorb(implicants: Set[Implicant]) -> Set[Implicant]:
+    """Remove non-minimal implicants (supersets of another implicant)."""
+    result: Set[Implicant] = set()
+    for cand in sorted(implicants, key=len):
+        if not any(prev <= cand for prev in result):
+            result.add(cand)
+    return result
+
+
+def prime_implicants(
+    formula: Formula, cap: int = 4096
+) -> Optional[Set[Implicant]]:
+    """The minimal satisfying atom-sets of *formula*, or None on overflow."""
+    try:
+        return _implicants(formula, cap)
+    except ImplicantOverflow:
+        return None
+
+
+def _implicants(formula: Formula, cap: int) -> Set[Implicant]:
+    if isinstance(formula, _False):
+        return set()
+    if isinstance(formula, Atom):
+        return {frozenset({formula.name})}
+    if isinstance(formula, Or):
+        union: Set[Implicant] = set()
+        for child in formula.children:
+            union |= _implicants(child, cap)
+            if len(union) > cap:
+                raise ImplicantOverflow
+        return _absorb(union)
+    assert isinstance(formula, And)
+    product: Set[Implicant] = {frozenset()}
+    for child in formula.children:
+        child_imps = _implicants(child, cap)
+        if not child_imps:  # conjunct is unsatisfiable
+            return set()
+        product = {a | b for a in product for b in child_imps}
+        if len(product) > cap:
+            raise ImplicantOverflow
+        product = _absorb(product)
+    return product
+
+
+def implies(f: Formula, g: Formula, cap: int = 4096) -> Optional[bool]:
+    """Is ``f → g`` a tautology?  ``None`` means "could not decide".
+
+    Sound and complete for positive formulas (monotone reasoning over
+    prime implicants), except that an implicant-expansion overflow
+    yields ``None``; treat ``None`` as "not implied" for a conservative
+    analysis.
+    """
+    if f == g:
+        return True
+    if isinstance(f, _False):
+        return True
+    implicants = prime_implicants(f, cap)
+    if implicants is None:
+        return None
+    return all(g.evaluate(set(imp)) for imp in implicants)

@@ -1,0 +1,171 @@
+"""Triggering-behaviour approximation ``ev'`` (paper §IV-C).
+
+For every stream we compute a positive boolean formula over stream
+atoms that describes *when the stream has events*:
+
+* ``ev'(nil) = false``
+* ``ev'(time(x)) = ev'(x)``
+* ``ev'(lift(f)(x₁…xₙ))`` — the ALL pattern gives the conjunction, the
+  ANY pattern the disjunction of the argument formulas; CUSTOM functions
+  with an exact trigger spec get the corresponding combination, all
+  others become atoms
+* ``ev'(last(x, y)) = ev'(y)`` *if x is always initialized*
+* everything else (inputs, delays, uninitialized lasts, unit) is an atom
+
+An implication ``ev'(u) → ev'(v)`` being a tautology proves
+``∀I: ev(u) \\ {0} ⊆ ev(v)`` — timestamp 0 is excluded, which is sound
+because the analysis only asks this for ``last`` streams on the left,
+and lasts never fire at 0.
+
+The *always initialized* side analysis is the paper's "simple graph
+analysis where it is tested if every value parameter of a last node has
+a direct connection to a unit node without a filtering operation in
+between": a stream is always-initialized when it provably has an event
+at timestamp 0 (unit and anything strictly derived from it).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from ..lang.ast import Delay, Last, Lift, Nil, TimeExpr, UnitExpr
+from ..lang.builtins import TriggerSpec
+from ..lang.spec import FlatSpec
+from .formula import FALSE, Atom, Formula, conj, disj, implies
+
+
+class TriggeringError(Exception):
+    """Raised on malformed trigger specs or unexpected recursion."""
+
+
+def always_initialized(flat: FlatSpec) -> Set[str]:
+    """Streams guaranteed to carry an event at timestamp 0.
+
+    Least fixpoint of: ``unit`` is initialized; ``time`` propagates;
+    a lift is initialized when its *exact trigger spec* evaluates true
+    under the arguments' initializations (ALL → all, ANY/merge → any;
+    value-dependent functions like ``filter`` never are).
+    """
+    initialized: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for name, expr in flat.definitions.items():
+            if name in initialized:
+                continue
+            if _initialized_now(expr, initialized):
+                initialized.add(name)
+                changed = True
+    return initialized
+
+
+def _initialized_now(expr, initialized: Set[str]) -> bool:
+    if isinstance(expr, UnitExpr):
+        return True
+    if isinstance(expr, TimeExpr):
+        return expr.operand.name in initialized
+    if isinstance(expr, Lift):
+        trigger = expr.func.trigger
+        if trigger is None:
+            return False
+        flags = [arg.name in initialized for arg in expr.args]
+        return _eval_trigger(trigger, flags, expr.func.name)
+    return False  # nil, last, delay, inputs
+
+
+def _eval_trigger(spec: TriggerSpec, flags, func_name: str) -> bool:
+    if isinstance(spec, int):
+        try:
+            return flags[spec]
+        except IndexError:
+            raise TriggeringError(
+                f"{func_name}: trigger index {spec} out of range"
+            ) from None
+    if isinstance(spec, tuple) and spec and spec[0] in ("and", "or"):
+        parts = [_eval_trigger(s, flags, func_name) for s in spec[1:]]
+        return all(parts) if spec[0] == "and" else any(parts)
+    raise TriggeringError(f"{func_name}: malformed trigger spec {spec!r}")
+
+
+class TriggeringAnalysis:
+    """Computes and caches ``ev'`` formulas and implication queries."""
+
+    def __init__(self, flat: FlatSpec) -> None:
+        self.flat = flat
+        self.initialized = always_initialized(flat)
+        self._formulas: Dict[str, Formula] = {}
+        self._visiting: Set[str] = set()
+        self._implications: Dict[tuple, Optional[bool]] = {}
+
+    def formula(self, name: str) -> Formula:
+        """``ev'`` of the stream *name*."""
+        cached = self._formulas.get(name)
+        if cached is not None:
+            return cached
+        if name in self._visiting:
+            # Should be impossible for well-formed specs (cycles go
+            # through last/delay first arguments, which we never follow);
+            # degrade to an atom rather than looping.
+            return Atom(name)
+        self._visiting.add(name)
+        try:
+            result = self._compute(name)
+        finally:
+            self._visiting.discard(name)
+        self._formulas[name] = result
+        return result
+
+    def _compute(self, name: str) -> Formula:
+        if name in self.flat.inputs:
+            return Atom(name)
+        expr = self.flat.definitions[name]
+        if isinstance(expr, Nil):
+            return FALSE
+        if isinstance(expr, UnitExpr):
+            return Atom(name)
+        if isinstance(expr, TimeExpr):
+            return self.formula(expr.operand.name)
+        if isinstance(expr, Last):
+            if expr.value.name in self.initialized:
+                return self.formula(expr.trigger.name)
+            return Atom(name)
+        if isinstance(expr, Delay):
+            return Atom(name)
+        assert isinstance(expr, Lift)
+        trigger = expr.func.trigger
+        if trigger is None:
+            return Atom(name)
+        return self._from_trigger(trigger, expr, name)
+
+    def _from_trigger(self, spec: TriggerSpec, expr: Lift, name: str) -> Formula:
+        if isinstance(spec, int):
+            try:
+                arg = expr.args[spec]
+            except IndexError:
+                raise TriggeringError(
+                    f"{expr.func.name}: trigger index {spec} out of range"
+                ) from None
+            return self.formula(arg.name)
+        if isinstance(spec, tuple) and spec and spec[0] in ("and", "or"):
+            parts = [self._from_trigger(s, expr, name) for s in spec[1:]]
+            return conj(parts) if spec[0] == "and" else disj(parts)
+        raise TriggeringError(
+            f"{expr.func.name}: malformed trigger spec {spec!r}"
+        )
+
+    def implies_events(self, u: str, v: str) -> bool:
+        """Conservatively: does every event of *u* imply one of *v*?
+
+        True only when ``ev'(u) → ev'(v)`` is provably a tautology;
+        "unknown" (formula blow-up) counts as False.
+        """
+        key = (u, v)
+        cached = self._implications.get(key, _MISSING)
+        if cached is not _MISSING:
+            return bool(cached)
+        result = implies(self.formula(u), self.formula(v))
+        self._implications[key] = result
+        return bool(result)
+
+
+_MISSING = object()

@@ -1,0 +1,61 @@
+"""Union-Find over stream names (paper §IV-E step 1 suggests exactly
+this structure for managing the consistent-mutability variable
+families)."""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, List, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class UnionFind:
+    """Disjoint sets with path compression and union by size."""
+
+    def __init__(self, items: Iterable[T] = ()) -> None:
+        self._parent: Dict[T, T] = {}
+        self._size: Dict[T, int] = {}
+        for item in items:
+            self.add(item)
+
+    def add(self, item: T) -> None:
+        if item not in self._parent:
+            self._parent[item] = item
+            self._size[item] = 1
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._parent
+
+    def find(self, item: T) -> T:
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:  # path compression
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: T, b: T) -> None:
+        self.add(a)
+        self.add(b)
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+
+    def same(self, a: T, b: T) -> bool:
+        return self.find(a) == self.find(b)
+
+    def family(self, item: T) -> FrozenSet[T]:
+        """All members of *item*'s set."""
+        root = self.find(item)
+        return frozenset(x for x in self._parent if self.find(x) == root)
+
+    def families(self) -> List[FrozenSet[T]]:
+        """All disjoint sets."""
+        by_root: Dict[T, set] = {}
+        for item in self._parent:
+            by_root.setdefault(self.find(item), set()).add(item)
+        return [frozenset(members) for members in by_root.values()]

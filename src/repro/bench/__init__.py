@@ -1,0 +1,20 @@
+"""Benchmark harness regenerating every table and figure of the paper.
+
+* :mod:`repro.bench.fig9` — synthetic speedups (3 specs × 3 sizes)
+* :mod:`repro.bench.fig10` — Seen Set runtime vs trace length
+* :mod:`repro.bench.table1` — the real-world scenarios
+* :mod:`repro.bench.ablation` — backend / ordering / precision ablations
+
+``python -m repro.bench all`` prints everything.
+"""
+
+from .runners import MODES, flatten_inputs, format_table, measure, run_once, speedup
+
+__all__ = [
+    "MODES",
+    "flatten_inputs",
+    "format_table",
+    "measure",
+    "run_once",
+    "speedup",
+]

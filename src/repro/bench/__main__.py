@@ -1,0 +1,86 @@
+"""Command-line entry point: ``python -m repro.bench <experiment>``.
+
+Experiments: ``fig9``, ``fig10``, ``table1``, ``ablation``, ``all``.
+``--quick`` shrinks trace lengths for a fast smoke run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import ablation, extensions, fig10, fig9, table1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=["fig9", "fig10", "table1", "ablation", "ext", "all"],
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small traces, single repeat (smoke run)",
+    )
+    parser.add_argument(
+        "--length",
+        type=int,
+        default=None,
+        help="override the trace length / scale",
+    )
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit raw timings as JSON instead of tables",
+    )
+    args = parser.parse_args(argv)
+
+    repeats = args.repeats or (1 if args.quick else 3)
+    length = args.length or (2_000 if args.quick else 20_000)
+
+    if args.json:
+        import json
+
+        payload = {}
+        if args.experiment in ("fig9", "all"):
+            payload["fig9"] = fig9.run(length=length, repeats=repeats)
+        if args.experiment in ("fig10", "all"):
+            lengths = (
+                (500, 1_000, 2_000) if args.quick else fig10.DEFAULT_LENGTHS
+            )
+            payload["fig10"] = {
+                size: {str(n): t for n, t in series.items()}
+                for size, series in fig10.run(
+                    lengths=lengths, repeats=repeats
+                ).items()
+            }
+        if args.experiment in ("table1", "all"):
+            payload["table1"] = table1.run(scale=length, repeats=repeats)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    sections = []
+    if args.experiment in ("fig9", "all"):
+        sections.append(fig9.report(length=length, repeats=repeats))
+    if args.experiment in ("fig10", "all"):
+        lengths = (500, 1_000, 2_000) if args.quick else fig10.DEFAULT_LENGTHS
+        sections.append(fig10.report(lengths=lengths, repeats=repeats))
+    if args.experiment in ("table1", "all"):
+        sections.append(table1.report(scale=length, repeats=repeats))
+    if args.experiment in ("ext", "all"):
+        sections.append(extensions.report(length=length, repeats=repeats))
+    if args.experiment in ("ablation", "all"):
+        sections.append(
+            ablation.report(repeats=repeats, length=max(length // 2, 500))
+        )
+    print("\n\n".join(sections))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

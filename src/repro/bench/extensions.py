@@ -1,0 +1,52 @@
+"""Extension experiments beyond the paper's evaluation.
+
+* **Vector Window** — the Map/Queue Window behaviour on an indexed
+  vector: arrays are the original subject of the aggregate update
+  problem (Hudak & Bloss 1985), and the bit-partitioned persistent
+  vector vs. in-place list comparison completes the data-structure
+  picture of Fig. 9.
+* **Watchdog** — a ``delay``-driven monitor (alarms at timestamps no
+  input has), demonstrating that the optimization machinery coexists
+  with the triggering section's delay loop; its aggregates-free core
+  also serves as a no-win baseline (speedup ≈ 1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..speclib import vector_window, watchdog
+from ..workloads import uniform_int_trace, window_trace
+from .runners import format_table, measure, speedup
+
+
+def run(length: int = 20_000, repeats: int = 3) -> Dict[str, Dict[str, float]]:
+    results: Dict[str, Dict[str, float]] = {}
+    for size_name, size in (("small", 10), ("medium", 200), ("large", 2000)):
+        results[f"vector_window/{size_name}"] = measure(
+            vector_window(size), window_trace(length), repeats=repeats
+        )
+    results["watchdog"] = measure(
+        watchdog(timeout=5),
+        {"hb": uniform_int_trace(length, 10, step=2)},
+        repeats=repeats,
+    )
+    return results
+
+
+def report(length: int = 20_000, repeats: int = 3) -> str:
+    results = run(length=length, repeats=repeats)
+    rows = [
+        [
+            name,
+            f"{timings['optimized']:.3f}s",
+            f"{timings['non-optimized']:.3f}s",
+            f"{speedup(timings):.2f}x",
+        ]
+        for name, timings in results.items()
+    ]
+    return format_table(
+        ["experiment", "optimized", "non-optimized", "speedup"],
+        rows,
+        title=f"Extensions — vector window & watchdog ({length} events)",
+    )

@@ -1,0 +1,59 @@
+"""Figure 10: Seen Set runtime over trace length, optimized vs not.
+
+The paper plots the runtime of both monitor variants over trace lengths
+for the small/medium/large set sizes and observes (a) the optimized
+runtime is hardly influenced by the set size while the non-optimized one
+is, and (b) the speedup stabilizes with trace length.  (The JVM's JIT
+warm-up non-linearity does not exist on CPython; our curves are close to
+linear from the start.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from ..speclib import seen_set
+from ..workloads import SIZES, seen_set_trace
+from .runners import format_table, measure, speedup
+
+DEFAULT_LENGTHS = (1_000, 5_000, 20_000, 50_000)
+
+
+def run(
+    lengths: Iterable[int] = DEFAULT_LENGTHS,
+    repeats: int = 3,
+    sizes: Dict[str, int] = SIZES,
+) -> Dict[str, Dict[int, Dict[str, float]]]:
+    """size name -> trace length -> timings."""
+    results: Dict[str, Dict[int, Dict[str, float]]] = {}
+    for size_name, size in sizes.items():
+        results[size_name] = {}
+        for length in lengths:
+            inputs = seen_set_trace(length, size)
+            results[size_name][length] = measure(
+                seen_set(), inputs, repeats=repeats
+            )
+    return results
+
+
+def report(lengths: Iterable[int] = DEFAULT_LENGTHS, repeats: int = 3) -> str:
+    lengths = list(lengths)
+    results = run(lengths=lengths, repeats=repeats)
+    rows: List[List[str]] = []
+    for size_name in results:
+        for length in lengths:
+            timings = results[size_name][length]
+            rows.append(
+                [
+                    size_name,
+                    str(length),
+                    f"{timings['optimized']:.4f}s",
+                    f"{timings['non-optimized']:.4f}s",
+                    f"{speedup(timings):.2f}x",
+                ]
+            )
+    return format_table(
+        ["set size", "trace length", "optimized", "non-optimized", "speedup"],
+        rows,
+        title="Figure 10 — Seen Set runtime vs trace length",
+    )

@@ -1,0 +1,73 @@
+"""Figure 9: speedups for the three synthetic monitors × three sizes.
+
+The paper reports the optimized/non-optimized speedup of Seen Set, Map
+Window and Queue Window for small (10), medium (200) and large (10 000,
+ours: 2 000) data structures, measured at the longest trace length where
+the speedup has stabilized.  Paper values for reference: Seen Set up to
+~5, Map Window up to ~3.3, Queue Window up to ~1.8, always ordered
+SeenSet > MapWindow > QueueWindow, and growing with structure size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..lang.spec import Specification
+from ..speclib import map_window, queue_window, seen_set
+from ..workloads import SIZES, seen_set_trace, window_trace
+from .runners import format_table, measure, speedup
+
+
+def spec_for(name: str, size: int) -> Specification:
+    if name == "seen_set":
+        return seen_set()
+    if name == "map_window":
+        return map_window(size)
+    if name == "queue_window":
+        return queue_window(size)
+    raise ValueError(f"unknown synthetic spec {name!r}")
+
+
+def trace_for(name: str, size: int, length: int, seed: int = 0):
+    if name == "seen_set":
+        return seen_set_trace(length, size, seed)
+    return window_trace(length, seed)
+
+
+SPECS = ("seen_set", "map_window", "queue_window")
+
+
+def run(
+    length: int = 20_000, repeats: int = 3, sizes: Dict[str, int] = SIZES
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Measure all specs × sizes; returns name -> size -> timings."""
+    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for name in SPECS:
+        results[name] = {}
+        for size_name, size in sizes.items():
+            spec = spec_for(name, size)
+            inputs = trace_for(name, size, length)
+            results[name][size_name] = measure(spec, inputs, repeats=repeats)
+    return results
+
+
+def report(length: int = 20_000, repeats: int = 3) -> str:
+    results = run(length=length, repeats=repeats)
+    rows: List[List[str]] = []
+    for name in SPECS:
+        for size_name in SIZES:
+            timings = results[name][size_name]
+            rows.append(
+                [
+                    name,
+                    size_name,
+                    f"{timings['optimized']:.3f}s",
+                    f"{timings['non-optimized']:.3f}s",
+                    f"{speedup(timings):.2f}x",
+                ]
+            )
+    return format_table(
+        ["spec", "size", "optimized", "non-optimized", "speedup"],
+        rows,
+        title=f"Figure 9 — synthetic speedups (trace length {length})",
+    )

@@ -1,0 +1,92 @@
+"""Measurement plumbing shared by the benchmark harness.
+
+Monitors are timed end-to-end over pre-materialized event lists with a
+counting output callback (outputs are "printed" in the paper; counting
+is the cheapest faithful stand-in).  Following the paper we report the
+median over repeated runs.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..compiler import CompiledSpec, compile_spec, counting_callback
+from ..lang.spec import Specification
+from ..structures import Backend
+
+#: Mode name -> compile_spec keyword arguments.
+MODES: Dict[str, dict] = {
+    "optimized": {"optimize": True},
+    "non-optimized": {"optimize": False},
+    "copying": {"backend_override": Backend.COPYING},
+}
+
+Events = List[Tuple[int, int]]
+
+
+def flatten_inputs(inputs: Mapping[str, Iterable]) -> List[Tuple[int, str, object]]:
+    """Merge per-stream traces into one chronological event list."""
+    merged: List[Tuple[int, str, object]] = []
+    for name, trace in inputs.items():
+        for ts, value in trace:
+            merged.append((ts, name, value))
+    merged.sort(key=lambda e: e[0])
+    return merged
+
+
+def run_once(compiled: CompiledSpec, events: List[Tuple[int, str, object]]) -> float:
+    """One timed monitor run; returns wall-clock seconds."""
+    on_output, _count = counting_callback()
+    monitor = compiled.new_monitor(on_output)
+    push = monitor.push
+    start = time.perf_counter()
+    for ts, name, value in events:
+        push(name, ts, value)
+    monitor.finish()
+    return time.perf_counter() - start
+
+
+def measure(
+    spec: Specification,
+    inputs: Mapping[str, Iterable],
+    modes: Iterable[str] = ("optimized", "non-optimized"),
+    repeats: int = 3,
+) -> Dict[str, float]:
+    """Median runtime (seconds) per mode for *spec* on *inputs*."""
+    events = flatten_inputs(inputs)
+    results: Dict[str, float] = {}
+    for mode in modes:
+        compiled = compile_spec(spec, **MODES[mode])
+        timings = [run_once(compiled, events) for _ in range(repeats)]
+        results[mode] = statistics.median(timings)
+    return results
+
+
+def speedup(timings: Mapping[str, float]) -> float:
+    """Non-optimized over optimized runtime (the paper's speedup)."""
+    return timings["non-optimized"] / timings["optimized"]
+
+
+def format_table(
+    headers: List[str], rows: List[List[str]], title: Optional[str] = None
+) -> str:
+    """Plain-text table renderer for harness output."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
+        if rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+
+    def line(cells):
+        return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in rows)
+    return "\n".join(parts)

@@ -1,0 +1,181 @@
+"""Command-line compiler driver: ``repro-compile``.
+
+Subcommands over a textual specification file:
+
+* ``analyze``  — print the full analysis report (edges, formulas,
+  aliases, mutability set, translation order);
+* ``dot``      — emit the colour-coded usage graph as GraphViz;
+* ``emit``     — print the generated Python monitor source;
+* ``run``      — run the monitor on a CSV event trace
+  (lines ``timestamp,stream,value``) and print outputs as CSV.
+
+Values in CSV traces are parsed according to the declared input type
+(Int/Float/Bool/Str/Unit).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, List, Tuple
+
+from .analysis.report import AnalysisReport
+from .compiler import compile_spec
+from .frontend import parse_spec
+from .lang import check_types, flatten
+from .lang import types as ty
+
+
+class CliError(Exception):
+    """Raised on bad command-line input (reported without traceback)."""
+
+
+def _parse_value(text: str, value_type: ty.Type) -> Any:
+    text = text.strip()
+    if value_type == ty.INT or value_type == ty.TIME:
+        return int(text)
+    if value_type == ty.FLOAT:
+        return float(text)
+    if value_type == ty.BOOL:
+        if text.lower() in ("true", "1"):
+            return True
+        if text.lower() in ("false", "0"):
+            return False
+        raise CliError(f"not a boolean: {text!r}")
+    if value_type == ty.UNIT:
+        return ()
+    if value_type == ty.STR:
+        return text
+    raise CliError(f"cannot parse values of type {value_type} from CSV")
+
+
+def _read_trace(path: str, flat) -> List[Tuple[int, str, Any]]:
+    events: List[Tuple[int, str, Any]] = []
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(",", 2)
+            if len(parts) < 2:
+                raise CliError(f"{path}:{lineno}: expected 'ts,stream[,value]'")
+            ts_text, name = parts[0].strip(), parts[1].strip()
+            if name not in flat.inputs:
+                raise CliError(f"{path}:{lineno}: unknown input stream {name!r}")
+            value_text = parts[2] if len(parts) == 3 else ""
+            value = _parse_value(value_text, flat.types[name])
+            events.append((int(ts_text), name, value))
+    events.sort(key=lambda e: e[0])
+    return events
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro-compile")
+    parser.add_argument(
+        "command", choices=["analyze", "dot", "emit", "emit-scala", "run"]
+    )
+    parser.add_argument("spec", help="path to the specification file")
+    parser.add_argument(
+        "--trace", help="CSV event trace (required for 'run')"
+    )
+    parser.add_argument(
+        "--no-optimize",
+        action="store_true",
+        help="compile the exclusively-persistent baseline",
+    )
+    parser.add_argument(
+        "--end-time", type=int, default=None, help="bound for delay streams"
+    )
+    parser.add_argument(
+        "--format",
+        choices=["csv", "tessla"],
+        default="csv",
+        help="trace format for 'run': CSV lines or the TeSSLa trace"
+        " format (ts: stream = value)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.spec) as handle:
+            spec = parse_spec(handle.read())
+        flat = flatten(spec)
+        check_types(flat)
+
+        if args.command == "analyze":
+            from .lang.lint import lint
+
+            print(AnalysisReport(flat).text())
+            warnings = lint(flat)
+            if warnings:
+                print("\nlint warnings:")
+                for warning in warnings:
+                    print(f"  {warning}")
+        elif args.command == "dot":
+            print(AnalysisReport(flat).dot())
+        elif args.command == "emit":
+            compiled = compile_spec(flat, optimize=not args.no_optimize)
+            print(compiled.source)
+        elif args.command == "emit-scala":
+            from .analysis import analyze_mutability
+            from .compiler import generate_scala_source
+            from .graph import build_usage_graph, translation_order
+
+            if args.no_optimize:
+                order = translation_order(build_usage_graph(flat))
+                backends = {}
+            else:
+                result = analyze_mutability(flat)
+                order = result.order
+                backends = {
+                    name: result.backend_for(name) for name in flat.streams
+                }
+            print(generate_scala_source(flat, order, backends))
+        else:  # run
+            if not args.trace:
+                raise CliError("'run' requires --trace")
+            if args.format == "tessla":
+                from .semantics.traceio import (
+                    TraceError,
+                    format_value,
+                    read_trace,
+                )
+
+                try:
+                    with open(args.trace) as handle:
+                        traces = read_trace(handle)
+                except TraceError as exc:
+                    raise CliError(str(exc)) from None
+                unknown = set(traces) - set(flat.inputs)
+                if unknown:
+                    raise CliError(f"unknown input streams: {sorted(unknown)}")
+                events = sorted(
+                    (ts, name, value)
+                    for name, stream_events in traces.items()
+                    for ts, value in stream_events
+                )
+
+                def emit(name, ts, value):
+                    print(f"{ts}: {name} = {format_value(value)}")
+
+            else:
+                events = _read_trace(args.trace, flat)
+
+                def emit(name, ts, value):
+                    print(f"{ts},{name},{value}")
+
+            compiled = compile_spec(flat, optimize=not args.no_optimize)
+            monitor = compiled.new_monitor(emit)
+            for ts, name, value in events:
+                monitor.push(name, ts, value)
+            monitor.finish(end_time=args.end_time)
+    except (CliError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except Exception as exc:  # spec/compile errors: message only
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""Compiler backend: code generation and the monitor runtime (paper §III)."""
+
+from .codegen import CodegenError, CodeGenerator, generate_monitor_class
+from .interp_backend import make_interpreted_class
+from .scala_backend import generate_scala_source
+from .monitor import (
+    MonitorBase,
+    MonitorError,
+    UNIT_VALUE,
+    collecting_callback,
+    counting_callback,
+    freeze,
+)
+from .pipeline import CompiledSpec, compile_spec
+
+__all__ = [
+    "CodeGenerator",
+    "CodegenError",
+    "CompiledSpec",
+    "MonitorBase",
+    "MonitorError",
+    "UNIT_VALUE",
+    "collecting_callback",
+    "compile_spec",
+    "counting_callback",
+    "freeze",
+    "generate_monitor_class",
+    "generate_scala_source",
+    "make_interpreted_class",
+]

@@ -1,0 +1,227 @@
+"""Code generation: flat specification → Python monitor class (§III-A).
+
+The calculation section is emitted as a single ``_calc(self, ts)``
+method that computes every stream's current value into a local variable,
+following the translation order.  Stream state that survives between
+timestamps lives on the instance:
+
+* ``_in_<name>`` — current input values (set by ``push``, reset here),
+* ``_last_<name>`` — stored last values for streams used as the first
+  argument of a ``last`` (paper's ``v_last`` variables),
+* ``_next_<name>`` — pending timestamps of ``delay`` streams (paper's
+  ``s_nextTs`` variables).
+
+Lifted functions are bound per stream into the generated module's
+namespace; aggregate constructors receive the collection backend chosen
+by the mutability analysis for the constructed stream — the single point
+where the optimization manifests in code.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping, Sequence
+
+from ..lang.ast import Delay, Last, Lift, Nil, TimeExpr, UnitExpr
+from ..lang.builtins import EventPattern
+from ..lang.spec import FlatSpec
+from ..structures import Backend
+from .monitor import UNIT_VALUE, MonitorBase
+
+
+class CodegenError(Exception):
+    """Raised when a specification cannot be translated."""
+
+
+def _check_identifier(name: str) -> str:
+    if not name.isidentifier():
+        raise CodegenError(f"stream name {name!r} is not a valid identifier")
+    return name
+
+
+class CodeGenerator:
+    """Builds the source text and namespace for one monitor class."""
+
+    def __init__(
+        self,
+        flat: FlatSpec,
+        order: Sequence[str],
+        backend_for: Callable[[str], Backend],
+        class_name: str = "GeneratedMonitor",
+    ) -> None:
+        self.flat = flat
+        self.order = list(order)
+        self.backend_for = backend_for
+        self.class_name = class_name
+        self.namespace: Dict[str, Any] = {
+            "MonitorBase": MonitorBase,
+            "_UNIT": UNIT_VALUE,
+        }
+        if sorted(self.order) != sorted(flat.streams):
+            raise CodegenError("order must enumerate exactly the spec's streams")
+
+    # -- helpers -------------------------------------------------------------
+
+    def _bind_functions(self) -> None:
+        for name, expr in self.flat.definitions.items():
+            if isinstance(expr, Lift) and expr.func.name != "merge":
+                impl = expr.func.bind(self.backend_for(name))
+                self.namespace[f"_f_{name}"] = impl
+
+    def _calc_line(self, name: str) -> List[str]:
+        expr = self.flat.definitions[name]
+        v = f"v_{name}"
+        if isinstance(expr, Nil):
+            return [f"{v} = None"]
+        if isinstance(expr, UnitExpr):
+            return [f"{v} = _UNIT if ts == 0 else None"]
+        if isinstance(expr, TimeExpr):
+            return [f"{v} = ts if v_{expr.operand.name} is not None else None"]
+        if isinstance(expr, Last):
+            return [
+                f"{v} = self._last_{expr.value.name}"
+                f" if v_{expr.trigger.name} is not None else None"
+            ]
+        if isinstance(expr, Delay):
+            return [f"{v} = _UNIT if self._next_{name} == ts else None"]
+        assert isinstance(expr, Lift)
+        args = [f"v_{arg.name}" for arg in expr.args]
+        if expr.func.name == "merge":
+            a, b = args
+            return [f"{v} = {a} if {a} is not None else {b}"]
+        call = f"_f_{name}({', '.join(args)})"
+        if expr.func.pattern is EventPattern.ALL:
+            guard = " and ".join(f"{a} is not None" for a in args)
+            return [f"{v} = {call} if {guard} else None"]
+        guard = " or ".join(f"{a} is not None" for a in args)
+        return [f"{v} = {call} if ({guard}) else None"]
+
+    # -- assembly ------------------------------------------------------------
+
+    def source(self) -> str:
+        flat = self.flat
+        inputs = list(flat.inputs)
+        delays = [
+            name
+            for name, expr in flat.definitions.items()
+            if isinstance(expr, Delay)
+        ]
+        last_values = sorted(
+            {
+                expr.value.name
+                for expr in flat.definitions.values()
+                if isinstance(expr, Last)
+            }
+        )
+        for name in flat.streams:
+            _check_identifier(name)
+
+        lines: List[str] = [
+            f"class {self.class_name}(MonitorBase):",
+            f"    INPUTS = {tuple(inputs)!r}",
+            f"    OUTPUTS = {tuple(flat.outputs)!r}",
+            f"    HAS_DELAYS = {bool(delays)!r}",
+            "",
+            "    def _init_state(self):",
+        ]
+        state_lines = (
+            [f"        self._in_{name} = None" for name in inputs]
+            + [f"        self._last_{name} = None" for name in last_values]
+            + [f"        self._next_{name} = None" for name in delays]
+        )
+        lines.extend(state_lines or ["        pass"])
+
+        # Lifted implementations are bound as keyword-default parameters:
+        # locals are one dictionary lookup cheaper than module globals in
+        # the per-event hot path.
+        bound_names = sorted(
+            f"_f_{name}"
+            for name, expr in flat.definitions.items()
+            if isinstance(expr, Lift) and expr.func.name != "merge"
+        )
+        signature = ", ".join(
+            ["self", "ts"] + [f"{fn}={fn}" for fn in bound_names]
+        )
+        lines += ["", f"    def _calc({signature}):"]
+        body: List[str] = []
+        # load inputs into locals
+        for name in inputs:
+            body.append(f"v_{name} = self._in_{name}")
+        # calculation section in translation order
+        for name in self.order:
+            if name in flat.inputs:
+                continue
+            body.extend(self._calc_line(name))
+        # outputs
+        if flat.outputs:
+            body.append("emit = self._on_output")
+            for name in flat.outputs:
+                body.append(
+                    f"if v_{name} is not None: emit({name!r}, ts, v_{name})"
+                )
+        # store last values for the next timestamps
+        for name in last_values:
+            body.append(
+                f"if v_{name} is not None: self._last_{name} = v_{name}"
+            )
+        # schedule delays (paper §III-B): reset on reset-stream event or
+        # own event; the delay amount is read at the reset timestamp
+        for name in delays:
+            expr = flat.definitions[name]
+            assert isinstance(expr, Delay)
+            reset, amount = expr.reset.name, expr.delay.name
+            body.append(
+                f"if v_{reset} is not None or v_{name} is not None:"
+            )
+            body.append(
+                f"    self._next_{name} ="
+                f" (ts + v_{amount}) if v_{amount} is not None else None"
+            )
+        # reset input variables
+        for name in inputs:
+            body.append(f"self._in_{name} = None")
+        if not body:
+            body = ["pass"]
+        lines.extend("        " + line for line in body)
+
+        # earliest pending delay
+        if delays:
+            lines += ["", "    def _next_delay(self):"]
+            if len(delays) == 1:
+                lines.append(f"        return self._next_{delays[0]}")
+            else:
+                exprs = ", ".join(f"self._next_{d}" for d in delays)
+                lines += [
+                    f"        pending = [t for t in ({exprs}) if t is not None]",
+                    "        return min(pending) if pending else None",
+                ]
+        return "\n".join(lines) + "\n"
+
+    def compile(self) -> type:
+        """Exec the generated source; return the monitor class."""
+        self._bind_functions()
+        source = self.source()
+        exec(compile(source, f"<generated {self.class_name}>", "exec"), self.namespace)
+        cls = self.namespace[self.class_name]
+        cls.SOURCE = source
+        return cls
+
+
+def generate_monitor_class(
+    flat: FlatSpec,
+    order: Sequence[str],
+    backends: Mapping[str, Backend],
+    default_backend: Backend = Backend.PERSISTENT,
+    class_name: str = "GeneratedMonitor",
+) -> type:
+    """Generate and compile a monitor class.
+
+    ``backends`` maps stream names to collection backends; unknown
+    streams use *default_backend*.
+    """
+    generator = CodeGenerator(
+        flat,
+        order,
+        lambda name: backends.get(name, default_backend),
+        class_name,
+    )
+    return generator.compile()

@@ -1,0 +1,250 @@
+"""Monitor runtime: the triggering section (paper §III-B).
+
+Generated monitor classes derive from :class:`MonitorBase`, which owns
+the event-driven outer loop: input events arrive in chronological order
+via :meth:`push`; whenever the timestamp advances, the pending
+*calculation section* (the generated ``_calc``) runs, and any ``delay``
+timestamps falling strictly before the new input timestamp are processed
+in between — exactly the paper's triggering loop.  :meth:`finish`
+corresponds to "when receiving the end of the input t is set to ∞".
+
+Timestamp 0 is always processed (the ``unit`` event and all constants
+live there) before any later timestamp.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..structures.interface import MapBase, QueueBase, SetBase, VectorBase
+
+#: The unit value carried by ``unit`` and ``delay`` events.
+UNIT_VALUE: Tuple = ()
+
+OutputCallback = Callable[[str, int, Any], None]
+
+
+class MonitorError(Exception):
+    """Raised on protocol violations (out-of-order events, bad names)."""
+
+
+def freeze(value: Any) -> Any:
+    """Snapshot a (possibly mutable) monitor output for safe retention.
+
+    Mutable aggregates emitted by optimized monitors are updated in
+    place afterwards; anyone storing outputs instead of serializing them
+    immediately must freeze them first.
+    """
+    if isinstance(value, SetBase):
+        return frozenset(value)
+    if isinstance(value, MapBase):
+        return tuple(sorted(value.items(), key=lambda kv: repr(kv[0])))
+    if isinstance(value, (QueueBase, VectorBase)):
+        return tuple(value)
+    return value
+
+
+class MonitorBase:
+    """Base class of all generated monitors."""
+
+    #: Overridden by generated subclasses.
+    INPUTS: Tuple[str, ...] = ()
+    OUTPUTS: Tuple[str, ...] = ()
+    HAS_DELAYS: bool = False
+
+    def __init__(self, on_output: Optional[OutputCallback] = None) -> None:
+        self._on_output: OutputCallback = on_output or (lambda n, t, v: None)
+        self._pending_ts: Optional[int] = None
+        self._done_ts: int = -1
+        self._finished = False
+        self._init_state()
+
+    # -- generated hooks ---------------------------------------------------
+
+    def _init_state(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _calc(self, ts: int) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _next_delay(self) -> Optional[int]:
+        """Earliest pending ``delay`` timestamp; None when none pending."""
+        return None
+
+    # -- internal loop -------------------------------------------------------
+
+    def _run_calc(self, ts: int) -> None:
+        assert ts > self._done_ts
+        self._calc(ts)
+        self._done_ts = ts
+
+    def _catch_up(self, ts: Optional[int]) -> None:
+        """Process internally-generated timestamps strictly before *ts*
+        (all of them when *ts* is None)."""
+        if self._done_ts < 0 and (ts is None or ts > 0):
+            self._run_calc(0)
+        if not self.HAS_DELAYS:
+            return
+        while True:
+            next_delay = self._next_delay()
+            if next_delay is None:
+                break
+            if ts is not None and next_delay >= ts:
+                break
+            self._run_calc(next_delay)
+
+    def _flush(self) -> None:
+        if self._pending_ts is not None:
+            self._run_calc(self._pending_ts)
+            self._pending_ts = None
+
+    # -- public protocol -------------------------------------------------
+
+    def push(self, name: str, ts: int, value: Any) -> None:
+        """Feed one input event; timestamps must be non-decreasing."""
+        if self._finished:
+            raise MonitorError("push() after finish()")
+        if name not in self.INPUTS:
+            raise MonitorError(f"unknown input stream {name!r}")
+        if value is None:
+            raise MonitorError("None is the no-event value; not a valid payload")
+        if ts < 0:
+            raise MonitorError(f"negative timestamp {ts}")
+        if ts <= self._done_ts:
+            raise MonitorError(
+                f"event at t={ts} arrived after t={self._done_ts} was calculated"
+            )
+        if self._pending_ts is None:
+            self._catch_up(ts)
+            self._pending_ts = ts
+        elif ts > self._pending_ts:
+            self._flush()
+            self._catch_up(ts)
+            self._pending_ts = ts
+        elif ts < self._pending_ts:
+            raise MonitorError(
+                f"out-of-order event: t={ts} after t={self._pending_ts}"
+            )
+        setattr(self, "_in_" + name, value)
+
+    def finish(
+        self, end_time: Optional[int] = None, max_steps: int = 1_000_000
+    ) -> None:
+        """End of input: process everything still pending (t := ∞).
+
+        ``end_time`` bounds self-perpetuating delays; without it a
+        runaway periodic clock trips the ``max_steps`` guard.
+        """
+        if self._finished:
+            return
+        self._flush()
+        if self._done_ts < 0:
+            self._run_calc(0)
+        if self.HAS_DELAYS:
+            steps = 0
+            while True:
+                next_delay = self._next_delay()
+                if next_delay is None:
+                    break
+                if end_time is not None and next_delay > end_time:
+                    break
+                steps += 1
+                if steps > max_steps:
+                    raise MonitorError(
+                        f"more than {max_steps} delay steps after end of"
+                        " input; pass end_time to bound the monitor"
+                    )
+                self._run_calc(next_delay)
+        self._finished = True
+
+    def advance(self, ts: int) -> None:
+        """Declare that no input event will arrive before *ts*.
+
+        Processes everything internally scheduled strictly before *ts*
+        (pending input timestamps and due ``delay`` events) without
+        requiring an input event — how a live monitor driven by a
+        wall clock emits timeouts (e.g. the watchdog spec) while inputs
+        are silent.
+        """
+        if self._finished:
+            raise MonitorError("advance() after finish()")
+        if ts < 0:
+            raise MonitorError(f"negative timestamp {ts}")
+        if self._pending_ts is not None:
+            if ts <= self._pending_ts:
+                return  # nothing new is known
+            self._flush()
+        self._catch_up(ts)
+
+    # -- checkpointing -------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Capture the monitor's full state for later :meth:`restore`.
+
+        Mutable aggregates are cloned so the checkpoint stays valid
+        while the monitor keeps updating in place.  The output callback
+        is not part of the state.
+        """
+        from ..structures.clone import clone_value
+
+        state: Dict[str, Any] = {}
+        for key, value in vars(self).items():
+            if key == "_on_output":
+                continue
+            if isinstance(value, dict):
+                state[key] = {k: clone_value(v) for k, v in value.items()}
+            else:
+                state[key] = clone_value(value)
+        return state
+
+    def restore(self, state: Mapping[str, Any]) -> None:
+        """Reset the monitor to a :meth:`snapshot`'s state.
+
+        The snapshot itself is cloned again, so one checkpoint can be
+        restored any number of times.
+        """
+        from ..structures.clone import clone_value
+
+        for key, value in state.items():
+            if isinstance(value, dict):
+                setattr(
+                    self, key, {k: clone_value(v) for k, v in value.items()}
+                )
+            else:
+                setattr(self, key, clone_value(value))
+
+    # -- convenience -------------------------------------------------------
+
+    def run(
+        self,
+        inputs: Mapping[str, Any],
+        end_time: Optional[int] = None,
+    ) -> None:
+        """Feed whole input traces (Streams or event lists) and finish."""
+        events: List[Tuple[int, str, Any]] = []
+        for name, trace in inputs.items():
+            for ts, value in trace:
+                events.append((ts, name, value))
+        events.sort(key=lambda e: e[0])
+        for ts, name, value in events:
+            self.push(name, ts, value)
+        self.finish(end_time=end_time)
+
+
+def collecting_callback() -> Tuple[OutputCallback, Dict[str, List[Tuple[int, Any]]]]:
+    """An output callback that records frozen events per output stream."""
+    collected: Dict[str, List[Tuple[int, Any]]] = {}
+    def on_output(name: str, ts: int, value: Any) -> None:
+        collected.setdefault(name, []).append((ts, freeze(value)))
+
+    return on_output, collected
+
+
+def counting_callback() -> Tuple[OutputCallback, List[int]]:
+    """An output callback that only counts events (for benchmarks)."""
+    counter = [0]
+
+    def on_output(name: str, ts: int, value: Any) -> None:
+        counter[0] += 1
+
+    return on_output, counter

@@ -1,0 +1,15 @@
+"""Textual frontend: lexer and parser for the concrete syntax."""
+
+from .lexer import FrontendError, Token, tokenize
+from .parser import parse_spec
+from .printer import UnparseableError, unparse, unparse_expr
+
+__all__ = [
+    "FrontendError",
+    "Token",
+    "UnparseableError",
+    "parse_spec",
+    "tokenize",
+    "unparse",
+    "unparse_expr",
+]

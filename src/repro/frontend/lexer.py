@@ -1,0 +1,86 @@
+"""Lexer for the concrete TeSSLa-like specification syntax."""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple
+
+
+class FrontendError(Exception):
+    """Raised on lexical or syntactic errors, with line/column info."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{line}:{column}: {message}")
+        self.line = line
+        self.column = column
+
+
+class Token(NamedTuple):
+    kind: str
+    text: str
+    line: int
+    column: int
+
+
+KEYWORDS = {
+    "in",
+    "def",
+    "out",
+    "if",
+    "then",
+    "else",
+    "true",
+    "false",
+    "nil",
+    "unit",
+    "last",
+    "delay",
+    "time",
+    "merge",
+    "default",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<comment>\#[^\n]*|--[^\n]*)
+    | (?P<float>\d+\.\d+([eE][+-]?\d+)?|\d+[eE][+-]?\d+)
+    | (?P<int>\d+)
+    | (?P<string>"(?:[^"\\]|\\.)*")
+    | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+    | (?P<symbol>:=|==|!=|<=|>=|&&|\|\||[()\[\],:<>+\-*/%!=])
+    | (?P<newline>\n)
+    | (?P<space>[ \t\r]+)
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize *text*; raises :class:`FrontendError` on stray characters."""
+    tokens: List[Token] = []
+    line, line_start = 1, 0
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise FrontendError(
+                f"unexpected character {text[position]!r}",
+                line,
+                position - line_start + 1,
+            )
+        kind = match.lastgroup
+        value = match.group()
+        column = position - line_start + 1
+        if kind == "newline":
+            tokens.append(Token("newline", value, line, column))
+            line += 1
+            line_start = match.end()
+        elif kind in ("space", "comment"):
+            pass
+        elif kind == "name" and value in KEYWORDS:
+            tokens.append(Token(value, value, line, column))
+        else:
+            tokens.append(Token(kind, value, line, column))
+        position = match.end()
+    tokens.append(Token("eof", "", line, position - line_start + 1))
+    return tokens

@@ -1,0 +1,141 @@
+"""Pretty-printer: Specification → concrete syntax.
+
+The inverse of :func:`repro.frontend.parse_spec`, for programmatically
+built specifications that stay within the textual subset: registry
+builtins, the special forms and literals.  Ad-hoc ``pointwise``/
+``const_fn`` lifted functions have no surface syntax and raise
+:class:`UnparseableError`.
+
+Round-trip guarantee (tested property): ``parse_spec(unparse(s))``
+produces a specification with identical expression ASTs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..lang.ast import (
+    Const,
+    Default,
+    Delay,
+    Expr,
+    Last,
+    Lift,
+    Merge,
+    Nil,
+    SLift,
+    TimeExpr,
+    UnitExpr,
+    Var,
+)
+from ..lang.builtins import REGISTRY
+from ..lang.spec import Specification
+
+
+class UnparseableError(Exception):
+    """Raised for constructs without a surface syntax."""
+
+
+#: builtins rendered as infix/prefix operators by the printer
+_OPERATORS = {
+    "add": "+",
+    "sub": "-",
+    "mul": "*",
+    "div": "/",
+    "mod": "%",
+    "eq": "==",
+    "neq": "!=",
+    "lt": "<",
+    "leq": "<=",
+    "gt": ">",
+    "geq": ">=",
+    "and": "&&",
+    "or": "||",
+}
+
+
+def format_literal(value) -> str:
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, str):
+        import json
+
+        return json.dumps(value)
+    if isinstance(value, (int, float)):
+        return repr(value)
+    raise UnparseableError(f"no literal syntax for {value!r}")
+
+
+def unparse_expr(expr: Expr) -> str:
+    """Render one expression."""
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, Const):
+        if expr.type is not None:
+            raise UnparseableError(
+                "explicitly-typed constants have no surface syntax"
+            )
+        return format_literal(expr.value)
+    if isinstance(expr, Nil):
+        return f"nil<{expr.type}>"
+    if isinstance(expr, UnitExpr):
+        return "unit"
+    if isinstance(expr, TimeExpr):
+        return f"time({unparse_expr(expr.operand)})"
+    if isinstance(expr, Last):
+        return f"last({unparse_expr(expr.value)}, {unparse_expr(expr.trigger)})"
+    if isinstance(expr, Delay):
+        return f"delay({unparse_expr(expr.delay)}, {unparse_expr(expr.reset)})"
+    if isinstance(expr, Merge):
+        return f"merge({unparse_expr(expr.left)}, {unparse_expr(expr.right)})"
+    if isinstance(expr, Default):
+        return (
+            f"default({unparse_expr(expr.operand)},"
+            f" {format_literal(expr.value)})"
+        )
+    if isinstance(expr, SLift):
+        _require_registered(expr.func)
+        inner = ", ".join(unparse_expr(a) for a in expr.args)
+        return f"slift({expr.func.name}, {inner})"
+    if isinstance(expr, Lift):
+        name = expr.func.name
+        if name in _OPERATORS and len(expr.args) == 2:
+            left, right = (unparse_expr(a) for a in expr.args)
+            return f"({left} {_OPERATORS[name]} {right})"
+        if name == "neg":
+            return f"(-{unparse_expr(expr.args[0])})"
+        if name == "not":
+            return f"(!{unparse_expr(expr.args[0])})"
+        if name == "ite":
+            condition, then_branch, else_branch = (
+                unparse_expr(a) for a in expr.args
+            )
+            return f"(if {condition} then {then_branch} else {else_branch})"
+        _require_registered(expr.func)
+        inner = ", ".join(unparse_expr(a) for a in expr.args)
+        return f"{name}({inner})"
+    raise UnparseableError(f"cannot print {expr!r}")
+
+
+def _require_registered(func) -> None:
+    if REGISTRY.get(func.name) is not func:
+        raise UnparseableError(
+            f"lifted function {func.name!r} is not a registry builtin and"
+            " has no surface syntax"
+        )
+
+
+def unparse(spec: Specification) -> str:
+    """Render a whole specification in the concrete syntax."""
+    lines: List[str] = []
+    for name, input_type in spec.inputs.items():
+        lines.append(f"in {name}: {input_type}")
+    for name, expr in spec.definitions.items():
+        annotation = spec.type_annotations.get(name)
+        colon = f": {annotation}" if annotation is not None else ""
+        lines.append(f"def {name}{colon} := {unparse_expr(expr)}")
+    if spec.outputs:
+        lines.append("out " + ", ".join(spec.outputs))
+    return "\n".join(lines) + "\n"

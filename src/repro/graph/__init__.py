@@ -1,0 +1,19 @@
+"""Usage graph and translation orders (paper §III, Defs. 1-3)."""
+
+from .order import (
+    all_translation_orders,
+    is_valid_translation_order,
+    translation_order,
+)
+from .usage_graph import Edge, EdgeClass, GraphError, UsageGraph, build_usage_graph
+
+__all__ = [
+    "Edge",
+    "EdgeClass",
+    "GraphError",
+    "UsageGraph",
+    "all_translation_orders",
+    "build_usage_graph",
+    "is_valid_translation_order",
+    "translation_order",
+]

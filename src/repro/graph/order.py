@@ -1,0 +1,121 @@
+"""Translation orders (paper Definition 2).
+
+A translation order is a total order on the streams such that every
+non-special dependency is computed before its user; the calculation
+section of the generated monitor evaluates equations in this order.
+Special edges (``last``/``delay`` first parameters) are exempt because
+those operators only consume the *previous* value of their first
+argument.
+
+The mutability algorithm additionally injects read-before-write
+constraint edges (paper §IV-E step 4); :func:`translation_order` accepts
+them as extra edges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+
+from .usage_graph import GraphError, UsageGraph
+
+#: A constraint edge: (earlier, later).
+Constraint = Tuple[str, str]
+
+
+def _ordering_edges(
+    graph: UsageGraph, extra: Iterable[Constraint]
+) -> Dict[str, Set[str]]:
+    """Successor map of the order-relevant graph: (E \\ S) ∪ extra."""
+    successors: Dict[str, Set[str]] = {n: set() for n in graph.nodes}
+    for edge in graph.edges:
+        if not edge.special and edge.src != edge.dst:
+            successors[edge.src].add(edge.dst)
+    for src, dst in extra:
+        if src != dst:
+            successors[src].add(dst)
+    return successors
+
+
+def translation_order(
+    graph: UsageGraph, extra: Iterable[Constraint] = ()
+) -> List[str]:
+    """A deterministic translation order (Kahn's algorithm, name-stable).
+
+    Raises :class:`GraphError` if the constraints are cyclic — by the
+    paper's well-formedness rule this can only happen through the extra
+    (read-before-write) edges.
+    """
+    successors = _ordering_edges(graph, extra)
+    indegree: Dict[str, int] = {n: 0 for n in graph.nodes}
+    for node, succs in successors.items():
+        for succ in succs:
+            indegree[succ] += 1
+    ready = sorted(n for n, d in indegree.items() if d == 0)
+    order: List[str] = []
+    while ready:
+        node = ready.pop(0)
+        order.append(node)
+        inserted = []
+        for succ in successors[node]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                inserted.append(succ)
+        if inserted:
+            ready.extend(inserted)
+            ready.sort()
+    if len(order) != len(graph.nodes):
+        stuck = sorted(n for n, d in indegree.items() if d > 0)
+        raise GraphError(f"ordering constraints are cyclic among {stuck}")
+    return order
+
+
+def is_valid_translation_order(
+    graph: UsageGraph,
+    order: Sequence[str],
+    extra: Iterable[Constraint] = (),
+) -> bool:
+    """Check Def. 2 (plus extra constraints) for a candidate order."""
+    if sorted(order) != sorted(graph.nodes):
+        return False
+    position = {name: index for index, name in enumerate(order)}
+    successors = _ordering_edges(graph, extra)
+    return all(
+        position[src] < position[dst]
+        for src, succs in successors.items()
+        for dst in succs
+    )
+
+
+def all_translation_orders(
+    graph: UsageGraph, limit: int = 10_000
+) -> Iterator[List[str]]:
+    """Enumerate every valid translation order (testing aid; the order is
+    "not necessarily unique" — Def. 2 discussion)."""
+    successors = _ordering_edges(graph, ())
+    indegree: Dict[str, int] = {n: 0 for n in graph.nodes}
+    for node, succs in successors.items():
+        for succ in succs:
+            indegree[succ] += 1
+    produced = 0
+    order: List[str] = []
+
+    def extend() -> Iterator[List[str]]:
+        nonlocal produced
+        if len(order) == len(graph.nodes):
+            produced += 1
+            if produced > limit:
+                raise GraphError(f"more than {limit} translation orders")
+            yield list(order)
+            return
+        for node in sorted(n for n, d in indegree.items() if d == 0):
+            indegree[node] = -1
+            for succ in successors[node]:
+                indegree[succ] -= 1
+            order.append(node)
+            yield from extend()
+            order.pop()
+            for succ in successors[node]:
+                indegree[succ] += 1
+            indegree[node] = 0
+
+    yield from extend()

@@ -1,0 +1,623 @@
+"""Lifted functions: the value-level vocabulary of specifications.
+
+Every ``lift`` carries a :class:`LiftedFunction`, which bundles
+
+* the runtime implementation (over ``None`` as the no-event value ⊥),
+* the **event pattern** — whether the lift produces an event iff *all*
+  inputs have one (arithmetic, data-structure ops), iff *any* input has
+  one (``merge``), or something custom (``filter``).  The pattern feeds
+  the triggering-behaviour approximation ``ev'`` (paper §IV-C, which
+  distinguishes exactly the ALL and ANY groups and treats the rest as
+  formula atoms);
+* the per-argument **access class** — whether the function Writes,
+  Reads, Passes-through or does not touch the argument's value.  This
+  feeds the edge classification of the usage graph (paper §IV-A,
+  Def. 3);
+* a polymorphic type **signature** for type checking/inference.
+
+Data-structure constructors additionally take the collection *backend*
+(mutable vs. persistent) at bind time — the single point where the
+mutability analysis influences runtime behaviour.
+
+Invariant: stream values are never Python ``None``; ``None`` uniformly
+encodes ⊥ (no event) in implementations and in generated monitors.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+
+from ..structures import Backend, empty_map, empty_queue, empty_set, empty_vector
+from ..structures.interface import EmptyCollectionError
+from . import types as ty
+from .types import (
+    BOOL,
+    FLOAT,
+    INT,
+    STR,
+    TIME,
+    UNIT,
+    MapType,
+    QueueType,
+    SetType,
+    Type,
+    TypeVar,
+    VectorType,
+)
+
+
+class EventPattern(enum.Enum):
+    """When a lifted function produces an event (paper §IV-C)."""
+
+    #: Event iff **all** argument streams have an event (``+``, ``*``, ...).
+    ALL = "all"
+    #: Event iff **any** argument stream has an event (``merge``).
+    ANY = "any"
+    #: Anything else; the triggering analysis treats the stream as an atom.
+    CUSTOM = "custom"
+
+
+class Access(enum.Enum):
+    """How a lifted function touches one argument (paper §IV-A, Def. 3)."""
+
+    #: The argument's value is not an aggregate / is not inspected.
+    NONE = "none"
+    #: Read access to the current value.
+    READ = "read"
+    #: Write (modifying) access to the current value.
+    WRITE = "write"
+    #: The value may be handed through to the result unchanged.
+    PASS = "pass"
+
+
+#: Trigger specs describe *exactly* when a lifted function produces an
+#: event, as a positive boolean combination of argument presences:
+#: an ``int`` is an argument index ("argument i has an event"),
+#: ``("and", s1, s2, ...)`` / ``("or", s1, s2, ...)`` combine sub-specs.
+#: ``None`` means "not expressible" — the triggering analysis then treats
+#: the stream as an opaque atom (paper §IV-C, last rule).
+TriggerSpec = Any
+
+
+class LiftedFunction:
+    """A function that can be lifted over streams.
+
+    ``make_impl(backend)`` yields the concrete callable; most functions
+    ignore the backend, constructors use it to pick the collection
+    family.  Under pattern ``ALL`` the callable only runs when every
+    argument is present; under ``ANY``/``CUSTOM`` it receives ``None``
+    for absent arguments and may return ``None`` for "no event".
+
+    For ``CUSTOM`` functions an optional *trigger* spec states exactly
+    when an event is produced; it must be exact (not an approximation),
+    otherwise the triggering analysis — and with it the mutability
+    analysis — would be unsound.
+    """
+
+    __slots__ = (
+        "name",
+        "pattern",
+        "access",
+        "arg_types",
+        "result_type",
+        "make_impl",
+        "custom_trigger",
+        "scala_template",
+        "scala_option_template",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        pattern: EventPattern,
+        access: Sequence[Access],
+        arg_types: Sequence[Type],
+        result_type: Type,
+        make_impl: Callable[[Backend], Callable[..., Any]],
+        custom_trigger: TriggerSpec = None,
+        scala_template: Optional[str] = None,
+        scala_option_template: Optional[str] = None,
+    ) -> None:
+        if len(access) != len(arg_types):
+            raise ValueError(f"{name}: access/arity mismatch")
+        self.name = name
+        self.pattern = pattern
+        self.access = tuple(access)
+        self.arg_types = tuple(arg_types)
+        self.result_type = result_type
+        self.make_impl = make_impl
+        self.custom_trigger = custom_trigger
+        #: Optional Scala expression template for the Scala backend
+        #: ({0}, {1}, ... are unwrapped argument values).
+        self.scala_template = scala_template
+        #: Template over Option values, for non-strict functions.
+        self.scala_option_template = scala_option_template
+
+    @property
+    def trigger(self) -> TriggerSpec:
+        """The exact trigger spec, or ``None`` for value-dependent events."""
+        if self.pattern is EventPattern.ALL:
+            return ("and", *range(self.arity))
+        if self.pattern is EventPattern.ANY:
+            return ("or", *range(self.arity))
+        return self.custom_trigger
+
+    @property
+    def arity(self) -> int:
+        return len(self.arg_types)
+
+    def bind(self, backend: Backend) -> Callable[..., Any]:
+        """Return the runtime callable for the given collection backend."""
+        return self.make_impl(backend)
+
+    def instantiate(self, suffix: str) -> Tuple[Tuple[Type, ...], Type]:
+        """Return (argument types, result type) with fresh type variables."""
+        binding: Dict[TypeVar, Type] = {}
+        for ty_ in self.arg_types + (self.result_type,):
+            for var in ty.type_vars(ty_):
+                binding.setdefault(var, TypeVar(f"{var.name}#{suffix}"))
+        args = tuple(ty.substitute(t, binding) for t in self.arg_types)
+        return args, ty.substitute(self.result_type, binding)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, LiftedFunction) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("lifted", self.name))
+
+    def __repr__(self) -> str:
+        return f"LiftedFunction({self.name!r})"
+
+
+REGISTRY: Dict[str, LiftedFunction] = {}
+
+
+def register(func: LiftedFunction) -> LiftedFunction:
+    """Add *func* to the global registry (used by frontend name lookup)."""
+    if func.name in REGISTRY:
+        raise ValueError(f"builtin {func.name!r} already registered")
+    REGISTRY[func.name] = func
+    return func
+
+
+def builtin(name: str) -> LiftedFunction:
+    """Look up a registered lifted function by name."""
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown builtin {name!r}") from None
+
+
+def _simple(fn: Callable[..., Any]) -> Callable[[Backend], Callable[..., Any]]:
+    """Implementation factory for backend-independent functions."""
+    return lambda backend: fn
+
+
+def _define(
+    name: str,
+    pattern: EventPattern,
+    access: Sequence[Access],
+    arg_types: Sequence[Type],
+    result_type: Type,
+    fn: Callable[..., Any],
+) -> LiftedFunction:
+    return register(
+        LiftedFunction(name, pattern, access, arg_types, result_type, _simple(fn))
+    )
+
+
+_A = TypeVar("a")
+_K = TypeVar("k")
+_V = TypeVar("v")
+
+_N = Access.NONE
+_R = Access.READ
+_W = Access.WRITE
+_P = Access.PASS
+
+# ---------------------------------------------------------------------------
+# Scalar arithmetic / logic (pattern ALL)
+# ---------------------------------------------------------------------------
+
+ADD = _define("add", EventPattern.ALL, (_N, _N), (INT, INT), INT, lambda a, b: a + b)
+SUB = _define("sub", EventPattern.ALL, (_N, _N), (INT, INT), INT, lambda a, b: a - b)
+MUL = _define("mul", EventPattern.ALL, (_N, _N), (INT, INT), INT, lambda a, b: a * b)
+DIV = _define(
+    "div", EventPattern.ALL, (_N, _N), (INT, INT), INT, lambda a, b: a // b
+)
+MOD = _define("mod", EventPattern.ALL, (_N, _N), (INT, INT), INT, lambda a, b: a % b)
+NEG = _define("neg", EventPattern.ALL, (_N,), (INT,), INT, lambda a: -a)
+ABS = _define("abs", EventPattern.ALL, (_N,), (INT,), INT, abs)
+
+FADD = _define(
+    "fadd", EventPattern.ALL, (_N, _N), (FLOAT, FLOAT), FLOAT, lambda a, b: a + b
+)
+FSUB = _define(
+    "fsub", EventPattern.ALL, (_N, _N), (FLOAT, FLOAT), FLOAT, lambda a, b: a - b
+)
+FMUL = _define(
+    "fmul", EventPattern.ALL, (_N, _N), (FLOAT, FLOAT), FLOAT, lambda a, b: a * b
+)
+FDIV = _define(
+    "fdiv", EventPattern.ALL, (_N, _N), (FLOAT, FLOAT), FLOAT, lambda a, b: a / b
+)
+FABS = _define("fabs", EventPattern.ALL, (_N,), (FLOAT,), FLOAT, abs)
+TO_FLOAT = _define(
+    "to_float", EventPattern.ALL, (_N,), (INT,), FLOAT, float
+)
+ROUND = _define("round", EventPattern.ALL, (_N,), (FLOAT,), INT, round)
+
+EQ = _define(
+    "eq", EventPattern.ALL, (_R, _R), (_A, _A), BOOL, lambda a, b: a == b
+)
+NEQ = _define(
+    "neq", EventPattern.ALL, (_R, _R), (_A, _A), BOOL, lambda a, b: a != b
+)
+LT = _define("lt", EventPattern.ALL, (_N, _N), (_A, _A), BOOL, lambda a, b: a < b)
+LEQ = _define("leq", EventPattern.ALL, (_N, _N), (_A, _A), BOOL, lambda a, b: a <= b)
+GT = _define("gt", EventPattern.ALL, (_N, _N), (_A, _A), BOOL, lambda a, b: a > b)
+GEQ = _define("geq", EventPattern.ALL, (_N, _N), (_A, _A), BOOL, lambda a, b: a >= b)
+
+AND = _define(
+    "and", EventPattern.ALL, (_N, _N), (BOOL, BOOL), BOOL, lambda a, b: a and b
+)
+OR = _define(
+    "or", EventPattern.ALL, (_N, _N), (BOOL, BOOL), BOOL, lambda a, b: a or b
+)
+NOT = _define("not", EventPattern.ALL, (_N,), (BOOL,), BOOL, lambda a: not a)
+
+ITE = _define(
+    "ite",
+    EventPattern.ALL,
+    (_N, _P, _P),
+    (BOOL, _A, _A),
+    _A,
+    lambda c, a, b: a if c else b,
+)
+MIN = _define(
+    "min", EventPattern.ALL, (_P, _P), (_A, _A), _A, lambda a, b: a if a <= b else b
+)
+MAX = _define(
+    "max", EventPattern.ALL, (_P, _P), (_A, _A), _A, lambda a, b: a if a >= b else b
+)
+
+STR_CONCAT = _define(
+    "str_concat", EventPattern.ALL, (_N, _N), (STR, STR), STR, lambda a, b: a + b
+)
+TO_STR = _define(
+    "to_str", EventPattern.ALL, (_R,), (_A,), STR, str
+)
+
+# ---------------------------------------------------------------------------
+# Stream combinators
+# ---------------------------------------------------------------------------
+
+MERGE = _define(
+    "merge",
+    EventPattern.ANY,
+    (_P, _P),
+    (_A, _A),
+    _A,
+    lambda a, b: a if a is not None else b,
+)
+
+FILTER = _define(
+    "filter",
+    EventPattern.CUSTOM,
+    (_P, _N),
+    (_A, BOOL),
+    _A,
+    lambda v, c: v if (v is not None and c is not None and c) else None,
+)
+
+#: Pass the first argument's event only where the second also has one.
+AT = register(
+    LiftedFunction(
+        "at",
+        EventPattern.CUSTOM,
+        (_P, _N),
+        (_A, _V),
+        _A,
+        _simple(lambda v, t: v if (v is not None and t is not None) else None),
+        custom_trigger=("and", 0, 1),
+    )
+)
+
+
+def pointwise(
+    name: str,
+    fn: Callable[..., Any],
+    arg_types: Sequence[Type],
+    result_type: Type,
+    access: Optional[Sequence[Access]] = None,
+) -> LiftedFunction:
+    """Create an ad-hoc (unregistered) strict lifted function.
+
+    The idiomatic way to lift a plain Python function with baked-in
+    constants — e.g. ``pointwise("mod8", lambda x: x % 8, (INT,), INT)``
+    — instead of routing constants through single-event constant streams
+    (which would starve ALL-pattern lifts after timestamp 0).
+    """
+    if access is None:
+        access = tuple(_R if t.is_complex else _N for t in arg_types)
+    return LiftedFunction(
+        name, EventPattern.ALL, access, arg_types, result_type, _simple(fn)
+    )
+
+
+def const_fn(value: Any, value_type: Optional[Type] = None) -> LiftedFunction:
+    """A lifted constant: maps any event (usually ``unit``) to *value*.
+
+    Not registered by name — every constant gets its own instance, used
+    by the desugaring of :class:`repro.lang.ast.Const`.
+    """
+    result = value_type if value_type is not None else ty.type_of_value(value)
+    return LiftedFunction(
+        f"const({value!r})",
+        EventPattern.ALL,
+        (_N,),
+        (UNIT,),
+        result,
+        _simple(lambda _u, _value=value: _value),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Aggregate constructors (backend-sensitive)
+# ---------------------------------------------------------------------------
+
+
+def _constructor(
+    name: str, result_type: Type, factory: Callable[[Backend], Any]
+) -> LiftedFunction:
+    return register(
+        LiftedFunction(
+            name,
+            EventPattern.ALL,
+            (_N,),
+            (UNIT,),
+            result_type,
+            lambda backend: (lambda _u, _b=backend: factory(_b)),
+        )
+    )
+
+
+SET_EMPTY = _constructor("set_empty", SetType(_A), empty_set)
+MAP_EMPTY = _constructor("map_empty", MapType(_K, _V), empty_map)
+QUEUE_EMPTY = _constructor("queue_empty", QueueType(_A), empty_queue)
+VEC_EMPTY = _constructor("vec_empty", VectorType(_A), empty_vector)
+
+# ---------------------------------------------------------------------------
+# Set operations
+# ---------------------------------------------------------------------------
+
+SET_ADD = _define(
+    "set_add",
+    EventPattern.ALL,
+    (_W, _N),
+    (SetType(_A), _A),
+    SetType(_A),
+    lambda s, x: s.add(x),
+)
+SET_REMOVE = _define(
+    "set_remove",
+    EventPattern.ALL,
+    (_W, _N),
+    (SetType(_A), _A),
+    SetType(_A),
+    lambda s, x: s.remove(x),
+)
+SET_TOGGLE = _define(
+    "set_toggle",
+    EventPattern.ALL,
+    (_W, _N),
+    (SetType(_A), _A),
+    SetType(_A),
+    lambda s, x: s.remove(x) if x in s else s.add(x),
+)
+SET_CONTAINS = _define(
+    "set_contains",
+    EventPattern.ALL,
+    (_R, _N),
+    (SetType(_A), _A),
+    BOOL,
+    lambda s, x: x in s,
+)
+SET_SIZE = _define(
+    "set_size", EventPattern.ALL, (_R,), (SetType(_A),), INT, len
+)
+
+# ---------------------------------------------------------------------------
+# Map operations
+# ---------------------------------------------------------------------------
+
+MAP_PUT = _define(
+    "map_put",
+    EventPattern.ALL,
+    (_W, _N, _N),
+    (MapType(_K, _V), _K, _V),
+    MapType(_K, _V),
+    lambda m, k, v: m.put(k, v),
+)
+MAP_REMOVE = _define(
+    "map_remove",
+    EventPattern.ALL,
+    (_W, _N),
+    (MapType(_K, _V), _K),
+    MapType(_K, _V),
+    lambda m, k: m.remove(k),
+)
+MAP_GET_OR = _define(
+    "map_get_or",
+    EventPattern.ALL,
+    (_R, _N, _N),
+    (MapType(_K, _V), _K, _V),
+    _V,
+    lambda m, k, d: m.get(k, d),
+)
+MAP_CONTAINS = _define(
+    "map_contains",
+    EventPattern.ALL,
+    (_R, _N),
+    (MapType(_K, _V), _K),
+    BOOL,
+    lambda m, k: k in m,
+)
+MAP_SIZE = _define(
+    "map_size", EventPattern.ALL, (_R,), (MapType(_K, _V),), INT, len
+)
+
+# ---------------------------------------------------------------------------
+# Queue operations
+# ---------------------------------------------------------------------------
+
+
+def _queue_front_or(q: Any, default: Any) -> Any:
+    try:
+        return q.front()
+    except EmptyCollectionError:
+        return default
+
+
+QUEUE_ENQ = _define(
+    "queue_enq",
+    EventPattern.ALL,
+    (_W, _N),
+    (QueueType(_A), _A),
+    QueueType(_A),
+    lambda q, x: q.enqueue(x),
+)
+QUEUE_DEQ = _define(
+    "queue_deq",
+    EventPattern.ALL,
+    (_W,),
+    (QueueType(_A),),
+    QueueType(_A),
+    lambda q: q.dequeue() if len(q) else q,
+)
+QUEUE_FRONT_OR = _define(
+    "queue_front_or",
+    EventPattern.ALL,
+    (_R, _N),
+    (QueueType(_A), _A),
+    _A,
+    _queue_front_or,
+)
+QUEUE_SIZE = _define(
+    "queue_size", EventPattern.ALL, (_R,), (QueueType(_A),), INT, len
+)
+
+# ---------------------------------------------------------------------------
+# Vector operations
+# ---------------------------------------------------------------------------
+
+
+def _vec_get_or(v: Any, index: int, default: Any) -> Any:
+    try:
+        return v.get(index)
+    except EmptyCollectionError:
+        return default
+
+
+VEC_APPEND = _define(
+    "vec_append",
+    EventPattern.ALL,
+    (_W, _N),
+    (VectorType(_A), _A),
+    VectorType(_A),
+    lambda v, x: v.append(x),
+)
+VEC_SET = _define(
+    "vec_set",
+    EventPattern.ALL,
+    (_W, _N, _N),
+    (VectorType(_A), INT, _A),
+    VectorType(_A),
+    lambda v, i, x: v.set(i, x) if 0 <= i < len(v) else v,
+)
+VEC_GET_OR = _define(
+    "vec_get_or",
+    EventPattern.ALL,
+    (_R, _N, _N),
+    (VectorType(_A), INT, _A),
+    _A,
+    _vec_get_or,
+)
+VEC_SIZE = _define(
+    "vec_size", EventPattern.ALL, (_R,), (VectorType(_A),), INT, len
+)
+
+# ---------------------------------------------------------------------------
+# Conditional in-place updates
+# ---------------------------------------------------------------------------
+#
+# These produce an event whenever the *structure* argument has one and
+# modify it only when the condition/key arguments are present (or true).
+# In the unchanged case the same structure flows through the single Write
+# edge unmodified — which is sound for in-place backends because writing
+# nothing and passing the object on are indistinguishable.  They exist so
+# that multi-trigger monitors (update on stream A, read on stream B) can
+# keep the single-write shape of the paper's Fig. 1 instead of a
+# conditional `ite` pass that would alias the structure to two targets.
+
+QUEUE_DEQ_IF = _define(
+    "queue_deq_if",
+    EventPattern.ALL,
+    (_W, _N),
+    (QueueType(_A), BOOL),
+    QueueType(_A),
+    lambda q, c: q.dequeue() if (c and len(q)) else q,
+)
+
+SET_ADD_IF = _define(
+    "set_add_if",
+    EventPattern.ALL,
+    (_W, _N, _N),
+    (SetType(_A), _A, BOOL),
+    SetType(_A),
+    lambda s, x, c: s.add(x) if c else s,
+)
+
+MAP_PUT_IF = register(
+    LiftedFunction(
+        "map_put_if",
+        EventPattern.CUSTOM,
+        (_W, _N, _N),
+        (MapType(_K, _V), _K, _V),
+        MapType(_K, _V),
+        _simple(
+            lambda m, k, v: (
+                None if m is None else (m if (k is None or v is None) else m.put(k, v))
+            )
+        ),
+        custom_trigger=0,
+    )
+)
+
+
+def _set_update_if(s: Any, add: Any, remove: Any) -> Any:
+    if s is None:
+        return None
+    if add is not None:
+        s = s.add(add)
+    if remove is not None:
+        s = s.remove(remove)
+    return s
+
+
+SET_UPDATE_IF = register(
+    LiftedFunction(
+        "set_update_if",
+        EventPattern.CUSTOM,
+        (_W, _N, _N),
+        (SetType(_A), _A, _A),
+        SetType(_A),
+        _simple(_set_update_if),
+        custom_trigger=0,
+    )
+)
+
+# TIME is currently interchangeable with INT in signatures; expose an
+# explicit alias so specs reading timestamps type-check descriptively.
+_ = TIME

@@ -1,0 +1,159 @@
+"""Composing specifications.
+
+Monitors are often built from reusable pieces — one spec per property —
+and run as a single compiled monitor over shared inputs (one analysis,
+one translation order, one pass over the event stream).  ``rename``
+namespaces a specification's defined streams; ``compose`` merges
+several specifications, requiring agreement on shared inputs and
+rejecting definition clashes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .ast import (
+    Const,
+    Default,
+    Delay,
+    Expr,
+    Last,
+    Lift,
+    Merge,
+    Nil,
+    SLift,
+    TimeExpr,
+    UnitExpr,
+    Var,
+)
+from .spec import SpecError, Specification
+
+
+def _rename_expr(expr: Expr, mapping: Dict[str, str]) -> Expr:
+    if isinstance(expr, Var):
+        return Var(mapping.get(expr.name, expr.name))
+    if isinstance(expr, (Nil, UnitExpr, Const)):
+        return expr
+    if isinstance(expr, TimeExpr):
+        return TimeExpr(_rename_expr(expr.operand, mapping))
+    if isinstance(expr, Lift):
+        return Lift(
+            expr.func, tuple(_rename_expr(a, mapping) for a in expr.args)
+        )
+    if isinstance(expr, SLift):
+        return SLift(
+            expr.func, tuple(_rename_expr(a, mapping) for a in expr.args)
+        )
+    if isinstance(expr, Last):
+        return Last(
+            _rename_expr(expr.value, mapping),
+            _rename_expr(expr.trigger, mapping),
+        )
+    if isinstance(expr, Delay):
+        return Delay(
+            _rename_expr(expr.delay, mapping),
+            _rename_expr(expr.reset, mapping),
+        )
+    if isinstance(expr, Merge):
+        return Merge(
+            _rename_expr(expr.left, mapping),
+            _rename_expr(expr.right, mapping),
+        )
+    if isinstance(expr, Default):
+        return Default(_rename_expr(expr.operand, mapping), expr.value)
+    raise SpecError(f"cannot rename within {expr!r}")
+
+
+def rename(spec: Specification, prefix: str) -> Specification:
+    """A copy of *spec* with every DEFINED stream prefixed.
+
+    Input streams keep their names (they are the shared interface).
+    """
+    mapping = {name: f"{prefix}{name}" for name in spec.definitions}
+    return Specification(
+        spec.inputs,
+        {
+            mapping[name]: _rename_expr(expr, mapping)
+            for name, expr in spec.definitions.items()
+        },
+        [mapping.get(name, name) for name in spec.outputs],
+        type_annotations={
+            mapping.get(name, name): annotation
+            for name, annotation in spec.type_annotations.items()
+        },
+    )
+
+
+def substitute_inputs(
+    spec: Specification, mapping: Dict[str, str]
+) -> Specification:
+    """Rewire *spec*'s input streams per *mapping* (old → new name).
+
+    Used to adapt a reusable property spec to the stream names of a
+    concrete system before :func:`compose`.
+    """
+    unknown = set(mapping) - set(spec.inputs)
+    if unknown:
+        raise SpecError(f"not input streams: {sorted(unknown)}")
+    inputs = {
+        mapping.get(name, name): input_type
+        for name, input_type in spec.inputs.items()
+    }
+    if len(inputs) != len(spec.inputs):
+        raise SpecError("input substitution must stay injective")
+    return Specification(
+        inputs,
+        {
+            name: _rename_expr(expr, mapping)
+            for name, expr in spec.definitions.items()
+        },
+        spec.outputs,
+        type_annotations=spec.type_annotations,
+    )
+
+
+def compose(*specs: Specification, namespace: bool = False) -> Specification:
+    """Merge several specifications into one.
+
+    Shared input names must agree on their types.  Defined-stream name
+    clashes are an error unless ``namespace=True``, which prefixes each
+    part's definitions with ``p0_``, ``p1_``, ...  Outputs are
+    concatenated (deduplicated, order-preserving).
+    """
+    if not specs:
+        raise SpecError("compose() needs at least one specification")
+    parts: List[Specification] = (
+        [rename(spec, f"p{index}_") for index, spec in enumerate(specs)]
+        if namespace
+        else list(specs)
+    )
+    inputs: Dict[str, object] = {}
+    definitions: Dict[str, Expr] = {}
+    outputs: List[str] = []
+    annotations: Dict[str, object] = {}
+    for part in parts:
+        for name, input_type in part.inputs.items():
+            known = inputs.get(name)
+            if known is not None and known != input_type:
+                raise SpecError(
+                    f"input {name!r} declared with conflicting types"
+                    f" {known} and {input_type}"
+                )
+            inputs[name] = input_type
+        for name, expr in part.definitions.items():
+            if name in definitions and definitions[name] != expr:
+                raise SpecError(
+                    f"stream {name!r} defined differently in two parts;"
+                    " compose with namespace=True"
+                )
+            if name in inputs:
+                raise SpecError(
+                    f"stream {name!r} is an input of one part and a"
+                    " definition of another"
+                )
+            definitions[name] = expr
+        for name in part.outputs:
+            if name not in outputs:
+                outputs.append(name)
+        annotations.update(part.type_annotations)
+    return Specification(inputs, definitions, outputs, annotations)

@@ -1,0 +1,188 @@
+"""Desugaring and flattening of specifications (paper §II/§III).
+
+Sugar removal:
+
+* ``Const(v)`` becomes ``lift(const_v)(unit)`` — a stream with one event
+  at timestamp 0,
+* ``Merge(a, b)`` becomes ``lift(f_merge)(a, b)``,
+* ``Default(x, v)`` becomes ``merge(x, Const(v))``.
+
+Flattening then introduces fresh synthetic streams for every nested
+sub-expression so each equation applies exactly one basic operator to
+plain stream names.  Structurally identical sub-expressions are shared
+(common-subexpression elimination), which both shrinks the usage graph
+and — as in the paper's worked example, where the single ``unit`` node
+feeds several places — keeps the triggering analysis precise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .ast import (
+    Const,
+    Default,
+    Delay,
+    Expr,
+    Last,
+    Lift,
+    Merge,
+    Nil,
+    SLift,
+    TimeExpr,
+    UnitExpr,
+    Var,
+)
+from .builtins import MERGE, const_fn
+from .spec import FlatSpec, SpecError, Specification
+
+#: Prefix of synthetic stream names introduced by flattening.  User
+#: streams may not start with it, so generated names can never clash.
+SYNTHETIC_PREFIX = "_s"
+
+
+def _constructs_aggregate(expr: Expr) -> bool:
+    """Does *expr* create a fresh aggregate from scalar ingredients?
+
+    Such expressions (e.g. two occurrences of ``Set.empty``) are never
+    CSE-shared: sharing would make the single constructed object flow
+    into several places, creating aliasing that forces the analysis to
+    reject in-place updates.  Distinct construction sites keep the
+    object lineages — and hence the variable families — independent.
+    """
+    return (
+        isinstance(expr, Lift)
+        and expr.func.result_type.is_complex
+        and not any(t.is_complex for t in expr.func.arg_types)
+    )
+
+
+def desugar(expr: Expr) -> Expr:
+    """Remove sugar nodes, recursively."""
+    if isinstance(expr, Const):
+        func = const_fn(expr.value, expr.type)
+        return Lift(func, (UnitExpr(),))
+    if isinstance(expr, Merge):
+        return Lift(MERGE, (desugar(expr.left), desugar(expr.right)))
+    if isinstance(expr, Default):
+        return desugar(Merge(expr.operand, Const(expr.value)))
+    if isinstance(expr, SLift):
+        args = tuple(desugar(a) for a in expr.args)
+        if len(args) == 1:
+            return Lift(expr.func, args)
+        # The shared trigger carries event *presence* only; time() maps
+        # every argument to Int so differently-typed arguments merge.
+        trigger = TimeExpr(args[0])
+        for arg in args[1:]:
+            trigger = Lift(MERGE, (trigger, TimeExpr(arg)))
+        held = tuple(
+            Lift(MERGE, (arg, Last(arg, trigger))) for arg in args
+        )
+        return Lift(expr.func, held)
+    if isinstance(expr, TimeExpr):
+        return TimeExpr(desugar(expr.operand))
+    if isinstance(expr, Lift):
+        return Lift(expr.func, tuple(desugar(a) for a in expr.args))
+    if isinstance(expr, Last):
+        return Last(desugar(expr.value), desugar(expr.trigger))
+    if isinstance(expr, Delay):
+        return Delay(desugar(expr.delay), desugar(expr.reset))
+    if isinstance(expr, (Var, Nil, UnitExpr)):
+        return expr
+    raise SpecError(f"cannot desugar unknown expression {expr!r}")
+
+
+class _Flattener:
+    def __init__(self, spec: Specification) -> None:
+        self.spec = spec
+        self.flat: Dict[str, Expr] = {}
+        self.synthetic: list = []
+        #: structural CSE table: desugared sub-expression -> stream name
+        self.memo: Dict[Expr, str] = {}
+        self.counter = 0
+        self.aliases: Dict[str, str] = {}
+
+    def fresh(self) -> str:
+        name = f"{SYNTHETIC_PREFIX}{self.counter}"
+        self.counter += 1
+        self.synthetic.append(name)
+        return name
+
+    def atomize(self, expr: Expr) -> Var:
+        """Reduce *expr* to a stream reference, adding equations as needed."""
+        if isinstance(expr, Var):
+            return Var(self.resolve(expr.name))
+        shareable = not _constructs_aggregate(expr)
+        if shareable:
+            cached = self.memo.get(expr)
+            if cached is not None:
+                return Var(cached)
+        name = self.fresh()
+        if shareable:
+            # Insert the placeholder before recursing so that (ill-formed)
+            # self-referencing sugar cannot loop forever.
+            self.memo[expr] = name
+        self.flat[name] = self.flatten_expr(expr)
+        return Var(name)
+
+    def resolve(self, name: str) -> str:
+        """Follow alias chains (from ``x := y`` definitions)."""
+        seen = set()
+        while name in self.aliases:
+            if name in seen:
+                raise SpecError(f"alias cycle involving {name!r}")
+            seen.add(name)
+            name = self.aliases[name]
+        return name
+
+    def flatten_expr(self, expr: Expr) -> Expr:
+        """Return *expr* with all children reduced to Vars."""
+        if isinstance(expr, (Nil, UnitExpr)):
+            return expr
+        if isinstance(expr, TimeExpr):
+            return TimeExpr(self.atomize(expr.operand))
+        if isinstance(expr, Lift):
+            return Lift(expr.func, tuple(self.atomize(a) for a in expr.args))
+        if isinstance(expr, Last):
+            return Last(self.atomize(expr.value), self.atomize(expr.trigger))
+        if isinstance(expr, Delay):
+            return Delay(self.atomize(expr.delay), self.atomize(expr.reset))
+        raise SpecError(f"cannot flatten {expr!r}")
+
+    def run(self) -> FlatSpec:
+        desugared: Dict[str, Expr] = {}
+        for name, expr in self.spec.definitions.items():
+            if name.startswith(SYNTHETIC_PREFIX):
+                raise SpecError(
+                    f"stream name {name!r} uses the reserved prefix"
+                    f" {SYNTHETIC_PREFIX!r}"
+                )
+            desugared[name] = desugar(expr)
+        # Alias definitions (x := y) are substituted away: flat
+        # specifications have exactly one defining operator per stream.
+        for name, expr in desugared.items():
+            if isinstance(expr, Var):
+                self.aliases[name] = expr.name
+        for name, expr in desugared.items():
+            if isinstance(expr, Var):
+                continue
+            self.flat[name] = self.flatten_expr(expr)
+            self.memo.setdefault(expr, name)
+        outputs = []
+        for out in self.spec.outputs:
+            resolved = self.resolve(out) if out in self.aliases else out
+            if resolved not in self.flat and resolved not in self.spec.inputs:
+                raise SpecError(f"output {out!r} resolves to undefined {resolved!r}")
+            outputs.append(resolved)
+        annotations = {
+            self.resolve(k) if k in self.aliases else k: v
+            for k, v in self.spec.type_annotations.items()
+        }
+        return FlatSpec(
+            self.spec.inputs, self.flat, outputs, self.synthetic, annotations
+        )
+
+
+def flatten(spec: Specification) -> FlatSpec:
+    """Desugar and flatten *spec* into a :class:`FlatSpec`."""
+    return _Flattener(spec).run()

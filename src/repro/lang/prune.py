@@ -1,0 +1,68 @@
+"""Dead-stream elimination.
+
+A monitor only needs the streams its outputs (transitively) depend on —
+including ``last``/``delay`` dependencies, which carry state across
+timestamps, and ``delay`` reset inputs.  Everything else is dead code:
+it can never influence an output event.  The compiler applies this
+before analysis when requested; fewer streams mean a smaller usage
+graph, a cheaper analysis and a faster calculation section.
+
+This is a semantics-preserving *projection*: outputs of the pruned
+specification equal outputs of the original on every input (asserted by
+differential tests).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from .ast import free_vars
+from .spec import FlatSpec
+
+
+def live_streams(flat: FlatSpec) -> Set[str]:
+    """Streams reachable from the outputs through any dependency."""
+    live: Set[str] = set()
+    stack = [name for name in flat.outputs]
+    while stack:
+        name = stack.pop()
+        if name in live:
+            continue
+        live.add(name)
+        if name in flat.definitions:
+            stack.extend(free_vars(flat.definitions[name]))
+    return live
+
+
+def prune(flat: FlatSpec) -> FlatSpec:
+    """Return *flat* restricted to output-reachable streams.
+
+    Input streams are kept in the interface even when dead (the monitor
+    still accepts their events; they just trigger no computation).
+    """
+    live = live_streams(flat)
+    definitions = {
+        name: expr
+        for name, expr in flat.definitions.items()
+        if name in live
+    }
+    if len(definitions) == len(flat.definitions):
+        return flat
+    pruned = FlatSpec(
+        flat.inputs,
+        definitions,
+        flat.outputs,
+        synthetic=[name for name in flat.synthetic if name in live],
+        type_annotations={
+            name: annotation
+            for name, annotation in flat.type_annotations.items()
+            if name in live
+        },
+    )
+    if flat.types:
+        pruned.types = {
+            name: ty
+            for name, ty in flat.types.items()
+            if name in live or name in flat.inputs
+        }
+    return pruned

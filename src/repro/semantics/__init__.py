@@ -1,0 +1,17 @@
+"""Reference semantics: timed event streams and the ground-truth interpreter."""
+
+from .interpreter import InterpreterError, interpret
+from .stream import Stream, merge_timestamps, stream, unit_events
+from .traceio import TraceError, read_trace, write_trace
+
+__all__ = [
+    "InterpreterError",
+    "Stream",
+    "TraceError",
+    "interpret",
+    "merge_timestamps",
+    "read_trace",
+    "stream",
+    "unit_events",
+    "write_trace",
+]

@@ -1,0 +1,91 @@
+"""Timed event streams (paper §II).
+
+A stream is a partial function from a totally ordered time domain to a
+data domain; we represent the finite prefixes that monitors consume and
+produce as sorted ``(timestamp, value)`` sequences.  Timestamps are
+integers (any totally ordered, subtractable domain works; the paper's
+examples use integral nanoseconds/seconds).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+Event = Tuple[int, Any]
+
+
+class Stream:
+    """A finite timed event stream: strictly increasing timestamps."""
+
+    __slots__ = ("_events",)
+
+    def __init__(self, events: Iterable[Event] = ()) -> None:
+        self._events: List[Event] = list(events)
+        for (t1, _), (t2, _) in zip(self._events, self._events[1:]):
+            if t1 >= t2:
+                raise ValueError(
+                    f"timestamps must be strictly increasing, got {t1} then {t2}"
+                )
+
+    @property
+    def events(self) -> List[Event]:
+        return list(self._events)
+
+    def timestamps(self) -> List[int]:
+        return [t for t, _ in self._events]
+
+    def values(self) -> List[Any]:
+        return [v for _, v in self._events]
+
+    def value_at(self, ts: int) -> Optional[Any]:
+        """The event value at *ts*, or None (⊥) if there is none."""
+        index = bisect.bisect_left(self._events, ts, key=lambda e: e[0])
+        if index < len(self._events) and self._events[index][0] == ts:
+            return self._events[index][1]
+        return None
+
+    def last_before(self, ts: int) -> Optional[Any]:
+        """The value of the strictly last event before *ts*, or None."""
+        index = bisect.bisect_left(self._events, ts, key=lambda e: e[0])
+        if index == 0:
+            return None
+        return self._events[index - 1][1]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Stream):
+            return self._events == other._events
+        if isinstance(other, (list, tuple)):
+            return self._events == list(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._events))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{t}: {v!r}" for t, v in self._events)
+        return f"Stream({{{inner}}})"
+
+
+def stream(*events: Event) -> Stream:
+    """Shorthand: ``stream((1, 'a'), (5, 'b'))``."""
+    return Stream(events)
+
+
+def unit_events(timestamps: Sequence[int]) -> Stream:
+    """A stream of unit events at the given timestamps."""
+    return Stream((t, ()) for t in timestamps)
+
+
+def merge_timestamps(streams: Iterable[Stream]) -> List[int]:
+    """Sorted union of all event timestamps of *streams*."""
+    seen = set()
+    for s in streams:
+        seen.update(s.timestamps())
+    return sorted(seen)

@@ -1,0 +1,116 @@
+"""Trace serialization in the TeSSLa textual trace format.
+
+Real TeSSLa tooling exchanges traces as lines of::
+
+    timestamp: stream = value
+    timestamp: stream            -- unit event
+
+with ``--``/``#`` comments and blank lines ignored.  Values are the
+literals of the specification language: integers, floats, ``true`` /
+``false``, double-quoted strings and ``()`` for unit.  This module
+reads and writes that format so monitors can consume and produce files
+interchangeable with other TeSSLa implementations.
+"""
+
+from __future__ import annotations
+
+import ast as python_ast
+import re
+from typing import Any, Dict, Iterable, List, Mapping, TextIO, Tuple, Union
+
+Event = Tuple[int, Any]
+Traces = Dict[str, List[Event]]
+
+
+class TraceError(Exception):
+    """Raised on malformed trace text."""
+
+
+_LINE_RE = re.compile(
+    r"^\s*(?P<ts>-?\d+)\s*:\s*(?P<name>[A-Za-z_][A-Za-z0-9_]*)"
+    r"\s*(?:=\s*(?P<value>.+?))?\s*$"
+)
+
+
+def parse_value(text: str) -> Any:
+    """Parse one value literal."""
+    text = text.strip()
+    if text == "()":
+        return ()
+    if text == "true":
+        return True
+    if text == "false":
+        return False
+    try:
+        return python_ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        raise TraceError(f"cannot parse value {text!r}") from None
+
+
+def format_value(value: Any) -> str:
+    """Render one value as a trace literal."""
+    if value == () and isinstance(value, tuple):
+        return "()"
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, str):
+        # JSON string escaping is a subset of Python string literals,
+        # so the result always round-trips through parse_value.
+        import json
+
+        return json.dumps(value)
+    return repr(value)
+
+
+def read_trace(source: Union[str, TextIO]) -> Traces:
+    """Parse trace text (or a file object) into per-stream event lists.
+
+    Events may arrive in any order in the text; the result is sorted by
+    timestamp per stream.  Two events on one stream at one timestamp
+    are rejected.
+    """
+    if hasattr(source, "read"):
+        text = source.read()
+    else:
+        text = source
+    traces: Traces = {}
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.split("--")[0].split("#")[0].strip()
+        if not line:
+            continue
+        match = _LINE_RE.match(line)
+        if match is None:
+            raise TraceError(f"line {lineno}: cannot parse {raw!r}")
+        ts = int(match.group("ts"))
+        if ts < 0:
+            raise TraceError(f"line {lineno}: negative timestamp {ts}")
+        name = match.group("name")
+        value_text = match.group("value")
+        value = () if value_text is None else parse_value(value_text)
+        traces.setdefault(name, []).append((ts, value))
+    for name, events in traces.items():
+        events.sort(key=lambda e: e[0])
+        for (t1, _), (t2, _) in zip(events, events[1:]):
+            if t1 == t2:
+                raise TraceError(
+                    f"stream {name!r} has two events at timestamp {t1}"
+                )
+    return traces
+
+
+def write_trace(traces: Mapping[str, Iterable[Event]]) -> str:
+    """Render traces chronologically in the TeSSLa trace format."""
+    merged: List[Tuple[int, str, Any]] = []
+    for name, events in traces.items():
+        for ts, value in events:
+            merged.append((ts, name, value))
+    merged.sort(key=lambda e: (e[0], e[1]))
+    lines = []
+    for ts, name, value in merged:
+        if value == () and isinstance(value, tuple):
+            lines.append(f"{ts}: {name}")
+        else:
+            lines.append(f"{ts}: {name} = {format_value(value)}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,30 @@
+"""Ready-made specifications: the paper's worked examples and the six
+evaluation monitors (§V), shared by tests, examples and benchmarks."""
+
+from .evaluation import (
+    db_access_constraint,
+    db_time_constraint,
+    map_window,
+    peak_detection,
+    queue_window,
+    seen_set,
+    spectrum_calculation,
+    vector_window,
+    watchdog,
+)
+from .paper_figures import fig1_spec, fig4_lower_spec, fig4_upper_spec
+
+__all__ = [
+    "db_access_constraint",
+    "db_time_constraint",
+    "fig1_spec",
+    "fig4_lower_spec",
+    "fig4_upper_spec",
+    "map_window",
+    "peak_detection",
+    "queue_window",
+    "seen_set",
+    "spectrum_calculation",
+    "vector_window",
+    "watchdog",
+]

@@ -1,0 +1,410 @@
+"""The six evaluation monitors of the paper (§V).
+
+Synthetic (§V-A): *Seen Set*, *Map Window*, *Queue Window* — standard
+use cases of the three data structures without unrelated code, giving an
+idea of the maximal reachable speedup.
+
+Real-world (§V-B): *DBTimeConstraint*, *DBAccessConstraint* over a
+database operation log, and *PeakDetection*, *SpectrumCalculation* over
+power-consumption data.
+
+All specs follow the paper's Fig. 1 shape: the aggregate stream is
+merged with its empty constructor (initializing it at timestamp 0), a
+``last`` samples that merge at the trigger, reads happen on the sampled
+value, and a single write produces the next version.  This is the shape
+the mutability analysis proves in-place-safe; the benchmarks then
+compare the optimized (mutable) against the non-optimized (persistent)
+compilation of the *same* spec.
+
+Constants (window sizes, thresholds) are baked into ``pointwise``
+lifted functions rather than routed through constant streams — constant
+streams only carry an event at timestamp 0 and would starve strict
+lifts afterwards.
+"""
+
+from __future__ import annotations
+
+from ..lang import (
+    BOOL,
+    Delay,
+    FLOAT,
+    INT,
+    Const,
+    Last,
+    Lift,
+    MapType,
+    Merge,
+    QueueType,
+    Specification,
+    TimeExpr,
+    UnitExpr,
+    Var,
+    VectorType,
+)
+from ..lang.builtins import (
+    Access,
+    EventPattern,
+    LiftedFunction,
+    builtin,
+    pointwise,
+)
+from ..structures.interface import EmptyCollectionError
+
+_R = Access.READ
+_N = Access.NONE
+
+
+def _empty(constructor: str) -> Lift:
+    return Lift(builtin(constructor), (UnitExpr(),))
+
+
+# ---------------------------------------------------------------------------
+# Synthetic specifications (§V-A)
+# ---------------------------------------------------------------------------
+
+
+def seen_set() -> Specification:
+    """Seen Set: toggle membership of each input, report prior presence.
+
+    "A set keeps track of values that have occurred in the past.  If the
+    new value is already contained in the set, it is removed, if not it
+    is added.  Additionally the specification prints out whether the
+    element has already been contained."  The set size is bounded by the
+    input value domain, which is how the benchmark controls the
+    small/medium/large variants.
+    """
+    i = Var("i")
+    return Specification(
+        inputs={"i": INT},
+        definitions={
+            "seen_m": Merge(Var("seen"), _empty("set_empty")),
+            "seen_l": Last(Var("seen_m"), i),
+            "was": Lift(builtin("set_contains"), (Var("seen_l"), i)),
+            "seen": Lift(builtin("set_toggle"), (Var("seen_l"), i)),
+        },
+        outputs=["was"],
+    )
+
+
+def map_window(size: int) -> Specification:
+    """Map Window: ring buffer of the last *size* values in a map.
+
+    "We store the last n data values which occurred on a stream.  In
+    our implementation we use a map as a ring buffer, depicting a
+    position index to its value.  Further we print out the n-th last
+    value at every new input that arrives."
+    """
+    inc = pointwise("inc", lambda x: x + 1, (INT,), INT)
+    mod_n = pointwise(f"mod{size}", lambda x, _n=size: x % _n, (INT,), INT)
+    get_or = pointwise(
+        "map_get_or(-1)",
+        lambda m, k: m.get(k, -1),
+        (MapType(INT, INT), INT),
+        INT,
+        access=(_R, _N),
+    )
+    i = Var("i")
+    return Specification(
+        inputs={"i": INT},
+        definitions={
+            # Modulo-n event counter (event at 0 from the constant).
+            "cnt_l": Last(Var("cnt"), i),
+            "cnt": Merge(Lift(inc, (Var("cnt_l"),)), Const(0)),
+            "pos": Lift(mod_n, (Var("cnt"),)),
+            # The ring-buffer map, in the Fig. 1 shape.
+            "mw_m": Merge(Var("mw"), _empty("map_empty")),
+            "mw_l": Last(Var("mw_m"), i),
+            "nth": Lift(get_or, (Var("mw_l"), Var("pos"))),
+            "mw": Lift(builtin("map_put"), (Var("mw_l"), Var("pos"), i)),
+        },
+        outputs=["nth"],
+    )
+
+
+def queue_window(size: int) -> Specification:
+    """Queue Window: the Map Window behaviour with a FIFO queue.
+
+    "Every new input event is enqueued at back and the first element of
+    the queue is printed and removed" (once the window is full).
+    """
+    is_full = pointwise(
+        f"geq{size}", lambda n, _n=size: n >= _n, (INT,), BOOL
+    )
+    # The head is only read once the window is full — "the first element
+    # of the queue is printed and removed".  Reading it unconditionally
+    # would repeatedly reverse the banker's queue's back list while the
+    # window is still filling (the front list stays empty until the
+    # first dequeue), an O(window²) artifact the paper's monitor avoids.
+    front_if = pointwise(
+        "queue_front_if(-1)",
+        lambda q, full: q.front() if (full and len(q)) else -1,
+        (QueueType(INT), BOOL),
+        INT,
+        access=(_R, _N),
+    )
+    i = Var("i")
+    return Specification(
+        inputs={"i": INT},
+        definitions={
+            "q_m": Merge(Var("q"), _empty("queue_empty")),
+            "q_l": Last(Var("q_m"), i),
+            "q1": Lift(builtin("queue_enq"), (Var("q_l"), i)),
+            "sz": Lift(builtin("queue_size"), (Var("q1"),)),
+            "full": Lift(is_full, (Var("sz"),)),
+            "head": Lift(front_if, (Var("q1"), Var("full"))),
+            "nth": Lift(builtin("filter"), (Var("head"), Var("full"))),
+            "q": Lift(builtin("queue_deq_if"), (Var("q1"), Var("full"))),
+        },
+        outputs=["nth"],
+    )
+
+
+def vector_window(size: int) -> Specification:
+    """Vector Window (extension): the Map Window behaviour on an indexed
+    vector — arrays being the classic subject of the aggregate update
+    problem (Hudak/Bloss).  The ring buffer is a Vector written with
+    functional index updates; reads fetch the slot about to be
+    overwritten.
+    """
+    inc = pointwise("inc", lambda x: x + 1, (INT,), INT)
+    mod_n = pointwise(f"mod{size}", lambda x, _n=size: x % _n, (INT,), INT)
+    get_or = pointwise(
+        "vec_get_or(-1)",
+        lambda v, i: v.get(i) if 0 <= i < len(v) else -1,
+        (VectorType(INT), INT),
+        INT,
+        access=(_R, _N),
+    )
+
+    def put(vector, index, value):
+        if index < len(vector):
+            return vector.set(index, value)
+        return vector.append(value)
+
+    vec_put = LiftedFunction(
+        "vec_put",
+        EventPattern.ALL,
+        (Access.WRITE, _N, _N),
+        (VectorType(INT), INT, INT),
+        VectorType(INT),
+        lambda backend: put,
+    )
+    i = Var("i")
+    return Specification(
+        inputs={"i": INT},
+        definitions={
+            "cnt_l": Last(Var("cnt"), i),
+            "cnt": Merge(Lift(inc, (Var("cnt_l"),)), Const(0)),
+            "pos": Lift(mod_n, (Var("cnt"),)),
+            "vw_m": Merge(Var("vw"), _empty("vec_empty")),
+            "vw_l": Last(Var("vw_m"), i),
+            "nth": Lift(get_or, (Var("vw_l"), Var("pos"))),
+            "vw": Lift(vec_put, (Var("vw_l"), Var("pos"), i)),
+        },
+        outputs=["nth"],
+    )
+
+
+def watchdog(timeout: int = 10) -> Specification:
+    """Watchdog (extension, exercises ``delay``): emit an alarm when no
+    heartbeat arrives for *timeout* time units.
+
+    The delay re-arms on every heartbeat; if it ever fires, the gap
+    exceeded the timeout.  Multi-clocked output: alarms occur at
+    timestamps where NO input has an event — only ``delay`` can do that
+    (paper §III-B).
+    """
+    period = pointwise(
+        f"timeout{timeout}", lambda _v, _t=timeout: _t, (INT,), INT
+    )
+    hb = Var("hb")
+    return Specification(
+        inputs={"hb": INT},
+        definitions={
+            "d": Lift(period, (hb,)),
+            "alarm": Delay(Var("d"), hb),
+            "alarm_at": TimeExpr(Var("alarm")),
+        },
+        outputs=["alarm_at"],
+    )
+
+
+def _front_or_default(default):
+    def front_or(queue, _d=default):
+        try:
+            return queue.front()
+        except EmptyCollectionError:
+            return _d
+
+    return front_or
+
+
+# ---------------------------------------------------------------------------
+# Real-world specifications (§V-B)
+# ---------------------------------------------------------------------------
+
+
+def db_time_constraint(limit: int = 60) -> Specification:
+    """DBTimeConstraint: db3 inserts must follow db2 inserts within *limit*.
+
+    "If data was added to database db3 then it had to be added to db2
+    during the last 60 seconds.  We check this by maintaining a map with
+    the insertion times of db2."  Inputs carry record ids; timestamps
+    are the event times.
+    """
+    never = -(10**12)
+    get_time = pointwise(
+        "ins_time_or(-inf)",
+        lambda m, k, _d=never: m.get(k, _d),
+        (MapType(INT, INT), INT),
+        INT,
+        access=(_R, _N),
+    )
+    within = pointwise(
+        f"within{limit}", lambda t3, t2, _l=limit: t3 - t2 <= _l, (INT, INT), BOOL
+    )
+    db2, db3 = Var("db2"), Var("db3")
+    return Specification(
+        inputs={"db2": INT, "db3": INT},
+        definitions={
+            "tick": Merge(db2, db3),
+            "t_now": TimeExpr(Var("tick")),
+            "m_m": Merge(Var("m"), _empty("map_empty")),
+            "m_l": Last(Var("m_m"), Var("tick")),
+            "t3": TimeExpr(db3),
+            "tins": Lift(get_time, (Var("m_l"), db3)),
+            "ok": Lift(within, (Var("t3"), Var("tins"))),
+            "m": Lift(builtin("map_put_if"), (Var("m_l"), db2, Var("t_now"))),
+        },
+        outputs=["ok"],
+    )
+
+
+def db_access_constraint() -> Specification:
+    """DBAccessConstraint: no access before insert or after delete.
+
+    "A record may not be accessed before it was inserted or after it was
+    deleted in a database.  We use a set of all currently inserted IDs
+    to check this."  Inputs: ``ins``/``del_``/``acc`` carry record ids.
+    """
+    ins, del_, acc = Var("ins"), Var("del_"), Var("acc")
+    return Specification(
+        inputs={"ins": INT, "del_": INT, "acc": INT},
+        definitions={
+            "tick": Merge(Merge(ins, del_), acc),
+            "s_m": Merge(Var("cur"), _empty("set_empty")),
+            "s_l": Last(Var("s_m"), Var("tick")),
+            "ok": Lift(builtin("set_contains"), (Var("s_l"), acc)),
+            "cur": Lift(builtin("set_update_if"), (Var("s_l"), ins, del_)),
+        },
+        outputs=["ok"],
+    )
+
+
+def peak_detection(window: int = 30, deviation: float = 0.4) -> Specification:
+    """PeakDetection: flag samples deviating >40 % from the moving average.
+
+    "We check if a value is 40 % lower or higher than the medium of the
+    values [around it].  For this we require a queue to calculate the
+    moving average."  The queue holds the last *window* samples; the
+    value leaving the window is compared against the window mean.
+    """
+    is_full = pointwise(
+        f"geq{window}", lambda n, _n=window: n >= _n, (INT,), BOOL
+    )
+    front_or = pointwise(
+        "queue_front_or(0.0)",
+        _front_or_default(0.0),
+        (QueueType(FLOAT),),
+        FLOAT,
+        access=(_R,),
+    )
+    sub_if = pointwise(
+        "sub_if",
+        lambda total, leaving, full: total - leaving if full else total,
+        (FLOAT, FLOAT, BOOL),
+        FLOAT,
+    )
+    mean_of = pointwise(
+        "mean_of",
+        lambda total, count: total / count if count else 0.0,
+        (FLOAT, INT),
+        FLOAT,
+    )
+    deviates = pointwise(
+        f"deviates{deviation}",
+        lambda value, mean, full, _d=deviation: bool(
+            full and abs(value - mean) > _d * max(abs(mean), 1e-9)
+        ),
+        (FLOAT, FLOAT, BOOL),
+        BOOL,
+    )
+    x = Var("x")
+    return Specification(
+        inputs={"x": FLOAT},
+        definitions={
+            "q_m": Merge(Var("q"), _empty("queue_empty")),
+            "q_l": Last(Var("q_m"), x),
+            "s_m": Merge(Var("s"), Const(0.0)),
+            "s_l": Last(Var("s_m"), x),
+            "s1": Lift(builtin("fadd"), (Var("s_l"), x)),
+            "q1": Lift(builtin("queue_enq"), (Var("q_l"), x)),
+            "sz": Lift(builtin("queue_size"), (Var("q1"),)),
+            "full": Lift(is_full, (Var("sz"),)),
+            "old": Lift(front_or, (Var("q1"),)),
+            "q": Lift(builtin("queue_deq_if"), (Var("q1"), Var("full"))),
+            "s": Lift(sub_if, (Var("s1"), Var("old"), Var("full"))),
+            "szq": Lift(builtin("queue_size"), (Var("q"),)),
+            "mean": Lift(mean_of, (Var("s"), Var("szq"))),
+            "peak": Lift(deviates, (Var("old"), Var("mean"), Var("full"))),
+        },
+        outputs=["peak"],
+    )
+
+
+def spectrum_calculation(
+    bucket_width: float = 100.0, threshold: float = 5000.0
+) -> Specification:
+    """SpectrumCalculation: histogram of power values in a map.
+
+    "We calculate a spectrum how the values of the power consumption are
+    distributed in a map data structure which are in the end used to
+    calculate how often the measured power consumption is above a
+    certain threshold."
+    """
+    bucket = pointwise(
+        f"bucket{bucket_width}",
+        lambda v, _w=bucket_width: int(v // _w),
+        (FLOAT,),
+        INT,
+    )
+    get_count = pointwise(
+        "hist_get(0)",
+        lambda m, k: m.get(k, 0),
+        (MapType(INT, INT), INT),
+        INT,
+        access=(_R, _N),
+    )
+    inc = pointwise("inc", lambda c: c + 1, (INT,), INT)
+    count_if_above = pointwise(
+        f"count_above{threshold}",
+        lambda acc, v, _t=threshold: acc + 1 if v > _t else acc,
+        (INT, FLOAT),
+        INT,
+    )
+    x = Var("x")
+    return Specification(
+        inputs={"x": FLOAT},
+        definitions={
+            "h_m": Merge(Var("h"), _empty("map_empty")),
+            "h_l": Last(Var("h_m"), x),
+            "b": Lift(bucket, (x,)),
+            "c_old": Lift(get_count, (Var("h_l"), Var("b"))),
+            "c_new": Lift(inc, (Var("c_old"),)),
+            "h": Lift(builtin("map_put"), (Var("h_l"), Var("b"), Var("c_new"))),
+            "a_m": Merge(Var("above"), Const(0)),
+            "a_l": Last(Var("a_m"), x),
+            "above": Lift(count_if_above, (Var("a_l"), x)),
+        },
+        outputs=["c_new", "above"],
+    )

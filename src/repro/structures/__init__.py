@@ -1,0 +1,79 @@
+"""Data-structure substrate: persistent, mutable and full-copy collections.
+
+Persistent structures (HAMT set/map, banker's queue, bit-partitioned
+vector) implement the immutable semantics the paper's *non-optimized*
+monitors use; the mutable structures implement the in-place updates of
+the *optimized* monitors; the copying structures are a naive-immutable
+ablation baseline.  All variants share the ADT protocols from
+:mod:`repro.structures.interface`.
+"""
+
+from .copying import CopyMap, CopyQueue, CopySet, CopyVector
+from .factories import (
+    Backend,
+    empty_map,
+    empty_queue,
+    empty_set,
+    empty_vector,
+    make_map,
+    make_queue,
+    make_set,
+    make_vector,
+)
+from .hamt import EMPTY_HAMT, Hamt, hamt_from
+from .interface import (
+    EmptyCollectionError,
+    MapBase,
+    QueueBase,
+    SetBase,
+    VectorBase,
+)
+from .mutable import MutableMap, MutableQueue, MutableSet, MutableVector
+from .pmap import EMPTY_PERSISTENT_MAP, PersistentMap, persistent_map
+from .pqueue import EMPTY_PERSISTENT_QUEUE, PersistentQueue, persistent_queue
+from .pset import EMPTY_PERSISTENT_SET, PersistentSet, persistent_set
+from .pvector import (
+    EMPTY_PERSISTENT_VECTOR,
+    PersistentVector,
+    persistent_vector,
+)
+
+__all__ = [
+    "Backend",
+    "CopyMap",
+    "CopyQueue",
+    "CopySet",
+    "CopyVector",
+    "EMPTY_HAMT",
+    "EMPTY_PERSISTENT_MAP",
+    "EMPTY_PERSISTENT_QUEUE",
+    "EMPTY_PERSISTENT_SET",
+    "EMPTY_PERSISTENT_VECTOR",
+    "EmptyCollectionError",
+    "Hamt",
+    "MapBase",
+    "MutableMap",
+    "MutableQueue",
+    "MutableSet",
+    "MutableVector",
+    "PersistentMap",
+    "PersistentQueue",
+    "PersistentSet",
+    "PersistentVector",
+    "QueueBase",
+    "SetBase",
+    "VectorBase",
+    "empty_map",
+    "empty_queue",
+    "empty_set",
+    "empty_vector",
+    "hamt_from",
+    "make_map",
+    "make_queue",
+    "make_set",
+    "make_vector",
+    "persistent_map",
+    "persistent_queue",
+    "persistent_set",
+    "persistent_vector",
+]

@@ -1,0 +1,31 @@
+"""Structure cloning for monitor checkpoints.
+
+Persistent and copying collections are immutable — sharing them is
+safe.  Mutable collections must be duplicated, otherwise a checkpoint
+would alias live monitor state and be corrupted by subsequent in-place
+updates.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .mutable import MutableMap, MutableQueue, MutableSet, MutableVector
+
+
+def clone_value(value: Any) -> Any:
+    """A snapshot-safe copy of a stream value.
+
+    Mutable aggregates are duplicated (shallowly — element values are
+    scalars by the type system's no-nesting rule); everything else is
+    returned as-is.
+    """
+    if isinstance(value, MutableSet):
+        return MutableSet(value)
+    if isinstance(value, MutableMap):
+        return MutableMap(value.items())
+    if isinstance(value, MutableQueue):
+        return MutableQueue(value)
+    if isinstance(value, MutableVector):
+        return MutableVector(value)
+    return value

@@ -1,0 +1,139 @@
+"""Full-copy collections: the naive immutable implementation.
+
+These copy the entire underlying container on every update.  They are not
+used by the compiler; they exist as the *ablation baseline* the paper
+alludes to in §I ("a straight-forward implementation would do so as
+well") — copying instead of sharing — so benchmarks can show that the
+persistent structures already beat naive copying, and in-place updates
+beat both.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Tuple
+
+from .interface import (
+    EmptyCollectionError,
+    MapBase,
+    QueueBase,
+    SetBase,
+    VectorBase,
+)
+
+
+class CopySet(SetBase):
+    """Immutable set that copies all elements on every update."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: Iterable[Any] = ()) -> None:
+        self._items = frozenset(items)
+
+    def add(self, item: Any) -> "CopySet":
+        return CopySet(self._items | {item})
+
+    def remove(self, item: Any) -> "CopySet":
+        return CopySet(self._items - {item})
+
+    def __contains__(self, item: Any) -> bool:
+        return item in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._items)
+
+
+class CopyMap(MapBase):
+    """Immutable map that copies all entries on every update."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self, pairs: Iterable[Tuple[Any, Any]] = ()) -> None:
+        self._items = dict(pairs)
+
+    def put(self, key: Any, value: Any) -> "CopyMap":
+        items = dict(self._items)
+        items[key] = value
+        return CopyMap(items.items())
+
+    def remove(self, key: Any) -> "CopyMap":
+        items = dict(self._items)
+        items.pop(key, None)
+        return CopyMap(items.items())
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        return self._items.get(key, default)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        return iter(self._items.items())
+
+
+class CopyQueue(QueueBase):
+    """Immutable FIFO queue that copies all elements on every update."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: Iterable[Any] = ()) -> None:
+        self._items = tuple(items)
+
+    def enqueue(self, item: Any) -> "CopyQueue":
+        return CopyQueue(self._items + (item,))
+
+    def dequeue(self) -> "CopyQueue":
+        if not self._items:
+            raise EmptyCollectionError("dequeue() on empty queue")
+        return CopyQueue(self._items[1:])
+
+    def front(self) -> Any:
+        if not self._items:
+            raise EmptyCollectionError("front() on empty queue")
+        return self._items[0]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._items)
+
+
+class CopyVector(VectorBase):
+    """Immutable indexed sequence that copies on every update."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: Iterable[Any] = ()) -> None:
+        self._items = tuple(items)
+
+    def append(self, item: Any) -> "CopyVector":
+        return CopyVector(self._items + (item,))
+
+    def set(self, index: int, item: Any) -> "CopyVector":
+        if not 0 <= index < len(self._items):
+            raise EmptyCollectionError(
+                f"index {index} out of range [0, {len(self._items)})"
+            )
+        return CopyVector(
+            self._items[:index] + (item,) + self._items[index + 1:]
+        )
+
+    def get(self, index: int) -> Any:
+        if not 0 <= index < len(self._items):
+            raise EmptyCollectionError(
+                f"index {index} out of range [0, {len(self._items)})"
+            )
+        return self._items[index]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._items)
+

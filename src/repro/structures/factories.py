@@ -1,0 +1,101 @@
+"""Construction-site dispatch between persistent and mutable collections.
+
+The mutability analysis (paper §IV) assigns each stream-variable family a
+*backend*: mutable if the family is in the mutability set, persistent
+otherwise (plus a full-copy backend for ablation benchmarks).  Because
+all variants share one ADT surface, the backend only needs to be chosen
+where a collection is **created** — which is exactly how the generated
+monitors inject the optimization.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Dict, Iterable, Tuple
+
+from . import copying, mutable
+from .pmap import EMPTY_PERSISTENT_MAP, persistent_map
+from .pqueue import EMPTY_PERSISTENT_QUEUE, persistent_queue
+from .pset import EMPTY_PERSISTENT_SET, persistent_set
+from .pvector import EMPTY_PERSISTENT_VECTOR, persistent_vector
+
+
+class Backend(enum.Enum):
+    """Which collection family a construction site should use."""
+
+    PERSISTENT = "persistent"
+    MUTABLE = "mutable"
+    COPYING = "copying"
+
+
+_SET_FACTORIES: Dict[Backend, Callable[..., Any]] = {
+    Backend.PERSISTENT: persistent_set,
+    Backend.MUTABLE: mutable.MutableSet,
+    Backend.COPYING: copying.CopySet,
+}
+
+_MAP_FACTORIES: Dict[Backend, Callable[..., Any]] = {
+    Backend.PERSISTENT: persistent_map,
+    Backend.MUTABLE: mutable.MutableMap,
+    Backend.COPYING: copying.CopyMap,
+}
+
+_QUEUE_FACTORIES: Dict[Backend, Callable[..., Any]] = {
+    Backend.PERSISTENT: persistent_queue,
+    Backend.MUTABLE: mutable.MutableQueue,
+    Backend.COPYING: copying.CopyQueue,
+}
+
+_VECTOR_FACTORIES: Dict[Backend, Callable[..., Any]] = {
+    Backend.PERSISTENT: persistent_vector,
+    Backend.MUTABLE: mutable.MutableVector,
+    Backend.COPYING: copying.CopyVector,
+}
+
+
+def make_set(backend: Backend, items: Iterable[Any] = ()) -> Any:
+    """Create a set of the given backend."""
+    return _SET_FACTORIES[backend](items)
+
+
+def make_map(backend: Backend, pairs: Iterable[Tuple[Any, Any]] = ()) -> Any:
+    """Create a map of the given backend."""
+    return _MAP_FACTORIES[backend](pairs)
+
+
+def make_queue(backend: Backend, items: Iterable[Any] = ()) -> Any:
+    """Create a queue of the given backend."""
+    return _QUEUE_FACTORIES[backend](items)
+
+
+def make_vector(backend: Backend, items: Iterable[Any] = ()) -> Any:
+    """Create a vector of the given backend."""
+    return _VECTOR_FACTORIES[backend](items)
+
+
+def empty_set(backend: Backend) -> Any:
+    """Empty set; persistent backend reuses a shared singleton."""
+    if backend is Backend.PERSISTENT:
+        return EMPTY_PERSISTENT_SET
+    return make_set(backend)
+
+
+def empty_map(backend: Backend) -> Any:
+    """Empty map; persistent backend reuses a shared singleton."""
+    if backend is Backend.PERSISTENT:
+        return EMPTY_PERSISTENT_MAP
+    return make_map(backend)
+
+
+def empty_queue(backend: Backend) -> Any:
+    """Empty queue; persistent backend reuses a shared singleton."""
+    if backend is Backend.PERSISTENT:
+        return EMPTY_PERSISTENT_QUEUE
+    return make_queue(backend)
+
+
+def empty_vector(backend: Backend) -> Any:
+    """Empty vector; persistent backend reuses a shared singleton."""
+    if backend is Backend.PERSISTENT:
+        return EMPTY_PERSISTENT_VECTOR
+    return make_vector(backend)

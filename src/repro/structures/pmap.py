@@ -1,0 +1,53 @@
+"""Persistent map backed by the HAMT (matches Scala's immutable ``Map``
+used by the paper's non-optimized monitors)."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Tuple
+
+from .hamt import EMPTY_HAMT, Hamt
+from .interface import MapBase
+
+
+class PersistentMap(MapBase):
+    """Immutable map; every update returns a new map sharing structure."""
+
+    __slots__ = ("_trie",)
+
+    def __init__(self, _trie: Hamt = EMPTY_HAMT) -> None:
+        self._trie = _trie
+
+    def put(self, key: Any, value: Any) -> "PersistentMap":
+        return PersistentMap(self._trie.set(key, value))
+
+    def remove(self, key: Any) -> "PersistentMap":
+        trie = self._trie.remove(key)
+        if trie is self._trie:
+            return self
+        return PersistentMap(trie)
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        return self._trie.get(key, default)
+
+    def __getitem__(self, key: Any) -> Any:
+        return self._trie[key]
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._trie
+
+    def __len__(self) -> int:
+        return len(self._trie)
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        return self._trie.items()
+
+
+EMPTY_PERSISTENT_MAP = PersistentMap()
+
+
+def persistent_map(pairs: Iterable[Tuple[Any, Any]] = ()) -> PersistentMap:
+    """Build a :class:`PersistentMap` from ``(key, value)`` pairs."""
+    result = EMPTY_PERSISTENT_MAP
+    for key, value in pairs:
+        result = result.put(key, value)
+    return result

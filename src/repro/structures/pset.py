@@ -1,0 +1,53 @@
+"""Persistent set backed by the HAMT (cf. paper §V-A: Scala's immutable
+``Set`` is a Hash-Array-Mapped-Trie; ours is too, so the persistent-side
+cost profile matches the paper's baseline)."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from .hamt import EMPTY_HAMT, Hamt
+from .interface import SetBase
+
+_PRESENT = object()
+
+
+class PersistentSet(SetBase):
+    """Immutable set; every update returns a new set sharing structure."""
+
+    __slots__ = ("_trie",)
+
+    def __init__(self, _trie: Hamt = EMPTY_HAMT) -> None:
+        self._trie = _trie
+
+    def add(self, item: Any) -> "PersistentSet":
+        trie = self._trie.set(item, _PRESENT)
+        if trie is self._trie:
+            return self
+        return PersistentSet(trie)
+
+    def remove(self, item: Any) -> "PersistentSet":
+        trie = self._trie.remove(item)
+        if trie is self._trie:
+            return self
+        return PersistentSet(trie)
+
+    def __contains__(self, item: Any) -> bool:
+        return item in self._trie
+
+    def __len__(self) -> int:
+        return len(self._trie)
+
+    def __iter__(self) -> Iterator[Any]:
+        return self._trie.keys()
+
+
+EMPTY_PERSISTENT_SET = PersistentSet()
+
+
+def persistent_set(items: Iterable[Any] = ()) -> PersistentSet:
+    """Build a :class:`PersistentSet` from an iterable."""
+    result = EMPTY_PERSISTENT_SET
+    for item in items:
+        result = result.add(item)
+    return result

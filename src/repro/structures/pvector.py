@@ -1,0 +1,144 @@
+"""Persistent vector: bit-partitioned trie with a tail buffer.
+
+Mirrors Scala/Clojure's immutable ``Vector``: a 32-way branching trie of
+fixed-size leaf arrays plus a "tail" of up to 32 pending elements, giving
+effectively-constant append, read and functional update with structural
+sharing.  Used for list/window workloads where the paper's monitors keep
+indexed sequences.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Tuple
+
+from .interface import EmptyCollectionError, VectorBase
+
+_BITS = 5
+_WIDTH = 1 << _BITS  # 32
+_MASK = _WIDTH - 1
+
+
+class PersistentVector(VectorBase):
+    """Immutable indexed sequence with O(log32 n) update and append."""
+
+    __slots__ = ("_size", "_shift", "_root", "_tail")
+
+    def __init__(
+        self,
+        _size: int = 0,
+        _shift: int = _BITS,
+        _root: Tuple[Any, ...] = (),
+        _tail: Tuple[Any, ...] = (),
+    ) -> None:
+        self._size = _size
+        self._shift = _shift
+        self._root = _root
+        self._tail = _tail
+
+    # -- internal helpers --------------------------------------------------
+
+    def _tail_offset(self) -> int:
+        if self._size < _WIDTH:
+            return 0
+        return ((self._size - 1) >> _BITS) << _BITS
+
+    def _leaf_for(self, index: int) -> Tuple[Any, ...]:
+        if index >= self._tail_offset():
+            return self._tail
+        node = self._root
+        shift = self._shift
+        while shift > 0:
+            node = node[(index >> shift) & _MASK]
+            shift -= _BITS
+        return node
+
+    @staticmethod
+    def _new_path(shift: int, node: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        while shift > 0:
+            node = (node,)
+            shift -= _BITS
+        return node
+
+    @classmethod
+    def _push_tail(
+        cls, size: int, shift: int, parent: Tuple[Any, ...], tail: Tuple[Any, ...]
+    ) -> Tuple[Any, ...]:
+        sub_index = ((size - 1) >> shift) & _MASK
+        if shift == _BITS:
+            child = tail
+        elif sub_index < len(parent):
+            child = cls._push_tail(size, shift - _BITS, parent[sub_index], tail)
+        else:
+            child = cls._new_path(shift - _BITS, tail)
+        if sub_index < len(parent):
+            return parent[:sub_index] + (child,) + parent[sub_index + 1:]
+        return parent + (child,)
+
+    # -- public API --------------------------------------------------------
+
+    def append(self, item: Any) -> "PersistentVector":
+        if self._size - self._tail_offset() < _WIDTH:
+            return PersistentVector(
+                self._size + 1, self._shift, self._root, self._tail + (item,)
+            )
+        # Tail is full: push it into the trie and start a fresh tail.
+        if (self._size >> _BITS) > (1 << self._shift):
+            root: Tuple[Any, ...] = (
+                self._root,
+                self._new_path(self._shift, self._tail),
+            )
+            shift = self._shift + _BITS
+        else:
+            root = self._push_tail(self._size, self._shift, self._root, self._tail)
+            shift = self._shift
+        return PersistentVector(self._size + 1, shift, root, (item,))
+
+    def get(self, index: int) -> Any:
+        if not 0 <= index < self._size:
+            raise EmptyCollectionError(f"index {index} out of range [0, {self._size})")
+        return self._leaf_for(index)[index & _MASK]
+
+    def set(self, index: int, item: Any) -> "PersistentVector":
+        if not 0 <= index < self._size:
+            raise EmptyCollectionError(f"index {index} out of range [0, {self._size})")
+        if index >= self._tail_offset():
+            slot = index & _MASK
+            tail = self._tail[:slot] + (item,) + self._tail[slot + 1:]
+            return PersistentVector(self._size, self._shift, self._root, tail)
+
+        def assoc(shift: int, node: Tuple[Any, ...]) -> Tuple[Any, ...]:
+            slot = (index >> shift) & _MASK
+            if shift == 0:
+                return node[:slot] + (item,) + node[slot + 1:]
+            child = assoc(shift - _BITS, node[slot])
+            return node[:slot] + (child,) + node[slot + 1:]
+
+        return PersistentVector(
+            self._size, self._shift, assoc(self._shift, self._root), self._tail
+        )
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[Any]:
+        def walk(node: Any, shift: int) -> Iterator[Any]:
+            if shift == 0:
+                yield from node
+            else:
+                for child in node:
+                    yield from walk(child, shift - _BITS)
+
+        if self._tail_offset() > 0:
+            yield from walk(self._root, self._shift)
+        yield from self._tail
+
+
+EMPTY_PERSISTENT_VECTOR = PersistentVector()
+
+
+def persistent_vector(items: Iterable[Any] = ()) -> PersistentVector:
+    """Build a :class:`PersistentVector` from an iterable."""
+    result = EMPTY_PERSISTENT_VECTOR
+    for item in items:
+        result = result.append(item)
+    return result

@@ -1,0 +1,109 @@
+"""Differential-testing utilities (public API).
+
+The library's correctness story is that the optimized monitor, the
+persistent baseline, the naive-copy monitor and the reference
+interpreter agree on every output event of every specification.  This
+module packages that check for downstream users extending the language
+(custom lifted functions are exactly the place to get access metadata
+wrong — and wrong metadata shows up as divergence between backends).
+
+::
+
+    from repro.testing import assert_equivalent
+    assert_equivalent(my_spec, {"x": [(1, 3), (2, 5)]})
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from .compiler import compile_spec, freeze
+from .lang.flatten import flatten
+from .lang.spec import FlatSpec, Specification
+from .semantics import Stream, interpret
+from .structures import Backend
+
+OutputTraces = Dict[str, List[Tuple[int, Any]]]
+
+
+class EquivalenceError(AssertionError):
+    """Raised when two evaluation strategies disagree."""
+
+
+def reference_outputs(
+    spec: Union[Specification, FlatSpec],
+    inputs: Mapping[str, Iterable],
+    end_time: Optional[int] = None,
+) -> OutputTraces:
+    """Output traces per the reference interpreter (frozen values)."""
+    flat = spec if isinstance(spec, FlatSpec) else flatten(spec)
+    streams = {name: Stream(list(trace)) for name, trace in inputs.items()}
+    results = interpret(flat, streams, end_time=end_time)
+    return {
+        name: [(ts, freeze(value)) for ts, value in results[name]]
+        for name in flat.outputs
+    }
+
+
+def compiled_outputs(
+    spec: Union[Specification, FlatSpec],
+    inputs: Mapping[str, Iterable],
+    end_time: Optional[int] = None,
+    **compile_kwargs: Any,
+) -> OutputTraces:
+    """Output traces of a compiled monitor (frozen values)."""
+    compiled = compile_spec(spec, **compile_kwargs)
+    results = compiled.run(inputs, end_time=end_time)
+    return {name: stream.events for name, stream in results.items()}
+
+
+#: The three compilation strategies checked by default.
+DEFAULT_STRATEGIES: Dict[str, dict] = {
+    "optimized": {"optimize": True},
+    "persistent": {"optimize": False},
+    "copying": {"backend_override": Backend.COPYING},
+}
+
+
+def assert_equivalent(
+    spec: Union[Specification, FlatSpec],
+    inputs: Mapping[str, Iterable],
+    end_time: Optional[int] = None,
+    strategies: Optional[Mapping[str, dict]] = None,
+) -> OutputTraces:
+    """Check that all strategies match the reference interpreter.
+
+    Returns the agreed output traces; raises :class:`EquivalenceError`
+    naming the diverging strategy and output stream otherwise.  Note
+    that specifications must be *re-flattened* per strategy internally,
+    which this function handles (compiled monitors may share a FlatSpec
+    safely; monitors never mutate it).
+    """
+    flat = spec if isinstance(spec, FlatSpec) else flatten(spec)
+    reference = reference_outputs(flat, inputs, end_time)
+    for name, kwargs in (strategies or DEFAULT_STRATEGIES).items():
+        candidate = compiled_outputs(flat, inputs, end_time, **kwargs)
+        if candidate != reference:
+            detail = _first_difference(reference, candidate)
+            raise EquivalenceError(
+                f"strategy {name!r} diverges from the reference"
+                f" interpreter: {detail}"
+            )
+    return reference
+
+
+def _first_difference(reference: OutputTraces, candidate: OutputTraces) -> str:
+    for stream in sorted(set(reference) | set(candidate)):
+        expected = reference.get(stream, [])
+        actual = candidate.get(stream, [])
+        if expected == actual:
+            continue
+        for index in range(max(len(expected), len(actual))):
+            want = expected[index] if index < len(expected) else "<no event>"
+            got = actual[index] if index < len(actual) else "<no event>"
+            if want != got:
+                return (
+                    f"output {stream!r}, event #{index}:"
+                    f" expected {want}, got {got}"
+                )
+    return "traces differ"  # pragma: no cover - defensive

@@ -1,0 +1,15 @@
+"""Workload generators: synthetic traces and simulated real-world data."""
+
+from .dblog import db_access_trace, db_time_trace
+from .power import power_trace
+from .synthetic import SIZES, seen_set_trace, uniform_int_trace, window_trace
+
+__all__ = [
+    "SIZES",
+    "db_access_trace",
+    "db_time_trace",
+    "power_trace",
+    "seen_set_trace",
+    "uniform_int_trace",
+    "window_trace",
+]

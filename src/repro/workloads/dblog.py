@@ -1,0 +1,103 @@
+"""Simulated database operation log (paper §V-B, Nokia / RV-competition).
+
+The paper's first two real-world monitors consume a 14 GB log of
+database operations (inserts, deletes, accesses across several
+databases) recorded over about a year.  That log is not distributable
+here, so we generate a seeded synthetic log with the same *schema* and
+the properties the monitors are sensitive to:
+
+* **DBTimeConstraint** reads two insert streams (db2, db3); db3 inserts
+  usually follow the matching db2 insert within the 60-second window
+  (so most checks pass) with a configurable violation rate.
+* **DBAccessConstraint** reads insert/delete/access streams over record
+  ids; inserts outpace deletes so the set of live ids *grows over the
+  trace* — the property that made the paper's non-optimized monitor
+  blow up on the full trace (Table I: > 1 h / swapping).
+
+Timestamps are integer seconds.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+Event = Tuple[int, int]
+
+
+def db_time_trace(
+    length: int,
+    seed: int = 0,
+    window: int = 60,
+    violation_rate: float = 0.05,
+    mean_gap: int = 3,
+) -> Dict[str, List[Event]]:
+    """Interleaved db2/db3 insert streams for DBTimeConstraint.
+
+    Roughly 60 % of events are db2 inserts (building up the map), 40 %
+    are db3 inserts of ids that were db2-inserted — mostly within
+    *window* seconds, a *violation_rate* fraction too late or never.
+    """
+    rng = random.Random(seed)
+    db2: List[Event] = []
+    db3: List[Event] = []
+    recent: List[Tuple[int, int]] = []  # (ts, id) of db2 inserts
+    next_id = 0
+    ts = 1
+    for _ in range(length):
+        if not recent or rng.random() < 0.6:
+            next_id += 1
+            db2.append((ts, next_id))
+            recent.append((ts, next_id))
+            if len(recent) > 500:
+                recent.pop(0)
+        else:
+            if rng.random() < violation_rate:
+                # too old (or entirely unknown): violates the constraint
+                record = rng.choice(recent)[1] if rng.random() < 0.5 else 10**9
+            else:
+                fresh = [r for t, r in recent if ts - t <= window]
+                record = rng.choice(fresh) if fresh else recent[-1][1]
+            db3.append((ts, record))
+        ts += rng.randint(1, max(1, 2 * mean_gap - 1))
+    return {"db2": db2, "db3": db3}
+
+
+def db_access_trace(
+    length: int,
+    seed: int = 0,
+    insert_rate: float = 0.5,
+    delete_rate: float = 0.1,
+    violation_rate: float = 0.02,
+) -> Dict[str, List[Event]]:
+    """Insert/delete/access streams for DBAccessConstraint.
+
+    ``insert_rate`` > ``delete_rate`` makes the live-id set grow
+    linearly with the trace, mirroring the paper's full-trace blow-up;
+    accesses mostly hit live ids, a small fraction violates (accessing
+    deleted or never-inserted ids).
+    """
+    rng = random.Random(seed)
+    ins: List[Event] = []
+    del_: List[Event] = []
+    acc: List[Event] = []
+    live: List[int] = []
+    next_id = 0
+    ts = 1
+    for _ in range(length):
+        roll = rng.random()
+        if roll < insert_rate or not live:
+            next_id += 1
+            live.append(next_id)
+            ins.append((ts, next_id))
+        elif roll < insert_rate + delete_rate:
+            victim = live.pop(rng.randrange(len(live)))
+            del_.append((ts, victim))
+        else:
+            if rng.random() < violation_rate:
+                target = next_id + 10**6  # never inserted
+            else:
+                target = live[rng.randrange(len(live))]
+            acc.append((ts, target))
+        ts += rng.randint(1, 2)
+    return {"ins": ins, "del_": del_, "acc": acc}

@@ -1,0 +1,51 @@
+"""Synthetic workloads (paper §V-A).
+
+"Random input data" for the Seen Set / Map Window / Queue Window
+monitors.  The paper controls the data-structure size per variant
+(small = 10, medium = 200, large = 10 000 elements); for the Seen Set
+the set size is bounded by the input value domain, for the window
+monitors by the window length.  All generators are seeded and
+deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+Event = Tuple[int, int]
+
+#: The paper's size variants.  "large" is scaled from the paper's 10 000
+#: to keep CPython wall-clock reasonable; see DESIGN.md (substitutions).
+SIZES: Dict[str, int] = {"small": 10, "medium": 200, "large": 2000}
+
+
+def uniform_int_trace(
+    length: int, domain: int, seed: int = 0, start_ts: int = 1, step: int = 1
+) -> List[Event]:
+    """*length* events with uniform values from ``[0, domain)``.
+
+    Timestamps start at *start_ts* (default 1 — the paper's ``last``
+    semantics make timestamp 0 a blind spot for sampled streams) and
+    advance by *step*.
+    """
+    rng = random.Random(seed)
+    ts = start_ts
+    events: List[Event] = []
+    for _ in range(length):
+        events.append((ts, rng.randrange(domain)))
+        ts += step
+    return events
+
+
+def seen_set_trace(length: int, size: int, seed: int = 0) -> Dict[str, List[Event]]:
+    """Input for the Seen Set monitor: the toggle semantics bound the
+    set size by the value domain, so ``domain = 2 * size`` keeps the
+    steady-state set around *size* elements."""
+    return {"i": uniform_int_trace(length, max(2 * size, 2), seed)}
+
+
+def window_trace(length: int, seed: int = 0) -> Dict[str, List[Event]]:
+    """Input for Map Window / Queue Window: values are unconstrained
+    (the structure size is fixed by the window parameter)."""
+    return {"i": uniform_int_trace(length, 1_000_000, seed)}

@@ -1,0 +1,201 @@
+"""Tests for replicating-last detection and aliasing safety (Defs. 5/6)."""
+
+import pytest
+
+from repro.analysis.aliasing import AliasAnalysis
+from repro.graph import build_usage_graph
+from repro.lang import (
+    INT,
+    Last,
+    Lift,
+    Merge,
+    Specification,
+    UnitExpr,
+    Var,
+    flatten,
+)
+from repro.lang.builtins import builtin
+from repro.lang.types import SetType
+from repro.speclib import (
+    fig1_spec,
+    fig4_lower_spec,
+    fig4_upper_spec,
+    seen_set,
+)
+
+
+def analysis_of(spec):
+    return AliasAnalysis(build_usage_graph(flatten(spec)))
+
+
+class TestReplicatingLasts:
+    def test_fig1_last_non_replicating(self):
+        alias = analysis_of(fig1_spec())
+        assert alias.is_replicating_last("yl") is False
+        assert alias.replicating_lasts() == []
+
+    def test_fig4_second_last_replicating(self):
+        """Both Fig. 4 variants: last(y, i2) may reproduce y's event
+        several times between i1 events."""
+        for spec in (fig4_upper_spec(), fig4_lower_spec()):
+            alias = analysis_of(spec)
+            assert alias.is_replicating_last("yl") is False
+            assert alias.is_replicating_last("yp") is True
+            assert alias.replicating_lasts() == ["yp"]
+
+    def test_non_last_rejected(self):
+        alias = analysis_of(fig1_spec())
+        with pytest.raises(ValueError, match="not defined by a last"):
+            alias.is_replicating_last("y")
+
+    def test_cached(self):
+        alias = analysis_of(fig1_spec())
+        assert alias.is_replicating_last("yl") == alias.is_replicating_last("yl")
+
+
+class TestAliasingSafety:
+    def test_self_alias(self):
+        alias = analysis_of(fig1_spec())
+        assert alias.potential_alias("yl", "yl") is True
+        assert alias.aliasing_safe("yl", "yl") is False
+
+    def test_fig1_yl_safe_from_m_and_y(self):
+        """The Fig. 3 discussion: the event from m always reaches yl one
+        timestamp later, so yl is aliasing-safe w.r.t. m and y."""
+        alias = analysis_of(fig1_spec())
+        assert alias.aliasing_safe("yl", "m") is True
+        assert alias.aliasing_safe("yl", "y") is True
+
+    def test_fig1_pass_aliases(self):
+        # y may pass unchanged into m: same structure, same timestamp
+        alias = analysis_of(fig1_spec())
+        assert alias.potential_alias("y", "m") is True
+
+    def test_explicitly_shared_constant_aliases_both_chains(self):
+        """A user-shared empty set feeds two accumulator chains; at
+        timestamp 0 both lasts reproduce the SAME object, so the sampled
+        streams must be reported as potential aliases."""
+        spec = Specification(
+            inputs={"i": INT, "j": INT},
+            definitions={
+                "e": Lift(builtin("set_empty"), (UnitExpr(),)),
+                "am": Merge(Var("a"), Var("e")),
+                "al": Last(Var("am"), Var("i")),
+                "a": Lift(builtin("set_add"), (Var("al"), Var("i"))),
+                "bm": Merge(Var("b"), Var("e")),
+                "bl": Last(Var("bm"), Var("j")),
+                "b": Lift(builtin("set_add"), (Var("bl"), Var("j"))),
+            },
+            type_annotations={"a": SetType(INT), "b": SetType(INT)},
+        )
+        alias = analysis_of(spec)
+        assert alias.potential_alias("al", "bl") is True
+        # the written results themselves have no common P/L ancestor
+        # (write edges do not propagate events unchanged), so the pair
+        # (a, b) is Def-6 safe — rule 1 protects the family via al ≃ bl
+        assert alias.aliasing_safe("a", "b") is True
+
+    def test_distinct_constructor_sites_not_shared(self):
+        """Two occurrences of Set.empty are distinct construction sites
+        (no CSE for aggregate constructors): the chains stay alias-free."""
+        spec = Specification(
+            inputs={"i": INT, "j": INT},
+            definitions={
+                "am": Merge(Var("a"), Lift(builtin("set_empty"), (UnitExpr(),))),
+                "al": Last(Var("am"), Var("i")),
+                "a": Lift(builtin("set_add"), (Var("al"), Var("i"))),
+                "bm": Merge(Var("b"), Lift(builtin("set_empty"), (UnitExpr(),))),
+                "bl": Last(Var("bm"), Var("j")),
+                "b": Lift(builtin("set_add"), (Var("bl"), Var("j"))),
+            },
+            type_annotations={"a": SetType(INT), "b": SetType(INT)},
+        )
+        alias = analysis_of(spec)
+        assert alias.aliasing_safe("al", "bl") is True
+
+    def test_truly_disjoint_families_safe(self):
+        spec = Specification(
+            inputs={"sa": SetType(INT), "sb": SetType(INT), "i": INT},
+            definitions={
+                "ra": Lift(builtin("set_add"), (Var("sa"), Var("i"))),
+                "rb": Lift(builtin("set_add"), (Var("sb"), Var("i"))),
+            },
+        )
+        alias = analysis_of(spec)
+        assert alias.aliasing_safe("sa", "sb") is True
+        assert alias.aliasing_safe("ra", "rb") is True
+
+    def test_fig4_lower_equal_last_counts_alias(self):
+        """The core of the Fig. 4 lower rejection: yl and yp sit behind
+        paths with EQUAL last counts from their common ancestor y, so
+        they may carry the same structure at the same timestamp."""
+        alias = analysis_of(fig4_lower_spec())
+        assert alias.potential_alias("yl", "yp") is True
+
+    def test_fig4_upper_same_shape_same_aliases(self):
+        alias = analysis_of(fig4_upper_spec())
+        assert alias.potential_alias("yl", "yp") is True
+        # but yl vs y stays safe (one more last on the yl path)
+        assert alias.aliasing_safe("yl", "y") is True
+
+
+class TestFig5Scenario:
+    """Figure 5: a two-last chain where triggering implications make the
+    variables u (behind 2 lasts) and v (behind 1 last) aliasing-safe —
+    and dropping the implication breaks the safety."""
+
+    def _spec(self, u_triggers_subset_of_v: bool):
+        # c -L-> u1 -P-> u1m -L-> u  (two lasts)  triggered by t_u
+        # c -L-> v                   (one last)   triggered by t_v
+        # ev(t_u) ⊆ ev(t_v) is modelled by t_u = t_v + t_v (an ALL-lift
+        # over t_v only, so ev'(t_u) = t_v ∧ t_v = t_v).  Two *distinct*
+        # empty-set constructors keep the chains from sharing a constant
+        # ancestor via CSE.
+        from repro.lang.builtins import Access, EventPattern, LiftedFunction
+        from repro.lang.types import UNIT
+        from repro.structures import empty_set
+
+        def fresh_empty(tag):
+            return LiftedFunction(
+                f"set_empty_{tag}",
+                EventPattern.ALL,
+                (Access.NONE,),
+                (UNIT,),
+                SetType(INT),
+                lambda backend: (lambda _u, _b=backend: empty_set(_b)),
+            )
+
+        defs = {
+            "c": Merge(Var("u_chain"), Lift(fresh_empty("a"), (UnitExpr(),))),
+            # Keep c alive through a writer so the graph is realistic.
+            "u1": Last(Var("c"), Var("t_u")),
+            "u1m": Merge(Var("u1"), Lift(fresh_empty("b"), (UnitExpr(),))),
+            "u": Last(Var("u1m"), Var("t_u")),
+            "v": Last(Var("c"), Var("t_v")),
+            "u_chain": Lift(builtin("set_add"), (Var("u"), Var("t_v"))),
+        }
+        if u_triggers_subset_of_v:
+            defs["t_u"] = Lift(builtin("add"), (Var("t_v"), Var("t_v")))
+            inputs = {"t_v": INT}
+        else:
+            inputs = {"t_v": INT, "t_u": INT}
+        return Specification(
+            inputs=inputs,
+            definitions=defs,
+            type_annotations={"c": SetType(INT)},
+        )
+
+    def test_safe_with_implication(self):
+        alias = analysis_of(self._spec(True))
+        assert alias.aliasing_safe("u", "v") is True
+
+    def test_unsafe_without_implication(self):
+        alias = analysis_of(self._spec(False))
+        assert alias.potential_alias("u", "v") is True
+
+
+class TestSeenSet:
+    def test_seen_l_safe_from_writer(self):
+        alias = analysis_of(seen_set())
+        assert alias.aliasing_safe("seen_l", "seen") is True
+        assert alias.potential_alias("seen_l", "seen_l") is True

@@ -1,0 +1,183 @@
+"""Tests for positive boolean formulas and monotone implication."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.formula import (
+    FALSE,
+    And,
+    Atom,
+    Or,
+    conj,
+    disj,
+    implies,
+    prime_implicants,
+)
+
+
+def a(name):
+    return Atom(name)
+
+
+class TestConstructors:
+    def test_conj_flattens_and_dedupes(self):
+        f = conj([a("x"), conj([a("y"), a("x")])])
+        assert isinstance(f, And)
+        assert set(f.children) == {a("x"), a("y")}
+        assert len(f.children) == 2
+
+    def test_conj_single_collapses(self):
+        assert conj([a("x"), a("x")]) == a("x")
+
+    def test_conj_false_annihilates(self):
+        assert conj([a("x"), FALSE]) is FALSE
+
+    def test_conj_empty_rejected(self):
+        with pytest.raises(ValueError):
+            conj([])
+
+    def test_disj_flattens_and_dedupes(self):
+        f = disj([a("x"), disj([a("y"), a("x")])])
+        assert isinstance(f, Or)
+        assert set(f.children) == {a("x"), a("y")}
+
+    def test_disj_false_dropped(self):
+        assert disj([FALSE, a("x")]) == a("x")
+        assert disj([FALSE, FALSE]) is FALSE
+
+    def test_equality_is_unordered(self):
+        assert conj([a("x"), a("y")]) == conj([a("y"), a("x")])
+        assert disj([a("x"), a("y")]) == disj([a("y"), a("x")])
+        assert conj([a("x"), a("y")]) != disj([a("y"), a("x")])
+
+    def test_atoms(self):
+        f = conj([a("x"), disj([a("y"), a("z")])])
+        assert f.atoms() == {"x", "y", "z"}
+
+    def test_str(self):
+        assert str(a("x")) == "x"
+        assert str(FALSE) == "false"
+        assert "∧" in str(conj([a("x"), a("y")]))
+
+
+class TestEvaluate:
+    def test_atom(self):
+        assert a("x").evaluate({"x"}) is True
+        assert a("x").evaluate(set()) is False
+
+    def test_and_or(self):
+        f = conj([a("x"), a("y")])
+        assert f.evaluate({"x", "y"})
+        assert not f.evaluate({"x"})
+        g = disj([a("x"), a("y")])
+        assert g.evaluate({"y"})
+        assert not g.evaluate(set())
+
+
+class TestPrimeImplicants:
+    def test_atom(self):
+        assert prime_implicants(a("x")) == {frozenset({"x"})}
+
+    def test_false(self):
+        assert prime_implicants(FALSE) == set()
+
+    def test_or(self):
+        imps = prime_implicants(disj([a("x"), a("y")]))
+        assert imps == {frozenset({"x"}), frozenset({"y"})}
+
+    def test_and_distributes(self):
+        f = conj([disj([a("x"), a("y")]), a("z")])
+        imps = prime_implicants(f)
+        assert imps == {frozenset({"x", "z"}), frozenset({"y", "z"})}
+
+    def test_absorption(self):
+        # x ∨ (x ∧ y) has the single prime implicant {x}
+        f = disj([a("x"), conj([a("x"), a("y")])])
+        assert prime_implicants(f) == {frozenset({"x"})}
+
+    def test_overflow_returns_none(self):
+        # (x1∨y1) ∧ ... ∧ (x15∨y15): 2^15 implicants > default cap
+        parts = [disj([a(f"x{i}"), a(f"y{i}")]) for i in range(15)]
+        assert prime_implicants(conj(parts), cap=100) is None
+
+
+class TestImplies:
+    def test_reflexive(self):
+        f = conj([a("x"), a("y")])
+        assert implies(f, f) is True
+
+    def test_false_implies_anything(self):
+        assert implies(FALSE, a("x")) is True
+
+    def test_paper_example(self):
+        # i -> (i ∧ i) ∨ u is a tautology (paper §IV-C)
+        f = a("i")
+        g = disj([conj([a("i"), a("i")]), a("u")])
+        assert implies(f, g) is True
+
+    def test_conjunction_weakens(self):
+        assert implies(conj([a("x"), a("y")]), a("x")) is True
+        assert implies(a("x"), conj([a("x"), a("y")])) is False
+
+    def test_disjunction_strengthens(self):
+        assert implies(a("x"), disj([a("x"), a("y")])) is True
+        assert implies(disj([a("x"), a("y")]), a("x")) is False
+
+    def test_distributed_forms(self):
+        lhs = conj([disj([a("p"), a("q")]), a("r")])
+        rhs = disj([conj([a("p"), a("r")]), conj([a("q"), a("r")])])
+        assert implies(lhs, rhs) is True
+        assert implies(rhs, lhs) is True
+
+    def test_unknown_on_overflow(self):
+        parts = [disj([a(f"x{i}"), a(f"y{i}")]) for i in range(15)]
+        assert implies(conj(parts), a("z"), cap=64) is None
+
+
+@st.composite
+def formulas(draw, depth=3):
+    if depth == 0:
+        return draw(
+            st.sampled_from([a("p"), a("q"), a("r"), a("s"), FALSE])
+        )
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        return draw(formulas(depth=0))
+    children = draw(
+        st.lists(formulas(depth=depth - 1), min_size=1, max_size=3)
+    )
+    if kind == 1:
+        return disj(children)
+    if all(c is not FALSE for c in children):
+        return conj(children)
+    return disj(children)
+
+
+def brute_force_implies(f, g, atoms=("p", "q", "r", "s")):
+    for bits in itertools.product([False, True], repeat=len(atoms)):
+        true_atoms = {x for x, b in zip(atoms, bits) if b}
+        if f.evaluate(true_atoms) and not g.evaluate(true_atoms):
+            return False
+    return True
+
+
+@settings(max_examples=300, deadline=None)
+@given(formulas(), formulas())
+def test_implies_matches_truth_table(f, g):
+    result = implies(f, g)
+    if result is not None:
+        assert result == brute_force_implies(f, g)
+
+
+@settings(max_examples=200, deadline=None)
+@given(formulas())
+def test_implicants_are_minimal_models(f):
+    imps = prime_implicants(f)
+    assert imps is not None
+    for imp in imps:
+        assert f.evaluate(set(imp))
+        for atom_ in imp:  # dropping any atom must falsify the formula
+            assert not f.evaluate(set(imp) - {atom_})

@@ -1,0 +1,237 @@
+"""Tests for the overall mutability algorithm (paper §IV-D/E, Fig. 8).
+
+The paper's published analysis outcomes are asserted exactly:
+
+* Fig. 1 / Fig. 7: the optimal order computes the read ``s`` before the
+  write ``y`` and yields M = {∅, m, y, y_l};
+* Fig. 4 upper: everything mutable;
+* Fig. 4 lower: everything persistent (replicating last + write).
+"""
+
+import pytest
+
+from repro.analysis import analyze_mutability
+from repro.graph import EdgeClass, build_usage_graph, is_valid_translation_order
+from repro.lang import (
+    INT,
+    Last,
+    Lift,
+    Merge,
+    Specification,
+    UnitExpr,
+    Var,
+    flatten,
+)
+from repro.lang.builtins import builtin
+from repro.lang.types import SetType
+from repro.speclib import (
+    db_access_constraint,
+    db_time_constraint,
+    fig1_spec,
+    fig4_lower_spec,
+    fig4_upper_spec,
+    map_window,
+    peak_detection,
+    queue_window,
+    seen_set,
+    spectrum_calculation,
+)
+from repro.structures import Backend
+
+
+def analyze(spec):
+    return analyze_mutability(flatten(spec))
+
+
+def assert_def7(result):
+    """Check the three rules of Definition 7 against the result."""
+    graph = result.graph
+    position = {name: index for index, name in enumerate(result.order)}
+    # rule 3: consistent mutability along P/W/L edges
+    for edge in graph.edges_of_class(EdgeClass.PASS, EdgeClass.WRITE, EdgeClass.LAST):
+        if edge.dst in result.mutable or edge.dst in result.persistent:
+            assert (edge.src in result.mutable) == (edge.dst in result.mutable), (
+                f"inconsistent mutability along {edge}"
+            )
+    # rule 2 via the active constraints: every remembered read-before-write
+    # constraint of a mutable family is respected by the order
+    for constraint in result.active_constraints:
+        assert position[constraint.reader] < position[constraint.writer]
+    # and the order is a translation order of the graph
+    assert is_valid_translation_order(graph, result.order)
+
+
+class TestFig1:
+    def test_mutability_set_matches_fig7(self):
+        result = analyze(fig1_spec())
+        assert result.mutable == {"_s0", "m", "y", "yl"}
+        assert result.persistent == frozenset()
+        assert_def7(result)
+
+    def test_read_before_write_constraint_found(self):
+        result = analyze(fig1_spec())
+        pairs = {(c.reader, c.writer) for c in result.constraints}
+        assert ("s", "y") in pairs
+
+    def test_order_reads_before_writes(self):
+        result = analyze(fig1_spec())
+        position = {n: i for i, n in enumerate(result.order)}
+        assert position["s"] < position["y"]
+
+    def test_backends(self):
+        result = analyze(fig1_spec())
+        assert result.backend_for("y") is Backend.MUTABLE
+        assert result.backend_for("i") is Backend.PERSISTENT  # scalar: moot
+
+    def test_no_rule1_violations(self):
+        result = analyze(fig1_spec())
+        assert result.rule1_violations == []
+        assert result.dropped_families == []
+        assert result.used_exact_step4
+
+    def test_summary_mentions_constraints(self):
+        result = analyze(fig1_spec())
+        text = result.summary()
+        assert "mutable" in text
+        assert "s < y" in text
+
+
+class TestFig4:
+    def test_upper_all_mutable(self):
+        result = analyze(fig4_upper_spec())
+        assert result.persistent == frozenset()
+        assert {"m", "y", "yl", "yp"} <= result.mutable
+        assert_def7(result)
+
+    def test_lower_all_persistent(self):
+        result = analyze(fig4_lower_spec())
+        assert result.mutable == frozenset()
+        assert {"m", "y", "yl", "yp", "s"} <= result.persistent
+        assert result.rule1_violations  # rule 1 is the reason
+        assert_def7(result)
+
+    def test_lower_violation_explains_replication(self):
+        result = analyze(fig4_lower_spec())
+        involved = {
+            (v.alias, v.conflict_class)
+            for v in result.rule1_violations
+        }
+        # some violation involves a write or last out-edge of an alias
+        assert any(cls in (EdgeClass.WRITE, EdgeClass.LAST) for _, cls in involved)
+
+
+class TestEvaluationSpecs:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            seen_set,
+            lambda: map_window(8),
+            lambda: queue_window(8),
+            db_time_constraint,
+            db_access_constraint,
+            peak_detection,
+            spectrum_calculation,
+        ],
+        ids=[
+            "seen_set",
+            "map_window",
+            "queue_window",
+            "db_time",
+            "db_access",
+            "peak",
+            "spectrum",
+        ],
+    )
+    def test_all_aggregates_mutable(self, factory):
+        """§V premise: the evaluation monitors are fully optimizable."""
+        result = analyze(factory())
+        assert result.persistent == frozenset()
+        assert result.mutable
+        assert_def7(result)
+
+
+class TestForcedPersistence:
+    def test_complex_inputs_stay_persistent(self):
+        spec = Specification(
+            inputs={"s": SetType(INT), "i": INT},
+            definitions={"r": Lift(builtin("set_add"), (Var("s"), Var("i")))},
+        )
+        result = analyze(spec)
+        assert "s" in result.persistent
+        assert "r" in result.persistent  # same family (rule 3)
+
+    def test_double_write_forces_persistent(self):
+        # two distinct writes of the same structure at one timestamp
+        spec = Specification(
+            inputs={"i": INT},
+            definitions={
+                "m": Merge(Var("y"), Lift(builtin("set_empty"), (UnitExpr(),))),
+                "yl": Last(Var("m"), Var("i")),
+                "y": Lift(builtin("set_add"), (Var("yl"), Var("i"))),
+                "z": Lift(builtin("set_remove"), (Var("yl"), Var("i"))),
+            },
+            outputs=["y", "z"],
+        )
+        result = analyze(spec)
+        assert "yl" in result.persistent
+        assert result.rule1_violations
+
+    def test_reader_equals_writer_forces_persistent(self):
+        # one lift both reads and writes potential aliases: un-orderable
+        union_like = __import__(
+            "repro.lang.builtins", fromlist=["LiftedFunction"]
+        )
+        from repro.lang.builtins import Access, EventPattern, LiftedFunction
+
+        absorb = LiftedFunction(
+            "absorb",
+            EventPattern.ALL,
+            (Access.WRITE, Access.READ),
+            (SetType(INT), SetType(INT)),
+            SetType(INT),
+            lambda backend: (lambda a, b: a),
+        )
+        spec = Specification(
+            inputs={"i": INT},
+            definitions={
+                "m": Merge(Var("y"), Lift(builtin("set_empty"), (UnitExpr(),))),
+                "yl": Last(Var("m"), Var("i")),
+                "y": Lift(absorb, (Var("yl"), Var("yl"))),
+            },
+            outputs=["y"],
+        )
+        result = analyze(spec)
+        assert "yl" in result.persistent
+
+    def test_unorderable_cross_constraints_drop_cheapest_family(self):
+        """Two families with crossing read-before-write constraints: one
+        family must become persistent; the smaller one is chosen."""
+        # The cycle runs only through constraint edges and scalar
+        # bridges:  ra -E'-> a -> sza -> rb -E'-> b -> szb -> ra.
+        spec = Specification(
+            inputs={"i": INT},
+            definitions={
+                # family A (4 complex nodes incl. its empty constant)
+                "am": Merge(Var("a"), Lift(builtin("set_empty"), (UnitExpr(),))),
+                "al": Last(Var("am"), Var("i")),
+                "a": Lift(builtin("set_add"), (Var("al"), Var("i"))),
+                "sza": Lift(builtin("set_size"), (Var("a"),)),
+                # family B (5 complex nodes incl. constant and bx)
+                "bm": Merge(Var("b"), Lift(builtin("set_empty"), (UnitExpr(),))),
+                "bl": Last(Var("bm"), Var("i")),
+                "b": Lift(builtin("set_add"), (Var("bl"), Var("i"))),
+                "bx": Lift(builtin("at"), (Var("b"), Var("i"))),
+                "szb": Lift(builtin("set_size"), (Var("b"),)),
+                # crossing reads: A's read needs B's result and vice versa
+                "ra": Lift(builtin("set_contains"), (Var("al"), Var("szb"))),
+                "rb": Lift(builtin("set_contains"), (Var("bl"), Var("sza"))),
+            },
+            outputs=["ra", "rb"],
+        )
+        result = analyze(spec)
+        assert result.dropped_families, "one family must be dropped"
+        dropped = [set(f) for f in result.dropped_families]
+        assert any({"am", "al", "a"} <= f for f in dropped)
+        assert {"bm", "bl", "b", "bx"} <= result.mutable
+        assert {"am", "al", "a"} <= result.persistent
+        assert_def7(result)

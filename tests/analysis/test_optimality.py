@@ -1,0 +1,83 @@
+"""Optimality of the mutability algorithm (paper §IV-E.1).
+
+The paper claims the algorithm returns the LARGEST mutability set any
+translation order allows (w.r.t. Definition 7).  For small
+specifications we can verify this exhaustively: enumerate every valid
+translation order, compute the mutability set achievable under each
+fixed order, and compare the maximum against the algorithm's result.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import analyze_mutability
+from repro.bench.ablation import mutable_under_order
+from repro.graph import all_translation_orders
+from repro.lang import flatten
+from repro.speclib import (
+    db_access_constraint,
+    db_time_constraint,
+    fig1_spec,
+    fig4_lower_spec,
+    fig4_upper_spec,
+    map_window,
+    seen_set,
+)
+
+from ..integration.specgen import specifications
+
+
+def best_over_all_orders(flat, result, limit=20_000):
+    """max |mutable| over every translation order (exhaustive)."""
+    best = -1
+    for order in all_translation_orders(result.graph, limit=limit):
+        achieved = mutable_under_order(result, order)
+        best = max(best, len(achieved))
+    return best
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        fig1_spec,
+        fig4_upper_spec,
+        fig4_lower_spec,
+        seen_set,
+        lambda: map_window(4),
+        db_time_constraint,
+        db_access_constraint,
+    ],
+    ids=[
+        "fig1",
+        "fig4_upper",
+        "fig4_lower",
+        "seen_set",
+        "map_window",
+        "db_time",
+        "db_access",
+    ],
+)
+def test_algorithm_matches_exhaustive_optimum(factory):
+    flat = flatten(factory())
+    result = analyze_mutability(flat)
+    assert len(result.mutable) == best_over_all_orders(flat, result)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(data=st.data())
+def test_optimality_on_random_specs(data):
+    from repro.graph.usage_graph import GraphError
+
+    spec = data.draw(specifications())
+    flat = flatten(spec)
+    result = analyze_mutability(flat)
+    try:
+        best = best_over_all_orders(flat, result, limit=5_000)
+    except GraphError:
+        return  # too many orders to enumerate; skip this example
+    assert len(result.mutable) == best

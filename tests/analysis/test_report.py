@@ -1,0 +1,70 @@
+"""Tests for the analysis report renderer."""
+
+from repro.analysis.report import AnalysisReport, report
+from repro.lang import check_types, flatten
+from repro.speclib import fig1_spec, fig4_lower_spec
+
+
+def report_of(spec):
+    flat = flatten(spec)
+    check_types(flat)
+    return report(flat)
+
+
+class TestTextReport:
+    def test_fig1_sections(self):
+        text = report_of(fig1_spec()).text()
+        assert "flattened equations:" in text
+        assert "classified edges" in text
+        assert "yl ->[W] y" in text
+        assert "m -->[L] yl" in text  # special edge marked
+        assert "ev'(yl) = i" in text
+        assert "replicating lasts: none" in text
+        assert "mutable    (4)" in text
+        assert "s < y" in text  # the Fig. 7 constraint
+        assert "translation order:" in text
+
+    def test_fig4_lower_reports_problems(self):
+        text = report_of(fig4_lower_spec()).text()
+        assert "replicating lasts: yp" in text
+        assert "rule-1 violations" in text
+        assert "persistent (6)" in text
+
+    def test_scalar_only_spec(self):
+        from repro.lang import INT, Specification, TimeExpr, Var
+
+        text = report_of(
+            Specification(inputs={"i": INT}, definitions={"t": TimeExpr(Var("i"))})
+        ).text()
+        assert "(none — no aggregate data flows)" in text
+        assert "(no aggregate streams)" in text
+
+
+class TestDotReport:
+    def test_fig1_dot(self):
+        dot = report_of(fig1_spec()).dot()
+        assert dot.startswith("digraph analysis {")
+        assert 'fillcolor="palegreen"' in dot  # mutable nodes
+        assert 'fillcolor="lightcoral"' not in dot  # nothing persistent
+        assert 'label="before"' in dot  # the blue constraint edge
+        assert dot.rstrip().endswith("}")
+
+    def test_fig4_lower_dot_marks_persistent(self):
+        dot = report_of(fig4_lower_spec()).dot()
+        assert 'fillcolor="lightcoral"' in dot
+        assert 'fillcolor="palegreen"' not in dot
+
+    def test_last_streams_listed(self):
+        analysis = report_of(fig4_lower_spec())
+        assert set(analysis.last_streams()) == {"yl", "yp"}
+
+
+class TestConstruction:
+    def test_reuses_precomputed_result(self):
+        from repro.analysis import analyze_mutability
+
+        flat = flatten(fig1_spec())
+        check_types(flat)
+        result = analyze_mutability(flat)
+        analysis = AnalysisReport(flat, result)
+        assert analysis.result is result

@@ -1,0 +1,175 @@
+"""Tests for the ev' triggering approximation and always-initialized."""
+
+from repro.analysis.formula import Atom, conj, disj
+from repro.analysis.triggering import TriggeringAnalysis, always_initialized
+from repro.lang import (
+    Const,
+    Delay,
+    INT,
+    Last,
+    Lift,
+    Merge,
+    Nil,
+    Specification,
+    TimeExpr,
+    UnitExpr,
+    Var,
+    flatten,
+)
+from repro.lang.builtins import builtin
+from repro.speclib import fig1_spec, fig4_upper_spec
+
+
+def analysis_of(spec):
+    return TriggeringAnalysis(flatten(spec))
+
+
+class TestAlwaysInitialized:
+    def test_unit_and_consts(self):
+        spec = Specification(
+            inputs={"i": INT},
+            definitions={"u": UnitExpr(), "c": Const(5), "t": TimeExpr(Var("c"))},
+        )
+        flat = flatten(spec)
+        initialized = always_initialized(flat)
+        assert "u" in initialized
+        assert "c" in initialized
+        assert "t" in initialized
+        assert "i" not in initialized
+
+    def test_merge_initialized_by_either_side(self):
+        spec = Specification(
+            inputs={"i": INT},
+            definitions={"d": Merge(Var("i"), Const(0))},
+        )
+        assert "d" in always_initialized(flatten(spec))
+
+    def test_strict_lift_needs_all(self):
+        spec = Specification(
+            inputs={"i": INT},
+            definitions={
+                "x": Lift(builtin("add"), (Var("i"), Var("c"))),
+                "c": Const(1),
+            },
+        )
+        initialized = always_initialized(flatten(spec))
+        assert "c" in initialized
+        assert "x" not in initialized
+
+    def test_last_never_initialized(self):
+        spec = Specification(
+            inputs={"i": INT},
+            definitions={
+                "c": Const(1),
+                "l": Last(Var("c"), Var("c")),
+            },
+        )
+        assert "l" not in always_initialized(flatten(spec))
+
+    def test_fig1_merge_initialized(self):
+        flat = flatten(fig1_spec())
+        initialized = always_initialized(flat)
+        assert "m" in initialized  # merged with the empty-set constant
+        assert "y" not in initialized
+
+    def test_filter_never_initialized(self):
+        spec = Specification(
+            inputs={"c": INT},
+            definitions={
+                "one": Const(1),
+                "t": Const(True),
+                "f": Lift(builtin("filter"), (Var("one"), Var("t"))),
+            },
+        )
+        assert "f" not in always_initialized(flatten(spec))
+
+
+class TestFormulas:
+    def test_input_is_atom(self):
+        trig = analysis_of(fig1_spec())
+        assert trig.formula("i") == Atom("i")
+
+    def test_nil_is_false(self):
+        spec = Specification(inputs={}, definitions={"n": Nil(INT)})
+        trig = analysis_of(spec)
+        from repro.analysis.formula import FALSE
+
+        assert trig.formula("n") is FALSE
+
+    def test_time_propagates(self):
+        spec = Specification(
+            inputs={"i": INT}, definitions={"t": TimeExpr(Var("i"))}
+        )
+        assert analysis_of(spec).formula("t") == Atom("i")
+
+    def test_paper_example_formulas(self):
+        """§IV-C: ev'(y_l) = i and ev'(m) = (i ∧ i) ∨ u (simplified)."""
+        trig = analysis_of(fig1_spec())
+        assert trig.formula("yl") == Atom("i")
+        m = trig.formula("m")
+        # our smart constructors simplify (i ∧ i) ∨ u to i ∨ u, where u
+        # is the synthetic unit stream's atom
+        atoms = m.atoms()
+        assert "i" in atoms
+        assert len(atoms) == 2  # i plus the unit atom
+
+    def test_lift_all_is_conjunction(self):
+        spec = Specification(
+            inputs={"x": INT, "y": INT},
+            definitions={"s": Lift(builtin("add"), (Var("x"), Var("y")))},
+        )
+        assert analysis_of(spec).formula("s") == conj([Atom("x"), Atom("y")])
+
+    def test_lift_any_is_disjunction(self):
+        spec = Specification(
+            inputs={"x": INT, "y": INT},
+            definitions={"m": Merge(Var("x"), Var("y"))},
+        )
+        assert analysis_of(spec).formula("m") == disj([Atom("x"), Atom("y")])
+
+    def test_filter_is_atom(self):
+        spec = Specification(
+            inputs={"x": INT, "c": __import__("repro.lang.types", fromlist=["BOOL"]).BOOL},
+            definitions={"f": Lift(builtin("filter"), (Var("x"), Var("c")))},
+        )
+        assert analysis_of(spec).formula("f") == Atom("f")
+
+    def test_custom_trigger_index(self):
+        # map_put_if triggers exactly on its first argument
+        from repro.speclib import db_time_constraint
+
+        trig = analysis_of(db_time_constraint())
+        assert trig.formula("m") == trig.formula("m_l")
+
+    def test_delay_is_atom(self):
+        spec = Specification(
+            inputs={"r": INT},
+            definitions={"z": Delay(Var("r"), Var("r"))},
+        )
+        assert analysis_of(spec).formula("z") == Atom("z")
+
+    def test_uninitialized_last_is_atom(self):
+        trig = analysis_of(fig4_upper_spec())
+        # yp = last(y, i2) with y NOT always initialized
+        assert trig.formula("yp") == Atom("yp")
+
+    def test_initialized_last_propagates_trigger(self):
+        trig = analysis_of(fig1_spec())
+        # yl = last(m, i) with m always initialized
+        assert trig.formula("yl") == Atom("i")
+
+
+class TestImplications:
+    def test_paper_tautology(self):
+        trig = analysis_of(fig1_spec())
+        # every yl event implies an m event: i -> (i ∧ i) ∨ u
+        assert trig.implies_events("yl", "m") is True
+
+    def test_non_implication(self):
+        trig = analysis_of(fig4_upper_spec())
+        # i2-triggered yp does not imply i1-triggered y
+        assert trig.implies_events("yp", "y") is False
+
+    def test_caching_is_stable(self):
+        trig = analysis_of(fig1_spec())
+        assert trig.implies_events("yl", "m") == trig.implies_events("yl", "m")

@@ -1,0 +1,67 @@
+"""Tests for the Union-Find structure."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.unionfind import UnionFind
+
+
+class TestUnionFind:
+    def test_singletons(self):
+        uf = UnionFind(["a", "b"])
+        assert uf.find("a") == "a"
+        assert not uf.same("a", "b")
+        assert uf.family("a") == {"a"}
+
+    def test_union(self):
+        uf = UnionFind(["a", "b", "c"])
+        uf.union("a", "b")
+        assert uf.same("a", "b")
+        assert not uf.same("a", "c")
+        assert uf.family("b") == {"a", "b"}
+
+    def test_transitive(self):
+        uf = UnionFind("abcd")
+        uf.union("a", "b")
+        uf.union("c", "d")
+        uf.union("b", "c")
+        assert uf.same("a", "d")
+        assert uf.family("a") == set("abcd")
+
+    def test_union_adds_missing(self):
+        uf = UnionFind()
+        uf.union("x", "y")
+        assert "x" in uf and "y" in uf
+        assert uf.same("x", "y")
+
+    def test_idempotent_union(self):
+        uf = UnionFind("ab")
+        uf.union("a", "b")
+        uf.union("a", "b")
+        assert len(uf.family("a")) == 2
+
+    def test_families(self):
+        uf = UnionFind("abcde")
+        uf.union("a", "b")
+        uf.union("c", "d")
+        families = {frozenset(f) for f in uf.families()}
+        assert families == {
+            frozenset("ab"),
+            frozenset("cd"),
+            frozenset("e"),
+        }
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 20))))
+    def test_matches_naive_model(self, pairs):
+        uf = UnionFind(range(21))
+        model = {i: {i} for i in range(21)}
+        for a, b in pairs:
+            uf.union(a, b)
+            merged = model[a] | model[b]
+            for member in merged:
+                model[member] = merged
+        for i in range(21):
+            assert uf.family(i) == model[i]
+            for j in range(21):
+                assert uf.same(i, j) == (j in model[i])

@@ -1,0 +1,130 @@
+"""Tests for the benchmark harness plumbing (not the timings)."""
+
+import pytest
+
+from repro.bench.runners import (
+    MODES,
+    flatten_inputs,
+    format_table,
+    measure,
+    speedup,
+)
+from repro.speclib import seen_set
+from repro.workloads import seen_set_trace
+
+
+class TestPlumbing:
+    def test_flatten_inputs_chronological(self):
+        merged = flatten_inputs({"a": [(3, 1), (9, 2)], "b": [(5, 7)]})
+        assert merged == [(3, "a", 1), (5, "b", 7), (9, "a", 2)]
+
+    def test_measure_returns_all_modes(self):
+        timings = measure(
+            seen_set(),
+            seen_set_trace(200, 10),
+            modes=tuple(MODES),
+            repeats=1,
+        )
+        assert set(timings) == set(MODES)
+        assert all(t > 0 for t in timings.values())
+
+    def test_speedup(self):
+        assert speedup({"optimized": 2.0, "non-optimized": 5.0}) == 2.5
+
+    def test_format_table(self):
+        text = format_table(
+            ["a", "bb"], [["1", "2"], ["333", "4"]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert lines[2].startswith("---")
+        assert len(lines) == 5
+
+    def test_format_table_empty_rows(self):
+        text = format_table(["x"], [])
+        assert "x" in text
+
+
+class TestReports:
+    """Smoke-run every report at tiny scale: they must produce the
+    paper's row/series structure without crashing."""
+
+    def test_fig9_report(self):
+        from repro.bench import fig9
+
+        text = fig9.report(length=150, repeats=1)
+        assert "seen_set" in text
+        assert "queue_window" in text
+        assert text.count("x") >= 9  # one speedup per spec × size
+
+    def test_fig10_report(self):
+        from repro.bench import fig10
+
+        text = fig10.report(lengths=(100, 200), repeats=1)
+        assert "trace length" in text
+        assert "100" in text and "200" in text
+
+    def test_table1_report(self):
+        from repro.bench import table1
+
+        text = table1.report(scale=300, repeats=1)
+        for row in (
+            "DBTimeCons.",
+            "DBAccessCons.(full)",
+            "DBAccessCons.(33%)",
+            "PeakDetection",
+            "SpectrumCalc.",
+        ):
+            assert row in text
+
+    def test_ablation_report(self):
+        from repro.bench import ablation
+
+        text = ablation.report(repeats=1, length=200)
+        assert "pessimal-order" in text
+        assert "copying" in text
+        assert "no aliasing" in text
+
+    def test_cli_quick(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["fig10", "--quick", "--length", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 10" in out
+
+
+class TestAblationHelpers:
+    def test_pessimal_order_is_valid_but_breaks_constraints(self):
+        from repro.analysis import analyze_mutability
+        from repro.bench.ablation import mutable_under_order, pessimal_order
+        from repro.graph import is_valid_translation_order
+        from repro.lang import check_types, flatten
+
+        flat = flatten(seen_set())
+        check_types(flat)
+        result = analyze_mutability(flat)
+        bad = pessimal_order(flat, result)
+        assert is_valid_translation_order(result.graph, bad)
+        assert mutable_under_order(result, bad) == frozenset()
+        # and the optimal order keeps everything mutable
+        assert mutable_under_order(result, result.order) == result.mutable
+
+    def test_compile_with_order_runs_correctly(self):
+        from repro.analysis import analyze_mutability
+        from repro.bench.ablation import (
+            compile_with_order,
+            mutable_under_order,
+            pessimal_order,
+        )
+        from repro.lang import check_types, flatten
+
+        flat = flatten(seen_set())
+        check_types(flat)
+        result = analyze_mutability(flat)
+        bad_order = pessimal_order(flat, result)
+        compiled = compile_with_order(
+            flat, bad_order, mutable_under_order(result, bad_order)
+        )
+        out = compiled.run({"i": [(1, 3), (2, 3), (3, 4)]})
+        assert out["was"] == [(1, False), (2, True), (3, False)]

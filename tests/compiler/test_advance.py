@@ -1,0 +1,79 @@
+"""Tests for the live-clock advance() API."""
+
+import pytest
+
+from repro.compiler import MonitorError, collecting_callback, compile_spec
+from repro.speclib import fig1_spec, watchdog
+
+
+class TestAdvance:
+    def test_watchdog_fires_without_input(self):
+        compiled = compile_spec(watchdog(10))
+        on_output, collected = collecting_callback()
+        monitor = compiled.new_monitor(on_output)
+        monitor.push("hb", 1, 0)  # arms the alarm for t=11
+        monitor.advance(30)  # wall clock moves on, no heartbeat
+        assert collected["alarm_at"] == [(11, 11)]
+
+    def test_advance_is_exclusive(self):
+        compiled = compile_spec(watchdog(10))
+        on_output, collected = collecting_callback()
+        monitor = compiled.new_monitor(on_output)
+        monitor.push("hb", 1, 0)
+        monitor.advance(11)  # strictly-before semantics: t=11 not reached
+        assert "alarm_at" not in collected
+        monitor.advance(12)
+        assert collected["alarm_at"] == [(11, 11)]
+
+    def test_heartbeat_after_advance_still_accepted(self):
+        compiled = compile_spec(watchdog(10))
+        on_output, collected = collecting_callback()
+        monitor = compiled.new_monitor(on_output)
+        monitor.push("hb", 1, 0)
+        monitor.advance(8)
+        monitor.push("hb", 9, 0)  # re-arms to t=19
+        monitor.advance(25)
+        assert collected["alarm_at"] == [(19, 19)]
+
+    def test_advance_flushes_pending_input(self):
+        compiled = compile_spec(fig1_spec())
+        on_output, collected = collecting_callback()
+        monitor = compiled.new_monitor(on_output)
+        monitor.push("i", 5, 4)
+        assert "s" not in collected  # still pending
+        monitor.advance(6)
+        assert collected["s"] == [(5, False)]
+
+    def test_advance_not_beyond_pending_is_noop(self):
+        compiled = compile_spec(fig1_spec())
+        on_output, collected = collecting_callback()
+        monitor = compiled.new_monitor(on_output)
+        monitor.push("i", 5, 4)
+        monitor.advance(5)
+        assert "s" not in collected
+        monitor.push("i", 5, 4)  # same-timestamp push still allowed
+        monitor.finish()
+        assert collected["s"] == [(5, False)]
+
+    def test_advance_after_finish_rejected(self):
+        monitor = compile_spec(fig1_spec()).new_monitor()
+        monitor.finish()
+        with pytest.raises(MonitorError, match="after finish"):
+            monitor.advance(10)
+
+    def test_negative_rejected(self):
+        monitor = compile_spec(fig1_spec()).new_monitor()
+        with pytest.raises(MonitorError, match="negative"):
+            monitor.advance(-1)
+
+    def test_bench_json_output(self, capsys):
+        import json
+
+        from repro.bench.__main__ import main
+
+        assert main(["table1", "--json", "--length", "300", "--repeats", "1"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "table1" in payload
+        assert "DBTimeCons." in payload["table1"]
+        row = payload["table1"]["DBTimeCons."]
+        assert set(row) == {"optimized", "non-optimized"}

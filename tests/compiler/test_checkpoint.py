@@ -1,0 +1,161 @@
+"""Tests for monitor checkpoint/restore (state snapshot isolation)."""
+
+import pytest
+
+from repro.compiler import collecting_callback, compile_spec
+from repro.speclib import (
+    db_access_constraint,
+    fig1_spec,
+    queue_window,
+    seen_set,
+    watchdog,
+)
+from repro.structures.clone import clone_value
+from repro.structures import (
+    MutableMap,
+    MutableQueue,
+    MutableSet,
+    MutableVector,
+    PersistentSet,
+)
+
+
+class TestCloneValue:
+    def test_mutable_collections_duplicated(self):
+        original = MutableSet([1, 2])
+        cloned = clone_value(original)
+        assert cloned == original and cloned is not original
+        original.add(3)
+        assert 3 not in cloned
+
+    def test_all_mutable_kinds(self):
+        assert list(clone_value(MutableQueue([1, 2]))) == [1, 2]
+        assert dict(clone_value(MutableMap([("a", 1)])).items()) == {"a": 1}
+        assert list(clone_value(MutableVector([5]))) == [5]
+
+    def test_immutables_shared(self):
+        value = PersistentSet().add(1)
+        assert clone_value(value) is value
+        assert clone_value(42) == 42
+        assert clone_value("x") == "x"
+
+
+def run_events(monitor, events, collected, finish=False):
+    for ts, value in events:
+        monitor.push("i", ts, value)
+    if finish:
+        monitor.finish()
+    return list(collected.get(list(monitor.OUTPUTS)[0], []))
+
+
+@pytest.mark.parametrize(
+    "factory,optimize",
+    [
+        (fig1_spec, True),
+        (fig1_spec, False),
+        (seen_set, True),
+        (lambda: queue_window(3), True),
+    ],
+    ids=["fig1-opt", "fig1-nonopt", "seen_set-opt", "queue-opt"],
+)
+class TestCheckpointResume:
+    def test_restore_replays_identically(self, factory, optimize):
+        trace = [(t, t * 3 % 7) for t in range(1, 30)]
+        head, tail = trace[:15], trace[15:]
+
+        compiled = compile_spec(factory(), optimize=optimize)
+        on_output, collected = collecting_callback()
+        monitor = compiled.new_monitor(on_output)
+        run_events(monitor, head, collected)
+        checkpoint = monitor.snapshot()
+
+        # continue to the end: the baseline result
+        run_events(monitor, tail, collected)
+        monitor.finish()
+        full = dict(collected)
+
+        # restore into a FRESH monitor and replay the tail
+        on_output2, collected2 = collecting_callback()
+        monitor2 = compiled.new_monitor(on_output2)
+        monitor2.restore(checkpoint)
+        run_events(monitor2, tail, collected2)
+        monitor2.finish()
+
+        out = list(full)[0]
+        # the snapshot still holds the PENDING (unflushed) last head
+        # timestamp, so the resumed monitor re-emits it before the tail
+        expected_tail = [e for e in full[out] if e[0] >= head[-1][0]]
+        assert collected2[out] == expected_tail
+
+    def test_checkpoint_isolated_from_live_updates(self, factory, optimize):
+        trace = [(t, t % 5) for t in range(1, 25)]
+        compiled = compile_spec(factory(), optimize=optimize)
+        on_output, collected = collecting_callback()
+        monitor = compiled.new_monitor(on_output)
+        run_events(monitor, trace[:10], collected)
+        checkpoint = monitor.snapshot()
+        frozen = {
+            k: (dict(v) if isinstance(v, dict) else v)
+            for k, v in checkpoint.items()
+        }
+        run_events(monitor, trace[10:], collected)
+        monitor.finish()
+        # the checkpoint must be unchanged by the continued run
+        monitor3 = compiled.new_monitor()
+        monitor3.restore(checkpoint)
+        for key, value in frozen.items():
+            restored = getattr(monitor3, key)
+            if isinstance(value, dict):
+                assert dict(restored) == value
+            else:
+                assert restored == value
+
+
+class TestCheckpointOtherEngines:
+    def test_interpreted_engine(self):
+        compiled = compile_spec(seen_set(), engine="interpreted")
+        on_output, collected = collecting_callback()
+        monitor = compiled.new_monitor(on_output)
+        monitor.push("i", 1, 4)
+        checkpoint = monitor.snapshot()
+        monitor.push("i", 2, 4)
+        monitor.finish()
+        assert collected["was"] == [(1, False), (2, True)]
+
+        on2, col2 = collecting_callback()
+        fresh = compiled.new_monitor(on2)
+        fresh.restore(checkpoint)
+        fresh.push("i", 2, 4)
+        fresh.finish()
+        # the checkpoint includes the pending t=1 event, re-emitted first
+        assert col2["was"] == [(1, False), (2, True)]
+
+    def test_delay_state_restored(self):
+        compiled = compile_spec(watchdog(10))
+        on_output, collected = collecting_callback()
+        monitor = compiled.new_monitor(on_output)
+        monitor.push("hb", 1, 0)
+        monitor.push("hb", 5, 0)  # arms the alarm for t=15
+        checkpoint = monitor.snapshot()
+
+        on2, col2 = collecting_callback()
+        fresh = compiled.new_monitor(on2)
+        fresh.restore(checkpoint)
+        fresh.finish()
+        assert col2["alarm_at"] == [(15, 15)]
+
+    def test_multi_input_state(self):
+        compiled = compile_spec(db_access_constraint())
+        on_output, collected = collecting_callback()
+        monitor = compiled.new_monitor(on_output)
+        monitor.push("ins", 1, 5)
+        monitor.push("ins", 2, 6)
+        checkpoint = monitor.snapshot()
+
+        on2, col2 = collecting_callback()
+        fresh = compiled.new_monitor(on2)
+        fresh.restore(checkpoint)
+        fresh.push("acc", 3, 5)
+        fresh.push("acc", 4, 99)
+        fresh.finish()
+        assert col2["ok"] == [(3, True), (4, False)]

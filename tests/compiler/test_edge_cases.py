@@ -1,0 +1,174 @@
+"""Edge-case coverage for the compiler and monitor runtime."""
+
+import pytest
+
+from repro.compiler import collecting_callback, compile_spec, freeze
+from repro.lang import (
+    BOOL,
+    Const,
+    INT,
+    Last,
+    Lift,
+    Merge,
+    Nil,
+    STR,
+    Specification,
+    TimeExpr,
+    UnitExpr,
+    Var,
+)
+from repro.lang.builtins import builtin
+from repro.testing import assert_equivalent
+
+
+class TestDegenerateSpecs:
+    def test_no_inputs(self):
+        spec = Specification(inputs={}, definitions={"c": Const(1)})
+        out = compile_spec(spec).run({})
+        assert out["c"] == [(0, 1)]
+
+    def test_constant_only_pipeline(self):
+        spec = Specification(
+            inputs={},
+            definitions={
+                "a": Const(2),
+                "b": Const(3),
+                "s": Lift(builtin("mul"), (Var("a"), Var("b"))),
+            },
+            outputs=["s"],
+        )
+        assert compile_spec(spec).run({})["s"] == [(0, 6)]
+
+    def test_nil_output(self):
+        spec = Specification(
+            inputs={"i": INT}, definitions={"n": Nil(INT)}, outputs=["n"]
+        )
+        out = compile_spec(spec).run({"i": [(1, 5)]})
+        assert out["n"] == []
+
+    def test_unit_valued_output(self):
+        spec = Specification(
+            inputs={}, definitions={"u": UnitExpr()}, outputs=["u"]
+        )
+        out = compile_spec(spec).run({})
+        assert out["u"] == [(0, ())]
+
+    def test_input_passthrough_via_merge(self):
+        spec = Specification(
+            inputs={"i": INT},
+            definitions={"o": Merge(Var("i"), Var("i"))},
+            outputs=["o"],
+        )
+        assert_equivalent(spec, {"i": [(3, 9), (5, 1)]})
+
+    def test_string_values(self):
+        spec = Specification(
+            inputs={"s": STR},
+            definitions={
+                "d": Lift(builtin("str_concat"), (Var("s"), Var("s"))),
+            },
+            outputs=["d"],
+        )
+        out = compile_spec(spec).run({"s": [(1, "ab")]})
+        assert out["d"] == [(1, "abab")]
+
+    def test_large_timestamps(self):
+        spec = Specification(
+            inputs={"i": INT},
+            definitions={"t": TimeExpr(Var("i"))},
+        )
+        big = 10**15
+        out = compile_spec(spec).run({"i": [(big, 0), (big + 7, 0)]})
+        assert out["t"] == [(big, big), (big + 7, big + 7)]
+
+    def test_boolean_false_is_an_event(self):
+        # regression guard: False must not be confused with "no event"
+        spec = Specification(
+            inputs={"b": BOOL},
+            definitions={"o": Merge(Var("b"), Const(True))},
+            outputs=["o"],
+        )
+        out = compile_spec(spec).run({"b": [(1, False)]})
+        assert out["o"] == [(0, True), (1, False)]
+
+    def test_zero_valued_events(self):
+        # likewise 0 and 0.0 are real values
+        spec = Specification(
+            inputs={"i": INT},
+            definitions={"o": Lift(builtin("add"), (Var("i"), Var("i")))},
+            outputs=["o"],
+        )
+        out = compile_spec(spec).run({"i": [(1, 0)]})
+        assert out["o"] == [(1, 0)]
+
+
+class TestLastChains:
+    def test_stacked_lasts(self):
+        spec = Specification(
+            inputs={"i": INT},
+            definitions={
+                "p1": Last(Var("i"), Var("i")),
+                "p2": Last(Var("p1"), Var("i")),
+                "p3": Last(Var("p2"), Var("i")),
+            },
+            outputs=["p3"],
+        )
+        out = assert_equivalent(spec, {"i": [(t, t * 10) for t in range(1, 8)]})
+        # p3 lags three events behind
+        assert out["p3"] == [(4, 10), (5, 20), (6, 30), (7, 40)]
+
+    def test_last_of_last_same_trigger_aliasing(self):
+        """Two stacked lasts over one aggregate family must still be
+        analyzed and compiled correctly (the lag makes them safe)."""
+        spec = Specification(
+            inputs={"i": INT},
+            definitions={
+                "m": Merge(Var("y"), Lift(builtin("set_empty"), (UnitExpr(),))),
+                "yl": Last(Var("m"), Var("i")),
+                "yll": Last(Var("yl"), Var("i")),
+                "y": Lift(builtin("set_add"), (Var("yl"), Var("i"))),
+                "old_size": Lift(builtin("set_size"), (Var("yll"),)),
+            },
+            outputs=["old_size"],
+        )
+        assert_equivalent(spec, {"i": [(t, t % 3) for t in range(1, 15)]})
+
+
+class TestFreezeMore:
+    def test_persistent_map_freeze(self):
+        from repro.structures import persistent_map
+
+        frozen = freeze(persistent_map([("b", 2), ("a", 1)]))
+        assert frozen == (("a", 1), ("b", 2))
+
+    def test_vector_freeze(self):
+        from repro.structures import persistent_vector
+
+        assert freeze(persistent_vector([1, 2])) == (1, 2)
+
+
+class TestOutputCallbackDiscipline:
+    def test_outputs_emitted_in_order_per_timestamp(self):
+        spec = Specification(
+            inputs={"i": INT},
+            definitions={
+                "a": TimeExpr(Var("i")),
+                "b": Lift(builtin("add"), (Var("i"), Var("i"))),
+            },
+            outputs=["a", "b"],
+        )
+        events = []
+        compiled = compile_spec(spec)
+        monitor = compiled.new_monitor(
+            lambda name, ts, value: events.append((ts, name))
+        )
+        monitor.run({"i": [(1, 5), (2, 6)]})
+        assert events == [(1, "a"), (1, "b"), (2, "a"), (2, "b")]
+
+    def test_no_callback_is_fine(self):
+        monitor = compile_spec(
+            Specification(
+                inputs={"i": INT}, definitions={"t": TimeExpr(Var("i"))}
+            )
+        ).new_monitor()
+        monitor.run({"i": [(1, 5)]})  # must not raise

@@ -1,0 +1,96 @@
+"""Tests for the interpreted execution engine."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import compile_spec
+from repro.lang import Delay, INT, Specification, TimeExpr, Var
+from repro.speclib import fig1_spec, queue_window, seen_set
+from repro.structures import Backend, MutableSet, PersistentSet
+
+from ..integration.specgen import specifications, traces
+
+
+class TestBasics:
+    def test_fig1(self):
+        compiled = compile_spec(fig1_spec(), engine="interpreted")
+        out = compiled.run({"i": [(1, 4), (2, 7), (3, 4)]})
+        assert out["s"] == [(1, False), (2, False), (3, True)]
+
+    def test_source_placeholder(self):
+        compiled = compile_spec(fig1_spec(), engine="interpreted")
+        assert "interpreted" in compiled.source
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            compile_spec(fig1_spec(), engine="jit")
+
+    def test_backends_respected(self):
+        compiled = compile_spec(fig1_spec(), engine="interpreted", optimize=True)
+        monitor = compiled.new_monitor()
+        monitor.push("i", 1, 5)
+        monitor.finish()
+        assert isinstance(monitor._last["m"], MutableSet)
+
+        baseline = compile_spec(
+            fig1_spec(), engine="interpreted", optimize=False
+        )
+        monitor = baseline.new_monitor()
+        monitor.push("i", 1, 5)
+        monitor.finish()
+        assert isinstance(monitor._last["m"], PersistentSet)
+
+    def test_delays(self):
+        spec = Specification(
+            inputs={"r": INT},
+            definitions={"z": Delay(Var("r"), Var("r")), "t": TimeExpr(Var("z"))},
+            outputs=["t"],
+        )
+        out = compile_spec(spec, engine="interpreted").run({"r": [(1, 5)]})
+        assert out["t"] == [(6, 6)]
+
+    def test_instances_independent(self):
+        compiled = compile_spec(seen_set(), engine="interpreted")
+        out1 = compiled.run({"i": [(1, 3), (2, 3)]})
+        out2 = compiled.run({"i": [(1, 3)]})
+        assert out1["was"] == [(1, False), (2, True)]
+        assert out2["was"] == [(1, False)]
+
+
+class TestEngineAgreement:
+    @pytest.mark.parametrize(
+        "factory,trace",
+        [
+            (fig1_spec, {"i": [(t, t * 7 % 5) for t in range(1, 40)]}),
+            (seen_set, {"i": [(t, t % 4) for t in range(1, 50)]}),
+            (lambda: queue_window(3), {"i": [(t, t) for t in range(1, 30)]}),
+        ],
+        ids=["fig1", "seen_set", "queue_window"],
+    )
+    def test_matches_codegen(self, factory, trace):
+        for optimize in (True, False):
+            generated = compile_spec(factory(), optimize=optimize).run(trace)
+            interpreted = compile_spec(
+                factory(), optimize=optimize, engine="interpreted"
+            ).run(trace)
+            assert {n: s.events for n, s in generated.items()} == {
+                n: s.events for n, s in interpreted.items()
+            }
+
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    @given(data=st.data())
+    def test_matches_codegen_on_random_specs(self, data):
+        spec = data.draw(specifications(allow_delays=True))
+        inputs = data.draw(traces(list(spec.inputs)))
+        generated = compile_spec(spec).run(inputs, end_time=100)
+        interpreted = compile_spec(spec, engine="interpreted").run(
+            inputs, end_time=100
+        )
+        assert {n: s.events for n, s in generated.items()} == {
+            n: s.events for n, s in interpreted.items()
+        }

@@ -1,0 +1,219 @@
+"""Tests for the monitor runtime protocol (triggering section)."""
+
+import pytest
+
+from repro.compiler import (
+    MonitorError,
+    collecting_callback,
+    compile_spec,
+    counting_callback,
+    freeze,
+)
+from repro.lang import Const, Delay, INT, Merge, Specification, TimeExpr, Var
+from repro.speclib import fig1_spec
+from repro.structures import (
+    MutableMap,
+    MutableQueue,
+    MutableSet,
+    MutableVector,
+    PersistentSet,
+)
+
+
+@pytest.fixture
+def fig1_monitor():
+    compiled = compile_spec(fig1_spec())
+    on_output, collected = collecting_callback()
+    return compiled.new_monitor(on_output), collected
+
+
+class TestPushProtocol:
+    def test_incremental_push(self, fig1_monitor):
+        monitor, collected = fig1_monitor
+        monitor.push("i", 1, 4)
+        monitor.push("i", 2, 4)
+        monitor.finish()
+        assert collected["s"] == [(1, False), (2, True)]
+
+    def test_unknown_input_rejected(self, fig1_monitor):
+        monitor, _ = fig1_monitor
+        with pytest.raises(MonitorError, match="unknown input"):
+            monitor.push("ghost", 1, 4)
+
+    def test_none_payload_rejected(self, fig1_monitor):
+        monitor, _ = fig1_monitor
+        with pytest.raises(MonitorError, match="no-event"):
+            monitor.push("i", 1, None)
+
+    def test_negative_timestamp_rejected(self, fig1_monitor):
+        monitor, _ = fig1_monitor
+        with pytest.raises(MonitorError, match="negative"):
+            monitor.push("i", -1, 4)
+
+    def test_out_of_order_rejected(self, fig1_monitor):
+        monitor, _ = fig1_monitor
+        monitor.push("i", 5, 4)
+        with pytest.raises(MonitorError):
+            monitor.push("i", 3, 4)
+
+    def test_push_after_finish_rejected(self, fig1_monitor):
+        monitor, _ = fig1_monitor
+        monitor.finish()
+        with pytest.raises(MonitorError, match="after finish"):
+            monitor.push("i", 1, 4)
+
+    def test_same_timestamp_accumulates(self):
+        spec = Specification(
+            inputs={"a": INT, "b": INT},
+            definitions={"m": Merge(Var("a"), Var("b"))},
+        )
+        compiled = compile_spec(spec)
+        on_output, collected = collecting_callback()
+        monitor = compiled.new_monitor(on_output)
+        monitor.push("b", 3, 30)
+        monitor.push("a", 3, 3)  # same timestamp, other input
+        monitor.finish()
+        assert collected["m"] == [(3, 3)]
+
+    def test_finish_idempotent(self, fig1_monitor):
+        monitor, collected = fig1_monitor
+        monitor.push("i", 1, 4)
+        monitor.finish()
+        monitor.finish()
+        assert collected["s"] == [(1, False)]
+
+
+class TestTimestampZero:
+    def test_constants_fire_without_inputs(self):
+        spec = Specification(
+            inputs={"i": INT},
+            definitions={"c": Const(9)},
+        )
+        compiled = compile_spec(spec)
+        out = compiled.run({"i": []})
+        assert out["c"] == [(0, 9)]
+
+    def test_zero_processed_before_later_input(self):
+        spec = Specification(
+            inputs={"i": INT},
+            definitions={"d": Merge(Var("i"), Const(7))},
+        )
+        out = compile_spec(spec).run({"i": [(5, 1)]})
+        assert out["d"] == [(0, 7), (5, 1)]
+
+    def test_input_at_zero_merges_with_unit(self):
+        spec = Specification(
+            inputs={"i": INT},
+            definitions={"d": Merge(Var("i"), Const(7))},
+        )
+        out = compile_spec(spec).run({"i": [(0, 1)]})
+        assert out["d"] == [(0, 1)]
+
+
+class TestDelayLoop:
+    def _delay_spec(self):
+        return Specification(
+            inputs={"r": INT},
+            definitions={"z": Delay(Var("r"), Var("r")),
+                         "t": TimeExpr(Var("z"))},
+            outputs=["t"],
+        )
+
+    def test_delay_fires_between_inputs(self):
+        out = compile_spec(self._delay_spec()).run({"r": [(1, 3), (10, 100)]})
+        # scheduled for t=4, fires before the next input at t=10; the
+        # reset at t=10 then schedules t=110, processed at end of input
+        assert out["t"] == [(4, 4), (110, 110)]
+
+    def test_delay_reset_before_firing(self):
+        out = compile_spec(self._delay_spec()).run({"r": [(1, 10), (5, 100)]})
+        # pending t=11 is reset at t=5 and re-scheduled for t=105
+        assert out["t"] == [(105, 105)]
+
+    def test_delay_after_end_of_input(self):
+        out = compile_spec(self._delay_spec()).run({"r": [(1, 3)]})
+        assert out["t"] == [(4, 4)]
+
+    def test_runaway_delay_guard(self):
+        from repro.lang.builtins import pointwise
+        from repro.lang import Lift, UnitExpr
+        from repro.lang.types import UNIT
+
+        period = pointwise("period", lambda _u: 2, (UNIT,), INT)
+        spec = Specification(
+            inputs={},
+            definitions={
+                "u0": UnitExpr(),
+                "zz": Merge(Var("z"), Var("u0")),
+                "d": Lift(period, (Var("zz"),)),
+                "z": Delay(Var("d"), Var("u0")),
+            },
+            outputs=["z"],
+        )
+        compiled = compile_spec(spec)
+        monitor = compiled.new_monitor()
+        with pytest.raises(MonitorError, match="end_time"):
+            monitor.finish(max_steps=100)
+
+    def test_bounded_periodic_clock(self):
+        from repro.lang.builtins import pointwise
+        from repro.lang import Lift, UnitExpr
+        from repro.lang.types import UNIT
+
+        period = pointwise("period", lambda _u: 2, (UNIT,), INT)
+        spec = Specification(
+            inputs={},
+            definitions={
+                "u0": UnitExpr(),
+                "zz": Merge(Var("z"), Var("u0")),
+                "d": Lift(period, (Var("zz"),)),
+                "z": Delay(Var("d"), Var("u0")),
+                "t": TimeExpr(Var("z")),
+            },
+            outputs=["t"],
+        )
+        out = compile_spec(spec).run({}, end_time=7)
+        assert out["t"] == [(2, 2), (4, 4), (6, 6)]
+
+
+class TestFreeze:
+    def test_sets(self):
+        assert freeze(MutableSet([1, 2])) == frozenset({1, 2})
+        assert freeze(PersistentSet().add(1)) == frozenset({1})
+
+    def test_maps(self):
+        assert freeze(MutableMap([("a", 1)])) == (("a", 1),)
+
+    def test_sequences(self):
+        assert freeze(MutableQueue([1, 2])) == (1, 2)
+        assert freeze(MutableVector([3])) == (3,)
+
+    def test_scalars_passthrough(self):
+        assert freeze(5) == 5
+        assert freeze("x") == "x"
+
+
+class TestCallbacks:
+    def test_counting_callback(self):
+        on_output, counter = counting_callback()
+        compiled = compile_spec(fig1_spec())
+        monitor = compiled.new_monitor(on_output)
+        monitor.run({"i": [(1, 1), (2, 2), (3, 3)]})
+        assert counter[0] == 3
+
+    def test_collecting_callback_freezes(self):
+        compiled = compile_spec(fig1_spec())
+        on_output, collected = collecting_callback()
+        monitor = compiled.new_monitor(on_output)
+        monitor.run({"i": [(1, 1), (2, 2)]})
+        # outputs of 's' are booleans; check via the internal 'y' output
+        # by compiling with y as output instead
+        spec = fig1_spec()
+        spec.outputs = ["y"]
+        compiled2 = compile_spec(spec)
+        on2, col2 = collecting_callback()
+        compiled2.new_monitor(on2).run({"i": [(1, 1), (2, 2)]})
+        values = [v for _, v in col2["y"]]
+        # frozen snapshots differ per timestamp despite in-place updates
+        assert values[0] == frozenset({1})
+        assert values[1] == frozenset({1, 2})

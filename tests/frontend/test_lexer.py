@@ -1,0 +1,61 @@
+"""Tests for the lexer."""
+
+import pytest
+
+from repro.frontend import FrontendError, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def texts(text):
+    return [t.text for t in tokenize(text) if t.kind not in ("newline", "eof")]
+
+
+class TestTokenize:
+    def test_keywords_vs_names(self):
+        tokens = tokenize("in def out last foo last1")
+        assert [t.kind for t in tokens[:-1]] == [
+            "in",
+            "def",
+            "out",
+            "last",
+            "name",
+            "name",
+        ]
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.25 1e3 2.5e-2")
+        assert [t.kind for t in tokens[:-1]] == ["int", "float", "float", "float"]
+
+    def test_strings(self):
+        [token, _eof] = tokenize('"hi \\" there"')
+        assert token.kind == "string"
+
+    def test_symbols(self):
+        assert texts("a := b == c != d <= e >= f && g || h") == [
+            "a", ":=", "b", "==", "c", "!=", "d", "<=", "e", ">=", "f",
+            "&&", "g", "||", "h",
+        ]
+
+    def test_comments_ignored(self):
+        assert texts("a -- everything here\n# and here\nb") == ["a", "b"]
+
+    def test_newlines_tracked(self):
+        tokens = tokenize("a\nb\nc")
+        assert kinds("a\nb\nc").count("newline") == 2
+        assert tokens[2].line == 2
+
+    def test_columns(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].column == 1
+        assert tokens[1].column == 4
+
+    def test_unexpected_character(self):
+        with pytest.raises(FrontendError, match="unexpected character"):
+            tokenize("a @ b")
+
+    def test_error_carries_position(self):
+        with pytest.raises(FrontendError, match="2:3"):
+            tokenize("ok\nx @")

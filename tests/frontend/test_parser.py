@@ -1,0 +1,199 @@
+"""Tests for the specification parser, incl. an end-to-end compile."""
+
+import pytest
+
+from repro.compiler import compile_spec
+from repro.frontend import FrontendError, parse_spec
+from repro.lang import (
+    Const,
+    Default,
+    Delay,
+    INT,
+    Last,
+    Lift,
+    Merge,
+    Nil,
+    TimeExpr,
+    UnitExpr,
+    Var,
+)
+from repro.lang.types import BOOL, FLOAT, MapType, SetType
+
+FIG1_TEXT = """
+-- Figure 1 of the paper
+in i: Int
+def m := merge(y, set_empty(unit))
+def yl := last(m, i)
+def y := set_add(yl, i)
+def s := set_contains(yl, i)
+out s
+"""
+
+
+class TestDeclarations:
+    def test_inputs(self):
+        spec = parse_spec("in a: Int\nin b: Float")
+        assert spec.inputs == {"a": INT, "b": FLOAT}
+
+    def test_parametric_types(self):
+        spec = parse_spec("in s: Set<Int>\nin m: Map<Int, Bool>")
+        assert spec.inputs["s"] == SetType(INT)
+        assert spec.inputs["m"] == MapType(INT, BOOL)
+
+    def test_def_with_annotation(self):
+        spec = parse_spec("def e: Set<Int> := set_empty(unit)")
+        assert spec.type_annotations["e"] == SetType(INT)
+
+    def test_outputs(self):
+        spec = parse_spec("in i: Int\ndef a := time(i)\ndef b := time(i)\nout a, b")
+        assert spec.outputs == ["a", "b"]
+
+    def test_outputs_default_to_all(self):
+        spec = parse_spec("in i: Int\ndef a := time(i)")
+        assert spec.outputs == ["a"]
+
+    def test_duplicate_input_rejected(self):
+        with pytest.raises(FrontendError, match="duplicate input"):
+            parse_spec("in a: Int\nin a: Int")
+
+    def test_duplicate_def_rejected(self):
+        with pytest.raises(FrontendError, match="duplicate definition"):
+            parse_spec("in i: Int\ndef a := time(i)\ndef a := time(i)")
+
+    def test_unknown_type(self):
+        with pytest.raises(FrontendError, match="unknown type"):
+            parse_spec("in a: Celsius")
+
+    def test_unknown_toplevel_token(self):
+        with pytest.raises(FrontendError, match="expected 'in'"):
+            parse_spec("frobnicate x")
+
+
+class TestExpressions:
+    def expr(self, text, extra="in i: Int\nin j: Int\n"):
+        spec = parse_spec(extra + f"def it := {text}")
+        return spec.definitions["it"]
+
+    def test_literals(self):
+        assert self.expr("42") == Const(42)
+        assert self.expr("3.5") == Const(3.5)
+        assert self.expr("true") == Const(True)
+        assert self.expr("false") == Const(False)
+        assert self.expr('"hi"') == Const("hi")
+        assert self.expr("unit") == UnitExpr()
+        assert self.expr("-7") == Const(-7)
+
+    def test_nil_with_type(self):
+        assert self.expr("nil<Int>") == Nil(INT)
+        assert self.expr("nil<Set<Int>>") == Nil(SetType(INT))
+
+    def test_nil_requires_type(self):
+        with pytest.raises(FrontendError, match="type argument"):
+            parse_spec("def x := nil")
+
+    def test_special_forms(self):
+        assert self.expr("time(i)") == TimeExpr(Var("i"))
+        assert self.expr("last(i, j)") == Last(Var("i"), Var("j"))
+        assert self.expr("delay(i, j)") == Delay(Var("i"), Var("j"))
+        assert self.expr("merge(i, j)") == Merge(Var("i"), Var("j"))
+        assert self.expr("default(i, 5)") == Default(Var("i"), 5)
+
+    def test_default_requires_literal(self):
+        with pytest.raises(FrontendError, match="literal"):
+            self.expr("default(i, j)")
+
+    def test_builtin_calls(self):
+        e = self.expr("set_contains(s, i)", extra="in s: Set<Int>\nin i: Int\n")
+        assert isinstance(e, Lift)
+        assert e.func.name == "set_contains"
+
+    def test_unknown_function(self):
+        with pytest.raises(FrontendError, match="unknown function"):
+            self.expr("frob(i)")
+
+    def test_call_arity_checked(self):
+        with pytest.raises(FrontendError, match="expects 2"):
+            self.expr("set_contains(i)")
+        with pytest.raises(FrontendError, match="expects 2"):
+            self.expr("last(i)")
+
+    def test_operator_precedence(self):
+        e = self.expr("i + j * 2")
+        assert e.func.name == "add"
+        assert e.args[1].func.name == "mul"
+
+    def test_parentheses(self):
+        e = self.expr("(i + j) * 2")
+        assert e.func.name == "mul"
+        assert e.args[0].func.name == "add"
+
+    def test_comparison_and_logic(self):
+        e = self.expr("i < j && j <= i || !true")
+        assert e.func.name == "or"
+        assert e.args[0].func.name == "and"
+        assert e.args[1].func.name == "not"
+
+    def test_unary_minus_on_expr(self):
+        e = self.expr("-(i)")
+        assert e.func.name == "neg"
+
+    def test_if_then_else(self):
+        e = self.expr("if i < j then i else j")
+        assert e.func.name == "ite"
+
+    def test_division_and_modulo(self):
+        assert self.expr("i / j").func.name == "div"
+        assert self.expr("i % j").func.name == "mod"
+
+
+class TestEndToEnd:
+    def test_fig1_parses_and_runs(self):
+        spec = parse_spec(FIG1_TEXT)
+        compiled = compile_spec(spec)
+        out = compiled.run({"i": [(1, 4), (2, 7), (3, 4)]})
+        assert out["s"] == [(1, False), (2, False), (3, True)]
+
+    def test_fig1_text_matches_library_spec(self):
+        from repro.lang import flatten
+        from repro.semantics import Stream, interpret
+        from repro.speclib import fig1_spec
+
+        trace = {"i": Stream([(1, 1), (2, 2), (3, 1), (9, 2)])}
+        parsed = interpret(flatten(parse_spec(FIG1_TEXT)), trace)
+        library = interpret(flatten(fig1_spec()), trace)
+        assert parsed["s"] == library["s"]
+
+    def test_parsed_spec_is_optimizable(self):
+        from repro.analysis import analyze_mutability
+        from repro.lang import flatten
+
+        result = analyze_mutability(flatten(parse_spec(FIG1_TEXT)))
+        assert {"m", "yl", "y"} <= result.mutable
+
+    def test_counter_spec(self):
+        text = """
+        in x: Int
+        def cnt := default(last(cnt, x) + 1, 0)
+        out cnt
+        """
+        # NOTE: `last(cnt, x) + 1` uses the strict add, so the constant
+        # 1 would only fire at t=0 — the canonical counter instead needs
+        # a sampled constant; this spec checks PARSING, and evaluates to
+        # events only where both sides align (t=0 only).
+        spec = parse_spec(text)
+        compiled = compile_spec(spec)
+        out = compiled.run({"x": [(1, 0), (2, 0)]})
+        assert out["cnt"].events[0] == (0, 0)
+
+    def test_multiline_with_comments_and_blank_lines(self):
+        text = """
+
+        # leading comment
+        in i: Int
+
+        def a := time(i)  -- trailing comment
+
+        out a
+        """
+        spec = parse_spec(text)
+        assert spec.outputs == ["a"]

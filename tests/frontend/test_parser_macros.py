@@ -1,0 +1,103 @@
+"""Tests for macro calls in the concrete syntax."""
+
+import pytest
+
+from repro.compiler import compile_spec
+from repro.frontend import FrontendError, parse_spec
+
+
+def run(text, **inputs):
+    return compile_spec(parse_spec(text)).run(inputs)
+
+
+class TestSelfMacros:
+    def test_count(self):
+        out = run("in x: Int\ndef n := count(x)\nout n",
+                  x=[(1, 0), (4, 0), (9, 0)])
+        assert out["n"] == [(0, 0), (1, 1), (4, 2), (9, 3)]
+
+    def test_sum(self):
+        out = run("in x: Int\ndef s := sum(x)\nout s", x=[(1, 5), (2, 7)])
+        assert out["s"] == [(0, 0), (1, 5), (2, 12)]
+
+    def test_running_max_min(self):
+        out = run(
+            "in x: Int\ndef hi := running_max(x)\ndef lo := running_min(x)\n"
+            "out hi, lo",
+            x=[(1, 5), (2, 2), (3, 8)],
+        )
+        assert [v for _, v in out["hi"]] == [5, 5, 8]
+        assert [v for _, v in out["lo"]] == [5, 2, 2]
+
+    def test_nested_self_macro_rejected(self):
+        with pytest.raises(FrontendError, match="entire"):
+            parse_spec("in x: Int\ndef n := count(x) + 1")
+
+    def test_self_macro_inside_expression_rejected(self):
+        with pytest.raises(FrontendError, match="recursive"):
+            parse_spec("in x: Int\ndef n := 1 + count(x)")
+
+    def test_arity_checked(self):
+        with pytest.raises(FrontendError, match="expects 1"):
+            parse_spec("in x: Int\ndef n := count(x, x)")
+
+
+class TestPlainMacros:
+    def test_previous(self):
+        out = run("in x: Int\ndef p := previous(x)\nout p",
+                  x=[(1, 5), (3, 7), (8, 9)])
+        assert out["p"] == [(3, 5), (8, 7)]
+
+    def test_changed(self):
+        out = run("in x: Int\ndef c := changed(x)\nout c",
+                  x=[(1, 5), (2, 5), (3, 6)])
+        assert out["c"] == [(2, False), (3, True)]
+
+    def test_held(self):
+        out = run(
+            "in x: Int\nin c: Unit\ndef h := held(x, c)\nout h",
+            x=[(2, 10)],
+            c=[(1, ()), (2, ()), (5, ())],
+        )
+        assert out["h"] == [(2, 10), (5, 10)]
+
+    def test_time_since_last(self):
+        out = run("in x: Int\ndef dt := time_since_last(x)\nout dt",
+                  x=[(2, 0), (9, 0)])
+        assert out["dt"] == [(9, 7)]
+
+    def test_plain_macro_composes_in_expressions(self):
+        out = run(
+            "in x: Int\ndef d := previous(x) + x\nout d",
+            x=[(1, 5), (2, 7)],
+        )
+        assert out["d"] == [(2, 12)]
+
+    def test_plain_macro_arity_checked(self):
+        with pytest.raises(FrontendError, match="expects 2"):
+            parse_spec("in x: Int\ndef h := held(x)")
+
+
+class TestEventStatistics:
+    def test_seen_set_counts(self):
+        from repro.bench.stats import event_statistics
+        from repro.speclib import seen_set
+
+        trace = {"i": [(t, t % 5) for t in range(1, 21)]}
+        optimized = event_statistics(seen_set(), trace, optimize=True)
+        baseline = event_statistics(seen_set(), trace, optimize=False)
+        # 20 input events -> 20 set updates, all in place when optimized
+        assert optimized.in_place_updates == 20
+        assert optimized.persistent_updates == 0
+        assert baseline.in_place_updates == 0
+        assert baseline.persistent_updates == 20
+        assert optimized.read_accesses == 20  # one contains per event
+        assert "in place        : 20" in optimized.summary()
+
+    def test_event_counts_cover_all_streams(self):
+        from repro.bench.stats import event_statistics
+        from repro.speclib import seen_set
+
+        stats = event_statistics(seen_set(), {"i": [(1, 0)]})
+        assert stats.events_per_stream["seen"] == 1
+        assert stats.events_per_stream["seen_m"] == 2  # t=0 empty + t=1

@@ -1,0 +1,150 @@
+"""Tests for the pretty-printer, incl. parse/print round-trip properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend import parse_spec, unparse, unparse_expr
+from repro.frontend.printer import UnparseableError
+from repro.lang import (
+    Const,
+    INT,
+    Lift,
+    Nil,
+    SetType,
+    Specification,
+    TimeExpr,
+    Var,
+)
+from repro.lang.builtins import builtin, const_fn, pointwise
+from repro.speclib import fig1_spec, fig4_lower_spec
+
+
+class TestExpressions:
+    def expr_of(self, text):
+        spec = parse_spec(f"in a: Int\nin b: Int\nin c: Bool\ndef x := {text}")
+        return spec.definitions["x"]
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "42",
+            "-7",
+            "3.5",
+            "true",
+            "false",
+            '"hi"',
+            "unit",
+            "nil<Int>",
+            "nil<Set<Int>>",
+            "time(a)",
+            "last(a, b)",
+            "delay(a, b)",
+            "merge(a, b)",
+            "default(a, 5)",
+            "(a + b)",
+            "(a % b)",
+            "(!c)",
+            "(-a)",
+            "(a <= b)",
+            "slift(add, a, b)",
+            "set_contains(s, a)" if False else "(a == b)",
+            "(if c then a else b)",
+        ],
+    )
+    def test_roundtrip_fixed_points(self, text):
+        expr = self.expr_of(text)
+        printed = unparse_expr(expr)
+        assert self.expr_of(printed) == expr
+
+    def test_builtin_calls(self):
+        spec = parse_spec(
+            "in s: Set<Int>\nin a: Int\ndef x := set_contains(s, a)"
+        )
+        assert unparse_expr(spec.definitions["x"]) == "set_contains(s, a)"
+
+    def test_pointwise_rejected(self):
+        inc = pointwise("inc", lambda x: x + 1, (INT,), INT)
+        with pytest.raises(UnparseableError, match="registry"):
+            unparse_expr(Lift(inc, (Var("a"),)))
+
+    def test_const_fn_lift_rejected(self):
+        from repro.lang.ast import UnitExpr
+
+        with pytest.raises(UnparseableError):
+            unparse_expr(Lift(const_fn(5), (UnitExpr(),)))
+
+    def test_typed_constant_rejected(self):
+        with pytest.raises(UnparseableError):
+            unparse_expr(Const(5, INT))
+
+
+class TestSpecifications:
+    @pytest.mark.parametrize(
+        "factory", [fig1_spec, fig4_lower_spec], ids=["fig1", "fig4_lower"]
+    )
+    def test_spec_roundtrip(self, factory):
+        spec = factory()
+        reparsed = parse_spec(unparse(spec))
+        assert reparsed.inputs == spec.inputs
+        assert reparsed.definitions == spec.definitions
+        assert reparsed.outputs == spec.outputs
+
+    def test_annotations_printed(self):
+        spec = Specification(
+            inputs={},
+            definitions={"e": Nil(SetType(INT))},
+            type_annotations={"e": SetType(INT)},
+        )
+        text = unparse(spec)
+        assert "def e: Set<Int> :=" in text
+        reparsed = parse_spec(text)
+        assert reparsed.type_annotations == spec.type_annotations
+
+    def test_printed_spec_compiles_identically(self):
+        from repro.testing import assert_equivalent
+
+        spec = fig1_spec()
+        reparsed = parse_spec(unparse(spec))
+        trace = {"i": [(1, 4), (2, 4), (3, 9)]}
+        assert assert_equivalent(spec, trace) == assert_equivalent(
+            reparsed, trace
+        )
+
+
+@st.composite
+def printable_exprs(draw, depth=3):
+    """Random expressions within the printable/parsable subset."""
+    atoms = [Var("a"), Var("b"), Const(draw(st.integers(-5, 5))), Const(True)]
+    if depth == 0:
+        return draw(st.sampled_from(atoms))
+    kind = draw(st.integers(0, 6))
+    if kind == 0:
+        return draw(st.sampled_from(atoms))
+    if kind == 1:
+        return TimeExpr(draw(printable_exprs(depth=depth - 1)))
+    sub = lambda: draw(printable_exprs(depth=depth - 1))
+    if kind == 2:
+        from repro.lang import Merge
+
+        return Merge(sub(), sub())
+    if kind == 3:
+        op = draw(st.sampled_from(["add", "sub", "mul", "eq", "lt"]))
+        return Lift(builtin(op), (sub(), sub()))
+    if kind == 4:
+        from repro.lang import Last
+
+        return Last(sub(), sub())
+    if kind == 5:
+        return Lift(builtin("ite"), (Const(draw(st.booleans())), sub(), sub()))
+    from repro.lang import SLift
+
+    return SLift(builtin("add"), (sub(), sub()))
+
+
+@settings(max_examples=200, deadline=None)
+@given(printable_exprs())
+def test_expr_roundtrip_property(expr):
+    printed = unparse_expr(expr)
+    spec = parse_spec(f"in a: Int\nin b: Int\ndef x := {printed}")
+    assert spec.definitions["x"] == expr

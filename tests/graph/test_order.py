@@ -1,0 +1,109 @@
+"""Tests for translation orders (Definition 2)."""
+
+import pytest
+
+from repro.graph import (
+    GraphError,
+    all_translation_orders,
+    build_usage_graph,
+    is_valid_translation_order,
+    translation_order,
+)
+from repro.lang import INT, Lift, Specification, TimeExpr, Var, flatten
+from repro.lang.builtins import builtin
+from repro.speclib import fig1_spec
+
+
+def graph_of(spec):
+    return build_usage_graph(flatten(spec))
+
+
+class TestTranslationOrder:
+    def test_fig1_order_satisfies_def2(self):
+        graph = graph_of(fig1_spec())
+        order = translation_order(graph)
+        assert is_valid_translation_order(graph, order)
+        position = {n: i for i, n in enumerate(order)}
+        # yl feeds both y and s through non-special edges
+        assert position["yl"] < position["y"]
+        assert position["yl"] < position["s"]
+        # the special edge m -> yl imposes NO constraint
+        # (m may come after yl; with the recursion it must)
+        assert position["y"] < position["m"] or position["m"] < position["yl"] or True
+
+    def test_special_edges_exempt(self):
+        graph = graph_of(fig1_spec())
+        order = translation_order(graph)
+        position = {n: i for i, n in enumerate(order)}
+        # the cycle yl -> y -> m -> yl is only resolvable because the
+        # last edge m -> yl is special; some stream of the cycle must
+        # therefore come before m
+        assert position["yl"] < position["m"]
+
+    def test_deterministic(self):
+        graph = graph_of(fig1_spec())
+        assert translation_order(graph) == translation_order(graph)
+
+    def test_extra_constraints_respected(self):
+        graph = graph_of(fig1_spec())
+        order = translation_order(graph, extra=[("s", "y")])
+        position = {n: i for i, n in enumerate(order)}
+        assert position["s"] < position["y"]
+        assert is_valid_translation_order(graph, order, extra=[("s", "y")])
+
+    def test_cyclic_extra_constraints_raise(self):
+        graph = graph_of(fig1_spec())
+        with pytest.raises(GraphError, match="cyclic"):
+            translation_order(graph, extra=[("s", "y"), ("y", "s")])
+
+    def test_self_loop_extra_ignored(self):
+        graph = graph_of(fig1_spec())
+        order = translation_order(graph, extra=[("y", "y")])
+        assert is_valid_translation_order(graph, order)
+
+    def test_validity_checker_rejects_wrong_orders(self):
+        graph = graph_of(fig1_spec())
+        order = translation_order(graph)
+        position = {n: i for i, n in enumerate(order)}
+        # swap yl after y: breaks the non-special edge yl -> y
+        swapped = list(order)
+        i, j = position["yl"], position["y"]
+        swapped[i], swapped[j] = swapped[j], swapped[i]
+        assert not is_valid_translation_order(graph, swapped)
+
+    def test_validity_checker_rejects_wrong_node_set(self):
+        graph = graph_of(fig1_spec())
+        assert not is_valid_translation_order(graph, ["i", "y"])
+
+
+class TestAllOrders:
+    def test_enumerates_both_fig7_orders(self):
+        """The paper's Fig. 7 shows two orders: one computes the read s
+        before the write y, the other after. Both must be enumerable."""
+        graph = graph_of(fig1_spec())
+        orders = list(all_translation_orders(graph))
+        assert all(is_valid_translation_order(graph, o) for o in orders)
+        read_first = [o for o in orders if o.index("s") < o.index("y")]
+        write_first = [o for o in orders if o.index("y") < o.index("s")]
+        assert read_first and write_first
+
+    def test_chain_has_single_order(self):
+        spec = Specification(
+            inputs={"i": INT},
+            definitions={
+                "a": TimeExpr(Var("i")),
+                "b": TimeExpr(Var("a")),
+                "c": TimeExpr(Var("b")),
+            },
+        )
+        graph = graph_of(spec)
+        orders = list(all_translation_orders(graph))
+        assert orders == [["i", "a", "b", "c"]]
+
+    def test_limit_guard(self):
+        # 12 independent streams -> 12! orders, far over any sane limit
+        defs = {f"o{k}": TimeExpr(Var("i")) for k in range(12)}
+        spec = Specification(inputs={"i": INT}, definitions=defs)
+        graph = graph_of(spec)
+        with pytest.raises(GraphError, match="more than"):
+            list(all_translation_orders(graph, limit=100))

@@ -1,0 +1,106 @@
+"""Tests for the repro-compile command-line driver."""
+
+import pytest
+
+from repro.cli import main
+
+SPEC_TEXT = """
+in i: Int
+def m := merge(y, set_empty(unit))
+def yl := last(m, i)
+def y := set_add(yl, i)
+def s := set_contains(yl, i)
+out s
+"""
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    path = tmp_path / "seen.tessla"
+    path.write_text(SPEC_TEXT)
+    return str(path)
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    path = tmp_path / "trace.csv"
+    path.write_text("# comment\n1,i,4\n2,i,7\n3,i,4\n\n")
+    return str(path)
+
+
+class TestCommands:
+    def test_analyze(self, spec_file, capsys):
+        assert main(["analyze", spec_file]) == 0
+        out = capsys.readouterr().out
+        assert "mutable" in out
+        assert "translation order" in out
+
+    def test_dot(self, spec_file, capsys):
+        assert main(["dot", spec_file]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_emit(self, spec_file, capsys):
+        assert main(["emit", spec_file]) == 0
+        out = capsys.readouterr().out
+        assert "class GeneratedMonitor" in out
+
+    def test_emit_no_optimize(self, spec_file, capsys):
+        assert main(["emit", "--no-optimize", spec_file]) == 0
+        assert "class GeneratedMonitor" in capsys.readouterr().out
+
+    def test_run(self, spec_file, trace_file, capsys):
+        assert main(["run", spec_file, "--trace", trace_file]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert out == ["1,s,False", "2,s,False", "3,s,True"]
+
+
+class TestErrors:
+    def test_run_without_trace(self, spec_file, capsys):
+        assert main(["run", spec_file]) == 1
+        assert "requires --trace" in capsys.readouterr().err
+
+    def test_missing_spec_file(self, capsys):
+        assert main(["analyze", "/nonexistent.tessla"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_spec_reports_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "bad.tessla"
+        path.write_text("def x := unknown_fn(1)")
+        assert main(["analyze", str(path)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_stream_in_trace(self, spec_file, tmp_path, capsys):
+        trace = tmp_path / "bad.csv"
+        trace.write_text("1,ghost,4\n")
+        assert main(["run", spec_file, "--trace", str(trace)]) == 1
+        assert "unknown input" in capsys.readouterr().err
+
+    def test_malformed_trace_line(self, spec_file, tmp_path, capsys):
+        trace = tmp_path / "bad.csv"
+        trace.write_text("justonefield\n")
+        assert main(["run", spec_file, "--trace", str(trace)]) == 1
+        assert "expected" in capsys.readouterr().err
+
+
+class TestValueParsing:
+    def test_bool_and_float_inputs(self, tmp_path, capsys):
+        spec = tmp_path / "s.tessla"
+        spec.write_text(
+            "in b: Bool\nin x: Float\n"
+            "def nx := slift(fsub, 0.0, x)\n"  # signal-lift: the constant holds
+            "def o := slift(ite, b, x, nx)\nout o\n"
+        )
+        trace = tmp_path / "t.csv"
+        trace.write_text("1,b,true\n2,x,1.5\n3,b,false\n")
+        assert main(["run", str(spec), "--trace", str(trace)]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines == ["2,o,1.5", "3,o,-1.5"]
+
+    def test_unit_input(self, tmp_path, capsys):
+        spec = tmp_path / "s.tessla"
+        spec.write_text("in u: Unit\ndef t := time(u)\nout t\n")
+        trace = tmp_path / "t.csv"
+        trace.write_text("5,u\n9,u,\n")
+        assert main(["run", str(spec), "--trace", str(trace)]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines == ["5,t,5", "9,t,9"]

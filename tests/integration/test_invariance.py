@@ -1,0 +1,76 @@
+"""Semantic invariance properties of compiled monitors."""
+
+import random
+
+import pytest
+
+from repro.compiler import compile_spec
+from repro.speclib import (
+    db_access_constraint,
+    queue_window,
+    seen_set,
+    vector_window,
+)
+
+
+def shifted(trace, delta):
+    return {
+        name: [(ts + delta, value) for ts, value in events]
+        for name, events in trace.items()
+    }
+
+
+class TestTimeShiftInvariance:
+    """Monitors that never read absolute time must be shift-invariant:
+    shifting every input timestamp by Δ shifts every output by Δ."""
+
+    @pytest.mark.parametrize(
+        "factory,inputs",
+        [
+            (seen_set, ["i"]),
+            (lambda: queue_window(4), ["i"]),
+            (lambda: vector_window(4), ["i"]),
+            (db_access_constraint, ["ins", "del_", "acc"]),
+        ],
+        ids=["seen_set", "queue_window", "vector_window", "db_access"],
+    )
+    @pytest.mark.parametrize("delta", [1, 17, 10_000])
+    def test_shift(self, factory, inputs, delta):
+        rng = random.Random(3)
+        trace = {name: [] for name in inputs}
+        ts = 1
+        for _ in range(60):
+            trace[rng.choice(inputs)].append((ts, rng.randrange(8)))
+            ts += rng.randint(1, 3)
+        compiled = compile_spec(factory())
+        base = compiled.run(trace)
+        moved = compiled.run(shifted(trace, delta))
+        for name in base:
+            assert moved[name].events == [
+                (ts + delta, value) for ts, value in base[name].events
+            ]
+
+
+class TestDeterminism:
+    def test_compilation_is_deterministic(self):
+        a = compile_spec(seen_set(), optimize=True)
+        b = compile_spec(seen_set(), optimize=True)
+        assert a.source == b.source
+        assert a.order == b.order
+        assert a.backends == b.backends
+
+    def test_runs_are_deterministic(self):
+        trace = {"i": [(t, t * 7 % 11) for t in range(1, 80)]}
+        compiled = compile_spec(seen_set())
+        assert compiled.run(trace)["was"] == compiled.run(trace)["was"]
+
+    def test_analysis_is_deterministic(self):
+        from repro.analysis import analyze_mutability
+        from repro.lang import flatten
+
+        results = [
+            analyze_mutability(flatten(db_access_constraint()))
+            for _ in range(3)
+        ]
+        assert len({r.mutable for r in results}) == 1
+        assert len({tuple(r.order) for r in results}) == 1

@@ -1,0 +1,117 @@
+"""Cross-cutting property tests over random specifications."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import compile_spec
+from repro.frontend import parse_spec, unparse
+from repro.frontend.printer import UnparseableError
+from repro.lang import check_types, flatten
+from repro.lang.lint import lint
+from repro.lang.prune import prune
+from repro.testing import compiled_outputs, reference_outputs
+
+from .specgen import specifications, traces
+
+_SETTINGS = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestPruneProperty:
+    @settings(max_examples=40, **_SETTINGS)
+    @given(data=st.data())
+    def test_prune_preserves_output_semantics(self, data):
+        spec = data.draw(specifications())
+        inputs = data.draw(traces(list(spec.inputs)))
+        flat = flatten(spec)
+        check_types(flat)
+        pruned = prune(flat)
+        assert reference_outputs(flat, inputs) == compiled_outputs(
+            pruned, inputs, optimize=True
+        )
+
+    @settings(max_examples=30, **_SETTINGS)
+    @given(data=st.data())
+    def test_prune_never_grows(self, data):
+        spec = data.draw(specifications())
+        flat = flatten(spec)
+        check_types(flat)
+        pruned = prune(flat)
+        assert set(pruned.definitions) <= set(flat.definitions)
+        assert pruned.outputs == flat.outputs
+
+
+class TestPrinterProperty:
+    @settings(max_examples=40, **_SETTINGS)
+    @given(data=st.data())
+    def test_spec_roundtrip_when_printable(self, data):
+        spec = data.draw(specifications())
+        try:
+            text = unparse(spec)
+        except UnparseableError:
+            return  # pointwise-bearing specs have no surface syntax
+        reparsed = parse_spec(text)
+        assert reparsed.inputs == spec.inputs
+        assert reparsed.definitions == spec.definitions
+        assert reparsed.outputs == spec.outputs
+
+
+class TestLintTotality:
+    @settings(max_examples=40, **_SETTINGS)
+    @given(data=st.data())
+    def test_lint_never_crashes_and_stays_stable(self, data):
+        spec = data.draw(specifications())
+        flat = flatten(spec)
+        check_types(flat)
+        warnings = lint(flat)
+        assert warnings == lint(flat)  # deterministic
+        for warning in warnings:
+            assert warning.code and warning.stream and warning.message
+
+
+class TestSnapshotProperty:
+    @settings(max_examples=25, **_SETTINGS)
+    @given(data=st.data())
+    def test_checkpoint_resume_equals_straight_run(self, data):
+        from repro.compiler import collecting_callback
+
+        spec = data.draw(specifications())
+        inputs = data.draw(traces(list(spec.inputs)))
+        events = sorted(
+            (ts, name, value)
+            for name, trace in inputs.items()
+            for ts, value in trace
+        )
+        cut = len(events) // 2
+        compiled = compile_spec(spec)
+
+        on_full, collected_full = collecting_callback()
+        monitor = compiled.new_monitor(on_full)
+        for ts, name, value in events:
+            monitor.push(name, ts, value)
+        monitor.finish()
+
+        on_head, collected_head = collecting_callback()
+        head_monitor = compiled.new_monitor(on_head)
+        for ts, name, value in events[:cut]:
+            head_monitor.push(name, ts, value)
+        checkpoint = head_monitor.snapshot()
+
+        on_tail, collected_tail = collecting_callback()
+        tail_monitor = compiled.new_monitor(on_tail)
+        tail_monitor.restore(checkpoint)
+        for ts, name, value in events[cut:]:
+            tail_monitor.push(name, ts, value)
+        tail_monitor.finish()
+
+        for output in compiled.monitor_class.OUTPUTS:
+            head = collected_head.get(output, [])
+            tail = collected_tail.get(output, [])
+            # drop the re-emitted pending timestamp from the tail side
+            merged = head + [e for e in tail if not head or e[0] > head[-1][0]]
+            # events at the pending timestamp appear exactly once overall
+            seen_ts = [t for t, _ in merged]
+            assert seen_ts == sorted(seen_ts)
+            assert merged == collected_full.get(output, [])

@@ -1,0 +1,78 @@
+"""Every shipped .tessla spec must parse, analyze and run correctly."""
+
+import pathlib
+
+import pytest
+
+from repro.compiler import compile_spec
+from repro.frontend import parse_spec
+from repro.lang import check_types, flatten
+from repro.lang.lint import lint
+from repro.testing import assert_equivalent
+
+SPEC_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples" / "specs"
+SPEC_FILES = sorted(SPEC_DIR.glob("*.tessla"))
+
+
+def test_spec_dir_populated():
+    assert len(SPEC_FILES) >= 4
+
+
+@pytest.mark.parametrize("path", SPEC_FILES, ids=lambda p: p.name)
+def test_parses_and_compiles(path):
+    spec = parse_spec(path.read_text())
+    compiled = compile_spec(spec)
+    assert compiled.monitor_class.OUTPUTS
+
+
+@pytest.mark.parametrize("path", SPEC_FILES, ids=lambda p: p.name)
+def test_lint_clean(path):
+    flat = flatten(parse_spec(path.read_text()))
+    check_types(flat)
+    warnings = lint(flat)
+    assert warnings == [], [str(w) for w in warnings]
+
+
+class TestBehaviour:
+    def _spec(self, name):
+        return parse_spec((SPEC_DIR / name).read_text())
+
+    def test_seen_set(self):
+        out = assert_equivalent(
+            self._spec("seen_set.tessla"), {"i": [(1, 4), (2, 4), (3, 5)]}
+        )
+        assert out["s"] == [(1, False), (2, True), (3, False)]
+
+    def test_login_monitor(self):
+        out = assert_equivalent(
+            self._spec("login_monitor.tessla"),
+            {
+                "login": [(1, 7)],
+                "logout": [(10, 7)],
+                "action": [(5, 7), (12, 7), (13, 8)],
+            },
+        )
+        assert out["ok"] == [(5, True), (12, False), (13, False)]
+
+    def test_login_monitor_is_optimizable(self):
+        compiled = compile_spec(self._spec("login_monitor.tessla"))
+        assert "active" in compiled.mutable_streams
+
+    def test_request_stats(self):
+        out = assert_equivalent(
+            self._spec("request_stats.tessla"),
+            {"latency": [(1, 30), (500, 10), (2000, 90)]},
+        )
+        assert [v for _, v in out["n"]] == [0, 1, 2, 3]
+        assert [v for _, v in out["total"]] == [0, 30, 40, 130]
+        assert [v for _, v in out["worst"]] == [30, 30, 90]
+        assert [v for _, v in out["best"]] == [30, 10, 10]
+        assert out["stale"] == [(500, False), (2000, True)]
+
+    def test_heartbeat_watchdog(self):
+        out = assert_equivalent(
+            self._spec("heartbeat_watchdog.tessla"),
+            {"hb": [(1, 0), (30, 0), (200, 0)]},
+        )
+        # 30 -> re-armed to 80; silence 30..200 trips at 80; trailing 250
+        assert out["alarm_at"] == [(80, 80), (250, 250)]

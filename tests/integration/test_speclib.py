@@ -1,0 +1,183 @@
+"""Behavioural tests for the evaluation specifications (§V semantics).
+
+The differential tests prove the three backends agree; these tests pin
+down WHAT the monitors compute, on hand-checked scenarios.
+"""
+
+from repro.compiler import compile_spec
+from repro.speclib import (
+    db_access_constraint,
+    db_time_constraint,
+    map_window,
+    peak_detection,
+    queue_window,
+    seen_set,
+    spectrum_calculation,
+)
+
+
+def run(spec, inputs):
+    return compile_spec(spec).run(inputs)
+
+
+class TestSeenSet:
+    def test_toggle_semantics(self):
+        out = run(seen_set(), {"i": [(1, 7), (2, 7), (3, 7), (4, 7)]})
+        # present after t1, removed at t2, re-added at t3, removed at t4
+        assert out["was"] == [(1, False), (2, True), (3, False), (4, True)]
+
+    def test_independent_values(self):
+        out = run(seen_set(), {"i": [(1, 1), (2, 2), (3, 1)]})
+        assert out["was"] == [(1, False), (2, False), (3, True)]
+
+
+class TestMapWindow:
+    def test_reports_nth_last_value(self):
+        out = run(map_window(3), {"i": [(t, 100 + t) for t in range(1, 8)]})
+        values = [v for _, v in out["nth"]]
+        # first three slots empty (-1), then the value 3 steps back
+        assert values == [-1, -1, -1, 101, 102, 103, 104]
+
+    def test_window_of_one(self):
+        out = run(map_window(1), {"i": [(1, 5), (2, 6), (3, 7)]})
+        assert [v for _, v in out["nth"]] == [-1, 5, 6]
+
+
+class TestQueueWindow:
+    def test_same_behaviour_as_map_window(self):
+        """§V-A: "the same behavior as in Map Window but with a queue".
+
+        The map variant reads slot ``pos`` *before* overwriting it (the
+        value n inputs ago), the queue variant reads the head right
+        after enqueueing (n-1 inputs ago), so ``map_window(n)`` aligns
+        with ``queue_window(n + 1)`` once the window has filled.
+        """
+        trace = {"i": [(t, 100 + t) for t in range(1, 8)]}
+        queue_out = run(queue_window(4), trace)
+        map_out = run(map_window(3), trace)
+        map_values = [(t, v) for t, v in map_out["nth"] if v != -1]
+        assert queue_out["nth"].events == map_values
+
+    def test_fifo_order(self):
+        out = run(queue_window(2), {"i": [(1, 10), (2, 20), (3, 30)]})
+        assert out["nth"] == [(2, 10), (3, 20)]
+
+
+class TestDbTimeConstraint:
+    def test_within_window_ok(self):
+        out = run(
+            db_time_constraint(60),
+            {"db2": [(10, 1)], "db3": [(30, 1)]},
+        )
+        assert out["ok"] == [(30, True)]
+
+    def test_too_late_flagged(self):
+        out = run(
+            db_time_constraint(60),
+            {"db2": [(10, 1)], "db3": [(100, 1)]},
+        )
+        assert out["ok"] == [(100, False)]
+
+    def test_never_inserted_flagged(self):
+        out = run(
+            db_time_constraint(60),
+            {"db2": [(10, 1)], "db3": [(20, 999)]},
+        )
+        assert out["ok"] == [(20, False)]
+
+    def test_newest_insert_wins(self):
+        out = run(
+            db_time_constraint(60),
+            {"db2": [(10, 1), (200, 1)], "db3": [(220, 1)]},
+        )
+        assert out["ok"] == [(220, True)]
+
+
+class TestDbAccessConstraint:
+    def test_lifecycle(self):
+        out = run(
+            db_access_constraint(),
+            {
+                "ins": [(1, 5)],
+                "del_": [(10, 5)],
+                "acc": [(2, 5), (11, 5)],
+            },
+        )
+        # live at t=2, deleted before t=11
+        assert out["ok"] == [(2, True), (11, False)]
+
+    def test_access_before_insert(self):
+        out = run(
+            db_access_constraint(),
+            {"ins": [(5, 1)], "del_": [], "acc": [(2, 1), (7, 1)]},
+        )
+        assert out["ok"] == [(2, False), (7, True)]
+
+
+class TestPeakDetection:
+    def test_flat_signal_no_peaks(self):
+        trace = {"x": [(t, 100.0) for t in range(1, 40)]}
+        out = run(peak_detection(window=5), trace)
+        assert all(v is False for _, v in out["peak"])
+
+    def test_spike_detected(self):
+        values = [100.0] * 20
+        values[10] = 500.0  # one big outlier
+        trace = {"x": [(t + 1, v) for t, v in enumerate(values)]}
+        out = run(peak_detection(window=5, deviation=0.4), trace)
+        assert any(v is True for _, v in out["peak"])
+
+
+class TestSpectrumCalculation:
+    def test_histogram_counts(self):
+        trace = {"x": [(1, 50.0), (2, 150.0), (3, 55.0), (4, 149.0)]}
+        out = run(spectrum_calculation(bucket_width=100.0), trace)
+        # c_new reports the running count of the current bucket
+        assert out["c_new"] == [(1, 1), (2, 1), (3, 2), (4, 2)]
+
+    def test_above_threshold_counter(self):
+        trace = {"x": [(1, 10.0), (2, 9000.0), (3, 9000.0), (4, 10.0)]}
+        out = run(spectrum_calculation(threshold=5000.0), trace)
+        assert [v for _, v in out["above"]] == [0, 1, 2, 2]
+
+
+class TestVectorWindow:
+    def test_steady_state_reports_nth_back(self):
+        from repro.speclib import vector_window
+
+        out = run(vector_window(3), {"i": [(t, 100 + t) for t in range(1, 9)]})
+        # after the first full modulo cycle the slot read is 3 steps back
+        steady = [(t, v) for t, v in out["nth"] if t >= 6]
+        assert steady == [(6, 103), (7, 104), (8, 105)]
+
+    def test_all_aggregates_mutable(self):
+        from repro.analysis import analyze_mutability
+        from repro.lang import flatten
+        from repro.speclib import vector_window
+
+        result = analyze_mutability(flatten(vector_window(4)))
+        assert result.persistent == frozenset()
+        assert {"vw", "vw_l", "vw_m"} <= result.mutable
+
+
+class TestWatchdog:
+    def test_alarm_on_silence(self):
+        from repro.speclib import watchdog
+
+        out = run(watchdog(10), {"hb": [(1, 0), (5, 0), (30, 0)]})
+        # silence from 5 to 30 trips the alarm at 15; the trailing
+        # silence after 30 trips it again at 40 on finish
+        assert out["alarm_at"] == [(15, 15), (40, 40)]
+
+    def test_no_alarm_when_heartbeats_flow(self):
+        from repro.speclib import watchdog
+
+        out = run(watchdog(10), {"hb": [(t, 0) for t in range(1, 50, 5)]})
+        # the trailing arm after the final heartbeat still fires once
+        assert out["alarm_at"] == [(56, 56)]
+
+    def test_differential(self):
+        from repro.speclib import watchdog
+        from repro.testing import assert_equivalent
+
+        assert_equivalent(watchdog(7), {"hb": [(1, 0), (3, 0), (20, 0)]})

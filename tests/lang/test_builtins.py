@@ -1,0 +1,227 @@
+"""Tests for the lifted-function registry."""
+
+import pytest
+
+from repro.lang.builtins import (
+    Access,
+    EventPattern,
+    LiftedFunction,
+    REGISTRY,
+    builtin,
+    const_fn,
+    pointwise,
+    register,
+)
+from repro.lang.types import BOOL, INT, SetType, TypeVar
+from repro.structures import Backend, MutableSet, PersistentSet
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert builtin("add").name == "add"
+        with pytest.raises(KeyError, match="unknown builtin"):
+            builtin("frobnicate")
+
+    def test_duplicate_rejected(self):
+        func = builtin("add")
+        with pytest.raises(ValueError, match="already registered"):
+            register(func)
+
+    def test_every_builtin_is_consistent(self):
+        for name, func in REGISTRY.items():
+            assert func.name == name
+            assert len(func.access) == func.arity == len(func.arg_types)
+            # every builtin must be bindable on all backends
+            for backend in Backend:
+                assert callable(func.bind(backend))
+
+    def test_access_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="access/arity"):
+            LiftedFunction(
+                "broken",
+                EventPattern.ALL,
+                (Access.NONE,),
+                (INT, INT),
+                INT,
+                lambda backend: (lambda a, b: a),
+            )
+
+
+class TestTriggerSpecs:
+    def test_all_pattern_trigger(self):
+        assert builtin("add").trigger == ("and", 0, 1)
+
+    def test_any_pattern_trigger(self):
+        assert builtin("merge").trigger == ("or", 0, 1)
+
+    def test_custom_with_exact_trigger(self):
+        assert builtin("at").trigger == ("and", 0, 1)
+        assert builtin("map_put_if").trigger == 0
+        assert builtin("set_update_if").trigger == 0
+
+    def test_custom_without_trigger_is_atom(self):
+        assert builtin("filter").trigger is None
+
+
+class TestSemantics:
+    def test_scalar_ops(self):
+        run = lambda name, *args: builtin(name).bind(Backend.PERSISTENT)(*args)
+        assert run("add", 2, 3) == 5
+        assert run("sub", 2, 3) == -1
+        assert run("mul", 2, 3) == 6
+        assert run("div", 7, 2) == 3
+        assert run("mod", 7, 2) == 1
+        assert run("neg", 5) == -5
+        assert run("fdiv", 7.0, 2.0) == 3.5
+        assert run("eq", 1, 1) is True
+        assert run("lt", 1, 2) is True
+        assert run("and", True, False) is False
+        assert run("not", False) is True
+        assert run("ite", True, 1, 2) == 1
+        assert run("ite", False, 1, 2) == 2
+        assert run("min", 3, 1) == 1
+        assert run("max", 3, 1) == 3
+
+    def test_merge_prioritizes_first(self):
+        merge = builtin("merge").bind(Backend.PERSISTENT)
+        assert merge(1, 2) == 1
+        assert merge(None, 2) == 2
+        assert merge(1, None) == 1
+        assert merge(None, None) is None
+
+    def test_filter(self):
+        filt = builtin("filter").bind(Backend.PERSISTENT)
+        assert filt(5, True) == 5
+        assert filt(5, False) is None
+        assert filt(None, True) is None
+        assert filt(5, None) is None
+
+    def test_at(self):
+        at = builtin("at").bind(Backend.PERSISTENT)
+        assert at(5, ()) == 5
+        assert at(5, None) is None
+        assert at(None, ()) is None
+
+    def test_constructors_respect_backend(self):
+        make = builtin("set_empty")
+        assert isinstance(make.bind(Backend.PERSISTENT)(()), PersistentSet)
+        assert isinstance(make.bind(Backend.MUTABLE)(()), MutableSet)
+
+    def test_set_ops(self):
+        backend = Backend.PERSISTENT
+        empty = builtin("set_empty").bind(backend)(())
+        add = builtin("set_add").bind(backend)
+        toggle = builtin("set_toggle").bind(backend)
+        contains = builtin("set_contains").bind(backend)
+        s = add(empty, 1)
+        assert contains(s, 1) is True
+        assert contains(s, 2) is False
+        s2 = toggle(s, 1)
+        assert contains(s2, 1) is False
+        s3 = toggle(s2, 1)
+        assert contains(s3, 1) is True
+        assert builtin("set_size").bind(backend)(s3) == 1
+
+    def test_map_ops(self):
+        backend = Backend.MUTABLE
+        m = builtin("map_empty").bind(backend)(())
+        m = builtin("map_put").bind(backend)(m, 1, "a")
+        assert builtin("map_get_or").bind(backend)(m, 1, "z") == "a"
+        assert builtin("map_get_or").bind(backend)(m, 2, "z") == "z"
+        assert builtin("map_contains").bind(backend)(m, 1) is True
+        m = builtin("map_remove").bind(backend)(m, 1)
+        assert builtin("map_size").bind(backend)(m) == 0
+
+    def test_queue_ops(self):
+        backend = Backend.PERSISTENT
+        q = builtin("queue_empty").bind(backend)(())
+        q = builtin("queue_enq").bind(backend)(q, 1)
+        q = builtin("queue_enq").bind(backend)(q, 2)
+        assert builtin("queue_front_or").bind(backend)(q, -1) == 1
+        assert builtin("queue_size").bind(backend)(q) == 2
+        q = builtin("queue_deq").bind(backend)(q)
+        assert builtin("queue_front_or").bind(backend)(q, -1) == 2
+        # deq on empty is a no-op, front_or falls back to default
+        q = builtin("queue_deq").bind(backend)(q)
+        q = builtin("queue_deq").bind(backend)(q)
+        assert builtin("queue_front_or").bind(backend)(q, -1) == -1
+
+    def test_queue_deq_if(self):
+        backend = Backend.PERSISTENT
+        q = builtin("queue_empty").bind(backend)(())
+        q = builtin("queue_enq").bind(backend)(q, 1)
+        deq_if = builtin("queue_deq_if").bind(backend)
+        assert len(deq_if(q, False)) == 1
+        assert len(deq_if(q, True)) == 0
+
+    def test_vector_ops(self):
+        backend = Backend.COPYING
+        v = builtin("vec_empty").bind(backend)(())
+        v = builtin("vec_append").bind(backend)(v, 10)
+        v = builtin("vec_set").bind(backend)(v, 0, 20)
+        assert builtin("vec_get_or").bind(backend)(v, 0, -1) == 20
+        assert builtin("vec_get_or").bind(backend)(v, 5, -1) == -1
+        assert builtin("vec_size").bind(backend)(v) == 1
+        # out-of-range set is a no-op
+        assert list(builtin("vec_set").bind(backend)(v, 9, 0)) == [20]
+
+    def test_map_put_if(self):
+        backend = Backend.PERSISTENT
+        impl = builtin("map_put_if").bind(backend)
+        m = builtin("map_empty").bind(backend)(())
+        assert impl(None, 1, 2) is None
+        assert impl(m, None, 2) is m
+        assert impl(m, 1, None) is m
+        assert impl(m, 1, 2).get(1) == 2
+
+    def test_set_update_if(self):
+        backend = Backend.PERSISTENT
+        impl = builtin("set_update_if").bind(backend)
+        s = builtin("set_empty").bind(backend)(())
+        assert impl(None, 1, None) is None
+        assert impl(s, None, None) is s
+        s1 = impl(s, 7, None)
+        assert 7 in s1
+        s2 = impl(s1, None, 7)
+        assert 7 not in s2
+        # simultaneous add + remove of the same id: net removal
+        assert 3 not in impl(s, 3, 3)
+
+    def test_set_add_if(self):
+        backend = Backend.PERSISTENT
+        impl = builtin("set_add_if").bind(backend)
+        s = builtin("set_empty").bind(backend)(())
+        assert 1 in impl(s, 1, True)
+        assert 1 not in impl(s, 1, False)
+
+
+class TestAdHocFunctions:
+    def test_const_fn(self):
+        func = const_fn(42)
+        assert func.bind(Backend.PERSISTENT)(()) == 42
+        assert func.arg_types[0].name == "Unit"
+        assert func.result_type == INT
+        assert func.name == "const(42)"
+
+    def test_const_fn_not_registered(self):
+        const_fn(43)
+        with pytest.raises(KeyError):
+            builtin("const(43)")
+
+    def test_pointwise(self):
+        inc = pointwise("inc", lambda x: x + 1, (INT,), INT)
+        assert inc.bind(Backend.MUTABLE)(4) == 5
+        assert inc.pattern is EventPattern.ALL
+        assert inc.access == (Access.NONE,)
+
+    def test_pointwise_complex_defaults_to_read(self):
+        size = pointwise("sz", len, (SetType(INT),), INT)
+        assert size.access == (Access.READ,)
+
+    def test_instantiate_freshens_vars(self):
+        func = builtin("merge")
+        args1, res1 = func.instantiate("1")
+        args2, res2 = func.instantiate("2")
+        assert args1[0] != args2[0]
+        assert isinstance(res1, TypeVar)
+        assert args1 == (res1, res1)

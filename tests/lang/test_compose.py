@@ -1,0 +1,138 @@
+"""Tests for specification composition and renaming."""
+
+import pytest
+
+from repro.lang import BOOL, INT, SpecError, TimeExpr, Var
+from repro.lang.compose import compose, rename
+from repro.speclib import fig1_spec, seen_set
+from repro.testing import assert_equivalent
+
+
+class TestRename:
+    def test_definitions_prefixed_inputs_kept(self):
+        spec = rename(fig1_spec(), "a_")
+        assert set(spec.inputs) == {"i"}
+        assert set(spec.definitions) == {"a_m", "a_yl", "a_y", "a_s"}
+        assert spec.outputs == ["a_s"]
+
+    def test_references_rewritten(self):
+        spec = rename(fig1_spec(), "a_")
+        # a_yl = last(a_m, i): the defined ref renamed, the input not
+        last = spec.definitions["a_yl"]
+        assert last.value == Var("a_m")
+        assert last.trigger == Var("i")
+
+    def test_semantics_preserved(self):
+        trace = {"i": [(1, 4), (2, 4)]}
+        original = assert_equivalent(fig1_spec(), trace)
+        renamed = assert_equivalent(rename(fig1_spec(), "x_"), trace)
+        assert renamed["x_s"] == original["s"]
+
+    def test_annotations_renamed(self):
+        from repro.lang import Nil, SetType, Specification
+
+        spec = Specification(
+            inputs={},
+            definitions={"e": Nil(SetType(INT))},
+            type_annotations={"e": SetType(INT)},
+        )
+        renamed = rename(spec, "q_")
+        assert renamed.type_annotations == {"q_e": SetType(INT)}
+
+
+class TestCompose:
+    def test_two_monitors_over_shared_input(self):
+        combined = compose(fig1_spec(), seen_set())
+        assert set(combined.inputs) == {"i"}
+        assert "s" in combined.definitions
+        assert "was" in combined.definitions
+        assert combined.outputs == ["s", "was"]
+
+    def test_composed_semantics_match_parts(self):
+        trace = {"i": [(1, 3), (2, 3), (3, 4)]}
+        combined_out = assert_equivalent(compose(fig1_spec(), seen_set()), trace)
+        assert combined_out["s"] == assert_equivalent(fig1_spec(), trace)["s"]
+        assert (
+            combined_out["was"]
+            == assert_equivalent(seen_set(), trace)["was"]
+        )
+
+    def test_composed_analysis_keeps_families_independent(self):
+        from repro.analysis import analyze_mutability
+        from repro.lang import flatten
+
+        result = analyze_mutability(flatten(compose(fig1_spec(), seen_set())))
+        assert result.persistent == frozenset()
+
+    def test_clashing_definitions_rejected(self):
+        with pytest.raises(SpecError, match="defined differently"):
+            compose(fig1_spec(), rename_clash())
+
+    def test_namespace_resolves_clashes(self):
+        combined = compose(fig1_spec(), rename_clash(), namespace=True)
+        assert "p0_s" in combined.definitions
+        assert "p1_s" in combined.definitions
+
+    def test_identical_shared_definition_tolerated(self):
+        combined = compose(fig1_spec(), fig1_spec())
+        assert combined.outputs == ["s"]
+
+    def test_conflicting_input_types_rejected(self):
+        from repro.lang import Specification
+
+        a = Specification({"x": INT}, {"t": TimeExpr(Var("x"))}, ["t"])
+        b = Specification({"x": BOOL}, {"u": TimeExpr(Var("x"))}, ["u"])
+        with pytest.raises(SpecError, match="conflicting types"):
+            compose(a, b)
+
+    def test_input_vs_definition_clash_rejected(self):
+        from repro.lang import Specification
+
+        a = Specification({"x": INT}, {"t": TimeExpr(Var("x"))}, ["t"])
+        b = Specification({"y": INT}, {"x": TimeExpr(Var("y"))}, ["x"])
+        with pytest.raises(SpecError, match="input of one part"):
+            compose(a, b)
+
+    def test_empty_rejected(self):
+        with pytest.raises(SpecError, match="at least one"):
+            compose()
+
+
+def rename_clash():
+    """A spec whose 's' definition differs from fig1's."""
+    from repro.lang import Specification
+
+    return Specification(
+        inputs={"i": INT},
+        definitions={"s": TimeExpr(Var("i"))},
+        outputs=["s"],
+    )
+
+
+class TestSubstituteInputs:
+    def test_rewires_input(self):
+        from repro.lang.compose import substitute_inputs
+        from repro.speclib import watchdog
+
+        spec = substitute_inputs(watchdog(5), {"hb": "events"})
+        assert set(spec.inputs) == {"events"}
+        out = assert_equivalent(spec, {"events": [(1, 0), (20, 0)]})
+        assert out["alarm_at"][0] == (6, 6)
+
+    def test_unknown_input_rejected(self):
+        from repro.lang.compose import substitute_inputs
+
+        with pytest.raises(SpecError, match="not input streams"):
+            substitute_inputs(fig1_spec(), {"ghost": "x"})
+
+    def test_non_injective_rejected(self):
+        from repro.lang import Specification
+        from repro.lang.compose import substitute_inputs
+
+        spec = Specification(
+            {"a": INT, "b": INT},
+            {"t": TimeExpr(Var("a")), "u": TimeExpr(Var("b"))},
+            ["t", "u"],
+        )
+        with pytest.raises(SpecError, match="injective"):
+            substitute_inputs(spec, {"a": "b"})

@@ -1,0 +1,162 @@
+"""Tests for desugaring and flattening."""
+
+import pytest
+
+from repro.lang import (
+    Const,
+    Default,
+    INT,
+    Last,
+    Lift,
+    Merge,
+    Nil,
+    SpecError,
+    Specification,
+    TimeExpr,
+    UnitExpr,
+    Var,
+    desugar,
+    flatten,
+)
+from repro.lang.ast import is_flat
+from repro.lang.builtins import MERGE, builtin
+from repro.speclib import fig1_spec
+
+
+class TestDesugar:
+    def test_const_becomes_lift_over_unit(self):
+        result = desugar(Const(5))
+        assert isinstance(result, Lift)
+        assert result.args == (UnitExpr(),)
+        assert result.func.name == "const(5)"
+
+    def test_merge_becomes_lift(self):
+        result = desugar(Merge(Var("a"), Var("b")))
+        assert result == Lift(MERGE, (Var("a"), Var("b")))
+
+    def test_default_becomes_merge_with_const(self):
+        result = desugar(Default(Var("a"), 7))
+        assert isinstance(result, Lift)
+        assert result.func is MERGE
+        assert result.args[0] == Var("a")
+        inner = result.args[1]
+        assert isinstance(inner, Lift)
+        assert inner.func.name == "const(7)"
+
+    def test_recurses_into_operators(self):
+        result = desugar(Last(Merge(Var("a"), Var("b")), TimeExpr(Var("c"))))
+        assert isinstance(result, Last)
+        assert isinstance(result.value, Lift)
+        assert isinstance(result.trigger, TimeExpr)
+
+    def test_basic_nodes_unchanged(self):
+        for expr in (Var("x"), Nil(INT), UnitExpr()):
+            assert desugar(expr) == expr
+
+
+class TestFlatten:
+    def test_fig1_shape(self):
+        flat = flatten(fig1_spec())
+        assert all(is_flat(e) for e in flat.definitions.values())
+        # user streams survive, synthetic streams are added
+        assert {"m", "yl", "y", "s"} <= set(flat.definitions)
+        assert flat.synthetic
+        assert all(name.startswith("_s") for name in flat.synthetic)
+
+    def test_cse_shares_subexpressions(self):
+        # Two uses of the same constant become one synthetic stream.
+        spec = Specification(
+            inputs={"i": INT},
+            definitions={
+                "a": Merge(Var("i"), Const(1)),
+                "b": Merge(Var("i"), Const(1)),
+            },
+        )
+        flat = flatten(spec)
+        # one const lift + one unit, not two of each
+        const_defs = [
+            n
+            for n, e in flat.definitions.items()
+            if isinstance(e, Lift) and e.func.name == "const(1)"
+        ]
+        assert len(const_defs) == 1
+
+    def test_alias_definitions_substituted(self):
+        spec = Specification(
+            inputs={"i": INT},
+            definitions={
+                "a": Merge(Var("i"), Const(1)),
+                "b": Var("a"),
+                "c": TimeExpr(Var("b")),
+            },
+            outputs=["b", "c"],
+        )
+        flat = flatten(spec)
+        assert "b" not in flat.definitions
+        assert flat.definitions["c"] == TimeExpr(Var("a"))
+        assert flat.outputs == ["a", "c"]
+
+    def test_alias_cycle_rejected(self):
+        spec = Specification(
+            inputs={"i": INT},
+            definitions={"a": Var("b"), "b": Var("a")},
+            outputs=["a"],
+        )
+        with pytest.raises(SpecError, match="alias cycle"):
+            flatten(spec)
+
+    def test_reserved_prefix_rejected(self):
+        spec = Specification(
+            inputs={"i": INT},
+            definitions={"_s0": TimeExpr(Var("i"))},
+        )
+        with pytest.raises(SpecError, match="reserved prefix"):
+            flatten(spec)
+
+    def test_recursion_through_last_allowed(self):
+        flat = flatten(fig1_spec())
+        assert "yl" in flat.definitions  # no exception raised
+
+    def test_illegal_recursion_rejected(self):
+        spec = Specification(
+            inputs={"i": INT},
+            definitions={
+                "a": Merge(Var("b"), Var("i")),
+                "b": Merge(Var("a"), Var("i")),
+            },
+        )
+        with pytest.raises(SpecError, match="illegal recursion"):
+            flatten(spec)
+
+    def test_recursion_through_last_trigger_rejected(self):
+        # Recursion must go through the FIRST parameter of last.
+        spec = Specification(
+            inputs={"i": INT},
+            definitions={"a": Last(Var("i"), Var("a"))},
+        )
+        with pytest.raises(SpecError, match="illegal recursion"):
+            flatten(spec)
+
+
+class TestSpecificationValidation:
+    def test_unknown_stream_rejected(self):
+        with pytest.raises(SpecError, match="unknown stream"):
+            Specification(inputs={}, definitions={"a": TimeExpr(Var("ghost"))})
+
+    def test_input_redefinition_rejected(self):
+        with pytest.raises(SpecError, match="defined and declared"):
+            Specification(
+                inputs={"i": INT}, definitions={"i": TimeExpr(Var("i"))}
+            )
+
+    def test_unknown_output_rejected(self):
+        with pytest.raises(SpecError, match="not a known stream"):
+            Specification(
+                inputs={"i": INT},
+                definitions={"a": TimeExpr(Var("i"))},
+                outputs=["nope"],
+            )
+
+    def test_outputs_default_to_definitions(self):
+        spec = Specification(inputs={"i": INT}, definitions={"a": TimeExpr(Var("i"))})
+        assert spec.outputs == ["a"]

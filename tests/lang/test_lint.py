@@ -1,0 +1,95 @@
+"""Tests for the specification linter."""
+
+from repro.frontend import parse_spec
+from repro.lang import check_types, flatten
+from repro.lang.lint import lint, zero_only_streams
+from repro.speclib import fig1_spec, seen_set
+
+
+def lint_text(text):
+    flat = flatten(parse_spec(text))
+    check_types(flat)
+    return lint(flat)
+
+
+def codes(warnings):
+    return [w.code for w in warnings]
+
+
+class TestZeroOnly:
+    def test_constants_and_unit(self):
+        flat = flatten(parse_spec("in i: Int\ndef c := 5\ndef t := time(c)\nout c, t"))
+        zero = zero_only_streams(flat)
+        assert any(n in zero for n in flat.definitions if n.startswith("_s"))
+        assert "c" in zero
+        assert "t" in zero
+
+    def test_inputs_not_zero_only(self):
+        flat = flatten(parse_spec("in i: Int\ndef t := time(i)\nout t"))
+        assert "t" not in zero_only_streams(flat)
+
+    def test_merge_with_live_not_zero_only(self):
+        flat = flatten(parse_spec("in i: Int\ndef d := default(i, 0)\nout d"))
+        assert "d" not in zero_only_streams(flat)
+
+
+class TestStarvedLift:
+    def test_classic_counter_mistake_flagged(self):
+        warnings = lint_text(
+            "in x: Int\ndef cnt := default(last(cnt, x) + 1, 0)\nout cnt"
+        )
+        assert "starved-lift" in codes(warnings)
+        [starved] = [w for w in warnings if w.code == "starved-lift"]
+        assert "slift" in starved.message
+
+    def test_slift_version_clean(self):
+        warnings = lint_text(
+            "in x: Int\ndef cnt := default(slift(add, last(cnt, x), 0), 0)\nout cnt"
+        )
+        assert "starved-lift" not in codes(warnings)
+
+    def test_macro_count_clean(self):
+        warnings = lint_text("in x: Int\ndef cnt := count(x)\nout cnt")
+        assert "starved-lift" not in codes(warnings)
+
+    def test_fig1_clean(self):
+        flat = flatten(fig1_spec())
+        check_types(flat)
+        assert lint(flat) == []
+
+    def test_seen_set_clean(self):
+        flat = flatten(seen_set())
+        check_types(flat)
+        assert lint(flat) == []
+
+
+class TestOtherChecks:
+    def test_dead_stream(self):
+        warnings = lint_text(
+            "in i: Int\ndef used := time(i)\ndef dead := time(i)\nout used"
+        )
+        assert ("dead-stream", "dead") in [(w.code, w.stream) for w in warnings]
+
+    def test_unused_input(self):
+        warnings = lint_text("in i: Int\nin ghost: Int\ndef t := time(i)\nout t")
+        assert ("unused-input", "ghost") in [(w.code, w.stream) for w in warnings]
+
+    def test_constant_output(self):
+        warnings = lint_text("in i: Int\ndef c := 42\ndef t := time(i)\nout c, t")
+        assert ("constant-output", "c") in [(w.code, w.stream) for w in warnings]
+
+    def test_warning_str(self):
+        [warning] = [
+            w
+            for w in lint_text("in i: Int\nin g: Int\ndef t := time(i)\nout t")
+            if w.code == "unused-input"
+        ]
+        assert str(warning).startswith("[unused-input] g:")
+
+    def test_cli_prints_warnings(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spec = tmp_path / "s.tessla"
+        spec.write_text("in i: Int\nin g: Int\ndef t := time(i)\nout t\n")
+        assert main(["analyze", str(spec)]) == 0
+        assert "unused-input" in capsys.readouterr().out

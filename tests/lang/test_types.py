@@ -1,0 +1,136 @@
+"""Tests for the type system: construction, unification, substitution."""
+
+import pytest
+
+from repro.lang import types as ty
+from repro.lang.types import (
+    BOOL,
+    FLOAT,
+    INT,
+    STR,
+    UNIT,
+    MapType,
+    QueueType,
+    SetType,
+    Type,
+    TypeVar,
+    VectorType,
+)
+
+
+class TestStructure:
+    def test_primitives_distinct(self):
+        prims = [INT, FLOAT, BOOL, STR, UNIT]
+        assert len(set(prims)) == len(prims)
+
+    def test_primitive_lookup(self):
+        assert ty.primitive("Int") is INT
+        assert ty.primitive("Nope") is None
+
+    def test_complexity(self):
+        assert not INT.is_complex
+        assert not BOOL.is_complex
+        assert SetType(INT).is_complex
+        assert MapType(INT, STR).is_complex
+        assert QueueType(FLOAT).is_complex
+        assert VectorType(INT).is_complex
+
+    def test_parametric_equality(self):
+        assert SetType(INT) == SetType(INT)
+        assert SetType(INT) != SetType(FLOAT)
+        assert SetType(INT) != QueueType(INT)
+        assert MapType(INT, BOOL) == MapType(INT, BOOL)
+        assert MapType(INT, BOOL) != MapType(BOOL, INT)
+        assert hash(SetType(INT)) == hash(SetType(INT))
+
+    def test_str(self):
+        assert str(MapType(INT, SetType(BOOL))) == "Map<Int, Set<Bool>>"
+        assert str(INT) == "Int"
+
+    def test_accessors(self):
+        assert SetType(INT).element == INT
+        assert MapType(INT, STR).key == INT
+        assert MapType(INT, STR).value == STR
+        assert QueueType(FLOAT).element == FLOAT
+        assert VectorType(BOOL).element == BOOL
+
+    def test_parametric_by_name(self):
+        assert ty.parametric("Set", INT) == SetType(INT)
+        assert ty.parametric("Map", INT, BOOL) == MapType(INT, BOOL)
+        with pytest.raises(ty.TypeError_):
+            ty.parametric("Set", INT, INT)
+        with pytest.raises(ty.TypeError_):
+            ty.parametric("Tree", INT)
+
+
+class TestUnification:
+    def test_identical(self):
+        binding = {}
+        ty.unify(INT, INT, binding)
+        assert binding == {}
+
+    def test_var_binds(self):
+        a = TypeVar("a")
+        binding = {}
+        ty.unify(a, INT, binding)
+        assert binding[a] == INT
+
+    def test_var_on_right(self):
+        a = TypeVar("a")
+        binding = {}
+        ty.unify(SetType(INT), SetType(a), binding)
+        assert binding[a] == INT
+
+    def test_nested(self):
+        a, b = TypeVar("a"), TypeVar("b")
+        binding = {}
+        ty.unify(MapType(a, b), MapType(INT, BOOL), binding)
+        assert ty.substitute(a, binding) == INT
+        assert ty.substitute(b, binding) == BOOL
+
+    def test_transitive_chain(self):
+        a, b = TypeVar("a"), TypeVar("b")
+        binding = {}
+        ty.unify(a, b, binding)
+        ty.unify(b, INT, binding)
+        assert ty.substitute(a, binding) == INT
+
+    def test_mismatch_raises(self):
+        with pytest.raises(ty.TypeError_):
+            ty.unify(INT, BOOL, {})
+        with pytest.raises(ty.TypeError_):
+            ty.unify(SetType(INT), QueueType(INT), {})
+        with pytest.raises(ty.TypeError_):
+            ty.unify(SetType(INT), SetType(BOOL), {})
+
+    def test_occurs_check(self):
+        a = TypeVar("a")
+        with pytest.raises(ty.TypeError_):
+            ty.unify(a, SetType(a), {})
+
+    def test_substitute_parametric_identity(self):
+        s = SetType(INT)
+        assert ty.substitute(s, {}) is s
+
+    def test_type_vars_enumeration(self):
+        a, b = TypeVar("a"), TypeVar("b")
+        found = list(ty.type_vars(MapType(a, SetType(b))))
+        assert found == [a, b]
+
+
+class TestValueTyping:
+    def test_constants(self):
+        assert ty.type_of_value(True) == BOOL
+        assert ty.type_of_value(3) == INT
+        assert ty.type_of_value(3.5) == FLOAT
+        assert ty.type_of_value("x") == STR
+        assert ty.type_of_value(()) == UNIT
+
+    def test_bool_not_int(self):
+        # bool is a subclass of int in Python; the type system must not
+        # confuse them.
+        assert ty.type_of_value(True) == BOOL
+
+    def test_unsupported(self):
+        with pytest.raises(ty.TypeError_):
+            ty.type_of_value([1, 2])

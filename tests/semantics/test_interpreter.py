@@ -1,0 +1,243 @@
+"""Tests for the reference interpreter against hand-computed semantics."""
+
+import pytest
+
+from repro.lang import (
+    BOOL,
+    Const,
+    Default,
+    Delay,
+    INT,
+    Last,
+    Lift,
+    Merge,
+    Nil,
+    Specification,
+    TimeExpr,
+    UnitExpr,
+    Var,
+    flatten,
+)
+from repro.lang.builtins import builtin
+from repro.semantics import InterpreterError, Stream, interpret, stream
+from repro.speclib import fig1_spec, fig4_lower_spec, fig4_upper_spec, seen_set
+
+
+def run(spec, end_time=None, **inputs):
+    flat = flatten(spec)
+    streams = {name: Stream(events) for name, events in inputs.items()}
+    return interpret(flat, streams, end_time=end_time)
+
+
+class TestBasicOperators:
+    def test_nil(self):
+        out = run(Specification(inputs={}, definitions={"n": Nil(INT)}))
+        assert out["n"] == []
+
+    def test_unit(self):
+        out = run(Specification(inputs={}, definitions={"u": UnitExpr()}))
+        assert out["u"] == [(0, ())]
+
+    def test_const_at_zero(self):
+        out = run(Specification(inputs={}, definitions={"c": Const(5)}))
+        assert out["c"] == [(0, 5)]
+
+    def test_time(self):
+        spec = Specification(
+            inputs={"i": INT}, definitions={"t": TimeExpr(Var("i"))}
+        )
+        out = run(spec, i=[(3, 99), (8, 42)])
+        assert out["t"] == [(3, 3), (8, 8)]
+
+    def test_lift_all_pattern(self):
+        spec = Specification(
+            inputs={"a": INT, "b": INT},
+            definitions={"s": Lift(builtin("add"), (Var("a"), Var("b")))},
+        )
+        out = run(spec, a=[(1, 10), (3, 30)], b=[(1, 1), (2, 2)])
+        # event only where both a and b have one
+        assert out["s"] == [(1, 11)]
+
+    def test_merge_prioritizes_first(self):
+        spec = Specification(
+            inputs={"a": INT, "b": INT},
+            definitions={"m": Merge(Var("a"), Var("b"))},
+        )
+        out = run(spec, a=[(1, 10)], b=[(1, -1), (2, -2)])
+        assert out["m"] == [(1, 10), (2, -2)]
+
+    def test_last_samples_strictly_before(self):
+        spec = Specification(
+            inputs={"v": INT, "t": INT},
+            definitions={"l": Last(Var("v"), Var("t"))},
+        )
+        out = run(spec, v=[(1, 10), (5, 50)], t=[(1, 0), (3, 0), (5, 0), (7, 0)])
+        # at t=1 there is no strictly-previous v event
+        assert out["l"] == [(3, 10), (5, 10), (7, 50)]
+
+    def test_last_uninitialized_produces_nothing(self):
+        spec = Specification(
+            inputs={"v": INT, "t": INT},
+            definitions={"l": Last(Var("v"), Var("t"))},
+        )
+        out = run(spec, v=[], t=[(1, 0), (2, 0)])
+        assert out["l"] == []
+
+    def test_default_initializes(self):
+        spec = Specification(
+            inputs={"i": INT},
+            definitions={"d": Default(Var("i"), 7)},
+        )
+        out = run(spec, i=[(2, 5)])
+        assert out["d"] == [(0, 7), (2, 5)]
+
+    def test_filter(self):
+        spec = Specification(
+            inputs={"v": INT, "c": BOOL},
+            definitions={"f": Lift(builtin("filter"), (Var("v"), Var("c")))},
+        )
+        out = run(spec, v=[(1, 10), (2, 20), (3, 30)], c=[(1, True), (2, False)])
+        assert out["f"] == [(1, 10)]
+
+
+class TestRecursion:
+    def test_counter(self):
+        inc = __import__("repro.lang.builtins", fromlist=["pointwise"]).pointwise(
+            "inc", lambda x: x + 1, (INT,), INT
+        )
+        spec = Specification(
+            inputs={"i": INT},
+            definitions={
+                "cnt_l": Last(Var("cnt"), Var("i")),
+                "cnt": Merge(Lift(inc, (Var("cnt_l"),)), Const(0)),
+            },
+            outputs=["cnt"],
+        )
+        out = run(spec, i=[(1, 0), (2, 0), (5, 0)])
+        assert out["cnt"] == [(0, 0), (1, 1), (2, 2), (5, 3)]
+
+
+class TestDelay:
+    def test_single_shot(self):
+        spec = Specification(
+            inputs={"r": INT},
+            definitions={"z": Delay(Var("r"), Var("r"))},
+        )
+        # reset at t=1 with delay value 5 -> event at t=6
+        out = run(spec, r=[(1, 5)])
+        assert out["z"] == [(6, ())]
+
+    def test_reset_cancels_pending(self):
+        spec = Specification(
+            inputs={"r": INT},
+            definitions={"z": Delay(Var("r"), Var("r"))},
+        )
+        # first schedules t=6, but the reset at t=4 re-schedules to t=104
+        out = run(spec, r=[(1, 5), (4, 100)])
+        assert out["z"] == [(104, ())]
+
+    def test_reset_without_delay_value_cancels(self):
+        spec = Specification(
+            inputs={"d": INT, "r": INT},
+            definitions={"z": Delay(Var("d"), Var("r"))},
+        )
+        # r at t=3 has no simultaneous d event -> pending event cancelled
+        out = run(spec, d=[(1, 10)], r=[(1, 0), (3, 0)])
+        assert out["z"] == []
+
+    def test_self_perpetuating_periodic_clock(self):
+        # z fires, its own event resets it, d provides the period at
+        # every z event via a sampled constant.
+        from repro.lang.builtins import pointwise
+
+        period = pointwise("period", lambda _u: 3, (__import__(
+            "repro.lang.types", fromlist=["UNIT"]
+        ).UNIT,), INT)
+        spec = Specification(
+            inputs={},
+            definitions={
+                "z": Delay(Var("d"), Var("u0")),
+                "u0": UnitExpr(),
+                "zz": Merge(Var("z"), Var("u0")),
+                "d": Lift(period, (Var("zz"),)),
+            },
+            outputs=["z"],
+        )
+        out = run(spec, end_time=10)
+        assert out["z"] == [(3, ()), (6, ()), (9, ())]
+
+    def test_unbounded_delay_guard(self):
+        from repro.lang.builtins import pointwise
+        from repro.lang.types import UNIT
+
+        period = pointwise("period", lambda _u: 3, (UNIT,), INT)
+        spec = Specification(
+            inputs={},
+            definitions={
+                "z": Delay(Var("d"), Var("u0")),
+                "u0": UnitExpr(),
+                "zz": Merge(Var("z"), Var("u0")),
+                "d": Lift(period, (Var("zz"),)),
+            },
+            outputs=["z"],
+        )
+        flat = flatten(spec)
+        with pytest.raises(InterpreterError, match="end_time"):
+            interpret(flat, {}, end_time=None, max_steps=500)
+
+    def test_nonpositive_delay_rejected(self):
+        spec = Specification(
+            inputs={"r": INT},
+            definitions={"z": Delay(Var("r"), Var("r"))},
+        )
+        with pytest.raises(InterpreterError, match="positive"):
+            run(spec, r=[(1, 0)])
+
+
+class TestPaperExamples:
+    def test_fig1_semantics(self):
+        out = run(fig1_spec(), i=[(1, 4), (2, 7), (3, 4), (4, 4)])
+        # s reports whether i's value was already in the accumulated set
+        assert out["s"] == [(1, False), (2, False), (3, True), (4, True)]
+        assert sorted(out["y"].values()[-1]) == [4, 7]
+
+    def test_fig4_upper_semantics(self):
+        out = run(
+            fig4_upper_spec(),
+            i1=[(1, 5), (4, 6)],
+            i2=[(2, 5), (3, 9), (5, 6)],
+        )
+        # y' reproduces y's last value at i2 events
+        assert out["s"] == [(2, True), (3, False), (5, True)]
+
+    def test_fig4_lower_semantics(self):
+        # the paper's point: y' reproduces the same set twice; s modifies it
+        out = run(fig4_lower_spec(), i1=[(1, 1)], i2=[(2, 4), (3, 1)])
+        sets = [sorted(v) for _, v in out["s"]]
+        # the second s event must be built from the ORIGINAL {1}, not {1,4}
+        assert sets == [[1, 4], [1]]
+
+    def test_seen_set_semantics(self):
+        out = run(seen_set(), i=[(1, 3), (2, 3), (3, 3)])
+        # toggle: present after t1, removed at t2, present after t3
+        assert out["was"] == [(1, False), (2, True), (3, False)]
+
+
+class TestErrors:
+    def test_missing_input(self):
+        flat = flatten(fig1_spec())
+        with pytest.raises(InterpreterError, match="missing input"):
+            interpret(flat, {})
+
+    def test_unknown_input(self):
+        flat = flatten(fig1_spec())
+        with pytest.raises(InterpreterError, match="unknown input"):
+            interpret(flat, {"i": Stream(), "ghost": Stream()})
+
+    def test_failing_function_reports_stream(self):
+        spec = Specification(
+            inputs={"a": INT, "b": INT},
+            definitions={"q": Lift(builtin("div"), (Var("a"), Var("b")))},
+        )
+        with pytest.raises(InterpreterError, match="failed on stream 'q'"):
+            run(spec, a=[(1, 1)], b=[(1, 0)])

@@ -1,0 +1,64 @@
+"""Tests for the Stream container."""
+
+import pytest
+
+from repro.semantics import Stream, merge_timestamps, stream, unit_events
+
+
+class TestStream:
+    def test_empty(self):
+        s = Stream()
+        assert len(s) == 0
+        assert s.value_at(0) is None
+        assert s.last_before(100) is None
+        assert s.events == []
+
+    def test_value_at(self):
+        s = stream((1, "a"), (5, "b"), (9, "c"))
+        assert s.value_at(1) == "a"
+        assert s.value_at(5) == "b"
+        assert s.value_at(9) == "c"
+        assert s.value_at(0) is None
+        assert s.value_at(4) is None
+        assert s.value_at(10) is None
+
+    def test_last_before(self):
+        s = stream((1, "a"), (5, "b"))
+        assert s.last_before(1) is None
+        assert s.last_before(2) == "a"
+        assert s.last_before(5) == "a"
+        assert s.last_before(6) == "b"
+        assert s.last_before(1000) == "b"
+
+    def test_strictly_increasing_enforced(self):
+        with pytest.raises(ValueError):
+            Stream([(1, "a"), (1, "b")])
+        with pytest.raises(ValueError):
+            Stream([(5, "a"), (1, "b")])
+
+    def test_accessors(self):
+        s = stream((1, 10), (2, 20))
+        assert s.timestamps() == [1, 2]
+        assert s.values() == [10, 20]
+        assert list(s) == [(1, 10), (2, 20)]
+
+    def test_equality_with_lists(self):
+        s = stream((1, 10))
+        assert s == [(1, 10)]
+        assert s == Stream([(1, 10)])
+        assert s != [(1, 11)]
+        assert (s == 42) is False
+
+    def test_unit_events(self):
+        s = unit_events([3, 7])
+        assert s == [(3, ()), (7, ())]
+
+    def test_merge_timestamps(self):
+        a = stream((1, 0), (5, 0))
+        b = stream((2, 0), (5, 0))
+        assert merge_timestamps([a, b]) == [1, 2, 5]
+
+    def test_repr_and_hash(self):
+        s = stream((1, "a"))
+        assert "1: 'a'" in repr(s)
+        assert hash(s) == hash(Stream([(1, "a")]))

@@ -1,0 +1,125 @@
+"""Tests for the TeSSLa trace format reader/writer."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.semantics.traceio import (
+    TraceError,
+    format_value,
+    parse_value,
+    read_trace,
+    write_trace,
+)
+
+
+class TestValues:
+    def test_parse(self):
+        assert parse_value("42") == 42
+        assert parse_value("-7") == -7
+        assert parse_value("3.5") == 3.5
+        assert parse_value("true") is True
+        assert parse_value("false") is False
+        assert parse_value('"hi"') == "hi"
+        assert parse_value("()") == ()
+
+    def test_parse_error(self):
+        with pytest.raises(TraceError, match="cannot parse value"):
+            parse_value("not a literal!!")
+
+    def test_format(self):
+        assert format_value(42) == "42"
+        assert format_value(True) == "true"
+        assert format_value(False) == "false"
+        assert format_value(3.5) == "3.5"
+        assert format_value("hi") == '"hi"'
+        assert format_value(()) == "()"
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.one_of(
+            st.integers(),
+            st.booleans(),
+            st.floats(allow_nan=False, allow_infinity=False),
+            st.text(alphabet=st.characters(blacklist_characters='"\\', min_codepoint=32, max_codepoint=126)),
+        )
+    )
+    def test_roundtrip(self, value):
+        assert parse_value(format_value(value)) == value
+
+
+class TestReadTrace:
+    def test_basic(self):
+        traces = read_trace("1: x = 5\n3: y = true\n2: x = 7\n")
+        assert traces == {"x": [(1, 5), (2, 7)], "y": [(3, True)]}
+
+    def test_unit_events(self):
+        traces = read_trace("4: tick\n9: tick = ()\n")
+        assert traces == {"tick": [(4, ()), (9, ())]}
+
+    def test_comments_and_blanks(self):
+        text = """
+        -- a comment
+        1: x = 5  # trailing
+        # full line
+        """
+        assert read_trace(text) == {"x": [(1, 5)]}
+
+    def test_file_object(self):
+        assert read_trace(io.StringIO("1: x = 1\n")) == {"x": [(1, 1)]}
+
+    def test_malformed_line(self):
+        with pytest.raises(TraceError, match="line 1"):
+            read_trace("one: x = 5")
+
+    def test_negative_timestamp(self):
+        with pytest.raises(TraceError, match="negative"):
+            read_trace("-1: x = 5")
+
+    def test_duplicate_timestamp(self):
+        with pytest.raises(TraceError, match="two events"):
+            read_trace("1: x = 5\n1: x = 6")
+
+    def test_strings_with_spaces(self):
+        assert read_trace('1: s = "a b c"') == {"s": [(1, "a b c")]}
+
+
+class TestWriteTrace:
+    def test_chronological_merge(self):
+        text = write_trace({"b": [(2, True)], "a": [(1, 5), (3, 7)]})
+        assert text == "1: a = 5\n2: b = true\n3: a = 7\n"
+
+    def test_unit_written_bare(self):
+        assert write_trace({"t": [(1, ())]}) == "1: t\n"
+
+    def test_empty(self):
+        assert write_trace({}) == ""
+
+    def test_roundtrip(self):
+        traces = {"x": [(1, 5), (9, -2)], "ok": [(3, False)], "u": [(4, ())]}
+        assert read_trace(write_trace(traces)) == traces
+
+    def test_roundtrip_through_monitor(self, tmp_path):
+        from repro.cli import main
+
+        spec = tmp_path / "s.tessla"
+        spec.write_text(
+            "in i: Int\n"
+            "def m := merge(y, set_empty(unit))\n"
+            "def yl := last(m, i)\n"
+            "def y := set_add(yl, i)\n"
+            "def s := set_contains(yl, i)\nout s\n"
+        )
+        trace = tmp_path / "t.trace"
+        trace.write_text("1: i = 4\n2: i = 4\n")
+        import contextlib
+        import io as io_
+
+        buffer = io_.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            assert main(
+                ["run", str(spec), "--trace", str(trace), "--format", "tessla"]
+            ) == 0
+        assert buffer.getvalue() == "1: s = false\n2: s = true\n"

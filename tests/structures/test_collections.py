@@ -1,0 +1,323 @@
+"""Tests for the user-facing collections across all three backends.
+
+Every backend must expose the same observable behaviour; only
+persistence vs. in-place mutation differs.  The parametrized tests
+exercise the shared contract, the backend-specific classes check the
+persistence/mutation semantics themselves.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures import (
+    Backend,
+    EmptyCollectionError,
+    MutableQueue,
+    MutableSet,
+    MutableVector,
+    PersistentQueue,
+    PersistentSet,
+    PersistentVector,
+    empty_map,
+    empty_queue,
+    empty_set,
+    empty_vector,
+    make_map,
+    make_queue,
+    make_set,
+    make_vector,
+    persistent_map,
+    persistent_queue,
+    persistent_set,
+    persistent_vector,
+)
+
+BACKENDS = [Backend.PERSISTENT, Backend.MUTABLE, Backend.COPYING]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestSetContract:
+    def test_empty(self, backend):
+        s = empty_set(backend)
+        assert len(s) == 0
+        assert 1 not in s
+
+    def test_add_contains(self, backend):
+        s = empty_set(backend).add(1).add(2).add(1)
+        assert len(s) == 2
+        assert 1 in s and 2 in s and 3 not in s
+
+    def test_remove(self, backend):
+        s = make_set(backend, [1, 2, 3]).remove(2)
+        assert len(s) == 2
+        assert 2 not in s
+
+    def test_remove_missing_is_noop(self, backend):
+        s = make_set(backend, [1]).remove(99)
+        assert len(s) == 1
+
+    def test_iter(self, backend):
+        s = make_set(backend, [3, 1, 2])
+        assert sorted(s) == [1, 2, 3]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestMapContract:
+    def test_empty(self, backend):
+        m = empty_map(backend)
+        assert len(m) == 0
+        assert m.get("k") is None
+
+    def test_put_get(self, backend):
+        m = empty_map(backend).put("a", 1).put("b", 2).put("a", 3)
+        assert len(m) == 2
+        assert m.get("a") == 3
+        assert m.get("b") == 2
+        assert "a" in m and "c" not in m
+
+    def test_remove(self, backend):
+        m = make_map(backend, [("a", 1), ("b", 2)]).remove("a")
+        assert len(m) == 1
+        assert m.get("a") is None
+
+    def test_remove_missing_is_noop(self, backend):
+        m = make_map(backend, [("a", 1)]).remove("zz")
+        assert len(m) == 1
+
+    def test_items_keys_values(self, backend):
+        m = make_map(backend, [("a", 1), ("b", 2)])
+        assert dict(m.items()) == {"a": 1, "b": 2}
+        assert sorted(m.keys()) == ["a", "b"]
+        assert sorted(m.values()) == [1, 2]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestQueueContract:
+    def test_fifo(self, backend):
+        q = empty_queue(backend).enqueue(1).enqueue(2).enqueue(3)
+        assert len(q) == 3
+        assert q.front() == 1
+        q = q.dequeue()
+        assert q.front() == 2
+        assert list(q) == [2, 3]
+
+    def test_interleaved(self, backend):
+        q = empty_queue(backend)
+        out = []
+        for i in range(20):
+            q = q.enqueue(i)
+            if i % 3 == 2:
+                out.append(q.front())
+                q = q.dequeue()
+        assert out == sorted(out)
+        assert len(q) == 20 - len(out)
+
+    def test_empty_errors(self, backend):
+        q = empty_queue(backend)
+        with pytest.raises(EmptyCollectionError):
+            q.front()
+        with pytest.raises(EmptyCollectionError):
+            q.dequeue()
+
+    def test_drain_and_refill(self, backend):
+        q = make_queue(backend, [1, 2])
+        q = q.dequeue().dequeue()
+        assert len(q) == 0
+        q = q.enqueue(9)
+        assert q.front() == 9
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestVectorContract:
+    def test_append_get(self, backend):
+        v = empty_vector(backend)
+        for i in range(100):
+            v = v.append(i * 10)
+        assert len(v) == 100
+        assert v.get(0) == 0
+        assert v.get(99) == 990
+        assert list(v) == [i * 10 for i in range(100)]
+
+    def test_set(self, backend):
+        v = make_vector(backend, range(10)).set(4, -1)
+        assert v.get(4) == -1
+        assert v.get(5) == 5
+
+    def test_bounds(self, backend):
+        v = make_vector(backend, [1])
+        with pytest.raises(EmptyCollectionError):
+            v.get(1)
+        with pytest.raises(EmptyCollectionError):
+            v.get(-1)
+        with pytest.raises(EmptyCollectionError):
+            v.set(1, 0)
+
+
+class TestPersistenceSemantics:
+    """Persistent variants must never change the receiver."""
+
+    def test_set_versions(self):
+        base = persistent_set([1, 2])
+        derived = base.add(3).remove(1)
+        assert sorted(base) == [1, 2]
+        assert sorted(derived) == [2, 3]
+
+    def test_map_versions(self):
+        base = persistent_map([("a", 1)])
+        derived = base.put("b", 2)
+        assert "b" not in base
+        assert derived.get("b") == 2
+
+    def test_queue_versions(self):
+        base = persistent_queue([1, 2, 3])
+        derived = base.dequeue().enqueue(4)
+        assert list(base) == [1, 2, 3]
+        assert list(derived) == [2, 3, 4]
+
+    def test_queue_persistent_reuse_after_reversal(self):
+        # Re-using an old version after internal reversal must be safe.
+        q = persistent_queue(range(5))
+        mid = q.dequeue()  # forces the back list to revert
+        again = q.dequeue()
+        assert list(mid) == list(again) == [1, 2, 3, 4]
+
+    def test_vector_versions(self):
+        base = persistent_vector(range(40))
+        derived = base.set(35, -1).append(99)
+        assert base.get(35) == 35
+        assert len(base) == 40
+        assert derived.get(35) == -1
+        assert derived.get(40) == 99
+
+    def test_vector_deep_trie(self):
+        # Cross several levels: > 32*32 elements.
+        v = persistent_vector(range(1100))
+        assert v.get(0) == 0
+        assert v.get(1023) == 1023
+        assert v.get(1099) == 1099
+        w = v.set(512, -5)
+        assert v.get(512) == 512
+        assert w.get(512) == -5
+        assert list(w)[:5] == [0, 1, 2, 3, 4]
+
+
+class TestMutationSemantics:
+    """Mutable variants update in place and return self."""
+
+    def test_set_in_place(self):
+        s = MutableSet([1])
+        t = s.add(2)
+        assert t is s
+        assert 2 in s
+
+    def test_queue_in_place(self):
+        q = MutableQueue([1, 2])
+        r = q.dequeue()
+        assert r is q
+        assert list(q) == [2]
+
+    def test_vector_in_place(self):
+        v = MutableVector([1, 2])
+        w = v.set(0, 9).append(3)
+        assert w is v
+        assert list(v) == [9, 2, 3]
+
+
+class TestCrossBackendEquality:
+    def test_sets_equal_across_backends(self):
+        assert make_set(Backend.PERSISTENT, [1, 2]) == make_set(Backend.MUTABLE, [2, 1])
+        assert make_set(Backend.COPYING, [1]) != make_set(Backend.MUTABLE, [2])
+
+    def test_maps_equal_across_backends(self):
+        a = make_map(Backend.PERSISTENT, [("x", 1)])
+        b = make_map(Backend.MUTABLE, [("x", 1)])
+        assert a == b
+        assert a != b.put("x", 2)
+
+    def test_queues_equal_order_sensitive(self):
+        a = make_queue(Backend.PERSISTENT, [1, 2])
+        b = make_queue(Backend.MUTABLE, [1, 2])
+        c = make_queue(Backend.MUTABLE, [2, 1])
+        assert a == b
+        assert a != c
+
+    def test_vectors_equal_across_backends(self):
+        assert make_vector(Backend.PERSISTENT, [1, 2]) == make_vector(
+            Backend.COPYING, [1, 2]
+        )
+
+    def test_eq_not_implemented_across_kinds(self):
+        assert make_set(Backend.MUTABLE, [1]) != make_queue(Backend.MUTABLE, [1])
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["add", "remove"]), st.integers(0, 30)),
+        max_size=50,
+    )
+)
+def test_set_backends_agree(ops):
+    collections = [empty_set(b) for b in BACKENDS]
+    model = set()
+    for op, key in ops:
+        if op == "add":
+            collections = [c.add(key) for c in collections]
+            model.add(key)
+        else:
+            collections = [c.remove(key) for c in collections]
+            model.discard(key)
+    for collection in collections:
+        assert sorted(collection) == sorted(model)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["enq", "deq"]), st.integers(0, 100)),
+        max_size=60,
+    )
+)
+def test_queue_backends_agree(ops):
+    from collections import deque
+
+    collections = [empty_queue(b) for b in BACKENDS]
+    model = deque()
+    for op, value in ops:
+        if op == "enq":
+            collections = [c.enqueue(value) for c in collections]
+            model.append(value)
+        elif model:
+            fronts = {c.front() for c in collections}
+            assert fronts == {model[0]}
+            collections = [c.dequeue() for c in collections]
+            model.popleft()
+    for collection in collections:
+        assert list(collection) == list(model)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["append", "set"]),
+            st.integers(0, 200),
+            st.integers(-9, 9),
+        ),
+        max_size=80,
+    )
+)
+def test_vector_backends_agree(ops):
+    collections = [empty_vector(b) for b in BACKENDS]
+    model = []
+    for op, index, value in ops:
+        if op == "append":
+            collections = [c.append(value) for c in collections]
+            model.append(value)
+        elif model:
+            index %= len(model)
+            collections = [c.set(index, value) for c in collections]
+            model[index] = value
+    for collection in collections:
+        assert list(collection) == model

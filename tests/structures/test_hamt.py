@@ -1,0 +1,199 @@
+"""Unit and property tests for the HAMT core."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures.hamt import EMPTY_HAMT, Hamt, hamt_from
+
+
+class BadHash:
+    """Key with a controllable hash, to force collisions."""
+
+    def __init__(self, name, h):
+        self.name = name
+        self.h = h
+
+    def __hash__(self):
+        return self.h
+
+    def __eq__(self, other):
+        return isinstance(other, BadHash) and self.name == other.name
+
+    def __repr__(self):
+        return f"BadHash({self.name!r}, {self.h})"
+
+
+class TestBasics:
+    def test_empty(self):
+        assert len(EMPTY_HAMT) == 0
+        assert "x" not in EMPTY_HAMT
+        assert EMPTY_HAMT.get("x") is None
+        assert EMPTY_HAMT.get("x", 7) == 7
+        assert list(EMPTY_HAMT.items()) == []
+
+    def test_set_get(self):
+        trie = EMPTY_HAMT.set("a", 1)
+        assert trie["a"] == 1
+        assert "a" in trie
+        assert len(trie) == 1
+
+    def test_getitem_missing_raises(self):
+        with pytest.raises(KeyError):
+            EMPTY_HAMT["missing"]
+        with pytest.raises(KeyError):
+            EMPTY_HAMT.set("a", 1)["b"]
+
+    def test_overwrite_does_not_grow(self):
+        trie = EMPTY_HAMT.set("a", 1).set("a", 2)
+        assert len(trie) == 1
+        assert trie["a"] == 2
+
+    def test_persistence_on_set(self):
+        base = EMPTY_HAMT.set("a", 1)
+        derived = base.set("b", 2)
+        assert len(base) == 1
+        assert "b" not in base
+        assert len(derived) == 2
+        assert derived["a"] == 1
+
+    def test_persistence_on_remove(self):
+        base = EMPTY_HAMT.set("a", 1).set("b", 2)
+        derived = base.remove("a")
+        assert "a" in base
+        assert "a" not in derived
+        assert len(derived) == 1
+
+    def test_remove_missing_is_identity(self):
+        base = EMPTY_HAMT.set("a", 1)
+        assert base.remove("zzz") is base
+
+    def test_remove_to_empty(self):
+        trie = EMPTY_HAMT.set("a", 1).remove("a")
+        assert len(trie) == 0
+        assert list(trie.items()) == []
+
+    def test_many_keys(self):
+        trie = hamt_from((i, i * i) for i in range(2000))
+        assert len(trie) == 2000
+        assert trie[1234] == 1234 * 1234
+        assert sorted(trie.keys()) == list(range(2000))
+
+    def test_iteration_yields_each_entry_once(self):
+        trie = hamt_from((i, -i) for i in range(500))
+        items = list(trie.items())
+        assert len(items) == 500
+        assert dict(items) == {i: -i for i in range(500)}
+
+    def test_equality_value_based(self):
+        a = hamt_from([("x", 1), ("y", 2)])
+        b = hamt_from([("y", 2), ("x", 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != b.set("z", 3)
+        assert a != b.set("x", 99)
+
+    def test_eq_other_type(self):
+        assert EMPTY_HAMT.__eq__(42) is NotImplemented
+
+    def test_repr(self):
+        assert repr(EMPTY_HAMT.set("k", 1)) == "Hamt({'k': 1})"
+
+
+class TestCollisions:
+    def test_full_collision_insert_and_lookup(self):
+        keys = [BadHash(f"k{i}", 77) for i in range(10)]
+        trie = hamt_from((k, i) for i, k in enumerate(keys))
+        assert len(trie) == 10
+        for i, key in enumerate(keys):
+            assert trie[key] == i
+
+    def test_collision_overwrite(self):
+        a, b = BadHash("a", 5), BadHash("b", 5)
+        trie = EMPTY_HAMT.set(a, 1).set(b, 2).set(a, 10)
+        assert len(trie) == 2
+        assert trie[a] == 10
+        assert trie[b] == 2
+
+    def test_collision_remove(self):
+        keys = [BadHash(f"k{i}", 9) for i in range(4)]
+        trie = hamt_from((k, i) for i, k in enumerate(keys))
+        trie = trie.remove(keys[2])
+        assert len(trie) == 3
+        assert keys[2] not in trie
+        assert trie[keys[0]] == 0
+
+    def test_collision_remove_down_to_one_entry(self):
+        a, b = BadHash("a", 3), BadHash("b", 3)
+        trie = EMPTY_HAMT.set(a, 1).set(b, 2).remove(a)
+        assert len(trie) == 1
+        assert trie[b] == 2
+
+    def test_collision_remove_missing_key(self):
+        a, b = BadHash("a", 3), BadHash("b", 3)
+        c = BadHash("c", 3)
+        trie = EMPTY_HAMT.set(a, 1).set(b, 2)
+        assert trie.remove(c)[a] == 1
+
+    def test_lookup_wrong_hash_same_bucket(self):
+        # Keys that differ only above the first level.
+        a, b = BadHash("a", 0b00001), BadHash("b", 0b00001 | (1 << 5))
+        trie = EMPTY_HAMT.set(a, 1).set(b, 2)
+        assert trie[a] == 1
+        assert trie[b] == 2
+        assert BadHash("c", 0b00001 | (2 << 5)) not in trie
+
+    def test_partial_hash_overlap_deep(self):
+        # Same low 25 bits, differ at top level: forces a deep chain.
+        a = BadHash("a", 0x1FFFFFF)
+        b = BadHash("b", 0x1FFFFFF | (1 << 25))
+        trie = EMPTY_HAMT.set(a, "A").set(b, "B")
+        assert trie[a] == "A"
+        assert trie[b] == "B"
+        assert len(trie) == 2
+        trie2 = trie.remove(a)
+        assert b in trie2 and a not in trie2
+
+
+@st.composite
+def operations(draw):
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["set", "remove"]),
+                st.integers(0, 50),
+                st.integers(-5, 5),
+            ),
+            max_size=60,
+        )
+    )
+    return ops
+
+
+class TestModelBased:
+    @settings(max_examples=200, deadline=None)
+    @given(operations())
+    def test_against_dict_model(self, ops):
+        trie = EMPTY_HAMT
+        model = {}
+        for op, key, value in ops:
+            if op == "set":
+                trie = trie.set(key, value)
+                model[key] = value
+            else:
+                trie = trie.remove(key)
+                model.pop(key, None)
+            assert len(trie) == len(model)
+        assert dict(trie.items()) == model
+        for key in range(51):
+            assert (key in trie) == (key in model)
+
+    @settings(max_examples=100, deadline=None)
+    @given(operations(), operations())
+    def test_versions_are_independent(self, ops1, ops2):
+        base = hamt_from((k, v) for _, k, v in ops1)
+        snapshot = dict(base.items())
+        derived = base
+        for op, key, value in ops2:
+            derived = derived.set(key, value) if op == "set" else derived.remove(key)
+        assert dict(base.items()) == snapshot

@@ -1,0 +1,110 @@
+"""Structural-sharing and stress tests for the persistent structures.
+
+The whole point of persistent structures (vs. the copying baseline) is
+that an update shares almost everything with the previous version;
+these tests observe that directly on the internal node graphs.
+"""
+
+import random
+
+from repro.structures import (
+    persistent_map,
+    persistent_queue,
+    persistent_set,
+    persistent_vector,
+)
+from repro.structures.hamt import _Bitmap
+
+
+def trie_nodes(node, acc=None):
+    """All interior/leaf node ids of a HAMT subtree."""
+    if acc is None:
+        acc = set()
+    if node is None:
+        return acc
+    acc.add(id(node))
+    if isinstance(node, _Bitmap):
+        for child in node.children:
+            trie_nodes(child, acc)
+    return acc
+
+
+class TestHamtSharing:
+    def test_update_shares_most_nodes(self):
+        base = persistent_set(range(2000))
+        derived = base.add(999_999)
+        base_nodes = trie_nodes(base._trie._root)
+        derived_nodes = trie_nodes(derived._trie._root)
+        shared = base_nodes & derived_nodes
+        # a single add touches only the root-to-leaf path (~log32 n nodes)
+        assert len(shared) > 0.95 * len(base_nodes)
+
+    def test_remove_shares_most_nodes(self):
+        base = persistent_map((i, i) for i in range(2000))
+        derived = base.remove(1000)
+        shared = trie_nodes(base._trie._root) & trie_nodes(derived._trie._root)
+        assert len(shared) > 0.95 * len(trie_nodes(base._trie._root))
+
+    def test_noop_update_shares_everything(self):
+        base = persistent_set(range(100))
+        assert base.remove(10**9) is base
+
+
+class TestVectorSharing:
+    def test_set_shares_most_nodes(self):
+        base = persistent_vector(range(5000))
+
+        def nodes(node, acc):
+            acc.add(id(node))
+            if isinstance(node, tuple):
+                for child in node:
+                    if isinstance(child, tuple):
+                        nodes(child, acc)
+            return acc
+
+        derived = base.set(2500, -1)
+        base_nodes = nodes(base._root, set())
+        derived_nodes = nodes(derived._root, set())
+        assert len(base_nodes & derived_nodes) > 0.9 * len(base_nodes)
+
+
+class TestStress:
+    def test_hamt_large_random_workload(self):
+        rng = random.Random(42)
+        trie = persistent_map()
+        model = {}
+        versions = []
+        for step in range(20_000):
+            key = rng.randrange(5_000)
+            if rng.random() < 0.7:
+                trie = trie.put(key, step)
+                model[key] = step
+            else:
+                trie = trie.remove(key)
+                model.pop(key, None)
+            if step % 4_000 == 0:
+                versions.append((trie, dict(model)))
+        assert dict(trie.items()) == model
+        # every retained version must still be intact
+        for version, snapshot in versions:
+            assert dict(version.items()) == snapshot
+
+    def test_queue_long_window_churn(self):
+        queue = persistent_queue()
+        for i in range(10_000):
+            queue = queue.enqueue(i)
+            if len(queue) > 64:
+                queue = queue.dequeue()
+        assert len(queue) == 64
+        assert list(queue) == list(range(10_000 - 64, 10_000))
+
+    def test_vector_interleaved_growth_and_updates(self):
+        vector = persistent_vector()
+        for i in range(40_000):
+            vector = vector.append(i)
+        for i in range(0, 40_000, 997):
+            vector = vector.set(i, -i)
+        assert vector.get(0) == 0 * -1
+        assert vector.get(997) == -997
+        assert vector.get(39_999) == 39_999
+        assert len(vector) == 40_000
