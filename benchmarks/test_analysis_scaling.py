@@ -39,3 +39,64 @@ def test_analysis_scaling(benchmark, families):
     result = benchmark(lambda: compile_spec(spec, optimize=True))
     # every family must come out fully mutable
     assert len(result.mutable_streams) == 4 * families
+
+
+def shared_trigger_spec(families: int) -> Specification:
+    """Double-last accumulator families over one shared trigger.
+
+    Proving each family's lasts replicating needs the implication
+    ``ev'(t) → ev'(m_k)``; the triggering formulas are structurally
+    identical across families, so with hash-consed formulas the
+    memoized ``implies`` answers all but the first from cache.
+    """
+    definitions = {"t": Merge(Var("i1"), Var("i2"))}
+    outputs = []
+    for k in range(families):
+        e = Lift(builtin("set_empty"), (UnitExpr(),))
+        definitions[f"m{k}"] = Merge(Var(f"y{k}"), e)
+        definitions[f"yl1_{k}"] = Last(Var(f"m{k}"), Var("t"))
+        definitions[f"ml{k}"] = Merge(
+            Var(f"yl1_{k}"), Lift(builtin("set_empty"), (UnitExpr(),))
+        )
+        definitions[f"yl2_{k}"] = Last(Var(f"ml{k}"), Var("t"))
+        definitions[f"y{k}"] = Lift(
+            builtin("set_add"), (Var(f"yl2_{k}"), Var("t"))
+        )
+        definitions[f"r{k}"] = Lift(
+            builtin("set_size"), (Var(f"yl2_{k}"),)
+        )
+        outputs.append(f"r{k}")
+    return Specification({"i1": INT, "i2": INT}, definitions, outputs)
+
+
+@pytest.mark.parametrize("families", [10, 30])
+def test_memoized_implication_scaling(benchmark, families):
+    from repro.analysis.formula import cache_stats, clear_caches
+
+    spec = shared_trigger_spec(families)
+    benchmark.group = "memoized implication scaling (families)"
+
+    def compile_fresh():
+        clear_caches()
+        return compile_spec(spec, optimize=True)
+
+    result = benchmark(compile_fresh)
+    assert len(result.mutable_streams) >= 4 * families
+    stats = cache_stats()
+    # the families share triggering formulas: interning must collapse
+    # the per-family implication queries onto a handful of cache entries
+    assert stats["implies_calls"] >= families
+    assert stats["implies_hits"] >= stats["implies_calls"] - 4
+
+
+def test_diagnostics_overhead_is_bounded(benchmark):
+    """Witness collection must not change the analysis asymptotics."""
+    from repro.analysis import analyze_mutability, collect_diagnostics
+    from repro.lang import check_types, flatten
+
+    flat = flatten(chain_spec(20))
+    check_types(flat)
+    result = analyze_mutability(flat)
+    benchmark.group = "diagnostics overhead"
+    diags = benchmark(lambda: collect_diagnostics(flat, result))
+    assert diags == []  # fully mutable, lint-clean

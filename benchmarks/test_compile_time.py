@@ -40,3 +40,19 @@ def test_compile_time(benchmark, name):
     benchmark(lambda: compile_spec(factory(), optimize=True))
     # the paper's bound, with huge margin: one compile stays under 30 s
     assert time.perf_counter() - start < 30.0
+
+
+@pytest.mark.parametrize("name", list(SPEC_FACTORIES))
+def test_compile_time_warm_caches(benchmark, name):
+    """Recompilation with warm formula caches (IDE / watch-mode shape).
+
+    The hash-consed formula layer keeps its implication memo across
+    compilations; recompiling the same specification must stay inside
+    the paper's bound and never be pathologically slower than cold.
+    """
+    factory = SPEC_FACTORIES[name]
+    benchmark.group = "compile time (warm formula caches)"
+    compile_spec(factory(), optimize=True)  # warm the memo tables
+    start = time.perf_counter()
+    benchmark(lambda: compile_spec(factory(), optimize=True))
+    assert time.perf_counter() - start < 30.0

@@ -1,10 +1,34 @@
 """Static analyses: triggering behaviour, aliasing, mutability (paper §IV)."""
 
 from .aliasing import AliasAnalysis
-from .formula import FALSE, And, Atom, Formula, Or, conj, disj, implies
+from .diagnostics import (
+    CATALOG,
+    Diagnostic,
+    Severity,
+    collect_diagnostics,
+    lint_diagnostic,
+    mutability_diagnostics,
+    strict_failures,
+    to_json,
+    to_sarif,
+)
+from .formula import (
+    FALSE,
+    And,
+    Atom,
+    Formula,
+    Or,
+    cache_stats,
+    clear_caches,
+    conj,
+    disj,
+    implies,
+)
 from .mutability import (
+    InputAggregateWitness,
     MutabilityAnalysis,
     MutabilityResult,
+    OrderingConflict,
     ReadBeforeWrite,
     Rule1Violation,
     analyze_mutability,
@@ -16,18 +40,31 @@ __all__ = [
     "AliasAnalysis",
     "And",
     "Atom",
+    "CATALOG",
+    "Diagnostic",
     "FALSE",
     "Formula",
+    "InputAggregateWitness",
     "MutabilityAnalysis",
     "MutabilityResult",
     "Or",
+    "OrderingConflict",
     "ReadBeforeWrite",
     "Rule1Violation",
+    "Severity",
     "TriggeringAnalysis",
     "UnionFind",
     "always_initialized",
     "analyze_mutability",
+    "cache_stats",
+    "clear_caches",
+    "collect_diagnostics",
     "conj",
     "disj",
     "implies",
+    "lint_diagnostic",
+    "mutability_diagnostics",
+    "strict_failures",
+    "to_json",
+    "to_sarif",
 ]

@@ -19,13 +19,18 @@ overflows, the pair is conservatively declared a potential alias.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..lang.ast import Last
 from ..graph.usage_graph import Edge, EdgeClass, UsageGraph
 from .triggering import TriggeringAnalysis
 
 Path = List[Edge]
+
+
+def _render_path(path: Path) -> List[str]:
+    """Serialize a P/L path as edge strings for witness payloads."""
+    return [f"{e.src} -[{e.cls.value}]-> {e.dst}" for e in path]
 
 
 class AliasAnalysis:
@@ -45,6 +50,9 @@ class AliasAnalysis:
         self._replicating: Dict[str, bool] = {}
         self._safe: Dict[Tuple[str, str], bool] = {}
         self._paths: Dict[Tuple[str, str], Optional[List[Path]]] = {}
+        #: (u, v, ancestor) triples where path enumeration overflowed and
+        #: the pair was conservatively declared a potential alias.
+        self.path_overflows: List[Tuple[str, str, str]] = []
 
     def _paths_from(self, ancestor: str, node: str):
         """Cached edge-simple P/L paths from *ancestor* to *node*."""
@@ -108,12 +116,68 @@ class AliasAnalysis:
             paths_u = self._paths_from(ancestor, u)
             paths_v = self._paths_from(ancestor, v)
             if paths_u is None or paths_v is None:
-                return False  # enumeration overflow: be conservative
+                # enumeration overflow: be conservative, but record the
+                # precision loss so diagnostics can surface it (MUT005)
+                self.path_overflows.append((u, v, ancestor))
+                return False
             for path_u in paths_u:
                 for path_v in paths_v:
                     if not self._pair_safe(path_u, path_v):
                         return False
         return True
+
+    def explain_alias(self, u: str, v: str) -> Optional[Dict[str, Any]]:
+        """A machine-checkable witness for why ``u ≃ v`` (potential alias).
+
+        Returns ``None`` when the pair is provably aliasing-safe.  The
+        witness names the failure mode of the Def. 6 proof attempt:
+
+        * ``self-alias`` — a variable trivially aliases itself;
+        * ``path-overflow`` — P/L path enumeration exceeded
+          ``path_limit`` under some common ancestor (conservative);
+        * ``unsafe-path-pair`` — a concrete pair of P/L paths from a
+          common ancestor violates Def. 6 in both orientations; the
+          payload carries the rendered paths and any replicating lasts
+          on them (the usual culprit).
+        """
+        if u == v:
+            return {"kind": "self-alias", "stream": u}
+        if self.aliasing_safe(u, v):
+            return None
+        common = self.graph.pl_ancestors(u) & self.graph.pl_ancestors(v)
+        for ancestor in sorted(common):
+            paths_u = self._paths_from(ancestor, u)
+            paths_v = self._paths_from(ancestor, v)
+            if paths_u is None or paths_v is None:
+                return {
+                    "kind": "path-overflow",
+                    "ancestor": ancestor,
+                    "pair": [u, v],
+                    "path_limit": self.path_limit,
+                }
+            for path_u in paths_u:
+                for path_v in paths_v:
+                    if not self._pair_safe(path_u, path_v):
+                        lasts = {
+                            e.dst
+                            for e in path_u + path_v
+                            if e.cls is EdgeClass.LAST
+                        }
+                        return {
+                            "kind": "unsafe-path-pair",
+                            "ancestor": ancestor,
+                            "pair": [u, v],
+                            "path_to_first": _render_path(path_u),
+                            "path_to_second": _render_path(path_v),
+                            "replicating_lasts": sorted(
+                                name
+                                for name in lasts
+                                if self.is_replicating_last(name)
+                            ),
+                        }
+        # Unreachable for consistent caches, but never let diagnostics
+        # construction crash the analysis.
+        return {"kind": "unknown", "pair": [u, v]}  # pragma: no cover
 
     def _pair_safe(self, path_a: Path, path_b: Path) -> bool:
         """Def. 6 for one concrete path pair, trying both orientations."""

@@ -15,18 +15,39 @@ carries a size cap; on overflow :func:`implies` answers ``None``
 paper's stance that the approximation "may cause some variables to be
 implemented with persistent data structures while mutable ones would be
 possible".
+
+Hash-consing
+------------
+
+Formulas are **interned**: structurally equal formulas are the *same*
+object (``Atom("x") is Atom("x")``; ``conj`` / ``disj`` normalise order
+so ``x ∧ y`` and ``y ∧ x`` intern to one node).  Equality and hashing
+are therefore O(1) identity operations, and the expensive queries —
+:func:`prime_implicants` and :func:`implies` — are memoized in
+module-level caches keyed by formula identity.  The O(V²) alias and
+triggering queries of one analysis (and of repeated analyses over the
+same specification shapes) thus share all implicant work instead of
+recomputing the coNP expansion per query.  :func:`cache_stats` exposes
+hit counts; :func:`clear_caches` drops the memo tables (the intern
+tables themselves are kept — dropping them would break the identity
+invariant for formulas still alive).
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
 
 #: One prime implicant: the set of atoms that must be true.
 Implicant = FrozenSet[str]
 
 
 class Formula:
-    """Base class; use the smart constructors below."""
+    """Base class; use the smart constructors below.
+
+    Instances are hash-consed: equality is identity.  Do not mutate.
+    """
+
+    __slots__ = ()
 
     def atoms(self) -> Set[str]:
         raise NotImplementedError
@@ -41,6 +62,13 @@ class Formula:
 class _False(Formula):
     __slots__ = ()
 
+    _instance: Optional["_False"] = None
+
+    def __new__(cls) -> "_False":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
     def atoms(self) -> Set[str]:
         return set()
 
@@ -50,21 +78,26 @@ class _False(Formula):
     def __str__(self) -> str:
         return "false"
 
-    def __eq__(self, other: object) -> bool:
-        return isinstance(other, _False)
-
-    def __hash__(self) -> int:
-        return hash("false")
-
 
 FALSE = _False()
+
+_ATOMS: Dict[str, "Atom"] = {}
+_NODES: Dict[Tuple[type, FrozenSet[Formula]], "_Nary"] = {}
 
 
 class Atom(Formula):
     __slots__ = ("name",)
 
-    def __init__(self, name: str) -> None:
-        self.name = name
+    def __new__(cls, name: str) -> "Atom":
+        cached = _ATOMS.get(name)
+        if cached is None:
+            cached = super().__new__(cls)
+            object.__setattr__(cached, "name", name)
+            _ATOMS[name] = cached
+        return cached
+
+    def __init__(self, name: str) -> None:  # attributes set in __new__
+        pass
 
     def atoms(self) -> Set[str]:
         return {self.name}
@@ -75,20 +108,23 @@ class Atom(Formula):
     def __str__(self) -> str:
         return self.name
 
-    def __eq__(self, other: object) -> bool:
-        return isinstance(other, Atom) and other.name == self.name
-
-    def __hash__(self) -> int:
-        return hash(("atom", self.name))
-
 
 class _Nary(Formula):
     symbol = "?"
 
     __slots__ = ("children",)
 
+    def __new__(cls, children: Tuple[Formula, ...]) -> "_Nary":
+        key = (cls, frozenset(children))
+        cached = _NODES.get(key)
+        if cached is None:
+            cached = super().__new__(cls)
+            object.__setattr__(cached, "children", tuple(children))
+            _NODES[key] = cached
+        return cached
+
     def __init__(self, children: Tuple[Formula, ...]) -> None:
-        self.children = children
+        pass
 
     def atoms(self) -> Set[str]:
         result: Set[str] = set()
@@ -102,18 +138,10 @@ class _Nary(Formula):
         )
         return inner
 
-    def __eq__(self, other: object) -> bool:
-        return (
-            type(other) is type(self)
-            and set(other.children) == set(self.children)
-        )
-
-    def __hash__(self) -> int:
-        return hash((self.symbol, frozenset(self.children)))
-
 
 class And(_Nary):
     symbol = "∧"
+    __slots__ = ()
 
     def evaluate(self, true_atoms: Set[str]) -> bool:
         return all(c.evaluate(true_atoms) for c in self.children)
@@ -121,6 +149,7 @@ class And(_Nary):
 
 class Or(_Nary):
     symbol = "∨"
+    __slots__ = ()
 
     def evaluate(self, true_atoms: Set[str]) -> bool:
         return any(c.evaluate(true_atoms) for c in self.children)
@@ -131,7 +160,7 @@ def conj(parts: Iterable[Formula]) -> Formula:
     flat: list = []
     seen = set()
     for part in parts:
-        if part is FALSE or isinstance(part, _False):
+        if part is FALSE:
             return FALSE
         for child in part.children if isinstance(part, And) else (part,):
             if child not in seen:
@@ -149,7 +178,7 @@ def disj(parts: Iterable[Formula]) -> Formula:
     flat: list = []
     seen = set()
     for part in parts:
-        if part is FALSE or isinstance(part, _False):
+        if part is FALSE:
             continue
         for child in part.children if isinstance(part, Or) else (part,):
             if child not in seen:
@@ -166,6 +195,38 @@ class ImplicantOverflow(Exception):
     """Internal: DNF expansion exceeded the size cap."""
 
 
+# -- memoization ------------------------------------------------------------
+
+#: (formula, cap) → frozenset of implicants, or None on overflow.
+_IMPLICANT_CACHE: Dict[Tuple[Formula, int], Optional[FrozenSet[Implicant]]] = {}
+#: (premise, conclusion, cap) → True / False / None (unknown).
+_IMPLIES_CACHE: Dict[Tuple[Formula, Formula, int], Optional[bool]] = {}
+
+_STATS = {
+    "implies_calls": 0,
+    "implies_hits": 0,
+    "implicant_calls": 0,
+    "implicant_hits": 0,
+}
+
+
+def cache_stats() -> Dict[str, int]:
+    """Counters for the memoized query caches (plus current sizes)."""
+    stats = dict(_STATS)
+    stats["implies_entries"] = len(_IMPLIES_CACHE)
+    stats["implicant_entries"] = len(_IMPLICANT_CACHE)
+    stats["interned_nodes"] = len(_ATOMS) + len(_NODES)
+    return stats
+
+
+def clear_caches() -> None:
+    """Drop the memoized query results (keeps the intern tables)."""
+    _IMPLICANT_CACHE.clear()
+    _IMPLIES_CACHE.clear()
+    for key in _STATS:
+        _STATS[key] = 0
+
+
 def _absorb(implicants: Set[Implicant]) -> Set[Implicant]:
     """Remove non-minimal implicants (supersets of another implicant)."""
     result: Set[Implicant] = set()
@@ -178,14 +239,39 @@ def _absorb(implicants: Set[Implicant]) -> Set[Implicant]:
 def prime_implicants(
     formula: Formula, cap: int = 4096
 ) -> Optional[Set[Implicant]]:
-    """The minimal satisfying atom-sets of *formula*, or None on overflow."""
-    try:
-        return _implicants(formula, cap)
-    except ImplicantOverflow:
+    """The minimal satisfying atom-sets of *formula*, or None on overflow.
+
+    Memoized on (formula identity, cap); a fresh mutable set is returned
+    per call so callers may modify it freely.
+    """
+    cached = _cached_implicants(formula, cap)
+    if cached is None:
         return None
+    return set(cached)
+
+
+def _cached_implicants(
+    formula: Formula, cap: int
+) -> Optional[FrozenSet[Implicant]]:
+    key = (formula, cap)
+    _STATS["implicant_calls"] += 1
+    if key in _IMPLICANT_CACHE:
+        _STATS["implicant_hits"] += 1
+        return _IMPLICANT_CACHE[key]
+    try:
+        result: Optional[FrozenSet[Implicant]] = frozenset(
+            _implicants(formula, cap)
+        )
+    except ImplicantOverflow:
+        result = None
+    _IMPLICANT_CACHE[key] = result
+    return result
 
 
 def _implicants(formula: Formula, cap: int) -> Set[Implicant]:
+    # Memoized at sub-formula granularity too: hash-consing shares
+    # sub-terms across ev' formulas, so And/Or children computed for one
+    # query are reused verbatim by every later query that contains them.
     if isinstance(formula, _False):
         return set()
     if isinstance(formula, Atom):
@@ -193,14 +279,19 @@ def _implicants(formula: Formula, cap: int) -> Set[Implicant]:
     if isinstance(formula, Or):
         union: Set[Implicant] = set()
         for child in formula.children:
-            union |= _implicants(child, cap)
+            child_imps = _cached_implicants(child, cap)
+            if child_imps is None:
+                raise ImplicantOverflow
+            union |= child_imps
             if len(union) > cap:
                 raise ImplicantOverflow
         return _absorb(union)
     assert isinstance(formula, And)
     product: Set[Implicant] = {frozenset()}
     for child in formula.children:
-        child_imps = _implicants(child, cap)
+        child_imps = _cached_implicants(child, cap)
+        if child_imps is None:
+            raise ImplicantOverflow
         if not child_imps:  # conjunct is unsatisfiable
             return set()
         product = {a | b for a in product for b in child_imps}
@@ -216,13 +307,25 @@ def implies(f: Formula, g: Formula, cap: int = 4096) -> Optional[bool]:
     Sound and complete for positive formulas (monotone reasoning over
     prime implicants), except that an implicant-expansion overflow
     yields ``None``; treat ``None`` as "not implied" for a conservative
-    analysis.
+    analysis.  ``None`` is *only* ever returned on cap overflow, so a
+    ``None`` answer is itself a precision-loss witness (surfaced as the
+    ``MUT004`` diagnostic by the analysis layers).
+
+    Memoized on (f, g, cap) formula identity.
     """
-    if f == g:
+    if f is g:
         return True
     if isinstance(f, _False):
         return True
-    implicants = prime_implicants(f, cap)
+    key = (f, g, cap)
+    _STATS["implies_calls"] += 1
+    if key in _IMPLIES_CACHE:
+        _STATS["implies_hits"] += 1
+        return _IMPLIES_CACHE[key]
+    implicants = _cached_implicants(f, cap)
     if implicants is None:
-        return None
-    return all(g.evaluate(set(imp)) for imp in implicants)
+        result: Optional[bool] = None
+    else:
+        result = all(g.evaluate(set(imp)) for imp in implicants)
+    _IMPLIES_CACHE[key] = result
+    return result

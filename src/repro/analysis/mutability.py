@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..graph.order import translation_order
 from ..graph.usage_graph import EdgeClass, UsageGraph, build_usage_graph
@@ -65,13 +65,55 @@ class ReadBeforeWrite:
 
 @dataclass(frozen=True)
 class Rule1Violation:
-    """Why a family was forced persistent in step 2."""
+    """Why a family was forced persistent in step 2.
+
+    ``alias_reason`` (when present) is the :meth:`AliasAnalysis
+    .explain_alias` witness for the ``written ≃ alias`` pair — the
+    provenance of the aliasing claim itself (e.g. the replicating last
+    or path-enumeration overflow that prevented a safety proof).
+    """
 
     written: str  # u of the offending write edge u -> v
     write_target: str  # v
     alias: str  # u' ≃ u
     conflict: str  # v' ≠ v with u' -W/L-> v'
     conflict_class: EdgeClass
+    alias_reason: Optional[Dict[str, Any]] = field(
+        default=None, compare=False
+    )
+
+    @property
+    def edge(self) -> Tuple[str, str]:
+        """The offending conflict edge ``alias -> conflict``."""
+        return (self.alias, self.conflict)
+
+
+@dataclass(frozen=True)
+class InputAggregateWitness:
+    """A family was forced persistent because it contains an input
+    aggregate — the monitor does not control how the environment
+    constructed (and may reuse) input data structures."""
+
+    input_stream: str
+
+
+@dataclass(frozen=True)
+class OrderingConflict:
+    """A family turned persistent in step 4: its read-before-write
+    constraints participate in a dependency cycle, so no translation
+    order can satisfy them; dropping the family (persistent structures
+    may be written before being read) was the minimum-weight fix."""
+
+    family: Family
+    dropped: Tuple[ReadBeforeWrite, ...]
+
+    @property
+    def edges(self) -> List[Tuple[str, str]]:
+        return [c.edge for c in self.dropped]
+
+
+#: Union of the witness record types attached to persistent streams.
+PersistenceWitness = Any  # Rule1Violation | InputAggregateWitness | OrderingConflict
 
 
 @dataclass
@@ -88,11 +130,29 @@ class MutabilityResult:
     rule1_violations: List[Rule1Violation] = field(default_factory=list)
     dropped_families: List[Family] = field(default_factory=list)
     used_exact_step4: bool = True
+    #: stream name → the witnesses that forced its family persistent;
+    #: every stream in ``persistent`` has a non-empty entry.
+    witnesses: Dict[str, List[PersistenceWitness]] = field(
+        default_factory=dict
+    )
+    #: ``ev'`` implication queries that hit the implicant cap (u, v, cap).
+    implication_unknowns: List[Tuple[str, str, int]] = field(
+        default_factory=list
+    )
+    #: alias path enumerations that hit ``path_limit`` (u, v, ancestor).
+    alias_path_overflows: List[Tuple[str, str, str]] = field(
+        default_factory=list
+    )
 
     def backend_for(self, name: str) -> Backend:
         """Collection backend for the stream *name* (Backend.PERSISTENT
         for everything outside the mutability set)."""
         return Backend.MUTABLE if name in self.mutable else Backend.PERSISTENT
+
+    def witness_for(self, name: str) -> List[PersistenceWitness]:
+        """Why stream *name* was classified persistent (empty if it
+        wasn't, i.e. it is mutable or carries no aggregate data)."""
+        return list(self.witnesses.get(name, ()))
 
     def summary(self) -> str:
         lines = [
@@ -124,10 +184,11 @@ class MutabilityAnalysis:
         graph: Optional[UsageGraph] = None,
         exact_limit: int = 16,
         assume_all_alias: bool = False,
+        implicant_cap: int = 4096,
     ) -> None:
         self.flat = flat
         self.graph = graph or build_usage_graph(flat)
-        self.triggering = TriggeringAnalysis(flat)
+        self.triggering = TriggeringAnalysis(flat, implicant_cap=implicant_cap)
         self.alias = AliasAnalysis(self.graph, self.triggering)
         self.exact_limit = exact_limit
         #: Ablation switch: skip the Def. 6 aliasing-safety reasoning and
@@ -161,17 +222,29 @@ class MutabilityAnalysis:
             if node in self.complex_nodes and self.alias.potential_alias(u, node)
         }
 
+    def _alias_reason(self, u: str, u2: str) -> Optional[Dict[str, Any]]:
+        """Provenance for the ``u ≃ u2`` claim behind a rule-1 violation."""
+        if self.assume_all_alias:
+            return {"kind": "assumed", "pair": [u, u2]}
+        return self.alias.explain_alias(u, u2)
+
     def run(self) -> MutabilityResult:
         uf = self._families()
         persistent_roots: Set[str] = set()
         rule1: List[Rule1Violation] = []
         constraints: List[ReadBeforeWrite] = []
         seen_constraints: Set[Tuple[str, str, str]] = set()
+        #: family root → why that family was forced persistent
+        reasons: Dict[str, List[PersistenceWitness]] = {}
+
+        def force_persistent(root: str, witness: PersistenceWitness) -> None:
+            persistent_roots.add(root)
+            reasons.setdefault(root, []).append(witness)
 
         # Families containing input aggregates are never ours to mutate.
         for name in self.flat.inputs:
             if name in self.complex_nodes:
-                persistent_roots.add(uf.find(name))
+                force_persistent(uf.find(name), InputAggregateWitness(name))
 
         for write in self.graph.write_edges:
             u, v = write.src, write.dst
@@ -179,18 +252,22 @@ class MutabilityAnalysis:
                 for out in self.graph.out_edges(u2):
                     if out.cls in (EdgeClass.WRITE, EdgeClass.LAST):
                         if out.dst != v:
-                            persistent_roots.add(uf.find(u))
-                            rule1.append(
-                                Rule1Violation(u, v, u2, out.dst, out.cls)
+                            violation = Rule1Violation(
+                                u, v, u2, out.dst, out.cls,
+                                alias_reason=self._alias_reason(u, u2),
                             )
+                            force_persistent(uf.find(u), violation)
+                            rule1.append(violation)
                     elif out.cls is EdgeClass.READ:
                         if out.dst == v:
                             # the writer itself reads an alias: no order
                             # can separate read from write
-                            persistent_roots.add(uf.find(u))
-                            rule1.append(
-                                Rule1Violation(u, v, u2, out.dst, out.cls)
+                            violation = Rule1Violation(
+                                u, v, u2, out.dst, out.cls,
+                                alias_reason=self._alias_reason(u, u2),
                             )
+                            force_persistent(uf.find(u), violation)
+                            rule1.append(violation)
                             continue
                         key = (out.dst, v, uf.find(u))
                         if key not in seen_constraints:
@@ -205,7 +282,9 @@ class MutabilityAnalysis:
             c for c in constraints if uf.find(c.written) not in persistent_roots
         ]
         chosen_roots, used_exact = self._min_weight_removal(uf, active)
-        persistent_roots |= chosen_roots
+        for root in sorted(chosen_roots):
+            dropped = tuple(c for c in active if uf.find(c.written) == root)
+            force_persistent(root, OrderingConflict(uf.family(root), dropped))
         final_constraints = [
             c for c in active if uf.find(c.written) not in persistent_roots
         ]
@@ -228,6 +307,12 @@ class MutabilityAnalysis:
             rule1_violations=rule1,
             dropped_families=[uf.family(root) for root in sorted(chosen_roots)],
             used_exact_step4=used_exact,
+            witnesses={
+                n: list(reasons.get(uf.find(n), ()))
+                for n in sorted(persistent_nodes)
+            },
+            implication_unknowns=self.triggering.implication_unknowns(),
+            alias_path_overflows=sorted(set(self.alias.path_overflows)),
         )
 
     # -- step 4 core: minimum-weight constraint-family removal ------------
@@ -283,6 +368,9 @@ def analyze_mutability(
     flat: FlatSpec,
     graph: Optional[UsageGraph] = None,
     exact_limit: int = 16,
+    implicant_cap: int = 4096,
 ) -> MutabilityResult:
     """Run the full aggregate-update analysis on *flat*."""
-    return MutabilityAnalysis(flat, graph, exact_limit).run()
+    return MutabilityAnalysis(
+        flat, graph, exact_limit, implicant_cap=implicant_cap
+    ).run()

@@ -16,6 +16,7 @@ from ..graph.usage_graph import EdgeClass, UsageGraph
 from ..lang.ast import Last
 from ..lang.spec import FlatSpec
 from .aliasing import AliasAnalysis
+from .diagnostics import Diagnostic, collect_diagnostics
 from .mutability import MutabilityResult, analyze_mutability
 from .triggering import TriggeringAnalysis
 
@@ -29,6 +30,7 @@ class AnalysisReport:
         self.graph: UsageGraph = self.result.graph
         self.triggering = TriggeringAnalysis(flat)
         self.alias = AliasAnalysis(self.graph, self.triggering)
+        self._diagnostics: Optional[List[Diagnostic]] = None
 
     # -- text ---------------------------------------------------------------
 
@@ -112,6 +114,21 @@ class AnalysisReport:
         lines.append("translation order: " + " < ".join(result.order))
         return lines
 
+    def _diagnostics_section(self) -> List[str]:
+        lines = ["diagnostics:"]
+        diags = self.diagnostics()
+        if diags:
+            lines.extend(f"  {diag}" for diag in diags)
+        else:
+            lines.append("  (none)")
+        return lines
+
+    def diagnostics(self) -> List[Diagnostic]:
+        """Unified lint + mutability-provenance diagnostics (cached)."""
+        if self._diagnostics is None:
+            self._diagnostics = collect_diagnostics(self.flat, self.result)
+        return list(self._diagnostics)
+
     def text(self) -> str:
         """The full report as plain text."""
         sections = [
@@ -120,6 +137,7 @@ class AnalysisReport:
             self._triggering_section(),
             self._aliasing_section(),
             self._mutability_section(),
+            self._diagnostics_section(),
         ]
         return "\n\n".join("\n".join(section) for section in sections)
 

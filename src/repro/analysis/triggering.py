@@ -26,7 +26,7 @@ at timestamp 0 (unit and anything strictly derived from it).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..lang.ast import Delay, Last, Lift, Nil, TimeExpr, UnitExpr
 from ..lang.builtins import TriggerSpec
@@ -88,14 +88,22 @@ def _eval_trigger(spec: TriggerSpec, flags, func_name: str) -> bool:
 
 
 class TriggeringAnalysis:
-    """Computes and caches ``ev'`` formulas and implication queries."""
+    """Computes and caches ``ev'`` formulas and implication queries.
 
-    def __init__(self, flat: FlatSpec) -> None:
+    ``implicant_cap`` bounds the prime-implicant expansion of the
+    tautology check; queries that overflow it are answered ``False``
+    (conservative) and recorded in :meth:`implication_unknowns` so the
+    precision loss is auditable instead of silent.
+    """
+
+    def __init__(self, flat: FlatSpec, implicant_cap: int = 4096) -> None:
         self.flat = flat
+        self.implicant_cap = implicant_cap
         self.initialized = always_initialized(flat)
         self._formulas: Dict[str, Formula] = {}
         self._visiting: Set[str] = set()
         self._implications: Dict[tuple, Optional[bool]] = {}
+        self._unknown: Dict[Tuple[str, str], int] = {}
 
     def formula(self, name: str) -> Formula:
         """``ev'`` of the stream *name*."""
@@ -163,9 +171,20 @@ class TriggeringAnalysis:
         cached = self._implications.get(key, _MISSING)
         if cached is not _MISSING:
             return bool(cached)
-        result = implies(self.formula(u), self.formula(v))
+        result = implies(self.formula(u), self.formula(v), cap=self.implicant_cap)
         self._implications[key] = result
+        if result is None:
+            self._unknown[key] = self.implicant_cap
         return bool(result)
+
+    def implication_unknowns(self) -> List[Tuple[str, str, int]]:
+        """Queries ``ev'(u) → ev'(v)`` that hit the implicant cap.
+
+        Each entry ``(u, v, cap)`` is a precision-loss witness: the
+        analysis assumed non-implication because the coNP check gave up,
+        not because the implication is refuted.
+        """
+        return sorted((u, v, cap) for (u, v), cap in self._unknown.items())
 
 
 _MISSING = object()

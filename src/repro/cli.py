@@ -3,11 +3,18 @@
 Subcommands over a textual specification file:
 
 * ``analyze``  — print the full analysis report (edges, formulas,
-  aliases, mutability set, translation order);
+  aliases, mutability set, translation order, diagnostics);
+* ``lint``     — print the unified static diagnostics (``LINT*`` lint
+  warnings + ``MUT*`` mutability provenance); ``--json`` emits them as
+  a JSON array, ``--sarif`` as a SARIF 2.1.0 log;
 * ``dot``      — emit the colour-coded usage graph as GraphViz;
 * ``emit``     — print the generated Python monitor source;
 * ``run``      — run the monitor on a CSV event trace
   (lines ``timestamp,stream,value``) and print outputs as CSV.
+
+``--strict`` (for ``analyze`` and ``lint``) exits nonzero when any
+diagnostic of warning severity or above is present, so specifications
+can be gated in CI.
 
 Values in CSV traces are parsed according to the declared input type
 (Int/Float/Bool/Str/Unit).
@@ -72,11 +79,28 @@ def _read_trace(path: str, flat) -> List[Tuple[int, str, Any]]:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="repro-compile")
     parser.add_argument(
-        "command", choices=["analyze", "dot", "emit", "emit-scala", "run"]
+        "command",
+        choices=["analyze", "lint", "dot", "emit", "emit-scala", "run"],
     )
     parser.add_argument("spec", help="path to the specification file")
     parser.add_argument(
         "--trace", help="CSV event trace (required for 'run')"
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="for 'lint': print diagnostics as a JSON array",
+    )
+    parser.add_argument(
+        "--sarif",
+        action="store_true",
+        help="for 'lint': print diagnostics as a SARIF 2.1.0 log",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="for 'analyze'/'lint': exit nonzero on any diagnostic of"
+        " warning severity or above (CI gating)",
     )
     parser.add_argument(
         "--no-optimize",
@@ -102,14 +126,46 @@ def main(argv=None) -> int:
         check_types(flat)
 
         if args.command == "analyze":
-            from .lang.lint import lint
+            from .analysis.diagnostics import strict_failures
 
-            print(AnalysisReport(flat).text())
-            warnings = lint(flat)
-            if warnings:
-                print("\nlint warnings:")
-                for warning in warnings:
-                    print(f"  {warning}")
+            analysis = AnalysisReport(flat)
+            print(analysis.text())
+            if args.strict and strict_failures(analysis.diagnostics()):
+                return 1
+        elif args.command == "lint":
+            from .analysis.diagnostics import (
+                collect_diagnostics,
+                strict_failures,
+                to_json,
+                to_sarif,
+            )
+
+            diagnostics = collect_diagnostics(flat)
+            if args.json and args.sarif:
+                raise CliError("--json and --sarif are mutually exclusive")
+            if args.json:
+                print(to_json(diagnostics))
+            elif args.sarif:
+                import json as json_mod
+                import os
+
+                print(
+                    json_mod.dumps(
+                        to_sarif(
+                            diagnostics,
+                            spec_uri=os.path.basename(args.spec),
+                        ),
+                        indent=2,
+                    )
+                )
+            else:
+                if diagnostics:
+                    for diagnostic in diagnostics:
+                        print(diagnostic)
+                else:
+                    print("no diagnostics")
+            if args.strict and strict_failures(diagnostics):
+                return 1
         elif args.command == "dot":
             print(AnalysisReport(flat).dot())
         elif args.command == "emit":

@@ -53,6 +53,33 @@ class CompiledSpec:
             return frozenset()
         return self.analysis.mutable
 
+    def diagnostics(self) -> list:
+        """Unified static-analysis diagnostics for this compilation.
+
+        Lint warnings plus — when the spec was compiled with the
+        optimizing analysis — the mutability provenance records (why
+        each persistent stream was demoted, and any precision losses).
+        See :mod:`repro.analysis.diagnostics`.
+        """
+        from ..analysis.diagnostics import (
+            collect_diagnostics,
+            lint_diagnostic,
+        )
+        from ..lang.lint import lint
+
+        if self.analysis is not None:
+            return collect_diagnostics(self.flat, self.analysis)
+        return [lint_diagnostic(w) for w in lint(self.flat)]
+
+    def persistence_witnesses(self) -> Dict[str, list]:
+        """stream → witness records for every persistent-classified
+        stream (empty mapping for unoptimized compilations)."""
+        if self.analysis is None:
+            return {}
+        return {
+            name: list(ws) for name, ws in self.analysis.witnesses.items()
+        }
+
     def new_monitor(self, on_output=None) -> MonitorBase:
         """Create a fresh monitor instance."""
         return self.monitor_class(on_output)

@@ -14,7 +14,14 @@ Checks:
 * **dead stream** — a defined stream no output depends on;
 * **unused input** — an input no defined stream reads;
 * **constant output** — an output that provably only ever fires at
-  timestamp 0.
+  timestamp 0;
+* **never fires** — a defined stream (other than an explicit ``nil``)
+  that provably never produces any event.
+
+Each check's slug maps to a stable ``LINT00x`` code (``LINT_CODES``)
+used by the unified diagnostics layer
+(:mod:`repro.analysis.diagnostics`) and catalogued in
+``docs/analysis.md``.
 """
 
 from __future__ import annotations
@@ -27,6 +34,15 @@ from .builtins import EventPattern
 from .prune import live_streams
 from .spec import FlatSpec
 
+#: check slug → stable diagnostic code (see docs/analysis.md).
+LINT_CODES: Dict[str, str] = {
+    "starved-lift": "LINT001",
+    "dead-stream": "LINT002",
+    "unused-input": "LINT003",
+    "constant-output": "LINT004",
+    "never-fires": "LINT005",
+}
+
 
 @dataclass(frozen=True)
 class LintWarning:
@@ -35,6 +51,11 @@ class LintWarning:
     code: str
     stream: str
     message: str
+
+    @property
+    def diagnostic_code(self) -> str:
+        """The stable ``LINT00x`` code for the unified diagnostics layer."""
+        return LINT_CODES.get(self.code, "LINT000")
 
     def __str__(self) -> str:
         return f"[{self.code}] {self.stream}: {self.message}"
@@ -75,6 +96,46 @@ def _zero_only_now(expr, zero_only: Set[str]) -> bool:
     if expr.func.pattern is EventPattern.ALL:
         return any(flags)
     return all(flags)
+
+
+def may_fire_streams(flat: FlatSpec) -> Set[str]:
+    """Streams that may produce at least one event (over-approximation).
+
+    Least fixpoint seeded with the inputs and ``unit``: a lift needs all
+    (strict) or any (lenient/custom) argument to fire; a ``last`` needs
+    both its value and its trigger; a ``delay`` needs its delay operand.
+    The complement is a sound "provably never fires" set.
+    """
+    may: Set[str] = set(flat.inputs)
+    changed = True
+    while changed:
+        changed = False
+        for name, expr in flat.definitions.items():
+            if name in may:
+                continue
+            if _may_fire_now(expr, may):
+                may.add(name)
+                changed = True
+    return may
+
+
+def _may_fire_now(expr, may: Set[str]) -> bool:
+    if isinstance(expr, Nil):
+        return False
+    if isinstance(expr, UnitExpr):
+        return True
+    if isinstance(expr, TimeExpr):
+        return expr.operand.name in may
+    if isinstance(expr, Last):
+        return expr.value.name in may and expr.trigger.name in may
+    if isinstance(expr, Delay):
+        return expr.delay.name in may
+    assert isinstance(expr, Lift)
+    flags = [arg.name in may for arg in expr.args]
+    if expr.func.pattern is EventPattern.ALL:
+        return all(flags)
+    # Lenient and custom lifts fire at most when some argument does.
+    return any(flags)
 
 
 def lint(flat: FlatSpec) -> List[LintWarning]:
@@ -138,6 +199,19 @@ def lint(flat: FlatSpec) -> List[LintWarning]:
                     "constant-output",
                     name,
                     "this output can only ever fire at timestamp 0",
+                )
+            )
+
+    may_fire = may_fire_streams(flat)
+    for name, expr in flat.definitions.items():
+        if name not in may_fire and not isinstance(expr, Nil):
+            warnings.append(
+                LintWarning(
+                    "never-fires",
+                    name,
+                    "this stream provably never produces an event (its"
+                    " dependencies can never fire together); if that is"
+                    " intentional, define it as nil",
                 )
             )
     return sorted(warnings, key=lambda w: (w.code, w.stream))

@@ -113,3 +113,115 @@ class TestLargeSpecStress:
         out = compiled.run({"i": [(t, t) for t in range(1, 50)]})
         assert len(out[previous]) == 49
         assert out["chk"].events[-1] == (49, 48)
+
+
+def _double_last_chain_spec():
+    """Two stacked lasts over the same accumulator.
+
+    Proving ``yl1``/``yl2`` replicating needs the implication
+    ``ev'(t) -> ev'(m)`` whose prime-implicant expansion exceeds a cap
+    of 1, so a tiny cap degrades the whole family to persistent.
+    """
+    empty = lambda: Lift(builtin("set_empty"), (UnitExpr(),))
+    return Specification(
+        inputs={"i1": INT, "i2": INT},
+        definitions={
+            "t": Merge(Var("i1"), Var("i2")),
+            "m": Merge(Var("y"), empty()),
+            "yl1": Last(Var("m"), Var("t")),
+            "ml": Merge(Var("yl1"), empty()),
+            "yl2": Last(Var("ml"), Var("t")),
+            "y": Lift(builtin("set_add"), (Var("yl2"), Var("t"))),
+            "r": Lift(builtin("set_size"), (Var("yl2"),)),
+        },
+        outputs=["r"],
+    )
+
+
+class TestImplicationCapRegression:
+    """A cap overflow must only ever *shrink* the mutable set.
+
+    ``implies()`` returns None when the prime-implicant expansion
+    overflows; every caller must treat that as "no implication", which
+    demotes streams to persistent — never the reverse.
+    """
+
+    def _run(self, cap):
+        flat = flatten(_double_last_chain_spec())
+        check_types(flat)
+        return analyze_mutability(flat, implicant_cap=cap)
+
+    def test_overflow_cannot_flip_stream_into_mutable_set(self):
+        precise = self._run(4096)
+        for cap in (1, 2, 8):
+            capped = self._run(cap)
+            assert capped.mutable <= precise.mutable
+
+    def test_default_cap_proves_family_mutable(self):
+        precise = self._run(4096)
+        assert precise.persistent == frozenset()
+        assert precise.implication_unknowns == []
+
+    def test_tiny_cap_demotes_family_with_provenance(self):
+        capped = self._run(1)
+        # fully persistent — and the precision loss is recorded
+        assert capped.mutable == frozenset()
+        assert ("yl1", "m", 1) in capped.implication_unknowns
+        assert ("yl2", "ml", 1) in capped.implication_unknowns
+        # every demoted stream still carries a concrete witness
+        for stream in capped.persistent:
+            assert capped.witness_for(stream), stream
+
+    def test_capped_analysis_surfaces_mut004_warnings(self):
+        from repro.analysis import Severity, mutability_diagnostics
+
+        capped = self._run(1)
+        unknowns = [
+            d for d in mutability_diagnostics(capped) if d.code == "MUT004"
+        ]
+        assert len(unknowns) == len(capped.implication_unknowns)
+        assert all(d.severity is Severity.WARNING for d in unknowns)
+        assert all(d.witness["cap"] == 1 for d in unknowns)
+
+    def test_capped_monitor_still_correct(self):
+        # semantics must not depend on the backend choice the cap forced
+        flat = flatten(_double_last_chain_spec())
+        check_types(flat)
+        trace = {"i1": [(t, t) for t in range(1, 20, 2)],
+                 "i2": [(t, t) for t in range(2, 20, 2)]}
+        reference = compile_spec(flat, optimize=False).run(trace)
+        flat2 = flatten(_double_last_chain_spec())
+        check_types(flat2)
+        optimized = compile_spec(flat2).run(trace)
+        assert reference["r"].events == optimized["r"].events
+
+
+class TestImpliesNoneAudit:
+    """Satellite audit: every ``implies()`` call site must survive None."""
+
+    def test_implies_none_only_on_overflow(self):
+        from repro.analysis.formula import clear_caches
+
+        clear_caches()
+        a, b = Atom("a"), Atom("b")
+        big = disj(
+            [conj([Atom(f"x{k}"), Atom(f"y{k}")]) for k in range(6)]
+        )
+        assert implies(a, disj([a, b]), cap=4096) is True
+        assert implies(a, b, cap=4096) is False
+        assert implies(big, big, cap=1) is True  # identity fast path
+        assert implies(big, disj([big, a]), cap=1) is None
+
+    def test_triggering_records_unknowns(self):
+        flat = flatten(_double_last_chain_spec())
+        check_types(flat)
+        from repro.analysis.triggering import TriggeringAnalysis
+
+        trig = TriggeringAnalysis(flat, implicant_cap=1)
+        # force both queries the alias analysis would issue
+        assert trig.implies_events("yl1", "m") is False  # conservative
+        assert trig.implies_events("yl2", "ml") is False
+        assert set(trig.implication_unknowns()) == {
+            ("yl1", "m", 1),
+            ("yl2", "ml", 1),
+        }

@@ -1,0 +1,252 @@
+"""Tests for the unified diagnostics engine: persistence witnesses,
+stable codes, lint unification, JSON/SARIF serialisation."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis import (
+    CATALOG,
+    InputAggregateWitness,
+    OrderingConflict,
+    Rule1Violation,
+    Severity,
+    analyze_mutability,
+    collect_diagnostics,
+    mutability_diagnostics,
+    strict_failures,
+    to_json,
+    to_sarif,
+)
+from repro.frontend import parse_spec
+from repro.lang import (
+    INT,
+    Last,
+    Lift,
+    Merge,
+    SetType,
+    Specification,
+    UnitExpr,
+    Var,
+    check_types,
+    flatten,
+)
+from repro.lang.builtins import builtin
+from repro.speclib import (
+    db_access_constraint,
+    db_time_constraint,
+    fig4_lower_spec,
+    map_window,
+    peak_detection,
+    queue_window,
+    seen_set,
+    spectrum_calculation,
+)
+
+SPEC_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples" / "specs"
+
+TABLE1_FACTORIES = {
+    "seen_set": seen_set,
+    "map_window": lambda: map_window(200),
+    "queue_window": lambda: queue_window(200),
+    "db_time": db_time_constraint,
+    "db_access": db_access_constraint,
+    "peak_detection": peak_detection,
+    "spectrum": spectrum_calculation,
+}
+
+
+def analyze(spec):
+    flat = flatten(spec)
+    check_types(flat)
+    return flat, analyze_mutability(flat)
+
+
+class TestWitnessInvariant:
+    """Every persistent-classified stream carries a non-empty witness."""
+
+    @pytest.mark.parametrize("name", list(TABLE1_FACTORIES))
+    def test_table1_workloads(self, name):
+        _, result = analyze(TABLE1_FACTORIES[name]())
+        # the Table-1 monitors are the paper's fully-optimizable set
+        assert result.persistent == frozenset()
+        for stream in result.persistent:  # vacuous, kept as the contract
+            assert result.witness_for(stream)
+
+    def test_seen_set_shipped_spec(self):
+        flat = flatten(parse_spec((SPEC_DIR / "seen_set.tessla").read_text()))
+        check_types(flat)
+        result = analyze_mutability(flat)
+        assert result.persistent == frozenset()
+        assert all(result.witness_for(s) for s in result.persistent)
+
+    @pytest.mark.parametrize("path", sorted(SPEC_DIR.glob("*.tessla")),
+                             ids=lambda p: p.name)
+    def test_all_shipped_specs(self, path):
+        flat = flatten(parse_spec(path.read_text()))
+        check_types(flat)
+        result = analyze_mutability(flat)
+        for stream in result.persistent:
+            witnesses = result.witness_for(stream)
+            assert witnesses, f"{stream} persistent without witness"
+
+    def test_fig4_lower_rule1_witness_names_rule_and_edge(self):
+        _, result = analyze(fig4_lower_spec())
+        assert result.persistent  # the paper's negative example
+        for stream in result.persistent:
+            witnesses = result.witness_for(stream)
+            assert witnesses
+            assert all(isinstance(w, Rule1Violation) for w in witnesses)
+        # the specific offending write and conflict edge from the paper:
+        [w] = [
+            w
+            for w in result.witness_for("y")
+            if w.written == "yl" and w.write_target == "y"
+        ]
+        assert w.edge == ("yp", "s")
+        assert w.conflict_class.value == "W"
+        # provenance of the alias claim: the replicating last yp
+        assert w.alias_reason["kind"] == "unsafe-path-pair"
+        assert "yp" in w.alias_reason["replicating_lasts"]
+
+    def test_input_aggregate_witness(self):
+        spec = Specification(
+            inputs={"s": SetType(INT), "i": INT},
+            definitions={
+                "r": Lift(builtin("set_add"), (Var("s"), Var("i"))),
+            },
+            outputs=["r"],
+        )
+        _, result = analyze(spec)
+        assert "s" in result.persistent
+        witnesses = result.witness_for("s")
+        assert any(
+            isinstance(w, InputAggregateWitness) and w.input_stream == "s"
+            for w in witnesses
+        )
+        # r shares the family (rule 3) and inherits the witness
+        assert result.witness_for("r") == witnesses
+
+    def test_ordering_conflict_witness(self):
+        spec = Specification(
+            inputs={"i": INT},
+            definitions={
+                "am": Merge(Var("a"), Lift(builtin("set_empty"), (UnitExpr(),))),
+                "al": Last(Var("am"), Var("i")),
+                "a": Lift(builtin("set_add"), (Var("al"), Var("i"))),
+                "sza": Lift(builtin("set_size"), (Var("a"),)),
+                "bm": Merge(Var("b"), Lift(builtin("set_empty"), (UnitExpr(),))),
+                "bl": Last(Var("bm"), Var("i")),
+                "b": Lift(builtin("set_add"), (Var("bl"), Var("i"))),
+                "bx": Lift(builtin("at"), (Var("b"), Var("i"))),
+                "szb": Lift(builtin("set_size"), (Var("b"),)),
+                "ra": Lift(builtin("set_contains"), (Var("al"), Var("szb"))),
+                "rb": Lift(builtin("set_contains"), (Var("bl"), Var("sza"))),
+            },
+            outputs=["ra", "rb"],
+        )
+        _, result = analyze(spec)
+        assert {"am", "al", "a"} <= result.persistent
+        for stream in ("am", "al", "a"):
+            [witness] = result.witness_for(stream)
+            assert isinstance(witness, OrderingConflict)
+            assert {"am", "al", "a"} <= set(witness.family)
+            # the dropped constraint edge is named: ra must read before a
+            assert ("ra", "a") in witness.edges
+
+    def test_mutable_streams_have_no_witness(self):
+        _, result = analyze(seen_set())
+        for stream in result.mutable:
+            assert result.witness_for(stream) == []
+
+
+class TestDiagnosticRecords:
+    def test_fig4_lower_mut001_notes(self):
+        _, result = analyze(fig4_lower_spec())
+        diags = mutability_diagnostics(result)
+        assert diags
+        assert all(d.code == "MUT001" for d in diags)
+        assert all(d.severity is Severity.NOTE for d in diags)
+        streams = {d.stream for d in diags}
+        assert streams == set(result.persistent)
+        for d in diags:
+            assert d.witness["rule"] == "no-double-write"
+            assert len(d.witness["edge"]) == 2
+
+    def test_codes_are_catalogued(self):
+        flat, result = analyze(fig4_lower_spec())
+        for d in collect_diagnostics(flat, result):
+            assert d.code in CATALOG
+
+    def test_strict_failures_ignore_notes(self):
+        flat, result = analyze(fig4_lower_spec())
+        diags = collect_diagnostics(flat, result)
+        # fig4-lower is a *correct* spec: persistence notes must not gate
+        assert strict_failures(diags) == []
+
+    def test_lint_warnings_unify(self):
+        flat = flatten(
+            parse_spec("in i: Int\nin g: Int\ndef t := time(i)\nout t")
+        )
+        check_types(flat)
+        diags = collect_diagnostics(flat)
+        [unused] = [d for d in diags if d.code == "LINT003"]
+        assert unused.stream == "g"
+        assert unused.severity is Severity.WARNING
+        assert unused.witness["rule"] == "unused-input"
+        assert strict_failures(diags)
+
+    def test_severity_ordering(self):
+        assert Severity.NOTE < Severity.WARNING < Severity.ERROR
+
+
+class TestSerialisation:
+    def _diags(self):
+        flat, result = analyze(fig4_lower_spec())
+        return collect_diagnostics(flat, result)
+
+    def test_json_round_trip(self):
+        diags = self._diags()
+        parsed = json.loads(to_json(diags))
+        assert len(parsed) == len(diags)
+        for record, diag in zip(parsed, diags):
+            assert record["code"] == diag.code
+            assert record["stream"] == diag.stream
+            assert record["severity"] == diag.severity.label
+            assert record["witness"]["rule"] == diag.witness["rule"]
+
+    def test_sarif_shape(self):
+        diags = self._diags()
+        sarif = to_sarif(diags, spec_uri="fig4_lower.tessla")
+        # must survive a JSON round-trip (SARIF consumers parse files)
+        sarif = json.loads(json.dumps(sarif))
+        assert sarif["version"] == "2.1.0"
+        [run] = sarif["runs"]
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {r["ruleId"] for r in run["results"]} <= rule_ids
+        for res in run["results"]:
+            assert res["level"] in ("note", "warning", "error")
+            assert res["properties"]["witness"]
+
+    def test_str_includes_code_and_rule(self):
+        diags = self._diags()
+        assert any("[MUT001:no-double-write]" in str(d) for d in diags)
+
+
+class TestCompiledSpecIntegration:
+    def test_compiled_spec_exposes_diagnostics(self):
+        from repro.compiler import compile_spec
+
+        compiled = compile_spec(fig4_lower_spec())
+        diags = compiled.diagnostics()
+        assert any(d.code == "MUT001" for d in diags)
+        witnesses = compiled.persistence_witnesses()
+        assert set(witnesses) == set(compiled.analysis.persistent)
+        assert all(witnesses.values())
+
+    def test_unoptimized_compilation_still_lints(self):
+        from repro.compiler import compile_spec
+
+        compiled = compile_spec(seen_set(), optimize=False)
+        assert compiled.diagnostics() == []

@@ -181,3 +181,86 @@ def test_implicants_are_minimal_models(f):
         assert f.evaluate(set(imp))
         for atom_ in imp:  # dropping any atom must falsify the formula
             assert not f.evaluate(set(imp) - {atom_})
+
+
+class TestHashConsing:
+    """Structurally equal formulas must be the *same* object."""
+
+    def test_atoms_interned(self):
+        assert a("p") is a("p")
+        assert a("p") is not a("q")
+
+    def test_nary_interned_and_commutative(self):
+        assert conj([a("p"), a("q")]) is conj([a("p"), a("q")])
+        assert conj([a("p"), a("q")]) is conj([a("q"), a("p")])
+        assert disj([a("p"), a("q")]) is disj([a("q"), a("p")])
+        assert conj([a("p"), a("q")]) is not disj([a("p"), a("q")])
+
+    def test_direct_constructor_interned(self):
+        assert And((a("p"), a("q"))) is And((a("q"), a("p")))
+        assert Or((a("p"), a("q"))) is Or((a("q"), a("p")))
+
+    def test_false_singleton(self):
+        from repro.analysis.formula import _False
+
+        assert _False() is FALSE
+
+    def test_nested_structural_sharing(self):
+        f = disj([conj([a("p"), a("q")]), a("r")])
+        g = disj([a("r"), conj([a("q"), a("p")])])
+        assert f is g
+
+    def test_identity_survives_clear_caches(self):
+        from repro.analysis.formula import clear_caches
+
+        f = conj([a("p"), a("q")])
+        clear_caches()
+        assert conj([a("q"), a("p")]) is f
+
+
+class TestMemoization:
+    def setup_method(self):
+        from repro.analysis.formula import clear_caches
+
+        clear_caches()
+
+    def test_implies_cached_by_identity(self):
+        from repro.analysis.formula import cache_stats
+
+        f = disj([conj([a("p"), a("q")]), a("r")])
+        g = disj([a("r"), a("p")])
+        first = implies(f, g)
+        baseline = cache_stats()
+        assert implies(disj([a("r"), conj([a("q"), a("p")])]), g) is first
+        after = cache_stats()
+        assert after["implies_hits"] == baseline["implies_hits"] + 1
+        assert after["implies_calls"] == baseline["implies_calls"] + 1
+
+    def test_implicants_cached(self):
+        from repro.analysis.formula import cache_stats
+
+        f = disj([conj([a("p"), a("q")]), a("r")])
+        first = prime_implicants(f)
+        baseline = cache_stats()
+        second = prime_implicants(f)
+        assert second == first
+        assert (
+            cache_stats()["implicant_hits"] == baseline["implicant_hits"] + 1
+        )
+
+    def test_cached_implicants_isolated_from_mutation(self):
+        f = disj([a("p"), a("q")])
+        first = prime_implicants(f)
+        first.add(frozenset({"corrupted"}))
+        assert frozenset({"corrupted"}) not in prime_implicants(f)
+
+    def test_identity_fast_path_ignores_cap(self):
+        f = disj([conj([a(f"u{k}"), a(f"v{k}")]) for k in range(8)])
+        assert implies(f, f, cap=1) is True
+
+    def test_cap_overflow_not_cached_as_answer(self):
+        # an overflow at a tiny cap must not poison the larger-cap query
+        f = disj([conj([a(f"u{k}"), a(f"v{k}")]) for k in range(4)])
+        g = disj([f, a("z")])
+        assert implies(f, g, cap=1) is None
+        assert implies(f, g, cap=4096) is True

@@ -235,3 +235,38 @@ class TestForcedPersistence:
         assert {"bm", "bl", "b", "bx"} <= result.mutable
         assert {"am", "al", "a"} <= result.persistent
         assert_def7(result)
+
+
+class TestWitnessProvenance:
+    """MutabilityResult.witnesses: machine-checkable provenance."""
+
+    def test_every_persistent_stream_has_a_witness(self):
+        from repro.speclib import fig4_lower_spec
+
+        result = analyze(fig4_lower_spec())
+        assert set(result.witnesses) == set(result.persistent)
+        for stream in result.persistent:
+            assert result.witness_for(stream)
+
+    def test_mutable_specs_have_empty_witness_map(self):
+        result = analyze(fig1_spec())
+        assert result.persistent == frozenset()
+        assert result.witnesses == {}
+        assert result.witness_for("y") == []
+
+    def test_family_members_share_the_witness(self):
+        from repro.speclib import fig4_lower_spec
+
+        result = analyze(fig4_lower_spec())
+        witnesses = {
+            stream: result.witness_for(stream)
+            for stream in ("m", "yl", "y", "yp", "s")
+        }
+        reference = witnesses["y"]
+        assert reference
+        assert all(ws == reference for ws in witnesses.values())
+
+    def test_precision_loss_fields_default_empty(self):
+        result = analyze(fig1_spec())
+        assert result.implication_unknowns == []
+        assert result.alias_path_overflows == []

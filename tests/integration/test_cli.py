@@ -104,3 +104,113 @@ class TestValueParsing:
         assert main(["run", str(spec), "--trace", str(trace)]) == 0
         lines = capsys.readouterr().out.strip().splitlines()
         assert lines == ["5,t,5", "9,t,9"]
+
+
+WARNING_SPEC = """
+in i: Int
+in ghost: Int
+def t := time(i)
+out t
+"""
+
+PERSISTENT_SPEC = """
+in i1: Int
+in i2: Int
+def m  := merge(y, set_empty(unit))
+def yl := last(m, i1)
+def y  := set_add(yl, i1)
+def yp := last(y, i2)
+def s  := set_add(yp, i2)
+out s
+"""
+
+
+class TestLintCommand:
+    def test_clean_spec_no_diagnostics(self, spec_file, capsys):
+        assert main(["lint", spec_file]) == 0
+        assert "no diagnostics" in capsys.readouterr().out
+
+    def test_human_output_has_codes(self, tmp_path, capsys):
+        spec = tmp_path / "w.tessla"
+        spec.write_text(WARNING_SPEC)
+        assert main(["lint", str(spec)]) == 0
+        out = capsys.readouterr().out
+        assert "[LINT003:unused-input] warning ghost:" in out
+
+    def test_json_round_trips(self, tmp_path, capsys):
+        import json
+
+        spec = tmp_path / "w.tessla"
+        spec.write_text(PERSISTENT_SPEC)
+        assert main(["lint", str(spec), "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert records
+        assert {r["code"] for r in records} == {"MUT001"}
+        for record in records:
+            assert record["witness"]["rule"] == "no-double-write"
+            assert len(record["witness"]["edge"]) == 2
+
+    def test_json_empty_array_for_clean_spec(self, spec_file, capsys):
+        import json
+
+        assert main(["lint", spec_file, "--json"]) == 0
+        assert json.loads(capsys.readouterr().out) == []
+
+    def test_sarif_output(self, tmp_path, capsys):
+        import json
+
+        spec = tmp_path / "w.tessla"
+        spec.write_text(PERSISTENT_SPEC)
+        assert main(["lint", str(spec), "--sarif"]) == 0
+        sarif = json.loads(capsys.readouterr().out)
+        assert sarif["version"] == "2.1.0"
+        [run] = sarif["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        assert run["results"]
+        [artifact] = run["results"][0]["locations"]
+        uri = artifact["physicalLocation"]["artifactLocation"]["uri"]
+        assert uri == "w.tessla"
+
+    def test_json_and_sarif_exclusive(self, spec_file, capsys):
+        assert main(["lint", spec_file, "--json", "--sarif"]) == 1
+        assert "mutually exclusive" in capsys.readouterr().err
+
+
+class TestStrictFlag:
+    def test_strict_clean_spec_passes(self, spec_file):
+        assert main(["lint", spec_file, "--strict"]) == 0
+        assert main(["analyze", spec_file, "--strict"]) == 0
+
+    def test_strict_fails_on_warning(self, tmp_path, capsys):
+        spec = tmp_path / "w.tessla"
+        spec.write_text(WARNING_SPEC)
+        assert main(["lint", str(spec), "--strict"]) == 1
+        assert main(["analyze", str(spec), "--strict"]) == 1
+
+    def test_strict_tolerates_persistence_notes(self, tmp_path, capsys):
+        # forced-persistent streams are provenance notes, not errors:
+        # a correct spec must not fail CI for needing persistent trees
+        spec = tmp_path / "p.tessla"
+        spec.write_text(PERSISTENT_SPEC)
+        assert main(["lint", str(spec), "--strict"]) == 0
+        assert "[MUT001:no-double-write]" in capsys.readouterr().out
+
+    def test_non_strict_never_gates(self, tmp_path):
+        spec = tmp_path / "w.tessla"
+        spec.write_text(WARNING_SPEC)
+        assert main(["lint", str(spec)]) == 0
+
+
+class TestShippedSpecsStrict:
+    def test_every_example_spec_is_strict_clean(self, capsys):
+        import pathlib
+
+        spec_dir = (
+            pathlib.Path(__file__).resolve().parents[2]
+            / "examples"
+            / "specs"
+        )
+        specs = sorted(spec_dir.glob("*.tessla"))
+        assert specs
+        for path in specs:
+            assert main(["lint", str(path), "--strict"]) == 0, path.name
