@@ -1,0 +1,77 @@
+"""Overhead of the hardened runtime's opt-in layers.
+
+Each mode runs the same spec/trace; the interesting ratios are against
+``seed`` (the plain compiled monitor driven by a bare push loop):
+
+* ``hardened-off``    — a :class:`HardenedRunner` with every hardening
+  option disabled.  The codegen is byte-identical to the seed (asserted
+  in ``tests/compiler/test_runtime_errors.py``); what this measures is
+  the runner's per-event bookkeeping, which must stay small (<5%).
+* ``error-propagate`` — error-propagating codegen on a clean trace:
+  the cost of threading the report through wrapped lifts when nothing
+  ever fails.
+* ``validate-inputs`` — per-event type validation on top of the runner.
+* ``alias-guard``     — generation-checked aggregates in place of the
+  analysis-chosen mutable backends (a sanitizer mode: correctness
+  checking, not production).
+"""
+
+import pytest
+
+from repro.bench.fig9 import spec_for, trace_for
+from repro.bench.runners import flatten_inputs
+from repro.compiler import HardenedRunner, compile_spec, counting_callback
+from repro.workloads import SIZES
+
+from conftest import make_runner
+
+LENGTH = 4_000
+SIZE = SIZES["medium"]
+SPECS = ("seen_set", "queue_window")
+
+
+def make_hardened_runner(spec, inputs, *, runner_kwargs=None, **compile_kwargs):
+    compiled = compile_spec(spec, **compile_kwargs)
+    events = flatten_inputs(inputs)
+
+    def run():
+        on_output, _ = counting_callback()
+        runner = HardenedRunner(compiled, on_output, **(runner_kwargs or {}))
+        runner.run(events)
+
+    return run
+
+
+def build(mode, spec, inputs):
+    if mode == "seed":
+        return make_runner(spec, inputs)
+    if mode == "hardened-off":
+        return make_hardened_runner(spec, inputs)
+    if mode == "error-propagate":
+        return make_hardened_runner(spec, inputs, error_policy="propagate")
+    if mode == "validate-inputs":
+        return make_hardened_runner(
+            spec, inputs, runner_kwargs={"validate_inputs": True}
+        )
+    if mode == "alias-guard":
+        return make_runner(spec, inputs, alias_guard=True)
+    raise ValueError(mode)
+
+
+MODES = (
+    "seed",
+    "hardened-off",
+    "error-propagate",
+    "validate-inputs",
+    "alias-guard",
+)
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("spec_name", SPECS)
+def test_guard_overhead(benchmark, spec_name, mode):
+    spec = spec_for(spec_name, SIZE)
+    inputs = trace_for(spec_name, SIZE, LENGTH)
+    run = build(mode, spec, inputs)
+    benchmark.group = f"hardened {spec_name}"
+    benchmark(run)

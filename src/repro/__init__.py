@@ -36,11 +36,14 @@ from .analysis import (
 )
 from .compiler import (
     CompiledSpec,
+    HardenedRunner,
     MonitorBase,
     MonitorError,
+    RunReport,
     compile_spec,
     freeze,
 )
+from .errors import ErrorPolicy, ErrorValue, LiftError, is_error
 from .frontend import FrontendError, parse_spec
 from .graph import EdgeClass, UsageGraph, build_usage_graph, translation_order
 from .lang import (
@@ -70,12 +73,13 @@ from .lang import (
     flatten,
 )
 from .semantics import Stream, interpret
-from .structures import Backend
+from .structures import AliasGuardError, Backend
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AliasAnalysis",
+    "AliasGuardError",
     "BOOL",
     "Backend",
     "CompiledSpec",
@@ -83,12 +87,16 @@ __all__ = [
     "Default",
     "Delay",
     "EdgeClass",
+    "ErrorPolicy",
+    "ErrorValue",
     "FLOAT",
     "FlatSpec",
     "FrontendError",
+    "HardenedRunner",
     "INT",
     "Last",
     "Lift",
+    "LiftError",
     "MapType",
     "Merge",
     "MonitorBase",
@@ -97,6 +105,7 @@ __all__ = [
     "MutabilityResult",
     "Nil",
     "QueueType",
+    "RunReport",
     "STR",
     "SetType",
     "SpecError",
@@ -116,6 +125,7 @@ __all__ = [
     "flatten",
     "freeze",
     "interpret",
+    "is_error",
     "parse_spec",
     "translation_order",
 ]

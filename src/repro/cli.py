@@ -18,11 +18,23 @@ can be gated in CI.
 
 Values in CSV traces are parsed according to the declared input type
 (Int/Float/Bool/Str/Unit).
+
+``run`` accepts the hardened-runtime options (see ``docs/runtime.md``):
+``--error-policy`` switches on error-propagating evaluation,
+``--validate-inputs`` type-checks every input event,
+``--on-malformed`` / ``--on-unknown-stream`` / ``--on-out-of-order`` /
+``--max-skew`` select the tolerant-ingestion policies,
+``--checkpoint-dir`` / ``--checkpoint-every`` write durable checkpoints
+during the run, ``--resume`` restarts from the newest valid checkpoint
+reproducing the uninterrupted run's output file exactly,
+``--alias-guard`` enables the aggregate-aliasing sanitizer, and
+``--report`` prints the structured run report to stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Any, List, Tuple
 
@@ -56,24 +68,228 @@ def _parse_value(text: str, value_type: ty.Type) -> Any:
     raise CliError(f"cannot parse values of type {value_type} from CSV")
 
 
+def _parse_csv_line(raw: str, lineno: int, flat, path: str):
+    """One CSV trace line → ``(ts, stream, value)``, or ``None`` for
+    blank/comment lines.
+
+    Raises :class:`~repro.semantics.traceio.TraceError` with
+    ``path:line`` context on anything malformed — bad timestamp,
+    negative timestamp, unparseable value — so the tolerant ingestion
+    policies apply to CSV exactly as to the TeSSLa format.
+    """
+    from .semantics.traceio import TraceError
+
+    line = raw.strip()
+    if not line or line.startswith("#"):
+        return None
+    parts = line.split(",", 2)
+    if len(parts) < 2:
+        raise TraceError(f"{path}:{lineno}: expected 'ts,stream[,value]'")
+    ts_text, name = parts[0].strip(), parts[1].strip()
+    try:
+        ts = int(ts_text)
+    except ValueError:
+        raise TraceError(
+            f"{path}:{lineno}: bad timestamp {ts_text!r}"
+        ) from None
+    if ts < 0:
+        raise TraceError(f"{path}:{lineno}: negative timestamp {ts}")
+    value_text = parts[2] if len(parts) == 3 else ""
+    if name not in flat.types:
+        # No declared type to parse the value by; the reader's
+        # unknown-stream policy decides this event's fate anyway.
+        return ts, name, value_text
+    try:
+        value = _parse_value(value_text, flat.types[name])
+    except (CliError, ValueError) as exc:
+        raise TraceError(f"{path}:{lineno}: {exc}") from None
+    return ts, name, value
+
+
 def _read_trace(path: str, flat) -> List[Tuple[int, str, Any]]:
+    from .semantics.traceio import TraceError
+
     events: List[Tuple[int, str, Any]] = []
     with open(path) as handle:
-        for lineno, line in enumerate(handle, 1):
-            line = line.strip()
-            if not line or line.startswith("#"):
+        for lineno, raw in enumerate(handle, 1):
+            try:
+                parsed = _parse_csv_line(raw, lineno, flat, path)
+            except TraceError as exc:
+                raise CliError(str(exc)) from None
+            if parsed is None:
                 continue
-            parts = line.split(",", 2)
-            if len(parts) < 2:
-                raise CliError(f"{path}:{lineno}: expected 'ts,stream[,value]'")
-            ts_text, name = parts[0].strip(), parts[1].strip()
+            ts, name, value = parsed
             if name not in flat.inputs:
                 raise CliError(f"{path}:{lineno}: unknown input stream {name!r}")
-            value_text = parts[2] if len(parts) == 3 else ""
-            value = _parse_value(value_text, flat.types[name])
-            events.append((int(ts_text), name, value))
+            events.append((ts, name, value))
     events.sort(key=lambda e: e[0])
     return events
+
+
+def _cmd_run(args, flat) -> int:
+    """The ``run`` subcommand: drive a monitor over an event trace."""
+    from .compiler import HardenedRunner
+    from .semantics.traceio import (
+        IngestPolicy,
+        IngestStats,
+        TolerantReader,
+        TraceError,
+        format_value,
+        iter_trace_events,
+        read_trace,
+    )
+
+    if not args.trace:
+        raise CliError("'run' requires --trace")
+    if args.resume and not args.checkpoint_dir:
+        raise CliError("--resume requires --checkpoint-dir")
+    if args.resume and not args.output:
+        raise CliError("--resume requires --output (stdout cannot be rewound)")
+    tolerant = (
+        args.on_malformed != "raise"
+        or args.on_unknown_stream != "raise"
+        or args.on_out_of_order != "raise"
+        or args.max_skew > 0
+    )
+    hardened = bool(
+        args.error_policy
+        or args.validate_inputs
+        or args.checkpoint_dir
+        or args.resume
+        or args.report
+        or tolerant
+    )
+    compiled = compile_spec(
+        flat,
+        optimize=not args.no_optimize,
+        error_policy=args.error_policy,
+        alias_guard=args.alias_guard,
+    )
+    stats = IngestStats()
+    policy = IngestPolicy(
+        on_malformed=args.on_malformed,
+        on_unknown_stream=args.on_unknown_stream,
+        on_out_of_order=args.on_out_of_order,
+        max_skew=args.max_skew,
+    )
+
+    if args.format == "tessla":
+        def render(name, ts, value):
+            return f"{ts}: {name} = {format_value(value)}"
+
+        def load_events():
+            if tolerant:
+                return iter_trace_events(
+                    open(args.trace),
+                    policy,
+                    known_streams=flat.inputs,
+                    stats=stats,
+                )
+            # strict batch semantics: the text may list events in any
+            # order; everything is read, validated, and sorted up front
+            try:
+                with open(args.trace) as handle:
+                    traces = read_trace(handle)
+            except TraceError as exc:
+                raise CliError(str(exc)) from None
+            unknown = set(traces) - set(flat.inputs)
+            if unknown:
+                raise CliError(f"unknown input streams: {sorted(unknown)}")
+            return sorted(
+                (ts, name, value)
+                for name, stream_events in traces.items()
+                for ts, value in stream_events
+            )
+
+    else:
+        def render(name, ts, value):
+            return f"{ts},{name},{value}"
+
+        def load_events():
+            if tolerant:
+                reader = TolerantReader(policy, known_streams=flat.inputs)
+                reader.stats = stats
+                return reader.events(
+                    enumerate(open(args.trace), 1),
+                    lambda item: _parse_csv_line(
+                        item[1], item[0], flat, args.trace
+                    ),
+                )
+            return _read_trace(args.trace, flat)
+
+    # The sink is bound late: under --resume the output file must be
+    # rewound to the checkpoint's watermark before any write.
+    sink = {"write": sys.stdout.write, "handle": None}
+
+    def emit(name, ts, value):
+        sink["write"](render(name, ts, value) + "\n")
+
+    def make_outputs_durable():
+        # Flushed before every checkpoint write: the checkpoint's
+        # outputs_emitted watermark must never run ahead of the bytes
+        # on disk, or a hard kill would make --resume skip past a hole.
+        handle = sink["handle"]
+        if handle is not None:
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    if not hardened:
+        events = load_events()
+        out_handle = open(args.output, "w") if args.output else None
+        if out_handle is not None:
+            sink["write"] = out_handle.write
+        monitor = compiled.new_monitor(emit)
+        for ts, name, value in events:
+            monitor.push(name, ts, value)
+        monitor.finish(end_time=args.end_time)
+        if out_handle is not None:
+            out_handle.close()
+        return 0
+
+    runner_kwargs = {
+        "validate_inputs": args.validate_inputs,
+        "checkpoint_every": args.checkpoint_every,
+        "on_checkpoint": make_outputs_durable,
+    }
+    if args.resume:
+        runner, meta = HardenedRunner.resume(
+            compiled, args.checkpoint_dir, on_output=emit, **runner_kwargs
+        )
+        kept = meta["outputs_emitted"] if meta else 0
+        try:
+            with open(args.output) as handle:
+                prior = handle.readlines()
+        except FileNotFoundError:
+            prior = []
+        with open(args.output, "w") as handle:
+            handle.writelines(prior[:kept])
+        out_handle = open(args.output, "a")
+    else:
+        runner = HardenedRunner(
+            compiled,
+            emit,
+            checkpoint_dir=args.checkpoint_dir,
+            **runner_kwargs,
+        )
+        out_handle = open(args.output, "w") if args.output else None
+    if out_handle is not None:
+        sink["write"] = out_handle.write
+        sink["handle"] = out_handle
+
+    events = load_events()
+    try:
+        if args.resume:
+            runner.feed_from_start(events)
+        else:
+            runner.feed(events)
+        runner.finish(end_time=args.end_time)
+    finally:
+        if out_handle is not None:
+            out_handle.close()
+    runner.report.absorb_ingest(stats)
+    if args.report:
+        print(runner.report.to_json(), file=sys.stderr)
+    return 0
 
 
 def main(argv=None) -> int:
@@ -116,6 +332,74 @@ def main(argv=None) -> int:
         default="csv",
         help="trace format for 'run': CSV lines or the TeSSLa trace"
         " format (ts: stream = value)",
+    )
+    hardened = parser.add_argument_group("hardened runtime (for 'run')")
+    hardened.add_argument(
+        "--error-policy",
+        choices=["fail-fast", "propagate", "substitute-default"],
+        default=None,
+        help="error-propagating evaluation: what a failing lift becomes",
+    )
+    hardened.add_argument(
+        "--validate-inputs",
+        action="store_true",
+        help="type-check every input event against the declared types",
+    )
+    hardened.add_argument(
+        "--on-malformed",
+        choices=["raise", "skip"],
+        default="raise",
+        help="what to do with trace lines that do not parse",
+    )
+    hardened.add_argument(
+        "--on-unknown-stream",
+        choices=["raise", "skip"],
+        default="raise",
+        help="what to do with events naming undeclared streams",
+    )
+    hardened.add_argument(
+        "--on-out-of-order",
+        choices=["raise", "skip", "buffer"],
+        default="raise",
+        help="what to do with events behind the delivery frontier"
+        " ('buffer' reorders within --max-skew)",
+    )
+    hardened.add_argument(
+        "--max-skew",
+        type=int,
+        default=0,
+        help="reorder window for --on-out-of-order=buffer (ticks)",
+    )
+    hardened.add_argument(
+        "--checkpoint-dir",
+        help="write durable checkpoints into this directory",
+    )
+    hardened.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1000,
+        help="checkpoint period in consumed input events",
+    )
+    hardened.add_argument(
+        "--resume",
+        action="store_true",
+        help="restart from the newest valid checkpoint in"
+        " --checkpoint-dir (requires --output)",
+    )
+    hardened.add_argument(
+        "--output",
+        help="write outputs to this file instead of stdout",
+    )
+    hardened.add_argument(
+        "--report",
+        action="store_true",
+        help="print the structured run report (JSON) to stderr",
+    )
+    hardened.add_argument(
+        "--alias-guard",
+        action="store_true",
+        help="runtime sanitizer: guard mutable aggregates against"
+        " stale-reference access",
     )
     args = parser.parse_args(argv)
 
@@ -187,43 +471,7 @@ def main(argv=None) -> int:
                 }
             print(generate_scala_source(flat, order, backends))
         else:  # run
-            if not args.trace:
-                raise CliError("'run' requires --trace")
-            if args.format == "tessla":
-                from .semantics.traceio import (
-                    TraceError,
-                    format_value,
-                    read_trace,
-                )
-
-                try:
-                    with open(args.trace) as handle:
-                        traces = read_trace(handle)
-                except TraceError as exc:
-                    raise CliError(str(exc)) from None
-                unknown = set(traces) - set(flat.inputs)
-                if unknown:
-                    raise CliError(f"unknown input streams: {sorted(unknown)}")
-                events = sorted(
-                    (ts, name, value)
-                    for name, stream_events in traces.items()
-                    for ts, value in stream_events
-                )
-
-                def emit(name, ts, value):
-                    print(f"{ts}: {name} = {format_value(value)}")
-
-            else:
-                events = _read_trace(args.trace, flat)
-
-                def emit(name, ts, value):
-                    print(f"{ts},{name},{value}")
-
-            compiled = compile_spec(flat, optimize=not args.no_optimize)
-            monitor = compiled.new_monitor(emit)
-            for ts, name, value in events:
-                monitor.push(name, ts, value)
-            monitor.finish(end_time=args.end_time)
+            return _cmd_run(args, flat)
     except (CliError, FileNotFoundError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -1,5 +1,12 @@
 """Compiler backend: code generation and the monitor runtime (paper §III)."""
 
+from .checkpoint import (
+    CheckpointError,
+    CheckpointManager,
+    latest_checkpoint,
+    read_checkpoint,
+    write_checkpoint,
+)
 from .codegen import CodegenError, CodeGenerator, generate_monitor_class
 from .interp_backend import make_interpreted_class
 from .scala_backend import generate_scala_source
@@ -12,13 +19,18 @@ from .monitor import (
     freeze,
 )
 from .pipeline import CompiledSpec, compile_spec
+from .runtime import HardenedRunner, RunReport, validate_value
 
 __all__ = [
+    "CheckpointError",
+    "CheckpointManager",
     "CodeGenerator",
     "CodegenError",
     "CompiledSpec",
+    "HardenedRunner",
     "MonitorBase",
     "MonitorError",
+    "RunReport",
     "UNIT_VALUE",
     "collecting_callback",
     "compile_spec",
@@ -26,5 +38,9 @@ __all__ = [
     "freeze",
     "generate_monitor_class",
     "generate_scala_source",
+    "latest_checkpoint",
     "make_interpreted_class",
+    "read_checkpoint",
+    "validate_value",
+    "write_checkpoint",
 ]

@@ -19,13 +19,15 @@ where the optimization manifests in code.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Mapping, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
+from ..errors import ErrorPolicy, ErrorValue
 from ..lang.ast import Delay, Last, Lift, Nil, TimeExpr, UnitExpr
 from ..lang.builtins import EventPattern
 from ..lang.spec import FlatSpec
 from ..structures import Backend
 from .monitor import UNIT_VALUE, MonitorBase
+from .runtime import RunReport, delay_next, wrap_lift
 
 
 class CodegenError(Exception):
@@ -47,15 +49,26 @@ class CodeGenerator:
         order: Sequence[str],
         backend_for: Callable[[str], Backend],
         class_name: str = "GeneratedMonitor",
+        error_policy: Optional[ErrorPolicy] = None,
     ) -> None:
         self.flat = flat
         self.order = list(order)
         self.backend_for = backend_for
         self.class_name = class_name
+        #: When set, the generated monitor evaluates under the hardened
+        #: error semantics (see :mod:`repro.compiler.runtime`): lifts
+        #: are wrapped, delay re-arms tolerate error amounts, and a
+        #: per-instance :class:`RunReport` counts every fault.  When
+        #: ``None`` the output is byte-identical to the seed compiler's.
+        self.error_policy = error_policy
         self.namespace: Dict[str, Any] = {
             "MonitorBase": MonitorBase,
             "_UNIT": UNIT_VALUE,
         }
+        if error_policy is not None:
+            self.namespace["_ERR"] = ErrorValue
+            self.namespace["_RunReport"] = RunReport
+            self.namespace["_delay_next"] = delay_next
         if sorted(self.order) != sorted(flat.streams):
             raise CodegenError("order must enumerate exactly the spec's streams")
 
@@ -65,6 +78,10 @@ class CodeGenerator:
         for name, expr in self.flat.definitions.items():
             if isinstance(expr, Lift) and expr.func.name != "merge":
                 impl = expr.func.bind(self.backend_for(name))
+                if self.error_policy is not None:
+                    impl = wrap_lift(
+                        name, expr.func.name, impl, self.error_policy
+                    )
                 self.namespace[f"_f_{name}"] = impl
 
     def _calc_line(self, name: str) -> List[str]:
@@ -88,7 +105,10 @@ class CodeGenerator:
         if expr.func.name == "merge":
             a, b = args
             return [f"{v} = {a} if {a} is not None else {b}"]
-        call = f"_f_{name}({', '.join(args)})"
+        if self.error_policy is not None:
+            call = f"_f_{name}(rep, ts, {', '.join(args)})"
+        else:
+            call = f"_f_{name}({', '.join(args)})"
         if expr.func.pattern is EventPattern.ALL:
             guard = " and ".join(f"{a} is not None" for a in args)
             return [f"{v} = {call} if {guard} else None"]
@@ -123,10 +143,12 @@ class CodeGenerator:
             "",
             "    def _init_state(self):",
         ]
+        error_mode = self.error_policy is not None
         state_lines = (
             [f"        self._in_{name} = None" for name in inputs]
             + [f"        self._last_{name} = None" for name in last_values]
             + [f"        self._next_{name} = None" for name in delays]
+            + (["        self._report = _RunReport()"] if error_mode else [])
         )
         lines.extend(state_lines or ["        pass"])
 
@@ -143,6 +165,8 @@ class CodeGenerator:
         )
         lines += ["", f"    def _calc({signature}):"]
         body: List[str] = []
+        if error_mode:
+            body.append("rep = self._report")
         # load inputs into locals
         for name in inputs:
             body.append(f"v_{name} = self._in_{name}")
@@ -155,9 +179,17 @@ class CodeGenerator:
         if flat.outputs:
             body.append("emit = self._on_output")
             for name in flat.outputs:
-                body.append(
-                    f"if v_{name} is not None: emit({name!r}, ts, v_{name})"
-                )
+                if error_mode:
+                    body += [
+                        f"if v_{name} is not None:",
+                        f"    if v_{name}.__class__ is _ERR:"
+                        " rep.error_outputs += 1",
+                        f"    emit({name!r}, ts, v_{name})",
+                    ]
+                else:
+                    body.append(
+                        f"if v_{name} is not None: emit({name!r}, ts, v_{name})"
+                    )
         # store last values for the next timestamps
         for name in last_values:
             body.append(
@@ -172,10 +204,15 @@ class CodeGenerator:
             body.append(
                 f"if v_{reset} is not None or v_{name} is not None:"
             )
-            body.append(
-                f"    self._next_{name} ="
-                f" (ts + v_{amount}) if v_{amount} is not None else None"
-            )
+            if error_mode:
+                body.append(
+                    f"    self._next_{name} = _delay_next(rep, ts, v_{amount})"
+                )
+            else:
+                body.append(
+                    f"    self._next_{name} ="
+                    f" (ts + v_{amount}) if v_{amount} is not None else None"
+                )
         # reset input variables
         for name in inputs:
             body.append(f"self._in_{name} = None")
@@ -212,16 +249,20 @@ def generate_monitor_class(
     backends: Mapping[str, Backend],
     default_backend: Backend = Backend.PERSISTENT,
     class_name: str = "GeneratedMonitor",
+    error_policy: Optional[ErrorPolicy] = None,
 ) -> type:
     """Generate and compile a monitor class.
 
     ``backends`` maps stream names to collection backends; unknown
-    streams use *default_backend*.
+    streams use *default_backend*.  ``error_policy`` switches on the
+    hardened error-propagating evaluation (``None`` compiles the exact
+    seed code).
     """
     generator = CodeGenerator(
         flat,
         order,
         lambda name: backends.get(name, default_backend),
         class_name,
+        error_policy=error_policy,
     )
     return generator.compile()

@@ -18,20 +18,30 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..errors import ErrorPolicy, ErrorValue
 from ..lang.ast import Delay, Last, Lift, Nil, TimeExpr, UnitExpr
 from ..lang.builtins import EventPattern
 from ..lang.spec import FlatSpec
 from ..structures import Backend
 from .codegen import CodegenError
 from .monitor import UNIT_VALUE, MonitorBase
+from .runtime import RunReport, delay_next, wrap_lift
 
 Step = Callable[["InterpretedMonitorBase", Dict[str, Any], int], None]
 
 
 def _make_step(
-    name: str, expr, impl: Optional[Callable[..., Any]]
+    name: str,
+    expr,
+    impl: Optional[Callable[..., Any]],
+    error_mode: bool = False,
 ) -> Optional[Step]:
-    """One closure computing ``values[name]`` at the current timestamp."""
+    """One closure computing ``values[name]`` at the current timestamp.
+
+    Under *error_mode* the lift closures thread the monitor's live
+    :class:`RunReport` and the timestamp into the (wrapped) *impl* —
+    the interpreted twin of the generated engine's hardened calls.
+    """
     if isinstance(expr, Nil):
         return None  # absent keys read as None
     if isinstance(expr, UnitExpr):
@@ -65,12 +75,32 @@ def _make_step(
     assert isinstance(expr, Lift)
     arg_names = tuple(arg.name for arg in expr.args)
     if expr.func.pattern is EventPattern.ALL:
+        if error_mode:
+            def step_strict_hardened(monitor, values, ts):
+                args = [values.get(a) for a in arg_names]
+                if None not in args:
+                    result = impl(monitor._report, ts, *args)
+                    if result is not None:
+                        values[name] = result
+
+            return step_strict_hardened
+
         def step_strict(monitor, values, ts):
             args = [values.get(a) for a in arg_names]
             if None not in args:
                 values[name] = impl(*args)
 
         return step_strict
+
+    if error_mode:
+        def step_lenient_hardened(monitor, values, ts):
+            args = [values.get(a) for a in arg_names]
+            if any(a is not None for a in args):
+                result = impl(monitor._report, ts, *args)
+                if result is not None:
+                    values[name] = result
+
+        return step_lenient_hardened
 
     def step_lenient(monitor, values, ts):
         args = [values.get(a) for a in arg_names]
@@ -90,6 +120,8 @@ class InterpretedMonitorBase(MonitorBase):
     LAST_VALUES: Tuple[str, ...] = ()
     DELAYS: Tuple[str, ...] = ()
     DELAY_PARTS: Tuple[Tuple[str, str, str], ...] = ()  # (name, reset, amount)
+    #: Set on hardened classes (compiled with an error policy).
+    ERROR_MODE: bool = False
     SOURCE = "<interpreted engine — no generated source>"
 
     def _init_state(self) -> None:
@@ -97,6 +129,8 @@ class InterpretedMonitorBase(MonitorBase):
         self._next: Dict[str, Optional[int]] = {n: None for n in self.DELAYS}
         for name in self.INPUTS:
             setattr(self, "_in_" + name, None)
+        if self.ERROR_MODE:
+            self._report = RunReport()
 
     def _calc(self, ts: int) -> None:
         values: Dict[str, Any] = {}
@@ -106,9 +140,12 @@ class InterpretedMonitorBase(MonitorBase):
             if step is not None:
                 step(self, values, ts)
         emit = self._on_output
+        error_mode = self.ERROR_MODE
         for name in self.OUTPUTS:
             value = values.get(name)
             if value is not None:
+                if error_mode and value.__class__ is ErrorValue:
+                    self._report.error_outputs += 1
                 emit(name, ts, value)
         for name in self.LAST_VALUES:
             value = values.get(name)
@@ -117,7 +154,12 @@ class InterpretedMonitorBase(MonitorBase):
         for name, reset, amount in self.DELAY_PARTS:
             if values.get(reset) is not None or values.get(name) is not None:
                 delta = values.get(amount)
-                self._next[name] = ts + delta if delta is not None else None
+                if error_mode:
+                    self._next[name] = delay_next(self._report, ts, delta)
+                else:
+                    self._next[name] = (
+                        ts + delta if delta is not None else None
+                    )
         for name in self.INPUTS:
             setattr(self, "_in_" + name, None)
 
@@ -132,19 +174,31 @@ def make_interpreted_class(
     backends: Mapping[str, Backend],
     default_backend: Backend = Backend.PERSISTENT,
     class_name: str = "InterpretedMonitor",
+    error_policy: Optional[ErrorPolicy] = None,
 ) -> type:
-    """Build an interpreted monitor class for *flat* (codegen-free)."""
+    """Build an interpreted monitor class for *flat* (codegen-free).
+
+    ``error_policy`` enables the hardened error-propagating evaluation,
+    mirroring the generated engine (see :mod:`repro.compiler.runtime`).
+    """
     if sorted(order) != sorted(flat.streams):
         raise CodegenError("order must enumerate exactly the spec's streams")
+    error_mode = error_policy is not None
     steps: List[Tuple[str, Optional[Step]]] = []
     for name in order:
         expr = flat.definitions.get(name)
         if expr is None:
             continue  # inputs are seeded directly
         impl = None
+        hardened_step = False
         if isinstance(expr, Lift):
             impl = expr.func.bind(backends.get(name, default_backend))
-        steps.append((name, _make_step(name, expr, impl)))
+            if error_mode and expr.func.name != "merge":
+                # merge passes values (errors included) through
+                # unchanged, so it keeps the plain calling convention.
+                impl = wrap_lift(name, expr.func.name, impl, error_policy)
+                hardened_step = True
+        steps.append((name, _make_step(name, expr, impl, hardened_step)))
     delays = tuple(
         name
         for name, expr in flat.definitions.items()
@@ -175,5 +229,6 @@ def make_interpreted_class(
             "LAST_VALUES": last_values,
             "DELAYS": delays,
             "DELAY_PARTS": delay_parts,
+            "ERROR_MODE": error_mode,
         },
     )

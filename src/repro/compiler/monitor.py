@@ -34,11 +34,18 @@ def freeze(value: Any) -> Any:
     Mutable aggregates emitted by optimized monitors are updated in
     place afterwards; anyone storing outputs instead of serializing them
     immediately must freeze them first.
+
+    The frozen form is *canonical*: two aggregates equal as collections
+    freeze to equal (and hashable) values regardless of backend or
+    iteration order.  Maps freeze to a ``frozenset`` of ``(key, value)``
+    pairs — sorting by key ``repr`` (the previous scheme) is not
+    canonical, because two distinct keys may share a ``repr`` and then
+    the tuple order depends on insertion order.
     """
     if isinstance(value, SetBase):
         return frozenset(value)
     if isinstance(value, MapBase):
-        return tuple(sorted(value.items(), key=lambda kv: repr(kv[0])))
+        return frozenset(value.items())
     if isinstance(value, (QueueBase, VectorBase)):
         return tuple(value)
     return value
@@ -183,13 +190,14 @@ class MonitorBase:
 
         Mutable aggregates are cloned so the checkpoint stays valid
         while the monitor keeps updating in place.  The output callback
-        is not part of the state.
+        and the run report (live fault counters, see
+        :mod:`repro.compiler.runtime`) are not part of the state.
         """
         from ..structures.clone import clone_value
 
         state: Dict[str, Any] = {}
         for key, value in vars(self).items():
-            if key == "_on_output":
+            if key in ("_on_output", "_report"):
                 continue
             if isinstance(value, dict):
                 state[key] = {k: clone_value(v) for k, v in value.items()}
@@ -206,6 +214,8 @@ class MonitorBase:
         from ..structures.clone import clone_value
 
         for key, value in state.items():
+            if key in ("_on_output", "_report"):
+                continue
             if isinstance(value, dict):
                 setattr(
                     self, key, {k: clone_value(v) for k, v in value.items()}

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Union
 
 from ..analysis.mutability import MutabilityResult, analyze_mutability
+from ..errors import ErrorPolicy, coerce_policy
 from ..graph.order import translation_order
 from ..graph.usage_graph import build_usage_graph
 from ..lang.flatten import flatten
@@ -41,6 +42,12 @@ class CompiledSpec:
     backends: Dict[str, Backend]
     analysis: Optional[MutabilityResult]
     optimized: bool
+    #: The hardened-evaluation policy this spec was compiled with
+    #: (``None`` — the default — compiles the seed's exact hot path).
+    error_policy: Optional[ErrorPolicy] = None
+    #: True when mutable backends were swapped for their alias-guarded
+    #: twins (the runtime sanitizer of the mutability analysis).
+    alias_guard: bool = False
 
     @property
     def source(self) -> str:
@@ -106,6 +113,8 @@ def compile_spec(
     class_name: str = "GeneratedMonitor",
     prune_dead: bool = False,
     engine: str = "codegen",
+    error_policy: Union[ErrorPolicy, str, None] = None,
+    alias_guard: bool = False,
 ) -> CompiledSpec:
     """Compile *spec* into a monitor class (see module docstring).
 
@@ -113,7 +122,20 @@ def compile_spec(
     output before analysis and code generation.  ``engine`` selects the
     execution strategy: ``"codegen"`` (generated Python source, the
     default) or ``"interpreted"`` (step closures, no ``exec``).
+
+    ``error_policy`` (an :class:`~repro.errors.ErrorPolicy` or its
+    string value) switches on the hardened error-propagating evaluation
+    — lift exceptions become first-class error values, raise with
+    context, or suppress the event, per policy, and the monitor carries
+    a live :class:`~repro.compiler.runtime.RunReport`.  ``None`` (the
+    default) compiles the seed's exact code with zero overhead.
+
+    ``alias_guard=True`` swaps every mutable backend for its guarded
+    twin (:mod:`repro.structures.guard`): any access through a stale
+    aggregate reference — a bug in the static mutability analysis —
+    raises immediately.  A debug/sanitizer mode.
     """
+    policy = coerce_policy(error_policy)
     flat = spec if isinstance(spec, FlatSpec) else flatten(spec)
     if not flat.types:
         check_types(flat)
@@ -144,15 +166,21 @@ def compile_spec(
         analysis = None
         optimized = False
 
+    if alias_guard:
+        backends = {
+            name: Backend.GUARDED if backend is Backend.MUTABLE else backend
+            for name, backend in backends.items()
+        }
+
     if engine == "codegen":
         monitor_class = generate_monitor_class(
-            flat, order, backends, class_name=class_name
+            flat, order, backends, class_name=class_name, error_policy=policy
         )
     elif engine == "interpreted":
         from .interp_backend import make_interpreted_class
 
         monitor_class = make_interpreted_class(
-            flat, order, backends, class_name=class_name
+            flat, order, backends, class_name=class_name, error_policy=policy
         )
     else:
         raise ValueError(f"unknown engine {engine!r}")
@@ -163,4 +191,6 @@ def compile_spec(
         backends=backends,
         analysis=analysis,
         optimized=optimized,
+        error_policy=policy,
+        alias_guard=alias_guard,
     )

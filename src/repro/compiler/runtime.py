@@ -1,0 +1,428 @@
+"""Hardened monitor runtime: error propagation, reports, recovery.
+
+This module is the runtime half of the compiler's hardening layer:
+
+* :class:`RunReport` — structured accounting of everything abnormal a
+  run absorbed (lift exceptions, propagated/substituted errors, invalid
+  inputs, ingestion skips, checkpoints, resume provenance), so "the
+  monitor survived" is an auditable claim rather than silence;
+* :func:`wrap_lift` — the per-stream wrapper installed by the code
+  generators when a monitor is compiled with an
+  :class:`~repro.errors.ErrorPolicy`: it short-circuits error-valued
+  arguments, converts lift exceptions into :class:`ErrorValue` events
+  (or raises with context / substitutes, per policy), and counts
+  everything into the monitor's report;
+* :func:`validate_value` — runtime type validation of input events
+  against the declared input stream types;
+* :class:`HardenedRunner` — an event-loop driver around a compiled
+  monitor adding input validation, periodic durable checkpoints and
+  crash recovery (resume from the last valid checkpoint, skip consumed
+  input, reproduce the uninterrupted run's outputs exactly).
+
+Monitors compiled *without* an error policy are byte-for-byte the code
+the seed compiler produced — the hardening layer costs nothing unless
+it is switched on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, Optional, Tuple
+
+from ..errors import ErrorPolicy, ErrorValue, LiftError
+from ..lang import types as ty
+from ..structures.guard import AliasGuardError
+from ..structures.interface import MapBase, QueueBase, SetBase, VectorBase
+from .checkpoint import CheckpointManager, spec_fingerprint
+from .monitor import MonitorError
+
+
+@dataclass
+class RunReport:
+    """Structured accounting of one monitor run's absorbed faults.
+
+    All counters are cumulative across a resume: a resumed run seeds
+    ``events_out`` from the checkpoint so output-offset bookkeeping
+    stays consistent with the uninterrupted run.
+    """
+
+    #: Input events presented to the runner (including dropped ones).
+    events_in: int = 0
+    #: Output events emitted (cumulative across resume).
+    events_out: int = 0
+    #: Lift implementations that raised an exception.
+    lift_errors: int = 0
+    #: Lift calls short-circuited because an argument carried an error.
+    errors_propagated: int = 0
+    #: Events suppressed under ``ErrorPolicy.SUBSTITUTE_DEFAULT``.
+    errors_substituted: int = 0
+    #: Error values surfaced on output streams.
+    error_outputs: int = 0
+    #: ``delay`` re-arms ignored because the delay amount was an error.
+    delay_errors: int = 0
+    #: Input events whose value failed type validation.
+    invalid_inputs: int = 0
+    #: Trace lines that could not be parsed (tolerant ingestion).
+    malformed_lines: int = 0
+    #: Events naming a stream the monitor does not declare.
+    unknown_stream_events: int = 0
+    #: Out-of-order events dropped (late beyond the skew window).
+    out_of_order_dropped: int = 0
+    #: Events delivered in order only thanks to the reorder buffer.
+    reordered_events: int = 0
+    #: Durable checkpoints written by this process.
+    checkpoints_written: int = 0
+    #: Input events skipped on resume (already consumed pre-crash).
+    events_skipped_on_resume: int = 0
+    #: Path of the checkpoint this run resumed from, if any.
+    resumed_from: Optional[str] = None
+
+    def faults_absorbed(self) -> int:
+        """Total abnormal occurrences the run survived."""
+        return (
+            self.lift_errors
+            + self.errors_substituted
+            + self.invalid_inputs
+            + self.malformed_lines
+            + self.unknown_stream_events
+            + self.out_of_order_dropped
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "events_in": self.events_in,
+            "events_out": self.events_out,
+            "lift_errors": self.lift_errors,
+            "errors_propagated": self.errors_propagated,
+            "errors_substituted": self.errors_substituted,
+            "error_outputs": self.error_outputs,
+            "delay_errors": self.delay_errors,
+            "invalid_inputs": self.invalid_inputs,
+            "malformed_lines": self.malformed_lines,
+            "unknown_stream_events": self.unknown_stream_events,
+            "out_of_order_dropped": self.out_of_order_dropped,
+            "reordered_events": self.reordered_events,
+            "checkpoints_written": self.checkpoints_written,
+            "events_skipped_on_resume": self.events_skipped_on_resume,
+            "resumed_from": self.resumed_from,
+            "faults_absorbed": self.faults_absorbed(),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+    def absorb_ingest(self, stats: Any) -> None:
+        """Merge an ingestion :class:`~repro.semantics.traceio.IngestStats`."""
+        self.malformed_lines += stats.malformed_lines
+        self.unknown_stream_events += stats.unknown_stream_events
+        self.out_of_order_dropped += stats.out_of_order_dropped
+        self.reordered_events += stats.reordered_events
+
+
+# -- error-propagating lift evaluation ---------------------------------------
+
+
+def wrap_lift(
+    stream: str,
+    func_name: str,
+    impl: Callable[..., Any],
+    policy: ErrorPolicy,
+) -> Callable[..., Any]:
+    """Wrap a bound lift implementation with the error policy.
+
+    The wrapper receives ``(report, ts, *args)`` — the code generators
+    thread the monitor's live report and the current timestamp through.
+    :class:`AliasGuardError` is deliberately *not* absorbed: it signals
+    a monitor bug (a failed alias-guard check), never a data fault, and
+    converting it into a stream error would silence the sanitizer.
+    """
+    fail_fast = policy is ErrorPolicy.FAIL_FAST
+    substitute = policy is ErrorPolicy.SUBSTITUTE_DEFAULT
+
+    def wrapped(report: RunReport, ts: int, *args: Any) -> Any:
+        for arg in args:
+            if arg.__class__ is ErrorValue:
+                if fail_fast:
+                    raise LiftError(
+                        f"stream {stream!r} consumed an error value at"
+                        f" t={ts}: {arg.message}"
+                    )
+                if substitute:
+                    report.errors_substituted += 1
+                    return None
+                report.errors_propagated += 1
+                return arg
+        try:
+            return impl(*args)
+        except AliasGuardError:
+            raise
+        except Exception as exc:
+            report.lift_errors += 1
+            if fail_fast:
+                raise LiftError(
+                    f"lift {func_name!r} on stream {stream!r} raised at"
+                    f" t={ts}: {type(exc).__name__}: {exc}"
+                ) from exc
+            if substitute:
+                report.errors_substituted += 1
+                return None
+            return ErrorValue(
+                f"{func_name}: {type(exc).__name__}: {exc}",
+                origin=stream,
+                ts=ts,
+            )
+
+    return wrapped
+
+
+def delay_next(report: RunReport, ts: int, amount: Any) -> Optional[int]:
+    """Next pending timestamp for a ``delay`` re-arm, error-tolerant.
+
+    An error-valued delay amount cannot schedule a meaningful wake-up;
+    the re-arm is dropped and counted instead of crashing on ``ts +
+    error``.
+    """
+    if amount is None:
+        return None
+    if amount.__class__ is not ErrorValue:
+        try:
+            # Delay amounts must be strictly positive (a re-arm into
+            # the past would violate timestamp monotonicity); the
+            # comparison also rejects NaN, and non-numeric corruption
+            # lands in the TypeError arm.
+            if amount > 0:
+                return ts + amount
+        except TypeError:
+            pass
+    report.delay_errors += 1
+    return None
+
+
+# -- input validation --------------------------------------------------------
+
+_SCALAR_CHECKS: Dict[Any, Callable[[Any], bool]] = {
+    ty.INT: lambda v: isinstance(v, int) and not isinstance(v, bool),
+    ty.TIME: lambda v: isinstance(v, int) and not isinstance(v, bool),
+    ty.FLOAT: lambda v: isinstance(v, (int, float))
+    and not isinstance(v, bool),
+    ty.BOOL: lambda v: isinstance(v, bool),
+    ty.STR: lambda v: isinstance(v, str),
+    ty.UNIT: lambda v: v == () and isinstance(v, tuple),
+}
+
+
+def validate_value(value: Any, expected: Optional[ty.Type]) -> bool:
+    """True iff *value* is a legal runtime value of type *expected*.
+
+    Unknown or polymorphic types validate trivially — validation only
+    rejects what is *provably* wrong.
+    """
+    if expected is None or isinstance(expected, ty.TypeVar):
+        return True
+    check = _SCALAR_CHECKS.get(expected)
+    if check is not None:
+        return check(value)
+    if isinstance(expected, ty.SetType):
+        return isinstance(value, SetBase)
+    if isinstance(expected, ty.MapType):
+        return isinstance(value, MapBase)
+    if isinstance(expected, ty.QueueType):
+        return isinstance(value, QueueBase)
+    if isinstance(expected, ty.VectorType):
+        return isinstance(value, VectorBase)
+    return True
+
+
+# -- the hardened event-loop driver ------------------------------------------
+
+
+class HardenedRunner:
+    """Drives a compiled monitor with validation, checkpoints, recovery.
+
+    The runner owns the monitor instance and its :class:`RunReport`
+    (shared with the generated code's error counters), validates input
+    values when asked, writes a durable checkpoint every
+    ``checkpoint_every`` consumed events, and — via :meth:`resume` —
+    restarts from the newest valid checkpoint such that replaying the
+    same trace yields exactly the uninterrupted run's outputs.
+    """
+
+    def __init__(
+        self,
+        compiled: Any,
+        on_output: Optional[Callable[[str, int, Any], None]] = None,
+        *,
+        validate_inputs: bool = False,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_every: int = 1000,
+        checkpoint_keep: int = 3,
+        on_checkpoint: Optional[Callable[[], None]] = None,
+        report: Optional[RunReport] = None,
+    ) -> None:
+        self.compiled = compiled
+        self.policy: Optional[ErrorPolicy] = getattr(
+            compiled, "error_policy", None
+        )
+        self.report = report if report is not None else RunReport()
+        self.validate_inputs = validate_inputs
+        self._types: Dict[str, ty.Type] = dict(
+            getattr(compiled.flat, "types", None) or {}
+        )
+        self._user_output = on_output or (lambda name, ts, value: None)
+        self.monitor = compiled.new_monitor(self._emit)
+        # Unify the generated code's error counters with ours.
+        self.monitor._report = self.report
+        #: Position in the (full) input event sequence; the resume
+        #: offset recorded in every checkpoint.
+        self.events_consumed = 0
+        #: Called immediately before each checkpoint file is written.
+        #: The exactness guarantee needs the output sink durable up to
+        #: the checkpoint's ``outputs_emitted`` watermark — a buffered
+        #: sink must flush here, or a hard kill can leave the file
+        #: behind the watermark and resume past a hole.
+        self._pre_checkpoint = on_checkpoint or (lambda: None)
+        self._manager: Optional[CheckpointManager] = None
+        if checkpoint_dir is not None:
+            self._manager = CheckpointManager(
+                checkpoint_dir,
+                every=checkpoint_every,
+                keep=checkpoint_keep,
+                fingerprint=spec_fingerprint(compiled.flat),
+            )
+
+    # -- output path -----------------------------------------------------
+
+    def _emit(self, name: str, ts: int, value: Any) -> None:
+        self.report.events_out += 1
+        self._user_output(name, ts, value)
+
+    # -- input path ------------------------------------------------------
+
+    def push(self, name: str, ts: int, value: Any) -> None:
+        """Feed one input event through validation and checkpointing."""
+        self.report.events_in += 1
+        self.events_consumed += 1
+        if self.validate_inputs:
+            expected = self._types.get(name)
+            if not validate_value(value, expected):
+                self.report.invalid_inputs += 1
+                policy = self.policy or ErrorPolicy.FAIL_FAST
+                if policy is ErrorPolicy.FAIL_FAST:
+                    raise MonitorError(
+                        f"invalid value {value!r} for input {name!r} at"
+                        f" t={ts}: expected {expected}"
+                    )
+                if policy is ErrorPolicy.SUBSTITUTE_DEFAULT:
+                    self._maybe_checkpoint()
+                    return
+                value = ErrorValue(
+                    f"invalid input value {value!r}: expected {expected}",
+                    origin=name,
+                    ts=ts,
+                )
+        self.monitor.push(name, ts, value)
+        self._maybe_checkpoint()
+
+    def feed(self, events: Iterable[Tuple[int, str, Any]]) -> None:
+        """Feed ``(ts, name, value)`` events from the *current* offset."""
+        if self.validate_inputs or self._manager is not None:
+            for ts, name, value in events:
+                self.push(name, ts, value)
+            return
+        # Fast path: no per-event validation and no checkpoint cadence
+        # to track, so the counters can be bulk-updated around a bare
+        # push loop instead of paying :meth:`push` per event.
+        push = self.monitor.push
+        count = 0
+        try:
+            for ts, name, value in events:
+                count += 1
+                push(name, ts, value)
+        finally:
+            self.report.events_in += count
+            self.events_consumed += count
+
+    def feed_from_start(
+        self, events: Iterable[Tuple[int, str, Any]]
+    ) -> None:
+        """Feed a whole trace, skipping events consumed pre-checkpoint.
+
+        Use after :meth:`resume`: pass the same full event sequence the
+        crashed run was fed; the first ``events_consumed`` events are
+        skipped (they are already reflected in the restored state) and
+        counted in the report.
+        """
+        skip = self.events_consumed
+        for index, (ts, name, value) in enumerate(events):
+            if index < skip:
+                continue
+            self.push(name, ts, value)
+        self.report.events_skipped_on_resume = skip
+
+    def finish(self, end_time: Optional[int] = None) -> RunReport:
+        self.monitor.finish(end_time=end_time)
+        return self.report
+
+    def run(
+        self,
+        events: Iterable[Tuple[int, str, Any]],
+        end_time: Optional[int] = None,
+    ) -> RunReport:
+        """Feed a whole event sequence and finish."""
+        self.feed(events)
+        return self.finish(end_time=end_time)
+
+    # -- checkpointing ---------------------------------------------------
+
+    def checkpoint(self) -> Optional[str]:
+        """Force a durable checkpoint now (no-op without a directory)."""
+        if self._manager is None:
+            return None
+        self._pre_checkpoint()
+        path = self._manager.write(
+            self.monitor, self.events_consumed, self.report.events_out
+        )
+        self.report.checkpoints_written += 1
+        return path
+
+    def _maybe_checkpoint(self) -> None:
+        if self._manager is not None and self._manager.due(
+            self.events_consumed
+        ):
+            self._pre_checkpoint()
+            self._manager.write(
+                self.monitor, self.events_consumed, self.report.events_out
+            )
+            self.report.checkpoints_written += 1
+
+    @classmethod
+    def resume(
+        cls,
+        compiled: Any,
+        checkpoint_dir: str,
+        on_output: Optional[Callable[[str, int, Any], None]] = None,
+        **kwargs: Any,
+    ) -> Tuple["HardenedRunner", Optional[Dict[str, Any]]]:
+        """A runner restored from the newest valid checkpoint.
+
+        Returns ``(runner, meta)``; ``meta`` is ``None`` when no valid
+        checkpoint exists (the runner then starts fresh).  The caller
+        feeds the full original trace through :meth:`feed_from_start`
+        and truncates any output sink to ``meta["outputs_emitted"]``
+        records — together that reproduces the uninterrupted run
+        exactly.
+        """
+        runner = cls(
+            compiled, on_output, checkpoint_dir=checkpoint_dir, **kwargs
+        )
+        assert runner._manager is not None
+        found = runner._manager.latest()
+        if found is None:
+            return runner, None
+        path, state, meta = found
+        runner.monitor.restore(state)
+        runner.events_consumed = meta.get("events_consumed", 0)
+        runner.report.events_out = meta.get("outputs_emitted", 0)
+        runner.report.resumed_from = path
+        return runner, meta

@@ -1,0 +1,110 @@
+"""First-class stream error values (TeSSLa error semantics).
+
+TeSSLa specifications do not abort when a lifted function fails on one
+event: the event's *value* becomes an error, and that error propagates
+through ``lift``/``last``/``delay`` like any other value until it
+reaches an output (Convent et al., *TeSSLa: Temporal Stream-based
+Specification Language*).  :class:`ErrorValue` is our runtime encoding
+of such a value; :class:`ErrorPolicy` selects what a compiled monitor
+does when one is produced.
+
+This module is dependency-free on purpose: both the trace readers
+(:mod:`repro.semantics.traceio`) and the compiler runtime
+(:mod:`repro.compiler.runtime`) need these names, and neither may
+import the other.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from typing import Any, Optional
+
+
+class ErrorValue:
+    """A first-class error occupying an event's value slot.
+
+    Error values are **events**: they are not ``None`` (the no-event
+    value), so they flow through the triggering machinery exactly like
+    ordinary values.  They are immutable, hashable and compare by
+    content, so frozen output traces containing errors can be diffed.
+
+    ``origin`` names the stream whose evaluation produced the error and
+    ``ts`` the timestamp of production; both survive propagation so an
+    error observed on an output can be traced back to its source.
+    """
+
+    __slots__ = ("message", "origin", "ts")
+
+    def __init__(
+        self,
+        message: str,
+        origin: Optional[str] = None,
+        ts: Optional[int] = None,
+    ) -> None:
+        object.__setattr__(self, "message", message)
+        object.__setattr__(self, "origin", origin)
+        object.__setattr__(self, "ts", ts)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("ErrorValue is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ErrorValue):
+            return NotImplemented
+        return (
+            self.message == other.message
+            and self.origin == other.origin
+            and self.ts == other.ts
+        )
+
+    def __hash__(self) -> int:
+        return hash(("error", self.message, self.origin, self.ts))
+
+    def __repr__(self) -> str:
+        # The TeSSLa trace literal form; round-trips through
+        # ``repro.semantics.traceio.parse_value``.
+        return f"error({json.dumps(self.message)})"
+
+    def __bool__(self) -> bool:
+        raise LiftError(
+            f"error value used in a boolean context: {self.message!r}"
+            " (a lift implementation inspected an error instead of"
+            " letting the runtime propagate it)"
+        )
+
+
+def is_error(value: Any) -> bool:
+    """True iff *value* is a stream error value."""
+    return value.__class__ is ErrorValue
+
+
+class ErrorPolicy(enum.Enum):
+    """What a hardened monitor does when an evaluation error occurs.
+
+    * ``FAIL_FAST`` — raise :class:`LiftError` immediately, with the
+      stream name and timestamp attached (the classic crash, but with
+      context; this is also the effective behaviour of monitors compiled
+      without any error policy, minus the context).
+    * ``PROPAGATE`` — the TeSSLa semantics: the failing stream's event
+      carries an :class:`ErrorValue` which propagates through downstream
+      operators and is surfaced on outputs.
+    * ``SUBSTITUTE_DEFAULT`` — the failing event is suppressed (the
+      stream simply has no event at that timestamp) and the suppression
+      is counted in the run report.
+    """
+
+    FAIL_FAST = "fail-fast"
+    PROPAGATE = "propagate"
+    SUBSTITUTE_DEFAULT = "substitute-default"
+
+
+def coerce_policy(policy: Any) -> Optional[ErrorPolicy]:
+    """Accept an :class:`ErrorPolicy`, its string value, or ``None``."""
+    if policy is None or isinstance(policy, ErrorPolicy):
+        return policy
+    return ErrorPolicy(policy)
+
+
+class LiftError(Exception):
+    """Raised under ``ErrorPolicy.FAIL_FAST`` when evaluation fails."""

@@ -2,15 +2,29 @@
 
 from .interpreter import InterpreterError, interpret
 from .stream import Stream, merge_timestamps, stream, unit_events
-from .traceio import TraceError, read_trace, write_trace
+from .traceio import (
+    IngestPolicy,
+    IngestStats,
+    TolerantReader,
+    TraceError,
+    iter_trace_events,
+    read_trace,
+    read_trace_tolerant,
+    write_trace,
+)
 
 __all__ = [
+    "IngestPolicy",
+    "IngestStats",
     "InterpreterError",
     "Stream",
+    "TolerantReader",
     "TraceError",
     "interpret",
+    "iter_trace_events",
     "merge_timestamps",
     "read_trace",
+    "read_trace_tolerant",
     "stream",
     "unit_events",
     "write_trace",

@@ -7,19 +7,49 @@ Real TeSSLa tooling exchanges traces as lines of::
 
 with ``--``/``#`` comments and blank lines ignored.  Values are the
 literals of the specification language: integers, floats, ``true`` /
-``false``, double-quoted strings and ``()`` for unit.  This module
-reads and writes that format so monitors can consume and produce files
-interchangeable with other TeSSLa implementations.
+``false``, double-quoted strings and ``()`` for unit — plus
+``error("...")`` for first-class error events (written by monitors
+running under :class:`~repro.errors.ErrorPolicy.PROPAGATE`).  This
+module reads and writes that format so monitors can consume and produce
+files interchangeable with other TeSSLa implementations.
+
+Two ingestion modes:
+
+* :func:`read_trace` — strict: any malformed line, negative timestamp,
+  or duplicate event raises :class:`TraceError` naming the line.
+* :class:`TolerantReader` / :func:`read_trace_tolerant` — configurable
+  via :class:`IngestPolicy`: malformed lines and unknown streams can be
+  skipped and counted, out-of-order events can be dropped or repaired
+  through a bounded reorder buffer (``max_skew``), and everything
+  abnormal is recorded in an :class:`IngestStats`.
 """
 
 from __future__ import annotations
 
-import ast as python_ast
+import heapq
+import json
 import re
-from typing import Any, Dict, Iterable, List, Mapping, TextIO, Tuple, Union
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    TextIO,
+    Tuple,
+    Union,
+)
+
+from ..errors import ErrorValue
 
 Event = Tuple[int, Any]
 Traces = Dict[str, List[Event]]
+#: A fully-parsed trace event: (timestamp, stream, value).
+TraceEvent = Tuple[int, str, Any]
 
 
 class TraceError(Exception):
@@ -31,9 +61,23 @@ _LINE_RE = re.compile(
     r"\s*(?:=\s*(?P<value>.+?))?\s*$"
 )
 
+_INT_RE = re.compile(r"[+-]?\d+\Z")
+_FLOAT_RE = re.compile(
+    r"[+-]?(?:\d+\.\d*|\.\d+)(?:[eE][+-]?\d+)?\Z|[+-]?\d+[eE][+-]?\d+\Z"
+)
+_ERROR_RE = re.compile(r'error\((".*")\)\Z', re.DOTALL)
+
 
 def parse_value(text: str) -> Any:
-    """Parse one value literal."""
+    """Parse one value literal of the trace format.
+
+    Only the trace format's own literals are accepted: integers,
+    floats, ``true``/``false``, double-quoted (JSON-escaped) strings,
+    ``()``, and ``error("...")``.  Arbitrary Python literals — lists,
+    dicts, tuples, ``None`` — are rejected: aggregate values have no
+    trace representation, and silently materializing them produced
+    monitors fed with values no TeSSLa implementation could emit.
+    """
     text = text.strip()
     if text == "()":
         return ()
@@ -41,14 +85,39 @@ def parse_value(text: str) -> Any:
         return True
     if text == "false":
         return False
-    try:
-        return python_ast.literal_eval(text)
-    except (ValueError, SyntaxError):
-        raise TraceError(f"cannot parse value {text!r}") from None
+    if _INT_RE.match(text):
+        return int(text)
+    if _FLOAT_RE.match(text):
+        return float(text)
+    if text.startswith('"'):
+        try:
+            value = json.loads(text)
+        except ValueError:
+            raise TraceError(
+                f"cannot parse string literal {text!r}"
+            ) from None
+        if isinstance(value, str):
+            return value
+        raise TraceError(f"cannot parse string literal {text!r}")
+    match = _ERROR_RE.match(text)
+    if match is not None:
+        try:
+            message = json.loads(match.group(1))
+        except ValueError:
+            message = None
+        if isinstance(message, str):
+            return ErrorValue(message)
+        raise TraceError(f"cannot parse error literal {text!r}")
+    raise TraceError(
+        f"cannot parse value {text!r}: expected an integer, float,"
+        ' true/false, a double-quoted string, (), or error("...")'
+    )
 
 
 def format_value(value: Any) -> str:
     """Render one value as a trace literal."""
+    if isinstance(value, ErrorValue):
+        return repr(value)  # error("<json-escaped message>")
     if value == () and isinstance(value, tuple):
         return "()"
     if value is True:
@@ -58,10 +127,33 @@ def format_value(value: Any) -> str:
     if isinstance(value, str):
         # JSON string escaping is a subset of Python string literals,
         # so the result always round-trips through parse_value.
-        import json
-
         return json.dumps(value)
     return repr(value)
+
+
+def parse_line(raw: str, lineno: int = 0) -> Optional[TraceEvent]:
+    """Parse one trace line into ``(ts, stream, value)``.
+
+    Returns ``None`` for blank and comment lines; raises
+    :class:`TraceError` naming *lineno* for anything malformed.
+    """
+    line = raw.split("--")[0].split("#")[0].strip()
+    if not line:
+        return None
+    match = _LINE_RE.match(line)
+    if match is None:
+        raise TraceError(f"line {lineno}: cannot parse {raw!r}")
+    ts = int(match.group("ts"))
+    if ts < 0:
+        raise TraceError(f"line {lineno}: negative timestamp {ts}")
+    value_text = match.group("value")
+    if value_text is None:
+        return ts, match.group("name"), ()
+    try:
+        value = parse_value(value_text)
+    except TraceError as err:
+        raise TraceError(f"line {lineno}: {err}") from None
+    return ts, match.group("name"), value
 
 
 def read_trace(source: Union[str, TextIO]) -> Traces:
@@ -77,18 +169,10 @@ def read_trace(source: Union[str, TextIO]) -> Traces:
         text = source
     traces: Traces = {}
     for lineno, raw in enumerate(text.splitlines(), 1):
-        line = raw.split("--")[0].split("#")[0].strip()
-        if not line:
+        parsed = parse_line(raw, lineno)
+        if parsed is None:
             continue
-        match = _LINE_RE.match(line)
-        if match is None:
-            raise TraceError(f"line {lineno}: cannot parse {raw!r}")
-        ts = int(match.group("ts"))
-        if ts < 0:
-            raise TraceError(f"line {lineno}: negative timestamp {ts}")
-        name = match.group("name")
-        value_text = match.group("value")
-        value = () if value_text is None else parse_value(value_text)
+        ts, name, value = parsed
         traces.setdefault(name, []).append((ts, value))
     for name, events in traces.items():
         events.sort(key=lambda e: e[0])
@@ -102,7 +186,7 @@ def read_trace(source: Union[str, TextIO]) -> Traces:
 
 def write_trace(traces: Mapping[str, Iterable[Event]]) -> str:
     """Render traces chronologically in the TeSSLa trace format."""
-    merged: List[Tuple[int, str, Any]] = []
+    merged: List[TraceEvent] = []
     for name, events in traces.items():
         for ts, value in events:
             merged.append((ts, name, value))
@@ -114,3 +198,205 @@ def write_trace(traces: Mapping[str, Iterable[Event]]) -> str:
         else:
             lines.append(f"{ts}: {name} = {format_value(value)}")
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- tolerant ingestion -------------------------------------------------------
+
+#: Legal values for the per-fault :class:`IngestPolicy` fields.
+RAISE = "raise"
+SKIP = "skip"
+BUFFER = "buffer"
+
+
+@dataclass(frozen=True)
+class IngestPolicy:
+    """What a tolerant reader does with each kind of bad input.
+
+    * ``on_malformed`` — a line (or CSV cell) that does not parse:
+      ``"raise"`` or ``"skip"`` (skip records it and moves on).
+    * ``on_unknown_stream`` — an event naming a stream the monitor does
+      not declare (only checked when the reader knows the declared
+      streams): ``"raise"`` or ``"skip"``.
+    * ``on_out_of_order`` — an event with a timestamp behind the
+      delivery frontier: ``"raise"``, ``"skip"`` (drop and record), or
+      ``"buffer"`` (hold events back until they are ``max_skew`` ticks
+      old, delivering late arrivals in order; events later than the
+      window are dropped and recorded).
+    * ``max_skew`` — the reorder window for ``"buffer"``: an event may
+      arrive up to this many ticks after a later-stamped one and still
+      be delivered in order.
+    """
+
+    on_malformed: str = RAISE
+    on_unknown_stream: str = RAISE
+    on_out_of_order: str = RAISE
+    max_skew: int = 0
+
+    def __post_init__(self) -> None:
+        for field_name, allowed in (
+            ("on_malformed", (RAISE, SKIP)),
+            ("on_unknown_stream", (RAISE, SKIP)),
+            ("on_out_of_order", (RAISE, SKIP, BUFFER)),
+        ):
+            value = getattr(self, field_name)
+            if value not in allowed:
+                raise ValueError(
+                    f"{field_name} must be one of {allowed}, got {value!r}"
+                )
+        if self.max_skew < 0:
+            raise ValueError("max_skew must be non-negative")
+
+
+@dataclass
+class IngestStats:
+    """Counters for one tolerant ingestion pass.
+
+    Field names match :meth:`repro.compiler.runtime.RunReport.absorb_ingest`.
+    """
+
+    lines_read: int = 0
+    events_ingested: int = 0
+    malformed_lines: int = 0
+    unknown_stream_events: int = 0
+    out_of_order_dropped: int = 0
+    #: Events that arrived behind a later-stamped one but were delivered
+    #: in order thanks to the reorder buffer.
+    reordered_events: int = 0
+
+
+class TolerantReader:
+    """Policy-driven event ingestion with bounded reordering.
+
+    Format-agnostic: :meth:`events` takes any item iterable plus a
+    parser mapping one item to ``(ts, stream, value)`` (or ``None`` to
+    skip it, or raising :class:`TraceError` when malformed) — the same
+    machinery serves the TeSSLa text format and the CLI's CSV reader.
+    Counters accumulate in :attr:`stats` across calls.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[IngestPolicy] = None,
+        known_streams: Optional[Iterable[str]] = None,
+    ) -> None:
+        self.policy = policy if policy is not None else IngestPolicy()
+        self.known_streams = (
+            frozenset(known_streams) if known_streams is not None else None
+        )
+        self.stats = IngestStats()
+
+    def events(
+        self,
+        items: Iterable[Any],
+        parse: Callable[[Any], Optional[TraceEvent]],
+    ) -> Iterator[TraceEvent]:
+        """Yield ``(ts, stream, value)`` in delivery order, per policy."""
+        policy = self.policy
+        stats = self.stats
+        buffering = policy.on_out_of_order == BUFFER
+        heap: List[Tuple[int, int, str, Any]] = []
+        seq = 0  # tie-break: stable arrival order within a timestamp
+        frontier: Optional[int] = None  # highest ts already delivered
+        max_seen: Optional[int] = None
+        for item in items:
+            stats.lines_read += 1
+            try:
+                parsed = parse(item)
+            except TraceError:
+                stats.malformed_lines += 1
+                if policy.on_malformed == RAISE:
+                    raise
+                continue
+            if parsed is None:
+                continue
+            ts, name, value = parsed
+            if (
+                self.known_streams is not None
+                and name not in self.known_streams
+            ):
+                stats.unknown_stream_events += 1
+                if policy.on_unknown_stream == RAISE:
+                    raise TraceError(
+                        f"unknown input stream {name!r} at t={ts}"
+                    )
+                continue
+            if not buffering:
+                if frontier is not None and ts < frontier:
+                    if policy.on_out_of_order == RAISE:
+                        raise TraceError(
+                            f"out-of-order event on {name!r}: t={ts}"
+                            f" after t={frontier}"
+                        )
+                    stats.out_of_order_dropped += 1
+                    continue
+                frontier = ts
+                stats.events_ingested += 1
+                yield ts, name, value
+                continue
+            # bounded reorder buffer
+            if frontier is not None and ts < frontier:
+                # later than the skew window can repair: already behind
+                # an event we were forced to deliver
+                stats.out_of_order_dropped += 1
+                continue
+            if max_seen is not None and ts < max_seen:
+                stats.reordered_events += 1
+            heapq.heappush(heap, (ts, seq, name, value))
+            seq += 1
+            if max_seen is None or ts > max_seen:
+                max_seen = ts
+            # everything at least max_skew ticks behind the newest
+            # arrival can no longer be overtaken — deliver it
+            while heap and heap[0][0] <= max_seen - policy.max_skew:
+                ets, _, ename, evalue = heapq.heappop(heap)
+                frontier = ets
+                stats.events_ingested += 1
+                yield ets, ename, evalue
+        while heap:
+            ets, _, ename, evalue = heapq.heappop(heap)
+            stats.events_ingested += 1
+            yield ets, ename, evalue
+
+
+def iter_trace_events(
+    source: Union[str, TextIO],
+    policy: Optional[IngestPolicy] = None,
+    known_streams: Optional[Iterable[str]] = None,
+    stats: Optional[IngestStats] = None,
+) -> Iterator[TraceEvent]:
+    """Stream ``(ts, stream, value)`` events from TeSSLa trace text.
+
+    With the default (all-``raise``) policy this is a streaming strict
+    parse; pass an :class:`IngestPolicy` to survive bad input.  Pass a
+    *stats* object to observe the counters after iteration.
+    """
+    if hasattr(source, "read"):
+        lines: Iterable[str] = source  # file objects iterate by line
+    else:
+        lines = source.splitlines()
+    reader = TolerantReader(policy, known_streams)
+    if stats is not None:
+        reader.stats = stats
+    return reader.events(
+        enumerate(lines, 1),
+        lambda item: parse_line(item[1], item[0]),
+    )
+
+
+def read_trace_tolerant(
+    source: Union[str, TextIO],
+    policy: Optional[IngestPolicy] = None,
+    known_streams: Optional[Iterable[str]] = None,
+) -> Tuple[Traces, IngestStats]:
+    """Parse trace text under an :class:`IngestPolicy`.
+
+    Returns ``(traces, stats)``; the traces map is shaped exactly like
+    :func:`read_trace`'s result.
+    """
+    stats = IngestStats()
+    traces: Traces = {}
+    for ts, name, value in iter_trace_events(
+        source, policy, known_streams, stats
+    ):
+        traces.setdefault(name, []).append((ts, value))
+    return traces, stats

@@ -20,6 +20,13 @@ from .factories import (
     make_set,
     make_vector,
 )
+from .guard import (
+    AliasGuardError,
+    GuardedMap,
+    GuardedQueue,
+    GuardedSet,
+    GuardedVector,
+)
 from .hamt import EMPTY_HAMT, Hamt, hamt_from
 from .interface import (
     EmptyCollectionError,
@@ -39,12 +46,17 @@ from .pvector import (
 )
 
 __all__ = [
+    "AliasGuardError",
     "Backend",
     "CopyMap",
     "CopyQueue",
     "CopySet",
     "CopyVector",
     "EMPTY_HAMT",
+    "GuardedMap",
+    "GuardedQueue",
+    "GuardedSet",
+    "GuardedVector",
     "EMPTY_PERSISTENT_MAP",
     "EMPTY_PERSISTENT_QUEUE",
     "EMPTY_PERSISTENT_SET",

@@ -3,13 +3,16 @@
 Persistent and copying collections are immutable — sharing them is
 safe.  Mutable collections must be duplicated, otherwise a checkpoint
 would alias live monitor state and be corrupted by subsequent in-place
-updates.
+updates.  Guarded collections (the alias-guard sanitizer) are cloned
+into a fresh structure with its own generation cell, so restoring a
+checkpoint never resurrects stale handles.
 """
 
 from __future__ import annotations
 
 from typing import Any
 
+from .guard import GuardedMap, GuardedQueue, GuardedSet, GuardedVector
 from .mutable import MutableMap, MutableQueue, MutableSet, MutableVector
 
 
@@ -28,4 +31,12 @@ def clone_value(value: Any) -> Any:
         return MutableQueue(value)
     if isinstance(value, MutableVector):
         return MutableVector(value)
+    if isinstance(value, GuardedSet):
+        return GuardedSet(value)
+    if isinstance(value, GuardedMap):
+        return GuardedMap(value.items())
+    if isinstance(value, GuardedQueue):
+        return GuardedQueue(value)
+    if isinstance(value, GuardedVector):
+        return GuardedVector(value)
     return value

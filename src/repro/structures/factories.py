@@ -13,7 +13,7 @@ from __future__ import annotations
 import enum
 from typing import Any, Callable, Dict, Iterable, Tuple
 
-from . import copying, mutable
+from . import copying, guard, mutable
 from .pmap import EMPTY_PERSISTENT_MAP, persistent_map
 from .pqueue import EMPTY_PERSISTENT_QUEUE, persistent_queue
 from .pset import EMPTY_PERSISTENT_SET, persistent_set
@@ -26,30 +26,38 @@ class Backend(enum.Enum):
     PERSISTENT = "persistent"
     MUTABLE = "mutable"
     COPYING = "copying"
+    #: Mutable semantics plus the runtime alias-guard sanitizer (see
+    #: :mod:`repro.structures.guard`) — a debug mode that validates the
+    #: static mutability analysis while the monitor runs.
+    GUARDED = "guarded"
 
 
 _SET_FACTORIES: Dict[Backend, Callable[..., Any]] = {
     Backend.PERSISTENT: persistent_set,
     Backend.MUTABLE: mutable.MutableSet,
     Backend.COPYING: copying.CopySet,
+    Backend.GUARDED: guard.GuardedSet,
 }
 
 _MAP_FACTORIES: Dict[Backend, Callable[..., Any]] = {
     Backend.PERSISTENT: persistent_map,
     Backend.MUTABLE: mutable.MutableMap,
     Backend.COPYING: copying.CopyMap,
+    Backend.GUARDED: guard.GuardedMap,
 }
 
 _QUEUE_FACTORIES: Dict[Backend, Callable[..., Any]] = {
     Backend.PERSISTENT: persistent_queue,
     Backend.MUTABLE: mutable.MutableQueue,
     Backend.COPYING: copying.CopyQueue,
+    Backend.GUARDED: guard.GuardedQueue,
 }
 
 _VECTOR_FACTORIES: Dict[Backend, Callable[..., Any]] = {
     Backend.PERSISTENT: persistent_vector,
     Backend.MUTABLE: mutable.MutableVector,
     Backend.COPYING: copying.CopyVector,
+    Backend.GUARDED: guard.GuardedVector,
 }
 
 

@@ -1,4 +1,4 @@
-"""Differential-testing utilities (public API).
+"""Differential-testing and fault-injection utilities (public API).
 
 The library's correctness story is that the optimized monitor, the
 persistent baseline, the naive-copy monitor and the reference
@@ -11,16 +11,27 @@ wrong — and wrong metadata shows up as divergence between backends).
 
     from repro.testing import assert_equivalent
     assert_equivalent(my_spec, {"x": [(1, 3), (2, 5)]})
+
+It also hosts the chaos harness for the hardened runtime: seeded event
+perturbation (drop / duplicate / corrupt / reorder), deterministic
+flaky-lift injection, and a mid-run crash-plus-recovery driver — the
+executable form of the robustness claims in ``docs/runtime.md``::
+
+    from repro.testing import ChaosPlan, chaos_run
+    result = chaos_run(my_spec, events, ChaosPlan(seed=7, corrupt_rate=0.1))
+    assert result.report.faults_absorbed() > 0
 """
 
 from __future__ import annotations
 
+import random
+from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
-from .compiler import compile_spec, freeze
+from .compiler import CompiledSpec, HardenedRunner, RunReport, compile_spec, freeze
 from .lang.flatten import flatten
 from .lang.spec import FlatSpec, Specification
-from .semantics import Stream, interpret
+from .semantics import IngestPolicy, IngestStats, Stream, TolerantReader, interpret
 from .structures import Backend
 
 OutputTraces = Dict[str, List[Tuple[int, Any]]]
@@ -90,6 +101,220 @@ def assert_equivalent(
                 f" interpreter: {detail}"
             )
     return reference
+
+
+# -- fault injection (chaos harness) -----------------------------------------
+
+
+class ChaosFault(Exception):
+    """The exception deterministically injected into flaky lifts."""
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A seeded description of how to perturb an event sequence.
+
+    Rates are independent per-event probabilities; the same seed always
+    produces the same perturbation, so every chaos failure reproduces.
+    """
+
+    seed: int = 0
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    reorder_rate: float = 0.0
+
+
+@dataclass
+class FaultLog:
+    """What :func:`perturb_events` actually did to a sequence."""
+
+    dropped: int = 0
+    duplicated: int = 0
+    corrupted: int = 0
+    reordered: int = 0
+
+    def total(self) -> int:
+        return self.dropped + self.duplicated + self.corrupted + self.reordered
+
+
+#: Junk values substituted for corrupted events: wrong types, extreme
+#: magnitudes, NaN — each should fail input validation or make a lift
+#: raise, never crash a hardened monitor.
+CORRUPTION_PALETTE: Tuple[Any, ...] = (
+    "☠corrupted☠",
+    float("nan"),
+    -(2**63),
+    (),
+    [1, 2],
+)
+
+
+def perturb_events(
+    events: Iterable[Tuple[int, str, Any]],
+    plan: ChaosPlan,
+) -> Tuple[List[Tuple[int, str, Any]], FaultLog]:
+    """Apply *plan* to ``(ts, stream, value)`` events, deterministically.
+
+    Reordering swaps adjacent events; only swaps that change the
+    timestamp order count as faults (same-timestamp swaps are
+    semantically invisible).
+    """
+    rng = random.Random(plan.seed)
+    log = FaultLog()
+    out: List[Tuple[int, str, Any]] = []
+    for ts, name, value in events:
+        if rng.random() < plan.drop_rate:
+            log.dropped += 1
+            continue
+        if rng.random() < plan.corrupt_rate:
+            value = rng.choice(CORRUPTION_PALETTE)
+            log.corrupted += 1
+        out.append((ts, name, value))
+        if rng.random() < plan.duplicate_rate:
+            out.append((ts, name, value))
+            log.duplicated += 1
+    for index in range(len(out) - 1):
+        if rng.random() < plan.reorder_rate:
+            if out[index][0] != out[index + 1][0]:
+                log.reordered += 1
+            out[index], out[index + 1] = out[index + 1], out[index]
+    return out, log
+
+
+def flaky(impl, failure_rate: float, seed: int = 0, exception=ChaosFault):
+    """Wrap a lift implementation to raise deterministically at random.
+
+    Use inside a custom :class:`~repro.lang.builtins.LiftedFunction`'s
+    ``make_impl`` to inject lift exceptions into a compiled monitor.
+    """
+    rng = random.Random(seed)
+
+    def wrapped(*args):
+        if rng.random() < failure_rate:
+            raise exception(
+                f"injected fault in {getattr(impl, '__name__', 'lift')}"
+            )
+        return impl(*args)
+
+    return wrapped
+
+
+@dataclass
+class ChaosResult:
+    """Everything a chaos run produced, for assertions."""
+
+    outputs: List[Tuple[str, int, Any]]
+    report: RunReport
+    faults: FaultLog
+    ingest: IngestStats
+
+
+#: Ingestion policy used by :func:`chaos_run`: swallow every bad-input
+#: category, record everything.
+CHAOS_INGEST = IngestPolicy(
+    on_malformed="skip", on_unknown_stream="skip", on_out_of_order="skip"
+)
+
+
+def chaos_run(
+    spec: Union[Specification, FlatSpec, CompiledSpec],
+    events: Iterable[Tuple[int, str, Any]],
+    plan: Optional[ChaosPlan] = None,
+    *,
+    error_policy: str = "propagate",
+    validate_inputs: bool = True,
+    ingest: Optional[IngestPolicy] = None,
+    end_time: Optional[int] = None,
+    **runner_kwargs: Any,
+) -> ChaosResult:
+    """Perturb *events* per *plan* and run a hardened monitor over them.
+
+    The acceptance property for the hardened runtime: under the default
+    ``propagate`` + skip-everything configuration this never raises, no
+    matter the plan, and every absorbed fault is accounted in the
+    returned report.
+    """
+    if isinstance(spec, CompiledSpec):
+        compiled = spec
+    else:
+        compiled = compile_spec(spec, error_policy=error_policy)
+    plan = plan if plan is not None else ChaosPlan()
+    perturbed, fault_log = perturb_events(events, plan)
+    reader = TolerantReader(
+        ingest if ingest is not None else CHAOS_INGEST,
+        known_streams=compiled.flat.inputs,
+    )
+    outputs: List[Tuple[str, int, Any]] = []
+    runner = HardenedRunner(
+        compiled,
+        lambda name, ts, value: outputs.append((name, ts, value)),
+        validate_inputs=validate_inputs,
+        **runner_kwargs,
+    )
+    runner.feed(reader.events(perturbed, lambda event: event))
+    runner.finish(end_time=end_time)
+    runner.report.absorb_ingest(reader.stats)
+    return ChaosResult(
+        outputs=outputs,
+        report=runner.report,
+        faults=fault_log,
+        ingest=reader.stats,
+    )
+
+
+def crash_and_resume(
+    spec: Union[Specification, FlatSpec, CompiledSpec],
+    events: Iterable[Tuple[int, str, Any]],
+    *,
+    crash_after: int,
+    checkpoint_dir: str,
+    checkpoint_every: int = 1,
+    end_time: Optional[int] = None,
+    **compile_kwargs: Any,
+) -> Tuple[List[Tuple[str, int, Any]], List[Tuple[str, int, Any]]]:
+    """Simulate a mid-run crash and recovery; return both output lists.
+
+    Runs the full trace uninterrupted, then replays it with a simulated
+    crash after *crash_after* input events (the runner is simply
+    abandoned — no finish, no flush) followed by a resume from the
+    newest checkpoint.  Returns ``(expected, recovered)``; the hardened
+    runtime's durability guarantee is that they are equal.
+    """
+    if isinstance(spec, CompiledSpec):
+        compiled = spec
+    else:
+        compiled = compile_spec(spec, **compile_kwargs)
+    events = list(events)
+
+    expected: List[Tuple[str, int, Any]] = []
+    full = HardenedRunner(
+        compiled, lambda name, ts, value: expected.append((name, ts, value))
+    )
+    full.feed(events)
+    full.finish(end_time=end_time)
+
+    pre_crash: List[Tuple[str, int, Any]] = []
+    crashed = HardenedRunner(
+        compiled,
+        lambda name, ts, value: pre_crash.append((name, ts, value)),
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
+    )
+    crashed.feed(events[:crash_after])
+    # ... and the process dies here: no finish(), state abandoned.
+
+    post_crash: List[Tuple[str, int, Any]] = []
+    resumed, meta = HardenedRunner.resume(
+        compiled,
+        checkpoint_dir,
+        on_output=lambda name, ts, value: post_crash.append((name, ts, value)),
+    )
+    kept = meta["outputs_emitted"] if meta else 0
+    resumed.feed_from_start(events)
+    resumed.finish(end_time=end_time)
+    recovered = pre_crash[:kept] + post_crash
+    return expected, recovered
 
 
 def _first_difference(reference: OutputTraces, candidate: OutputTraces) -> str:

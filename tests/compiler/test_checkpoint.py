@@ -6,8 +6,10 @@ from repro.compiler import collecting_callback, compile_spec
 from repro.speclib import (
     db_access_constraint,
     fig1_spec,
+    map_window,
     queue_window,
     seen_set,
+    vector_window,
     watchdog,
 )
 from repro.structures.clone import clone_value
@@ -109,6 +111,74 @@ class TestCheckpointResume:
                 assert dict(restored) == value
             else:
                 assert restored == value
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        seen_set,                    # set aggregate
+        lambda: map_window(5),       # map aggregate
+        lambda: queue_window(4),     # queue aggregate
+        lambda: vector_window(4),    # vector aggregate
+    ],
+    ids=["set", "map", "queue", "vector"],
+)
+@pytest.mark.parametrize(
+    "optimize", [True, False], ids=["mutable", "persistent"]
+)
+class TestSnapshotEveryAggregateKind:
+    """Snapshot/restore round-trips for each aggregate kind, in both
+    the mutable (optimized) and persistent (baseline) families."""
+
+    def test_snapshot_restore_then_continue(self, factory, optimize):
+        trace = [(t, (t * 5) % 9) for t in range(1, 40)]
+        head, tail = trace[:20], trace[20:]
+        compiled = compile_spec(factory(), optimize=optimize)
+
+        on_output, collected = collecting_callback()
+        monitor = compiled.new_monitor(on_output)
+        run_events(monitor, head, collected)
+        snapshot = monitor.snapshot()
+        run_events(monitor, tail, collected)
+        monitor.finish()
+        out = list(monitor.OUTPUTS)[0]
+        full = list(collected[out])
+
+        on2, collected2 = collecting_callback()
+        fresh = compiled.new_monitor(on2)
+        fresh.restore(snapshot)
+        run_events(fresh, tail, collected2)
+        fresh.finish()
+        # the snapshot holds the pending (unflushed) head timestamp, so
+        # the resumed monitor re-emits from there
+        expected = [e for e in full if e[0] >= head[-1][0]]
+        assert collected2[out] == expected
+
+    def test_snapshot_isolated_from_later_mutation(self, factory, optimize):
+        trace = [(t, t % 4) for t in range(1, 30)]
+        compiled = compile_spec(factory(), optimize=optimize)
+        on_output, collected = collecting_callback()
+        monitor = compiled.new_monitor(on_output)
+        run_events(monitor, trace[:12], collected)
+        snapshot = monitor.snapshot()
+
+        on_ref, collected_ref = collecting_callback()
+        reference = compiled.new_monitor(on_ref)
+        reference.restore(snapshot)
+
+        # keep mutating the live monitor; the snapshot must not move
+        run_events(monitor, trace[12:], collected)
+        monitor.finish()
+
+        on2, collected2 = collecting_callback()
+        later = compiled.new_monitor(on2)
+        later.restore(snapshot)
+        run_events(reference, trace[12:], collected_ref)
+        run_events(later, trace[12:], collected2)
+        reference.finish()
+        later.finish()
+        out = list(monitor.OUTPUTS)[0]
+        assert collected2[out] == collected_ref[out]
 
 
 class TestCheckpointOtherEngines:

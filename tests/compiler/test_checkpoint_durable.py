@@ -1,0 +1,321 @@
+"""Tests for durable on-disk checkpoints and crash recovery."""
+
+import os
+
+import pytest
+
+from repro import ErrorValue, HardenedRunner, compile_spec
+from repro.compiler.checkpoint import (
+    CheckpointError,
+    CheckpointManager,
+    checkpoint_path,
+    decode_state,
+    decode_value,
+    encode_state,
+    encode_value,
+    latest_checkpoint,
+    list_checkpoints,
+    read_checkpoint,
+    spec_fingerprint,
+    write_checkpoint,
+)
+from repro.lang.flatten import flatten
+from repro.speclib import fig1_spec, map_window, queue_window, seen_set
+from repro.structures import (
+    CopySet,
+    GuardedMap,
+    GuardedSet,
+    MutableMap,
+    MutableQueue,
+    MutableSet,
+    MutableVector,
+    PersistentMap,
+    PersistentQueue,
+    PersistentSet,
+    PersistentVector,
+    persistent_map,
+    persistent_queue,
+    persistent_set,
+    persistent_vector,
+)
+
+
+class TestValueEncoding:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            0,
+            -7,
+            3.5,
+            True,
+            "text",
+            (),
+            (1, ("a", 2.5)),
+            {"k": 1, "j": (2,)},
+            ErrorValue("boom", origin="q", ts=3),
+        ],
+        ids=repr,
+    )
+    def test_scalar_roundtrip(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            MutableSet([1, 2, 3]),
+            persistent_set([1, 2, 3]),
+            CopySet([1, 2]),
+            GuardedSet([4]),
+            MutableMap([("a", 1), ("b", 2)]),
+            persistent_map([("a", 1)]),
+            GuardedMap([("k", 9)]),
+            MutableQueue([1, 2, 3]),
+            persistent_queue([1, 2, 3]),
+            MutableVector([5, 6]),
+            persistent_vector([5, 6]),
+        ],
+        ids=lambda v: type(v).__name__,
+    )
+    def test_aggregate_roundtrip_preserves_family(self, value):
+        restored = decode_value(encode_value(value))
+        assert restored == value
+        assert type(restored) is type(value)
+
+    def test_nested_aggregate(self):
+        value = MutableMap([("q", MutableQueue([1, 2]))])
+        restored = decode_value(encode_value(value))
+        assert restored == value
+        assert type(restored.get("q")) is MutableQueue
+
+    def test_restored_guarded_structure_is_usable(self):
+        original = GuardedSet([1])
+        restored = decode_value(encode_value(original))
+        newer = restored.add(2)
+        assert 2 in newer  # fresh generation cell: fully functional
+
+    def test_unencodable_value_rejected(self):
+        with pytest.raises(CheckpointError, match="cannot checkpoint"):
+            encode_value(object())
+
+
+class TestFileFormat:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "c.rckpt")
+        state = {"_done_ts": 4, "_last_x": MutableSet([1])}
+        write_checkpoint(path, state, {"events_consumed": 9})
+        restored, meta = read_checkpoint(path)
+        assert restored["_done_ts"] == 4
+        assert restored["_last_x"] == MutableSet([1])
+        assert meta["events_consumed"] == 9
+
+    def test_bad_magic(self, tmp_path):
+        path = str(tmp_path / "c.rckpt")
+        with open(path, "wb") as handle:
+            handle.write(b"not a checkpoint at all")
+        with pytest.raises(CheckpointError, match="not a checkpoint"):
+            read_checkpoint(path)
+
+    def test_bit_flip_detected(self, tmp_path):
+        path = str(tmp_path / "c.rckpt")
+        write_checkpoint(path, {"_done_ts": 4}, {})
+        blob = bytearray(open(path, "rb").read())
+        blob[-1] ^= 0xFF
+        with open(path, "wb") as handle:
+            handle.write(bytes(blob))
+        with pytest.raises(CheckpointError, match="checksum mismatch"):
+            read_checkpoint(path)
+
+    def test_truncated_file_detected(self, tmp_path):
+        path = str(tmp_path / "c.rckpt")
+        write_checkpoint(path, {"_done_ts": 4}, {})
+        blob = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(blob[: len(blob) // 2])
+        with pytest.raises(CheckpointError):
+            read_checkpoint(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            read_checkpoint(str(tmp_path / "nope.rckpt"))
+
+
+class TestCheckpointDirectory:
+    def test_latest_skips_corrupt_falls_back(self, tmp_path):
+        directory = str(tmp_path)
+        write_checkpoint(
+            checkpoint_path(directory, 10), {"_done_ts": 1}, {"n": 10}
+        )
+        newest = write_checkpoint(
+            checkpoint_path(directory, 20), {"_done_ts": 2}, {"n": 20}
+        )
+        # corrupt the newest: recovery must fall back to the older one
+        with open(newest, "ab") as handle:
+            handle.truncate(len(open(newest, "rb").read()) - 3)
+        found = latest_checkpoint(directory)
+        assert found is not None
+        path, state, meta = found
+        assert meta["n"] == 10
+
+    def test_latest_none_when_empty(self, tmp_path):
+        assert latest_checkpoint(str(tmp_path)) is None
+        assert latest_checkpoint(str(tmp_path / "missing")) is None
+
+    def test_fingerprint_mismatch_skipped(self, tmp_path):
+        directory = str(tmp_path)
+        write_checkpoint(
+            checkpoint_path(directory, 10),
+            {"_done_ts": 1},
+            {"fingerprint": "aaaa"},
+        )
+        assert latest_checkpoint(directory, fingerprint="bbbb") is None
+        assert latest_checkpoint(directory, fingerprint="aaaa") is not None
+
+    def test_manager_prunes_old_checkpoints(self, tmp_path):
+        directory = str(tmp_path)
+        compiled = compile_spec(seen_set())
+        monitor = compiled.new_monitor()
+        manager = CheckpointManager(directory, every=1, keep=2)
+        for n in range(1, 6):
+            manager.write(monitor, n, 0)
+        remaining = list_checkpoints(directory)
+        assert len(remaining) == 2
+        assert os.path.basename(remaining[0]) == "ckpt-000000000005.rckpt"
+
+    def test_spec_fingerprint_stability(self):
+        f1 = spec_fingerprint(flatten(seen_set()))
+        f2 = spec_fingerprint(flatten(seen_set()))
+        f3 = spec_fingerprint(flatten(fig1_spec()))
+        assert f1 == f2
+        assert f1 != f3
+
+
+def _trace(n):
+    return [(t, "i", (t * 3) % 7) for t in range(1, n + 1)]
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [fig1_spec, seen_set, lambda: queue_window(3), lambda: map_window(4)],
+    ids=["fig1", "seen_set", "queue_window", "map_window"],
+)
+@pytest.mark.parametrize("optimize", [True, False], ids=["opt", "nonopt"])
+class TestCrashRecovery:
+    def test_resume_reproduces_outputs_exactly(
+        self, tmp_path, factory, optimize
+    ):
+        compiled = compile_spec(factory(), optimize=optimize)
+        events = _trace(30)
+
+        expected = []
+        full = HardenedRunner(
+            compiled, lambda n, t, v: expected.append((n, t, v))
+        )
+        full.run(events)
+
+        # crashed run: checkpoints every 4 events, dies after 17
+        directory = str(tmp_path)
+        pre = []
+        crashed = HardenedRunner(
+            compiled,
+            lambda n, t, v: pre.append((n, t, v)),
+            checkpoint_dir=directory,
+            checkpoint_every=4,
+        )
+        crashed.feed(events[:17])
+        assert crashed.report.checkpoints_written > 0
+
+        post = []
+        resumed, meta = HardenedRunner.resume(
+            compiled,
+            directory,
+            on_output=lambda n, t, v: post.append((n, t, v)),
+        )
+        assert meta is not None
+        assert meta["events_consumed"] == 16
+        resumed.feed_from_start(events)
+        resumed.finish()
+        recovered = pre[: meta["outputs_emitted"]] + post
+        assert recovered == expected
+        assert resumed.report.events_skipped_on_resume == 16
+        assert resumed.report.resumed_from is not None
+
+
+class TestResumeEdges:
+    def test_resume_without_checkpoint_starts_fresh(self, tmp_path):
+        compiled = compile_spec(seen_set())
+        outputs = []
+        runner, meta = HardenedRunner.resume(
+            compiled,
+            str(tmp_path),
+            on_output=lambda n, t, v: outputs.append((n, t, v)),
+        )
+        assert meta is None
+        runner.feed_from_start(_trace(5))
+        runner.finish()
+        assert len(outputs) == 5
+
+    def test_resume_guards_against_other_spec(self, tmp_path):
+        directory = str(tmp_path)
+        a = compile_spec(seen_set())
+        runner = HardenedRunner(a, checkpoint_dir=directory, checkpoint_every=1)
+        runner.feed(_trace(3))
+        # a checkpoint exists, but for a different specification
+        other = compile_spec(fig1_spec())
+        resumed, meta = HardenedRunner.resume(other, directory)
+        assert meta is None
+
+    def test_delay_state_survives_disk_roundtrip(self, tmp_path):
+        from repro.speclib import watchdog
+
+        compiled = compile_spec(watchdog(10))
+        directory = str(tmp_path)
+        runner = HardenedRunner(
+            compiled, checkpoint_dir=directory, checkpoint_every=1
+        )
+        runner.push("hb", 1, 0)
+        runner.push("hb", 5, 0)  # arms the alarm for t=15
+        # process dies; recovery must still fire the armed alarm
+        alarms = []
+        resumed, meta = HardenedRunner.resume(
+            compiled,
+            directory,
+            on_output=lambda n, t, v: alarms.append((t, v)),
+        )
+        assert meta is not None
+        resumed.finish()
+        assert alarms == [(15, 15)]
+
+    def test_error_values_survive_disk_roundtrip(self, tmp_path):
+        from repro import parse_spec
+
+        spec = parse_spec(
+            """
+            in a: Int
+            in b: Int
+            in tick: Unit
+            def q := div(a, b)
+            def l := last(q, tick)
+            out l
+            """
+        )
+        compiled = compile_spec(spec, error_policy="propagate")
+        directory = str(tmp_path)
+        runner = HardenedRunner(
+            compiled, checkpoint_dir=directory, checkpoint_every=1
+        )
+        runner.push("a", 1, 1)
+        runner.push("b", 1, 0)
+        runner.push("tick", 2, ())  # flushes t=1: the error is stored
+        outputs = []
+        resumed, meta = HardenedRunner.resume(
+            compiled,
+            directory,
+            on_output=lambda n, t, v: outputs.append((t, v)),
+        )
+        assert meta is not None
+        resumed.push("tick", 3, ())
+        resumed.finish()
+        assert [ts for ts, _ in outputs]  # events observed
+        final = outputs[-1]
+        assert final[0] == 3 and isinstance(final[1], ErrorValue)

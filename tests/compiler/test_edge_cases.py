@@ -139,7 +139,9 @@ class TestFreezeMore:
         from repro.structures import persistent_map
 
         frozen = freeze(persistent_map([("b", 2), ("a", 1)]))
-        assert frozen == (("a", 1), ("b", 2))
+        assert frozen == frozenset({("a", 1), ("b", 2)})
+        # insertion order must not leak into the frozen form
+        assert frozen == freeze(persistent_map([("a", 1), ("b", 2)]))
 
     def test_vector_freeze(self):
         from repro.structures import persistent_vector

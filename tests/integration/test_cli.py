@@ -201,6 +201,140 @@ class TestStrictFlag:
         assert main(["lint", str(spec)]) == 0
 
 
+DIV_SPEC = """
+in a: Int
+in b: Int
+def q := slift(div, a, b)
+out q
+"""
+
+
+class TestHardenedRun:
+    @pytest.fixture
+    def div_spec(self, tmp_path):
+        path = tmp_path / "div.tessla"
+        path.write_text(DIV_SPEC)
+        return str(path)
+
+    def test_tolerant_ingestion_with_report(
+        self, spec_file, tmp_path, capsys
+    ):
+        trace = tmp_path / "messy.csv"
+        trace.write_text(
+            "1,i,4\n"
+            "garbage\n"          # malformed
+            "2,ghost,1\n"        # unknown stream
+            "4,i,7\n"
+            "3,i,4\n"            # out of order, within skew
+            "5,i,4\n"
+        )
+        assert main([
+            "run", spec_file, "--trace", str(trace),
+            "--on-malformed", "skip", "--on-unknown-stream", "skip",
+            "--on-out-of-order", "buffer", "--max-skew", "2",
+            "--report",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.strip().splitlines() == [
+            "1,s,False", "3,s,True", "4,s,False", "5,s,True"
+        ]
+        import json
+
+        report = json.loads(captured.err)
+        assert report["malformed_lines"] == 1
+        assert report["unknown_stream_events"] == 1
+        assert report["reordered_events"] == 1
+        # repaired reorders are not lost, so only the malformed line and
+        # the unknown-stream event count as absorbed faults
+        assert report["faults_absorbed"] == 2
+
+    def test_strict_run_still_rejects_bad_lines(self, spec_file, tmp_path, capsys):
+        trace = tmp_path / "messy.csv"
+        trace.write_text("1,i,4\ngarbage\n")
+        assert main(["run", spec_file, "--trace", str(trace)]) == 1
+        assert "messy.csv:2" in capsys.readouterr().err
+
+    def test_error_policy_propagate_emits_error_literal(
+        self, div_spec, tmp_path, capsys
+    ):
+        trace = tmp_path / "t.csv"
+        trace.write_text("1,a,6\n1,b,2\n2,b,0\n3,b,3\n")
+        assert main([
+            "run", div_spec, "--trace", str(trace),
+            "--error-policy", "propagate",
+        ]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0] == "1,q,3"
+        assert lines[1].startswith('2,q,error(')
+        assert "ZeroDivisionError" in lines[1]
+        assert lines[2] == "3,q,2"
+
+    def test_error_policy_fail_fast_exits_with_context(
+        self, div_spec, tmp_path, capsys
+    ):
+        trace = tmp_path / "t.csv"
+        trace.write_text("1,a,6\n1,b,0\n")
+        assert main([
+            "run", div_spec, "--trace", str(trace),
+            "--error-policy", "fail-fast",
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "ZeroDivisionError" in err
+
+    def test_alias_guard_run_matches_plain(
+        self, spec_file, trace_file, capsys
+    ):
+        assert main(["run", spec_file, "--trace", trace_file]) == 0
+        plain = capsys.readouterr().out
+        assert main([
+            "run", spec_file, "--trace", trace_file, "--alias-guard"
+        ]) == 0
+        assert capsys.readouterr().out == plain
+
+    def test_resume_requires_checkpoint_dir(self, spec_file, trace_file, capsys):
+        assert main([
+            "run", spec_file, "--trace", trace_file, "--resume"
+        ]) == 1
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_resume_requires_output(self, spec_file, trace_file, tmp_path, capsys):
+        assert main([
+            "run", spec_file, "--trace", trace_file,
+            "--resume", "--checkpoint-dir", str(tmp_path),
+        ]) == 1
+        assert "--output" in capsys.readouterr().err
+
+    def test_crash_resume_is_byte_identical(self, spec_file, tmp_path):
+        lines = [f"{t},i,{(t * 7) % 13}" for t in range(1, 25)]
+        full_trace = tmp_path / "full.csv"
+        full_trace.write_text("\n".join(lines) + "\n")
+        partial_trace = tmp_path / "partial.csv"
+        partial_trace.write_text("\n".join(lines[:13]) + "\n")
+
+        reference = tmp_path / "reference.out"
+        assert main([
+            "run", spec_file, "--trace", str(full_trace),
+            "--output", str(reference),
+        ]) == 0
+
+        # "crash": the first run only ever sees a prefix of the trace
+        ckpt_dir = tmp_path / "ckpt"
+        recovered = tmp_path / "recovered.out"
+        assert main([
+            "run", spec_file, "--trace", str(partial_trace),
+            "--checkpoint-dir", str(ckpt_dir), "--checkpoint-every", "4",
+            "--output", str(recovered),
+        ]) == 0
+        assert list(ckpt_dir.glob("*.rckpt"))
+
+        assert main([
+            "run", spec_file, "--trace", str(full_trace),
+            "--checkpoint-dir", str(ckpt_dir), "--checkpoint-every", "4",
+            "--resume", "--output", str(recovered),
+        ]) == 0
+        assert recovered.read_bytes() == reference.read_bytes()
+
+
 class TestShippedSpecsStrict:
     def test_every_example_spec_is_strict_clean(self, capsys):
         import pathlib

@@ -6,11 +6,17 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.errors import ErrorValue
 from repro.semantics.traceio import (
+    IngestPolicy,
+    IngestStats,
+    TolerantReader,
     TraceError,
     format_value,
+    iter_trace_events,
     parse_value,
     read_trace,
+    read_trace_tolerant,
     write_trace,
 )
 
@@ -28,6 +34,41 @@ class TestValues:
     def test_parse_error(self):
         with pytest.raises(TraceError, match="cannot parse value"):
             parse_value("not a literal!!")
+
+    def test_scientific_notation(self):
+        assert parse_value("1e5") == 1e5
+        assert parse_value("-2.5e-3") == -2.5e-3
+        assert parse_value(".5") == 0.5
+
+    @pytest.mark.parametrize(
+        "text",
+        ["[1, 2]", "{'a': 1}", "(1, 2)", "None", "1 + 1", "{1}", "b'x'",
+         "0x10", "1_000"],
+        ids=repr,
+    )
+    def test_arbitrary_python_literals_rejected(self, text):
+        """The trace format has no aggregate/None literals; accepting
+        Python literal syntax fed monitors values no TeSSLa
+        implementation could produce."""
+        with pytest.raises(TraceError):
+            parse_value(text)
+
+    def test_single_quoted_strings_rejected(self):
+        with pytest.raises(TraceError):
+            parse_value("'hi'")
+
+    def test_error_literal(self):
+        value = parse_value('error("boom")')
+        assert isinstance(value, ErrorValue)
+        assert value.message == "boom"
+
+    def test_error_literal_roundtrip(self):
+        err = ErrorValue('tricky "quoted" message')
+        assert parse_value(format_value(err)).message == err.message
+
+    def test_malformed_error_literal(self):
+        with pytest.raises(TraceError):
+            parse_value("error(boom)")
 
     def test_format(self):
         assert format_value(42) == "42"
@@ -84,6 +125,104 @@ class TestReadTrace:
 
     def test_strings_with_spaces(self):
         assert read_trace('1: s = "a b c"') == {"s": [(1, "a b c")]}
+
+    def test_bad_value_names_the_line(self):
+        with pytest.raises(TraceError, match="line 2"):
+            read_trace("1: x = 5\n2: x = [1, 2]\n")
+
+
+class TestTolerantIngestion:
+    BAD_TRACE = (
+        "1: x = 5\n"
+        "garbage garbage\n"        # malformed
+        "2: x = [1, 2]\n"          # malformed value
+        "3: zz = 1\n"              # unknown stream
+        "5: x = 50\n"
+        "4: x = 40\n"              # out of order (skew 1)
+        "6: x = 60\n"
+    )
+
+    def test_default_policy_is_strict(self):
+        with pytest.raises(TraceError, match="line 2"):
+            list(iter_trace_events(self.BAD_TRACE, known_streams=["x"]))
+
+    def test_skip_everything(self):
+        policy = IngestPolicy(
+            on_malformed="skip", on_unknown_stream="skip",
+            on_out_of_order="skip",
+        )
+        traces, stats = read_trace_tolerant(
+            self.BAD_TRACE, policy, known_streams=["x"]
+        )
+        assert traces == {"x": [(1, 5), (5, 50), (6, 60)]}
+        assert stats.malformed_lines == 2
+        assert stats.unknown_stream_events == 1
+        assert stats.out_of_order_dropped == 1
+        assert stats.events_ingested == 3
+
+    def test_buffer_repairs_within_skew(self):
+        policy = IngestPolicy(
+            on_malformed="skip", on_unknown_stream="skip",
+            on_out_of_order="buffer", max_skew=1,
+        )
+        traces, stats = read_trace_tolerant(
+            self.BAD_TRACE, policy, known_streams=["x"]
+        )
+        assert traces == {"x": [(1, 5), (4, 40), (5, 50), (6, 60)]}
+        assert stats.reordered_events == 1
+        assert stats.out_of_order_dropped == 0
+
+    def test_buffer_drops_beyond_skew(self):
+        text = "1: x = 1\n10: x = 10\n13: x = 13\n2: x = 2\n"
+        policy = IngestPolicy(on_out_of_order="buffer", max_skew=3)
+        traces, stats = read_trace_tolerant(text, policy)
+        # t=13 forces t=10 out of the buffer (skew 3); t=2 then arrives
+        # behind the delivery frontier and can no longer be repaired
+        assert traces == {"x": [(1, 1), (10, 10), (13, 13)]}
+        assert stats.out_of_order_dropped == 1
+
+    def test_buffer_flushes_tail_on_end(self):
+        text = "1: x = 1\n3: x = 3\n2: x = 2\n"
+        policy = IngestPolicy(on_out_of_order="buffer", max_skew=10)
+        traces, _ = read_trace_tolerant(text, policy)
+        assert traces == {"x": [(1, 1), (2, 2), (3, 3)]}
+
+    def test_unknown_stream_raise_names_stream(self):
+        with pytest.raises(TraceError, match="unknown input stream 'zz'"):
+            list(iter_trace_events("1: zz = 1\n", known_streams=["x"]))
+
+    def test_out_of_order_raise(self):
+        with pytest.raises(TraceError, match="out-of-order"):
+            list(iter_trace_events("5: x = 1\n4: x = 2\n"))
+
+    def test_stats_object_threading(self):
+        stats = IngestStats()
+        events = list(
+            iter_trace_events("1: x = 1\n2: x = 2\n", stats=stats)
+        )
+        assert events == [(1, "x", 1), (2, "x", 2)]
+        assert stats.lines_read == 2
+        assert stats.events_ingested == 2
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            IngestPolicy(on_malformed="buffer")
+        with pytest.raises(ValueError):
+            IngestPolicy(max_skew=-1)
+
+    def test_reader_is_format_agnostic(self):
+        reader = TolerantReader(
+            IngestPolicy(on_malformed="skip"), known_streams=["x"]
+        )
+
+        def parse(pair):
+            if pair is None:
+                raise TraceError("injected")
+            return pair
+
+        items = [(1, "x", 10), None, (2, "x", 20)]
+        assert list(reader.events(items, parse)) == [(1, "x", 10), (2, "x", 20)]
+        assert reader.stats.malformed_lines == 1
 
 
 class TestWriteTrace:

@@ -1,0 +1,216 @@
+"""Tests for the alias-guard collections (runtime sanitizer)."""
+
+import pytest
+
+from repro import AliasGuardError, compile_spec
+from repro.compiler import compile_spec as compile_spec_direct
+from repro.speclib import (
+    db_access_constraint,
+    fig1_spec,
+    fig4_lower_spec,
+    fig4_upper_spec,
+    map_window,
+    queue_window,
+    seen_set,
+    vector_window,
+    watchdog,
+)
+from repro.structures import (
+    Backend,
+    GuardedMap,
+    GuardedQueue,
+    GuardedSet,
+    GuardedVector,
+)
+from repro.structures.clone import clone_value
+
+
+class TestGuardedStructures:
+    def test_set_update_returns_new_handle(self):
+        s0 = GuardedSet([1])
+        s1 = s0.add(2)
+        assert s1 is not s0
+        assert 2 in s1 and len(s1) == 2
+
+    def test_set_stale_read_raises(self):
+        s0 = GuardedSet([1])
+        s0.add(2)
+        with pytest.raises(AliasGuardError, match="stale"):
+            1 in s0
+
+    def test_set_stale_write_raises(self):
+        s0 = GuardedSet([1])
+        s0.add(2)
+        with pytest.raises(AliasGuardError):
+            s0.add(3)
+
+    def test_map_stale_access(self):
+        m0 = GuardedMap([("a", 1)])
+        m1 = m0.put("b", 2)
+        assert m1.get("b") == 2
+        with pytest.raises(AliasGuardError):
+            m0.get("a")
+        with pytest.raises(AliasGuardError):
+            dict(m0.items())
+
+    def test_queue_stale_access(self):
+        q0 = GuardedQueue([1, 2])
+        q1 = q0.dequeue()
+        assert q1.front() == 2
+        with pytest.raises(AliasGuardError):
+            q0.front()
+        with pytest.raises(AliasGuardError):
+            len(q0)
+
+    def test_vector_stale_access(self):
+        v0 = GuardedVector([1, 2])
+        v1 = v0.set(0, 9)
+        assert v1.get(0) == 9
+        with pytest.raises(AliasGuardError):
+            v0.get(0)
+
+    def test_error_names_both_generations(self):
+        s0 = GuardedSet()
+        s0.add(1).add(2)
+        with pytest.raises(AliasGuardError, match="generation 0.*generation 2"):
+            len(s0)
+
+    def test_fresh_handle_remains_valid(self):
+        s = GuardedSet()
+        for n in range(10):
+            s = s.add(n)
+        assert len(s) == 10
+        assert set(s) == set(range(10))
+
+    def test_clone_gets_independent_generations(self):
+        s0 = GuardedSet([1])
+        cloned = clone_value(s0)
+        s0.add(2)           # invalidates s0's lineage only
+        assert 1 in cloned  # the clone's cell is untouched
+        assert clone_value(42) == 42
+
+    def test_value_equality_with_other_families(self):
+        from repro.structures import MutableSet, PersistentSet
+
+        assert GuardedSet([1, 2]) == MutableSet([1, 2])
+        assert GuardedSet([1, 2]) == PersistentSet().add(1).add(2)
+
+
+class TestGuardedBackendSelection:
+    def test_alias_guard_swaps_only_mutable(self):
+        compiled = compile_spec(fig1_spec(), alias_guard=True)
+        assert compiled.alias_guard
+        kinds = set(compiled.backends.values())
+        assert Backend.GUARDED in kinds
+        assert Backend.MUTABLE not in kinds
+
+    def test_alias_guard_off_by_default(self):
+        compiled = compile_spec(fig1_spec())
+        assert not compiled.alias_guard
+        assert Backend.GUARDED not in set(compiled.backends.values())
+
+    def test_persistent_baseline_unaffected(self):
+        compiled = compile_spec(seen_set(), optimize=False, alias_guard=True)
+        assert set(compiled.backends.values()) == {Backend.PERSISTENT}
+
+
+def _events(n, streams=("i",)):
+    inputs = {}
+    for index, name in enumerate(streams):
+        inputs[name] = [
+            (t, (t * (3 + index)) % 11) for t in range(1, n + 1)
+        ]
+    return inputs
+
+
+PAPER_SUITE = [
+    ("fig1", fig1_spec, ("i",)),
+    ("fig4_upper", fig4_upper_spec, ("i1", "i2")),
+    ("fig4_lower", fig4_lower_spec, ("i1", "i2")),
+    ("seen_set", seen_set, ("i",)),
+    ("queue_window", lambda: queue_window(3), ("i",)),
+    ("map_window", lambda: map_window(4), ("i",)),
+    ("vector_window", lambda: vector_window(4), ("i",)),
+]
+
+
+class TestSanitizerSoundness:
+    """The acceptance property: running the paper-figure suite under the
+    alias guard reports zero violations — runtime evidence that the
+    static mutability analysis classifies these streams soundly."""
+
+    @pytest.mark.parametrize(
+        "factory,streams",
+        [(f, s) for _, f, s in PAPER_SUITE],
+        ids=[name for name, _, _ in PAPER_SUITE],
+    )
+    def test_analysis_chosen_backends_never_trip_the_guard(
+        self, factory, streams
+    ):
+        inputs = _events(60, streams)
+        spec = factory()
+        plain = compile_spec(spec).run(inputs)
+        guarded = compile_spec(spec, alias_guard=True).run(inputs)
+        for name in plain:
+            assert guarded[name].events == plain[name].events
+
+    def test_guarded_watchdog_with_delays(self):
+        inputs = {"hb": [(1, 0), (5, 0), (30, 0)]}
+        plain = compile_spec(watchdog(10)).run(inputs, end_time=60)
+        guarded = compile_spec(watchdog(10), alias_guard=True).run(
+            inputs, end_time=60
+        )
+        assert guarded["alarm_at"].events == plain["alarm_at"].events
+
+    def test_guarded_multi_input(self):
+        inputs = {
+            "ins": [(1, 5), (2, 6), (5, 7)],
+            "acc": [(3, 5), (4, 99), (6, 7)],
+        }
+        plain = compile_spec(db_access_constraint()).run(inputs)
+        guarded = compile_spec(db_access_constraint(), alias_guard=True).run(
+            inputs
+        )
+        assert guarded["ok"].events == plain["ok"].events
+
+
+class TestSanitizerCatchesMisclassification:
+    """Force a wrong classification and watch the guard catch it at the
+    faulty access (instead of silent output corruption)."""
+
+    def test_fig4_lower_all_mutable_trips_the_guard(self):
+        # the paper's canonical NOT-in-place example: last(y, i2)
+        # replicates one set event; mutating the first replica
+        # invalidates the second
+        compiled = compile_spec_direct(
+            fig4_lower_spec(), backend_override=Backend.GUARDED
+        )
+        inputs = {
+            "i1": [(1, 1), (10, 2)],
+            # two queries between consecutive i1 events replicate the set
+            "i2": [(2, 5), (3, 6)],
+        }
+        with pytest.raises(AliasGuardError):
+            compiled.run(inputs)
+
+    def test_fig4_upper_all_mutable_is_clean(self):
+        # the paper's CAN-be-in-place twin: same shape, safe ordering
+        compiled = compile_spec_direct(
+            fig4_upper_spec(), backend_override=Backend.GUARDED
+        )
+        inputs = {"i1": [(1, 1), (10, 2)], "i2": [(2, 1), (3, 6)]}
+        expected = compile_spec(fig4_upper_spec()).run(inputs)
+        actual = compiled.run(inputs)
+        assert actual["s"].events == expected["s"].events
+
+    def test_guard_not_swallowed_by_error_policy(self):
+        # AliasGuardError is a monitor bug, not a data fault: the
+        # error-propagation machinery must let it escape
+        compiled = compile_spec_direct(
+            fig4_lower_spec(),
+            backend_override=Backend.GUARDED,
+            error_policy="propagate",
+        )
+        inputs = {"i1": [(1, 1), (10, 2)], "i2": [(2, 5), (3, 6)]}
+        with pytest.raises(AliasGuardError):
+            compiled.run(inputs)
