@@ -7,20 +7,35 @@ materialized once per parametrization, outside the timed region.
 import pytest
 
 from repro.bench.runners import flatten_inputs
-from repro.compiler import compile_spec, counting_callback
+from repro.compiler import build_compiled_spec, counting_callback
 
 
-def make_runner(spec, inputs, **compile_kwargs):
-    """Return a zero-argument callable that runs one fresh monitor."""
-    compiled = compile_spec(spec, **compile_kwargs)
+def make_runner(spec, inputs, batch_size=None, **compile_kwargs):
+    """Return a zero-argument callable that runs one fresh monitor.
+
+    ``batch_size`` switches the timed loop to the monitor's
+    ``feed_batch`` hot path (chunks are pre-materialized outside the
+    timed region); the remaining keywords go to the compiler.
+    """
+    compiled = build_compiled_spec(spec, **compile_kwargs)
     events = flatten_inputs(inputs)
+    batches = None
+    if batch_size is not None:
+        from repro.semantics.traceio import batch_events
+
+        batches = list(batch_events(events, batch_size))
 
     def run():
         on_output, _ = counting_callback()
         monitor = compiled.new_monitor(on_output)
-        push = monitor.push
-        for ts, name, value in events:
-            push(name, ts, value)
+        if batches is not None:
+            feed = monitor.feed_batch
+            for batch in batches:
+                feed(batch)
+        else:
+            push = monitor.push
+            for ts, name, value in events:
+                push(name, ts, value)
         monitor.finish()
 
     return run

@@ -1,8 +1,10 @@
-"""Execution-engine comparison: generated code vs interpreted steps.
+"""Execution-engine comparison: generated code vs interpreted steps
+vs the flat dispatch plan, per-event vs batched.
 
-Both engines use the identical analysis results; the difference is
-local-variable straight-line code vs dictionary-driven step closures.
-Records the cost of avoiding ``exec``.
+All engines use the identical analysis results; the differences are
+local-variable straight-line code vs dictionary-driven step closures
+vs opcode dispatch over slot arrays, and the per-event ``push``
+protocol vs the amortized ``feed_batch`` hot path.
 """
 
 import pytest
@@ -15,6 +17,7 @@ from conftest import make_runner
 VARIANTS = {
     "codegen": {"engine": "codegen"},
     "interpreted": {"engine": "interpreted"},
+    "plan": {"engine": "plan"},
 }
 
 
@@ -26,4 +29,17 @@ def test_engines(benchmark, engine, optimize):
         seen_set(), inputs, optimize=optimize, **VARIANTS[engine]
     )
     benchmark.group = f"engines seen_set/{'opt' if optimize else 'nonopt'}"
+    benchmark(run)
+
+
+@pytest.mark.parametrize("engine", list(VARIANTS))
+@pytest.mark.parametrize(
+    "batch_size", [None, 256, 4096], ids=["push", "batch256", "batch4k"]
+)
+def test_engines_batched(benchmark, engine, batch_size):
+    inputs = seen_set_trace(3_000, 200)
+    run = make_runner(
+        seen_set(), inputs, batch_size=batch_size, **VARIANTS[engine]
+    )
+    benchmark.group = "engines seen_set/batching"
     benchmark(run)

@@ -9,24 +9,27 @@ persistent (HAMT-based) collections accordingly.
 
 Quick start::
 
-    from repro import compile_spec, parse_spec
+    from repro import api
 
-    spec = parse_spec('''
+    monitor = api.compile('''
         in i: Int
         def m  := merge(y, set_empty(unit))
         def yl := last(m, i)
         def y  := set_add(yl, i)
         def s  := set_contains(yl, i)
         out s
-    ''')
-    monitor = compile_spec(spec)           # optimized: set updated in place
-    outputs = monitor.run({"i": [(1, 4), (2, 7), (3, 4)]})
+    ''')                                   # optimized: set updated in place
+    outputs = monitor.run_traces({"i": [(1, 4), (2, 7), (3, 4)]})
     print(outputs["s"].events)             # [(1, False), (2, False), (3, True)]
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-vs-measured evaluation results.
+``api.compile``/``api.run`` with :class:`~repro.api.CompileOptions` and
+:class:`~repro.api.RunOptions` cover the full option space (engines,
+plan cache, batching, checkpoints, tolerant ingestion) — see
+docs/api.md.  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for the paper-vs-measured evaluation results.
 """
 
+from . import api
 from .analysis import (
     AliasAnalysis,
     MutabilityAnalysis,
@@ -34,11 +37,14 @@ from .analysis import (
     TriggeringAnalysis,
     analyze_mutability,
 )
+from .api import CompileOptions, Monitor, RunOptions
 from .compiler import (
     CompiledSpec,
     HardenedRunner,
     MonitorBase,
     MonitorError,
+    MonitorRunner,
+    PlanCache,
     RunReport,
     compile_spec,
     freeze,
@@ -82,6 +88,7 @@ __all__ = [
     "AliasGuardError",
     "BOOL",
     "Backend",
+    "CompileOptions",
     "CompiledSpec",
     "Const",
     "Default",
@@ -99,12 +106,16 @@ __all__ = [
     "LiftError",
     "MapType",
     "Merge",
+    "Monitor",
     "MonitorBase",
     "MonitorError",
+    "MonitorRunner",
     "MutabilityAnalysis",
     "MutabilityResult",
     "Nil",
+    "PlanCache",
     "QueueType",
+    "RunOptions",
     "RunReport",
     "STR",
     "SetType",
@@ -119,6 +130,7 @@ __all__ = [
     "Var",
     "VectorType",
     "analyze_mutability",
+    "api",
     "build_usage_graph",
     "check_types",
     "compile_spec",

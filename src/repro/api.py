@@ -1,0 +1,365 @@
+"""The single-entry public API: ``compile`` and ``run``.
+
+Historically the project grew four overlapping entry points —
+``compile_spec`` (eight keywords), ``MonitorBase.run``,
+``CompiledSpec.run`` and ``HardenedRunner`` (another seven keywords) —
+each with a different slice of the option space.  This module replaces
+that sprawl with two calls and two frozen option dataclasses:
+
+>>> from repro import api
+>>> monitor = api.compile(source, api.CompileOptions(engine="plan"))
+>>> report = api.run(monitor, events, api.RunOptions(batch_size=4096))
+
+* :class:`CompileOptions` — everything that shapes the compiled
+  monitor (analysis mode, backend override, execution engine, error
+  policy, alias guard, plan cache).  All result-shaping options are
+  part of the compiled spec's fingerprint, which keys both the on-disk
+  plan cache and the durable checkpoints.
+* :class:`RunOptions` — everything that shapes one run (end time,
+  batch size, input validation, checkpointing/resume, tolerant
+  ingestion policies).
+* :class:`Monitor` — the compiled artifact ``compile`` returns: a thin
+  handle around the engine-room :class:`~repro.compiler.pipeline.CompiledSpec`
+  exposing fingerprint, generated source, diagnostics and fresh
+  monitor instances.
+* :func:`run` — drives a :class:`Monitor` over events (an iterable of
+  ``(ts, stream, value)`` tuples or a mapping of per-stream traces)
+  through a :class:`~repro.compiler.runtime.MonitorRunner` and returns
+  the :class:`~repro.compiler.runtime.RunReport`.
+
+The legacy entry points still work but emit ``DeprecationWarning`` and
+delegate here (or to the engine-room functions this module wraps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
+
+from .compiler.pipeline import CompiledSpec, build_compiled_spec
+from .compiler.plancache import PlanCache
+from .compiler.runtime import MonitorRunner, RunReport
+from .errors import ErrorPolicy, coerce_policy
+from .lang.spec import FlatSpec, Specification
+from .structures import Backend
+
+__all__ = [
+    "CompileOptions",
+    "RunOptions",
+    "Monitor",
+    "compile",
+    "run",
+]
+
+_ENGINES = ("codegen", "interpreted", "plan")
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Everything that shapes a compiled monitor.
+
+    String conveniences are coerced on construction: ``backend`` takes
+    a :class:`~repro.structures.Backend` or its lowercase name,
+    ``error_policy`` an :class:`~repro.errors.ErrorPolicy` or its
+    string value.
+    """
+
+    #: Run the paper's mutability analysis (``False`` — the
+    #: exclusively-persistent baseline).
+    optimize: bool = True
+    #: Force one backend everywhere (e.g. ``"copying"`` for the
+    #: naive-copy ablation); overrides ``optimize``.
+    backend: Union[Backend, str, None] = None
+    #: Execution engine: ``"codegen"``, ``"interpreted"`` or ``"plan"``.
+    engine: str = "codegen"
+    #: Hardened error-propagating evaluation (``None`` — seed-exact).
+    error_policy: Union[ErrorPolicy, str, None] = None
+    #: Swap mutable backends for alias-guarded twins (sanitizer).
+    alias_guard: bool = False
+    #: Remove streams that cannot influence any output.
+    prune_dead: bool = False
+    #: Name of the generated monitor class.
+    class_name: str = "GeneratedMonitor"
+    #: Plan-cache directory (or a :class:`PlanCache`): persist and
+    #: reuse the analysis outputs across processes.
+    plan_cache: Union[str, PlanCache, None] = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.backend, str):
+            try:
+                coerced = Backend[self.backend.upper()]
+            except KeyError:
+                names = sorted(b.name.lower() for b in Backend)
+                raise ValueError(
+                    f"unknown backend {self.backend!r}; expected one of"
+                    f" {names}"
+                ) from None
+            object.__setattr__(self, "backend", coerced)
+        object.__setattr__(
+            self, "error_policy", coerce_policy(self.error_policy)
+        )
+        if self.engine not in _ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected one of"
+                f" {_ENGINES}"
+            )
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """Everything that shapes one run of a compiled monitor."""
+
+    #: Bound for ``delay`` streams after end of input.
+    end_time: Optional[int] = None
+    #: Drive the monitor's ``feed_batch`` hot path in chunks of
+    #: roughly this many events (``None`` — per-event feeding).
+    batch_size: Optional[int] = None
+    #: Type-check every input event against the declared types.
+    validate_inputs: bool = False
+    #: Write durable checkpoints into this directory.
+    checkpoint_dir: Optional[str] = None
+    #: Checkpoint period in consumed input events.
+    checkpoint_every: int = 1000
+    #: How many checkpoint files to retain.
+    checkpoint_keep: int = 3
+    #: Restart from the newest valid checkpoint in ``checkpoint_dir``.
+    resume: bool = False
+    #: Tolerant-ingestion policies (see
+    #: :class:`~repro.semantics.traceio.IngestPolicy`).
+    on_malformed: str = "raise"
+    on_unknown_stream: str = "raise"
+    on_out_of_order: str = "raise"
+    max_skew: int = 0
+
+    def __post_init__(self) -> None:
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ValueError(
+                f"batch_size must be >= 1, got {self.batch_size}"
+            )
+        if self.resume and self.checkpoint_dir is None:
+            raise ValueError("resume=True requires checkpoint_dir")
+
+    @property
+    def tolerant(self) -> bool:
+        """True when any ingestion policy deviates from strict."""
+        return (
+            self.on_malformed != "raise"
+            or self.on_unknown_stream != "raise"
+            or self.on_out_of_order != "raise"
+            or self.max_skew > 0
+        )
+
+
+class Monitor:
+    """A compiled specification, as returned by :func:`compile`."""
+
+    def __init__(
+        self, compiled: CompiledSpec, options: CompileOptions
+    ) -> None:
+        self.compiled = compiled
+        self.options = options
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def inputs(self) -> Tuple[str, ...]:
+        return tuple(self.compiled.flat.inputs)
+
+    @property
+    def outputs(self) -> Tuple[str, ...]:
+        return tuple(self.compiled.flat.outputs)
+
+    @property
+    def fingerprint(self) -> str:
+        """Content + options hash keying plan cache and checkpoints."""
+        return self.compiled.fingerprint
+
+    @property
+    def source(self) -> str:
+        """The generated Python source (engine-dependent)."""
+        return self.compiled.source
+
+    @property
+    def plan_cache_hit(self) -> Optional[bool]:
+        """``None`` — no cache consulted; else hit/miss."""
+        return self.compiled.plan_cache_hit
+
+    @property
+    def mutable_streams(self) -> frozenset:
+        return self.compiled.mutable_streams
+
+    def diagnostics(self) -> list:
+        return self.compiled.diagnostics()
+
+    # -- execution -------------------------------------------------------
+
+    def new_instance(self, on_output=None):
+        """A fresh bare monitor instance (no runner, no report)."""
+        return self.compiled.new_monitor(on_output)
+
+    def run_traces(
+        self,
+        inputs: Mapping[str, Any],
+        end_time: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Whole-trace convenience; returns frozen output streams."""
+        return self.compiled.run_traces(inputs, end_time=end_time)
+
+    def __repr__(self) -> str:
+        return (
+            f"Monitor(inputs={list(self.inputs)},"
+            f" outputs={list(self.outputs)},"
+            f" engine={self.compiled.engine!r},"
+            f" fingerprint={self.fingerprint[:12]!r})"
+        )
+
+
+def compile(
+    source_or_spec: Union[str, Specification, FlatSpec],
+    options: Optional[CompileOptions] = None,
+) -> Monitor:
+    """Compile specification text (or an AST) into a :class:`Monitor`.
+
+    A ``str`` argument is parsed as TeSSLa-like specification text;
+    :class:`Specification` and :class:`FlatSpec` objects are compiled
+    directly.
+    """
+    options = options or CompileOptions()
+    if isinstance(source_or_spec, str):
+        from .compiler.pipeline import build_compiled_spec_from_text
+
+        # Raw text gets the text-keyed plan-cache fast path: a warm
+        # hit skips parsing and type inference entirely.
+        compiled = build_compiled_spec_from_text(
+            source_or_spec,
+            optimize=options.optimize,
+            backend_override=options.backend,
+            class_name=options.class_name,
+            prune_dead=options.prune_dead,
+            engine=options.engine,
+            error_policy=options.error_policy,
+            alias_guard=options.alias_guard,
+            plan_cache=options.plan_cache,
+        )
+        return Monitor(compiled, options)
+    compiled = build_compiled_spec(
+        source_or_spec,
+        optimize=options.optimize,
+        backend_override=options.backend,
+        class_name=options.class_name,
+        prune_dead=options.prune_dead,
+        engine=options.engine,
+        error_policy=options.error_policy,
+        alias_guard=options.alias_guard,
+        plan_cache=options.plan_cache,
+    )
+    return Monitor(compiled, options)
+
+
+def _as_event_iter(
+    events: Union[
+        Mapping[str, Any], Iterable[Tuple[int, str, Any]]
+    ],
+) -> Iterable[Tuple[int, str, Any]]:
+    """Normalize run input into a timestamp-ordered event iterable."""
+    if isinstance(events, Mapping):
+        flat = [
+            (ts, name, value)
+            for name, trace in events.items()
+            for ts, value in trace
+        ]
+        flat.sort(key=lambda e: e[0])
+        return flat
+    return events
+
+
+def run(
+    monitor: Union[Monitor, CompiledSpec],
+    events: Union[Mapping[str, Any], Iterable[Tuple[int, str, Any]]],
+    options: Optional[RunOptions] = None,
+    *,
+    on_output: Optional[Callable[[str, int, Any], None]] = None,
+    on_checkpoint: Optional[Callable[[], None]] = None,
+    on_resume: Optional[Callable[[Optional[Dict[str, Any]]], None]] = None,
+) -> RunReport:
+    """Run a compiled monitor over *events*; return the run report.
+
+    *events* is either an iterable of ``(ts, stream, value)`` tuples
+    (already timestamp-sorted, unless a tolerant out-of-order policy
+    is configured) or a mapping of per-stream traces (sorted here).
+
+    ``on_output(name, ts, value)`` receives every output event.
+    ``on_checkpoint()`` fires immediately before each durable
+    checkpoint write (flush buffered sinks there).  With
+    ``options.resume``, ``on_resume(meta)`` is called once before any
+    event is fed — ``meta`` is the checkpoint metadata (``None`` when
+    no valid checkpoint existed) and the caller must rewind its output
+    sink to ``meta["outputs_emitted"]`` records.
+    """
+    options = options or RunOptions()
+    compiled = monitor.compiled if isinstance(monitor, Monitor) else monitor
+
+    runner_kwargs: Dict[str, Any] = {
+        "validate_inputs": options.validate_inputs,
+        "checkpoint_every": options.checkpoint_every,
+        "checkpoint_keep": options.checkpoint_keep,
+        "on_checkpoint": on_checkpoint,
+    }
+    meta: Optional[Dict[str, Any]] = None
+    if options.resume:
+        assert options.checkpoint_dir is not None
+        runner, meta = MonitorRunner.resume(
+            compiled,
+            options.checkpoint_dir,
+            on_output=on_output,
+            **runner_kwargs,
+        )
+        if on_resume is not None:
+            on_resume(meta)
+    else:
+        runner = MonitorRunner(
+            compiled,
+            on_output,
+            checkpoint_dir=options.checkpoint_dir,
+            **runner_kwargs,
+        )
+
+    event_iter = _as_event_iter(events)
+    stats = None
+    if options.tolerant:
+        from .semantics.traceio import IngestPolicy, TolerantReader
+
+        reader = TolerantReader(
+            IngestPolicy(
+                on_malformed=options.on_malformed,
+                on_unknown_stream=options.on_unknown_stream,
+                on_out_of_order=options.on_out_of_order,
+                max_skew=options.max_skew,
+            ),
+            known_streams=compiled.flat.inputs,
+        )
+        stats = reader.stats
+        event_iter = reader.events(event_iter, lambda item: item)
+
+    if options.resume:
+        runner.feed_from_start(event_iter)
+    elif options.batch_size is not None:
+        from .semantics.traceio import batch_events
+
+        for batch in batch_events(event_iter, options.batch_size):
+            runner.feed_batch(batch)
+    else:
+        runner.feed(event_iter)
+    report = runner.finish(end_time=options.end_time)
+    if stats is not None:
+        report.absorb_ingest(stats)
+    return report

@@ -12,11 +12,11 @@ import statistics
 import time
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
-from ..compiler import CompiledSpec, compile_spec, counting_callback
+from ..compiler import CompiledSpec, build_compiled_spec, counting_callback
 from ..lang.spec import Specification
 from ..structures import Backend
 
-#: Mode name -> compile_spec keyword arguments.
+#: Mode name -> build_compiled_spec keyword arguments.
 MODES: Dict[str, dict] = {
     "optimized": {"optimize": True},
     "non-optimized": {"optimize": False},
@@ -58,7 +58,7 @@ def measure(
     events = flatten_inputs(inputs)
     results: Dict[str, float] = {}
     for mode in modes:
-        compiled = compile_spec(spec, **MODES[mode])
+        compiled = build_compiled_spec(spec, **MODES[mode])
         timings = [run_once(compiled, events) for _ in range(repeats)]
         results[mode] = statistics.median(timings)
     return results

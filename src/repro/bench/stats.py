@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Mapping, Union
 
 from ..analysis.mutability import analyze_mutability
-from ..compiler import compile_spec
+from ..compiler import build_compiled_spec
 from ..graph.usage_graph import EdgeClass
 from ..lang.flatten import flatten
 from ..lang.spec import FlatSpec, Specification
@@ -60,7 +60,7 @@ def event_statistics(
     )
     check_types(observed)
     result = analyze_mutability(observed)
-    compiled = compile_spec(observed, optimize=optimize)
+    compiled = build_compiled_spec(observed, optimize=optimize)
 
     counts: Dict[str, int] = {}
 
@@ -68,7 +68,7 @@ def event_statistics(
         counts[name] = counts.get(name, 0) + 1
 
     monitor = compiled.new_monitor(on_output)
-    monitor.run(inputs)
+    monitor.run_traces(inputs)
 
     write_targets = {
         (edge.dst, edge.src) for edge in result.graph.write_edges

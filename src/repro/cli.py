@@ -29,6 +29,16 @@ during the run, ``--resume`` restarts from the newest valid checkpoint
 reproducing the uninterrupted run's output file exactly,
 ``--alias-guard`` enables the aggregate-aliasing sanitizer, and
 ``--report`` prints the structured run report to stderr.
+
+``--engine`` selects the execution engine (``codegen``,
+``interpreted`` or ``plan``), ``--batch-size`` drives the monitor's
+batch hot path in chunks, and ``--plan-cache DIR`` persists the
+analysis outputs on disk so repeated invocations of an unchanged spec
+skip the analysis (hits are visible in ``--report``).
+
+All flags funnel through :class:`repro.api.CompileOptions` /
+:class:`repro.api.RunOptions` (see ``_compile_options`` and
+``_run_options``) — the CLI is a thin shell over ``repro.api``.
 """
 
 from __future__ import annotations
@@ -38,8 +48,8 @@ import os
 import sys
 from typing import Any, List, Tuple
 
+from . import api
 from .analysis.report import AnalysisReport
-from .compiler import compile_spec
 from .frontend import parse_spec
 from .lang import check_types, flatten
 from .lang import types as ty
@@ -126,9 +136,41 @@ def _read_trace(path: str, flat) -> List[Tuple[int, str, Any]]:
     return events
 
 
+def _compile_options(args) -> "api.CompileOptions":
+    """Map the argparse namespace onto :class:`repro.api.CompileOptions`.
+
+    The single place CLI flags become compile options — new flags only
+    need a line here and in the parser.
+    """
+    return api.CompileOptions(
+        optimize=not args.no_optimize,
+        engine=args.engine,
+        error_policy=args.error_policy,
+        alias_guard=args.alias_guard,
+        plan_cache=args.plan_cache,
+    )
+
+
+def _run_options(args) -> "api.RunOptions":
+    """Map the argparse namespace onto :class:`repro.api.RunOptions`.
+
+    The tolerant-ingestion flags are *not* forwarded: the CLI applies
+    them while parsing trace text (where ``--on-malformed`` is
+    meaningful), so by the time events reach :func:`repro.api.run`
+    they are already clean and ordered.
+    """
+    return api.RunOptions(
+        end_time=args.end_time,
+        batch_size=args.batch_size,
+        validate_inputs=args.validate_inputs,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
+    )
+
+
 def _cmd_run(args, flat) -> int:
     """The ``run`` subcommand: drive a monitor over an event trace."""
-    from .compiler import HardenedRunner
     from .semantics.traceio import (
         IngestPolicy,
         IngestStats,
@@ -151,20 +193,8 @@ def _cmd_run(args, flat) -> int:
         or args.on_out_of_order != "raise"
         or args.max_skew > 0
     )
-    hardened = bool(
-        args.error_policy
-        or args.validate_inputs
-        or args.checkpoint_dir
-        or args.resume
-        or args.report
-        or tolerant
-    )
-    compiled = compile_spec(
-        flat,
-        optimize=not args.no_optimize,
-        error_policy=args.error_policy,
-        alias_guard=args.alias_guard,
-    )
+    monitor = api.compile(flat, _compile_options(args))
+    run_options = _run_options(args)
     stats = IngestStats()
     policy = IngestPolicy(
         on_malformed=args.on_malformed,
@@ -233,28 +263,20 @@ def _cmd_run(args, flat) -> int:
             handle.flush()
             os.fsync(handle.fileno())
 
-    if not hardened:
-        events = load_events()
-        out_handle = open(args.output, "w") if args.output else None
-        if out_handle is not None:
-            sink["write"] = out_handle.write
-        monitor = compiled.new_monitor(emit)
-        for ts, name, value in events:
-            monitor.push(name, ts, value)
-        monitor.finish(end_time=args.end_time)
-        if out_handle is not None:
-            out_handle.close()
-        return 0
+    out_handle = None
 
-    runner_kwargs = {
-        "validate_inputs": args.validate_inputs,
-        "checkpoint_every": args.checkpoint_every,
-        "on_checkpoint": make_outputs_durable,
-    }
-    if args.resume:
-        runner, meta = HardenedRunner.resume(
-            compiled, args.checkpoint_dir, on_output=emit, **runner_kwargs
-        )
+    def bind_sink(handle):
+        nonlocal out_handle
+        out_handle = handle
+        if handle is not None:
+            sink["write"] = handle.write
+            sink["handle"] = handle
+
+    def rewind_outputs(meta):
+        # Before any event is fed on --resume: truncate the output
+        # file to the checkpoint's outputs_emitted watermark, then
+        # reopen for appending — replaying the rest of the trace
+        # reproduces the uninterrupted run's file exactly.
         kept = meta["outputs_emitted"] if meta else 0
         try:
             with open(args.output) as handle:
@@ -263,32 +285,27 @@ def _cmd_run(args, flat) -> int:
             prior = []
         with open(args.output, "w") as handle:
             handle.writelines(prior[:kept])
-        out_handle = open(args.output, "a")
-    else:
-        runner = HardenedRunner(
-            compiled,
-            emit,
-            checkpoint_dir=args.checkpoint_dir,
-            **runner_kwargs,
-        )
-        out_handle = open(args.output, "w") if args.output else None
-    if out_handle is not None:
-        sink["write"] = out_handle.write
-        sink["handle"] = out_handle
+        bind_sink(open(args.output, "a"))
+
+    if not args.resume:
+        bind_sink(open(args.output, "w") if args.output else None)
 
     events = load_events()
     try:
-        if args.resume:
-            runner.feed_from_start(events)
-        else:
-            runner.feed(events)
-        runner.finish(end_time=args.end_time)
+        report = api.run(
+            monitor,
+            events,
+            run_options,
+            on_output=emit,
+            on_checkpoint=make_outputs_durable,
+            on_resume=rewind_outputs,
+        )
     finally:
         if out_handle is not None:
             out_handle.close()
-    runner.report.absorb_ingest(stats)
+    report.absorb_ingest(stats)
     if args.report:
-        print(runner.report.to_json(), file=sys.stderr)
+        print(report.to_json(), file=sys.stderr)
     return 0
 
 
@@ -325,6 +342,27 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--end-time", type=int, default=None, help="bound for delay streams"
+    )
+    parser.add_argument(
+        "--engine",
+        choices=["codegen", "interpreted", "plan"],
+        default="codegen",
+        help="execution engine: generated source, step closures, or"
+        " the flat dispatch plan",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="for 'run': drive the monitor's batch hot path in chunks"
+        " of this many events",
+    )
+    parser.add_argument(
+        "--plan-cache",
+        default=None,
+        metavar="DIR",
+        help="cache analysis outputs (translation order, backends) in"
+        " this directory, keyed by spec + options fingerprint",
     )
     parser.add_argument(
         "--format",
@@ -453,8 +491,7 @@ def main(argv=None) -> int:
         elif args.command == "dot":
             print(AnalysisReport(flat).dot())
         elif args.command == "emit":
-            compiled = compile_spec(flat, optimize=not args.no_optimize)
-            print(compiled.source)
+            print(api.compile(flat, _compile_options(args)).source)
         elif args.command == "emit-scala":
             from .analysis import analyze_mutability
             from .compiler import generate_scala_source

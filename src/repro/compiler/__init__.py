@@ -18,8 +18,20 @@ from .monitor import (
     counting_callback,
     freeze,
 )
-from .pipeline import CompiledSpec, compile_spec
-from .runtime import HardenedRunner, RunReport, validate_value
+from .pipeline import (
+    CompiledSpec,
+    build_compiled_spec,
+    build_compiled_spec_from_text,
+    compile_spec,
+)
+from .plan import ExecutionPlan, build_plan, make_plan_class
+from .plancache import PlanCache, flat_fingerprint, plan_fingerprint
+from .runtime import (
+    HardenedRunner,
+    MonitorRunner,
+    RunReport,
+    validate_value,
+)
 
 __all__ = [
     "CheckpointError",
@@ -27,19 +39,28 @@ __all__ = [
     "CodeGenerator",
     "CodegenError",
     "CompiledSpec",
+    "ExecutionPlan",
     "HardenedRunner",
     "MonitorBase",
     "MonitorError",
+    "MonitorRunner",
+    "PlanCache",
     "RunReport",
     "UNIT_VALUE",
+    "build_compiled_spec",
+    "build_compiled_spec_from_text",
+    "build_plan",
     "collecting_callback",
     "compile_spec",
     "counting_callback",
+    "flat_fingerprint",
     "freeze",
     "generate_monitor_class",
     "generate_scala_source",
     "latest_checkpoint",
     "make_interpreted_class",
+    "make_plan_class",
+    "plan_fingerprint",
     "read_checkpoint",
     "validate_value",
     "write_checkpoint",

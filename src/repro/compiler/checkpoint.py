@@ -115,6 +115,8 @@ def encode_value(value: Any) -> Any:
         return ("error", value.message, value.origin, value.ts)
     if isinstance(value, tuple):
         return ("tuple", [encode_value(v) for v in value])
+    if isinstance(value, list):
+        return ("list", [encode_value(v) for v in value])
     if isinstance(value, dict):
         return ("dict", [(k, encode_value(v)) for k, v in value.items()])
     if isinstance(value, SetBase):
@@ -143,6 +145,8 @@ def decode_value(encoded: Any) -> Any:
         return ErrorValue(encoded[1], origin=encoded[2], ts=encoded[3])
     if tag == "tuple":
         return tuple(decode_value(v) for v in encoded[1])
+    if tag == "list":
+        return [decode_value(v) for v in encoded[1]]
     if tag == "dict":
         return {k: decode_value(v) for k, v in encoded[1]}
     if tag == "map":
@@ -318,6 +322,15 @@ class CheckpointManager:
     def due(self, events_consumed: int) -> bool:
         """True when *events_consumed* hits the configured cadence."""
         return events_consumed % self.every == 0
+
+    def due_since(self, previous: int, events_consumed: int) -> bool:
+        """True when a cadence boundary was crossed since *previous*.
+
+        The batch hot path consumes many events per call, so the exact
+        multiples :meth:`due` looks for can be jumped over; this checks
+        whether *any* boundary lies in ``(previous, events_consumed]``.
+        """
+        return events_consumed // self.every > previous // self.every
 
     def maybe_write(
         self, monitor: Any, events_consumed: int, outputs_emitted: int

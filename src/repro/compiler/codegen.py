@@ -26,7 +26,7 @@ from ..lang.ast import Delay, Last, Lift, Nil, TimeExpr, UnitExpr
 from ..lang.builtins import EventPattern
 from ..lang.spec import FlatSpec
 from ..structures import Backend
-from .monitor import UNIT_VALUE, MonitorBase
+from .monitor import UNIT_VALUE, MonitorBase, MonitorError
 from .runtime import RunReport, delay_next, wrap_lift
 
 
@@ -63,6 +63,7 @@ class CodeGenerator:
         self.error_policy = error_policy
         self.namespace: Dict[str, Any] = {
             "MonitorBase": MonitorBase,
+            "MonitorError": MonitorError,
             "_UNIT": UNIT_VALUE,
         }
         if error_policy is not None:
@@ -84,7 +85,7 @@ class CodeGenerator:
                     )
                 self.namespace[f"_f_{name}"] = impl
 
-    def _calc_line(self, name: str) -> List[str]:
+    def _calc_line(self, name: str, last_prefix: str = "self._last_") -> List[str]:
         expr = self.flat.definitions[name]
         v = f"v_{name}"
         if isinstance(expr, Nil):
@@ -95,7 +96,7 @@ class CodeGenerator:
             return [f"{v} = ts if v_{expr.operand.name} is not None else None"]
         if isinstance(expr, Last):
             return [
-                f"{v} = self._last_{expr.value.name}"
+                f"{v} = {last_prefix}{expr.value.name}"
                 f" if v_{expr.trigger.name} is not None else None"
             ]
         if isinstance(expr, Delay):
@@ -220,6 +221,132 @@ class CodeGenerator:
             body = ["pass"]
         lines.extend("        " + line for line in body)
 
+        # Specialized batch hot path (delay-free specs only): the whole
+        # calculation section is inlined into a closure over *local*
+        # state — input cells, last cells and the pending/done cursors
+        # live in the enclosing frame, so a batch of events runs with
+        # zero per-event attribute access.  Specs with delays keep the
+        # generic ``MonitorBase.feed_batch`` (the delay catch-up loop
+        # needs ``_next_delay`` anyway).
+        if not delays and inputs:
+            batch_signature = ", ".join(
+                ["self", "events"] + [f"{fn}={fn}" for fn in bound_names]
+            )
+            lines += ["", f"    def feed_batch({batch_signature}):"]
+            b: List[str] = [
+                "if self._finished:",
+                "    raise MonitorError('feed_batch() after finish()')",
+            ]
+            if error_mode:
+                b.append("rep = self._report")
+            b.append("emit = self._on_output")
+            for name in inputs:
+                b.append(f"in_{name} = self._in_{name}")
+            for name in last_values:
+                b.append(f"last_{name} = self._last_{name}")
+            b += [
+                "pending = self._pending_ts",
+                "done = self._done_ts",
+                "count = 0",
+                "def _calc_inline(ts):",
+            ]
+            hot_state = (
+                [f"in_{name}" for name in inputs]
+                + [f"last_{name}" for name in last_values]
+                + ["done"]
+            )
+            b.append(f"    nonlocal {', '.join(hot_state)}")
+            calc_body: List[str] = []
+            for name in inputs:
+                calc_body.append(f"v_{name} = in_{name}")
+            for name in self.order:
+                if name in flat.inputs:
+                    continue
+                calc_body.extend(self._calc_line(name, last_prefix="last_"))
+            for name in flat.outputs:
+                if error_mode:
+                    calc_body += [
+                        f"if v_{name} is not None:",
+                        f"    if v_{name}.__class__ is _ERR:"
+                        " rep.error_outputs += 1",
+                        f"    emit({name!r}, ts, v_{name})",
+                    ]
+                else:
+                    calc_body.append(
+                        f"if v_{name} is not None: emit({name!r}, ts, v_{name})"
+                    )
+            for name in last_values:
+                calc_body.append(
+                    f"if v_{name} is not None: last_{name} = v_{name}"
+                )
+            for name in inputs:
+                calc_body.append(f"in_{name} = None")
+            calc_body.append("done = ts")
+            b.extend("    " + line for line in calc_body)
+
+            loop_body: List[str] = []
+            if len(inputs) == 1:
+                loop_body += [
+                    f"if name != {inputs[0]!r}:",
+                    "    raise MonitorError("
+                    "f'unknown input stream {name!r}')",
+                ]
+            else:
+                names_set = "{" + ", ".join(repr(n) for n in inputs) + "}"
+                loop_body += [
+                    f"if name not in {names_set}:",
+                    "    raise MonitorError("
+                    "f'unknown input stream {name!r}')",
+                ]
+            loop_body += [
+                "if value is None:",
+                "    raise MonitorError("
+                "'None is the no-event value; not a valid payload')",
+                "if ts != pending:",
+                "    if pending is not None:",
+                "        if ts < pending:",
+                "            raise MonitorError(",
+                "                f'out-of-order event: t={ts} after"
+                " t={pending}'",
+                "            )",
+                "        _calc_inline(pending)",
+                "        pending = None",
+                "    if ts < 0:",
+                "        raise MonitorError(f'negative timestamp {ts}')",
+                "    if ts <= done:",
+                "        raise MonitorError(",
+                "            f'event at t={ts} arrived after t={done} was"
+                " calculated'",
+                "        )",
+                "    if done < 0 and ts > 0:",
+                "        _calc_inline(0)",
+                "    pending = ts",
+            ]
+            if len(inputs) == 1:
+                loop_body.append(f"in_{inputs[0]} = value")
+            else:
+                loop_body.append(
+                    f"if name == {inputs[0]!r}: in_{inputs[0]} = value"
+                )
+                for name in inputs[1:]:
+                    loop_body.append(
+                        f"elif name == {name!r}: in_{name} = value"
+                    )
+            loop_body.append("count += 1")
+
+            b.append("try:")
+            b.append("    for ts, name, value in events:")
+            b.extend("        " + line for line in loop_body)
+            b.append("finally:")
+            b.append("    self._pending_ts = pending")
+            b.append("    self._done_ts = done")
+            for name in inputs:
+                b.append(f"    self._in_{name} = in_{name}")
+            for name in last_values:
+                b.append(f"    self._last_{name} = last_{name}")
+            b.append("return count")
+            lines.extend("        " + line for line in b)
+
         # earliest pending delay
         if delays:
             lines += ["", "    def _next_delay(self):"]
@@ -237,9 +364,11 @@ class CodeGenerator:
         """Exec the generated source; return the monitor class."""
         self._bind_functions()
         source = self.source()
-        exec(compile(source, f"<generated {self.class_name}>", "exec"), self.namespace)
+        code = compile(source, f"<generated {self.class_name}>", "exec")
+        exec(code, self.namespace)
         cls = self.namespace[self.class_name]
         cls.SOURCE = source
+        cls.CODE = code
         return cls
 
 
@@ -266,3 +395,116 @@ def generate_monitor_class(
         error_policy=error_policy,
     )
     return generator.compile()
+
+
+def monitor_class_from_code(
+    flat: FlatSpec,
+    order: Sequence[str],
+    backends: Mapping[str, Backend],
+    source: str,
+    code_blob: bytes,
+    default_backend: Backend = Backend.PERSISTENT,
+    class_name: str = "GeneratedMonitor",
+    error_policy: Optional[ErrorPolicy] = None,
+) -> Optional[type]:
+    """Rebuild a monitor class from a cached marshal'd code object.
+
+    The expensive half of code generation is ``builtins.compile`` on
+    the generated source; a plan-cache entry that carries the code
+    object (``.pyc``-style, validated against the interpreter magic
+    number by the cache layer) skips both source assembly and
+    recompilation.  Only the namespace — lift callables bound to the
+    per-stream backends — is rebuilt here.  Returns ``None`` when the
+    blob does not unmarshal to the expected module (the caller falls
+    back to full generation).
+    """
+    import marshal
+
+    generator = CodeGenerator(
+        flat,
+        order,
+        lambda name: backends.get(name, default_backend),
+        class_name,
+        error_policy=error_policy,
+    )
+    generator._bind_functions()
+    try:
+        code = marshal.loads(code_blob)
+        exec(code, generator.namespace)
+    except (ValueError, EOFError, TypeError, SyntaxError, NameError):
+        return None
+    cls = generator.namespace.get(class_name)
+    if not isinstance(cls, type):
+        return None
+    cls.SOURCE = source
+    cls.CODE = code
+    return cls
+
+
+def lift_recipe(flat: FlatSpec) -> Optional[Dict[str, str]]:
+    """stream → registry name for every lifted function in *flat*.
+
+    ``None`` when any lift is not the registered builtin of that name
+    (e.g. an ad-hoc :class:`~repro.lang.builtins.LiftedFunction`) — a
+    name-based recipe could then rebind the wrong implementation, so
+    such specs are excluded from the text-keyed fast path.
+    """
+    from ..lang.builtins import REGISTRY
+
+    lifts: Dict[str, str] = {}
+    for name, expr in flat.definitions.items():
+        if isinstance(expr, Lift) and expr.func.name != "merge":
+            if REGISTRY.get(expr.func.name) is not expr.func:
+                return None
+            lifts[name] = expr.func.name
+    return lifts
+
+
+def monitor_class_from_recipe(
+    lifts: Mapping[str, str],
+    backends: Mapping[str, Backend],
+    source: str,
+    code_blob: bytes,
+    default_backend: Backend = Backend.PERSISTENT,
+    class_name: str = "GeneratedMonitor",
+    error_policy: Optional[ErrorPolicy] = None,
+) -> Optional[type]:
+    """Rebuild a monitor class without the flat specification.
+
+    The text-keyed plan-cache fast path: the generated module's
+    namespace only needs the per-stream lift callables (resolvable by
+    registry name + backend) and a handful of runtime symbols, so a
+    warm hit skips the frontend entirely.  Returns ``None`` on any
+    mismatch; the caller falls back to parsing and full generation.
+    """
+    import marshal
+
+    from ..lang.builtins import builtin
+
+    namespace: Dict[str, Any] = {
+        "MonitorBase": MonitorBase,
+        "MonitorError": MonitorError,
+        "_UNIT": UNIT_VALUE,
+    }
+    if error_policy is not None:
+        namespace["_ERR"] = ErrorValue
+        namespace["_RunReport"] = RunReport
+        namespace["_delay_next"] = delay_next
+    try:
+        for stream, func_name in lifts.items():
+            impl = builtin(func_name).bind(
+                backends.get(stream, default_backend)
+            )
+            if error_policy is not None:
+                impl = wrap_lift(stream, func_name, impl, error_policy)
+            namespace[f"_f_{stream}"] = impl
+        code = marshal.loads(code_blob)
+        exec(code, namespace)
+    except (KeyError, ValueError, EOFError, TypeError, SyntaxError, NameError):
+        return None
+    cls = namespace.get(class_name)
+    if not isinstance(cls, type):
+        return None
+    cls.SOURCE = source
+    cls.CODE = code
+    return cls

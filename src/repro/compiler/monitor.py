@@ -14,7 +14,17 @@ live there) before any later timestamp.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+import warnings
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
 
 from ..structures.interface import MapBase, QueueBase, SetBase, VectorBase
 
@@ -58,6 +68,13 @@ class MonitorBase:
     INPUTS: Tuple[str, ...] = ()
     OUTPUTS: Tuple[str, ...] = ()
     HAS_DELAYS: bool = False
+    #: input name → instance attribute; derived automatically from
+    #: ``INPUTS`` for every subclass (used by the batch hot path).
+    INPUT_ATTRS: Mapping[str, str] = {}
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        cls.INPUT_ATTRS = {name: "_in_" + name for name in cls.INPUTS}
 
     def __init__(self, on_output: Optional[OutputCallback] = None) -> None:
         self._on_output: OutputCallback = on_output or (lambda n, t, v: None)
@@ -133,6 +150,71 @@ class MonitorBase:
                 f"out-of-order event: t={ts} after t={self._pending_ts}"
             )
         setattr(self, "_in_" + name, value)
+
+    def feed_batch(self, events: Iterable[Tuple[int, str, Any]]) -> int:
+        """Feed a timestamp-sorted batch of ``(ts, name, value)`` events.
+
+        The batch hot path: semantically identical to calling
+        :meth:`push` per event, but the protocol checks, the pending
+        bookkeeping and the triggering loop are amortized over the
+        whole batch in one stack frame.  Events for the last timestamp
+        stay pending (exactly as after :meth:`push`), so batches of any
+        size — including batches splitting one timestamp — compose
+        with further ``push``/``feed_batch``/``advance``/``finish``
+        calls.  Returns the number of events consumed.
+
+        On error the offending event is reported and not consumed, but
+        earlier timestamps of the batch may already be calculated —
+        the same partial progress a ``push`` loop would have made.
+        """
+        if self._finished:
+            raise MonitorError("feed_batch() after finish()")
+        input_attrs = type(self).INPUT_ATTRS
+        run_calc = self._run_calc
+        next_delay = self._next_delay
+        has_delays = self.HAS_DELAYS
+        pending = self._pending_ts
+        count = 0
+        try:
+            for ts, name, value in events:
+                attr = input_attrs.get(name)
+                if attr is None:
+                    raise MonitorError(f"unknown input stream {name!r}")
+                if value is None:
+                    raise MonitorError(
+                        "None is the no-event value; not a valid payload"
+                    )
+                if ts != pending:
+                    if pending is not None:
+                        if ts < pending:
+                            raise MonitorError(
+                                f"out-of-order event: t={ts} after"
+                                f" t={pending}"
+                            )
+                        run_calc(pending)
+                        pending = None
+                    if ts < 0:
+                        raise MonitorError(f"negative timestamp {ts}")
+                    done = self._done_ts
+                    if ts <= done:
+                        raise MonitorError(
+                            f"event at t={ts} arrived after t={done} was"
+                            " calculated"
+                        )
+                    if done < 0 and ts > 0:
+                        run_calc(0)
+                    if has_delays:
+                        while True:
+                            upcoming = next_delay()
+                            if upcoming is None or upcoming >= ts:
+                                break
+                            run_calc(upcoming)
+                    pending = ts
+                setattr(self, attr, value)
+                count += 1
+        finally:
+            self._pending_ts = pending
+        return count
 
     def finish(
         self, end_time: Optional[int] = None, max_steps: int = 1_000_000
@@ -225,7 +307,7 @@ class MonitorBase:
 
     # -- convenience -------------------------------------------------------
 
-    def run(
+    def run_traces(
         self,
         inputs: Mapping[str, Any],
         end_time: Optional[int] = None,
@@ -239,6 +321,24 @@ class MonitorBase:
         for ts, name, value in events:
             self.push(name, ts, value)
         self.finish(end_time=end_time)
+
+    def run(
+        self,
+        inputs: Mapping[str, Any],
+        end_time: Optional[int] = None,
+    ) -> None:
+        """Deprecated alias of :meth:`run_traces`.
+
+        Prefer ``repro.api.run`` (options, batching, RunReport) or
+        :meth:`run_traces` for the bare whole-trace convenience.
+        """
+        warnings.warn(
+            "MonitorBase.run() is deprecated; use repro.api.run(...) or"
+            " MonitorBase.run_traces(...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.run_traces(inputs, end_time=end_time)
 
 
 def collecting_callback() -> Tuple[OutputCallback, Dict[str, List[Tuple[int, Any]]]]:

@@ -1,8 +1,13 @@
 """End-to-end compilation pipeline.
 
-``compile_spec`` is the library's main entry point: specification →
-flatten → type check → usage graph → mutability analysis → translation
-order → generated monitor class.  Three modes:
+:func:`build_compiled_spec` is the engine-room entry point:
+specification → flatten → type check → usage graph → mutability
+analysis → translation order → monitor class.  Most callers should go
+through the :mod:`repro.api` facade (``repro.api.compile`` with a
+:class:`~repro.api.CompileOptions`); the historical keyword-sprawl
+entry point :func:`compile_spec` still works but is deprecated.
+
+Three compilation modes:
 
 * ``optimize=True`` (default) — the paper's optimized monitor: mutable
   structures for the mutability set, persistent for the rest, and the
@@ -12,10 +17,21 @@ order → generated monitor class.  Three modes:
   algorithm is used"), plain topological order.
 * ``backend_override`` — force one backend everywhere (e.g.
   ``Backend.COPYING`` for the naive-copy ablation baseline).
+
+Execution engines: ``"codegen"`` (generated Python source),
+``"interpreted"`` (step closures) and ``"plan"`` (flat dispatch plan,
+see :mod:`repro.compiler.plan`).
+
+With ``plan_cache`` set, the analysis outputs (translation order +
+backend choices) are persisted on disk keyed by the spec-and-options
+fingerprint; a later compilation of the same spec with the same
+options skips the analysis entirely (see
+:mod:`repro.compiler.plancache`).
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Union
 
@@ -28,8 +44,9 @@ from ..lang.spec import FlatSpec, Specification
 from ..lang.typecheck import check_types
 from ..semantics.stream import Stream
 from ..structures import Backend
-from .codegen import generate_monitor_class
+from .codegen import generate_monitor_class, monitor_class_from_code
 from .monitor import MonitorBase, collecting_callback
+from .plancache import CachedPlan, PlanCache, plan_fingerprint
 
 
 @dataclass
@@ -48,6 +65,18 @@ class CompiledSpec:
     #: True when mutable backends were swapped for their alias-guarded
     #: twins (the runtime sanitizer of the mutability analysis).
     alias_guard: bool = False
+    #: The execution engine the monitor class was built with.
+    engine: str = "codegen"
+    #: Content + options fingerprint (sha256 hex).  Keys the plan cache
+    #: and the durable checkpoints: two compilations differing in any
+    #: result-shaping option never share either.
+    fingerprint: str = ""
+    #: ``None`` — no plan cache consulted; ``True``/``False`` — cache
+    #: hit/miss.  Mirrored into :class:`~repro.compiler.runtime.RunReport`.
+    plan_cache_hit: Optional[bool] = None
+    #: Mutability set restored from a cached plan (when ``analysis`` is
+    #: not available because the analysis was skipped on a cache hit).
+    cached_mutable: Optional[frozenset] = None
 
     @property
     def source(self) -> str:
@@ -56,9 +85,11 @@ class CompiledSpec:
 
     @property
     def mutable_streams(self) -> frozenset:
-        if self.analysis is None:
-            return frozenset()
-        return self.analysis.mutable
+        if self.analysis is not None:
+            return self.analysis.mutable
+        if self.cached_mutable is not None:
+            return self.cached_mutable
+        return frozenset()
 
     def diagnostics(self) -> list:
         """Unified static-analysis diagnostics for this compilation.
@@ -91,7 +122,7 @@ class CompiledSpec:
         """Create a fresh monitor instance."""
         return self.monitor_class(on_output)
 
-    def run(
+    def run_traces(
         self,
         inputs: Mapping[str, Any],
         end_time: Optional[int] = None,
@@ -99,14 +130,32 @@ class CompiledSpec:
         """Run on whole input traces; return frozen output streams."""
         on_output, collected = collecting_callback()
         monitor = self.new_monitor(on_output)
-        monitor.run(inputs, end_time=end_time)
+        monitor.run_traces(inputs, end_time=end_time)
         return {
             name: Stream(collected.get(name, []))
             for name in self.monitor_class.OUTPUTS
         }
 
+    def run(
+        self,
+        inputs: Mapping[str, Any],
+        end_time: Optional[int] = None,
+    ) -> Dict[str, Stream]:
+        """Deprecated alias of :meth:`run_traces`.
 
-def compile_spec(
+        Prefer ``repro.api.run`` (full RunReport, batching, hardening)
+        or :meth:`run_traces` for the plain whole-trace convenience.
+        """
+        warnings.warn(
+            "CompiledSpec.run() is deprecated; use repro.api.run(...) or"
+            " CompiledSpec.run_traces(...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.run_traces(inputs, end_time=end_time)
+
+
+def build_compiled_spec(
     spec: Union[Specification, FlatSpec],
     optimize: bool = True,
     backend_override: Optional[Backend] = None,
@@ -115,13 +164,15 @@ def compile_spec(
     engine: str = "codegen",
     error_policy: Union[ErrorPolicy, str, None] = None,
     alias_guard: bool = False,
+    plan_cache: Union[str, PlanCache, None] = None,
 ) -> CompiledSpec:
     """Compile *spec* into a monitor class (see module docstring).
 
     ``prune_dead=True`` removes streams that cannot influence any
     output before analysis and code generation.  ``engine`` selects the
     execution strategy: ``"codegen"`` (generated Python source, the
-    default) or ``"interpreted"`` (step closures, no ``exec``).
+    default), ``"interpreted"`` (step closures, no ``exec``) or
+    ``"plan"`` (flat dispatch plan).
 
     ``error_policy`` (an :class:`~repro.errors.ErrorPolicy` or its
     string value) switches on the hardened error-propagating evaluation
@@ -134,6 +185,9 @@ def compile_spec(
     twin (:mod:`repro.structures.guard`): any access through a stale
     aggregate reference — a bug in the static mutability analysis —
     raises immediately.  A debug/sanitizer mode.
+
+    ``plan_cache`` (a directory path or a :class:`PlanCache`) persists
+    and reuses the analysis outputs across processes.
     """
     policy = coerce_policy(error_policy)
     flat = spec if isinstance(spec, FlatSpec) else flatten(spec)
@@ -146,11 +200,34 @@ def compile_spec(
         if not flat.types:
             check_types(flat)
 
-    if backend_override is not None:
+    if isinstance(plan_cache, str):
+        plan_cache = PlanCache(plan_cache)
+    fingerprint = plan_fingerprint(
+        flat,
+        optimize=optimize,
+        backend_override=backend_override,
+        alias_guard=alias_guard,
+        error_policy=policy,
+        engine=engine,
+    )
+
+    analysis: Optional[MutabilityResult] = None
+    cached_mutable: Optional[frozenset] = None
+    plan_cache_hit: Optional[bool] = None
+    cached: Optional[CachedPlan] = None
+    if plan_cache is not None:
+        cached = plan_cache.load(fingerprint)
+        plan_cache_hit = cached is not None
+
+    if cached is not None:
+        order = list(cached.order)
+        backends = dict(cached.backends)
+        optimized = cached.optimized
+        cached_mutable = cached.mutable
+    elif backend_override is not None:
         graph = build_usage_graph(flat)
         order = translation_order(graph)
         backends = {name: backend_override for name in flat.streams}
-        analysis = None
         optimized = False
     elif optimize:
         analysis = analyze_mutability(flat)
@@ -163,27 +240,97 @@ def compile_spec(
         graph = build_usage_graph(flat)
         order = translation_order(graph)
         backends = {name: Backend.PERSISTENT for name in flat.streams}
-        analysis = None
         optimized = False
 
+    # The cache stores pre-guard backends; the guarded swap is applied
+    # on top of both cold and warm compilations.
+    pre_guard_backends = dict(backends)
     if alias_guard:
         backends = {
             name: Backend.GUARDED if backend is Backend.MUTABLE else backend
             for name, backend in backends.items()
         }
 
-    if engine == "codegen":
-        monitor_class = generate_monitor_class(
-            flat, order, backends, class_name=class_name, error_policy=policy
+    monitor_class: Optional[type] = None
+    if (
+        cached is not None
+        and engine == "codegen"
+        and cached.code is not None
+        and cached.class_name == class_name
+    ):
+        # The entry carries the generated module (.pyc-style): skip
+        # source assembly and recompilation, rebind the namespace only.
+        monitor_class = monitor_class_from_code(
+            flat,
+            order,
+            backends,
+            cached.source or "",
+            cached.code,
+            class_name=class_name,
+            error_policy=policy,
         )
-    elif engine == "interpreted":
-        from .interp_backend import make_interpreted_class
 
-        monitor_class = make_interpreted_class(
-            flat, order, backends, class_name=class_name, error_policy=policy
+    if monitor_class is None:
+        if engine == "codegen":
+            monitor_class = generate_monitor_class(
+                flat,
+                order,
+                backends,
+                class_name=class_name,
+                error_policy=policy,
+            )
+        elif engine == "interpreted":
+            from .interp_backend import make_interpreted_class
+
+            monitor_class = make_interpreted_class(
+                flat,
+                order,
+                backends,
+                class_name=class_name,
+                error_policy=policy,
+            )
+        elif engine == "plan":
+            from .plan import make_plan_class
+
+            monitor_class = make_plan_class(
+                flat,
+                order,
+                backends,
+                class_name=class_name,
+                error_policy=policy,
+            )
+        else:
+            raise ValueError(f"unknown engine {engine!r}")
+
+    if plan_cache is not None and cached is None:
+        import marshal
+
+        from .codegen import lift_recipe
+
+        code = getattr(monitor_class, "CODE", None)
+        blob = marshal.dumps(code) if code is not None else None
+        plan_cache.store(
+            fingerprint,
+            CachedPlan(
+                order=tuple(order),
+                backends=pre_guard_backends,
+                optimized=optimized,
+                mutable=(
+                    frozenset(analysis.mutable)
+                    if analysis is not None
+                    else frozenset()
+                ),
+                source=(
+                    getattr(monitor_class, "SOURCE", None)
+                    if blob is not None
+                    else None
+                ),
+                code=blob,
+                class_name=class_name if blob is not None else None,
+                lifts=lift_recipe(flat) if blob is not None else None,
+                plan_key=fingerprint,
+            ),
         )
-    else:
-        raise ValueError(f"unknown engine {engine!r}")
     return CompiledSpec(
         flat=flat,
         monitor_class=monitor_class,
@@ -193,4 +340,210 @@ def compile_spec(
         optimized=optimized,
         error_policy=policy,
         alias_guard=alias_guard,
+        engine=engine,
+        fingerprint=fingerprint,
+        plan_cache_hit=plan_cache_hit,
+        cached_mutable=cached_mutable,
+    )
+
+
+class _LazyFlat:
+    """A flat specification parsed on first use.
+
+    Text-keyed cache hits construct working monitors without touching
+    the frontend; anything that actually needs the flat spec (type
+    validation, diagnostics, trace-level runs) transparently forces
+    the parse through attribute access.
+    """
+
+    __slots__ = ("_text", "_flat")
+
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._flat: Optional[FlatSpec] = None
+
+    def _force(self) -> FlatSpec:
+        if self._flat is None:
+            from ..frontend import parse_spec
+
+            spec = parse_spec(self._text)
+            flat = spec if isinstance(spec, FlatSpec) else flatten(spec)
+            if not flat.types:
+                check_types(flat)
+            self._flat = flat
+        return self._flat
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._force(), name)
+
+    def __repr__(self) -> str:
+        state = "parsed" if self._flat is not None else "deferred"
+        return f"<lazy flat spec ({state})>"
+
+
+def build_compiled_spec_from_text(
+    text: str,
+    optimize: bool = True,
+    backend_override: Optional[Backend] = None,
+    class_name: str = "GeneratedMonitor",
+    prune_dead: bool = False,
+    engine: str = "codegen",
+    error_policy: Union[ErrorPolicy, str, None] = None,
+    alias_guard: bool = False,
+    plan_cache: Union[str, PlanCache, None] = None,
+) -> CompiledSpec:
+    """Compile raw specification text, with the text-keyed fast path.
+
+    With a plan cache, entries are additionally keyed by a hash of the
+    unparsed text (:func:`~repro.compiler.plancache.text_fingerprint`),
+    and a warm hit rebuilds the monitor class from the cached code
+    object and lift recipe — no lexing, parsing, flattening, type
+    inference, analysis or code generation.  The flat spec itself
+    becomes lazy: it is parsed only if something actually asks for it.
+    Everything else behaves exactly like parsing and calling
+    :func:`build_compiled_spec`.
+    """
+    from .codegen import monitor_class_from_recipe
+    from .plancache import text_fingerprint
+
+    policy = coerce_policy(error_policy)
+    if isinstance(plan_cache, str):
+        plan_cache = PlanCache(plan_cache)
+
+    text_key: Optional[str] = None
+    if plan_cache is not None and engine == "codegen":
+        text_key = text_fingerprint(
+            text,
+            optimize=optimize,
+            backend_override=backend_override,
+            alias_guard=alias_guard,
+            error_policy=policy,
+            engine=engine,
+            prune_dead=prune_dead,
+        )
+        cached = plan_cache.load(text_key)
+        if (
+            cached is not None
+            and cached.code is not None
+            and cached.lifts is not None
+            and cached.class_name == class_name
+        ):
+            backends = dict(cached.backends)
+            if alias_guard:
+                backends = {
+                    name: (
+                        Backend.GUARDED
+                        if backend is Backend.MUTABLE
+                        else backend
+                    )
+                    for name, backend in backends.items()
+                }
+            monitor_class = monitor_class_from_recipe(
+                cached.lifts,
+                backends,
+                cached.source or "",
+                cached.code,
+                class_name=class_name,
+                error_policy=policy,
+            )
+            if monitor_class is not None:
+                return CompiledSpec(
+                    flat=_LazyFlat(text),  # type: ignore[arg-type]
+                    monitor_class=monitor_class,
+                    order=list(cached.order),
+                    backends=backends,
+                    analysis=None,
+                    optimized=cached.optimized,
+                    error_policy=policy,
+                    alias_guard=alias_guard,
+                    engine=engine,
+                    fingerprint=cached.plan_key or text_key,
+                    plan_cache_hit=True,
+                    cached_mutable=cached.mutable,
+                )
+
+    from ..frontend import parse_spec
+
+    compiled = build_compiled_spec(
+        parse_spec(text),
+        optimize=optimize,
+        backend_override=backend_override,
+        class_name=class_name,
+        prune_dead=prune_dead,
+        engine=engine,
+        error_policy=policy,
+        alias_guard=alias_guard,
+        plan_cache=plan_cache,
+    )
+    if text_key is not None:
+        from .codegen import lift_recipe
+
+        code = getattr(compiled.monitor_class, "CODE", None)
+        lifts = lift_recipe(compiled.flat)
+        if code is not None and lifts is not None:
+            import marshal
+
+            # Stored backends are pre-guard, like flat-keyed entries;
+            # under alias_guard every GUARDED slot came from the swap
+            # (unless the override itself was GUARDED, which the swap
+            # left untouched).
+            stored = dict(compiled.backends)
+            if alias_guard and backend_override is not Backend.GUARDED:
+                stored = {
+                    name: (
+                        Backend.MUTABLE
+                        if backend is Backend.GUARDED
+                        else backend
+                    )
+                    for name, backend in stored.items()
+                }
+            plan_cache.store(
+                text_key,
+                CachedPlan(
+                    order=tuple(compiled.order),
+                    backends=stored,
+                    optimized=compiled.optimized,
+                    mutable=compiled.mutable_streams,
+                    source=getattr(compiled.monitor_class, "SOURCE", None),
+                    code=marshal.dumps(code),
+                    class_name=class_name,
+                    lifts=lifts,
+                    plan_key=compiled.fingerprint,
+                ),
+            )
+    return compiled
+
+
+def compile_spec(
+    spec: Union[Specification, FlatSpec],
+    optimize: bool = True,
+    backend_override: Optional[Backend] = None,
+    class_name: str = "GeneratedMonitor",
+    prune_dead: bool = False,
+    engine: str = "codegen",
+    error_policy: Union[ErrorPolicy, str, None] = None,
+    alias_guard: bool = False,
+    plan_cache: Union[str, PlanCache, None] = None,
+) -> CompiledSpec:
+    """Deprecated keyword-sprawl entry point.
+
+    Use ``repro.api.compile(spec, CompileOptions(...))`` instead; this
+    shim delegates to :func:`build_compiled_spec` unchanged.
+    """
+    warnings.warn(
+        "compile_spec() is deprecated; use repro.api.compile(spec,"
+        " CompileOptions(...))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return build_compiled_spec(
+        spec,
+        optimize=optimize,
+        backend_override=backend_override,
+        class_name=class_name,
+        prune_dead=prune_dead,
+        engine=engine,
+        error_policy=error_policy,
+        alias_guard=alias_guard,
+        plan_cache=plan_cache,
     )

@@ -1,0 +1,286 @@
+"""Compiled-plan cache: skip the analysis for specs seen before.
+
+Compiling a specification spends most of its time in the static
+analysis (usage-graph formulas, the triggering approximation, the
+NP-complete order search).  The *outputs* of that work — the
+translation order and the per-stream backend choices — are tiny and
+fully determine the generated monitor.  This module persists them on
+disk, keyed by a fingerprint of the flat specification **and** every
+compile option that influences the result, so repeated CLI/server
+invocations of an unchanged spec skip parsing-adjacent work and the
+whole analysis.
+
+Design points:
+
+* **Options live in the key.**  Two compilations that differ in
+  backend override, ``alias_guard``, ``error_policy``, ``optimize`` or
+  engine must never share a cached plan (nor a checkpoint — the same
+  fingerprint guards :class:`~repro.compiler.checkpoint.CheckpointManager`
+  files via :attr:`~repro.compiler.pipeline.CompiledSpec.fingerprint`).
+* **Corruption-tolerant.**  A torn, truncated or hand-edited cache
+  file is treated as a miss, never an error; writes are atomic
+  (``os.replace``), so concurrent compilers can share a directory.
+* **Self-validating.**  Entries embed the format version and their own
+  key; a file renamed onto the wrong key is ignored.
+
+Cache hits are observable: :attr:`CompiledSpec.plan_cache_hit` and the
+``plan_cache_hit`` field of :class:`~repro.compiler.runtime.RunReport`.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import importlib.util
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import ErrorPolicy
+from ..structures import Backend
+
+#: Bump when the entry layout (or plan semantics) change; old entries
+#: are then silently treated as misses.
+PLAN_CACHE_VERSION = 1
+
+PLAN_SUFFIX = ".plan.json"
+
+#: Marshal'd code objects are only portable within one interpreter
+#: build (exactly the ``.pyc`` rule); entries record this tag and the
+#: code payload is ignored — plan-only hit — when it does not match.
+CODE_MAGIC = importlib.util.MAGIC_NUMBER.hex()
+
+
+def flat_fingerprint(flat: Any) -> str:
+    """A content hash of a flat specification.
+
+    Unlike :func:`~repro.compiler.checkpoint.spec_fingerprint` (which
+    predates this module and only hashes stream *names*), this digest
+    covers the defining expressions and declared types, so two specs
+    that merely share their stream names do not collide.
+    """
+    parts = (
+        "flat-v1",
+        tuple(sorted((name, str(ty)) for name, ty in flat.inputs.items())),
+        tuple(
+            sorted(
+                (name, str(expr)) for name, expr in flat.definitions.items()
+            )
+        ),
+        tuple(flat.outputs),
+        tuple(sorted((name, str(ty)) for name, ty in flat.types.items())),
+    )
+    return hashlib.sha256(repr(parts).encode()).hexdigest()
+
+
+def plan_fingerprint(
+    flat: Any,
+    *,
+    optimize: bool = True,
+    backend_override: Optional[Backend] = None,
+    alias_guard: bool = False,
+    error_policy: Optional[ErrorPolicy] = None,
+    engine: str = "codegen",
+) -> str:
+    """The cache key: spec content + every result-shaping option.
+
+    Also used as the checkpoint fingerprint of compiled specs, so a
+    monitor compiled with (say) ``alias_guard=True`` can never resume
+    from a checkpoint written by its unguarded twin.
+    """
+    options = (
+        "opts-v1",
+        bool(optimize),
+        backend_override.name if backend_override is not None else None,
+        bool(alias_guard),
+        error_policy.value if error_policy is not None else None,
+        engine,
+    )
+    digest = hashlib.sha256()
+    digest.update(flat_fingerprint(flat).encode())
+    digest.update(repr(options).encode())
+    return digest.hexdigest()
+
+
+def text_fingerprint(
+    text: str,
+    *,
+    optimize: bool = True,
+    backend_override: Optional[Backend] = None,
+    alias_guard: bool = False,
+    error_policy: Optional[ErrorPolicy] = None,
+    engine: str = "codegen",
+    prune_dead: bool = False,
+) -> str:
+    """Cache key for raw specification text: hash of the text itself.
+
+    Keying on the unparsed text lets a warm compilation skip the
+    frontend entirely — no lexing, parsing, flattening or type
+    inference — which is the bulk of a repeated CLI/server
+    invocation's startup cost.  ``prune_dead`` is part of this key
+    (unlike :func:`plan_fingerprint`, where pruning happens before the
+    flat spec is hashed and is therefore covered by content).
+    """
+    options = (
+        "text-opts-v1",
+        bool(optimize),
+        backend_override.name if backend_override is not None else None,
+        bool(alias_guard),
+        error_policy.value if error_policy is not None else None,
+        engine,
+        bool(prune_dead),
+    )
+    digest = hashlib.sha256()
+    digest.update(b"text-v1\n")
+    digest.update(text.encode())
+    digest.update(repr(options).encode())
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class CachedPlan:
+    """The analysis outputs a compilation can be replayed from.
+
+    ``source``/``code`` optionally carry the generated monitor module
+    (source text and its marshal'd code object) for the codegen
+    engine, so a warm hit also skips source assembly and
+    ``builtins.compile``.  ``class_name`` records the name the module
+    was generated under; a compilation requesting a different class
+    name regenerates instead of reusing the code payload.
+    """
+
+    order: Tuple[str, ...]
+    backends: Dict[str, Backend]
+    optimized: bool
+    mutable: frozenset
+    source: Optional[str] = None
+    code: Optional[bytes] = None
+    class_name: Optional[str] = None
+    #: stream → registry name of its lifted function; lets a text-keyed
+    #: hit rebuild the generated module's namespace without the flat
+    #: spec.  ``None`` when any lift is a non-registry function (then
+    #: the entry is only usable through the flat-keyed path).
+    lifts: Optional[Dict[str, str]] = None
+    #: The flat-keyed fingerprint of the same compilation, so monitors
+    #: produced by a text-keyed hit share checkpoint identity with
+    #: their cold-compiled twins.
+    plan_key: Optional[str] = None
+
+
+class PlanCache:
+    """A directory of compiled-plan entries, shared and crash-safe."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = os.path.expanduser(directory)
+        self.hits = 0
+        self.misses = 0
+        os.makedirs(self.directory, exist_ok=True)
+
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.directory, key[:40] + PLAN_SUFFIX)
+
+    def load(self, key: str) -> Optional[CachedPlan]:
+        """The cached plan for *key*, or ``None`` (miss/corrupt/stale)."""
+        try:
+            with open(self.path_for(key)) as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        try:
+            if entry["version"] != PLAN_CACHE_VERSION or entry["key"] != key:
+                self.misses += 1
+                return None
+            source = code = class_name = None
+            if (
+                entry.get("code")
+                and entry.get("magic") == CODE_MAGIC
+                and isinstance(entry.get("source"), str)
+            ):
+                try:
+                    code = base64.b64decode(entry["code"])
+                    source = entry["source"]
+                    class_name = entry.get("class_name")
+                except (ValueError, TypeError):
+                    # Corrupt code payload: still a valid plan-only hit.
+                    source = code = class_name = None
+            lifts = entry.get("lifts")
+            if lifts is not None and not (
+                isinstance(lifts, dict)
+                and all(
+                    isinstance(k, str) and isinstance(v, str)
+                    for k, v in lifts.items()
+                )
+            ):
+                lifts = None
+            plan = CachedPlan(
+                order=tuple(entry["order"]),
+                backends={
+                    name: Backend[value]
+                    for name, value in entry["backends"].items()
+                },
+                optimized=bool(entry["optimized"]),
+                mutable=frozenset(entry["mutable"]),
+                source=source,
+                code=code,
+                class_name=class_name,
+                lifts=lifts,
+                plan_key=entry.get("plan_key") or None,
+            )
+        except (KeyError, TypeError, AttributeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return plan
+
+    def store(self, key: str, plan: CachedPlan) -> str:
+        """Atomically persist *plan* under *key*; returns the path."""
+        entry = {
+            "version": PLAN_CACHE_VERSION,
+            "key": key,
+            "order": list(plan.order),
+            "backends": {
+                name: backend.name for name, backend in plan.backends.items()
+            },
+            "optimized": plan.optimized,
+            "mutable": sorted(plan.mutable),
+        }
+        if plan.code is not None and plan.source is not None:
+            entry["magic"] = CODE_MAGIC
+            entry["source"] = plan.source
+            entry["code"] = base64.b64encode(plan.code).decode("ascii")
+            entry["class_name"] = plan.class_name
+        if plan.lifts is not None:
+            entry["lifts"] = dict(plan.lifts)
+        if plan.plan_key is not None:
+            entry["plan_key"] = plan.plan_key
+        path = self.path_for(key)
+        tmp_path = f"{path}.tmp.{os.getpid()}"
+        with open(tmp_path, "w") as handle:
+            json.dump(entry, handle, indent=1, sort_keys=True)
+        os.replace(tmp_path, path)
+        return path
+
+    def entries(self) -> List[str]:
+        """Paths of all entries currently in the cache directory."""
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return []
+        return sorted(
+            os.path.join(self.directory, name)
+            for name in names
+            if name.endswith(PLAN_SUFFIX)
+        )
+
+    def clear(self) -> int:
+        """Remove every entry; returns how many were deleted."""
+        removed = 0
+        for path in self.entries():
+            try:
+                os.remove(path)
+                removed += 1
+            except OSError:
+                pass
+        return removed

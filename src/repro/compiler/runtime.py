@@ -14,10 +14,12 @@ This module is the runtime half of the compiler's hardening layer:
   everything into the monitor's report;
 * :func:`validate_value` — runtime type validation of input events
   against the declared input stream types;
-* :class:`HardenedRunner` — an event-loop driver around a compiled
-  monitor adding input validation, periodic durable checkpoints and
-  crash recovery (resume from the last valid checkpoint, skip consumed
-  input, reproduce the uninterrupted run's outputs exactly).
+* :class:`MonitorRunner` — an event-loop driver around a compiled
+  monitor adding input validation, periodic durable checkpoints, batch
+  feeding (the ``feed_batch`` hot path) and crash recovery (resume
+  from the last valid checkpoint, skip consumed input, reproduce the
+  uninterrupted run's outputs exactly).  The historical name
+  ``HardenedRunner`` remains as a deprecated alias.
 
 Monitors compiled *without* an error policy are byte-for-byte the code
 the seed compiler produced — the hardening layer costs nothing unless
@@ -27,6 +29,7 @@ it is switched on.
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, Optional, Tuple
 
@@ -71,6 +74,11 @@ class RunReport:
     out_of_order_dropped: int = 0
     #: Events delivered in order only thanks to the reorder buffer.
     reordered_events: int = 0
+    #: Batches consumed through the ``feed_batch`` hot path.
+    batches: int = 0
+    #: Whether the compilation hit the on-disk plan cache (``None`` —
+    #: no cache was consulted).
+    plan_cache_hit: Optional[bool] = None
     #: Durable checkpoints written by this process.
     checkpoints_written: int = 0
     #: Input events skipped on resume (already consumed pre-crash).
@@ -103,6 +111,8 @@ class RunReport:
             "unknown_stream_events": self.unknown_stream_events,
             "out_of_order_dropped": self.out_of_order_dropped,
             "reordered_events": self.reordered_events,
+            "batches": self.batches,
+            "plan_cache_hit": self.plan_cache_hit,
             "checkpoints_written": self.checkpoints_written,
             "events_skipped_on_resume": self.events_skipped_on_resume,
             "resumed_from": self.resumed_from,
@@ -237,7 +247,7 @@ def validate_value(value: Any, expected: Optional[ty.Type]) -> bool:
 # -- the hardened event-loop driver ------------------------------------------
 
 
-class HardenedRunner:
+class MonitorRunner:
     """Drives a compiled monitor with validation, checkpoints, recovery.
 
     The runner owns the monitor instance and its :class:`RunReport`
@@ -246,6 +256,10 @@ class HardenedRunner:
     ``checkpoint_every`` consumed events, and — via :meth:`resume` —
     restarts from the newest valid checkpoint such that replaying the
     same trace yields exactly the uninterrupted run's outputs.
+
+    :meth:`feed_batch` is the bulk ingestion path: counters and the
+    checkpoint cadence are amortized over whole timestamp-sorted
+    batches driven through the monitor's ``feed_batch`` hot path.
     """
 
     def __init__(
@@ -266,13 +280,17 @@ class HardenedRunner:
         )
         self.report = report if report is not None else RunReport()
         self.validate_inputs = validate_inputs
-        self._types: Dict[str, ty.Type] = dict(
-            getattr(compiled.flat, "types", None) or {}
-        )
+        #: Input-type table for validation, resolved lazily so runs
+        #: with ``validate_inputs=False`` never force a deferred flat
+        #: spec (text-keyed plan-cache hits skip parsing entirely).
+        self._types: Optional[Dict[str, ty.Type]] = None
         self._user_output = on_output or (lambda name, ts, value: None)
         self.monitor = compiled.new_monitor(self._emit)
         # Unify the generated code's error counters with ours.
         self.monitor._report = self.report
+        self.report.plan_cache_hit = getattr(
+            compiled, "plan_cache_hit", None
+        )
         #: Position in the (full) input event sequence; the resume
         #: offset recorded in every checkpoint.
         self.events_consumed = 0
@@ -284,11 +302,18 @@ class HardenedRunner:
         self._pre_checkpoint = on_checkpoint or (lambda: None)
         self._manager: Optional[CheckpointManager] = None
         if checkpoint_dir is not None:
+            # Prefer the full plan fingerprint (spec content + every
+            # result-shaping option: backend, alias_guard, error
+            # policy, engine, …) so a monitor never resumes from a
+            # checkpoint written under different compile options.
+            fingerprint = getattr(
+                compiled, "fingerprint", None
+            ) or spec_fingerprint(compiled.flat)
             self._manager = CheckpointManager(
                 checkpoint_dir,
                 every=checkpoint_every,
                 keep=checkpoint_keep,
-                fingerprint=spec_fingerprint(compiled.flat),
+                fingerprint=fingerprint,
             )
 
     # -- output path -----------------------------------------------------
@@ -297,6 +322,13 @@ class HardenedRunner:
         self.report.events_out += 1
         self._user_output(name, ts, value)
 
+    def _expected_type(self, name: str) -> Any:
+        if self._types is None:
+            self._types = dict(
+                getattr(self.compiled.flat, "types", None) or {}
+            )
+        return self._types.get(name)
+
     # -- input path ------------------------------------------------------
 
     def push(self, name: str, ts: int, value: Any) -> None:
@@ -304,7 +336,7 @@ class HardenedRunner:
         self.report.events_in += 1
         self.events_consumed += 1
         if self.validate_inputs:
-            expected = self._types.get(name)
+            expected = self._expected_type(name)
             if not validate_value(value, expected):
                 self.report.invalid_inputs += 1
                 policy = self.policy or ErrorPolicy.FAIL_FAST
@@ -343,6 +375,58 @@ class HardenedRunner:
             self.report.events_in += count
             self.events_consumed += count
 
+    def feed_batch(self, events: Iterable[Tuple[int, str, Any]]) -> int:
+        """Feed one timestamp-sorted batch through the batch hot path.
+
+        Counters, validation and the checkpoint cadence are amortized
+        over the whole batch: validation runs as a pre-pass over the
+        batch (under ``FAIL_FAST`` an invalid value therefore aborts
+        before *any* event of the batch is consumed), and at most one
+        checkpoint is written per batch, when a cadence boundary was
+        crossed.  Returns the number of events consumed.
+        """
+        if not isinstance(events, list):
+            events = list(events)
+        presented = len(events)
+        dropped = 0
+        if self.validate_inputs:
+            kept = []
+            for ts, name, value in events:
+                expected = self._expected_type(name)
+                if not validate_value(value, expected):
+                    self.report.invalid_inputs += 1
+                    policy = self.policy or ErrorPolicy.FAIL_FAST
+                    if policy is ErrorPolicy.FAIL_FAST:
+                        raise MonitorError(
+                            f"invalid value {value!r} for input {name!r}"
+                            f" at t={ts}: expected {expected}"
+                        )
+                    if policy is ErrorPolicy.SUBSTITUTE_DEFAULT:
+                        continue
+                    value = ErrorValue(
+                        f"invalid input value {value!r}: expected"
+                        f" {expected}",
+                        origin=name,
+                        ts=ts,
+                    )
+                kept.append((ts, name, value))
+            dropped = presented - len(kept)
+            events = kept
+        before = self.events_consumed
+        consumed = self.monitor.feed_batch(events)
+        self.report.events_in += consumed + dropped
+        self.events_consumed += consumed + dropped
+        self.report.batches += 1
+        if self._manager is not None and self._manager.due_since(
+            before, self.events_consumed
+        ):
+            self._pre_checkpoint()
+            self._manager.write(
+                self.monitor, self.events_consumed, self.report.events_out
+            )
+            self.report.checkpoints_written += 1
+        return consumed
+
     def feed_from_start(
         self, events: Iterable[Tuple[int, str, Any]]
     ) -> None:
@@ -368,9 +452,22 @@ class HardenedRunner:
         self,
         events: Iterable[Tuple[int, str, Any]],
         end_time: Optional[int] = None,
+        batch_size: Optional[int] = None,
     ) -> RunReport:
-        """Feed a whole event sequence and finish."""
-        self.feed(events)
+        """Feed a whole event sequence and finish.
+
+        With ``batch_size`` set, events are driven through
+        :meth:`feed_batch` in timestamp-aligned chunks of roughly that
+        size (one timestamp never spans two batches); otherwise the
+        per-event :meth:`feed` path is used.
+        """
+        if batch_size is not None:
+            from ..semantics.traceio import batch_events
+
+            for batch in batch_events(events, batch_size):
+                self.feed_batch(batch)
+        else:
+            self.feed(events)
         return self.finish(end_time=end_time)
 
     # -- checkpointing ---------------------------------------------------
@@ -403,7 +500,7 @@ class HardenedRunner:
         checkpoint_dir: str,
         on_output: Optional[Callable[[str, int, Any], None]] = None,
         **kwargs: Any,
-    ) -> Tuple["HardenedRunner", Optional[Dict[str, Any]]]:
+    ) -> Tuple["MonitorRunner", Optional[Dict[str, Any]]]:
         """A runner restored from the newest valid checkpoint.
 
         Returns ``(runner, meta)``; ``meta`` is ``None`` when no valid
@@ -426,3 +523,20 @@ class HardenedRunner:
         runner.report.events_out = meta.get("outputs_emitted", 0)
         runner.report.resumed_from = path
         return runner, meta
+
+
+class HardenedRunner(MonitorRunner):
+    """Deprecated alias of :class:`MonitorRunner`.
+
+    Prefer ``repro.api.run`` (the options facade) or
+    :class:`MonitorRunner` directly.
+    """
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        warnings.warn(
+            "HardenedRunner is deprecated; use repro.api.run(...) or"
+            " MonitorRunner",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(*args, **kwargs)

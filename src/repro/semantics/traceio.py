@@ -383,6 +383,46 @@ def iter_trace_events(
     )
 
 
+def batch_events(
+    events: Iterable[TraceEvent], batch_size: int
+) -> Iterator[List[TraceEvent]]:
+    """Chunk a timestamp-sorted event stream into feedable batches.
+
+    Batches hold roughly *batch_size* events, but one timestamp is
+    never split across two batches: a monitor's ``feed_batch`` leaves
+    its final timestamp pending, and closing a batch mid-timestamp
+    would be correct but waste the amortization on the boundary.  A
+    single timestamp with more than *batch_size* events yields one
+    oversized batch.
+
+    In-memory sequences are sliced at computed cut points instead of
+    re-accumulated event by event, so batching a materialized trace
+    costs a handful of slices rather than one append per event.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if isinstance(events, (list, tuple)):
+        start, total = 0, len(events)
+        while start < total:
+            cut = min(start + batch_size, total)
+            while cut < total and events[cut][0] == events[cut - 1][0]:
+                cut += 1
+            yield list(events[start:cut])
+            start = cut
+        return
+    batch: List[TraceEvent] = []
+    for event in events:
+        if (
+            len(batch) >= batch_size
+            and batch[-1][0] != event[0]
+        ):
+            yield batch
+            batch = []
+        batch.append(event)
+    if batch:
+        yield batch
+
+
 def read_trace_tolerant(
     source: Union[str, TextIO],
     policy: Optional[IngestPolicy] = None,

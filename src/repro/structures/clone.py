@@ -20,9 +20,12 @@ def clone_value(value: Any) -> Any:
     """A snapshot-safe copy of a stream value.
 
     Mutable aggregates are duplicated (shallowly — element values are
-    scalars by the type system's no-nesting rule); everything else is
+    scalars by the type system's no-nesting rule); lists (the plan
+    engine's slot state) are cloned element-wise; everything else is
     returned as-is.
     """
+    if isinstance(value, list):
+        return [clone_value(v) for v in value]
     if isinstance(value, MutableSet):
         return MutableSet(value)
     if isinstance(value, MutableMap):

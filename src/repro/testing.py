@@ -28,7 +28,13 @@ import random
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
-from .compiler import CompiledSpec, HardenedRunner, RunReport, compile_spec, freeze
+from .compiler import (
+    CompiledSpec,
+    MonitorRunner,
+    RunReport,
+    build_compiled_spec,
+    freeze,
+)
 from .lang.flatten import flatten
 from .lang.spec import FlatSpec, Specification
 from .semantics import IngestPolicy, IngestStats, Stream, TolerantReader, interpret
@@ -63,8 +69,8 @@ def compiled_outputs(
     **compile_kwargs: Any,
 ) -> OutputTraces:
     """Output traces of a compiled monitor (frozen values)."""
-    compiled = compile_spec(spec, **compile_kwargs)
-    results = compiled.run(inputs, end_time=end_time)
+    compiled = build_compiled_spec(spec, **compile_kwargs)
+    results = compiled.run_traces(inputs, end_time=end_time)
     return {name: stream.events for name, stream in results.items()}
 
 
@@ -238,7 +244,7 @@ def chaos_run(
     if isinstance(spec, CompiledSpec):
         compiled = spec
     else:
-        compiled = compile_spec(spec, error_policy=error_policy)
+        compiled = build_compiled_spec(spec, error_policy=error_policy)
     plan = plan if plan is not None else ChaosPlan()
     perturbed, fault_log = perturb_events(events, plan)
     reader = TolerantReader(
@@ -246,7 +252,7 @@ def chaos_run(
         known_streams=compiled.flat.inputs,
     )
     outputs: List[Tuple[str, int, Any]] = []
-    runner = HardenedRunner(
+    runner = MonitorRunner(
         compiled,
         lambda name, ts, value: outputs.append((name, ts, value)),
         validate_inputs=validate_inputs,
@@ -284,18 +290,18 @@ def crash_and_resume(
     if isinstance(spec, CompiledSpec):
         compiled = spec
     else:
-        compiled = compile_spec(spec, **compile_kwargs)
+        compiled = build_compiled_spec(spec, **compile_kwargs)
     events = list(events)
 
     expected: List[Tuple[str, int, Any]] = []
-    full = HardenedRunner(
+    full = MonitorRunner(
         compiled, lambda name, ts, value: expected.append((name, ts, value))
     )
     full.feed(events)
     full.finish(end_time=end_time)
 
     pre_crash: List[Tuple[str, int, Any]] = []
-    crashed = HardenedRunner(
+    crashed = MonitorRunner(
         compiled,
         lambda name, ts, value: pre_crash.append((name, ts, value)),
         checkpoint_dir=checkpoint_dir,
@@ -305,7 +311,7 @@ def crash_and_resume(
     # ... and the process dies here: no finish(), state abandoned.
 
     post_crash: List[Tuple[str, int, Any]] = []
-    resumed, meta = HardenedRunner.resume(
+    resumed, meta = MonitorRunner.resume(
         compiled,
         checkpoint_dir,
         on_output=lambda name, ts, value: post_crash.append((name, ts, value)),

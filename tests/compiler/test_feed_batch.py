@@ -1,0 +1,240 @@
+"""Differential tests for the ``feed_batch`` hot path.
+
+The batch path must be event-for-event identical to the per-event
+``push`` loop (and hence to the reference interpreter) on every
+engine, every batch size, and every paper-figure spec — including
+specs with ``delay`` streams, which take the generic
+``MonitorBase.feed_batch`` fallback instead of the generated override.
+"""
+
+import random
+
+import pytest
+
+from repro.compiler import build_compiled_spec, freeze
+from repro.compiler.monitor import MonitorError, collecting_callback
+from repro.lang import flatten
+from repro.semantics import Stream, interpret
+from repro.semantics.traceio import batch_events
+from repro.speclib import (
+    db_access_constraint,
+    db_time_constraint,
+    fig1_spec,
+    fig4_lower_spec,
+    fig4_upper_spec,
+    map_window,
+    queue_window,
+    seen_set,
+    watchdog,
+)
+
+ENGINES = ["codegen", "interpreted", "plan"]
+
+
+def random_events(names, length, domain, seed, start=1):
+    rng = random.Random(seed)
+    events = []
+    seen = set()
+    t = start
+    for _ in range(length):
+        name = rng.choice(names)
+        if (t, name) not in seen:  # one event per stream per timestamp
+            seen.add((t, name))
+            events.append((t, name, rng.randrange(domain)))
+        if rng.random() < 0.7:
+            t += rng.randint(1, 3)
+    return events
+
+
+def outputs_via_push(compiled, events, end_time=None):
+    on_output, collected = collecting_callback()
+    monitor = compiled.new_monitor(on_output)
+    for ts, name, value in events:
+        monitor.push(name, ts, value)
+    monitor.finish(end_time=end_time)
+    return collected
+
+
+def outputs_via_batch(compiled, events, batch_size, end_time=None):
+    on_output, collected = collecting_callback()
+    monitor = compiled.new_monitor(on_output)
+    consumed = 0
+    for batch in batch_events(iter(events), batch_size):
+        consumed += monitor.feed_batch(batch)
+    assert consumed == len(events)
+    monitor.finish(end_time=end_time)
+    return collected
+
+
+def reference(spec, events, end_time=None):
+    flat = flatten(spec)
+    traces = {name: [] for name in flat.inputs}
+    for ts, name, value in events:
+        traces[name].append((ts, value))
+    results = interpret(
+        flat, {n: Stream(t) for n, t in traces.items()}, end_time=end_time
+    )
+    return {
+        out: [(t, freeze(v)) for t, v in results[out]]
+        for out in flat.outputs
+        if results[out]
+    }
+
+
+CASES = [
+    ("fig1", fig1_spec, ["i"], None),
+    ("fig4_upper", fig4_upper_spec, ["i1", "i2"], None),
+    ("fig4_lower", fig4_lower_spec, ["i1", "i2"], None),
+    ("seen_set", seen_set, ["i"], None),
+    ("map_window", lambda: map_window(4), ["i"], None),
+    ("queue_window", lambda: queue_window(4), ["i"], None),
+    ("db_time", db_time_constraint, ["db2", "db3"], None),
+    ("db_access", db_access_constraint, ["ins", "del_", "acc"], None),
+    ("watchdog", lambda: watchdog(5), ["hb"], 200),
+]
+
+
+class TestBatchEqualsPush:
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize(
+        "name,factory,inputs,end_time", CASES, ids=[c[0] for c in CASES]
+    )
+    def test_identical_to_push_and_reference(
+        self, engine, name, factory, inputs, end_time
+    ):
+        events = random_events(inputs, 120, 8, seed=hash(name) % 1000)
+        compiled = build_compiled_spec(factory(), engine=engine)
+        via_push = outputs_via_push(compiled, events, end_time)
+        ref = reference(factory(), events, end_time)
+        assert {
+            n: [(t, freeze(v)) for t, v in evs]
+            for n, evs in via_push.items()
+        } == ref
+        for batch_size in (1, 7, len(events) or 1):
+            compiled_b = build_compiled_spec(factory(), engine=engine)
+            via_batch = outputs_via_batch(
+                compiled_b, events, batch_size, end_time
+            )
+            assert via_batch == via_push, (
+                f"{name}/{engine}: batch_size={batch_size} diverged"
+            )
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_timestamp_zero_events(self, engine):
+        compiled = build_compiled_spec(seen_set(), engine=engine)
+        events = [(0, "i", 1), (1, "i", 1), (1, "i", 2), (3, "i", 2)]
+        assert outputs_via_batch(compiled, events, 2) == outputs_via_push(
+            build_compiled_spec(seen_set(), engine=engine), events
+        )
+
+    def test_generated_override_present_for_delay_free_specs(self):
+        compiled = build_compiled_spec(seen_set())
+        assert "def feed_batch" in compiled.source
+
+    def test_no_generated_override_for_delay_specs(self):
+        compiled = build_compiled_spec(watchdog(5))
+        assert "def feed_batch" not in compiled.source
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_batch_composes_with_push_and_advance(self, engine):
+        events = random_events(["i"], 60, 6, seed=3)
+        split = len(events) // 2
+        whole = outputs_via_push(
+            build_compiled_spec(seen_set(), engine=engine), events
+        )
+        on_output, collected = collecting_callback()
+        monitor = build_compiled_spec(seen_set(), engine=engine).new_monitor(
+            on_output
+        )
+        monitor.feed_batch(events[:split])
+        for ts, name, value in events[split:]:
+            monitor.push(name, ts, value)
+        monitor.finish()
+        assert collected == whole
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_batch_splitting_one_timestamp(self, engine):
+        # A batch boundary in the middle of one timestamp's events
+        # must still be seamless (the timestamp stays pending).
+        events = [(1, "i", 1), (2, "i", 2), (2, "i", 3), (2, "i", 4), (5, "i", 5)]
+        on_output, collected = collecting_callback()
+        monitor = build_compiled_spec(seen_set(), engine=engine).new_monitor(
+            on_output
+        )
+        monitor.feed_batch(events[:3])
+        monitor.feed_batch(events[3:])
+        monitor.finish()
+        assert collected == outputs_via_push(
+            build_compiled_spec(seen_set(), engine=engine), events
+        )
+
+
+class TestBatchProtocolErrors:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_unknown_stream(self, engine):
+        monitor = build_compiled_spec(
+            seen_set(), engine=engine
+        ).new_monitor()
+        with pytest.raises(MonitorError, match="unknown input stream"):
+            monitor.feed_batch([(1, "nope", 1)])
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_none_payload(self, engine):
+        monitor = build_compiled_spec(
+            seen_set(), engine=engine
+        ).new_monitor()
+        with pytest.raises(MonitorError, match="no-event value"):
+            monitor.feed_batch([(1, "i", None)])
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_out_of_order_within_batch(self, engine):
+        monitor = build_compiled_spec(
+            seen_set(), engine=engine
+        ).new_monitor()
+        with pytest.raises(MonitorError, match="out-of-order"):
+            monitor.feed_batch([(5, "i", 1), (3, "i", 2)])
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_negative_timestamp(self, engine):
+        monitor = build_compiled_spec(
+            seen_set(), engine=engine
+        ).new_monitor()
+        with pytest.raises(MonitorError, match="negative timestamp"):
+            monitor.feed_batch([(-1, "i", 1)])
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_after_finish(self, engine):
+        monitor = build_compiled_spec(
+            seen_set(), engine=engine
+        ).new_monitor()
+        monitor.finish()
+        with pytest.raises(MonitorError, match="after finish"):
+            monitor.feed_batch([(1, "i", 1)])
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_stale_timestamp_across_batches(self, engine):
+        monitor = build_compiled_spec(
+            seen_set(), engine=engine
+        ).new_monitor()
+        monitor.feed_batch([(1, "i", 1), (5, "i", 2)])
+        monitor.advance(10)  # flushes t=5; the calculation frontier is 5
+        with pytest.raises(MonitorError, match="arrived after"):
+            monitor.feed_batch([(3, "i", 3)])
+
+
+class TestBatchEventsHelper:
+    def test_never_splits_by_default_boundaries(self):
+        events = [(1, "i", 1), (1, "i", 2), (2, "i", 3), (3, "i", 4)]
+        batches = list(batch_events(iter(events), 2))
+        assert [len(b) for b in batches] == [2, 2]
+        # a timestamp straddling the size boundary extends the batch
+        events = [(1, "i", 1), (2, "i", 2), (2, "i", 3), (3, "i", 4)]
+        batches = list(batch_events(iter(events), 2))
+        assert batches[0] == [(1, "i", 1), (2, "i", 2), (2, "i", 3)]
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            list(batch_events(iter([]), 0))
+
+    def test_empty(self):
+        assert list(batch_events(iter([]), 4)) == []

@@ -1,0 +1,229 @@
+"""The ``engine="plan"`` execution strategy: flat dispatch plans.
+
+The plan engine interprets a precomputed :class:`ExecutionPlan` (slot
+arrays, opcode rows, resolved lift callables) instead of generated
+source.  It must be differentially identical to the codegen engine on
+every spec, support the full monitor protocol (delays, advance,
+snapshot/restore), and carry the hardened error semantics.
+"""
+
+import random
+
+import pytest
+
+from repro.compiler import build_compiled_spec
+from repro.compiler.checkpoint import decode_state, encode_state
+from repro.compiler.monitor import collecting_callback
+from repro.compiler.plan import (
+    OP_LIFT_ALL,
+    OP_MERGE,
+    build_plan,
+    make_plan_class,
+)
+from repro.errors import ErrorPolicy
+from repro.lang import flatten
+from repro.speclib import (
+    db_access_constraint,
+    fig1_spec,
+    map_window,
+    peak_detection,
+    queue_window,
+    seen_set,
+    vector_window,
+    watchdog,
+)
+from repro.structures import Backend
+
+
+def run_engine(factory, events, engine, end_time=None, **kwargs):
+    compiled = build_compiled_spec(factory(), engine=engine, **kwargs)
+    on_output, collected = collecting_callback()
+    monitor = compiled.new_monitor(on_output)
+    for ts, name, value in events:
+        monitor.push(name, ts, value)
+    monitor.finish(end_time=end_time)
+    return collected
+
+
+def random_events(names, length, domain, seed):
+    rng = random.Random(seed)
+    events, seen, t = [], set(), 1
+    for _ in range(length):
+        name = rng.choice(names)
+        if (t, name) not in seen:
+            seen.add((t, name))
+            events.append((t, name, rng.randrange(domain)))
+        t += rng.randint(0, 2)
+    return [e for e in events]
+
+
+SPECS = [
+    ("fig1", fig1_spec, ["i"], None),
+    ("seen_set", seen_set, ["i"], None),
+    ("map_window", lambda: map_window(3), ["i"], None),
+    ("queue_window", lambda: queue_window(3), ["i"], None),
+    ("vector_window", lambda: vector_window(3), ["i"], None),
+    ("db_access", db_access_constraint, ["ins", "del_", "acc"], None),
+    ("watchdog", lambda: watchdog(4), ["hb"], 150),
+    ("peaks", lambda: peak_detection(window=5), ["x"], None),
+]
+
+
+class TestPlanEngineDifferential:
+    @pytest.mark.parametrize(
+        "name,factory,inputs,end_time", SPECS, ids=[s[0] for s in SPECS]
+    )
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_codegen(self, name, factory, inputs, end_time, seed):
+        events = random_events(inputs, 100, 9, seed)
+        via_codegen = run_engine(factory, events, "codegen", end_time)
+        via_plan = run_engine(factory, events, "plan", end_time)
+        assert via_plan == via_codegen
+
+    @pytest.mark.parametrize("optimize", [True, False])
+    def test_matches_codegen_across_modes(self, optimize):
+        events = random_events(["i"], 80, 6, seed=1)
+        assert run_engine(
+            seen_set, events, "plan", optimize=optimize
+        ) == run_engine(seen_set, events, "codegen", optimize=optimize)
+
+    def test_backend_override(self):
+        events = random_events(["i"], 80, 6, seed=2)
+        assert run_engine(
+            seen_set, events, "plan", backend_override=Backend.COPYING
+        ) == run_engine(seen_set, events, "codegen")
+
+    @pytest.mark.parametrize(
+        "policy", [ErrorPolicy.PROPAGATE, ErrorPolicy.SUBSTITUTE_DEFAULT]
+    )
+    def test_error_policy_matches_codegen(self, policy):
+        # front on an empty queue raises inside the lift; both engines
+        # must absorb it identically under each policy.
+        events = [(1, "i", 1), (2, "i", 2), (3, "i", 3)]
+        assert run_engine(
+            lambda: queue_window(2), events, "plan", error_policy=policy
+        ) == run_engine(
+            lambda: queue_window(2), events, "codegen", error_policy=policy
+        )
+
+
+class TestPlanStructure:
+    def test_slots_cover_every_stream(self):
+        flat = flatten(seen_set())
+        compiled = build_compiled_spec(flat, engine="plan")
+        plan = compiled.monitor_class.PLAN
+        assert sorted(plan.slot_of) == sorted(flat.streams)
+        assert plan.n_slots == len(flat.streams)
+
+    def test_lift_callables_resolved(self):
+        compiled = build_compiled_spec(seen_set(), engine="plan")
+        plan = compiled.monitor_class.PLAN
+        lifted = [op for op in plan.ops if op[0] == OP_LIFT_ALL]
+        assert lifted and all(callable(op[3]) for op in lifted)
+        merges = [op for op in plan.ops if op[0] == OP_MERGE]
+        assert merges and all(op[3] is None for op in merges)
+
+    def test_describe_lists_program(self):
+        compiled = build_compiled_spec(seen_set(), engine="plan")
+        text = compiled.monitor_class.PLAN.describe()
+        assert "slots" in text and "merge" in text
+        assert "input i" in text
+
+    def test_slot_backends_follow_analysis(self):
+        compiled = build_compiled_spec(seen_set(), engine="plan")
+        plan = compiled.monitor_class.PLAN
+        backends = {
+            name: plan.slot_backends[slot]
+            for name, slot in plan.slot_of.items()
+            if plan.slot_backends[slot] is not None
+        }
+        assert backends == compiled.backends
+
+    def test_order_mismatch_rejected(self):
+        from repro.compiler.codegen import CodegenError
+
+        flat = flatten(seen_set())
+        with pytest.raises(CodegenError):
+            build_plan(flat, ["only_one"], {})
+
+    def test_plan_class_has_no_generated_source(self):
+        compiled = build_compiled_spec(seen_set(), engine="plan")
+        assert "plan engine" in compiled.source
+
+
+class TestPlanStatefulness:
+    def test_snapshot_restore_roundtrip(self):
+        events = random_events(["i"], 60, 6, seed=5)
+        split = 30
+        compiled = build_compiled_spec(seen_set(), engine="plan")
+
+        on_output, whole = collecting_callback()
+        monitor = compiled.new_monitor(on_output)
+        for ts, name, value in events:
+            monitor.push(name, ts, value)
+        monitor.finish()
+
+        on_output2, first_half = collecting_callback()
+        m1 = compiled.new_monitor(on_output2)
+        for ts, name, value in events[:split]:
+            m1.push(name, ts, value)
+        state = m1.snapshot()
+
+        on_output3, second_half = collecting_callback()
+        m2 = compiled.new_monitor(on_output3)
+        m2.restore(state)
+        for ts, name, value in events[split:]:
+            m2.push(name, ts, value)
+        m2.finish()
+
+        # m1 is abandoned unflushed: its pending timestamp lives on in
+        # the snapshot and is emitted by the restored m2.
+        merged = {
+            name: first_half.get(name, []) + second_half.get(name, [])
+            for name in set(first_half) | set(second_half)
+        }
+        assert merged == whole
+
+    def test_checkpoint_encoding_of_slot_lists(self):
+        # Plan monitors keep their state in Python lists; the durable
+        # checkpoint codec must round-trip them.
+        compiled = build_compiled_spec(map_window(3), engine="plan")
+        monitor = compiled.new_monitor()
+        for ts, value in [(1, 4), (2, 7), (3, 9)]:
+            monitor.push("i", ts, value)
+        state = monitor.snapshot()
+        decoded = decode_state(encode_state(state))
+        fresh = compiled.new_monitor()
+        fresh.restore(decoded)
+        assert fresh.snapshot().keys() == state.keys()
+
+    def test_crash_resume_with_plan_engine(self, tmp_path):
+        from repro.testing import crash_and_resume
+
+        events = random_events(["i"], 50, 6, seed=9)
+        compiled = build_compiled_spec(seen_set(), engine="plan")
+        expected, recovered = crash_and_resume(
+            compiled,
+            events,
+            crash_after=20,
+            checkpoint_dir=str(tmp_path),
+        )
+        assert recovered == expected
+
+
+class TestMakePlanClass:
+    def test_direct_construction(self):
+        flat = flatten(seen_set())
+        from repro.analysis import analyze_mutability
+
+        result = analyze_mutability(flat)
+        cls = make_plan_class(
+            flat,
+            result.order,
+            {n: result.backend_for(n) for n in flat.streams},
+        )
+        assert cls.INPUTS == tuple(flat.inputs)
+        assert cls.HAS_DELAYS is False
+        monitor = cls()
+        monitor.push("i", 1, 5)
+        monitor.finish()

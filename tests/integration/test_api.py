@@ -1,0 +1,310 @@
+"""The ``repro.api`` facade: parity with the legacy entry points.
+
+Every paper-figure spec driven through the deprecated surface
+(``compile_spec`` + ``CompiledSpec.run`` / ``HardenedRunner``) and
+through ``api.compile`` + ``api.run`` must yield identical outputs and
+consistent RunReport counters, for every option combination the facade
+can express.  The legacy names must keep working — but warn.
+"""
+
+import random
+import warnings
+
+import pytest
+
+from repro import api
+from repro.compiler import build_compiled_spec, compile_spec, freeze
+from repro.compiler.runtime import HardenedRunner, MonitorRunner
+from repro.errors import ErrorPolicy
+from repro.speclib import (
+    db_access_constraint,
+    fig1_spec,
+    fig4_lower_spec,
+    fig4_upper_spec,
+    map_window,
+    queue_window,
+    seen_set,
+    watchdog,
+)
+from repro.structures import Backend
+
+
+def random_events(names, length, domain, seed):
+    rng = random.Random(seed)
+    events, seen, t = [], set(), 1
+    for _ in range(length):
+        name = rng.choice(names)
+        if (t, name) not in seen:
+            seen.add((t, name))
+            events.append((t, name, rng.randrange(domain)))
+        t += rng.randint(0, 2)
+    return events
+
+
+def as_traces(events):
+    traces = {}
+    for ts, name, value in events:
+        traces.setdefault(name, []).append((ts, value))
+    return traces
+
+
+def api_outputs(monitor, events, options=None):
+    collected = []
+    report = api.run(
+        monitor,
+        events,
+        options,
+        on_output=lambda n, t, v: collected.append((n, t, freeze(v))),
+    )
+    return collected, report
+
+
+FIGURES = [
+    ("fig1", fig1_spec, ["i"]),
+    ("fig4_upper", fig4_upper_spec, ["i1", "i2"]),
+    ("fig4_lower", fig4_lower_spec, ["i1", "i2"]),
+    ("seen_set", seen_set, ["i"]),
+    ("map_window", lambda: map_window(3), ["i"]),
+    ("queue_window", lambda: queue_window(3), ["i"]),
+    ("db_access", db_access_constraint, ["ins", "del_", "acc"]),
+]
+
+
+class TestLegacyParity:
+    @pytest.mark.parametrize(
+        "name,factory,inputs", FIGURES, ids=[f[0] for f in FIGURES]
+    )
+    def test_outputs_identical_to_legacy(self, name, factory, inputs):
+        events = random_events(inputs, 100, 8, seed=11)
+
+        with pytest.deprecated_call():
+            legacy = compile_spec(factory())
+        with pytest.deprecated_call():
+            legacy_streams = legacy.run(as_traces(events))
+        legacy_out = {n: s.events for n, s in legacy_streams.items() if s.events}
+
+        monitor = api.compile(factory())
+        collected, report = api_outputs(monitor, events)
+        api_out = {}
+        for n, t, v in collected:
+            api_out.setdefault(n, []).append((t, v))
+
+        assert api_out == legacy_out
+        assert report.events_in == len(events)
+
+    @pytest.mark.parametrize(
+        "name,factory,inputs", FIGURES, ids=[f[0] for f in FIGURES]
+    )
+    def test_batched_run_identical_and_counted(self, name, factory, inputs):
+        events = random_events(inputs, 100, 8, seed=13)
+        plain, report_a = api_outputs(api.compile(factory()), events)
+        batched, report_b = api_outputs(
+            api.compile(factory()),
+            events,
+            api.RunOptions(batch_size=16),
+        )
+        assert batched == plain
+        assert report_b.batches > 0 and report_a.batches == 0
+        assert report_b.events_in == report_a.events_in
+        assert report_b.events_out == report_a.events_out
+
+    def test_runner_parity_with_hardened_runner(self):
+        events = random_events(["i"], 80, 6, seed=17)
+        legacy_out = []
+        with pytest.deprecated_call():
+            runner = HardenedRunner(
+                build_compiled_spec(
+                    seen_set(), error_policy=ErrorPolicy.PROPAGATE
+                ),
+                lambda n, t, v: legacy_out.append((n, t, freeze(v))),
+            )
+        runner.feed(events)
+        legacy_report = runner.finish()
+
+        monitor = api.compile(
+            seen_set(), api.CompileOptions(error_policy="propagate")
+        )
+        collected, report = api_outputs(monitor, events)
+        assert collected == legacy_out
+        assert report.events_in == legacy_report.events_in
+        assert report.events_out == legacy_report.events_out
+
+
+class TestDeprecationSurface:
+    def test_compile_spec_warns(self):
+        with pytest.deprecated_call():
+            compile_spec(seen_set())
+
+    def test_compiled_spec_run_warns(self):
+        compiled = build_compiled_spec(seen_set())
+        with pytest.deprecated_call():
+            compiled.run({"i": [(1, 1)]})
+
+    def test_monitor_run_warns(self):
+        compiled = build_compiled_spec(seen_set())
+        with pytest.deprecated_call():
+            compiled.new_monitor().run({"i": [(1, 1)]})
+
+    def test_hardened_runner_warns(self):
+        with pytest.deprecated_call():
+            HardenedRunner(build_compiled_spec(seen_set()))
+
+    def test_new_surface_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            monitor = api.compile(seen_set())
+            api.run(monitor, [(1, "i", 1)], api.RunOptions(batch_size=4))
+            monitor.run_traces({"i": [(2, 2)]})
+            MonitorRunner(build_compiled_spec(seen_set()))
+
+
+class TestOptionRoundtrips:
+    @pytest.mark.parametrize("optimize", [True, False])
+    @pytest.mark.parametrize("engine", ["codegen", "interpreted", "plan"])
+    @pytest.mark.parametrize("alias_guard", [False, True])
+    def test_compile_option_grid(self, optimize, engine, alias_guard):
+        events = random_events(["i"], 60, 6, seed=23)
+        baseline, _ = api_outputs(api.compile(seen_set()), events)
+        monitor = api.compile(
+            seen_set(),
+            api.CompileOptions(
+                optimize=optimize, engine=engine, alias_guard=alias_guard
+            ),
+        )
+        assert monitor.compiled.engine == engine
+        collected, _ = api_outputs(monitor, events)
+        assert collected == baseline
+
+    @pytest.mark.parametrize(
+        "policy", [None, "fail-fast", "propagate", "substitute-default"]
+    )
+    def test_error_policy_strings(self, policy):
+        monitor = api.compile(
+            seen_set(), api.CompileOptions(error_policy=policy)
+        )
+        expected = None if policy is None else ErrorPolicy(policy)
+        assert monitor.compiled.error_policy == expected
+
+    def test_backend_strings(self):
+        monitor = api.compile(
+            seen_set(), api.CompileOptions(backend="copying")
+        )
+        assert set(monitor.compiled.backends.values()) == {Backend.COPYING}
+        with pytest.raises(ValueError, match="unknown backend"):
+            api.CompileOptions(backend="nope")
+
+    def test_engine_validated(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            api.CompileOptions(engine="jit")
+
+    def test_run_options_validated(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            api.RunOptions(batch_size=0)
+        with pytest.raises(ValueError, match="checkpoint_dir"):
+            api.RunOptions(resume=True)
+
+    def test_source_text_compiles(self):
+        monitor = api.compile(
+            "in i: Int\ndef y := add(i, i)\nout y"
+        )
+        assert monitor.inputs == ("i",)
+        collected, _ = api_outputs(monitor, [(1, "i", 3)])
+        assert collected == [("y", 1, 6)]
+
+    def test_monitor_introspection(self):
+        monitor = api.compile(
+            seen_set(), api.CompileOptions(engine="codegen")
+        )
+        assert monitor.fingerprint
+        assert "class" in monitor.source
+        assert monitor.plan_cache_hit is None
+        assert monitor.mutable_streams
+        assert "Monitor(" in repr(monitor)
+        assert monitor.diagnostics() is not None
+
+
+class TestReportObservability:
+    def test_plan_cache_hit_mirrored_into_report(self, tmp_path):
+        events = [(1, "i", 1), (2, "i", 2)]
+        cold = api.compile(
+            seen_set(), api.CompileOptions(plan_cache=str(tmp_path))
+        )
+        _, cold_report = api_outputs(cold, events)
+        assert cold.plan_cache_hit is False
+        assert cold_report.plan_cache_hit is False
+        warm = api.compile(
+            seen_set(), api.CompileOptions(plan_cache=str(tmp_path))
+        )
+        _, warm_report = api_outputs(warm, events)
+        assert warm.plan_cache_hit is True
+        assert warm_report.plan_cache_hit is True
+        assert warm_report.as_dict()["plan_cache_hit"] is True
+
+    def test_batches_counted_in_dict(self):
+        _, report = api_outputs(
+            api.compile(seen_set()),
+            [(t, "i", t % 3) for t in range(1, 40)],
+            api.RunOptions(batch_size=10),
+        )
+        assert report.as_dict()["batches"] == report.batches > 0
+
+    def test_tolerant_ingestion_absorbed(self):
+        events = [(5, "i", 1), (3, "i", 2), (6, "nope", 1), (7, "i", 3)]
+        collected, report = api_outputs(
+            api.compile(seen_set()),
+            events,
+            api.RunOptions(
+                on_unknown_stream="skip", on_out_of_order="skip"
+            ),
+        )
+        assert report.out_of_order_dropped == 1
+        assert report.unknown_stream_events == 1
+        assert report.events_in == 2
+
+    def test_validate_inputs_counts(self):
+        _, report = api_outputs(
+            api.compile(
+                seen_set(),
+                api.CompileOptions(error_policy="substitute-default"),
+            ),
+            [(1, "i", 1), (2, "i", "oops"), (3, "i", 3)],
+            api.RunOptions(validate_inputs=True, batch_size=2),
+        )
+        assert report.invalid_inputs == 1
+        assert report.events_in == 3
+
+
+class TestResumeViaApi:
+    def test_crash_and_resume_matches_uninterrupted(self, tmp_path):
+        events = random_events(["i"], 60, 6, seed=29)
+        monitor = api.compile(seen_set())
+
+        uninterrupted, _ = api_outputs(monitor, events)
+
+        pre_crash = []
+        crashed = MonitorRunner(
+            monitor.compiled,
+            lambda n, t, v: pre_crash.append((n, t, freeze(v))),
+            checkpoint_dir=str(tmp_path),
+            checkpoint_every=5,
+        )
+        crashed.feed(events[:30])
+        # the process dies here: no finish, no flush
+
+        post_crash = []
+        seen_meta = {}
+        report = api.run(
+            api.compile(seen_set()),
+            events,
+            api.RunOptions(
+                checkpoint_dir=str(tmp_path),
+                checkpoint_every=5,
+                resume=True,
+            ),
+            on_output=lambda n, t, v: post_crash.append((n, t, freeze(v))),
+            on_resume=lambda meta: seen_meta.update(meta or {}),
+        )
+        kept = seen_meta.get("outputs_emitted", 0)
+        assert pre_crash[:kept] + post_crash == uninterrupted
+        assert report.resumed_from is not None
+        assert report.events_skipped_on_resume > 0
