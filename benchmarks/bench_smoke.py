@@ -28,6 +28,7 @@ import tempfile
 import time
 
 from repro import api
+from repro.bench.meta import bench_metadata
 from repro.workloads import seen_set_trace
 
 # The paper's Figure 1 specification (Seen Set), in concrete syntax —
@@ -171,6 +172,7 @@ def main(argv=None):
     )
     result = {
         "benchmark": "batch-engine-smoke",
+        "meta": bench_metadata(),
         "workload": "Fig. 9 synthetic Seen Set trace",
         "spec": "seen_set (paper Fig. 1)",
         "events": len(events),

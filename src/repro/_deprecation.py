@@ -1,0 +1,37 @@
+"""Once-per-process deprecation warnings.
+
+Every legacy entry point (``compile_spec``, ``CompiledSpec.run``,
+``MonitorBase.run``, ``HardenedRunner``) funnels its
+``DeprecationWarning`` through :func:`warn_once`, keyed by entry-point
+name: a busy process calling a deprecated API thousands of times warns
+exactly once, not per call (Python's default warning filter dedups by
+code location, but ``always``/``error`` filters — common under pytest
+and in hardened deployments — would otherwise flood the log).
+
+Tests that assert individual warnings reset the registry between test
+cases via :func:`reset` (see ``tests/conftest.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+from typing import Set
+
+_emitted: Set[str] = set()
+_lock = threading.Lock()
+
+
+def warn_once(key: str, message: str, *, stacklevel: int = 3) -> None:
+    """Emit ``DeprecationWarning(message)`` once per process per *key*."""
+    with _lock:
+        if key in _emitted:
+            return
+        _emitted.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def reset() -> None:
+    """Forget all emitted warnings (test isolation only)."""
+    with _lock:
+        _emitted.clear()

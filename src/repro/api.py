@@ -58,9 +58,11 @@ __all__ = [
     "Monitor",
     "compile",
     "run",
+    "run_many",
 ]
 
 _ENGINES = ("codegen", "interpreted", "plan")
+_PARTITION_MODES = ("off", "auto")
 
 
 @dataclass(frozen=True)
@@ -113,6 +115,24 @@ class CompileOptions:
                 f" {_ENGINES}"
             )
 
+    def build_kwargs(self) -> Dict[str, Any]:
+        """The engine-room ``build_compiled_spec`` keyword arguments.
+
+        Used wherever a compilation must be *replayed* with identical
+        result-shaping options — e.g. compiling the sub-specifications
+        of a partition plan (see :mod:`repro.parallel`).
+        """
+        return {
+            "optimize": self.optimize,
+            "backend_override": self.backend,
+            "class_name": self.class_name,
+            "prune_dead": False,  # the partitioned flat is already final
+            "engine": self.engine,
+            "error_policy": self.error_policy,
+            "alias_guard": self.alias_guard,
+            "plan_cache": self.plan_cache,
+        }
+
 
 @dataclass(frozen=True)
 class RunOptions:
@@ -139,6 +159,15 @@ class RunOptions:
     on_unknown_stream: str = "raise"
     on_out_of_order: str = "raise"
     max_skew: int = 0
+    #: Worker/thread count for the parallel subsystem: partitions per
+    #: batch under ``partition="auto"``, worker processes in
+    #: :func:`run_many`.  ``1`` — sequential, no pool spin-up.
+    jobs: int = 1
+    #: ``"auto"`` — split the spec into alias-closed partitions and
+    #: execute them concurrently per timestamp batch (falls back to
+    #: the sequential engine when the spec is one component);
+    #: ``"off"`` — the single-monitor path.
+    partition: str = "off"
 
     def __post_init__(self) -> None:
         if self.batch_size is not None and self.batch_size < 1:
@@ -147,6 +176,20 @@ class RunOptions:
             )
         if self.resume and self.checkpoint_dir is None:
             raise ValueError("resume=True requires checkpoint_dir")
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.partition not in _PARTITION_MODES:
+            raise ValueError(
+                f"unknown partition mode {self.partition!r}; expected"
+                f" one of {_PARTITION_MODES}"
+            )
+        if self.partition == "auto" and (
+            self.checkpoint_dir is not None or self.resume
+        ):
+            raise ValueError(
+                "partition='auto' does not support checkpointing or"
+                " resume; run the single-monitor path for durable runs"
+            )
 
     @property
     def tolerant(self) -> bool:
@@ -163,10 +206,21 @@ class Monitor:
     """A compiled specification, as returned by :func:`compile`."""
 
     def __init__(
-        self, compiled: CompiledSpec, options: CompileOptions
+        self,
+        compiled: CompiledSpec,
+        options: CompileOptions,
+        source_text: Optional[str] = None,
     ) -> None:
         self.compiled = compiled
         self.options = options
+        #: The original specification text when compiled from text —
+        #: lets the worker pool ship the text (plus the plan-cache
+        #: fingerprint) across process boundaries instead of a monitor.
+        self.source_text = source_text
+        # Memoized partition plan for partition="auto" (the plan is a
+        # pure function of the flat spec; recomputing it per run would
+        # tax the single-component fallback).
+        self._partition_plan = None
 
     # -- introspection ---------------------------------------------------
 
@@ -250,7 +304,7 @@ def compile(
             alias_guard=options.alias_guard,
             plan_cache=options.plan_cache,
         )
-        return Monitor(compiled, options)
+        return Monitor(compiled, options, source_text=source_or_spec)
     compiled = build_compiled_spec(
         source_or_spec,
         optimize=options.optimize,
@@ -308,6 +362,15 @@ def run(
     options = options or RunOptions()
     compiled = monitor.compiled if isinstance(monitor, Monitor) else monitor
 
+    if options.partition == "auto":
+        partitioned = _partitioned_run(
+            monitor, compiled, events, options, on_output
+        )
+        if partitioned is not None:
+            return partitioned
+        # One alias-closed component: fall through to the sequential
+        # engine (no partition compile, no pool spin-up, no overhead).
+
     runner_kwargs: Dict[str, Any] = {
         "validate_inputs": options.validate_inputs,
         "checkpoint_every": options.checkpoint_every,
@@ -333,6 +396,25 @@ def run(
             **runner_kwargs,
         )
 
+    event_iter, stats = _ingest(compiled, events, options)
+
+    if options.resume:
+        runner.feed_from_start(event_iter)
+    elif options.batch_size is not None:
+        from .semantics.traceio import batch_events
+
+        for batch in batch_events(event_iter, options.batch_size):
+            runner.feed_batch(batch)
+    else:
+        runner.feed(event_iter)
+    report = runner.finish(end_time=options.end_time)
+    if stats is not None:
+        report.absorb_ingest(stats)
+    return report
+
+
+def _ingest(compiled, events, options):
+    """Normalize run input, wrapping the tolerant reader if configured."""
     event_iter = _as_event_iter(events)
     stats = None
     if options.tolerant:
@@ -349,17 +431,95 @@ def run(
         )
         stats = reader.stats
         event_iter = reader.events(event_iter, lambda item: item)
+    return event_iter, stats
 
-    if options.resume:
-        runner.feed_from_start(event_iter)
-    elif options.batch_size is not None:
-        from .semantics.traceio import batch_events
 
-        for batch in batch_events(event_iter, options.batch_size):
-            runner.feed_batch(batch)
+def _partitioned_run(
+    monitor: Union[Monitor, CompiledSpec],
+    compiled: CompiledSpec,
+    events: Union[Mapping[str, Any], Iterable[Tuple[int, str, Any]]],
+    options: RunOptions,
+    on_output: Optional[Callable[[str, int, Any], None]],
+) -> Optional[RunReport]:
+    """The ``partition="auto"`` path; ``None`` when not parallelizable.
+
+    A spec with a single alias-closed component returns ``None`` so
+    :func:`run` falls through to the sequential engine — the existing
+    compiled monitor is reused and nothing is spun up.
+    """
+    from .parallel.partition import partition_spec
+    from .parallel.partitioned import PartitionedRunner
+
+    if isinstance(monitor, Monitor) and monitor._partition_plan is not None:
+        plan = monitor._partition_plan
     else:
-        runner.feed(event_iter)
+        plan = partition_spec(compiled.flat)
+        if isinstance(monitor, Monitor):
+            monitor._partition_plan = plan
+    if not plan.parallelizable:
+        return None
+    compile_options = (
+        monitor.options if isinstance(monitor, Monitor) else CompileOptions()
+    )
+    runner = PartitionedRunner(
+        compiled,
+        on_output,
+        compile_kwargs=compile_options.build_kwargs(),
+        plan=plan,
+        jobs=options.jobs,
+        validate_inputs=options.validate_inputs,
+    )
+    event_iter, stats = _ingest(compiled, events, options)
+    runner.feed(event_iter, batch_size=options.batch_size)
     report = runner.finish(end_time=options.end_time)
     if stats is not None:
         report.absorb_ingest(stats)
     return report
+
+
+def run_many(
+    monitor: Union[Monitor, CompiledSpec, str],
+    traces: Iterable[Iterable[Tuple[int, str, Any]]],
+    options: Optional[RunOptions] = None,
+    *,
+    compile_options: Optional[CompileOptions] = None,
+    max_in_flight: Optional[int] = None,
+    collect_outputs: bool = True,
+    on_result: Optional[Callable[[Any], None]] = None,
+):
+    """Run one compiled spec over many independent traces, in parallel.
+
+    *traces* is an iterable of event sequences (each an iterable of
+    ``(ts, stream, value)`` tuples, timestamp-sorted).  With
+    ``options.jobs > 1`` the traces are distributed over a
+    ``multiprocessing`` worker pool (see
+    :class:`repro.parallel.MonitorPool`): bounded in-flight batches,
+    ordered results, per-worker report merge, and error-policy-governed
+    degradation when a worker dies.  Returns a
+    :class:`repro.parallel.pool.PoolResult`.
+
+    Pass a text *monitor* (or one compiled by :func:`compile` from
+    text) plus a ``plan_cache`` in *compile_options* so workers
+    warm-start from the on-disk cache instead of re-analyzing.
+    """
+    from .parallel.pool import MonitorPool
+
+    options = options or RunOptions()
+    if compile_options is None and isinstance(monitor, Monitor):
+        compile_options = monitor.options
+    pool = MonitorPool(
+        monitor,
+        compile_options=compile_options,
+        jobs=options.jobs,
+        max_in_flight=max_in_flight,
+    )
+    return pool.run_many(
+        [list(trace) for trace in traces]
+        if not isinstance(traces, list)
+        else traces,
+        end_time=options.end_time,
+        batch_size=options.batch_size,
+        validate_inputs=options.validate_inputs,
+        collect_outputs=collect_outputs,
+        on_result=on_result,
+    )

@@ -1,0 +1,53 @@
+"""Provenance metadata stamped into every ``BENCH_*.json`` artifact.
+
+A benchmark number without its commit is unreproducible and silently
+goes stale; downstream tooling (CI artifact diffing, the scaling
+curves in the docs) relies on every artifact carrying the same
+``meta`` block.
+"""
+
+from __future__ import annotations
+
+import datetime
+import os
+import platform
+import subprocess
+from typing import Dict, Optional
+
+
+def _git_commit(cwd: Optional[str] = None) -> Optional[str]:
+    """The current commit hash, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=cwd,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if out.returncode != 0:
+        return None
+    commit = out.stdout.strip()
+    return commit or None
+
+
+def bench_metadata(cwd: Optional[str] = None) -> Dict[str, object]:
+    """The standard provenance block for benchmark JSON artifacts.
+
+    Keys: ``commit`` (full hash or None), ``timestamp`` (ISO 8601,
+    UTC), ``python``, ``platform``, ``cpus``.
+    """
+    return {
+        "commit": _git_commit(cwd),
+        "timestamp": datetime.datetime.now(datetime.timezone.utc)
+        .isoformat(timespec="seconds")
+        .replace("+00:00", "Z"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpus": os.cpu_count(),
+    }
+
+
+__all__ = ["bench_metadata"]

@@ -166,6 +166,8 @@ def _run_options(args) -> "api.RunOptions":
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
         resume=args.resume,
+        jobs=args.jobs,
+        partition=args.partition,
     )
 
 
@@ -370,6 +372,23 @@ def main(argv=None) -> int:
         default="csv",
         help="trace format for 'run': CSV lines or the TeSSLa trace"
         " format (ts: stream = value)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker threads for --partition=auto (for 'run'); a spec"
+        " with one alias-closed component ignores this and runs"
+        " sequentially",
+    )
+    parser.add_argument(
+        "--partition",
+        choices=["off", "auto"],
+        default="off",
+        help="split the spec into alias-closed partitions and run them"
+        " concurrently per timestamp batch (outputs stay byte-identical"
+        " to the sequential engine)",
     )
     hardened = parser.add_argument_group("hardened runtime (for 'run')")
     hardened.add_argument(

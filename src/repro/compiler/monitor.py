@@ -14,7 +14,6 @@ live there) before any later timestamp.
 
 from __future__ import annotations
 
-import warnings
 from typing import (
     Any,
     Callable,
@@ -332,11 +331,12 @@ class MonitorBase:
         Prefer ``repro.api.run`` (options, batching, RunReport) or
         :meth:`run_traces` for the bare whole-trace convenience.
         """
-        warnings.warn(
+        from .._deprecation import warn_once
+
+        warn_once(
+            "MonitorBase.run",
             "MonitorBase.run() is deprecated; use repro.api.run(...) or"
             " MonitorBase.run_traces(...)",
-            DeprecationWarning,
-            stacklevel=2,
         )
         self.run_traces(inputs, end_time=end_time)
 

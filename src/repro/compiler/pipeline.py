@@ -31,7 +31,6 @@ options skips the analysis entirely (see
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Union
 
@@ -146,11 +145,12 @@ class CompiledSpec:
         Prefer ``repro.api.run`` (full RunReport, batching, hardening)
         or :meth:`run_traces` for the plain whole-trace convenience.
         """
-        warnings.warn(
+        from .._deprecation import warn_once
+
+        warn_once(
+            "CompiledSpec.run",
             "CompiledSpec.run() is deprecated; use repro.api.run(...) or"
             " CompiledSpec.run_traces(...)",
-            DeprecationWarning,
-            stacklevel=2,
         )
         return self.run_traces(inputs, end_time=end_time)
 
@@ -530,11 +530,12 @@ def compile_spec(
     Use ``repro.api.compile(spec, CompileOptions(...))`` instead; this
     shim delegates to :func:`build_compiled_spec` unchanged.
     """
-    warnings.warn(
+    from .._deprecation import warn_once
+
+    warn_once(
+        "compile_spec",
         "compile_spec() is deprecated; use repro.api.compile(spec,"
         " CompileOptions(...))",
-        DeprecationWarning,
-        stacklevel=2,
     )
     return build_compiled_spec(
         spec,

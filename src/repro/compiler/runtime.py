@@ -29,7 +29,6 @@ it is switched on.
 from __future__ import annotations
 
 import json
-import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, Optional, Tuple
 
@@ -128,6 +127,52 @@ class RunReport:
         self.unknown_stream_events += stats.unknown_stream_events
         self.out_of_order_dropped += stats.out_of_order_dropped
         self.reordered_events += stats.reordered_events
+
+    #: Integer counters summed by :meth:`merge` (everything except the
+    #: provenance fields ``plan_cache_hit`` and ``resumed_from``).
+    _COUNTER_FIELDS = (
+        "events_in",
+        "events_out",
+        "lift_errors",
+        "errors_propagated",
+        "errors_substituted",
+        "error_outputs",
+        "delay_errors",
+        "invalid_inputs",
+        "malformed_lines",
+        "unknown_stream_events",
+        "out_of_order_dropped",
+        "reordered_events",
+        "batches",
+        "checkpoints_written",
+        "events_skipped_on_resume",
+    )
+
+    def merge(self, other: "RunReport") -> "RunReport":
+        """Fold another report's counters into this one.
+
+        Used by the parallel subsystem: per-partition and per-worker
+        reports are accumulated into one aggregate report.  All integer
+        counters are summed; ``plan_cache_hit`` treats ``None`` as "no
+        cache consulted" (the other side's verdict wins) and conflicting
+        verdicts as ``False`` (at least one miss); ``resumed_from`` is
+        kept only when unambiguous.
+        """
+        for field in self._COUNTER_FIELDS:
+            setattr(
+                self, field, getattr(self, field) + getattr(other, field)
+            )
+        if other.plan_cache_hit is not None:
+            if self.plan_cache_hit is None:
+                self.plan_cache_hit = other.plan_cache_hit
+            elif self.plan_cache_hit != other.plan_cache_hit:
+                self.plan_cache_hit = False
+        if other.resumed_from is not None:
+            if self.resumed_from is None:
+                self.resumed_from = other.resumed_from
+            elif self.resumed_from != other.resumed_from:
+                self.resumed_from = None
+        return self
 
 
 # -- error-propagating lift evaluation ---------------------------------------
@@ -387,6 +432,10 @@ class MonitorRunner:
         """
         if not isinstance(events, list):
             events = list(events)
+        if not events:
+            # An empty batch is an exact no-op: no counters move, no
+            # batch is recorded, no checkpoint cadence is consulted.
+            return 0
         presented = len(events)
         dropped = 0
         if self.validate_inputs:
@@ -533,10 +582,11 @@ class HardenedRunner(MonitorRunner):
     """
 
     def __init__(self, *args: Any, **kwargs: Any) -> None:
-        warnings.warn(
+        from .._deprecation import warn_once
+
+        warn_once(
+            "HardenedRunner",
             "HardenedRunner is deprecated; use repro.api.run(...) or"
             " MonitorRunner",
-            DeprecationWarning,
-            stacklevel=2,
         )
         super().__init__(*args, **kwargs)

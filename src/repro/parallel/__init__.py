@@ -1,0 +1,56 @@
+"""Parallel execution subsystem.
+
+Two orthogonal axes of parallelism, both justified by the paper's
+static analysis:
+
+* **Intra-spec partition parallelism**
+  (:mod:`repro.parallel.partition`, :mod:`repro.parallel.partitioned`)
+  — the mutability/aliasing analysis (§IV-B, Defs. 4-6) tells us
+  exactly which streams may carry the same data structure at the same
+  timestamp.  Unioning the usage graph's dependency components with
+  the potential-alias classes yields *alias-closed, shared-nothing
+  partitions*: sub-specifications that never exchange an aggregate
+  reference and can therefore execute concurrently without violating
+  the in-place-update guarantee.  :class:`PartitionedRunner` compiles
+  each partition to its own monitor and drives them per timestamp
+  batch with a barrier at batch boundaries, merging outputs back into
+  the exact emission order of the single-process monitor.
+
+* **Multi-trace data parallelism** (:mod:`repro.parallel.pool`) — one
+  compiled specification over many independent traces/sessions across
+  a ``multiprocessing`` worker pool.  Workers warm-start from the
+  on-disk plan cache (only the spec text and fingerprint-keyed cache
+  files cross the process boundary), in-flight batches are bounded
+  (backpressure), results are collected in submission order, and a
+  crashing worker degrades per the compiled spec's
+  :class:`~repro.errors.ErrorPolicy`.
+
+Both axes are reachable from :mod:`repro.api`
+(``RunOptions(partition="auto", jobs=N)`` and :func:`repro.api.run_many`)
+and from the CLI (``--partition auto --jobs N``).  See
+``docs/parallel.md`` for the partitioning model and the safety
+argument.
+"""
+
+from .partition import (
+    Partition,
+    PartitionError,
+    PartitionPlan,
+    partition_flatspec,
+    partition_spec,
+)
+from .partitioned import PartitionedRunner
+from .pool import MonitorPool, PoolError, PoolResult, TraceResult
+
+__all__ = [
+    "Partition",
+    "PartitionError",
+    "PartitionPlan",
+    "PartitionedRunner",
+    "MonitorPool",
+    "PoolError",
+    "PoolResult",
+    "TraceResult",
+    "partition_flatspec",
+    "partition_spec",
+]

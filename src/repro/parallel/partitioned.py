@@ -1,0 +1,324 @@
+"""Partition-parallel execution of one specification.
+
+:class:`PartitionedRunner` compiles each partition of a
+:class:`~repro.parallel.partition.PartitionPlan` to its own monitor
+(reusing the compile options — and therefore the plan cache — of the
+full-spec compilation) and drives all of them over one event stream:
+
+* events are consumed in timestamp-aligned batches (one timestamp
+  never spans two batches, see
+  :func:`~repro.semantics.traceio.batch_events`);
+* each batch is split per partition by input routing and fed to the
+  partition monitors — concurrently when ``jobs > 1`` — followed by an
+  ``advance`` to the batch's last timestamp, so every partition has
+  processed exactly the timestamps strictly before it (including its
+  own ``delay`` wake-ups), multi-clocked ordering intact;
+* a **barrier** at the batch boundary collects each partition's
+  buffered outputs — all of which are strictly before the last
+  timestamp — and merges them into the single-process emission order:
+  ascending timestamp, then the position of the stream in the full
+  specification's output declaration order (generated monitors emit
+  all outputs at the end of a timestamp in exactly that order).
+
+The merged output sequence is byte-identical to the single-process
+per-event path; the differential tests in ``tests/parallel`` assert
+exactly that on every paper-figure spec and on generated multi-family
+specifications.
+
+Partition concurrency uses threads.  Partitions are shared-nothing by
+construction (no aggregate crosses a partition boundary: that is what
+alias closure guarantees), so this is safe; on CPython today the GIL
+serializes the pure-Python portions, so the win is bounded — the
+design is ready for free-threaded builds, and the *multi-trace*
+process pool (:mod:`repro.parallel.pool`) is the axis that scales on
+stock CPython.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..compiler.monitor import MonitorError, freeze
+from ..compiler.runtime import RunReport, validate_value
+from ..errors import ErrorPolicy, ErrorValue
+from ..semantics.traceio import batch_events
+from .partition import PartitionPlan, partition_flatspec, partition_spec
+
+#: Default batch size when the caller did not pick one.
+DEFAULT_BATCH_SIZE = 4096
+
+
+class _PartitionSlot:
+    """One partition's monitor plus its private output buffer.
+
+    Each slot owns a private :class:`RunReport` for the generated
+    code's error counters — partition monitors may run on different
+    threads, and ``+=`` on a shared report is not atomic.  The private
+    reports are folded into the runner's aggregate at :meth:`finish`.
+    """
+
+    __slots__ = ("index", "compiled", "monitor", "buffer", "inputs", "report")
+
+    def __init__(self, index, compiled, order_index, inputs) -> None:
+        self.index = index
+        self.compiled = compiled
+        self.buffer: List[Tuple[int, int, str, Any]] = []
+        self.inputs = frozenset(inputs)
+        self.report = RunReport()
+
+        buffer = self.buffer
+
+        def emit(name: str, ts: int, value: Any, _oi=order_index) -> None:
+            buffer.append((ts, _oi[name], name, value))
+
+        self.monitor = compiled.new_monitor(emit)
+        self.monitor._report = self.report
+
+
+class PartitionedRunner:
+    """Drives the partitions of one compiled specification.
+
+    Parameters
+    ----------
+    compiled:
+        The full-spec :class:`~repro.compiler.pipeline.CompiledSpec`
+        (its output declaration order defines the merged emission
+        order within a timestamp).
+    compile_kwargs:
+        Keyword arguments for compiling each partition — normally the
+        same options the full spec was compiled with (same engine,
+        error policy, plan cache, …).
+    plan:
+        A pre-computed :class:`PartitionPlan`; computed here otherwise.
+    jobs:
+        Thread count for per-batch partition execution (1 = inline).
+    """
+
+    def __init__(
+        self,
+        compiled: Any,
+        on_output: Optional[Callable[[str, int, Any], None]] = None,
+        *,
+        compile_kwargs: Optional[Dict[str, Any]] = None,
+        plan: Optional[PartitionPlan] = None,
+        jobs: int = 1,
+        validate_inputs: bool = False,
+        report: Optional[RunReport] = None,
+    ) -> None:
+        from ..compiler.pipeline import build_compiled_spec
+
+        flat = compiled.flat
+        if plan is None:
+            plan = partition_spec(flat)
+        self.plan = plan
+        self.compiled = compiled
+        self.report = report if report is not None else RunReport()
+        self.report.plan_cache_hit = getattr(
+            compiled, "plan_cache_hit", None
+        )
+        self.validate_inputs = validate_inputs
+        self.policy: Optional[ErrorPolicy] = getattr(
+            compiled, "error_policy", None
+        )
+        self._types: Dict[str, Any] = dict(
+            getattr(flat, "types", None) or {}
+        )
+        self._on_output = on_output or (lambda name, ts, value: None)
+        self._declared_inputs = frozenset(flat.inputs)
+        self._last_ts: int = -1
+        self._finished = False
+
+        # Emission order within one timestamp: the full specification's
+        # output declaration order — generated ``_calc`` bodies emit
+        # all outputs at the end of the timestamp in that order.
+        order_index = {
+            name: position
+            for position, name in enumerate(flat.outputs)
+        }
+
+        kwargs = dict(compile_kwargs or {})
+        self._slots: List[_PartitionSlot] = []
+        for part in plan.partitions:
+            sub = partition_flatspec(flat, part)
+            sub_compiled = build_compiled_spec(sub, **kwargs)
+            slot = _PartitionSlot(
+                part.index, sub_compiled, order_index, part.inputs
+            )
+            self._slots.append(slot)
+
+        self._routes: Dict[str, Tuple[int, ...]] = dict(plan.input_routes)
+        self._executor = None
+        self.jobs = max(1, int(jobs))
+        if self.jobs > 1 and len(self._slots) > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._executor = ThreadPoolExecutor(
+                max_workers=min(self.jobs, len(self._slots)),
+                thread_name_prefix="repro-partition",
+            )
+
+    # -- input path ------------------------------------------------------
+
+    def _validated(
+        self, events: List[Tuple[int, str, Any]]
+    ) -> List[Tuple[int, str, Any]]:
+        """The batch validation pre-pass, mirroring MonitorRunner."""
+        kept: List[Tuple[int, str, Any]] = []
+        for ts, name, value in events:
+            expected = self._types.get(name)
+            if not validate_value(value, expected):
+                self.report.invalid_inputs += 1
+                policy = self.policy or ErrorPolicy.FAIL_FAST
+                if policy is ErrorPolicy.FAIL_FAST:
+                    raise MonitorError(
+                        f"invalid value {value!r} for input {name!r} at"
+                        f" t={ts}: expected {expected}"
+                    )
+                if policy is ErrorPolicy.SUBSTITUTE_DEFAULT:
+                    continue
+                value = ErrorValue(
+                    f"invalid input value {value!r}: expected {expected}",
+                    origin=name,
+                    ts=ts,
+                )
+            kept.append((ts, name, value))
+        return kept
+
+    def feed_batch(self, events: Iterable[Tuple[int, str, Any]]) -> int:
+        """Feed one timestamp-sorted batch through every partition.
+
+        Returns the number of events consumed.  Outputs for timestamps
+        strictly before the batch's last timestamp are merged and
+        emitted at the barrier.
+        """
+        if self._finished:
+            raise MonitorError("feed_batch() after finish()")
+        if not isinstance(events, list):
+            events = list(events)
+        if not events:
+            return 0
+        presented = len(events)
+        if self.validate_inputs:
+            events = self._validated(events)
+            if not events:
+                self.report.events_in += presented
+                self.report.batches += 1
+                return presented
+
+        # Route events to partitions; enforce the single-monitor input
+        # protocol globally (a per-partition subsequence could be
+        # in-order while the global sequence is not).
+        slices: Dict[int, List[Tuple[int, str, Any]]] = {}
+        last_ts = self._last_ts
+        for event in events:
+            ts, name, value = event
+            if ts < 0:
+                raise MonitorError(f"negative timestamp {ts}")
+            if ts < last_ts:
+                raise MonitorError(
+                    f"out-of-order event: t={ts} after t={last_ts}"
+                )
+            if value is None:
+                raise MonitorError(
+                    "None is the no-event value; not a valid payload"
+                )
+            routes = self._routes.get(name)
+            if routes is None:
+                if name not in self._declared_inputs:
+                    raise MonitorError(f"unknown input stream {name!r}")
+                # Declared but unconsumed (e.g. only dead partitions
+                # read it): accepted and dropped, like the full monitor.
+            else:
+                for index in routes:
+                    slices.setdefault(index, []).append(event)
+            last_ts = ts
+        self._last_ts = last_ts
+
+        def drive(slot: _PartitionSlot) -> None:
+            part_events = slices.get(slot.index)
+            if part_events:
+                slot.monitor.feed_batch(part_events)
+            # Partitions without events at last_ts flush their pending
+            # timestamp and fire due delays — exactly what the single
+            # monitor did when its clock passed them.
+            slot.monitor.advance(last_ts)
+
+        if self._executor is not None:
+            futures = [
+                self._executor.submit(drive, slot) for slot in self._slots
+            ]
+            for future in futures:  # the barrier
+                future.result()
+        else:
+            for slot in self._slots:
+                drive(slot)
+
+        self.report.events_in += presented
+        self.report.batches += 1
+        self._emit_before(last_ts)
+        return presented
+
+    def feed(
+        self,
+        events: Iterable[Tuple[int, str, Any]],
+        batch_size: Optional[int] = None,
+    ) -> None:
+        """Feed a whole event sequence in timestamp-aligned batches."""
+        for batch in batch_events(events, batch_size or DEFAULT_BATCH_SIZE):
+            self.feed_batch(batch)
+
+    # -- output merge ----------------------------------------------------
+
+    def _emit_before(self, ts_limit: Optional[int]) -> None:
+        """Merge and emit buffered outputs (all strictly before the
+        last timestamp: its calculation has not run in any partition,
+        so nothing can be buffered at or after it)."""
+        pending: List[Tuple[int, int, str, Any]] = []
+        for slot in self._slots:
+            if slot.buffer:
+                pending.extend(slot.buffer)
+                slot.buffer.clear()
+        if not pending:
+            return
+        pending.sort(key=lambda entry: (entry[0], entry[1]))
+        emit = self._on_output
+        for ts, _order, name, value in pending:
+            self.report.events_out += 1
+            emit(name, ts, value)
+
+    # -- shutdown --------------------------------------------------------
+
+    def finish(self, end_time: Optional[int] = None) -> RunReport:
+        """End of input for every partition; merge the tail outputs."""
+        if self._finished:
+            return self.report
+        for slot in self._slots:
+            slot.monitor.finish(end_time=end_time)
+        self._emit_before(None)
+        for slot in self._slots:
+            # Fold the per-partition error counters (the only fields
+            # the generated code touches) into the aggregate report.
+            self.report.merge(slot.report)
+        self._finished = True
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        return self.report
+
+    def run(
+        self,
+        events: Iterable[Tuple[int, str, Any]],
+        end_time: Optional[int] = None,
+        batch_size: Optional[int] = None,
+    ) -> RunReport:
+        self.feed(events, batch_size=batch_size)
+        return self.finish(end_time=end_time)
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def partitions(self) -> int:
+        return len(self._slots)
+
+
+__all__ = ["PartitionedRunner", "DEFAULT_BATCH_SIZE", "freeze"]

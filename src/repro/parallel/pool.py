@@ -1,0 +1,381 @@
+"""Multi-trace data parallelism: one spec, many traces, many processes.
+
+:class:`MonitorPool` runs one compiled specification over many
+independent traces (sessions, log shards, tenants) across a
+``multiprocessing`` worker pool:
+
+* **Warm-start compilation** — when the pool is built from
+  specification text plus :class:`~repro.api.CompileOptions` carrying
+  a plan cache directory, each worker compiles through
+  ``repro.api.compile`` and hits the text-keyed on-disk cache: only
+  the spec text and the fingerprint-keyed cache files cross the
+  process boundary, no pickled monitors.  Pools built from an
+  already-compiled :class:`~repro.compiler.pipeline.CompiledSpec`
+  rely on ``fork`` inheriting the parent's memory (initializer
+  arguments are not pickled under the fork start method).
+* **Backpressure** — at most ``max_in_flight`` traces are outstanding
+  at any moment; submission of trace *k + max_in_flight* waits for
+  trace *k*'s slot, so a million-session driver never materializes a
+  million task payloads in the pool's queue.
+* **Ordered collection** — results come back in submission order
+  regardless of worker scheduling.
+* **Degradation** — a worker that raises is governed by the compiled
+  spec's :class:`~repro.errors.ErrorPolicy`: ``FAIL_FAST`` (and the
+  default ``None``) aborts the whole pool with :class:`PoolError`;
+  ``PROPAGATE``/``SUBSTITUTE_DEFAULT`` record the failure on that
+  trace's :class:`TraceResult` and keep the other workers running —
+  the pool-level analogue of the hardened runtime's per-event
+  policies.
+
+``jobs <= 1``, a single trace, or a platform without ``fork`` all fall
+back to an in-process sequential loop — no pool spin-up, identical
+results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..compiler.monitor import freeze
+from ..compiler.runtime import MonitorRunner, RunReport
+from ..errors import ErrorPolicy
+
+Event = Tuple[int, str, Any]
+OutputEvent = Tuple[str, int, Any]
+
+
+class PoolError(RuntimeError):
+    """A worker failed under a fail-fast error policy."""
+
+
+@dataclass
+class TraceResult:
+    """The outcome of one trace's run (in submission order)."""
+
+    index: int
+    outputs: Optional[List[OutputEvent]]
+    report: Optional[RunReport]
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class PoolResult:
+    """Everything a :meth:`MonitorPool.run_many` call produced."""
+
+    results: List[TraceResult]
+    #: All per-trace reports merged (counters summed).
+    report: RunReport
+    #: Worker processes actually used (1 — sequential fallback).
+    workers: int
+    failures: int = 0
+
+    def outputs(self) -> List[List[OutputEvent]]:
+        """Per-trace output lists, in submission order."""
+        return [r.outputs or [] for r in self.results]
+
+
+@dataclass(frozen=True)
+class _WorkerRunOptions:
+    """The picklable subset of run options a worker applies per trace."""
+
+    end_time: Optional[int] = None
+    batch_size: Optional[int] = None
+    validate_inputs: bool = False
+    collect_outputs: bool = True
+
+
+#: Per-process compiled monitor, set by the pool initializer.
+_WORKER_COMPILED: Any = None
+_WORKER_OPTIONS: Optional[_WorkerRunOptions] = None
+
+
+def _pool_init(payload: Any, options: Any, run_options: _WorkerRunOptions):
+    """Worker initializer: obtain a compiled monitor in this process."""
+    global _WORKER_COMPILED, _WORKER_OPTIONS
+    if isinstance(payload, str):
+        from .. import api
+
+        _WORKER_COMPILED = api.compile(payload, options).compiled
+    else:
+        # A CompiledSpec inherited through fork (not pickled).
+        _WORKER_COMPILED = payload
+    _WORKER_OPTIONS = run_options
+
+
+def _run_one(
+    compiled: Any, events: Sequence[Event], options: _WorkerRunOptions
+) -> Tuple[List[OutputEvent], RunReport]:
+    outputs: Optional[List[OutputEvent]] = None
+    on_output = None
+    if options.collect_outputs:
+        collected: List[OutputEvent] = []
+
+        def on_output(name: str, ts: int, value: Any) -> None:
+            collected.append((name, ts, freeze(value)))
+
+        outputs = collected
+
+    runner = MonitorRunner(
+        compiled, on_output, validate_inputs=options.validate_inputs
+    )
+    report = runner.run(
+        events,
+        end_time=options.end_time,
+        batch_size=options.batch_size,
+    )
+    return outputs, report
+
+
+def _pool_task(args: Tuple[int, Sequence[Event]]):
+    """One trace in a worker; never raises (errors are data)."""
+    index, events = args
+    try:
+        outputs, report = _run_one(
+            _WORKER_COMPILED, events, _WORKER_OPTIONS
+        )
+        return index, outputs, report, None
+    except Exception as exc:  # noqa: BLE001 - crossing a process boundary
+        return index, None, None, f"{type(exc).__name__}: {exc}"
+
+
+class MonitorPool:
+    """A reusable worker pool for one compiled specification.
+
+    Parameters
+    ----------
+    spec:
+        Specification text (preferred: spawn-safe, plan-cache
+        warm-start) or an already-compiled
+        :class:`~repro.compiler.pipeline.CompiledSpec` /
+        ``repro.api.Monitor`` (requires the ``fork`` start method).
+    compile_options:
+        The :class:`~repro.api.CompileOptions` workers compile with
+        (only meaningful for text *spec*); give it a ``plan_cache``
+        directory so workers skip the analysis.
+    jobs:
+        Worker process count.  ``<= 1`` runs sequentially in-process.
+    max_in_flight:
+        Bound on outstanding traces (default ``2 * jobs``).
+    """
+
+    def __init__(
+        self,
+        spec: Any,
+        *,
+        compile_options: Any = None,
+        jobs: int = 2,
+        max_in_flight: Optional[int] = None,
+    ) -> None:
+        self.jobs = max(1, int(jobs))
+        self.max_in_flight = (
+            max(1, int(max_in_flight))
+            if max_in_flight is not None
+            else 2 * self.jobs
+        )
+        self._options = compile_options
+        self._payload, self._compiled = self._normalize(spec, compile_options)
+
+    @staticmethod
+    def _normalize(spec: Any, compile_options: Any) -> Tuple[Any, Any]:
+        """(worker payload, locally-compiled spec for the fallback)."""
+        from .. import api
+
+        if isinstance(spec, str):
+            return spec, None  # compiled lazily, per process
+        if isinstance(spec, api.Monitor):
+            text = getattr(spec, "source_text", None)
+            return (text if text is not None else spec.compiled), spec.compiled
+        return spec, spec  # a CompiledSpec
+
+    def _local_compiled(self) -> Any:
+        if self._compiled is None:
+            from .. import api
+
+            self._compiled = api.compile(self._payload, self._options).compiled
+        return self._compiled
+
+    @property
+    def error_policy(self) -> Optional[ErrorPolicy]:
+        compiled = self._compiled
+        if compiled is None and not isinstance(self._payload, str):
+            compiled = self._payload
+        if compiled is None:
+            # Text payload not yet compiled locally: derive the policy
+            # from the compile options without forcing a compilation.
+            return getattr(self._options, "error_policy", None)
+        return getattr(compiled, "error_policy", None)
+
+    # -- execution -------------------------------------------------------
+
+    def run_many(
+        self,
+        traces: Iterable[Sequence[Event]],
+        *,
+        end_time: Optional[int] = None,
+        batch_size: Optional[int] = None,
+        validate_inputs: bool = False,
+        collect_outputs: bool = True,
+        on_result: Optional[Callable[[TraceResult], None]] = None,
+    ) -> PoolResult:
+        """Run every trace; return ordered results and a merged report.
+
+        ``on_result`` (if given) observes each :class:`TraceResult` in
+        *submission order* as soon as it becomes deliverable — the
+        streaming hook for drivers that aggregate instead of retaining
+        all outputs.
+        """
+        run_options = _WorkerRunOptions(
+            end_time=end_time,
+            batch_size=batch_size,
+            validate_inputs=validate_inputs,
+            collect_outputs=collect_outputs,
+        )
+        if self.jobs <= 1 or not self._fork_available():
+            return self._run_sequential(traces, run_options, on_result)
+        return self._run_pooled(traces, run_options, on_result)
+
+    @staticmethod
+    def _fork_available() -> bool:
+        import multiprocessing
+
+        return "fork" in multiprocessing.get_all_start_methods()
+
+    @staticmethod
+    def _finalize(results: List[TraceResult], workers: int) -> PoolResult:
+        merged = RunReport()
+        failures = 0
+        for result in results:
+            if result.report is not None:
+                merged.merge(result.report)
+            if result.error is not None:
+                failures += 1
+        return PoolResult(
+            results=results,
+            report=merged,
+            workers=workers,
+            failures=failures,
+        )
+
+    def _fail_fast(self) -> bool:
+        policy = self.error_policy
+        return policy is None or policy is ErrorPolicy.FAIL_FAST
+
+    def _run_sequential(
+        self,
+        traces: Iterable[Sequence[Event]],
+        run_options: _WorkerRunOptions,
+        on_result: Optional[Callable[[TraceResult], None]],
+    ) -> PoolResult:
+        """In-process fallback: same results, no pool spin-up."""
+        compiled = self._local_compiled()
+        results: List[TraceResult] = []
+        for index, events in enumerate(traces):
+            try:
+                outputs, report = _run_one(compiled, events, run_options)
+                result = TraceResult(index, outputs, report)
+            except Exception as exc:  # noqa: BLE001 - mirrors the pool
+                if self._fail_fast():
+                    raise PoolError(
+                        f"trace {index} failed:"
+                        f" {type(exc).__name__}: {exc}"
+                    ) from exc
+                result = TraceResult(
+                    index, None, None, f"{type(exc).__name__}: {exc}"
+                )
+            if on_result is not None:
+                on_result(result)
+            results.append(result)
+        return self._finalize(results, 1)
+
+    def _run_pooled(
+        self,
+        traces: Iterable[Sequence[Event]],
+        run_options: _WorkerRunOptions,
+        on_result: Optional[Callable[[TraceResult], None]],
+    ) -> PoolResult:
+        import multiprocessing
+        from collections import deque
+
+        context = multiprocessing.get_context("fork")
+        fail_fast = self._fail_fast()
+        results: Dict[int, TraceResult] = {}
+        delivered = 0
+        ordered: List[TraceResult] = []
+
+        with context.Pool(
+            processes=self.jobs,
+            initializer=_pool_init,
+            initargs=(self._payload, self._options, run_options),
+        ) as pool:
+            in_flight: deque = deque()
+
+            def drain_one() -> None:
+                nonlocal delivered
+                async_result = in_flight.popleft()
+                index, outputs, report, error = async_result.get()
+                if error is not None and fail_fast:
+                    raise PoolError(f"trace {index} failed: {error}")
+                results[index] = TraceResult(index, outputs, report, error)
+                # Deliver in submission order as soon as contiguous.
+                while delivered in results:
+                    result = results[delivered]
+                    ordered.append(result)
+                    if on_result is not None:
+                        on_result(result)
+                    delivered += 1
+
+            try:
+                for index, events in enumerate(traces):
+                    while len(in_flight) >= self.max_in_flight:
+                        drain_one()  # backpressure
+                    in_flight.append(
+                        pool.apply_async(_pool_task, ((index, events),))
+                    )
+                while in_flight:
+                    drain_one()
+            except PoolError:
+                pool.terminate()
+                raise
+        return self._finalize(ordered, self.jobs)
+
+
+def run_many(
+    spec: Any,
+    traces: Iterable[Sequence[Event]],
+    *,
+    compile_options: Any = None,
+    jobs: int = 2,
+    max_in_flight: Optional[int] = None,
+    **run_kwargs: Any,
+) -> PoolResult:
+    """One-shot convenience around :class:`MonitorPool`."""
+    pool = MonitorPool(
+        spec,
+        compile_options=compile_options,
+        jobs=jobs,
+        max_in_flight=max_in_flight,
+    )
+    return pool.run_many(traces, **run_kwargs)
+
+
+__all__ = [
+    "MonitorPool",
+    "PoolError",
+    "PoolResult",
+    "TraceResult",
+    "run_many",
+]

@@ -1,0 +1,98 @@
+"""feed_batch edge cases: empty batches and single-timestamp batches.
+
+An empty batch must be an *exact no-op* at every layer (no counters,
+no batch recorded, no checkpoint cadence consulted, no state change),
+and a batch holding a single timestamp must behave exactly like the
+equivalent ``push`` calls — events stay pending until the clock moves.
+"""
+
+from repro.compiler.monitor import collecting_callback
+from repro.compiler.pipeline import build_compiled_spec
+from repro.compiler.runtime import MonitorRunner
+from repro.lang import flatten
+from repro.semantics.traceio import batch_events
+from repro.speclib import seen_set
+
+EVENTS = [(1, "i", 1), (2, "i", 2), (2, "i", 2), (3, "i", 1)]
+
+
+def compiled_seen_set():
+    return build_compiled_spec(flatten(seen_set()))
+
+
+class TestEmptyBatch:
+    def test_monitor_empty_batch_is_noop(self):
+        compiled = compiled_seen_set()
+        on_output, collected = collecting_callback()
+        monitor = compiled.new_monitor(on_output)
+        monitor.feed_batch(EVENTS[:2])
+        before = (monitor._pending_ts, monitor._done_ts, dict(collected))
+        assert monitor.feed_batch([]) == 0
+        assert monitor.feed_batch(iter(())) == 0
+        after = (monitor._pending_ts, monitor._done_ts, dict(collected))
+        assert after == before
+
+    def test_runner_empty_batch_moves_no_counters(self):
+        runner = MonitorRunner(compiled_seen_set())
+        assert runner.feed_batch([]) == 0
+        assert runner.report.events_in == 0
+        assert runner.report.batches == 0
+
+    def test_runner_empty_batch_between_real_batches(self):
+        runner = MonitorRunner(compiled_seen_set())
+        runner.feed_batch(EVENTS[:2])
+        batches_before = runner.report.batches
+        runner.feed_batch([])
+        assert runner.report.batches == batches_before
+        runner.feed_batch(EVENTS[2:])
+        runner.finish()
+        assert runner.report.events_in == len(EVENTS)
+
+    def test_empty_batch_never_consults_checkpoint_cadence(self, tmp_path):
+        # checkpoint_every=1 would checkpoint on every consumed batch;
+        # empty batches must not trigger (or even consider) one.
+        runner = MonitorRunner(
+            compiled_seen_set(),
+            checkpoint_dir=str(tmp_path),
+            checkpoint_every=1,
+        )
+        for _ in range(5):
+            runner.feed_batch([])
+        assert runner.report.checkpoints_written == 0
+        assert list(tmp_path.iterdir()) == []
+
+    def test_batch_events_of_empty_input_yields_nothing(self):
+        assert list(batch_events([], 16)) == []
+        assert list(batch_events(iter(()), 16)) == []
+
+
+class TestSingleTimestampBatch:
+    def test_batch_events_single_timestamp_is_one_slice(self):
+        events = [(7, "i", v) for v in range(10)]
+        # batch_size smaller than the timestamp group: one oversized
+        # batch, never a split timestamp.
+        assert list(batch_events(events, 3)) == [events]
+        assert list(batch_events(iter(events), 3)) == [events]
+
+    def test_single_timestamp_batch_stays_pending(self):
+        compiled = compiled_seen_set()
+        on_output, collected = collecting_callback()
+        monitor = compiled.new_monitor(on_output)
+        assert monitor.feed_batch([(5, "i", 1)]) == 1
+        # Nothing emitted yet: t=5 is pending, exactly as after push().
+        assert collected.get("was") is None
+        monitor.finish()
+        assert [ts for ts, _ in collected["was"]] == [5]
+
+    def test_single_timestamp_batch_equals_push(self):
+        compiled = compiled_seen_set()
+        on_batch, collected_batch = collecting_callback()
+        on_push, collected_push = collecting_callback()
+        batched = compiled.new_monitor(on_batch)
+        pushed = compiled.new_monitor(on_push)
+        for ts in (1, 2, 3):
+            batched.feed_batch([(ts, "i", ts % 2)])
+            pushed.push("i", ts, ts % 2)
+        batched.finish()
+        pushed.finish()
+        assert collected_batch == collected_push

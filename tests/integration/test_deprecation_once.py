@@ -1,0 +1,80 @@
+"""Each legacy entry point warns exactly once per process.
+
+A service invoking a deprecated API thousands of times per second must
+not pay for (or drown its logs in) a warning per call: the first use
+warns, later uses are silent.  The registry is keyed per entry point,
+so one legacy API's warning does not suppress another's.
+"""
+
+import warnings
+
+from repro import _deprecation
+from repro.compiler import compile_spec
+from repro.compiler.runtime import HardenedRunner
+from repro.speclib import seen_set
+
+TRACE = {"i": [(1, 1), (2, 2)]}
+
+
+def deprecations(calls):
+    """Run *calls* twice under an always-record filter; return the
+    DeprecationWarnings raised by repro code."""
+    _deprecation.reset()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        calls()
+        calls()
+    return [
+        w
+        for w in caught
+        if issubclass(w.category, DeprecationWarning)
+        and "repro" in str(w.message)
+    ]
+
+
+class TestOncePerProcess:
+    def test_compile_spec_warns_once(self):
+        assert len(deprecations(lambda: compile_spec(seen_set()))) == 1
+
+    def test_compiled_run_warns_once(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            compiled = compile_spec(seen_set())
+        assert len(deprecations(lambda: compiled.run(TRACE))) == 1
+
+    def test_monitor_run_warns_once(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            compiled = compile_spec(seen_set())
+
+        def call():
+            compiled.new_monitor().run(TRACE)
+
+        assert len(deprecations(call)) == 1
+
+    def test_hardened_runner_warns_once(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            compiled = compile_spec(seen_set())
+        assert len(deprecations(lambda: HardenedRunner(compiled))) == 1
+
+    def test_distinct_entry_points_warn_independently(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            compiled = compile_spec(seen_set())
+
+        def call():
+            HardenedRunner(compiled)
+            compiled.run(TRACE)
+
+        # Two entry points, one warning each — regardless of order or
+        # how many times each was hit.
+        assert len(deprecations(call)) == 2
+
+    def test_reset_rearms_the_warning(self):
+        caught_total = 0
+        for _ in range(2):
+            caught_total += len(
+                deprecations(lambda: compile_spec(seen_set()))
+            )
+        assert caught_total == 2

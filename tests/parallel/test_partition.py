@@ -1,0 +1,166 @@
+"""The alias-closed partitioner: membership, routing, fallbacks."""
+
+import pytest
+
+from repro import api
+from repro.lang import INT, Specification, Var, flatten
+from repro.lang.ast import Lift
+from repro.lang.builtins import builtin
+from repro.lang.typecheck import check_types
+from repro.lang.types import SetType
+from repro.parallel import partition_flatspec, partition_spec
+from repro.speclib import map_window, queue_window, seen_set
+
+from .util import composed, family
+
+
+def plan_for(spec):
+    flat = flatten(spec)
+    check_types(flat)
+    return flat, partition_spec(flat)
+
+
+class TestSingleComponent:
+    def test_single_family_is_one_partition(self):
+        _, plan = plan_for(seen_set())
+        assert len(plan) == 1
+        assert not plan.parallelizable
+
+    def test_passthrough_output_is_one_partition(self):
+        spec = Specification(
+            {"i": INT},
+            {"d": Lift(builtin("add"), (Var("i"), Var("i")))},
+            ["i", "d"],
+        )
+        _, plan = plan_for(spec)
+        assert len(plan) == 1
+        assert plan.partitions[0].outputs == ("i", "d")
+
+
+class TestMultiFamily:
+    def test_two_families_split(self):
+        spec = composed(
+            family("a_", seen_set, {"i": "ia"}),
+            family("b_", seen_set, {"i": "ib"}),
+        )
+        flat, plan = plan_for(spec)
+        assert len(plan) == 2
+        assert plan.parallelizable
+        # Outputs split cleanly, one family each.
+        assert plan.partitions[0].outputs == ("a_was",)
+        assert plan.partitions[1].outputs == ("b_was",)
+        # Disjoint inputs route to their own partition.
+        assert plan.input_routes == {"ia": (0,), "ib": (1,)}
+
+    def test_shared_scalar_input_broadcasts(self):
+        spec = composed(family("a_", seen_set), family("b_", seen_set))
+        _, plan = plan_for(spec)
+        assert len(plan) == 2
+        assert plan.input_routes["i"] == (0, 1)
+
+    def test_three_kinds_of_family(self):
+        spec = composed(
+            family("s_", seen_set, {"i": "i1"}),
+            family("q_", lambda: queue_window(3), {"i": "i2"}),
+            family("m_", lambda: map_window(4), {"i": "i3"}),
+        )
+        _, plan = plan_for(spec)
+        assert len(plan) == 3
+        outputs = [p.outputs for p in plan.partitions]
+        assert all(len(o) >= 1 for o in outputs)
+
+    def test_shared_unit_clock_is_replicated_not_glued(self):
+        spec = composed(family("a_", seen_set), family("b_", seen_set))
+        flat, plan = plan_for(spec)
+        assert len(plan) == 2
+        assert plan.replicated  # the synthetic unit stream
+        for name in plan.replicated:
+            assert not flat.types[name].is_complex
+            assert name not in flat.outputs
+            owners = [
+                p.index for p in plan.partitions if name in p.streams
+            ]
+            assert len(owners) > 1
+
+    def test_every_stream_is_covered(self):
+        spec = composed(
+            family("a_", seen_set, {"i": "ia"}),
+            family("b_", lambda: queue_window(2), {"i": "ib"}),
+        )
+        flat, plan = plan_for(spec)
+        covered = set()
+        for partition in plan.partitions:
+            covered.update(partition.streams)
+        assert covered == set(flat.definitions)
+
+
+class TestAliasClosure:
+    def test_complex_input_consumers_colocate(self):
+        # Two otherwise-independent reads of one Set-typed input: the
+        # input value object is shared by reference, so both readers
+        # must land in the same partition.
+        spec = Specification(
+            {"s": SetType(INT), "i": INT},
+            {
+                "r1": Lift(builtin("set_contains"), (Var("s"), Var("i"))),
+                "r2": Lift(builtin("set_size"), (Var("s"),)),
+            },
+            ["r1", "r2"],
+        )
+        _, plan = plan_for(spec)
+        assert len(plan) == 1
+
+    def test_alias_classes_never_split(self):
+        spec = composed(
+            family("a_", seen_set, {"i": "ia"}),
+            family("b_", lambda: map_window(3), {"i": "ib"}),
+        )
+        _, plan = plan_for(spec)
+        membership = {}
+        for partition in plan.partitions:
+            for name in partition.streams:
+                membership.setdefault(name, set()).add(partition.index)
+        for alias_class in plan.alias_classes:
+            owners = set()
+            for name in alias_class:
+                owners.update(membership[name])
+            assert len(owners) == 1, f"alias class split: {alias_class}"
+
+
+class TestSubSpecs:
+    def test_partition_flatspec_compiles(self):
+        from repro.compiler.pipeline import build_compiled_spec
+
+        spec = composed(
+            family("a_", seen_set, {"i": "ia"}),
+            family("b_", lambda: queue_window(3), {"i": "ib"}),
+        )
+        flat, plan = plan_for(spec)
+        for partition in plan.partitions:
+            sub = partition_flatspec(flat, partition)
+            assert set(sub.definitions) == set(partition.streams)
+            assert list(sub.outputs) == list(partition.outputs)
+            compiled = build_compiled_spec(sub)
+            assert compiled.monitor_class is not None
+
+    def test_sub_spec_types_copied(self):
+        spec = composed(family("a_", seen_set), family("b_", seen_set))
+        flat, plan = plan_for(spec)
+        for partition in plan.partitions:
+            sub = partition_flatspec(flat, partition)
+            for name in partition.streams:
+                assert sub.types[name] == flat.types[name]
+
+
+class TestApiValidation:
+    def test_bad_partition_mode_rejected(self):
+        with pytest.raises(ValueError):
+            api.RunOptions(partition="sideways")
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            api.RunOptions(jobs=0)
+
+    def test_partition_with_checkpoints_rejected(self):
+        with pytest.raises(ValueError):
+            api.RunOptions(partition="auto", checkpoint_dir="/tmp/x")

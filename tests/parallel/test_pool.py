@@ -1,0 +1,160 @@
+"""The multi-trace worker pool: ordering, merging, degradation."""
+
+import pytest
+
+from repro import api
+from repro.parallel import MonitorPool, PoolError
+from repro.parallel.pool import run_many
+from repro.speclib import seen_set
+
+from .util import random_trace, to_events
+
+SEEN_SET_TEXT = """\
+in i: Int
+
+def m  := merge(y, set_empty(unit))
+def yl := last(m, i)
+def y  := set_add(yl, i)
+def s  := set_contains(yl, i)
+
+out s
+"""
+
+
+def make_traces(count, length=60, domain=7):
+    return [
+        to_events(random_trace(["i"], length, domain, seed))
+        for seed in range(count)
+    ]
+
+
+class TestEquivalence:
+    def test_pooled_equals_sequential(self):
+        monitor = api.compile(seen_set())
+        traces = make_traces(6)
+        seq = api.run_many(monitor, traces, api.RunOptions(jobs=1))
+        par = api.run_many(monitor, traces, api.RunOptions(jobs=2))
+        assert seq.workers == 1
+        assert par.workers == 2
+        assert seq.outputs() == par.outputs()
+        assert seq.report.events_in == par.report.events_in
+        assert seq.report.events_out == par.report.events_out
+
+    def test_results_are_in_submission_order(self):
+        monitor = api.compile(seen_set())
+        traces = make_traces(8, length=20)
+        result = api.run_many(monitor, traces, api.RunOptions(jobs=2))
+        assert [r.index for r in result.results] == list(range(8))
+
+    def test_on_result_streams_in_order(self):
+        monitor = api.compile(seen_set())
+        traces = make_traces(5, length=15)
+        seen = []
+        api.run_many(
+            monitor,
+            traces,
+            api.RunOptions(jobs=2),
+            on_result=lambda r: seen.append(r.index),
+        )
+        assert seen == list(range(5))
+
+    def test_text_payload_with_plan_cache(self, tmp_path):
+        options = api.CompileOptions(plan_cache=str(tmp_path))
+        api.compile(SEEN_SET_TEXT, options)  # prime the cache
+        traces = make_traces(4, length=30)
+        result = run_many(
+            SEEN_SET_TEXT,
+            traces,
+            compile_options=options,
+            jobs=2,
+        )
+        assert result.failures == 0
+        baseline = run_many(SEEN_SET_TEXT, traces, jobs=1)
+        assert result.outputs() == baseline.outputs()
+
+    def test_monitor_compiled_from_text_reuses_source(self, tmp_path):
+        options = api.CompileOptions(plan_cache=str(tmp_path))
+        monitor = api.compile(SEEN_SET_TEXT, options)
+        assert monitor.source_text == SEEN_SET_TEXT
+        traces = make_traces(3, length=25)
+        result = api.run_many(monitor, traces, api.RunOptions(jobs=2))
+        assert result.failures == 0
+
+    def test_merged_report_sums_counters(self):
+        monitor = api.compile(seen_set())
+        traces = make_traces(4, length=30)
+        result = api.run_many(monitor, traces, api.RunOptions(jobs=2))
+        total = sum(len(t) for t in traces)
+        assert result.report.events_in == total
+        assert result.report.events_in == sum(
+            r.report.events_in for r in result.results
+        )
+
+    def test_collect_outputs_false(self):
+        monitor = api.compile(seen_set())
+        traces = make_traces(3, length=20)
+        result = api.run_many(
+            monitor, traces, api.RunOptions(jobs=2), collect_outputs=False
+        )
+        assert result.failures == 0
+        assert all(r.outputs is None for r in result.results)
+        assert result.report.events_out > 0
+
+
+class TestDegradation:
+    # An out-of-order trace makes the worker raise MonitorError
+    # regardless of the per-event error policy — a *worker-level*
+    # failure, which is what the pool-level policy governs.
+    BAD_TRACE = [(5, "i", 1), (2, "i", 2)]
+
+    def test_fail_fast_raises_pool_error_sequential(self):
+        monitor = api.compile(seen_set())
+        with pytest.raises(PoolError):
+            api.run_many(
+                monitor,
+                [make_traces(1)[0], self.BAD_TRACE],
+                api.RunOptions(jobs=1),
+            )
+
+    def test_fail_fast_raises_pool_error_pooled(self):
+        monitor = api.compile(seen_set())
+        with pytest.raises(PoolError):
+            api.run_many(
+                monitor,
+                [make_traces(1)[0], self.BAD_TRACE],
+                api.RunOptions(jobs=2),
+            )
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_propagate_records_failure_and_continues(self, jobs):
+        monitor = api.compile(
+            seen_set(), api.CompileOptions(error_policy="propagate")
+        )
+        good = make_traces(3, length=20)
+        traces = [good[0], self.BAD_TRACE, good[1], good[2]]
+        result = api.run_many(monitor, traces, api.RunOptions(jobs=jobs))
+        assert result.failures == 1
+        assert [r.ok for r in result.results] == [True, False, True, True]
+        assert "MonitorError" in result.results[1].error
+        # The surviving traces are complete and ordered.
+        baseline = api.run_many(
+            monitor, [good[0], good[1], good[2]], api.RunOptions(jobs=1)
+        )
+        assert result.results[0].outputs == baseline.results[0].outputs
+        assert result.results[2].outputs == baseline.results[1].outputs
+        assert result.results[3].outputs == baseline.results[2].outputs
+
+
+class TestBackpressure:
+    def test_bounded_in_flight_still_completes(self):
+        pool = MonitorPool(
+            api.compile(seen_set()).compiled, jobs=2, max_in_flight=1
+        )
+        traces = make_traces(7, length=15)
+        result = pool.run_many(traces)
+        assert result.failures == 0
+        assert [r.index for r in result.results] == list(range(7))
+
+    def test_default_in_flight_is_twice_jobs(self):
+        pool = MonitorPool(SEEN_SET_TEXT, jobs=3)
+        assert pool.max_in_flight == 6
