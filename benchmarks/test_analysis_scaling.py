@@ -9,7 +9,7 @@ families plus cross-family scalar reads — supporting the paper's
 
 import pytest
 
-from repro.compiler import compile_spec
+from repro.compiler import build_compiled_spec
 from repro.lang import INT, Last, Lift, Merge, Specification, UnitExpr, Var
 from repro.lang.builtins import builtin
 
@@ -36,7 +36,7 @@ def chain_spec(families: int) -> Specification:
 def test_analysis_scaling(benchmark, families):
     spec = chain_spec(families)
     benchmark.group = "analysis scaling (families)"
-    result = benchmark(lambda: compile_spec(spec, optimize=True))
+    result = benchmark(lambda: build_compiled_spec(spec, optimize=True))
     # every family must come out fully mutable
     assert len(result.mutable_streams) == 4 * families
 
@@ -78,7 +78,7 @@ def test_memoized_implication_scaling(benchmark, families):
 
     def compile_fresh():
         clear_caches()
-        return compile_spec(spec, optimize=True)
+        return build_compiled_spec(spec, optimize=True)
 
     result = benchmark(compile_fresh)
     assert len(result.mutable_streams) >= 4 * families

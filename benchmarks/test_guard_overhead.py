@@ -3,7 +3,7 @@
 Each mode runs the same spec/trace; the interesting ratios are against
 ``seed`` (the plain compiled monitor driven by a bare push loop):
 
-* ``hardened-off``    — a :class:`HardenedRunner` with every hardening
+* ``hardened-off``    — a :class:`MonitorRunner` with every hardening
   option disabled.  The codegen is byte-identical to the seed (asserted
   in ``tests/compiler/test_runtime_errors.py``); what this measures is
   the runner's per-event bookkeeping, which must stay small (<5%).
@@ -20,7 +20,7 @@ import pytest
 
 from repro.bench.fig9 import spec_for, trace_for
 from repro.bench.runners import flatten_inputs
-from repro.compiler import HardenedRunner, compile_spec, counting_callback
+from repro.compiler import MonitorRunner, build_compiled_spec, counting_callback
 from repro.workloads import SIZES
 
 from conftest import make_runner
@@ -31,12 +31,12 @@ SPECS = ("seen_set", "queue_window")
 
 
 def make_hardened_runner(spec, inputs, *, runner_kwargs=None, **compile_kwargs):
-    compiled = compile_spec(spec, **compile_kwargs)
+    compiled = build_compiled_spec(spec, **compile_kwargs)
     events = flatten_inputs(inputs)
 
     def run():
         on_output, _ = counting_callback()
-        runner = HardenedRunner(compiled, on_output, **(runner_kwargs or {}))
+        runner = MonitorRunner(compiled, on_output, **(runner_kwargs or {}))
         runner.run(events)
 
     return run

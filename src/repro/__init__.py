@@ -41,11 +41,13 @@ from .api import CompileOptions, Monitor, RunOptions
 from .compiler import (
     CompiledSpec,
     HardenedRunner,
+    build_compiled_spec,
     MonitorBase,
     MonitorError,
     MonitorRunner,
     PlanCache,
     RunReport,
+    build_compiled_spec,
     compile_spec,
     freeze,
 )
@@ -133,6 +135,7 @@ __all__ = [
     "api",
     "build_usage_graph",
     "check_types",
+    "build_compiled_spec",
     "compile_spec",
     "flatten",
     "freeze",

@@ -22,13 +22,24 @@ _emitted: Set[str] = set()
 _lock = threading.Lock()
 
 
+class ReproDeprecationWarning(DeprecationWarning):
+    """Deprecation warnings emitted by repro's own legacy entry points.
+
+    A distinct subclass so test suites can promote *repro-owned*
+    deprecations to errors (``error::repro._deprecation.ReproDeprecationWarning``
+    in pytest's ``filterwarnings``) without also erroring on
+    third-party ``DeprecationWarning`` noise from the interpreter or
+    dependencies.
+    """
+
+
 def warn_once(key: str, message: str, *, stacklevel: int = 3) -> None:
-    """Emit ``DeprecationWarning(message)`` once per process per *key*."""
+    """Emit ``ReproDeprecationWarning(message)`` once per process per *key*."""
     with _lock:
         if key in _emitted:
             return
         _emitted.add(key)
-    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+    warnings.warn(message, ReproDeprecationWarning, stacklevel=stacklevel)
 
 
 def reset() -> None:

@@ -186,10 +186,21 @@ class MutabilityAnalysis:
         assume_all_alias: bool = False,
         implicant_cap: int = 4096,
     ) -> None:
+        from ..obs.trace import TRACER
+
         self.flat = flat
-        self.graph = graph or build_usage_graph(flat)
-        self.triggering = TriggeringAnalysis(flat, implicant_cap=implicant_cap)
-        self.alias = AliasAnalysis(self.graph, self.triggering)
+        if graph is None:
+            # Edge classification happens while the usage graph is
+            # built, so its cost is reported under this span.
+            with TRACER.span("compile.usage_graph"):
+                graph = build_usage_graph(flat)
+        self.graph = graph
+        with TRACER.span("compile.triggering"):
+            self.triggering = TriggeringAnalysis(
+                flat, implicant_cap=implicant_cap
+            )
+        with TRACER.span("compile.aliasing"):
+            self.alias = AliasAnalysis(self.graph, self.triggering)
         self.exact_limit = exact_limit
         #: Ablation switch: skip the Def. 6 aliasing-safety reasoning and
         #: treat every P/L-connected pair as a potential alias.
@@ -229,6 +240,14 @@ class MutabilityAnalysis:
         return self.alias.explain_alias(u, u2)
 
     def run(self) -> MutabilityResult:
+        from ..obs.trace import TRACER
+
+        with TRACER.span("compile.mutability"):
+            return self._run()
+
+    def _run(self) -> MutabilityResult:
+        from ..obs.trace import TRACER
+
         uf = self._families()
         persistent_roots: Set[str] = set()
         rule1: List[Rule1Violation] = []
@@ -293,9 +312,10 @@ class MutabilityAnalysis:
             n for n in self.complex_nodes if uf.find(n) in persistent_roots
         )
         mutable_nodes = frozenset(self.complex_nodes - persistent_nodes)
-        order = translation_order(
-            self.graph, extra=[c.edge for c in final_constraints]
-        )
+        with TRACER.span("compile.translation_order"):
+            order = translation_order(
+                self.graph, extra=[c.edge for c in final_constraints]
+            )
         return MutabilityResult(
             graph=self.graph,
             mutable=mutable_nodes,

@@ -168,6 +168,13 @@ class RunOptions:
     #: the sequential engine when the spec is one component);
     #: ``"off"`` — the single-monitor path.
     partition: str = "off"
+    #: Record per-stream copy/in-place counters for this run (see
+    #: :mod:`repro.obs`).  The first metrics run builds an instrumented
+    #: twin of the compiled monitor (memoized on the :class:`Monitor`);
+    #: uninstrumented runs keep executing the original, unwrapped code.
+    #: The run's snapshot lands in ``RunReport.metrics`` and accumulates
+    #: in :meth:`Monitor.metrics`.
+    metrics: bool = False
 
     def __post_init__(self) -> None:
         if self.batch_size is not None and self.batch_size < 1:
@@ -221,6 +228,11 @@ class Monitor:
         # pure function of the flat spec; recomputing it per run would
         # tax the single-component fallback).
         self._partition_plan = None
+        # Metrics memos: the registry accumulates across this handle's
+        # instrumented runs; the twin is the compiled spec rebuilt with
+        # counting lift bindings (built on the first metrics run).
+        self._metrics = None
+        self._instrumented = None
 
     # -- introspection ---------------------------------------------------
 
@@ -253,6 +265,22 @@ class Monitor:
 
     def diagnostics(self) -> list:
         return self.compiled.diagnostics()
+
+    def metrics(self) -> Optional[Dict[str, Any]]:
+        """Cumulative metric snapshot across this handle's instrumented
+        runs (``RunOptions(metrics=True)``), or ``None`` when no metrics
+        run has happened yet.  Per-run deltas live on each run's
+        ``RunReport.metrics``."""
+        if self._metrics is None:
+            return None
+        return self._metrics.snapshot()
+
+    def _metrics_registry(self):
+        if self._metrics is None:
+            from .obs.metrics import MetricsRegistry
+
+            self._metrics = MetricsRegistry()
+        return self._metrics
 
     # -- execution -------------------------------------------------------
 
@@ -371,6 +399,12 @@ def run(
         # One alias-closed component: fall through to the sequential
         # engine (no partition compile, no pool spin-up, no overhead).
 
+    registry = None
+    before = None
+    if options.metrics:
+        compiled, registry = _instrumented_for(monitor, compiled)
+        before = registry.snapshot()
+
     runner_kwargs: Dict[str, Any] = {
         "validate_inputs": options.validate_inputs,
         "checkpoint_every": options.checkpoint_every,
@@ -410,7 +444,33 @@ def run(
     report = runner.finish(end_time=options.end_time)
     if stats is not None:
         report.absorb_ingest(stats)
+    if registry is not None:
+        from .obs.metrics import diff_snapshots
+
+        report.metrics = diff_snapshots(before, registry.snapshot())
     return report
+
+
+def _instrumented_for(
+    monitor: Union[Monitor, CompiledSpec], compiled: CompiledSpec
+):
+    """The instrumented twin of *compiled* plus its metrics registry.
+
+    For a :class:`Monitor` handle both are memoized, so repeated metrics
+    runs reuse one twin and accumulate into one registry; a bare
+    :class:`CompiledSpec` gets a fresh pair per run.
+    """
+    from .compiler.pipeline import instrumented_twin
+
+    if isinstance(monitor, Monitor):
+        registry = monitor._metrics_registry()
+        if monitor._instrumented is None:
+            monitor._instrumented = instrumented_twin(compiled, registry)
+        return monitor._instrumented, registry
+    from .obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    return instrumented_twin(compiled, registry), registry
 
 
 def _ingest(compiled, events, options):
@@ -461,10 +521,26 @@ def _partitioned_run(
     compile_options = (
         monitor.options if isinstance(monitor, Monitor) else CompileOptions()
     )
+    compile_kwargs = compile_options.build_kwargs()
+    registry = None
+    before = None
+    if options.metrics:
+        # Partition WRITE-streams are disjoint (only the scalar prefix
+        # is replicated), so all sub-compilations can share one
+        # registry: each stream's counters are bumped by exactly one
+        # partition's monitor.
+        if isinstance(monitor, Monitor):
+            registry = monitor._metrics_registry()
+        else:
+            from .obs.metrics import MetricsRegistry
+
+            registry = MetricsRegistry()
+        compile_kwargs["metrics"] = registry
+        before = registry.snapshot()
     runner = PartitionedRunner(
         compiled,
         on_output,
-        compile_kwargs=compile_options.build_kwargs(),
+        compile_kwargs=compile_kwargs,
         plan=plan,
         jobs=options.jobs,
         validate_inputs=options.validate_inputs,
@@ -474,6 +550,10 @@ def _partitioned_run(
     report = runner.finish(end_time=options.end_time)
     if stats is not None:
         report.absorb_ingest(stats)
+    if registry is not None:
+        from .obs.metrics import diff_snapshots
+
+        report.metrics = diff_snapshots(before, registry.snapshot())
     return report
 
 
@@ -521,5 +601,6 @@ def run_many(
         batch_size=options.batch_size,
         validate_inputs=options.validate_inputs,
         collect_outputs=collect_outputs,
+        metrics=options.metrics,
         on_result=on_result,
     )

@@ -10,7 +10,11 @@ Subcommands over a textual specification file:
 * ``dot``      — emit the colour-coded usage graph as GraphViz;
 * ``emit``     — print the generated Python monitor source;
 * ``run``      — run the monitor on a CSV event trace
-  (lines ``timestamp,stream,value``) and print outputs as CSV.
+  (lines ``timestamp,stream,value``) and print outputs as CSV;
+* ``profile``  — run the monitor with the observability layer on and
+  print a per-stream copy/in-place table, compile-phase timings and
+  plan-cache counters (``--json`` for machine-readable output); see
+  ``docs/observability.md``.
 
 ``--strict`` (for ``analyze`` and ``lint``) exits nonzero when any
 diagnostic of warning severity or above is present, so specifications
@@ -53,6 +57,7 @@ from .analysis.report import AnalysisReport
 from .frontend import parse_spec
 from .lang import check_types, flatten
 from .lang import types as ty
+from .parallel.pool import PoolError
 
 
 class CliError(Exception):
@@ -311,11 +316,138 @@ def _cmd_run(args, flat) -> int:
     return 0
 
 
+def _cmd_profile(args, flat) -> int:
+    """The ``profile`` subcommand: one instrumented run, human summary.
+
+    Compiles with the metrics registry and the phase tracer enabled,
+    drives the trace through ``repro.api.run`` with
+    ``RunOptions(metrics=True)``, and prints a per-stream table of
+    ``copies_performed`` vs ``inplace_updates`` (the paper's "copies
+    avoided by mutability classification" claim, measured), the
+    compile-phase and batch span timings, and the plan-cache counters.
+    ``--json`` emits the same data as one JSON object.
+    """
+    import json as json_mod
+
+    from .obs.metrics import DEFAULT_REGISTRY, merge_snapshots
+    from .obs.trace import TRACER
+
+    if not args.trace:
+        raise CliError("'profile' requires --trace")
+
+    was_traced = TRACER.enabled
+    was_metered = DEFAULT_REGISTRY.enabled
+    TRACER.enabled = True
+    TRACER.clear()
+    DEFAULT_REGISTRY.enabled = True
+    default_before = DEFAULT_REGISTRY.snapshot()
+    try:
+        events = _read_trace(args.trace, flat)
+        monitor = api.compile(flat, _compile_options(args))
+        run_options = api.RunOptions(
+            end_time=args.end_time,
+            batch_size=args.batch_size or 4096,
+            validate_inputs=args.validate_inputs,
+            jobs=args.jobs,
+            partition=args.partition,
+            metrics=True,
+        )
+        report = api.run(monitor, events, run_options)
+        phases = TRACER.totals()
+    finally:
+        TRACER.enabled = was_traced
+        DEFAULT_REGISTRY.enabled = was_metered
+
+    from .obs.metrics import diff_snapshots
+
+    snapshot = merge_snapshots(
+        report.metrics,
+        diff_snapshots(default_before, DEFAULT_REGISTRY.snapshot()),
+    ) or {"counters": {}, "streams": {}}
+    backends = monitor.compiled.backends
+    streams = snapshot.get("streams", {})
+    rows = [
+        (
+            name,
+            backends[name].name.lower() if name in backends else "?",
+            stats["copies_performed"],
+            stats["inplace_updates"],
+        )
+        for name, stats in sorted(streams.items())
+    ]
+
+    if args.json:
+        print(
+            json_mod.dumps(
+                {
+                    "streams": {
+                        name: {
+                            "backend": backend,
+                            "copies_performed": copies,
+                            "inplace_updates": inplace,
+                        }
+                        for name, backend, copies, inplace in rows
+                    },
+                    "phases": phases,
+                    "counters": snapshot.get("counters", {}),
+                    "report": report.as_dict(),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+
+    if rows:
+        widths = (
+            max(len("stream"), *(len(r[0]) for r in rows)),
+            max(len("backend"), *(len(r[1]) for r in rows)),
+        )
+        header = (
+            f"{'stream':<{widths[0]}}  {'backend':<{widths[1]}}"
+            f"  {'copies':>8}  {'in-place':>8}"
+        )
+        print(header)
+        print("-" * len(header))
+        for name, backend, copies, inplace in rows:
+            print(
+                f"{name:<{widths[0]}}  {backend:<{widths[1]}}"
+                f"  {copies:>8}  {inplace:>8}"
+            )
+    else:
+        print("no structure-updating streams in this specification")
+    if phases:
+        print("\nphases:")
+        for name, agg in phases.items():
+            print(
+                f"  {name:<26} {agg['seconds'] * 1000:>9.2f} ms"
+                f"  x{agg['count']}"
+            )
+    counters = snapshot.get("counters", {})
+    if counters:
+        print("\ncounters:")
+        for name in sorted(counters):
+            print(f"  {name} = {counters[name]}")
+    print(
+        f"\nevents: in={report.events_in} out={report.events_out}"
+        f" batches={report.batches}"
+    )
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="repro-compile")
     parser.add_argument(
         "command",
-        choices=["analyze", "lint", "dot", "emit", "emit-scala", "run"],
+        choices=[
+            "analyze",
+            "lint",
+            "dot",
+            "emit",
+            "emit-scala",
+            "run",
+            "profile",
+        ],
     )
     parser.add_argument("spec", help="path to the specification file")
     parser.add_argument(
@@ -526,9 +658,16 @@ def main(argv=None) -> int:
                     name: result.backend_for(name) for name in flat.streams
                 }
             print(generate_scala_source(flat, order, backends))
+        elif args.command == "profile":
+            return _cmd_profile(args, flat)
         else:  # run
             return _cmd_run(args, flat)
     except (CliError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except PoolError as exc:
+        # A worker crash under fail-fast: one diagnostic line (which
+        # trace failed and why), nonzero exit, no traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 1
     except Exception as exc:  # spec/compile errors: message only

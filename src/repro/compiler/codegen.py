@@ -50,11 +50,18 @@ class CodeGenerator:
         backend_for: Callable[[str], Backend],
         class_name: str = "GeneratedMonitor",
         error_policy: Optional[ErrorPolicy] = None,
+        metrics: Optional[Any] = None,
     ) -> None:
         self.flat = flat
         self.order = list(order)
         self.backend_for = backend_for
         self.class_name = class_name
+        #: Optional :class:`repro.obs.metrics.MetricsRegistry`; when set,
+        #: structure-writing lifts are wrapped with per-stream copy /
+        #: in-place counters.  ``None`` (the default) installs no wrapper
+        #: at all, so uninstrumented monitors bind the exact same
+        #: callables as before.
+        self.metrics = metrics
         #: When set, the generated monitor evaluates under the hardened
         #: error semantics (see :mod:`repro.compiler.runtime`): lifts
         #: are wrapped, delay re-arms tolerate error amounts, and a
@@ -79,6 +86,10 @@ class CodeGenerator:
         for name, expr in self.flat.definitions.items():
             if isinstance(expr, Lift) and expr.func.name != "merge":
                 impl = expr.func.bind(self.backend_for(name))
+                if self.metrics is not None:
+                    from ..obs.metrics import instrument_lift
+
+                    impl = instrument_lift(impl, expr.func, name, self.metrics)
                 if self.error_policy is not None:
                     impl = wrap_lift(
                         name, expr.func.name, impl, self.error_policy
@@ -379,13 +390,15 @@ def generate_monitor_class(
     default_backend: Backend = Backend.PERSISTENT,
     class_name: str = "GeneratedMonitor",
     error_policy: Optional[ErrorPolicy] = None,
+    metrics: Optional[Any] = None,
 ) -> type:
     """Generate and compile a monitor class.
 
     ``backends`` maps stream names to collection backends; unknown
     streams use *default_backend*.  ``error_policy`` switches on the
     hardened error-propagating evaluation (``None`` compiles the exact
-    seed code).
+    seed code).  ``metrics`` threads a registry into the lift bindings
+    for per-stream copy/in-place counting.
     """
     generator = CodeGenerator(
         flat,
@@ -393,6 +406,7 @@ def generate_monitor_class(
         lambda name: backends.get(name, default_backend),
         class_name,
         error_policy=error_policy,
+        metrics=metrics,
     )
     return generator.compile()
 
@@ -406,6 +420,7 @@ def monitor_class_from_code(
     default_backend: Backend = Backend.PERSISTENT,
     class_name: str = "GeneratedMonitor",
     error_policy: Optional[ErrorPolicy] = None,
+    metrics: Optional[Any] = None,
 ) -> Optional[type]:
     """Rebuild a monitor class from a cached marshal'd code object.
 
@@ -426,6 +441,7 @@ def monitor_class_from_code(
         lambda name: backends.get(name, default_backend),
         class_name,
         error_policy=error_policy,
+        metrics=metrics,
     )
     generator._bind_functions()
     try:
@@ -468,6 +484,7 @@ def monitor_class_from_recipe(
     default_backend: Backend = Backend.PERSISTENT,
     class_name: str = "GeneratedMonitor",
     error_policy: Optional[ErrorPolicy] = None,
+    metrics: Optional[Any] = None,
 ) -> Optional[type]:
     """Rebuild a monitor class without the flat specification.
 
@@ -492,9 +509,12 @@ def monitor_class_from_recipe(
         namespace["_delay_next"] = delay_next
     try:
         for stream, func_name in lifts.items():
-            impl = builtin(func_name).bind(
-                backends.get(stream, default_backend)
-            )
+            func = builtin(func_name)
+            impl = func.bind(backends.get(stream, default_backend))
+            if metrics is not None:
+                from ..obs.metrics import instrument_lift
+
+                impl = instrument_lift(impl, func, stream, metrics)
             if error_policy is not None:
                 impl = wrap_lift(stream, func_name, impl, error_policy)
             namespace[f"_f_{stream}"] = impl

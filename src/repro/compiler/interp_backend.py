@@ -175,11 +175,14 @@ def make_interpreted_class(
     default_backend: Backend = Backend.PERSISTENT,
     class_name: str = "InterpretedMonitor",
     error_policy: Optional[ErrorPolicy] = None,
+    metrics: Optional[Any] = None,
 ) -> type:
     """Build an interpreted monitor class for *flat* (codegen-free).
 
     ``error_policy`` enables the hardened error-propagating evaluation,
     mirroring the generated engine (see :mod:`repro.compiler.runtime`).
+    ``metrics`` threads a registry into the lift bindings for per-stream
+    copy/in-place counting.
     """
     if sorted(order) != sorted(flat.streams):
         raise CodegenError("order must enumerate exactly the spec's streams")
@@ -193,6 +196,10 @@ def make_interpreted_class(
         hardened_step = False
         if isinstance(expr, Lift):
             impl = expr.func.bind(backends.get(name, default_backend))
+            if metrics is not None and expr.func.name != "merge":
+                from ..obs.metrics import instrument_lift
+
+                impl = instrument_lift(impl, expr.func, name, metrics)
             if error_mode and expr.func.name != "merge":
                 # merge passes values (errors included) through
                 # unchanged, so it keeps the plain calling convention.

@@ -43,6 +43,7 @@ from ..lang.spec import FlatSpec, Specification
 from ..lang.typecheck import check_types
 from ..semantics.stream import Stream
 from ..structures import Backend
+from ..obs.trace import TRACER
 from .codegen import generate_monitor_class, monitor_class_from_code
 from .monitor import MonitorBase, collecting_callback
 from .plancache import CachedPlan, PlanCache, plan_fingerprint
@@ -76,6 +77,9 @@ class CompiledSpec:
     #: Mutability set restored from a cached plan (when ``analysis`` is
     #: not available because the analysis was skipped on a cache hit).
     cached_mutable: Optional[frozenset] = None
+    #: The :class:`~repro.obs.metrics.MetricsRegistry` the lift bindings
+    #: were instrumented with, or ``None`` for an uninstrumented compile.
+    metrics: Optional[Any] = None
 
     @property
     def source(self) -> str:
@@ -165,6 +169,7 @@ def build_compiled_spec(
     error_policy: Union[ErrorPolicy, str, None] = None,
     alias_guard: bool = False,
     plan_cache: Union[str, PlanCache, None] = None,
+    metrics: Optional[Any] = None,
 ) -> CompiledSpec:
     """Compile *spec* into a monitor class (see module docstring).
 
@@ -188,17 +193,22 @@ def build_compiled_spec(
 
     ``plan_cache`` (a directory path or a :class:`PlanCache`) persists
     and reuses the analysis outputs across processes.
+
+    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) threads
+    per-stream copy/in-place counters into the lift bindings; ``None``
+    compiles exactly the uninstrumented callables.
     """
     policy = coerce_policy(error_policy)
-    flat = spec if isinstance(spec, FlatSpec) else flatten(spec)
-    if not flat.types:
-        check_types(flat)
-    if prune_dead:
-        from ..lang.prune import prune
-
-        flat = prune(flat)
+    with TRACER.span("compile.flatten"):
+        flat = spec if isinstance(spec, FlatSpec) else flatten(spec)
         if not flat.types:
             check_types(flat)
+        if prune_dead:
+            from ..lang.prune import prune
+
+            flat = prune(flat)
+            if not flat.types:
+                check_types(flat)
 
     if isinstance(plan_cache, str):
         plan_cache = PlanCache(plan_cache)
@@ -225,8 +235,10 @@ def build_compiled_spec(
         optimized = cached.optimized
         cached_mutable = cached.mutable
     elif backend_override is not None:
-        graph = build_usage_graph(flat)
-        order = translation_order(graph)
+        with TRACER.span("compile.usage_graph"):
+            graph = build_usage_graph(flat)
+        with TRACER.span("compile.translation_order"):
+            order = translation_order(graph)
         backends = {name: backend_override for name in flat.streams}
         optimized = False
     elif optimize:
@@ -237,8 +249,10 @@ def build_compiled_spec(
         }
         optimized = True
     else:
-        graph = build_usage_graph(flat)
-        order = translation_order(graph)
+        with TRACER.span("compile.usage_graph"):
+            graph = build_usage_graph(flat)
+        with TRACER.span("compile.translation_order"):
+            order = translation_order(graph)
         backends = {name: Backend.PERSISTENT for name in flat.streams}
         optimized = False
 
@@ -260,47 +274,53 @@ def build_compiled_spec(
     ):
         # The entry carries the generated module (.pyc-style): skip
         # source assembly and recompilation, rebind the namespace only.
-        monitor_class = monitor_class_from_code(
-            flat,
-            order,
-            backends,
-            cached.source or "",
-            cached.code,
-            class_name=class_name,
-            error_policy=policy,
-        )
+        with TRACER.span("compile.codegen"):
+            monitor_class = monitor_class_from_code(
+                flat,
+                order,
+                backends,
+                cached.source or "",
+                cached.code,
+                class_name=class_name,
+                error_policy=policy,
+                metrics=metrics,
+            )
 
     if monitor_class is None:
-        if engine == "codegen":
-            monitor_class = generate_monitor_class(
-                flat,
-                order,
-                backends,
-                class_name=class_name,
-                error_policy=policy,
-            )
-        elif engine == "interpreted":
-            from .interp_backend import make_interpreted_class
+        with TRACER.span("compile.codegen"):
+            if engine == "codegen":
+                monitor_class = generate_monitor_class(
+                    flat,
+                    order,
+                    backends,
+                    class_name=class_name,
+                    error_policy=policy,
+                    metrics=metrics,
+                )
+            elif engine == "interpreted":
+                from .interp_backend import make_interpreted_class
 
-            monitor_class = make_interpreted_class(
-                flat,
-                order,
-                backends,
-                class_name=class_name,
-                error_policy=policy,
-            )
-        elif engine == "plan":
-            from .plan import make_plan_class
+                monitor_class = make_interpreted_class(
+                    flat,
+                    order,
+                    backends,
+                    class_name=class_name,
+                    error_policy=policy,
+                    metrics=metrics,
+                )
+            elif engine == "plan":
+                from .plan import make_plan_class
 
-            monitor_class = make_plan_class(
-                flat,
-                order,
-                backends,
-                class_name=class_name,
-                error_policy=policy,
-            )
-        else:
-            raise ValueError(f"unknown engine {engine!r}")
+                monitor_class = make_plan_class(
+                    flat,
+                    order,
+                    backends,
+                    class_name=class_name,
+                    error_policy=policy,
+                    metrics=metrics,
+                )
+            else:
+                raise ValueError(f"unknown engine {engine!r}")
 
     if plan_cache is not None and cached is None:
         import marshal
@@ -309,28 +329,29 @@ def build_compiled_spec(
 
         code = getattr(monitor_class, "CODE", None)
         blob = marshal.dumps(code) if code is not None else None
-        plan_cache.store(
-            fingerprint,
-            CachedPlan(
-                order=tuple(order),
-                backends=pre_guard_backends,
-                optimized=optimized,
-                mutable=(
-                    frozenset(analysis.mutable)
-                    if analysis is not None
-                    else frozenset()
+        with TRACER.span("compile.cache_store"):
+            plan_cache.store(
+                fingerprint,
+                CachedPlan(
+                    order=tuple(order),
+                    backends=pre_guard_backends,
+                    optimized=optimized,
+                    mutable=(
+                        frozenset(analysis.mutable)
+                        if analysis is not None
+                        else frozenset()
+                    ),
+                    source=(
+                        getattr(monitor_class, "SOURCE", None)
+                        if blob is not None
+                        else None
+                    ),
+                    code=blob,
+                    class_name=class_name if blob is not None else None,
+                    lifts=lift_recipe(flat) if blob is not None else None,
+                    plan_key=fingerprint,
                 ),
-                source=(
-                    getattr(monitor_class, "SOURCE", None)
-                    if blob is not None
-                    else None
-                ),
-                code=blob,
-                class_name=class_name if blob is not None else None,
-                lifts=lift_recipe(flat) if blob is not None else None,
-                plan_key=fingerprint,
-            ),
-        )
+            )
     return CompiledSpec(
         flat=flat,
         monitor_class=monitor_class,
@@ -344,7 +365,57 @@ def build_compiled_spec(
         fingerprint=fingerprint,
         plan_cache_hit=plan_cache_hit,
         cached_mutable=cached_mutable,
+        metrics=metrics,
     )
+
+
+def instrumented_twin(compiled: CompiledSpec, metrics: Any) -> CompiledSpec:
+    """An instrumented copy of *compiled* sharing its analysis outputs.
+
+    Only the monitor class is rebuilt — with *metrics* threaded into the
+    lift bindings — reusing the existing flat spec, translation order
+    and backend assignment, so no parsing or analysis is repeated.  The
+    uninstrumented original stays untouched: runs without metrics keep
+    executing the exact pre-existing callables.
+    """
+    from dataclasses import replace
+
+    flat = compiled.flat
+    class_name = compiled.monitor_class.__name__
+    if compiled.engine == "codegen":
+        monitor_class = generate_monitor_class(
+            flat,
+            compiled.order,
+            compiled.backends,
+            class_name=class_name,
+            error_policy=compiled.error_policy,
+            metrics=metrics,
+        )
+    elif compiled.engine == "interpreted":
+        from .interp_backend import make_interpreted_class
+
+        monitor_class = make_interpreted_class(
+            flat,
+            compiled.order,
+            compiled.backends,
+            class_name=class_name,
+            error_policy=compiled.error_policy,
+            metrics=metrics,
+        )
+    elif compiled.engine == "plan":
+        from .plan import make_plan_class
+
+        monitor_class = make_plan_class(
+            flat,
+            compiled.order,
+            compiled.backends,
+            class_name=class_name,
+            error_policy=compiled.error_policy,
+            metrics=metrics,
+        )
+    else:
+        raise ValueError(f"unknown engine {compiled.engine!r}")
+    return replace(compiled, monitor_class=monitor_class, metrics=metrics)
 
 
 class _LazyFlat:
@@ -391,6 +462,7 @@ def build_compiled_spec_from_text(
     error_policy: Union[ErrorPolicy, str, None] = None,
     alias_guard: bool = False,
     plan_cache: Union[str, PlanCache, None] = None,
+    metrics: Optional[Any] = None,
 ) -> CompiledSpec:
     """Compile raw specification text, with the text-keyed fast path.
 
@@ -445,6 +517,7 @@ def build_compiled_spec_from_text(
                 cached.code,
                 class_name=class_name,
                 error_policy=policy,
+                metrics=metrics,
             )
             if monitor_class is not None:
                 return CompiledSpec(
@@ -460,6 +533,7 @@ def build_compiled_spec_from_text(
                     fingerprint=cached.plan_key or text_key,
                     plan_cache_hit=True,
                     cached_mutable=cached.mutable,
+                    metrics=metrics,
                 )
 
     from ..frontend import parse_spec
@@ -474,6 +548,7 @@ def build_compiled_spec_from_text(
         error_policy=policy,
         alias_guard=alias_guard,
         plan_cache=plan_cache,
+        metrics=metrics,
     )
     if text_key is not None:
         from .codegen import lift_recipe

@@ -126,6 +126,7 @@ def build_plan(
     backends: Mapping[str, Backend],
     default_backend: Backend = Backend.PERSISTENT,
     error_policy: Optional[ErrorPolicy] = None,
+    metrics: Optional[Any] = None,
 ) -> ExecutionPlan:
     """Lower *flat* along *order* into an :class:`ExecutionPlan`."""
     if sorted(order) != sorted(flat.streams):
@@ -176,6 +177,10 @@ def build_plan(
                 ops.append((OP_MERGE, dst, arg_slots, None))
                 continue
             impl = expr.func.bind(backends.get(name, default_backend))
+            if metrics is not None:
+                from ..obs.metrics import instrument_lift
+
+                impl = instrument_lift(impl, expr.func, name, metrics)
             if error_mode:
                 impl = wrap_lift(name, expr.func.name, impl, error_policy)
             opcode = (
@@ -319,6 +324,7 @@ def make_plan_class(
     default_backend: Backend = Backend.PERSISTENT,
     class_name: str = "PlanMonitor",
     error_policy: Optional[ErrorPolicy] = None,
+    metrics: Optional[Any] = None,
 ) -> type:
     """Build a plan-engine monitor class for *flat*.
 
@@ -331,6 +337,7 @@ def make_plan_class(
         backends,
         default_backend=default_backend,
         error_policy=error_policy,
+        metrics=metrics,
     )
     return type(
         class_name,

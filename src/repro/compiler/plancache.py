@@ -38,6 +38,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..errors import ErrorPolicy
+from ..obs.metrics import DEFAULT_REGISTRY
 from ..structures import Backend
 
 #: Bump when the entry layout (or plan semantics) change; old entries
@@ -180,17 +181,25 @@ class PlanCache:
     def path_for(self, key: str) -> str:
         return os.path.join(self.directory, key[:40] + PLAN_SUFFIX)
 
+    def _miss(self) -> None:
+        self.misses += 1
+        DEFAULT_REGISTRY.inc("plan_cache.misses")
+
+    def _hit(self) -> None:
+        self.hits += 1
+        DEFAULT_REGISTRY.inc("plan_cache.hits")
+
     def load(self, key: str) -> Optional[CachedPlan]:
         """The cached plan for *key*, or ``None`` (miss/corrupt/stale)."""
         try:
             with open(self.path_for(key)) as handle:
                 entry = json.load(handle)
         except (OSError, ValueError):
-            self.misses += 1
+            self._miss()
             return None
         try:
             if entry["version"] != PLAN_CACHE_VERSION or entry["key"] != key:
-                self.misses += 1
+                self._miss()
                 return None
             source = code = class_name = None
             if (
@@ -229,9 +238,9 @@ class PlanCache:
                 plan_key=entry.get("plan_key") or None,
             )
         except (KeyError, TypeError, AttributeError):
-            self.misses += 1
+            self._miss()
             return None
-        self.hits += 1
+        self._hit()
         return plan
 
     def store(self, key: str, plan: CachedPlan) -> str:

@@ -34,6 +34,7 @@ from typing import Any, Callable, Dict, Iterable, Optional, Tuple
 
 from ..errors import ErrorPolicy, ErrorValue, LiftError
 from ..lang import types as ty
+from ..obs.trace import TRACER
 from ..structures.guard import AliasGuardError
 from ..structures.interface import MapBase, QueueBase, SetBase, VectorBase
 from .checkpoint import CheckpointManager, spec_fingerprint
@@ -84,6 +85,13 @@ class RunReport:
     events_skipped_on_resume: int = 0
     #: Path of the checkpoint this run resumed from, if any.
     resumed_from: Optional[str] = None
+    #: True once a merge saw two different resume provenances — the
+    #: conflict is sticky so merging is associative: once ambiguous,
+    #: ``resumed_from`` stays ``None`` no matter what merges in later.
+    resume_conflict: bool = False
+    #: Metric snapshot of an instrumented run (see :mod:`repro.obs`);
+    #: ``None`` when the run was not instrumented.
+    metrics: Optional[Dict[str, Any]] = None
 
     def faults_absorbed(self) -> int:
         """Total abnormal occurrences the run survived."""
@@ -115,6 +123,8 @@ class RunReport:
             "checkpoints_written": self.checkpoints_written,
             "events_skipped_on_resume": self.events_skipped_on_resume,
             "resumed_from": self.resumed_from,
+            "resume_conflict": self.resume_conflict,
+            "metrics": self.metrics,
             "faults_absorbed": self.faults_absorbed(),
         }
 
@@ -156,7 +166,9 @@ class RunReport:
         counters are summed; ``plan_cache_hit`` treats ``None`` as "no
         cache consulted" (the other side's verdict wins) and conflicting
         verdicts as ``False`` (at least one miss); ``resumed_from`` is
-        kept only when unambiguous.
+        kept only when unambiguous — the ambiguity is remembered in
+        ``resume_conflict`` so the fold is associative and
+        order-insensitive; ``metrics`` snapshots sum leaf-wise.
         """
         for field in self._COUNTER_FIELDS:
             setattr(
@@ -167,11 +179,23 @@ class RunReport:
                 self.plan_cache_hit = other.plan_cache_hit
             elif self.plan_cache_hit != other.plan_cache_hit:
                 self.plan_cache_hit = False
-        if other.resumed_from is not None:
-            if self.resumed_from is None:
-                self.resumed_from = other.resumed_from
-            elif self.resumed_from != other.resumed_from:
-                self.resumed_from = None
+        if (
+            self.resume_conflict
+            or other.resume_conflict
+            or (
+                self.resumed_from is not None
+                and other.resumed_from is not None
+                and self.resumed_from != other.resumed_from
+            )
+        ):
+            self.resume_conflict = True
+            self.resumed_from = None
+        elif self.resumed_from is None:
+            self.resumed_from = other.resumed_from
+        if other.metrics is not None:
+            from ..obs.metrics import merge_snapshots
+
+            self.metrics = merge_snapshots(self.metrics, other.metrics)
         return self
 
 
@@ -430,6 +454,12 @@ class MonitorRunner:
         checkpoint is written per batch, when a cadence boundary was
         crossed.  Returns the number of events consumed.
         """
+        if TRACER.enabled:
+            with TRACER.span("run.batch"):
+                return self._feed_batch(events)
+        return self._feed_batch(events)
+
+    def _feed_batch(self, events: Iterable[Tuple[int, str, Any]]) -> int:
         if not isinstance(events, list):
             events = list(events)
         if not events:

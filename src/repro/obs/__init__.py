@@ -1,0 +1,41 @@
+"""Observability layer: metrics, phase tracing, and exposition.
+
+The paper's central claim (§I, §VI) is that the mutability analysis
+eliminates aggregate copies a naive immutable implementation would
+perform.  This package makes that claim *observable at runtime*:
+
+- :mod:`repro.obs.metrics` — a process-local registry of counters,
+  gauges and histograms, plus per-stream ``copies_performed`` /
+  ``inplace_updates`` counters wired into the lift binding layer.
+- :mod:`repro.obs.trace` — span timing for compile-pipeline phases and
+  runtime batches, with a no-op fast path when disabled.
+- :mod:`repro.obs.export` — JSON and Prometheus text exposition.
+
+Everything here is off by default and costs (almost) nothing when off:
+metric wrappers are only installed on instrumented compiles, and the
+tracer's disabled path is a single attribute check.
+"""
+
+from .metrics import (
+    DEFAULT_REGISTRY,
+    MetricsRegistry,
+    StreamStats,
+    diff_snapshots,
+    instrument_lift,
+    merge_snapshots,
+)
+from .trace import TRACER, Tracer
+from .export import to_json, to_prometheus
+
+__all__ = [
+    "DEFAULT_REGISTRY",
+    "MetricsRegistry",
+    "StreamStats",
+    "TRACER",
+    "Tracer",
+    "diff_snapshots",
+    "instrument_lift",
+    "merge_snapshots",
+    "to_json",
+    "to_prometheus",
+]

@@ -1,0 +1,61 @@
+"""Exposition formats for metric snapshots: JSON and Prometheus text.
+
+Both functions take the nested-dict snapshot shape produced by
+:meth:`repro.obs.metrics.MetricsRegistry.snapshot` (and attached to
+``RunReport.metrics``).  The Prometheus output follows the text
+exposition format version 0.0.4: one ``# TYPE`` line per family,
+counters suffixed ``_total``, histograms flattened to
+``_count``/``_sum``/``_min``/``_max`` gauges, per-stream counters
+labelled ``{stream="..."}``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+__all__ = ["to_json", "to_prometheus"]
+
+
+def to_json(snapshot: Dict[str, Any], indent: int = 2) -> str:
+    """Stable-keyed JSON rendering of a metric snapshot."""
+    return json.dumps(snapshot, indent=indent, sort_keys=True)
+
+
+def _metric_name(name: str) -> str:
+    """Dotted metric names become Prometheus-legal underscore names."""
+    return "repro_" + name.replace(".", "_").replace("-", "_")
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def to_prometheus(snapshot: Dict[str, Any]) -> str:
+    """Prometheus text exposition of a metric snapshot."""
+    lines: List[str] = []
+    for name in sorted(snapshot.get("counters", {})):
+        metric = _metric_name(name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {snapshot['counters'][name]}")
+    for name in sorted(snapshot.get("gauges", {})):
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {snapshot['gauges'][name]}")
+    for name in sorted(snapshot.get("histograms", {})):
+        h = snapshot["histograms"][name]
+        base = _metric_name(name)
+        lines.append(f"# TYPE {base} summary")
+        lines.append(f"{base}_count {h['count']}")
+        lines.append(f"{base}_sum {h['sum']}")
+        lines.append(f"{base}_min {h['min']}")
+        lines.append(f"{base}_max {h['max']}")
+    streams = snapshot.get("streams", {})
+    if streams:
+        for kind in ("copies_performed", "inplace_updates"):
+            metric = f"repro_{kind}_total"
+            lines.append(f"# TYPE {metric} counter")
+            for stream in sorted(streams):
+                label = _escape_label(stream)
+                lines.append(f'{metric}{{stream="{label}"}} {streams[stream][kind]}')
+    return "\n".join(lines) + ("\n" if lines else "")

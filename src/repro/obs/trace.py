@@ -1,0 +1,94 @@
+"""Span timing for compile-pipeline phases and runtime batches.
+
+A :class:`Tracer` records ``(name, seconds)`` pairs.  The compile
+pipeline opens one span per phase (``compile.flatten``,
+``compile.usage_graph``, ``compile.triggering``, ``compile.aliasing``,
+``compile.mutability``, ``compile.translation_order``,
+``compile.codegen``, ``compile.cache_store``); the runner opens a
+``run.batch`` span per batch.  Edge classification happens while the
+usage graph is built, so its cost is reported under
+``compile.usage_graph``.
+
+When disabled (the default), ``span()`` returns a shared reusable
+null context — one attribute check and no allocation per call site, so
+the spans can stay in the hot compile path unconditionally.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Tuple
+
+__all__ = ["TRACER", "Tracer"]
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    __slots__ = ("tracer", "name", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str) -> None:
+        self.tracer = tracer
+        self.name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.tracer._record(self.name, time.perf_counter() - self._start)
+
+
+class Tracer:
+    """Process-local span recorder with a no-op disabled path."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._spans: List[Tuple[str, float]] = []
+
+    def span(self, name: str):
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name)
+
+    def _record(self, name: str, seconds: float) -> None:
+        with self._lock:
+            self._spans.append((name, seconds))
+
+    def spans(self) -> List[Tuple[str, float]]:
+        with self._lock:
+            return list(self._spans)
+
+    def totals(self) -> Dict[str, Dict[str, float]]:
+        """Per-span-name ``{count, seconds}`` aggregate, insertion-ordered."""
+        out: Dict[str, Dict[str, float]] = {}
+        for name, seconds in self.spans():
+            agg = out.get(name)
+            if agg is None:
+                out[name] = {"count": 1, "seconds": seconds}
+            else:
+                agg["count"] += 1
+                agg["seconds"] += seconds
+        return out
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+
+#: Process-wide tracer used by the compile pipeline and the runner.
+TRACER = Tracer(enabled=False)

@@ -96,11 +96,31 @@ class _WorkerRunOptions:
     batch_size: Optional[int] = None
     validate_inputs: bool = False
     collect_outputs: bool = True
+    #: Instrument each trace run with per-stream copy/in-place counters;
+    #: the per-trace snapshot rides home on ``RunReport.metrics`` (a
+    #: plain dict, so it pickles across the process boundary) and the
+    #: pool's merged report sums them.
+    metrics: bool = False
 
 
 #: Per-process compiled monitor, set by the pool initializer.
 _WORKER_COMPILED: Any = None
 _WORKER_OPTIONS: Optional[_WorkerRunOptions] = None
+#: Per-process instrumented twins, keyed by id() of the uninstrumented
+#: compiled spec — built lazily on the first metrics trace in each
+#: process and reused for the rest of that process's traces.
+_INSTRUMENTED_TWINS: Dict[int, Any] = {}
+
+
+def _instrumented(compiled: Any) -> Any:
+    twin = _INSTRUMENTED_TWINS.get(id(compiled))
+    if twin is None:
+        from ..compiler.pipeline import instrumented_twin
+        from ..obs.metrics import MetricsRegistry
+
+        twin = instrumented_twin(compiled, MetricsRegistry())
+        _INSTRUMENTED_TWINS[id(compiled)] = twin
+    return twin
 
 
 def _pool_init(payload: Any, options: Any, run_options: _WorkerRunOptions):
@@ -129,6 +149,12 @@ def _run_one(
 
         outputs = collected
 
+    registry = None
+    before = None
+    if options.metrics:
+        compiled = _instrumented(compiled)
+        registry = compiled.metrics
+        before = registry.snapshot()
     runner = MonitorRunner(
         compiled, on_output, validate_inputs=options.validate_inputs
     )
@@ -137,6 +163,10 @@ def _run_one(
         end_time=options.end_time,
         batch_size=options.batch_size,
     )
+    if registry is not None:
+        from ..obs.metrics import diff_snapshots
+
+        report.metrics = diff_snapshots(before, registry.snapshot())
     return outputs, report
 
 
@@ -229,6 +259,7 @@ class MonitorPool:
         batch_size: Optional[int] = None,
         validate_inputs: bool = False,
         collect_outputs: bool = True,
+        metrics: bool = False,
         on_result: Optional[Callable[[TraceResult], None]] = None,
     ) -> PoolResult:
         """Run every trace; return ordered results and a merged report.
@@ -243,6 +274,7 @@ class MonitorPool:
             batch_size=batch_size,
             validate_inputs=validate_inputs,
             collect_outputs=collect_outputs,
+            metrics=metrics,
         )
         if self.jobs <= 1 or not self._fork_available():
             return self._run_sequential(traces, run_options, on_result)

@@ -22,6 +22,13 @@ from typing import Any, Iterator
 class SetBase:
     """Protocol shared by :class:`PersistentSet` and :class:`MutableSet`."""
 
+    #: True on backends whose updates land in shared storage (mutable and
+    #: guarded variants).  The observability layer classifies an update as
+    #: in-place or a structural copy by this attribute rather than result
+    #: identity, because guarded backends return a fresh generation handle
+    #: even though the storage was updated destructively.
+    IN_PLACE = False
+
     def add(self, item: Any) -> "SetBase":
         raise NotImplementedError
 
@@ -54,6 +61,9 @@ class SetBase:
 
 class MapBase:
     """Protocol shared by :class:`PersistentMap` and :class:`MutableMap`."""
+
+    #: See :attr:`SetBase.IN_PLACE`.
+    IN_PLACE = False
 
     def put(self, key: Any, value: Any) -> "MapBase":
         raise NotImplementedError
@@ -104,6 +114,9 @@ class QueueBase:
     ``dequeue`` removes at the front.
     """
 
+    #: See :attr:`SetBase.IN_PLACE`.
+    IN_PLACE = False
+
     def enqueue(self, item: Any) -> "QueueBase":
         raise NotImplementedError
 
@@ -141,6 +154,9 @@ class VectorBase:
     An indexed sequence supporting append, functional index update and
     positional reads.
     """
+
+    #: See :attr:`SetBase.IN_PLACE`.
+    IN_PLACE = False
 
     def append(self, item: Any) -> "VectorBase":
         raise NotImplementedError

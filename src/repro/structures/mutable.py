@@ -25,6 +25,7 @@ from .interface import (
 class MutableSet(SetBase):
     """Destructively-updated set; ``add``/``remove`` return ``self``."""
 
+    IN_PLACE = True
     __slots__ = ("_items",)
 
     def __init__(self, items: Iterable[Any] = ()) -> None:
@@ -51,6 +52,7 @@ class MutableSet(SetBase):
 class MutableMap(MapBase):
     """Destructively-updated map; ``put``/``remove`` return ``self``."""
 
+    IN_PLACE = True
     __slots__ = ("_items",)
 
     def __init__(self, pairs: Iterable[Tuple[Any, Any]] = ()) -> None:
@@ -83,6 +85,7 @@ class MutableMap(MapBase):
 class MutableQueue(QueueBase):
     """Destructively-updated FIFO queue backed by ``collections.deque``."""
 
+    IN_PLACE = True
     __slots__ = ("_items",)
 
     def __init__(self, items: Iterable[Any] = ()) -> None:
@@ -113,6 +116,7 @@ class MutableQueue(QueueBase):
 class MutableVector(VectorBase):
     """Destructively-updated indexed sequence backed by ``list``."""
 
+    IN_PLACE = True
     __slots__ = ("_items",)
 
     def __init__(self, items: Iterable[Any] = ()) -> None:

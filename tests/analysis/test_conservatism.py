@@ -3,7 +3,7 @@ must degrade toward persistence, never toward unsound mutability."""
 
 from repro.analysis import AliasAnalysis, MutabilityAnalysis, analyze_mutability
 from repro.analysis.formula import Atom, conj, disj, implies
-from repro.compiler import compile_spec
+from repro.compiler import build_compiled_spec
 from repro.graph import build_usage_graph
 from repro.lang import (
     INT,
@@ -62,8 +62,8 @@ class TestPathEnumerationCap:
         assert "acc" in result.persistent
 
     def test_huge_diamond_still_compiles_and_runs(self):
-        compiled = compile_spec(diamond_spec(10))
-        out = compiled.run({"i": [(1, 4), (2, 4)]})
+        compiled = build_compiled_spec(diamond_spec(10))
+        out = compiled.run_traces({"i": [(1, 4), (2, 4)]})
         assert out["r"] == [(1, False), (2, True)]
 
 
@@ -108,9 +108,9 @@ class TestLargeSpecStress:
         )
         outputs = [previous, "chk"]
         spec = Specification({"i": INT}, definitions, outputs)
-        compiled = compile_spec(spec)
+        compiled = build_compiled_spec(spec)
         assert "fam" in compiled.mutable_streams
-        out = compiled.run({"i": [(t, t) for t in range(1, 50)]})
+        out = compiled.run_traces({"i": [(t, t) for t in range(1, 50)]})
         assert len(out[previous]) == 49
         assert out["chk"].events[-1] == (49, 48)
 
@@ -189,10 +189,10 @@ class TestImplicationCapRegression:
         check_types(flat)
         trace = {"i1": [(t, t) for t in range(1, 20, 2)],
                  "i2": [(t, t) for t in range(2, 20, 2)]}
-        reference = compile_spec(flat, optimize=False).run(trace)
+        reference = build_compiled_spec(flat, optimize=False).run_traces(trace)
         flat2 = flatten(_double_last_chain_spec())
         check_types(flat2)
-        optimized = compile_spec(flat2).run(trace)
+        optimized = build_compiled_spec(flat2).run_traces(trace)
         assert reference["r"].events == optimized["r"].events
 
 

@@ -236,9 +236,9 @@ class TestSerialisation:
 
 class TestCompiledSpecIntegration:
     def test_compiled_spec_exposes_diagnostics(self):
-        from repro.compiler import compile_spec
+        from repro.compiler import build_compiled_spec
 
-        compiled = compile_spec(fig4_lower_spec())
+        compiled = build_compiled_spec(fig4_lower_spec())
         diags = compiled.diagnostics()
         assert any(d.code == "MUT001" for d in diags)
         witnesses = compiled.persistence_witnesses()
@@ -246,7 +246,7 @@ class TestCompiledSpecIntegration:
         assert all(witnesses.values())
 
     def test_unoptimized_compilation_still_lints(self):
-        from repro.compiler import compile_spec
+        from repro.compiler import build_compiled_spec
 
-        compiled = compile_spec(seen_set(), optimize=False)
+        compiled = build_compiled_spec(seen_set(), optimize=False)
         assert compiled.diagnostics() == []

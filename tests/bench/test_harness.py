@@ -126,5 +126,5 @@ class TestAblationHelpers:
         compiled = compile_with_order(
             flat, bad_order, mutable_under_order(result, bad_order)
         )
-        out = compiled.run({"i": [(1, 3), (2, 3), (3, 4)]})
+        out = compiled.run_traces({"i": [(1, 3), (2, 3), (3, 4)]})
         assert out["was"] == [(1, False), (2, True), (3, False)]

@@ -2,13 +2,13 @@
 
 import pytest
 
-from repro.compiler import MonitorError, collecting_callback, compile_spec
+from repro.compiler import MonitorError, collecting_callback, build_compiled_spec
 from repro.speclib import fig1_spec, watchdog
 
 
 class TestAdvance:
     def test_watchdog_fires_without_input(self):
-        compiled = compile_spec(watchdog(10))
+        compiled = build_compiled_spec(watchdog(10))
         on_output, collected = collecting_callback()
         monitor = compiled.new_monitor(on_output)
         monitor.push("hb", 1, 0)  # arms the alarm for t=11
@@ -16,7 +16,7 @@ class TestAdvance:
         assert collected["alarm_at"] == [(11, 11)]
 
     def test_advance_is_exclusive(self):
-        compiled = compile_spec(watchdog(10))
+        compiled = build_compiled_spec(watchdog(10))
         on_output, collected = collecting_callback()
         monitor = compiled.new_monitor(on_output)
         monitor.push("hb", 1, 0)
@@ -26,7 +26,7 @@ class TestAdvance:
         assert collected["alarm_at"] == [(11, 11)]
 
     def test_heartbeat_after_advance_still_accepted(self):
-        compiled = compile_spec(watchdog(10))
+        compiled = build_compiled_spec(watchdog(10))
         on_output, collected = collecting_callback()
         monitor = compiled.new_monitor(on_output)
         monitor.push("hb", 1, 0)
@@ -36,7 +36,7 @@ class TestAdvance:
         assert collected["alarm_at"] == [(19, 19)]
 
     def test_advance_flushes_pending_input(self):
-        compiled = compile_spec(fig1_spec())
+        compiled = build_compiled_spec(fig1_spec())
         on_output, collected = collecting_callback()
         monitor = compiled.new_monitor(on_output)
         monitor.push("i", 5, 4)
@@ -45,7 +45,7 @@ class TestAdvance:
         assert collected["s"] == [(5, False)]
 
     def test_advance_not_beyond_pending_is_noop(self):
-        compiled = compile_spec(fig1_spec())
+        compiled = build_compiled_spec(fig1_spec())
         on_output, collected = collecting_callback()
         monitor = compiled.new_monitor(on_output)
         monitor.push("i", 5, 4)
@@ -56,13 +56,13 @@ class TestAdvance:
         assert collected["s"] == [(5, False)]
 
     def test_advance_after_finish_rejected(self):
-        monitor = compile_spec(fig1_spec()).new_monitor()
+        monitor = build_compiled_spec(fig1_spec()).new_monitor()
         monitor.finish()
         with pytest.raises(MonitorError, match="after finish"):
             monitor.advance(10)
 
     def test_negative_rejected(self):
-        monitor = compile_spec(fig1_spec()).new_monitor()
+        monitor = build_compiled_spec(fig1_spec()).new_monitor()
         with pytest.raises(MonitorError, match="negative"):
             monitor.advance(-1)
 

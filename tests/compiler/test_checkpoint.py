@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.compiler import collecting_callback, compile_spec
+from repro.compiler import collecting_callback, build_compiled_spec
 from repro.speclib import (
     db_access_constraint,
     fig1_spec,
@@ -65,7 +65,7 @@ class TestCheckpointResume:
         trace = [(t, t * 3 % 7) for t in range(1, 30)]
         head, tail = trace[:15], trace[15:]
 
-        compiled = compile_spec(factory(), optimize=optimize)
+        compiled = build_compiled_spec(factory(), optimize=optimize)
         on_output, collected = collecting_callback()
         monitor = compiled.new_monitor(on_output)
         run_events(monitor, head, collected)
@@ -91,7 +91,7 @@ class TestCheckpointResume:
 
     def test_checkpoint_isolated_from_live_updates(self, factory, optimize):
         trace = [(t, t % 5) for t in range(1, 25)]
-        compiled = compile_spec(factory(), optimize=optimize)
+        compiled = build_compiled_spec(factory(), optimize=optimize)
         on_output, collected = collecting_callback()
         monitor = compiled.new_monitor(on_output)
         run_events(monitor, trace[:10], collected)
@@ -133,7 +133,7 @@ class TestSnapshotEveryAggregateKind:
     def test_snapshot_restore_then_continue(self, factory, optimize):
         trace = [(t, (t * 5) % 9) for t in range(1, 40)]
         head, tail = trace[:20], trace[20:]
-        compiled = compile_spec(factory(), optimize=optimize)
+        compiled = build_compiled_spec(factory(), optimize=optimize)
 
         on_output, collected = collecting_callback()
         monitor = compiled.new_monitor(on_output)
@@ -156,7 +156,7 @@ class TestSnapshotEveryAggregateKind:
 
     def test_snapshot_isolated_from_later_mutation(self, factory, optimize):
         trace = [(t, t % 4) for t in range(1, 30)]
-        compiled = compile_spec(factory(), optimize=optimize)
+        compiled = build_compiled_spec(factory(), optimize=optimize)
         on_output, collected = collecting_callback()
         monitor = compiled.new_monitor(on_output)
         run_events(monitor, trace[:12], collected)
@@ -183,7 +183,7 @@ class TestSnapshotEveryAggregateKind:
 
 class TestCheckpointOtherEngines:
     def test_interpreted_engine(self):
-        compiled = compile_spec(seen_set(), engine="interpreted")
+        compiled = build_compiled_spec(seen_set(), engine="interpreted")
         on_output, collected = collecting_callback()
         monitor = compiled.new_monitor(on_output)
         monitor.push("i", 1, 4)
@@ -201,7 +201,7 @@ class TestCheckpointOtherEngines:
         assert col2["was"] == [(1, False), (2, True)]
 
     def test_delay_state_restored(self):
-        compiled = compile_spec(watchdog(10))
+        compiled = build_compiled_spec(watchdog(10))
         on_output, collected = collecting_callback()
         monitor = compiled.new_monitor(on_output)
         monitor.push("hb", 1, 0)
@@ -215,7 +215,7 @@ class TestCheckpointOtherEngines:
         assert col2["alarm_at"] == [(15, 15)]
 
     def test_multi_input_state(self):
-        compiled = compile_spec(db_access_constraint())
+        compiled = build_compiled_spec(db_access_constraint())
         on_output, collected = collecting_callback()
         monitor = compiled.new_monitor(on_output)
         monitor.push("ins", 1, 5)

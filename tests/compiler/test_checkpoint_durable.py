@@ -4,7 +4,7 @@ import os
 
 import pytest
 
-from repro import ErrorValue, HardenedRunner, compile_spec
+from repro import ErrorValue, MonitorRunner, build_compiled_spec
 from repro.compiler.checkpoint import (
     CheckpointError,
     CheckpointManager,
@@ -173,7 +173,7 @@ class TestCheckpointDirectory:
 
     def test_manager_prunes_old_checkpoints(self, tmp_path):
         directory = str(tmp_path)
-        compiled = compile_spec(seen_set())
+        compiled = build_compiled_spec(seen_set())
         monitor = compiled.new_monitor()
         manager = CheckpointManager(directory, every=1, keep=2)
         for n in range(1, 6):
@@ -204,11 +204,11 @@ class TestCrashRecovery:
     def test_resume_reproduces_outputs_exactly(
         self, tmp_path, factory, optimize
     ):
-        compiled = compile_spec(factory(), optimize=optimize)
+        compiled = build_compiled_spec(factory(), optimize=optimize)
         events = _trace(30)
 
         expected = []
-        full = HardenedRunner(
+        full = MonitorRunner(
             compiled, lambda n, t, v: expected.append((n, t, v))
         )
         full.run(events)
@@ -216,7 +216,7 @@ class TestCrashRecovery:
         # crashed run: checkpoints every 4 events, dies after 17
         directory = str(tmp_path)
         pre = []
-        crashed = HardenedRunner(
+        crashed = MonitorRunner(
             compiled,
             lambda n, t, v: pre.append((n, t, v)),
             checkpoint_dir=directory,
@@ -226,7 +226,7 @@ class TestCrashRecovery:
         assert crashed.report.checkpoints_written > 0
 
         post = []
-        resumed, meta = HardenedRunner.resume(
+        resumed, meta = MonitorRunner.resume(
             compiled,
             directory,
             on_output=lambda n, t, v: post.append((n, t, v)),
@@ -243,9 +243,9 @@ class TestCrashRecovery:
 
 class TestResumeEdges:
     def test_resume_without_checkpoint_starts_fresh(self, tmp_path):
-        compiled = compile_spec(seen_set())
+        compiled = build_compiled_spec(seen_set())
         outputs = []
-        runner, meta = HardenedRunner.resume(
+        runner, meta = MonitorRunner.resume(
             compiled,
             str(tmp_path),
             on_output=lambda n, t, v: outputs.append((n, t, v)),
@@ -257,27 +257,27 @@ class TestResumeEdges:
 
     def test_resume_guards_against_other_spec(self, tmp_path):
         directory = str(tmp_path)
-        a = compile_spec(seen_set())
-        runner = HardenedRunner(a, checkpoint_dir=directory, checkpoint_every=1)
+        a = build_compiled_spec(seen_set())
+        runner = MonitorRunner(a, checkpoint_dir=directory, checkpoint_every=1)
         runner.feed(_trace(3))
         # a checkpoint exists, but for a different specification
-        other = compile_spec(fig1_spec())
-        resumed, meta = HardenedRunner.resume(other, directory)
+        other = build_compiled_spec(fig1_spec())
+        resumed, meta = MonitorRunner.resume(other, directory)
         assert meta is None
 
     def test_delay_state_survives_disk_roundtrip(self, tmp_path):
         from repro.speclib import watchdog
 
-        compiled = compile_spec(watchdog(10))
+        compiled = build_compiled_spec(watchdog(10))
         directory = str(tmp_path)
-        runner = HardenedRunner(
+        runner = MonitorRunner(
             compiled, checkpoint_dir=directory, checkpoint_every=1
         )
         runner.push("hb", 1, 0)
         runner.push("hb", 5, 0)  # arms the alarm for t=15
         # process dies; recovery must still fire the armed alarm
         alarms = []
-        resumed, meta = HardenedRunner.resume(
+        resumed, meta = MonitorRunner.resume(
             compiled,
             directory,
             on_output=lambda n, t, v: alarms.append((t, v)),
@@ -299,16 +299,16 @@ class TestResumeEdges:
             out l
             """
         )
-        compiled = compile_spec(spec, error_policy="propagate")
+        compiled = build_compiled_spec(spec, error_policy="propagate")
         directory = str(tmp_path)
-        runner = HardenedRunner(
+        runner = MonitorRunner(
             compiled, checkpoint_dir=directory, checkpoint_every=1
         )
         runner.push("a", 1, 1)
         runner.push("b", 1, 0)
         runner.push("tick", 2, ())  # flushes t=1: the error is stored
         outputs = []
-        resumed, meta = HardenedRunner.resume(
+        resumed, meta = MonitorRunner.resume(
             compiled,
             directory,
             on_output=lambda n, t, v: outputs.append((t, v)),

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.compiler import CodegenError, compile_spec
+from repro.compiler import CodegenError, build_compiled_spec
 from repro.compiler.codegen import CodeGenerator, generate_monitor_class
 from repro.graph import build_usage_graph, translation_order
 from repro.lang import (
@@ -26,7 +26,7 @@ from repro.structures import Backend, MutableSet, PersistentSet
 
 class TestGeneratedSource:
     def test_fig1_source_shape(self):
-        compiled = compile_spec(fig1_spec())
+        compiled = build_compiled_spec(fig1_spec())
         source = compiled.source
         assert "class GeneratedMonitor(MonitorBase):" in source
         assert "INPUTS = ('i',)" in source
@@ -36,7 +36,7 @@ class TestGeneratedSource:
         assert "_f_m(" not in source
 
     def test_order_respected_in_source(self):
-        compiled = compile_spec(fig1_spec(), optimize=True)
+        compiled = build_compiled_spec(fig1_spec(), optimize=True)
         source = compiled.source
         # optimized order computes the read s before the write y
         assert source.index("v_s =") < source.index("v_y =")
@@ -46,7 +46,7 @@ class TestGeneratedSource:
             inputs={},
             definitions={"n": Nil(INT), "u": UnitExpr()},
         )
-        source = compile_spec(spec).source
+        source = build_compiled_spec(spec).source
         assert "v_n = None" in source
         assert "v_u = _UNIT if ts == 0 else None" in source
 
@@ -54,10 +54,10 @@ class TestGeneratedSource:
         spec = Specification(
             inputs={"i": INT}, definitions={"t": TimeExpr(Var("i"))}
         )
-        assert "v_t = ts if v_i is not None else None" in compile_spec(spec).source
+        assert "v_t = ts if v_i is not None else None" in build_compiled_spec(spec).source
 
     def test_no_delays_no_next_delay_method(self):
-        source = compile_spec(fig1_spec()).source
+        source = build_compiled_spec(fig1_spec()).source
         assert "_next_delay" not in source
         assert "HAS_DELAYS = False" in source
 
@@ -71,7 +71,7 @@ class TestGeneratedSource:
                 "z2": Delay(Var("r"), Var("r")),
             },
         )
-        source = compile_spec(spec).source
+        source = build_compiled_spec(spec).source
         assert "HAS_DELAYS = True" in source
         assert "min(pending)" in source
 
@@ -84,7 +84,7 @@ class TestGeneratedSource:
 
 class TestBackendBinding:
     def _constructed_set(self, optimize):
-        compiled = compile_spec(fig1_spec(), optimize=optimize)
+        compiled = build_compiled_spec(fig1_spec(), optimize=optimize)
         captured = []
         monitor = compiled.new_monitor(lambda n, t, v: None)
         monitor.push("i", 1, 5)
@@ -100,7 +100,7 @@ class TestBackendBinding:
     def test_copying_override(self):
         from repro.structures import CopySet
 
-        compiled = compile_spec(fig1_spec(), backend_override=Backend.COPYING)
+        compiled = build_compiled_spec(fig1_spec(), backend_override=Backend.COPYING)
         monitor = compiled.new_monitor()
         monitor.push("i", 1, 5)
         monitor.finish()
@@ -109,13 +109,13 @@ class TestBackendBinding:
     def test_in_place_update_observable(self):
         """The optimized monitor really updates in place: the stored
         last object is the SAME object across steps."""
-        compiled = compile_spec(fig1_spec(), optimize=True)
+        compiled = build_compiled_spec(fig1_spec(), optimize=True)
         monitor = compiled.new_monitor()
         monitor.push("i", 1, 5)
         monitor.push("i", 2, 6)
         monitor.finish()
         first = monitor._last_m
-        compiled2 = compile_spec(fig1_spec(), optimize=False)
+        compiled2 = build_compiled_spec(fig1_spec(), optimize=False)
         monitor2 = compiled2.new_monitor()
         monitor2.push("i", 1, 5)
         obj_after_one = None
@@ -127,19 +127,19 @@ class TestBackendBinding:
     def test_identity_preserved_in_optimized_run(self):
         spec = fig1_spec()
         spec.outputs = ["y"]
-        compiled = compile_spec(spec, optimize=True)
+        compiled = build_compiled_spec(spec, optimize=True)
         seen = []  # hold references so object identities stay unique
         monitor = compiled.new_monitor(lambda n, t, v: seen.append(v))
-        monitor.run({"i": [(1, 1), (2, 2), (3, 3)]})
+        monitor.run_traces({"i": [(1, 1), (2, 2), (3, 3)]})
         assert len({id(v) for v in seen}) == 1  # one object mutated in place
 
     def test_identity_fresh_in_persistent_run(self):
         spec = fig1_spec()
         spec.outputs = ["y"]
-        compiled = compile_spec(spec, optimize=False)
+        compiled = build_compiled_spec(spec, optimize=False)
         seen = []
         monitor = compiled.new_monitor(lambda n, t, v: seen.append(v))
-        monitor.run({"i": [(1, 1), (2, 2), (3, 3)]})
+        monitor.run_traces({"i": [(1, 1), (2, 2), (3, 3)]})
         assert len({id(v) for v in seen}) == 3  # a new version per step
 
 
@@ -154,7 +154,7 @@ class TestGenerateMonitorClass:
         assert "class MyMon" in cls.SOURCE
 
     def test_queue_window_compiles_and_runs(self):
-        compiled = compile_spec(queue_window(3))
-        out = compiled.run({"i": [(t, t * 10) for t in range(1, 8)]})
+        compiled = build_compiled_spec(queue_window(3))
+        out = compiled.run_traces({"i": [(t, t * 10) for t in range(1, 8)]})
         # window of 3: from the 3rd input on, the oldest value pops out
         assert out["nth"] == [(3, 10), (4, 20), (5, 30), (6, 40), (7, 50)]

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.compiler import collecting_callback, compile_spec, freeze
+from repro.compiler import collecting_callback, build_compiled_spec, freeze
 from repro.lang import (
     BOOL,
     Const,
@@ -24,7 +24,7 @@ from repro.testing import assert_equivalent
 class TestDegenerateSpecs:
     def test_no_inputs(self):
         spec = Specification(inputs={}, definitions={"c": Const(1)})
-        out = compile_spec(spec).run({})
+        out = build_compiled_spec(spec).run_traces({})
         assert out["c"] == [(0, 1)]
 
     def test_constant_only_pipeline(self):
@@ -37,20 +37,20 @@ class TestDegenerateSpecs:
             },
             outputs=["s"],
         )
-        assert compile_spec(spec).run({})["s"] == [(0, 6)]
+        assert build_compiled_spec(spec).run_traces({})["s"] == [(0, 6)]
 
     def test_nil_output(self):
         spec = Specification(
             inputs={"i": INT}, definitions={"n": Nil(INT)}, outputs=["n"]
         )
-        out = compile_spec(spec).run({"i": [(1, 5)]})
+        out = build_compiled_spec(spec).run_traces({"i": [(1, 5)]})
         assert out["n"] == []
 
     def test_unit_valued_output(self):
         spec = Specification(
             inputs={}, definitions={"u": UnitExpr()}, outputs=["u"]
         )
-        out = compile_spec(spec).run({})
+        out = build_compiled_spec(spec).run_traces({})
         assert out["u"] == [(0, ())]
 
     def test_input_passthrough_via_merge(self):
@@ -69,7 +69,7 @@ class TestDegenerateSpecs:
             },
             outputs=["d"],
         )
-        out = compile_spec(spec).run({"s": [(1, "ab")]})
+        out = build_compiled_spec(spec).run_traces({"s": [(1, "ab")]})
         assert out["d"] == [(1, "abab")]
 
     def test_large_timestamps(self):
@@ -78,7 +78,7 @@ class TestDegenerateSpecs:
             definitions={"t": TimeExpr(Var("i"))},
         )
         big = 10**15
-        out = compile_spec(spec).run({"i": [(big, 0), (big + 7, 0)]})
+        out = build_compiled_spec(spec).run_traces({"i": [(big, 0), (big + 7, 0)]})
         assert out["t"] == [(big, big), (big + 7, big + 7)]
 
     def test_boolean_false_is_an_event(self):
@@ -88,7 +88,7 @@ class TestDegenerateSpecs:
             definitions={"o": Merge(Var("b"), Const(True))},
             outputs=["o"],
         )
-        out = compile_spec(spec).run({"b": [(1, False)]})
+        out = build_compiled_spec(spec).run_traces({"b": [(1, False)]})
         assert out["o"] == [(0, True), (1, False)]
 
     def test_zero_valued_events(self):
@@ -98,7 +98,7 @@ class TestDegenerateSpecs:
             definitions={"o": Lift(builtin("add"), (Var("i"), Var("i")))},
             outputs=["o"],
         )
-        out = compile_spec(spec).run({"i": [(1, 0)]})
+        out = build_compiled_spec(spec).run_traces({"i": [(1, 0)]})
         assert out["o"] == [(1, 0)]
 
 
@@ -160,17 +160,17 @@ class TestOutputCallbackDiscipline:
             outputs=["a", "b"],
         )
         events = []
-        compiled = compile_spec(spec)
+        compiled = build_compiled_spec(spec)
         monitor = compiled.new_monitor(
             lambda name, ts, value: events.append((ts, name))
         )
-        monitor.run({"i": [(1, 5), (2, 6)]})
+        monitor.run_traces({"i": [(1, 5), (2, 6)]})
         assert events == [(1, "a"), (1, "b"), (2, "a"), (2, "b")]
 
     def test_no_callback_is_fine(self):
-        monitor = compile_spec(
+        monitor = build_compiled_spec(
             Specification(
                 inputs={"i": INT}, definitions={"t": TimeExpr(Var("i"))}
             )
         ).new_monitor()
-        monitor.run({"i": [(1, 5)]})  # must not raise
+        monitor.run_traces({"i": [(1, 5)]})  # must not raise

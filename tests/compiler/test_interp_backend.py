@@ -4,7 +4,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.compiler import compile_spec
+from repro.compiler import build_compiled_spec
 from repro.lang import Delay, INT, Specification, TimeExpr, Var
 from repro.speclib import fig1_spec, queue_window, seen_set
 from repro.structures import Backend, MutableSet, PersistentSet
@@ -14,26 +14,26 @@ from ..integration.specgen import specifications, traces
 
 class TestBasics:
     def test_fig1(self):
-        compiled = compile_spec(fig1_spec(), engine="interpreted")
-        out = compiled.run({"i": [(1, 4), (2, 7), (3, 4)]})
+        compiled = build_compiled_spec(fig1_spec(), engine="interpreted")
+        out = compiled.run_traces({"i": [(1, 4), (2, 7), (3, 4)]})
         assert out["s"] == [(1, False), (2, False), (3, True)]
 
     def test_source_placeholder(self):
-        compiled = compile_spec(fig1_spec(), engine="interpreted")
+        compiled = build_compiled_spec(fig1_spec(), engine="interpreted")
         assert "interpreted" in compiled.source
 
     def test_unknown_engine_rejected(self):
         with pytest.raises(ValueError, match="unknown engine"):
-            compile_spec(fig1_spec(), engine="jit")
+            build_compiled_spec(fig1_spec(), engine="jit")
 
     def test_backends_respected(self):
-        compiled = compile_spec(fig1_spec(), engine="interpreted", optimize=True)
+        compiled = build_compiled_spec(fig1_spec(), engine="interpreted", optimize=True)
         monitor = compiled.new_monitor()
         monitor.push("i", 1, 5)
         monitor.finish()
         assert isinstance(monitor._last["m"], MutableSet)
 
-        baseline = compile_spec(
+        baseline = build_compiled_spec(
             fig1_spec(), engine="interpreted", optimize=False
         )
         monitor = baseline.new_monitor()
@@ -47,13 +47,13 @@ class TestBasics:
             definitions={"z": Delay(Var("r"), Var("r")), "t": TimeExpr(Var("z"))},
             outputs=["t"],
         )
-        out = compile_spec(spec, engine="interpreted").run({"r": [(1, 5)]})
+        out = build_compiled_spec(spec, engine="interpreted").run_traces({"r": [(1, 5)]})
         assert out["t"] == [(6, 6)]
 
     def test_instances_independent(self):
-        compiled = compile_spec(seen_set(), engine="interpreted")
-        out1 = compiled.run({"i": [(1, 3), (2, 3)]})
-        out2 = compiled.run({"i": [(1, 3)]})
+        compiled = build_compiled_spec(seen_set(), engine="interpreted")
+        out1 = compiled.run_traces({"i": [(1, 3), (2, 3)]})
+        out2 = compiled.run_traces({"i": [(1, 3)]})
         assert out1["was"] == [(1, False), (2, True)]
         assert out2["was"] == [(1, False)]
 
@@ -70,10 +70,10 @@ class TestEngineAgreement:
     )
     def test_matches_codegen(self, factory, trace):
         for optimize in (True, False):
-            generated = compile_spec(factory(), optimize=optimize).run(trace)
-            interpreted = compile_spec(
+            generated = build_compiled_spec(factory(), optimize=optimize).run_traces(trace)
+            interpreted = build_compiled_spec(
                 factory(), optimize=optimize, engine="interpreted"
-            ).run(trace)
+            ).run_traces(trace)
             assert {n: s.events for n, s in generated.items()} == {
                 n: s.events for n, s in interpreted.items()
             }
@@ -87,8 +87,8 @@ class TestEngineAgreement:
     def test_matches_codegen_on_random_specs(self, data):
         spec = data.draw(specifications(allow_delays=True))
         inputs = data.draw(traces(list(spec.inputs)))
-        generated = compile_spec(spec).run(inputs, end_time=100)
-        interpreted = compile_spec(spec, engine="interpreted").run(
+        generated = build_compiled_spec(spec).run_traces(inputs, end_time=100)
+        interpreted = build_compiled_spec(spec, engine="interpreted").run_traces(
             inputs, end_time=100
         )
         assert {n: s.events for n, s in generated.items()} == {

@@ -5,7 +5,7 @@ import pytest
 from repro.compiler import (
     MonitorError,
     collecting_callback,
-    compile_spec,
+    build_compiled_spec,
     counting_callback,
     freeze,
 )
@@ -22,7 +22,7 @@ from repro.structures import (
 
 @pytest.fixture
 def fig1_monitor():
-    compiled = compile_spec(fig1_spec())
+    compiled = build_compiled_spec(fig1_spec())
     on_output, collected = collecting_callback()
     return compiled.new_monitor(on_output), collected
 
@@ -67,7 +67,7 @@ class TestPushProtocol:
             inputs={"a": INT, "b": INT},
             definitions={"m": Merge(Var("a"), Var("b"))},
         )
-        compiled = compile_spec(spec)
+        compiled = build_compiled_spec(spec)
         on_output, collected = collecting_callback()
         monitor = compiled.new_monitor(on_output)
         monitor.push("b", 3, 30)
@@ -89,8 +89,8 @@ class TestTimestampZero:
             inputs={"i": INT},
             definitions={"c": Const(9)},
         )
-        compiled = compile_spec(spec)
-        out = compiled.run({"i": []})
+        compiled = build_compiled_spec(spec)
+        out = compiled.run_traces({"i": []})
         assert out["c"] == [(0, 9)]
 
     def test_zero_processed_before_later_input(self):
@@ -98,7 +98,7 @@ class TestTimestampZero:
             inputs={"i": INT},
             definitions={"d": Merge(Var("i"), Const(7))},
         )
-        out = compile_spec(spec).run({"i": [(5, 1)]})
+        out = build_compiled_spec(spec).run_traces({"i": [(5, 1)]})
         assert out["d"] == [(0, 7), (5, 1)]
 
     def test_input_at_zero_merges_with_unit(self):
@@ -106,7 +106,7 @@ class TestTimestampZero:
             inputs={"i": INT},
             definitions={"d": Merge(Var("i"), Const(7))},
         )
-        out = compile_spec(spec).run({"i": [(0, 1)]})
+        out = build_compiled_spec(spec).run_traces({"i": [(0, 1)]})
         assert out["d"] == [(0, 1)]
 
 
@@ -120,18 +120,18 @@ class TestDelayLoop:
         )
 
     def test_delay_fires_between_inputs(self):
-        out = compile_spec(self._delay_spec()).run({"r": [(1, 3), (10, 100)]})
+        out = build_compiled_spec(self._delay_spec()).run_traces({"r": [(1, 3), (10, 100)]})
         # scheduled for t=4, fires before the next input at t=10; the
         # reset at t=10 then schedules t=110, processed at end of input
         assert out["t"] == [(4, 4), (110, 110)]
 
     def test_delay_reset_before_firing(self):
-        out = compile_spec(self._delay_spec()).run({"r": [(1, 10), (5, 100)]})
+        out = build_compiled_spec(self._delay_spec()).run_traces({"r": [(1, 10), (5, 100)]})
         # pending t=11 is reset at t=5 and re-scheduled for t=105
         assert out["t"] == [(105, 105)]
 
     def test_delay_after_end_of_input(self):
-        out = compile_spec(self._delay_spec()).run({"r": [(1, 3)]})
+        out = build_compiled_spec(self._delay_spec()).run_traces({"r": [(1, 3)]})
         assert out["t"] == [(4, 4)]
 
     def test_runaway_delay_guard(self):
@@ -150,7 +150,7 @@ class TestDelayLoop:
             },
             outputs=["z"],
         )
-        compiled = compile_spec(spec)
+        compiled = build_compiled_spec(spec)
         monitor = compiled.new_monitor()
         with pytest.raises(MonitorError, match="end_time"):
             monitor.finish(max_steps=100)
@@ -172,7 +172,7 @@ class TestDelayLoop:
             },
             outputs=["t"],
         )
-        out = compile_spec(spec).run({}, end_time=7)
+        out = build_compiled_spec(spec).run_traces({}, end_time=7)
         assert out["t"] == [(2, 2), (4, 4), (6, 6)]
 
 
@@ -220,23 +220,23 @@ class TestFreeze:
 class TestCallbacks:
     def test_counting_callback(self):
         on_output, counter = counting_callback()
-        compiled = compile_spec(fig1_spec())
+        compiled = build_compiled_spec(fig1_spec())
         monitor = compiled.new_monitor(on_output)
-        monitor.run({"i": [(1, 1), (2, 2), (3, 3)]})
+        monitor.run_traces({"i": [(1, 1), (2, 2), (3, 3)]})
         assert counter[0] == 3
 
     def test_collecting_callback_freezes(self):
-        compiled = compile_spec(fig1_spec())
+        compiled = build_compiled_spec(fig1_spec())
         on_output, collected = collecting_callback()
         monitor = compiled.new_monitor(on_output)
-        monitor.run({"i": [(1, 1), (2, 2)]})
+        monitor.run_traces({"i": [(1, 1), (2, 2)]})
         # outputs of 's' are booleans; check via the internal 'y' output
         # by compiling with y as output instead
         spec = fig1_spec()
         spec.outputs = ["y"]
-        compiled2 = compile_spec(spec)
+        compiled2 = build_compiled_spec(spec)
         on2, col2 = collecting_callback()
-        compiled2.new_monitor(on2).run({"i": [(1, 1), (2, 2)]})
+        compiled2.new_monitor(on2).run_traces({"i": [(1, 1), (2, 2)]})
         values = [v for _, v in col2["y"]]
         # frozen snapshots differ per timestamp despite in-place updates
         assert values[0] == frozenset({1})

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.compiler import compile_spec
+from repro.compiler import build_compiled_spec
 from repro.lang import INT, SpecError, Specification, TimeExpr, Var, flatten
 from repro.speclib import fig1_spec, fig4_lower_spec, seen_set
 from repro.structures import Backend
@@ -10,7 +10,7 @@ from repro.structures import Backend
 
 class TestModes:
     def test_optimized_attaches_analysis(self):
-        compiled = compile_spec(fig1_spec(), optimize=True)
+        compiled = build_compiled_spec(fig1_spec(), optimize=True)
         assert compiled.optimized
         assert compiled.analysis is not None
         assert compiled.mutable_streams == {"_s0", "m", "y", "yl"}
@@ -18,32 +18,32 @@ class TestModes:
         assert compiled.backends["i"] is Backend.PERSISTENT
 
     def test_unoptimized_all_persistent(self):
-        compiled = compile_spec(fig1_spec(), optimize=False)
+        compiled = build_compiled_spec(fig1_spec(), optimize=False)
         assert not compiled.optimized
         assert compiled.analysis is None
         assert compiled.mutable_streams == frozenset()
         assert all(b is Backend.PERSISTENT for b in compiled.backends.values())
 
     def test_override_wins_over_optimize(self):
-        compiled = compile_spec(
+        compiled = build_compiled_spec(
             fig1_spec(), optimize=True, backend_override=Backend.COPYING
         )
         assert not compiled.optimized
         assert all(b is Backend.COPYING for b in compiled.backends.values())
 
     def test_fig4_lower_optimized_is_persistent_anyway(self):
-        compiled = compile_spec(fig4_lower_spec(), optimize=True)
+        compiled = build_compiled_spec(fig4_lower_spec(), optimize=True)
         assert compiled.mutable_streams == frozenset()
         assert compiled.backends["y"] is Backend.PERSISTENT
 
     def test_accepts_flat_spec(self):
         flat = flatten(fig1_spec())
-        compiled = compile_spec(flat)
+        compiled = build_compiled_spec(flat)
         assert compiled.flat is flat
 
     def test_each_compile_is_independent(self):
-        c1 = compile_spec(seen_set())
-        c2 = compile_spec(seen_set())
+        c1 = build_compiled_spec(seen_set())
+        c2 = build_compiled_spec(seen_set())
         assert c1.monitor_class is not c2.monitor_class
         m1, m2 = c1.new_monitor(), c2.new_monitor()
         m1.push("i", 1, 5)
@@ -53,15 +53,15 @@ class TestModes:
         m2.finish()
 
     def test_monitors_from_same_compile_independent(self):
-        compiled = compile_spec(fig1_spec())
-        out1 = compiled.run({"i": [(1, 4), (2, 4)]})
-        out2 = compiled.run({"i": [(1, 4)]})
+        compiled = build_compiled_spec(fig1_spec())
+        out1 = compiled.run_traces({"i": [(1, 4), (2, 4)]})
+        out2 = compiled.run_traces({"i": [(1, 4)]})
         assert out1["s"] == [(1, False), (2, True)]
         assert out2["s"] == [(1, False)]
 
     def test_run_returns_streams_for_all_outputs(self):
-        compiled = compile_spec(fig1_spec())
-        out = compiled.run({"i": []})
+        compiled = build_compiled_spec(fig1_spec())
+        out = compiled.run_traces({"i": []})
         assert set(out) == {"s"}
         assert out["s"] == []
 
@@ -71,4 +71,4 @@ class TestModes:
             definitions={"a": TimeExpr(Var("a"))},
         )
         with pytest.raises(SpecError):
-            compile_spec(spec)
+            build_compiled_spec(spec)

@@ -5,9 +5,9 @@ import pytest
 from repro import (
     ErrorPolicy,
     ErrorValue,
-    HardenedRunner,
+    MonitorRunner,
     LiftError,
-    compile_spec,
+    build_compiled_spec,
     is_error,
     parse_spec,
 )
@@ -62,47 +62,47 @@ class TestErrorValue:
 @pytest.mark.parametrize("engine", ENGINES)
 class TestPolicies:
     def test_propagate_surfaces_error_event(self, engine):
-        compiled = compile_spec(
+        compiled = build_compiled_spec(
             parse_spec(DIV_SPEC), engine=engine, error_policy="propagate"
         )
-        out = compiled.run({"a": [(1, 10), (2, 20)], "b": [(1, 2), (2, 0)]})
+        out = compiled.run_traces({"a": [(1, 10), (2, 20)], "b": [(1, 2), (2, 0)]})
         events = out["q"].events
         assert events[0] == (1, 5)
         assert events[1][0] == 2 and is_error(events[1][1])
         assert "ZeroDivisionError" in events[1][1].message
 
     def test_substitute_suppresses_event(self, engine):
-        compiled = compile_spec(
+        compiled = build_compiled_spec(
             parse_spec(DIV_SPEC),
             engine=engine,
             error_policy="substitute-default",
         )
-        out = compiled.run({"a": [(1, 10), (2, 20)], "b": [(1, 2), (2, 0)]})
+        out = compiled.run_traces({"a": [(1, 10), (2, 20)], "b": [(1, 2), (2, 0)]})
         assert out["q"].events == [(1, 5)]
 
     def test_fail_fast_raises_with_context(self, engine):
-        compiled = compile_spec(
+        compiled = build_compiled_spec(
             parse_spec(DIV_SPEC), engine=engine, error_policy="fail-fast"
         )
         with pytest.raises(LiftError, match=r"stream 'q'.*t=2"):
-            compiled.run({"a": [(1, 10), (2, 20)], "b": [(1, 2), (2, 0)]})
+            compiled.run_traces({"a": [(1, 10), (2, 20)], "b": [(1, 2), (2, 0)]})
 
     def test_clean_input_matches_unhardened(self, engine):
         spec = parse_spec(CHAIN_SPEC)
         inputs = {"a": [(t, t) for t in range(1, 10)],
                   "b": [(t, t + 1) for t in range(1, 10)]}
-        baseline = compile_spec(spec).run(inputs)["q2"].events
+        baseline = build_compiled_spec(spec).run_traces(inputs)["q2"].events
         for policy in ("propagate", "substitute-default", "fail-fast"):
-            hardened = compile_spec(
+            hardened = build_compiled_spec(
                 spec, engine=engine, error_policy=policy
-            ).run(inputs)["q2"].events
+            ).run_traces(inputs)["q2"].events
             assert hardened == baseline
 
     def test_error_propagates_through_downstream_lift(self, engine):
-        compiled = compile_spec(
+        compiled = build_compiled_spec(
             parse_spec(CHAIN_SPEC), engine=engine, error_policy="propagate"
         )
-        out = compiled.run({"a": [(1, 10), (2, 20)], "b": [(1, 2), (2, 0)]})
+        out = compiled.run_traces({"a": [(1, 10), (2, 20)], "b": [(1, 2), (2, 0)]})
         events = out["q2"].events
         assert events[0] == (1, 15)
         # the divide error flows through add() untouched
@@ -123,8 +123,8 @@ class TestErrorFlow:
             out l
             """
         )
-        compiled = compile_spec(spec, engine=engine, error_policy="propagate")
-        out = compiled.run(
+        compiled = build_compiled_spec(spec, engine=engine, error_policy="propagate")
+        out = compiled.run_traces(
             {
                 "a": [(1, 10)],
                 "b": [(1, 0)],
@@ -147,8 +147,8 @@ class TestErrorFlow:
             out m
             """
         )
-        compiled = compile_spec(spec, engine=engine, error_policy="propagate")
-        out = compiled.run(
+        compiled = build_compiled_spec(spec, engine=engine, error_policy="propagate")
+        out = compiled.run_traces(
             {"a": [(1, 1)], "b": [(1, 0)], "c": [(1, 99), (2, 42)]}
         )
         events = out["m"].events
@@ -167,8 +167,8 @@ class TestErrorFlow:
             out t
             """
         )
-        compiled = compile_spec(spec, engine=engine, error_policy="propagate")
-        out = compiled.run(
+        compiled = build_compiled_spec(spec, engine=engine, error_policy="propagate")
+        out = compiled.run_traces(
             {"a": [(1, 5), (10, 5)], "b": [(1, 0), (10, 1)],
              "r": [(1, ()), (10, ())]},
             end_time=40,
@@ -186,8 +186,8 @@ class TestErrorFlow:
             out w
             """
         )
-        compiled = compile_spec(spec, engine=engine, error_policy="propagate")
-        out = compiled.run({"a": [(3, 1)], "b": [(3, 0)]})
+        compiled = build_compiled_spec(spec, engine=engine, error_policy="propagate")
+        out = compiled.run_traces({"a": [(3, 1)], "b": [(3, 0)]})
         # an error event still happens AT a timestamp
         assert out["w"].events == [(3, 3)]
 
@@ -195,11 +195,11 @@ class TestErrorFlow:
 @pytest.mark.parametrize("engine", ENGINES)
 class TestRunReportCounters:
     def test_counters(self, engine):
-        compiled = compile_spec(
+        compiled = build_compiled_spec(
             parse_spec(CHAIN_SPEC), engine=engine, error_policy="propagate"
         )
         outputs = []
-        runner = HardenedRunner(
+        runner = MonitorRunner(
             compiled, lambda n, t, v: outputs.append((n, t, v))
         )
         runner.run(
@@ -218,12 +218,12 @@ class TestRunReportCounters:
         assert report.faults_absorbed() == 1
 
     def test_substitute_counts(self, engine):
-        compiled = compile_spec(
+        compiled = build_compiled_spec(
             parse_spec(DIV_SPEC),
             engine=engine,
             error_policy="substitute-default",
         )
-        runner = HardenedRunner(compiled)
+        runner = MonitorRunner(compiled)
         runner.run([(1, "a", 1), (1, "b", 0)])
         assert runner.report.lift_errors == 1
         assert runner.report.errors_substituted == 1
@@ -232,10 +232,10 @@ class TestRunReportCounters:
     def test_report_round_trips_json(self, engine):
         import json
 
-        compiled = compile_spec(
+        compiled = build_compiled_spec(
             parse_spec(DIV_SPEC), engine=engine, error_policy="propagate"
         )
-        runner = HardenedRunner(compiled)
+        runner = MonitorRunner(compiled)
         runner.run([(1, "a", 1), (1, "b", 0)])
         decoded = json.loads(runner.report.to_json())
         assert decoded["lift_errors"] == 1
@@ -255,17 +255,17 @@ class TestInputValidation:
         assert not validate_value((1,), ty.UNIT)
 
     def test_fail_fast_on_invalid_input(self):
-        compiled = compile_spec(parse_spec(DIV_SPEC))
-        runner = HardenedRunner(compiled, validate_inputs=True)
+        compiled = build_compiled_spec(parse_spec(DIV_SPEC))
+        runner = MonitorRunner(compiled, validate_inputs=True)
         with pytest.raises(MonitorError, match="invalid value"):
             runner.push("a", 1, "not an int")
 
     def test_propagate_converts_invalid_input(self):
-        compiled = compile_spec(
+        compiled = build_compiled_spec(
             parse_spec(DIV_SPEC), error_policy="propagate"
         )
         outputs = []
-        runner = HardenedRunner(
+        runner = MonitorRunner(
             compiled,
             lambda n, t, v: outputs.append((n, t, v)),
             validate_inputs=True,
@@ -275,11 +275,11 @@ class TestInputValidation:
         assert len(outputs) == 1 and is_error(outputs[0][2])
 
     def test_substitute_drops_invalid_input(self):
-        compiled = compile_spec(
+        compiled = build_compiled_spec(
             parse_spec(DIV_SPEC), error_policy="substitute-default"
         )
         outputs = []
-        runner = HardenedRunner(
+        runner = MonitorRunner(
             compiled,
             lambda n, t, v: outputs.append((n, t, v)),
             validate_inputs=True,
@@ -313,17 +313,17 @@ class TestDelayNext:
 class TestZeroOverheadWhenDisabled:
     def test_generated_source_identical_without_policy(self):
         spec = parse_spec(CHAIN_SPEC)
-        plain = compile_spec(spec).source
+        plain = build_compiled_spec(spec).source
         assert "rep" not in plain.split("def _calc")[1].splitlines()[0]
         assert "_report" not in plain
-        hardened = compile_spec(spec, error_policy="propagate").source
+        hardened = build_compiled_spec(spec, error_policy="propagate").source
         assert "rep = self._report" in hardened
         assert plain != hardened
 
     def test_policy_coercion(self):
         spec = parse_spec(DIV_SPEC)
-        a = compile_spec(spec, error_policy=ErrorPolicy.PROPAGATE)
-        b = compile_spec(spec, error_policy="propagate")
+        a = build_compiled_spec(spec, error_policy=ErrorPolicy.PROPAGATE)
+        b = build_compiled_spec(spec, error_policy="propagate")
         assert a.error_policy is b.error_policy is ErrorPolicy.PROPAGATE
         with pytest.raises(ValueError):
-            compile_spec(spec, error_policy="bogus")
+            build_compiled_spec(spec, error_policy="bogus")

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.compiler import compile_spec
+from repro.compiler import build_compiled_spec
 from repro.frontend import FrontendError, parse_spec
 from repro.lang import (
     Const,
@@ -149,8 +149,8 @@ class TestExpressions:
 class TestEndToEnd:
     def test_fig1_parses_and_runs(self):
         spec = parse_spec(FIG1_TEXT)
-        compiled = compile_spec(spec)
-        out = compiled.run({"i": [(1, 4), (2, 7), (3, 4)]})
+        compiled = build_compiled_spec(spec)
+        out = compiled.run_traces({"i": [(1, 4), (2, 7), (3, 4)]})
         assert out["s"] == [(1, False), (2, False), (3, True)]
 
     def test_fig1_text_matches_library_spec(self):
@@ -181,8 +181,8 @@ class TestEndToEnd:
         # a sampled constant; this spec checks PARSING, and evaluates to
         # events only where both sides align (t=0 only).
         spec = parse_spec(text)
-        compiled = compile_spec(spec)
-        out = compiled.run({"x": [(1, 0), (2, 0)]})
+        compiled = build_compiled_spec(spec)
+        out = compiled.run_traces({"x": [(1, 0), (2, 0)]})
         assert out["cnt"].events[0] == (0, 0)
 
     def test_multiline_with_comments_and_blank_lines(self):

@@ -2,12 +2,12 @@
 
 import pytest
 
-from repro.compiler import compile_spec
+from repro.compiler import build_compiled_spec
 from repro.frontend import FrontendError, parse_spec
 
 
 def run(text, **inputs):
-    return compile_spec(parse_spec(text)).run(inputs)
+    return build_compiled_spec(parse_spec(text)).run_traces(inputs)
 
 
 class TestSelfMacros:

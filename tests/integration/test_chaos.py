@@ -8,7 +8,8 @@ run report.
 
 import pytest
 
-from repro import compile_spec, parse_spec
+from repro import parse_spec
+from repro.compiler import build_compiled_spec
 from repro.lang import INT, Specification, Var
 from repro.lang.ast import Lift
 from repro.lang.builtins import Access, EventPattern, LiftedFunction
@@ -161,14 +162,14 @@ class TestFlakyLifts:
         )
 
     def test_injected_lift_failures_propagate(self):
-        compiled = compile_spec(
+        compiled = build_compiled_spec(
             self._flaky_spec(0.5, seed=4), error_policy="propagate"
         )
         inputs = {
             "x": [(t, t) for t in range(1, 60)],
             "y": [(t, t) for t in range(1, 60)],
         }
-        out = compiled.run(inputs)["s"].events
+        out = compiled.run_traces(inputs)["s"].events
         errors = [v for _, v in out if repr(v).startswith("error(")]
         clean = [v for _, v in out if not repr(v).startswith("error(")]
         assert len(out) == 59       # every timestamp produced an event
@@ -178,11 +179,11 @@ class TestFlakyLifts:
     def test_injected_lift_failures_fail_fast(self):
         from repro import LiftError
 
-        compiled = compile_spec(
+        compiled = build_compiled_spec(
             self._flaky_spec(1.0), error_policy="fail-fast"
         )
         with pytest.raises(LiftError, match="ChaosFault"):
-            compiled.run({"x": [(1, 1)], "y": [(1, 1)]})
+            compiled.run_traces({"x": [(1, 1)], "y": [(1, 1)]})
 
 
 class TestCrashRecoveryUnderChaos:
@@ -200,7 +201,7 @@ class TestCrashRecoveryUnderChaos:
         assert recovered == expected
 
     def test_recovery_with_hardened_policy(self, tmp_path):
-        compiled = compile_spec(fig1_spec(), error_policy="propagate")
+        compiled = build_compiled_spec(fig1_spec(), error_policy="propagate")
         expected, recovered = crash_and_resume(
             compiled,
             _events(60),

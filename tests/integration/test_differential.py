@@ -12,7 +12,7 @@ import random
 import pytest
 from hypothesis import HealthCheck, given, settings
 
-from repro.compiler import compile_spec, freeze
+from repro.compiler import build_compiled_spec, freeze
 from repro.lang import flatten
 from repro.semantics import Stream, interpret
 from repro.speclib import (
@@ -42,8 +42,8 @@ def reference_outputs(spec, inputs, end_time=None):
 
 
 def compiled_outputs(spec, inputs, end_time=None, **kwargs):
-    compiled = compile_spec(spec, **kwargs)
-    results = compiled.run(inputs, end_time=end_time)
+    compiled = build_compiled_spec(spec, **kwargs)
+    results = compiled.run_traces(inputs, end_time=end_time)
     return {name: stream.events for name, stream in results.items()}
 
 

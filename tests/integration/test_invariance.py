@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.compiler import compile_spec
+from repro.compiler import build_compiled_spec
 from repro.speclib import (
     db_access_constraint,
     queue_window,
@@ -42,9 +42,9 @@ class TestTimeShiftInvariance:
         for _ in range(60):
             trace[rng.choice(inputs)].append((ts, rng.randrange(8)))
             ts += rng.randint(1, 3)
-        compiled = compile_spec(factory())
-        base = compiled.run(trace)
-        moved = compiled.run(shifted(trace, delta))
+        compiled = build_compiled_spec(factory())
+        base = compiled.run_traces(trace)
+        moved = compiled.run_traces(shifted(trace, delta))
         for name in base:
             assert moved[name].events == [
                 (ts + delta, value) for ts, value in base[name].events
@@ -53,16 +53,16 @@ class TestTimeShiftInvariance:
 
 class TestDeterminism:
     def test_compilation_is_deterministic(self):
-        a = compile_spec(seen_set(), optimize=True)
-        b = compile_spec(seen_set(), optimize=True)
+        a = build_compiled_spec(seen_set(), optimize=True)
+        b = build_compiled_spec(seen_set(), optimize=True)
         assert a.source == b.source
         assert a.order == b.order
         assert a.backends == b.backends
 
     def test_runs_are_deterministic(self):
         trace = {"i": [(t, t * 7 % 11) for t in range(1, 80)]}
-        compiled = compile_spec(seen_set())
-        assert compiled.run(trace)["was"] == compiled.run(trace)["was"]
+        compiled = build_compiled_spec(seen_set())
+        assert compiled.run_traces(trace)["was"] == compiled.run_traces(trace)["was"]
 
     def test_analysis_is_deterministic(self):
         from repro.analysis import analyze_mutability

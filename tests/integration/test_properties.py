@@ -3,7 +3,7 @@
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.compiler import compile_spec
+from repro.compiler import build_compiled_spec
 from repro.frontend import parse_spec, unparse
 from repro.frontend.printer import UnparseableError
 from repro.lang import check_types, flatten
@@ -85,7 +85,7 @@ class TestSnapshotProperty:
             for ts, value in trace
         )
         cut = len(events) // 2
-        compiled = compile_spec(spec)
+        compiled = build_compiled_spec(spec)
 
         on_full, collected_full = collecting_callback()
         monitor = compiled.new_monitor(on_full)

@@ -4,7 +4,7 @@ import pathlib
 
 import pytest
 
-from repro.compiler import compile_spec
+from repro.compiler import build_compiled_spec
 from repro.frontend import parse_spec
 from repro.lang import check_types, flatten
 from repro.lang.lint import lint
@@ -21,7 +21,7 @@ def test_spec_dir_populated():
 @pytest.mark.parametrize("path", SPEC_FILES, ids=lambda p: p.name)
 def test_parses_and_compiles(path):
     spec = parse_spec(path.read_text())
-    compiled = compile_spec(spec)
+    compiled = build_compiled_spec(spec)
     assert compiled.monitor_class.OUTPUTS
 
 
@@ -55,7 +55,7 @@ class TestBehaviour:
         assert out["ok"] == [(5, True), (12, False), (13, False)]
 
     def test_login_monitor_is_optimizable(self):
-        compiled = compile_spec(self._spec("login_monitor.tessla"))
+        compiled = build_compiled_spec(self._spec("login_monitor.tessla"))
         assert "active" in compiled.mutable_streams
 
     def test_request_stats(self):

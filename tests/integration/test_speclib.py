@@ -4,7 +4,7 @@ The differential tests prove the three backends agree; these tests pin
 down WHAT the monitors compute, on hand-checked scenarios.
 """
 
-from repro.compiler import compile_spec
+from repro.compiler import build_compiled_spec
 from repro.speclib import (
     db_access_constraint,
     db_time_constraint,
@@ -17,7 +17,7 @@ from repro.speclib import (
 
 
 def run(spec, inputs):
-    return compile_spec(spec).run(inputs)
+    return build_compiled_spec(spec).run_traces(inputs)
 
 
 class TestSeenSet:

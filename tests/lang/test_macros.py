@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.compiler import compile_spec
+from repro.compiler import build_compiled_spec
 from repro.frontend import FrontendError, parse_spec
 from repro.lang import (
     Const,
@@ -21,7 +21,7 @@ from repro.semantics import Stream, interpret
 
 
 def run(spec, **inputs):
-    return compile_spec(spec).run(inputs)
+    return build_compiled_spec(spec).run_traces(inputs)
 
 
 class TestSLift:
@@ -89,7 +89,7 @@ class TestSLift:
             "b": Stream([(2, 10), (5, 20)]),
         }
         ref = interpret(flat, inputs)
-        compiled = compile_spec(spec).run(
+        compiled = build_compiled_spec(spec).run_traces(
             {k: v.events for k, v in inputs.items()}
         )
         assert compiled["s"] == ref["s"]

@@ -1,6 +1,6 @@
 """Tests for dead-stream elimination."""
 
-from repro.compiler import compile_spec
+from repro.compiler import build_compiled_spec
 from repro.lang import (
     Const,
     Delay,
@@ -103,13 +103,13 @@ class TestPrune:
         spec = self._spec_with_dead_aggregate()
         trace = {"i": [(1, 4), (3, 7)]}
         expected = assert_equivalent(spec, trace)
-        pruned_out = compile_spec(spec, prune_dead=True).run(trace)
+        pruned_out = build_compiled_spec(spec, prune_dead=True).run_traces(trace)
         assert {n: s.events for n, s in pruned_out.items()} == expected
 
     def test_pruned_monitor_is_smaller(self):
         spec = self._spec_with_dead_aggregate()
-        full = compile_spec(spec, prune_dead=False)
-        lean = compile_spec(spec, prune_dead=True)
+        full = build_compiled_spec(spec, prune_dead=False)
+        lean = build_compiled_spec(spec, prune_dead=True)
         assert len(lean.source) < len(full.source)
         assert "set_add" not in lean.source.replace("_f_", " _f_")
 

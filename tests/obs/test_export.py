@@ -1,0 +1,60 @@
+"""Exposition-format tests: JSON stability, Prometheus text grammar."""
+
+import json
+
+from repro.obs.export import to_json, to_prometheus
+from repro.obs.metrics import MetricsRegistry
+
+
+def sample_snapshot():
+    reg = MetricsRegistry()
+    reg.inc("plan_cache.hits", 2)
+    reg.gauge("pool.workers", 4)
+    reg.observe("batch.events", 10.0)
+    reg.observe("batch.events", 30.0)
+    stats = reg.stream("seen")
+    stats.copies_performed = 3
+    stats.inplace_updates = 7
+    return reg.snapshot()
+
+
+class TestJson:
+    def test_round_trips_and_sorts_keys(self):
+        snap = sample_snapshot()
+        text = to_json(snap)
+        assert json.loads(text) == snap
+        # stable output: serialising twice is byte-identical
+        assert text == to_json(json.loads(text))
+
+
+class TestPrometheus:
+    def test_counter_family(self):
+        text = to_prometheus(sample_snapshot())
+        assert "# TYPE repro_plan_cache_hits_total counter" in text
+        assert "repro_plan_cache_hits_total 2" in text
+
+    def test_gauge_and_summary_families(self):
+        text = to_prometheus(sample_snapshot())
+        assert "# TYPE repro_pool_workers gauge" in text
+        assert "repro_batch_events_count 2" in text
+        assert "repro_batch_events_sum 40.0" in text
+        assert "repro_batch_events_min 10.0" in text
+        assert "repro_batch_events_max 30.0" in text
+
+    def test_stream_counters_labelled(self):
+        text = to_prometheus(sample_snapshot())
+        assert 'repro_copies_performed_total{stream="seen"} 3' in text
+        assert 'repro_inplace_updates_total{stream="seen"} 7' in text
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.stream('we"ird\\name')
+        text = to_prometheus(reg.snapshot())
+        assert '{stream="we\\"ird\\\\name"}' in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert to_prometheus(MetricsRegistry().snapshot()) == ""
+
+    def test_every_line_is_comment_or_sample(self):
+        for line in to_prometheus(sample_snapshot()).splitlines():
+            assert line.startswith("# TYPE ") or " " in line

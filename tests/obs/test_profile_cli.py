@@ -1,0 +1,123 @@
+"""The ``repro profile`` subcommand: acceptance-shaped assertions.
+
+The headline check mirrors the paper's claim end to end through the
+CLI: on the Seen Set spec a mutable-classified stream profiles with
+zero copies, and the same spec under ``--no-optimize`` (persistent
+backends only) copies on every event.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+SEEN_SET_TEXT = """\
+in i: Int
+
+def m  := merge(y, set_empty(unit))
+def yl := last(m, i)
+def y  := set_toggle(yl, i)
+def s  := set_contains(yl, i)
+
+out s
+"""
+
+N_EVENTS = 40
+
+
+@pytest.fixture
+def spec_path(tmp_path):
+    path = tmp_path / "seen.tessla"
+    path.write_text(SEEN_SET_TEXT)
+    return str(path)
+
+
+@pytest.fixture
+def trace_path(tmp_path):
+    path = tmp_path / "trace.csv"
+    path.write_text(
+        "".join(f"{t},i,{t % 7}\n" for t in range(1, N_EVENTS + 1))
+    )
+    return str(path)
+
+
+class TestProfileText:
+    def test_mutable_stream_shows_zero_copies(
+        self, spec_path, trace_path, capsys
+    ):
+        rc = main(["profile", spec_path, "--trace", trace_path])
+        out = capsys.readouterr().out
+        assert rc == 0
+        row = next(line for line in out.splitlines() if line.startswith("y"))
+        fields = row.split()
+        assert fields[1] == "mutable"
+        assert int(fields[2]) == 0
+        assert int(fields[3]) == N_EVENTS
+
+    def test_forced_persistent_shows_copies(
+        self, spec_path, trace_path, capsys
+    ):
+        rc = main(
+            ["profile", spec_path, "--trace", trace_path, "--no-optimize"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        row = next(line for line in out.splitlines() if line.startswith("y"))
+        fields = row.split()
+        assert fields[1] == "persistent"
+        assert int(fields[2]) == N_EVENTS
+        assert int(fields[3]) == 0
+
+    def test_phase_timings_listed(self, spec_path, trace_path, capsys):
+        main(["profile", spec_path, "--trace", trace_path])
+        out = capsys.readouterr().out
+        for phase in (
+            "compile.flatten",
+            "compile.mutability",
+            "compile.codegen",
+            "run.batch",
+        ):
+            assert phase in out
+
+    def test_event_totals_line(self, spec_path, trace_path, capsys):
+        main(["profile", spec_path, "--trace", trace_path])
+        out = capsys.readouterr().out
+        assert f"events: in={N_EVENTS} out={N_EVENTS}" in out
+
+    def test_requires_trace(self, spec_path, capsys):
+        rc = main(["profile", spec_path])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "requires --trace" in captured.err
+
+    def test_global_instrumentation_restored(
+        self, spec_path, trace_path
+    ):
+        from repro.obs.metrics import DEFAULT_REGISTRY
+        from repro.obs.trace import TRACER
+
+        main(["profile", spec_path, "--trace", trace_path])
+        assert TRACER.enabled is False
+        assert DEFAULT_REGISTRY.enabled is False
+
+
+class TestProfileJson:
+    def test_json_payload_shape(self, spec_path, trace_path, capsys):
+        rc = main(["profile", spec_path, "--trace", trace_path, "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        y = payload["streams"]["y"]
+        assert y["backend"] == "mutable"
+        assert y["copies_performed"] == 0
+        assert y["inplace_updates"] == N_EVENTS
+        assert payload["report"]["events_in"] == N_EVENTS
+        assert "compile.mutability" in payload["phases"]
+
+    def test_json_no_optimize(self, spec_path, trace_path, capsys):
+        main(
+            ["profile", spec_path, "--trace", trace_path, "--no-optimize",
+             "--json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["streams"]["y"]["copies_performed"] == N_EVENTS

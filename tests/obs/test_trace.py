@@ -1,0 +1,43 @@
+"""Unit tests for the phase tracer."""
+
+from repro.obs.trace import TRACER, Tracer, _NULL_SPAN
+
+
+class TestTracer:
+    def test_disabled_returns_shared_null_span(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("x") is _NULL_SPAN
+        assert tracer.span("y") is _NULL_SPAN
+        with tracer.span("x"):
+            pass
+        assert tracer.spans() == []
+
+    def test_enabled_records_named_spans(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("compile.flatten"):
+            pass
+        with tracer.span("run.batch"):
+            pass
+        names = [name for name, _ in tracer.spans()]
+        assert names == ["compile.flatten", "run.batch"]
+        assert all(seconds >= 0.0 for _, seconds in tracer.spans())
+
+    def test_totals_aggregate_by_name(self):
+        tracer = Tracer(enabled=True)
+        for _ in range(3):
+            with tracer.span("run.batch"):
+                pass
+        totals = tracer.totals()
+        assert totals["run.batch"]["count"] == 3
+        assert totals["run.batch"]["seconds"] >= 0.0
+
+    def test_clear_resets(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("a"):
+            pass
+        tracer.clear()
+        assert tracer.spans() == []
+        assert tracer.totals() == {}
+
+    def test_global_tracer_disabled_by_default(self):
+        assert TRACER.enabled is False

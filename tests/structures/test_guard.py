@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro import AliasGuardError, compile_spec
-from repro.compiler import compile_spec as compile_spec_direct
+from repro import AliasGuardError
+from repro.compiler import build_compiled_spec
 from repro.speclib import (
     db_access_constraint,
     fig1_spec,
@@ -98,19 +98,19 @@ class TestGuardedStructures:
 
 class TestGuardedBackendSelection:
     def test_alias_guard_swaps_only_mutable(self):
-        compiled = compile_spec(fig1_spec(), alias_guard=True)
+        compiled = build_compiled_spec(fig1_spec(), alias_guard=True)
         assert compiled.alias_guard
         kinds = set(compiled.backends.values())
         assert Backend.GUARDED in kinds
         assert Backend.MUTABLE not in kinds
 
     def test_alias_guard_off_by_default(self):
-        compiled = compile_spec(fig1_spec())
+        compiled = build_compiled_spec(fig1_spec())
         assert not compiled.alias_guard
         assert Backend.GUARDED not in set(compiled.backends.values())
 
     def test_persistent_baseline_unaffected(self):
-        compiled = compile_spec(seen_set(), optimize=False, alias_guard=True)
+        compiled = build_compiled_spec(seen_set(), optimize=False, alias_guard=True)
         assert set(compiled.backends.values()) == {Backend.PERSISTENT}
 
 
@@ -149,15 +149,15 @@ class TestSanitizerSoundness:
     ):
         inputs = _events(60, streams)
         spec = factory()
-        plain = compile_spec(spec).run(inputs)
-        guarded = compile_spec(spec, alias_guard=True).run(inputs)
+        plain = build_compiled_spec(spec).run_traces(inputs)
+        guarded = build_compiled_spec(spec, alias_guard=True).run_traces(inputs)
         for name in plain:
             assert guarded[name].events == plain[name].events
 
     def test_guarded_watchdog_with_delays(self):
         inputs = {"hb": [(1, 0), (5, 0), (30, 0)]}
-        plain = compile_spec(watchdog(10)).run(inputs, end_time=60)
-        guarded = compile_spec(watchdog(10), alias_guard=True).run(
+        plain = build_compiled_spec(watchdog(10)).run_traces(inputs, end_time=60)
+        guarded = build_compiled_spec(watchdog(10), alias_guard=True).run_traces(
             inputs, end_time=60
         )
         assert guarded["alarm_at"].events == plain["alarm_at"].events
@@ -167,8 +167,8 @@ class TestSanitizerSoundness:
             "ins": [(1, 5), (2, 6), (5, 7)],
             "acc": [(3, 5), (4, 99), (6, 7)],
         }
-        plain = compile_spec(db_access_constraint()).run(inputs)
-        guarded = compile_spec(db_access_constraint(), alias_guard=True).run(
+        plain = build_compiled_spec(db_access_constraint()).run_traces(inputs)
+        guarded = build_compiled_spec(db_access_constraint(), alias_guard=True).run_traces(
             inputs
         )
         assert guarded["ok"].events == plain["ok"].events
@@ -182,7 +182,7 @@ class TestSanitizerCatchesMisclassification:
         # the paper's canonical NOT-in-place example: last(y, i2)
         # replicates one set event; mutating the first replica
         # invalidates the second
-        compiled = compile_spec_direct(
+        compiled = build_compiled_spec(
             fig4_lower_spec(), backend_override=Backend.GUARDED
         )
         inputs = {
@@ -191,26 +191,26 @@ class TestSanitizerCatchesMisclassification:
             "i2": [(2, 5), (3, 6)],
         }
         with pytest.raises(AliasGuardError):
-            compiled.run(inputs)
+            compiled.run_traces(inputs)
 
     def test_fig4_upper_all_mutable_is_clean(self):
         # the paper's CAN-be-in-place twin: same shape, safe ordering
-        compiled = compile_spec_direct(
+        compiled = build_compiled_spec(
             fig4_upper_spec(), backend_override=Backend.GUARDED
         )
         inputs = {"i1": [(1, 1), (10, 2)], "i2": [(2, 1), (3, 6)]}
-        expected = compile_spec(fig4_upper_spec()).run(inputs)
-        actual = compiled.run(inputs)
+        expected = build_compiled_spec(fig4_upper_spec()).run_traces(inputs)
+        actual = compiled.run_traces(inputs)
         assert actual["s"].events == expected["s"].events
 
     def test_guard_not_swallowed_by_error_policy(self):
         # AliasGuardError is a monitor bug, not a data fault: the
         # error-propagation machinery must let it escape
-        compiled = compile_spec_direct(
+        compiled = build_compiled_spec(
             fig4_lower_spec(),
             backend_override=Backend.GUARDED,
             error_policy="propagate",
         )
         inputs = {"i1": [(1, 1), (10, 2)], "i2": [(2, 5), (3, 6)]}
         with pytest.raises(AliasGuardError):
-            compiled.run(inputs)
+            compiled.run_traces(inputs)

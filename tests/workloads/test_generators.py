@@ -1,6 +1,6 @@
 """Tests for the workload generators (determinism + shape properties)."""
 
-from repro.compiler import compile_spec
+from repro.compiler import build_compiled_spec
 from repro.speclib import db_access_constraint, db_time_constraint
 from repro.workloads import (
     SIZES,
@@ -55,8 +55,8 @@ class TestDbLog:
 
     def test_time_trace_mostly_compliant(self):
         trace = db_time_trace(2000, seed=0, violation_rate=0.05)
-        compiled = compile_spec(db_time_constraint(60))
-        out = compiled.run(trace)
+        compiled = build_compiled_spec(db_time_constraint(60))
+        out = compiled.run_traces(trace)
         verdicts = [v for _, v in out["ok"]]
         assert verdicts, "db3 inserts must produce checks"
         ok_ratio = sum(verdicts) / len(verdicts)
@@ -64,7 +64,7 @@ class TestDbLog:
 
     def test_time_trace_violations_exist(self):
         trace = db_time_trace(2000, seed=0, violation_rate=0.3)
-        out = compile_spec(db_time_constraint(60)).run(trace)
+        out = build_compiled_spec(db_time_constraint(60)).run_traces(trace)
         assert any(v is False for _, v in out["ok"])
 
     def test_access_trace_shape(self):
@@ -82,7 +82,7 @@ class TestDbLog:
 
     def test_access_trace_mostly_valid(self):
         trace = db_access_trace(2000, seed=1)
-        out = compile_spec(db_access_constraint()).run(trace)
+        out = build_compiled_spec(db_access_constraint()).run_traces(trace)
         verdicts = [v for _, v in out["ok"]]
         assert verdicts
         assert sum(verdicts) / len(verdicts) > 0.9
