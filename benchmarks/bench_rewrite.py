@@ -1,0 +1,190 @@
+"""Bench-rewrite: what the spec-level rewrite optimizer buys, as JSON.
+
+For every paper-figure spec, every Table 1 scenario and the
+deliberately de-normalized fixtures, records:
+
+- certified mutable-variable count before/after the rewrite pass;
+- stream count before/after;
+- per-rule fired counters (``OPT00x``);
+- total ``copies_performed`` over a metered run with and without
+  ``rewrite=True`` — outputs are asserted byte-identical first.
+
+The acceptance gates mirror the PR's claims: the rewrite never
+*lowers* a certified mutable count and never *adds* copies on any
+spec, and on the de-normalized fixtures the mutable count strictly
+rises (or copies strictly drop).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_rewrite.py [--out BENCH_rewrite.json]
+"""
+
+import argparse
+import json
+import platform
+import sys
+
+from repro import api
+from repro.bench.meta import bench_metadata
+from repro.bench.table1 import scenarios
+from repro.compiler import freeze
+from repro.lang import check_types, flatten
+from repro.opt import optimize_flat
+from repro.speclib import (
+    DENORMALIZED,
+    fig1_spec,
+    fig4_lower_spec,
+    fig4_upper_spec,
+    map_window,
+    queue_window,
+    seen_set,
+)
+from repro.workloads import seen_set_trace, window_trace
+
+TRACE_LENGTH = 400
+TABLE1_SCALE = 400
+WINDOW_SIZE = 16
+
+
+def _denorm_trace(spec):
+    return {
+        name: [(t, t % 7) for t in range(1, TRACE_LENGTH)]
+        for name in spec.inputs
+    }
+
+
+def workloads():
+    """name -> (spec, inputs), the full benchmark population."""
+    population = {
+        "fig1": (fig1_spec(), seen_set_trace(TRACE_LENGTH, WINDOW_SIZE)),
+        "fig4_upper": (fig4_upper_spec(), None),
+        "fig4_lower": (fig4_lower_spec(), None),
+        "seen_set": (seen_set(), seen_set_trace(TRACE_LENGTH, WINDOW_SIZE)),
+        "map_window": (map_window(WINDOW_SIZE), window_trace(TRACE_LENGTH)),
+        "queue_window": (
+            queue_window(WINDOW_SIZE),
+            window_trace(TRACE_LENGTH),
+        ),
+    }
+    for name, (spec, inputs) in population.items():
+        if inputs is None:
+            population[name] = (spec, _denorm_trace(spec))
+    for name, (spec, inputs) in scenarios(TABLE1_SCALE).items():
+        population[f"table1:{name}"] = (spec, inputs)
+    for name, factory in DENORMALIZED.items():
+        spec = factory()
+        population[f"denorm:{name}"] = (spec, _denorm_trace(spec))
+    return population
+
+
+def copies_for(spec, inputs, rewrite):
+    monitor = api.compile(
+        spec, api.CompileOptions(optimize=True, rewrite=rewrite)
+    )
+    outputs = []
+    report = api.run(
+        monitor,
+        inputs,
+        api.RunOptions(metrics=True),
+        on_output=lambda n, t, v: outputs.append((n, t, freeze(v))),
+    )
+    streams = (report.metrics or {}).get("streams", {})
+    return sum(s["copies_performed"] for s in streams.values()), outputs
+
+
+def measure(name, spec, inputs):
+    flat = flatten(spec)
+    check_types(flat)
+    result = optimize_flat(flat)
+    copies_before, out_before = copies_for(spec, inputs, rewrite=False)
+    copies_after, out_after = copies_for(spec, inputs, rewrite=True)
+    if out_before != out_after:
+        raise AssertionError(
+            f"{name}: optimized and unoptimized outputs disagree"
+        )
+    return {
+        "streams_before": result.streams_before,
+        "streams_after": result.streams_after,
+        "mutable_before": result.mutable_before,
+        "mutable_after": result.mutable_after,
+        "rewrites_applied": len(result.applied),
+        "rewrites_rejected": len(result.rejected),
+        "fired": dict(result.fired),
+        "copies_before": copies_before,
+        "copies_after": copies_after,
+    }
+
+
+def gates(results):
+    """Return a list of failure strings (empty = all claims hold)."""
+    failures = []
+    strict_gains = 0
+    for name, row in results.items():
+        if (
+            row["mutable_before"] is not None
+            and row["mutable_after"] < row["mutable_before"]
+        ):
+            failures.append(f"{name}: mutable count demoted")
+        if row["copies_after"] > row["copies_before"]:
+            failures.append(f"{name}: rewrite added copies")
+        gained = (
+            row["mutable_before"] is not None
+            and row["mutable_after"] > row["mutable_before"]
+        )
+        if gained or row["copies_after"] < row["copies_before"]:
+            strict_gains += 1
+    if strict_gains < 3:
+        failures.append(
+            f"only {strict_gains} specs strictly improved (need >= 3)"
+        )
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", default="BENCH_rewrite.json", help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    results = {
+        name: measure(name, spec, inputs)
+        for name, (spec, inputs) in workloads().items()
+    }
+    failures = gates(results)
+
+    fired_total = {}
+    for row in results.values():
+        for code, count in row["fired"].items():
+            fired_total[code] = fired_total.get(code, 0) + count
+
+    payload = {
+        "benchmark": "rewrite-optimizer",
+        "meta": bench_metadata(),
+        "workload": (
+            "paper figures + Table 1 scenarios + de-normalized fixtures"
+        ),
+        "trace_length": TRACE_LENGTH,
+        "python": platform.python_version(),
+        "results": results,
+        "fired_total": fired_total,
+        "failures": failures,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"ok: {len(results)} specs,"
+        f" {sum(fired_total.values())} rewrites fired, claims hold"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

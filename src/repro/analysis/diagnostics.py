@@ -3,7 +3,7 @@
 Everything the compiler's static passes conclude about a specification
 is surfaced here as :class:`Diagnostic` records with **stable codes**,
 so results are auditable (why is this stream persistent?) and gateable
-(fail CI on precision loss or spec foot-guns).  Two code families:
+(fail CI on precision loss or spec foot-guns).  Three code families:
 
 * ``LINT00x`` — the specification linter's foot-gun checks
   (:mod:`repro.lang.lint`), always warning severity;
@@ -12,7 +12,11 @@ so results are auditable (why is this stream persistent?) and gateable
   (the offending rule, edge and alias explanation) as a note; analysis
   *precision losses* — implicant-cap or path-enumeration overflows,
   where a stream may be persistent only because the analysis gave up —
-  are warnings.
+  are warnings;
+* ``OPT00x`` — provenance of the spec-level rewrite optimizer
+  (:mod:`repro.opt`), one note per applied (or guard-rejected)
+  rewrite, attached by :meth:`repro.compiler.pipeline.CompiledSpec.diagnostics`
+  when compiled with ``rewrite=True``.
 
 The full catalogue lives in ``docs/analysis.md`` ("Diagnostics codes").
 
@@ -72,6 +76,13 @@ CATALOG: Dict[str, Any] = {
     "MUT003": ("input aggregate family", Severity.NOTE),
     "MUT004": ("triggering implication unknown (cap)", Severity.WARNING),
     "MUT005": ("alias path enumeration overflow", Severity.WARNING),
+    "OPT001": ("duplicate stream eliminated", Severity.NOTE),
+    "OPT002": ("identity lift eliminated", Severity.NOTE),
+    "OPT003": ("lifts fused", Severity.NOTE),
+    "OPT004": ("constant expression folded", Severity.NOTE),
+    "OPT005": ("dead stream eliminated", Severity.NOTE),
+    "OPT006": ("never-firing stream normalized to nil", Severity.NOTE),
+    "OPT007": ("rewrite rejected by mutable-share guard", Severity.NOTE),
 }
 
 

@@ -76,8 +76,11 @@ class CompileOptions:
     """
 
     #: Run the paper's mutability analysis (``False`` — the
-    #: exclusively-persistent baseline).
-    optimize: bool = True
+    #: exclusively-persistent baseline).  Also accepts a mode string:
+    #: ``"none"`` (no analysis), ``"mutability"`` (analysis only, the
+    #: ``True`` default) or ``"rewrite"``/``"full"`` (analysis plus the
+    #: spec-level rewrite optimizer, i.e. ``rewrite=True``).
+    optimize: Union[bool, str] = True
     #: Force one backend everywhere (e.g. ``"copying"`` for the
     #: naive-copy ablation); overrides ``optimize``.
     backend: Union[Backend, str, None] = None
@@ -87,7 +90,14 @@ class CompileOptions:
     error_policy: Union[ErrorPolicy, str, None] = None
     #: Swap mutable backends for alias-guarded twins (sanitizer).
     alias_guard: bool = False
-    #: Remove streams that cannot influence any output.
+    #: Run the spec-level rewrite optimizer (:mod:`repro.opt`) before
+    #: the mutability analysis: semantics-preserving normalizations
+    #: certified to never demote a mutable stream, surfaced as
+    #: ``OPT00x`` diagnostics.
+    rewrite: bool = False
+    #: Deprecated (subsumed by ``rewrite`` — the optimizer's OPT005
+    #: dead-stream rule): remove streams that cannot influence any
+    #: output.
     prune_dead: bool = False
     #: Name of the generated monitor class.
     class_name: str = "GeneratedMonitor"
@@ -96,6 +106,21 @@ class CompileOptions:
     plan_cache: Union[str, PlanCache, None] = None
 
     def __post_init__(self) -> None:
+        if isinstance(self.optimize, str):
+            mode = self.optimize.lower()
+            if mode == "none":
+                object.__setattr__(self, "optimize", False)
+            elif mode == "mutability":
+                object.__setattr__(self, "optimize", True)
+            elif mode in ("rewrite", "full"):
+                object.__setattr__(self, "optimize", True)
+                object.__setattr__(self, "rewrite", True)
+            else:
+                raise ValueError(
+                    f"unknown optimize mode {self.optimize!r}; expected"
+                    " one of ['none', 'mutability', 'rewrite', 'full']"
+                    " or a bool"
+                )
         if isinstance(self.backend, str):
             try:
                 coerced = Backend[self.backend.upper()]
@@ -126,7 +151,11 @@ class CompileOptions:
             "optimize": self.optimize,
             "backend_override": self.backend,
             "class_name": self.class_name,
-            "prune_dead": False,  # the partitioned flat is already final
+            # The partitioned flat is already final: pruning and the
+            # rewrite pass (if any) ran on the whole spec before it was
+            # split, so replays must not transform it again.
+            "prune_dead": False,
+            "rewrite": False,
             "engine": self.engine,
             "error_policy": self.error_policy,
             "alias_guard": self.alias_guard,
@@ -331,6 +360,7 @@ def compile(
             error_policy=options.error_policy,
             alias_guard=options.alias_guard,
             plan_cache=options.plan_cache,
+            rewrite=options.rewrite,
         )
         return Monitor(compiled, options, source_text=source_or_spec)
     compiled = build_compiled_spec(
@@ -343,6 +373,7 @@ def compile(
         error_policy=options.error_policy,
         alias_guard=options.alias_guard,
         plan_cache=options.plan_cache,
+        rewrite=options.rewrite,
     )
     return Monitor(compiled, options)
 

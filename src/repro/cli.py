@@ -14,7 +14,16 @@ Subcommands over a textual specification file:
 * ``profile``  — run the monitor with the observability layer on and
   print a per-stream copy/in-place table, compile-phase timings and
   plan-cache counters (``--json`` for machine-readable output); see
-  ``docs/observability.md``.
+  ``docs/observability.md``;
+* ``optimize`` — run the spec-level rewrite optimizer (``repro.opt``)
+  and print before/after stream and mutable-variable counts plus every
+  rewrite's provenance record; with ``--trace`` also measures the
+  before/after ``copies_performed`` on that trace (verifying outputs
+  agree); ``--emit-spec`` prints the rewritten specification,
+  ``--json`` a machine-readable summary.  See ``docs/optimizer.md``.
+
+``--rewrite`` enables the same optimizer pass for ``emit``, ``run``
+and ``profile``.
 
 ``--strict`` (for ``analyze`` and ``lint``) exits nonzero when any
 diagnostic of warning severity or above is present, so specifications
@@ -153,6 +162,7 @@ def _compile_options(args) -> "api.CompileOptions":
         error_policy=args.error_policy,
         alias_guard=args.alias_guard,
         plan_cache=args.plan_cache,
+        rewrite=getattr(args, "rewrite", False),
     )
 
 
@@ -435,6 +445,108 @@ def _cmd_profile(args, flat) -> int:
     return 0
 
 
+def _cmd_optimize(args, flat) -> int:
+    """The ``optimize`` subcommand: run the rewrite pass, show its work.
+
+    Prints before/after stream and certified mutable-variable counts,
+    per-rule fired counters and every rewrite's provenance record.
+    With ``--trace``, both variants are compiled and driven over the
+    trace with metrics on: outputs are asserted identical and the
+    before/after ``copies_performed`` totals are reported.
+    ``--emit-spec`` prints the rewritten specification in concrete
+    syntax; ``--json`` emits everything as one JSON object.
+    """
+    import json as json_mod
+
+    from .compiler import freeze
+    from .obs.metrics import DEFAULT_REGISTRY
+    from .opt import optimize_flat
+
+    was_metered = DEFAULT_REGISTRY.enabled
+    DEFAULT_REGISTRY.enabled = True
+    try:
+        result = optimize_flat(flat, certify=not args.no_optimize)
+    finally:
+        DEFAULT_REGISTRY.enabled = was_metered
+
+    copies = None
+    if args.trace:
+        events = _read_trace(args.trace, flat)
+        copies = {}
+        outputs = {}
+        for label, rewrite in (("before", False), ("after", True)):
+            monitor = api.compile(
+                flat,
+                api.CompileOptions(
+                    optimize=not args.no_optimize,
+                    engine=args.engine,
+                    rewrite=rewrite,
+                ),
+            )
+            collected = []
+            report = api.run(
+                monitor,
+                list(events),
+                api.RunOptions(
+                    end_time=args.end_time, metrics=True
+                ),
+                on_output=lambda n, t, v: collected.append(
+                    (n, t, freeze(v))
+                ),
+            )
+            streams = (report.metrics or {}).get("streams", {})
+            copies[label] = sum(
+                stats["copies_performed"] for stats in streams.values()
+            )
+            outputs[label] = collected
+        if outputs["before"] != outputs["after"]:
+            raise CliError(
+                "optimized and unoptimized outputs disagree — this is a"
+                " bug; please report the specification"
+            )
+
+    if args.emit_spec:
+        from .frontend import unparse_flat
+
+        print(unparse_flat(result.flat), end="")
+        return 0
+
+    if args.json:
+        payload = dict(result.summary())
+        payload["diagnostics"] = [d.to_dict() for d in result.diagnostics()]
+        if copies is not None:
+            payload["copies_performed"] = copies
+        print(json_mod.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    mut = (
+        f"{result.mutable_before} -> {result.mutable_after}"
+        if result.mutable_before is not None
+        else "n/a (no aggregate streams)"
+    )
+    print(f"streams:          {result.streams_before} -> {result.streams_after}")
+    print(f"mutable variables: {mut}")
+    print(
+        f"rewrites:         {len(result.applied)} applied,"
+        f" {len(result.rejected)} rejected"
+    )
+    if result.fired:
+        for code in sorted(result.fired):
+            print(f"  {code} fired x{result.fired[code]}")
+    if copies is not None:
+        print(
+            f"copies_performed: {copies['before']} -> {copies['after']}"
+            " (outputs verified identical)"
+        )
+    if result.records:
+        print("\nrewrites:")
+        for diagnostic in result.diagnostics():
+            print(f"  {diagnostic}")
+    else:
+        print("\nspecification already normalized; nothing to rewrite")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="repro-compile")
     parser.add_argument(
@@ -447,6 +559,7 @@ def main(argv=None) -> int:
             "emit-scala",
             "run",
             "profile",
+            "optimize",
         ],
     )
     parser.add_argument("spec", help="path to the specification file")
@@ -473,6 +586,18 @@ def main(argv=None) -> int:
         "--no-optimize",
         action="store_true",
         help="compile the exclusively-persistent baseline",
+    )
+    parser.add_argument(
+        "--rewrite",
+        action="store_true",
+        help="run the spec-level rewrite optimizer before analysis"
+        " (for 'emit'/'run'/'profile'; 'optimize' always runs it)",
+    )
+    parser.add_argument(
+        "--emit-spec",
+        action="store_true",
+        help="for 'optimize': print the rewritten specification in"
+        " concrete syntax",
     )
     parser.add_argument(
         "--end-time", type=int, default=None, help="bound for delay streams"
@@ -660,6 +785,8 @@ def main(argv=None) -> int:
             print(generate_scala_source(flat, order, backends))
         elif args.command == "profile":
             return _cmd_profile(args, flat)
+        elif args.command == "optimize":
+            return _cmd_optimize(args, flat)
         else:  # run
             return _cmd_run(args, flat)
     except (CliError, FileNotFoundError) as exc:

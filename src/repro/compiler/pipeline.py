@@ -80,6 +80,11 @@ class CompiledSpec:
     #: The :class:`~repro.obs.metrics.MetricsRegistry` the lift bindings
     #: were instrumented with, or ``None`` for an uninstrumented compile.
     metrics: Optional[Any] = None
+    #: The :class:`~repro.opt.OptimizationResult` of the spec-level
+    #: rewrite pass (``rewrite=True``), or ``None`` when it did not run.
+    #: Carries per-rewrite provenance records; ``flat`` above is the
+    #: rewritten spec.
+    rewrite_result: Optional[Any] = None
 
     @property
     def source(self) -> str:
@@ -109,8 +114,13 @@ class CompiledSpec:
         from ..lang.lint import lint
 
         if self.analysis is not None:
-            return collect_diagnostics(self.flat, self.analysis)
-        return [lint_diagnostic(w) for w in lint(self.flat)]
+            diags = collect_diagnostics(self.flat, self.analysis)
+        else:
+            diags = [lint_diagnostic(w) for w in lint(self.flat)]
+        if self.rewrite_result is not None:
+            diags.extend(self.rewrite_result.diagnostics())
+            diags.sort(key=lambda d: (d.code, d.stream, d.message))
+        return diags
 
     def persistence_witnesses(self) -> Dict[str, list]:
         """stream → witness records for every persistent-classified
@@ -170,10 +180,19 @@ def build_compiled_spec(
     alias_guard: bool = False,
     plan_cache: Union[str, PlanCache, None] = None,
     metrics: Optional[Any] = None,
+    rewrite: bool = False,
 ) -> CompiledSpec:
     """Compile *spec* into a monitor class (see module docstring).
 
-    ``prune_dead=True`` removes streams that cannot influence any
+    ``rewrite=True`` runs the spec-level rewrite optimizer
+    (:mod:`repro.opt`) on the flattened spec before the mutability
+    analysis: semantics-preserving normalizations (duplicate-stream and
+    dead-stream elimination, identity-lift removal, lift fusion,
+    constant folding), each certified to never demote a mutable stream
+    and recorded as ``OPT00x`` provenance on :meth:`CompiledSpec.diagnostics`.
+
+    ``prune_dead=True`` (deprecated — subsumed by the optimizer's
+    dead-stream rule) removes streams that cannot influence any
     output before analysis and code generation.  ``engine`` selects the
     execution strategy: ``"codegen"`` (generated Python source, the
     default), ``"interpreted"`` (step closures, no ``exec``) or
@@ -204,11 +223,29 @@ def build_compiled_spec(
         if not flat.types:
             check_types(flat)
         if prune_dead:
-            from ..lang.prune import prune
+            from .._deprecation import warn_once
+            from ..opt import project_live
 
-            flat = prune(flat)
+            warn_once(
+                "prune_dead",
+                "prune_dead=True is deprecated; use rewrite=True — the"
+                " optimizer's dead-stream rule (OPT005) subsumes pruning",
+            )
+            flat = project_live(flat)
             if not flat.types:
                 check_types(flat)
+
+    rewrite_result: Optional[Any] = None
+    if rewrite:
+        from ..opt import optimize_flat
+
+        with TRACER.span("compile.rewrite"):
+            rewrite_result = optimize_flat(
+                flat,
+                certify=optimize and backend_override is None,
+                metrics=metrics,
+            )
+        flat = rewrite_result.flat
 
     if isinstance(plan_cache, str):
         plan_cache = PlanCache(plan_cache)
@@ -219,6 +256,7 @@ def build_compiled_spec(
         alias_guard=alias_guard,
         error_policy=policy,
         engine=engine,
+        rewrite=rewrite,
     )
 
     analysis: Optional[MutabilityResult] = None
@@ -242,7 +280,12 @@ def build_compiled_spec(
         backends = {name: backend_override for name in flat.streams}
         optimized = False
     elif optimize:
-        analysis = analyze_mutability(flat)
+        if rewrite_result is not None and rewrite_result.analysis is not None:
+            # The certifying rewrite pass already analyzed the final
+            # rewritten spec; reuse it instead of re-running.
+            analysis = rewrite_result.analysis
+        else:
+            analysis = analyze_mutability(flat)
         order = analysis.order
         backends = {
             name: analysis.backend_for(name) for name in flat.streams
@@ -366,6 +409,7 @@ def build_compiled_spec(
         plan_cache_hit=plan_cache_hit,
         cached_mutable=cached_mutable,
         metrics=metrics,
+        rewrite_result=rewrite_result,
     )
 
 
@@ -463,6 +507,7 @@ def build_compiled_spec_from_text(
     alias_guard: bool = False,
     plan_cache: Union[str, PlanCache, None] = None,
     metrics: Optional[Any] = None,
+    rewrite: bool = False,
 ) -> CompiledSpec:
     """Compile raw specification text, with the text-keyed fast path.
 
@@ -492,6 +537,7 @@ def build_compiled_spec_from_text(
             error_policy=policy,
             engine=engine,
             prune_dead=prune_dead,
+            rewrite=rewrite,
         )
         cached = plan_cache.load(text_key)
         if (
@@ -549,6 +595,7 @@ def build_compiled_spec_from_text(
         alias_guard=alias_guard,
         plan_cache=plan_cache,
         metrics=metrics,
+        rewrite=rewrite,
     )
     if text_key is not None:
         from .codegen import lift_recipe

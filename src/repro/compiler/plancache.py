@@ -75,6 +75,13 @@ def flat_fingerprint(flat: Any) -> str:
     return hashlib.sha256(repr(parts).encode()).hexdigest()
 
 
+def _ruleset_version() -> int:
+    """The rewrite-rule catalogue version (lazy import: no cycle)."""
+    from ..opt import RULESET_VERSION
+
+    return RULESET_VERSION
+
+
 def plan_fingerprint(
     flat: Any,
     *,
@@ -83,20 +90,27 @@ def plan_fingerprint(
     alias_guard: bool = False,
     error_policy: Optional[ErrorPolicy] = None,
     engine: str = "codegen",
+    rewrite: bool = False,
 ) -> str:
     """The cache key: spec content + every result-shaping option.
 
     Also used as the checkpoint fingerprint of compiled specs, so a
     monitor compiled with (say) ``alias_guard=True`` can never resume
     from a checkpoint written by its unguarded twin.
+
+    The rewrite-optimizer flag and its rule-set version are part of the
+    options tuple: toggling ``rewrite`` (or changing what the rules do)
+    can never serve a plan cached under the other configuration.
     """
     options = (
-        "opts-v1",
+        "opts-v2",
         bool(optimize),
         backend_override.name if backend_override is not None else None,
         bool(alias_guard),
         error_policy.value if error_policy is not None else None,
         engine,
+        bool(rewrite),
+        _ruleset_version() if rewrite else 0,
     )
     digest = hashlib.sha256()
     digest.update(flat_fingerprint(flat).encode())
@@ -113,24 +127,30 @@ def text_fingerprint(
     error_policy: Optional[ErrorPolicy] = None,
     engine: str = "codegen",
     prune_dead: bool = False,
+    rewrite: bool = False,
 ) -> str:
     """Cache key for raw specification text: hash of the text itself.
 
     Keying on the unparsed text lets a warm compilation skip the
     frontend entirely — no lexing, parsing, flattening or type
     inference — which is the bulk of a repeated CLI/server
-    invocation's startup cost.  ``prune_dead`` is part of this key
-    (unlike :func:`plan_fingerprint`, where pruning happens before the
-    flat spec is hashed and is therefore covered by content).
+    invocation's startup cost.  ``prune_dead`` and ``rewrite`` (plus
+    the rewrite rule-set version) are part of this key — unlike
+    :func:`plan_fingerprint`, where both transforms run before the flat
+    spec is hashed and are therefore covered by content, the raw text
+    here is identical whether or not the optimizer runs, so omitting
+    the flags would serve a stale plan across a toggle.
     """
     options = (
-        "text-opts-v1",
+        "text-opts-v2",
         bool(optimize),
         backend_override.name if backend_override is not None else None,
         bool(alias_guard),
         error_policy.value if error_policy is not None else None,
         engine,
         bool(prune_dead),
+        bool(rewrite),
+        _ruleset_version() if rewrite else 0,
     )
     digest = hashlib.sha256()
     digest.update(b"text-v1\n")

@@ -2,7 +2,7 @@
 
 from .lexer import FrontendError, Token, tokenize
 from .parser import parse_spec
-from .printer import UnparseableError, unparse, unparse_expr
+from .printer import UnparseableError, unparse, unparse_expr, unparse_flat
 
 __all__ = [
     "FrontendError",
@@ -12,4 +12,5 @@ __all__ = [
     "tokenize",
     "unparse",
     "unparse_expr",
+    "unparse_flat",
 ]

@@ -139,3 +139,82 @@ def unparse(spec: Specification) -> str:
     if spec.outputs:
         lines.append("out " + ", ".join(spec.outputs))
     return "\n".join(lines) + "\n"
+
+
+def unparse_flat(flat) -> str:
+    """Render a *flattened* specification back into concrete syntax.
+
+    Used to re-emit rewritten specifications (``repro optimize
+    --emit-spec``).  Flattening is not surface-reversible as-is, so
+    three re-sugarings are applied:
+
+    * synthetic ``_s*`` streams are renamed to ``_t*`` (the flattener
+      reserves the ``_s`` prefix, rejecting it on re-parse);
+    * ``const(v)`` lifts over a unit clock become literals, and fused
+      lifts (:class:`repro.opt.FusedFunction`) are unfolded back into
+      nested registry applications;
+    * everything else is printed by :func:`unparse_expr` (a lift that
+      is neither a registry builtin nor re-sugarable raises
+      :class:`UnparseableError`).
+
+    Round trip: ``flatten(parse_spec(unparse_flat(f)))`` defines the
+    same streams as ``f`` up to synthetic naming.
+    """
+    from ..lang.ast import Expr as _Expr
+    from ..opt.rewrite import unfold_fused
+
+    rename = {}
+    taken = set(flat.inputs) | set(flat.definitions)
+    counter = 0
+    for name in flat.definitions:
+        if name.startswith("_s"):
+            while f"_t{counter}" in taken:
+                counter += 1
+            rename[name] = f"_t{counter}"
+            taken.add(f"_t{counter}")
+            counter += 1
+
+    def resugar(expr: _Expr) -> _Expr:
+        expr = unfold_fused(expr)
+        if isinstance(expr, Var):
+            return Var(rename.get(expr.name, expr.name))
+        if isinstance(expr, TimeExpr):
+            return TimeExpr(resugar(expr.operand))
+        if isinstance(expr, Last):
+            return Last(resugar(expr.value), resugar(expr.trigger))
+        if isinstance(expr, Delay):
+            return Delay(resugar(expr.delay), resugar(expr.reset))
+        if isinstance(expr, Lift):
+            name = expr.func.name
+            if name == "merge" and len(expr.args) == 2:
+                return Merge(resugar(expr.args[0]), resugar(expr.args[1]))
+            if name.startswith("const(") and len(expr.args) == 1:
+                clock = expr.args[0]
+                clock_def = (
+                    flat.definitions.get(clock.name)
+                    if isinstance(clock, Var)
+                    else None
+                )
+                if isinstance(clock_def, UnitExpr):
+                    from ..structures import Backend
+
+                    value = expr.func.bind(Backend.PERSISTENT)(())
+                    return Const(value)
+                raise UnparseableError(
+                    f"constant lift {name} over non-unit clock"
+                    f" {clock!r} has no surface syntax"
+                )
+            return Lift(expr.func, tuple(resugar(a) for a in expr.args))
+        return expr  # Nil / UnitExpr / Const
+
+    lines: List[str] = []
+    for name, input_type in flat.inputs.items():
+        lines.append(f"in {name}: {input_type}")
+    for name, expr in flat.definitions.items():
+        surface = resugar(expr)
+        lines.append(
+            f"def {rename.get(name, name)} := {unparse_expr(surface)}"
+        )
+    if flat.outputs:
+        lines.append("out " + ", ".join(flat.outputs))
+    return "\n".join(lines) + "\n"

@@ -35,34 +35,20 @@ def live_streams(flat: FlatSpec) -> Set[str]:
 
 
 def prune(flat: FlatSpec) -> FlatSpec:
-    """Return *flat* restricted to output-reachable streams.
+    """Deprecated alias of :func:`repro.opt.project_live`.
 
+    The dead-stream projection moved into the rewrite optimizer as its
+    ``OPT005`` rule (``repro.opt``); this shim delegates unchanged.
     Input streams are kept in the interface even when dead (the monitor
     still accepts their events; they just trigger no computation).
     """
-    live = live_streams(flat)
-    definitions = {
-        name: expr
-        for name, expr in flat.definitions.items()
-        if name in live
-    }
-    if len(definitions) == len(flat.definitions):
-        return flat
-    pruned = FlatSpec(
-        flat.inputs,
-        definitions,
-        flat.outputs,
-        synthetic=[name for name in flat.synthetic if name in live],
-        type_annotations={
-            name: annotation
-            for name, annotation in flat.type_annotations.items()
-            if name in live
-        },
+    from .._deprecation import warn_once
+    from ..opt import project_live
+
+    warn_once(
+        "lang.prune.prune",
+        "repro.lang.prune.prune() is deprecated; use"
+        " repro.opt.project_live() or compile with rewrite=True (the"
+        " optimizer's OPT005 dead-stream rule subsumes it)",
     )
-    if flat.types:
-        pruned.types = {
-            name: ty
-            for name, ty in flat.types.items()
-            if name in live or name in flat.inputs
-        }
-    return pruned
+    return project_live(flat)

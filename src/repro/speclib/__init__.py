@@ -12,11 +12,23 @@ from .evaluation import (
     vector_window,
     watchdog,
 )
+from .denormalized import (
+    DENORMALIZED,
+    denorm_dead_writer,
+    denorm_dup_writer,
+    denorm_nil_merge,
+    denorm_scalar_chain,
+)
 from .paper_figures import fig1_spec, fig4_lower_spec, fig4_upper_spec
 
 __all__ = [
+    "DENORMALIZED",
     "db_access_constraint",
     "db_time_constraint",
+    "denorm_dead_writer",
+    "denorm_dup_writer",
+    "denorm_nil_merge",
+    "denorm_scalar_chain",
     "fig1_spec",
     "fig4_lower_spec",
     "fig4_upper_spec",

@@ -1,0 +1,131 @@
+"""Deliberately de-normalized specifications for the rewrite optimizer.
+
+Each spec here is semantically equivalent to a clean paper-style spec
+but written the way a careless author might: duplicated streams, dead
+second writers, ``merge``-with-``nil`` identities, chains of scalar
+lifts.  As written, the mutability analysis (Def. 7) must demote the
+aggregate family to persistent backends — typically via the rule-1
+double-write — so they certify **zero** mutable aggregate streams.
+After the rewrite optimizer (:mod:`repro.opt`) normalizes them, the
+family becomes mutable again.
+
+These back the optimizer's claim tests: on each fixture the certified
+mutable-variable count strictly increases (and ``copies_performed``
+strictly drops) under ``rewrite=True``, while outputs stay
+byte-identical.
+"""
+
+from __future__ import annotations
+
+from ..lang import INT, Last, Lift, Merge, Specification, UnitExpr, Var
+from ..lang.ast import Nil
+from ..lang.builtins import builtin
+from ..lang.types import SetType
+
+
+def denorm_dup_writer() -> Specification:
+    """Figure 1 with the ``setAdd`` update written twice.
+
+    ``y`` feeds the recursion and ``y2`` — the *same* equation — feeds
+    the output query.  Two write edges from ``yl`` violate rule 1, so
+    the whole family is persistent.  Duplicate-stream elimination
+    (OPT001) merges ``y2`` into ``y``; the single remaining write is
+    certified mutable.
+    """
+    i = Var("i")
+    return Specification(
+        inputs={"i": INT},
+        definitions={
+            "m": Merge(Var("y"), Lift(builtin("set_empty"), (UnitExpr(),))),
+            "yl": Last(Var("m"), i),
+            "y": Lift(builtin("set_add"), (Var("yl"), i)),
+            "y2": Lift(builtin("set_add"), (Var("yl"), i)),
+            "s": Lift(builtin("set_contains"), (Var("y2"), i)),
+        },
+        outputs=["s"],
+    )
+
+
+def denorm_dead_writer() -> Specification:
+    """Figure 1 plus a *dead* second writer on another input.
+
+    ``y2`` updates the set on ``j`` events but nothing depends on it —
+    yet its write edge still violates rule 1 and demotes the family.
+    Dead-stream elimination (OPT005) removes it; the live family is
+    certified mutable.
+    """
+    i = Var("i")
+    return Specification(
+        inputs={"i": INT, "j": INT},
+        definitions={
+            "m": Merge(Var("y"), Lift(builtin("set_empty"), (UnitExpr(),))),
+            "yl": Last(Var("m"), i),
+            "y": Lift(builtin("set_add"), (Var("yl"), i)),
+            "y2": Lift(builtin("set_add"), (Var("yl"), Var("j"))),
+            "s": Lift(builtin("set_contains"), (Var("yl"), i)),
+        },
+        outputs=["s"],
+    )
+
+
+def denorm_nil_merge() -> Specification:
+    """A duplicated accumulator hidden behind a ``merge``-with-``nil``.
+
+    ``mm = merge(m, z)`` with ``z`` empty is an identity of ``m``, but
+    syntactically it splits the recursion into two ``last`` streams and
+    two writers — rule 1 again, persistent.  The fix cascades: OPT002
+    collapses the identity merge, which makes ``ylx`` a duplicate of
+    ``yl`` (OPT001), which makes the second writer a duplicate of the
+    first (OPT001), and OPT005 sweeps the orphaned ``nil``.
+    """
+    i = Var("i")
+    return Specification(
+        inputs={"i": INT},
+        definitions={
+            "z": Nil(SetType(INT)),
+            "m": Merge(Var("y"), Lift(builtin("set_empty"), (UnitExpr(),))),
+            "mm": Merge(Var("m"), Var("z")),
+            "yl": Last(Var("m"), i),
+            "ylx": Last(Var("mm"), i),
+            "y": Lift(builtin("set_add"), (Var("yl"), i)),
+            "w2": Lift(builtin("set_add"), (Var("ylx"), i)),
+            "s": Lift(builtin("set_contains"), (Var("w2"), i)),
+        },
+        outputs=["s"],
+    )
+
+
+def denorm_scalar_chain() -> Specification:
+    """A scalar pipeline with fusion and constant-folding headroom.
+
+    ``q = (x * x) + x`` through a single-use intermediate (fused by
+    OPT003), a constant expression ``5 = 2 + 3`` on the shared unit
+    clock (folded by OPT004), and a ``last`` over a provably empty
+    trigger (normalized to ``nil`` by OPT006, then merged/swept).  No
+    aggregates — exercises the scalar half of the rule catalogue.
+    """
+    from ..lang import Const
+
+    x = Var("x")
+    return Specification(
+        inputs={"x": INT},
+        definitions={
+            "two": Const(2),
+            "three": Const(3),
+            "five": Lift(builtin("add"), (Var("two"), Var("three"))),
+            "never": Last(x, Var("empty")),
+            "empty": Nil(INT),
+            "t1": Lift(builtin("mul"), (x, x)),
+            "q": Lift(builtin("add"), (Var("t1"), x)),
+            "out2": Merge(Var("q"), Var("never")),
+        },
+        outputs=["out2", "five"],
+    )
+
+
+DENORMALIZED = {
+    "dup_writer": denorm_dup_writer,
+    "dead_writer": denorm_dead_writer,
+    "nil_merge": denorm_nil_merge,
+    "scalar_chain": denorm_scalar_chain,
+}

@@ -8,7 +8,7 @@ from repro.frontend import parse_spec, unparse
 from repro.frontend.printer import UnparseableError
 from repro.lang import check_types, flatten
 from repro.lang.lint import lint
-from repro.lang.prune import prune
+from repro.opt import project_live
 from repro.testing import compiled_outputs, reference_outputs
 
 from .specgen import specifications, traces
@@ -19,26 +19,26 @@ _SETTINGS = dict(
 )
 
 
-class TestPruneProperty:
+class TestProjectLiveProperty:
     @settings(max_examples=40, **_SETTINGS)
     @given(data=st.data())
-    def test_prune_preserves_output_semantics(self, data):
+    def test_projection_preserves_output_semantics(self, data):
         spec = data.draw(specifications())
         inputs = data.draw(traces(list(spec.inputs)))
         flat = flatten(spec)
         check_types(flat)
-        pruned = prune(flat)
+        pruned = project_live(flat)
         assert reference_outputs(flat, inputs) == compiled_outputs(
             pruned, inputs, optimize=True
         )
 
     @settings(max_examples=30, **_SETTINGS)
     @given(data=st.data())
-    def test_prune_never_grows(self, data):
+    def test_projection_never_grows(self, data):
         spec = data.draw(specifications())
         flat = flatten(spec)
         check_types(flat)
-        pruned = prune(flat)
+        pruned = project_live(flat)
         assert set(pruned.definitions) <= set(flat.definitions)
         assert pruned.outputs == flat.outputs
 

@@ -159,9 +159,9 @@ class TestZeroOnlyFixpointEdges:
         assert "ll" not in zero  # trigger i is a live input
 
     def test_zero_only_stable_under_pruning(self):
-        # pruning drops dead streams; the fixpoint over the pruned spec
-        # must agree with the original on every surviving stream
-        from repro.lang.prune import prune
+        # projection drops dead streams; the fixpoint over the projected
+        # spec must agree with the original on every surviving stream
+        from repro.opt import project_live
 
         flat = flatten(
             parse_spec(
@@ -176,7 +176,7 @@ class TestZeroOnlyFixpointEdges:
         check_types(flat)
         before = zero_only_streams(flat)
         assert {"s", "dead_const"} <= before
-        pruned = prune(flat)
+        pruned = project_live(flat)
         assert "dead_const" not in pruned.definitions
         after = zero_only_streams(pruned)
         assert after == {n for n in before if n in pruned.definitions}

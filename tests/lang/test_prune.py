@@ -1,5 +1,8 @@
-"""Tests for dead-stream elimination."""
+"""Tests for dead-stream elimination (now `repro.opt.project_live`)."""
 
+import pytest
+
+from repro._deprecation import ReproDeprecationWarning
 from repro.compiler import build_compiled_spec
 from repro.lang import (
     Const,
@@ -10,12 +13,14 @@ from repro.lang import (
     Merge,
     Specification,
     TimeExpr,
+    UnitExpr,
     Var,
     check_types,
     flatten,
 )
 from repro.lang.builtins import builtin
 from repro.lang.prune import live_streams, prune
+from repro.opt import project_live
 from repro.speclib import fig1_spec
 from repro.testing import assert_equivalent
 
@@ -73,47 +78,67 @@ class TestLiveness:
         assert {"z", "d"} <= live
 
 
-class TestPrune:
+class TestProjectLive:
     def _spec_with_dead_aggregate(self):
         return Specification(
             inputs={"i": INT},
             definitions={
                 "out_t": TimeExpr(Var("i")),
                 # a whole dead accumulator family
-                "m": Merge(Var("y"), Lift(builtin("set_empty"),
-                                          (__import__("repro.lang.ast",
-                                           fromlist=["UnitExpr"]).UnitExpr(),))),
+                "m": Merge(Var("y"), Lift(builtin("set_empty"), (UnitExpr(),))),
                 "yl": Last(Var("m"), Var("i")),
                 "y": Lift(builtin("set_add"), (Var("yl"), Var("i"))),
             },
             outputs=["out_t"],
         )
 
-    def test_prune_removes_dead_family(self):
+    def test_projection_removes_dead_family(self):
         flat = flat_of(self._spec_with_dead_aggregate())
-        pruned = prune(flat)
+        pruned = project_live(flat)
         assert set(pruned.definitions) == {"out_t"}
         assert pruned.inputs == flat.inputs  # interface unchanged
 
-    def test_prune_noop_returns_same_object(self):
+    def test_projection_noop_returns_same_object(self):
         flat = flat_of(fig1_spec())
-        assert prune(flat) is flat
+        assert project_live(flat) is flat
 
     def test_pruned_compiles_and_agrees(self):
         spec = self._spec_with_dead_aggregate()
         trace = {"i": [(1, 4), (3, 7)]}
         expected = assert_equivalent(spec, trace)
-        pruned_out = build_compiled_spec(spec, prune_dead=True).run_traces(trace)
+        with pytest.warns(ReproDeprecationWarning):
+            compiled = build_compiled_spec(spec, prune_dead=True)
+        pruned_out = compiled.run_traces(trace)
         assert {n: s.events for n, s in pruned_out.items()} == expected
 
     def test_pruned_monitor_is_smaller(self):
         spec = self._spec_with_dead_aggregate()
         full = build_compiled_spec(spec, prune_dead=False)
-        lean = build_compiled_spec(spec, prune_dead=True)
+        with pytest.warns(ReproDeprecationWarning):
+            lean = build_compiled_spec(spec, prune_dead=True)
         assert len(lean.source) < len(full.source)
         assert "set_add" not in lean.source.replace("_f_", " _f_")
 
     def test_types_carried_over(self):
         flat = flat_of(self._spec_with_dead_aggregate())
-        pruned = prune(flat)
+        pruned = project_live(flat)
         assert pruned.types["out_t"] == INT
+
+
+class TestDeprecatedAliases:
+    def test_prune_warns_and_delegates(self):
+        flat = flat_of(TestProjectLive()._spec_with_dead_aggregate())
+        with pytest.warns(ReproDeprecationWarning, match="project_live"):
+            pruned = prune(flat)
+        assert set(pruned.definitions) == {"out_t"}
+
+    def test_prune_dead_kwarg_warns(self):
+        with pytest.warns(ReproDeprecationWarning, match="rewrite=True"):
+            build_compiled_spec(fig1_spec(), prune_dead=True)
+
+    def test_rewrite_subsumes_prune_dead(self):
+        spec = TestProjectLive()._spec_with_dead_aggregate()
+        compiled = build_compiled_spec(spec, rewrite=True)
+        assert "y" not in compiled.flat.definitions
+        codes = {r.code for r in compiled.rewrite_result.applied}
+        assert "OPT005" in codes

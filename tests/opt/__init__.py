@@ -1,0 +1,1 @@
+"""Tests for the spec-level rewrite optimizer (:mod:`repro.opt`)."""

@@ -1,0 +1,155 @@
+"""Engine-level invariants: certification, provenance, observability.
+
+The acceptance properties of the tentpole live here:
+
+* the optimizer **strictly increases** the certified mutable-variable
+  count on (at least) the three de-normalized aggregate fixtures;
+* it **never demotes** — ``mutable_after >= mutable_before`` on every
+  spec in the library, always;
+* every applied rewrite carries a provenance record surfaced as an
+  ``OPT00x`` diagnostic, and per-rule fired counters land on the obs
+  registry.
+"""
+
+import pytest
+
+from repro.analysis import analyze_mutability
+from repro.lang import check_types, flatten
+from repro.obs.metrics import MetricsRegistry
+from repro.opt import optimize_flat
+from repro.speclib import (
+    DENORMALIZED,
+    db_access_constraint,
+    db_time_constraint,
+    fig1_spec,
+    fig4_lower_spec,
+    fig4_upper_spec,
+    map_window,
+    peak_detection,
+    queue_window,
+    seen_set,
+    spectrum_calculation,
+)
+
+LIBRARY = {
+    "fig1": fig1_spec,
+    "fig4_upper": fig4_upper_spec,
+    "fig4_lower": fig4_lower_spec,
+    "seen_set": seen_set,
+    "map_window": lambda: map_window(5),
+    "queue_window": lambda: queue_window(5),
+    "db_time": db_time_constraint,
+    "db_access": db_access_constraint,
+    "peak": lambda: peak_detection(window=5),
+    "spectrum": spectrum_calculation,
+}
+
+
+def flat_of(factory):
+    flat = flatten(factory())
+    check_types(flat)
+    return flat
+
+
+class TestNoDemotion:
+    @pytest.mark.parametrize("name", sorted(LIBRARY))
+    def test_library_specs_never_demoted(self, name):
+        flat = flat_of(LIBRARY[name])
+        result = optimize_flat(flat)
+        if result.mutable_before is not None:
+            assert result.mutable_after >= result.mutable_before
+        # the certified analysis matches a fresh run on the final spec
+        fresh = analyze_mutability(result.flat)
+        if result.analysis is not None:
+            assert result.analysis.mutable == fresh.mutable
+
+    @pytest.mark.parametrize("name", sorted(DENORMALIZED))
+    def test_denormalized_specs_never_demoted(self, name):
+        result = optimize_flat(flat_of(DENORMALIZED[name]))
+        if result.mutable_before is not None:
+            assert result.mutable_after >= result.mutable_before
+
+
+class TestStrictGain:
+    """The headline claim: rewriting grows the mutable share."""
+
+    @pytest.mark.parametrize(
+        "name", ["dup_writer", "dead_writer", "nil_merge"]
+    )
+    def test_mutable_count_strictly_increases(self, name):
+        result = optimize_flat(flat_of(DENORMALIZED[name]))
+        assert result.mutable_before is not None
+        assert result.mutable_after > result.mutable_before
+
+    def test_dup_writer_family_fully_recovered(self):
+        result = optimize_flat(flat_of(DENORMALIZED["dup_writer"]))
+        assert result.mutable_before == 0
+        assert result.mutable_after == 4  # m, yl, y and the output query
+
+
+class TestProvenance:
+    def test_every_applied_rewrite_has_a_diagnostic(self):
+        result = optimize_flat(flat_of(DENORMALIZED["nil_merge"]))
+        assert result.applied
+        diags = result.diagnostics()
+        applied_diags = [d for d in diags if d.witness.get("applied")]
+        assert len(applied_diags) == len(result.applied)
+        for diag in applied_diags:
+            assert diag.code.startswith("OPT")
+            assert diag.source == "optimizer"
+            assert "rule" in diag.witness
+            assert "renamed" in diag.witness
+            assert "removed" in diag.witness
+
+    def test_certified_records_carry_mutable_counts(self):
+        result = optimize_flat(flat_of(DENORMALIZED["dup_writer"]))
+        assert any(
+            r.mutable_before is not None and r.mutable_after is not None
+            for r in result.applied
+        )
+
+    def test_fired_counters_match_applied_records(self):
+        result = optimize_flat(flat_of(DENORMALIZED["nil_merge"]))
+        assert sum(result.fired.values()) == len(result.applied)
+        for code, count in result.fired.items():
+            assert count == sum(1 for r in result.applied if r.code == code)
+
+    def test_summary_is_json_safe(self):
+        import json
+
+        result = optimize_flat(flat_of(DENORMALIZED["scalar_chain"]))
+        payload = json.dumps(result.summary())
+        assert "OPT" in payload
+
+
+class TestObservability:
+    def test_counters_land_on_registry(self):
+        registry = MetricsRegistry(enabled=True)
+        result = optimize_flat(
+            flat_of(DENORMALIZED["dup_writer"]), metrics=registry
+        )
+        counters = registry.snapshot()["counters"]
+        assert counters.get("opt.rewrites.applied") == len(result.applied)
+        for code, count in result.fired.items():
+            assert counters.get(f"opt.rules.{code}.fired") == count
+
+    def test_disabled_registry_untouched(self):
+        registry = MetricsRegistry(enabled=False)
+        optimize_flat(flat_of(DENORMALIZED["dup_writer"]), metrics=registry)
+        assert registry.snapshot()["counters"] == {}
+
+
+class TestRenameBookkeeping:
+    def test_renames_resolve_to_surviving_streams(self):
+        result = optimize_flat(flat_of(DENORMALIZED["nil_merge"]))
+        for source, target in result.renames.items():
+            assert source not in result.flat.definitions
+            assert (
+                target in result.flat.definitions
+                or target in result.flat.inputs
+            )
+
+    def test_removed_streams_are_gone(self):
+        result = optimize_flat(flat_of(DENORMALIZED["dead_writer"]))
+        for name in result.removed:
+            assert name not in result.flat.definitions

@@ -1,0 +1,107 @@
+"""Metrics-backed claim: the optimizer never adds copies, and removes
+some.
+
+Runs the Figure 9/10 monitors (and the de-normalized fixtures) with
+per-stream metrics on, compiled with and without ``rewrite=True``, and
+compares the total ``copies_performed``: after optimization it must be
+less than or equal to before on every spec, and **strictly lower** on
+the deliberately de-normalized duplicate-writer fixture (whose second
+write edge forces the whole family onto copying/persistent backends
+until OPT001 removes it).
+"""
+
+import pytest
+
+from repro import api
+from repro.bench.fig9 import SPECS, spec_for, trace_for
+from repro.compiler import freeze
+from repro.speclib import DENORMALIZED
+from repro.workloads import seen_set_trace
+
+TRACE_LENGTH = 300
+SIZE = 16
+
+
+def copies_for(spec, inputs, rewrite):
+    monitor = api.compile(
+        spec, api.CompileOptions(optimize=True, rewrite=rewrite)
+    )
+    outputs = []
+    report = api.run(
+        monitor,
+        inputs,
+        api.RunOptions(metrics=True),
+        on_output=lambda n, t, v: outputs.append((n, t, freeze(v))),
+    )
+    streams = (report.metrics or {}).get("streams", {})
+    total = sum(stats["copies_performed"] for stats in streams.values())
+    return total, outputs
+
+
+class TestFig9Monitors:
+    """Figure 9's three synthetic monitors (also the Fig. 10 subject —
+    seen_set is the spec whose speedup Fig. 10 scales over trace
+    length)."""
+
+    @pytest.mark.parametrize("name", SPECS)
+    def test_rewrite_never_adds_copies(self, name):
+        spec = spec_for(name, SIZE)
+        inputs = trace_for(name, SIZE, TRACE_LENGTH)
+        before, out_before = copies_for(spec, inputs, rewrite=False)
+        after, out_after = copies_for(spec, inputs, rewrite=True)
+        assert out_after == out_before
+        assert after <= before
+
+    def test_fig10_scaling_traces_never_add_copies(self):
+        spec = spec_for("seen_set", SIZE)
+        for length in (50, 200, 800):
+            inputs = seen_set_trace(length, SIZE, seed=0)
+            before, out_before = copies_for(spec, inputs, rewrite=False)
+            after, out_after = copies_for(spec, inputs, rewrite=True)
+            assert out_after == out_before
+            assert after <= before
+
+
+class TestDenormalizedFixtures:
+    @pytest.mark.parametrize("name", sorted(DENORMALIZED))
+    def test_rewrite_never_adds_copies(self, name):
+        inputs = {
+            n: [(t, t % 7) for t in range(1, 80)]
+            for n in DENORMALIZED[name]().inputs
+        }
+        before, out_before = copies_for(
+            DENORMALIZED[name](), inputs, rewrite=False
+        )
+        after, out_after = copies_for(
+            DENORMALIZED[name](), inputs, rewrite=True
+        )
+        assert out_after == out_before
+        assert after <= before
+
+    def test_dup_writer_copies_strictly_drop(self):
+        """The headline number: the double write forces copies; OPT001
+        removes it and the copies vanish entirely."""
+        inputs = {"i": [(t, t % 7) for t in range(1, 80)]}
+        before, out_before = copies_for(
+            DENORMALIZED["dup_writer"](), inputs, rewrite=False
+        )
+        after, out_after = copies_for(
+            DENORMALIZED["dup_writer"](), inputs, rewrite=True
+        )
+        assert out_after == out_before
+        assert before > 0
+        assert after < before
+
+    def test_dead_writer_copies_strictly_drop(self):
+        inputs = {
+            "i": [(t, t % 7) for t in range(1, 80, 2)],
+            "j": [(t, t % 5) for t in range(2, 80, 2)],
+        }
+        before, _ = copies_for(
+            DENORMALIZED["dead_writer"](), inputs, rewrite=False
+        )
+        after, _ = copies_for(
+            DENORMALIZED["dead_writer"](), inputs, rewrite=True
+        )
+        assert before > 0
+        assert after < before

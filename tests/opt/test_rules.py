@@ -1,0 +1,238 @@
+"""Per-rule unit tests for the rewrite catalogue.
+
+Each rule is exercised in isolation (``optimize_flat`` with a
+single-rule tuple) on a fixture built to trip it; the rewritten spec
+must stay semantically identical under the reference interpreter.
+The negative cases pin the safety boundaries: constructor lifts are
+never CSE-merged, output streams are never removed, and type-unsound
+fusions/folds are skipped.
+"""
+
+import pytest
+
+from repro.lang import (
+    Const,
+    INT,
+    Last,
+    Lift,
+    Merge,
+    Specification,
+    TimeExpr,
+    UnitExpr,
+    Var,
+    check_types,
+    flatten,
+)
+from repro.lang.ast import Nil
+from repro.lang.builtins import builtin
+from repro.lang.types import SetType
+from repro.opt import ALL_RULES, optimize_flat
+from repro.opt.rewrite import (
+    ConstFoldRule,
+    DeadStreamRule,
+    DuplicateStreamRule,
+    IdentityLiftRule,
+    LiftFusionRule,
+    NeverFiresRule,
+)
+from repro.speclib import (
+    denorm_dup_writer,
+    denorm_nil_merge,
+    denorm_scalar_chain,
+    fig1_spec,
+)
+from repro.testing import reference_outputs
+
+
+def flat_of(spec):
+    flat = flatten(spec)
+    check_types(flat)
+    return flat
+
+
+def assert_same_semantics(before, after, inputs):
+    assert reference_outputs(before, inputs) == reference_outputs(
+        after, inputs
+    )
+
+
+TRACE_I = {"i": [(1, 4), (2, 7), (3, 4), (5, 9)]}
+TRACE_X = {"x": [(1, 3), (2, 5), (4, 2)]}
+
+
+class TestDuplicateStream:
+    def test_fires_on_duplicate_writer(self):
+        flat = flat_of(denorm_dup_writer())
+        result = optimize_flat(flat, rules=(DuplicateStreamRule(),))
+        assert result.fired.get("OPT001", 0) >= 1
+        assert "y2" not in result.flat.definitions
+        assert_same_semantics(flat, result.flat, TRACE_I)
+
+    def test_constructor_lifts_never_merged(self):
+        # two set_empty constructors build two *distinct* aggregates;
+        # merging them would alias the underlying structure.
+        spec = Specification(
+            inputs={"i": INT},
+            definitions={
+                "e1": Lift(builtin("set_empty"), (UnitExpr(),)),
+                "e2": Lift(builtin("set_empty"), (UnitExpr(),)),
+                "a": Lift(builtin("set_add"), (Var("e1"), Var("i"))),
+                "b": Lift(builtin("set_add"), (Var("e2"), Var("i"))),
+                "sa": Lift(builtin("set_contains"), (Var("a"), Var("i"))),
+                "sb": Lift(builtin("set_contains"), (Var("b"), Var("i"))),
+            },
+            outputs=["sa", "sb"],
+        )
+        flat = flat_of(spec)
+        result = optimize_flat(flat, rules=(DuplicateStreamRule(),))
+        assert "e1" in result.flat.definitions
+        assert "e2" in result.flat.definitions
+
+    def test_outputs_never_removed(self):
+        spec = Specification(
+            inputs={"i": INT},
+            definitions={
+                "t1": TimeExpr(Var("i")),
+                "t2": TimeExpr(Var("i")),
+            },
+            outputs=["t1", "t2"],
+        )
+        result = optimize_flat(flat_of(spec), rules=(DuplicateStreamRule(),))
+        assert set(result.flat.outputs) == {"t1", "t2"}
+        assert "t1" in result.flat.definitions
+        assert "t2" in result.flat.definitions
+
+
+class TestIdentityLift:
+    def test_merge_with_nil_collapsed(self):
+        flat = flat_of(denorm_nil_merge())
+        result = optimize_flat(flat, rules=(IdentityLiftRule(),))
+        assert result.fired.get("OPT002", 0) >= 1
+        assert_same_semantics(flat, result.flat, TRACE_I)
+
+    def test_merge_self_collapsed(self):
+        spec = Specification(
+            inputs={"i": INT},
+            definitions={
+                "mm": Merge(Var("i"), Var("i")),
+                "t": TimeExpr(Var("mm")),
+            },
+            outputs=["t"],
+        )
+        flat = flat_of(spec)
+        result = optimize_flat(flat, rules=(IdentityLiftRule(),))
+        assert result.fired.get("OPT002", 0) == 1
+        assert_same_semantics(flat, result.flat, TRACE_I)
+
+
+class TestNeverFires:
+    def test_last_over_nil_trigger_becomes_nil(self):
+        spec = Specification(
+            inputs={"x": INT},
+            definitions={
+                "empty": Nil(INT),
+                "never": Last(Var("x"), Var("empty")),
+                "out2": Merge(Var("x"), Var("never")),
+            },
+            outputs=["out2"],
+        )
+        flat = flat_of(spec)
+        result = optimize_flat(flat, rules=(NeverFiresRule(),))
+        assert result.fired.get("OPT006", 0) >= 1
+        assert_same_semantics(flat, result.flat, TRACE_X)
+
+
+class TestConstFold:
+    def test_const_add_folds(self):
+        spec = Specification(
+            inputs={"x": INT},
+            definitions={
+                "two": Const(2),
+                "three": Const(3),
+                "five": Lift(builtin("add"), (Var("two"), Var("three"))),
+            },
+            outputs=["five"],
+        )
+        flat = flat_of(spec)
+        result = optimize_flat(flat, rules=(ConstFoldRule(),))
+        assert result.fired.get("OPT004", 0) == 1
+        assert_same_semantics(flat, result.flat, TRACE_X)
+
+    def test_raising_fold_is_skipped(self):
+        # 1 / 0 raises at fold time: the rule must leave it alone (the
+        # runtime error policy owns that behaviour, not the optimizer).
+        spec = Specification(
+            inputs={"x": INT},
+            definitions={
+                "one": Const(1),
+                "zero": Const(0),
+                "boom": Lift(builtin("div"), (Var("one"), Var("zero"))),
+            },
+            outputs=["boom"],
+        )
+        flat = flat_of(spec)
+        result = optimize_flat(flat, rules=(ConstFoldRule(),))
+        assert result.fired.get("OPT004", 0) == 0
+        assert result.flat.definitions == flat.definitions
+
+
+class TestLiftFusion:
+    def test_single_use_scalar_chain_fused(self):
+        flat = flat_of(denorm_scalar_chain())
+        result = optimize_flat(flat, rules=(LiftFusionRule(),))
+        assert result.fired.get("OPT003", 0) >= 1
+        assert_same_semantics(flat, result.flat, TRACE_X)
+
+    def test_aggregate_chain_not_fused(self):
+        # set_add(set_add(...)) must stay two streams: fusing would put
+        # an aggregate inside one lift and hide the write edge from the
+        # mutability analysis.
+        spec = Specification(
+            inputs={"i": INT},
+            definitions={
+                "e": Lift(builtin("set_empty"), (UnitExpr(),)),
+                "a": Lift(builtin("set_add"), (Var("e"), Var("i"))),
+                "b": Lift(builtin("set_add"), (Var("a"), Var("i"))),
+                "s": Lift(builtin("set_contains"), (Var("b"), Var("i"))),
+            },
+            outputs=["s"],
+        )
+        result = optimize_flat(flat_of(spec), rules=(LiftFusionRule(),))
+        assert result.fired.get("OPT003", 0) == 0
+
+
+class TestDeadStream:
+    def test_dead_family_removed(self):
+        spec = Specification(
+            inputs={"i": INT},
+            definitions={
+                "out_t": TimeExpr(Var("i")),
+                "m": Merge(Var("y"), Lift(builtin("set_empty"), (UnitExpr(),))),
+                "yl": Last(Var("m"), Var("i")),
+                "y": Lift(builtin("set_add"), (Var("yl"), Var("i"))),
+            },
+            outputs=["out_t"],
+        )
+        flat = flat_of(spec)
+        result = optimize_flat(flat, rules=(DeadStreamRule(),))
+        assert result.fired.get("OPT005", 0) == 1
+        assert set(result.flat.definitions) == {"out_t"}
+        assert_same_semantics(flat, result.flat, TRACE_I)
+
+
+class TestFixpoint:
+    def test_normalized_spec_is_untouched(self):
+        flat = flat_of(fig1_spec())
+        result = optimize_flat(flat, rules=ALL_RULES)
+        assert result.applied == []
+        assert result.flat.definitions == flat.definitions
+
+    def test_cascade_reaches_fixpoint(self):
+        # nil-merge fixture needs OPT002 -> OPT001 -> OPT001 -> OPT005
+        # in sequence; the fixpoint loop must chain them unaided.
+        flat = flat_of(denorm_nil_merge())
+        result = optimize_flat(flat, rules=ALL_RULES)
+        assert result.streams_after < result.streams_before
+        again = optimize_flat(result.flat, rules=ALL_RULES)
+        assert again.applied == []
+        assert_same_semantics(flat, result.flat, TRACE_I)
