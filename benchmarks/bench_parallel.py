@@ -2,21 +2,30 @@
 
 Measures aggregate events/sec of :class:`repro.parallel.MonitorPool`
 running the paper's Fig. 1 Seen Set monitor over many independent
-Fig. 9 synthetic traces, at 1/2/4/8 workers.  Compilation happens once
-per worker against a warm on-disk plan cache and is excluded from the
-timed region (a pool is primed with one tiny warm-up trace before the
-clock starts), so the curve isolates run throughput — the quantity
-the worker count actually scales.
+Fig. 9 synthetic traces, at 1/2/4/8 workers, on **both** pool
+backends: the supervised ``process`` backend (forked workers,
+heartbeats, restart/retry machinery live but idle on the fault-free
+path) and the ``thread`` backend (the GIL-bound baseline).
+Compilation happens once per worker against a warm on-disk plan cache
+and is excluded from the timed region (a pool is primed with one tiny
+warm-up trace before the clock starts), so the curves isolate run
+throughput — the quantity the worker count actually scales.
+
+Each backend's section carries its own provenance stamp
+(``pool_backend``, supervision ``retries`` observed during the timed
+runs) so a chaos artifact can never be mistaken for a clean one; this
+bench runs fault-free, so ``retries`` is expected to be 0.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_parallel.py [--out BENCH_parallel.json]
 
-Exit status is non-zero when the 4-worker speedup over 1 worker falls
-below the acceptance threshold — *enforced only on machines with at
-least 4 CPUs*.  On smaller machines (the curve cannot physically
-materialize there) the artifact records the measurements with
-``threshold_enforced: false`` instead of fabricating a pass or fail.
+Exit status is non-zero when the process backend's 4-worker speedup
+over 1 worker falls below the acceptance threshold — *enforced only on
+machines with at least 4 CPUs*.  On smaller machines (the curve cannot
+physically materialize there) the artifact records the measurements
+with ``threshold_enforced: false`` instead of fabricating a pass or
+fail.
 """
 
 import argparse
@@ -50,6 +59,7 @@ DOMAIN = 64
 BATCH_SIZE = 4_096
 REPEATS = 3
 JOB_COUNTS = (1, 2, 4, 8)
+BACKENDS = ("process", "thread")
 THRESHOLD = 2.5
 
 
@@ -63,11 +73,14 @@ def _traces():
     return all_traces
 
 
-def _measure(jobs, traces, cache_dir):
-    """Best-of-N wall time for one pool size, pool reused across runs."""
+def _measure(backend, jobs, traces, cache_dir):
+    """Best-of-N wall time for one pool size; returns (seconds, retries)."""
     options = api.CompileOptions(plan_cache=cache_dir)
     pool = MonitorPool(
-        SEEN_SET_TEXT, compile_options=options, jobs=jobs
+        SEEN_SET_TEXT,
+        compile_options=options,
+        jobs=jobs,
+        backend=backend,
     )
     warmup = traces[0][:10]
 
@@ -78,16 +91,18 @@ def _measure(jobs, traces, cache_dir):
         assert result.failures == 0
         return result
 
-    # Warm-up: fork the workers and compile (cache hit) outside the
-    # timed region.
+    # Warm-up: fork/spawn the workers and compile (cache hit) outside
+    # the timed region.
     pool.run_many([warmup], collect_outputs=False)
 
     best = float("inf")
+    retries = 0
     for _ in range(REPEATS):
         start = time.perf_counter()
-        run()
+        result = run()
         best = min(best, time.perf_counter() - start)
-    return best
+        retries += result.report.retries
+    return best, retries
 
 
 def main(argv=None):
@@ -99,8 +114,8 @@ def main(argv=None):
         "--threshold",
         type=float,
         default=THRESHOLD,
-        help="minimum 4-worker vs 1-worker events/sec ratio (enforced"
-        " only when the machine has >= 4 CPUs)",
+        help="minimum process-backend 4-worker vs 1-worker events/sec"
+        " ratio (enforced only when the machine has >= 4 CPUs)",
     )
     args = parser.parse_args(argv)
 
@@ -111,21 +126,35 @@ def main(argv=None):
     # Prime the plan cache once; every worker warm-starts from it.
     gc_was_enabled = gc.isenabled()
     gc.disable()
+    backends = {}
     try:
         with tempfile.TemporaryDirectory(prefix="plan-cache-") as cache:
             api.compile(SEEN_SET_TEXT, api.CompileOptions(plan_cache=cache))
-            curve = {}
-            for jobs in JOB_COUNTS:
-                seconds = _measure(jobs, traces, cache)
-                curve[str(jobs)] = {
-                    "seconds": round(seconds, 6),
-                    "events_per_sec": round(total_events / seconds),
+            for backend in BACKENDS:
+                curve = {}
+                retries_total = 0
+                for jobs in JOB_COUNTS:
+                    seconds, retries = _measure(backend, jobs, traces, cache)
+                    retries_total += retries
+                    curve[str(jobs)] = {
+                        "seconds": round(seconds, 6),
+                        "events_per_sec": round(total_events / seconds),
+                    }
+                backends[backend] = {
+                    "jobs": curve,
+                    "speedup_4_vs_1": round(
+                        curve["1"]["seconds"] / curve["4"]["seconds"], 2
+                    ),
+                    "meta": bench_metadata(
+                        pool_backend=backend, retries=retries_total
+                    ),
                 }
     finally:
         if gc_was_enabled:
             gc.enable()
 
-    speedup_4 = curve["1"]["seconds"] / curve["4"]["seconds"]
+    process = backends["process"]
+    speedup_4 = process["speedup_4_vs_1"]
     threshold_enforced = cpus >= 4
     result = {
         "benchmark": "parallel-pool-scaling",
@@ -139,10 +168,13 @@ def main(argv=None):
         "events_total": total_events,
         "batch_size": BATCH_SIZE,
         "repeats": REPEATS,
-        "timing": "run-only (workers forked and compiled against a warm"
+        "timing": "run-only (workers started and compiled against a warm"
         " plan cache before the clock starts), best of N",
-        "jobs": curve,
-        "speedup_4_vs_1": round(speedup_4, 2),
+        "backends": backends,
+        # Headline numbers are the supervised process backend, the one
+        # that can actually scale pure-Python engines past the GIL.
+        "jobs": process["jobs"],
+        "speedup_4_vs_1": speedup_4,
         "threshold": args.threshold,
         "threshold_enforced": threshold_enforced,
     }
@@ -153,18 +185,28 @@ def main(argv=None):
     print(json.dumps(result, indent=2, sort_keys=True))
     if threshold_enforced and speedup_4 < args.threshold:
         print(
-            f"FAIL: 4-worker speedup {speedup_4:.2f}x is below the"
-            f" {args.threshold:.1f}x threshold on a {cpus}-CPU machine",
+            f"FAIL: process-backend 4-worker speedup {speedup_4:.2f}x is"
+            f" below the {args.threshold:.1f}x threshold on a"
+            f" {cpus}-CPU machine",
+            file=sys.stderr,
+        )
+        return 1
+    if threshold_enforced and speedup_4 < backends["thread"]["speedup_4_vs_1"]:
+        print(
+            "FAIL: process backend scales worse than the thread backend"
+            f" ({speedup_4:.2f}x vs"
+            f" {backends['thread']['speedup_4_vs_1']:.2f}x)",
             file=sys.stderr,
         )
         return 1
     if not threshold_enforced:
         print(
             f"note: threshold not enforced ({cpus} CPU(s) < 4);"
-            f" measured 4-vs-1 speedup {speedup_4:.2f}x"
+            f" measured process 4-vs-1 speedup {speedup_4:.2f}x,"
+            f" thread {backends['thread']['speedup_4_vs_1']:.2f}x"
         )
     else:
-        print(f"ok: 4 workers are {speedup_4:.2f}x one worker")
+        print(f"ok: 4 process workers are {speedup_4:.2f}x one worker")
     return 0
 
 

@@ -63,6 +63,7 @@ __all__ = [
 
 _ENGINES = ("codegen", "interpreted", "plan")
 _PARTITION_MODES = ("off", "auto")
+_POOL_BACKENDS = ("process", "thread")
 
 
 @dataclass(frozen=True)
@@ -204,6 +205,19 @@ class RunOptions:
     #: The run's snapshot lands in ``RunReport.metrics`` and accumulates
     #: in :meth:`Monitor.metrics`.
     metrics: bool = False
+    #: Worker backend for :func:`run_many`: ``"process"`` — supervised
+    #: forked workers (heartbeats, restarts, the only way pure-Python
+    #: engines scale past the GIL); ``"thread"`` — in-process threads.
+    pool_backend: str = "process"
+    #: Per-trace wall-clock deadline in seconds for the process
+    #: backend; a trace outliving it is killed and re-dispatched.
+    trace_timeout: Optional[float] = None
+    #: Re-dispatches a failing/interrupted trace may consume after its
+    #: first attempt; ``0`` disables retries.  A trace exhausting
+    #: ``1 + max_retries`` attempts is quarantined (or, under
+    #: fail-fast, sinks the pool with a
+    #: :class:`~repro.errors.PoolError`).
+    max_retries: int = 2
 
     def __post_init__(self) -> None:
         if self.batch_size is not None and self.batch_size < 1:
@@ -225,6 +239,19 @@ class RunOptions:
             raise ValueError(
                 "partition='auto' does not support checkpointing or"
                 " resume; run the single-monitor path for durable runs"
+            )
+        if self.pool_backend not in _POOL_BACKENDS:
+            raise ValueError(
+                f"unknown pool backend {self.pool_backend!r}; expected"
+                f" one of {_POOL_BACKENDS}"
+            )
+        if self.trace_timeout is not None and self.trace_timeout <= 0:
+            raise ValueError(
+                f"trace_timeout must be > 0, got {self.trace_timeout}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
             )
 
     @property
@@ -602,11 +629,14 @@ def run_many(
 
     *traces* is an iterable of event sequences (each an iterable of
     ``(ts, stream, value)`` tuples, timestamp-sorted).  With
-    ``options.jobs > 1`` the traces are distributed over a
-    ``multiprocessing`` worker pool (see
-    :class:`repro.parallel.MonitorPool`): bounded in-flight batches,
-    ordered results, per-worker report merge, and error-policy-governed
-    degradation when a worker dies.  Returns a
+    ``options.jobs > 1`` the traces are distributed over a supervised
+    worker pool (see :class:`repro.parallel.MonitorPool`):
+    ``options.pool_backend`` selects forked processes (default; the
+    GIL escape) or threads, in-flight batches are bounded, results
+    come back ordered and exactly once, interrupted traces are
+    re-dispatched up to ``options.max_retries`` times
+    (``options.trace_timeout`` bounds each attempt), and exhausted
+    traces degrade per the compiled spec's error policy.  Returns a
     :class:`repro.parallel.pool.PoolResult`.
 
     Pass a text *monitor* (or one compiled by :func:`compile` from
@@ -614,6 +644,7 @@ def run_many(
     warm-start from the on-disk cache instead of re-analyzing.
     """
     from .parallel.pool import MonitorPool
+    from .parallel.supervisor import RetryPolicy
 
     options = options or RunOptions()
     if compile_options is None and isinstance(monitor, Monitor):
@@ -623,6 +654,9 @@ def run_many(
         compile_options=compile_options,
         jobs=options.jobs,
         max_in_flight=max_in_flight,
+        backend=options.pool_backend,
+        retry=RetryPolicy(max_attempts=options.max_retries + 1),
+        trace_timeout=options.trace_timeout,
     )
     return pool.run_many(
         [list(trace) for trace in traces]

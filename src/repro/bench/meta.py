@@ -33,13 +33,26 @@ def _git_commit(cwd: Optional[str] = None) -> Optional[str]:
     return commit or None
 
 
-def bench_metadata(cwd: Optional[str] = None) -> Dict[str, object]:
+def bench_metadata(
+    cwd: Optional[str] = None,
+    *,
+    pool_backend: Optional[str] = None,
+    retries: Optional[int] = None,
+    fault_injection: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
     """The standard provenance block for benchmark JSON artifacts.
 
     Keys: ``commit`` (full hash or None), ``timestamp`` (ISO 8601,
     UTC), ``python``, ``platform``, ``cpus``.
+
+    Pool benchmarks additionally stamp their execution conditions —
+    ``pool_backend`` (which worker backend produced the numbers),
+    ``retries`` (supervision retries absorbed during the run) and
+    ``fault_injection`` (the chaos configuration, if any) — so a
+    BENCH artifact from a chaos run can never be mistaken for a clean
+    one.  These keys appear only when given.
     """
-    return {
+    meta: Dict[str, object] = {
         "commit": _git_commit(cwd),
         "timestamp": datetime.datetime.now(datetime.timezone.utc)
         .isoformat(timespec="seconds")
@@ -48,6 +61,13 @@ def bench_metadata(cwd: Optional[str] = None) -> Dict[str, object]:
         "platform": platform.platform(),
         "cpus": os.cpu_count(),
     }
+    if pool_backend is not None:
+        meta["pool_backend"] = pool_backend
+    if retries is not None:
+        meta["retries"] = retries
+    if fault_injection is not None:
+        meta["fault_injection"] = fault_injection
+    return meta
 
 
 __all__ = ["bench_metadata"]

@@ -11,6 +11,13 @@ Subcommands over a textual specification file:
 * ``emit``     — print the generated Python monitor source;
 * ``run``      — run the monitor on a CSV event trace
   (lines ``timestamp,stream,value``) and print outputs as CSV;
+* ``run-many`` — run the monitor over many independent CSV traces
+  (``--traces a.csv b.csv ...``) on the supervised worker pool
+  (``--jobs``, ``--pool-backend process|thread``, ``--trace-timeout``,
+  ``--max-retries``) and print outputs as ``trace,ts,stream,value``
+  lines in submission order; quarantined traces warn on stderr, and a
+  fail-fast abort is the usual one-line ``error:`` diagnostic naming
+  the trace, worker and attempt history;
 * ``profile``  — run the monitor with the observability layer on and
   print a per-stream copy/in-place table, compile-phase timings and
   plan-cache counters (``--json`` for machine-readable output); see
@@ -183,6 +190,9 @@ def _run_options(args) -> "api.RunOptions":
         resume=args.resume,
         jobs=args.jobs,
         partition=args.partition,
+        pool_backend=args.pool_backend,
+        trace_timeout=args.trace_timeout,
+        max_retries=args.max_retries,
     )
 
 
@@ -323,6 +333,49 @@ def _cmd_run(args, flat) -> int:
     report.absorb_ingest(stats)
     if args.report:
         print(report.to_json(), file=sys.stderr)
+    return 0
+
+
+def _cmd_run_many(args, flat) -> int:
+    """The ``run-many`` subcommand: one spec, many traces, worker pool.
+
+    Reads every ``--traces`` CSV file, distributes them over the
+    supervised :class:`~repro.parallel.MonitorPool`
+    (``--jobs``/``--pool-backend``/``--trace-timeout``/
+    ``--max-retries``), and streams results in submission order as
+    ``trace,ts,stream,value`` CSV lines.  A quarantined trace prints a
+    one-line ``warning:`` on stderr and the run keeps draining; under
+    fail-fast (the default error policy) a poison trace aborts with the
+    usual one-line ``error:`` diagnostic and exit 1.
+    """
+    if not args.traces:
+        raise CliError("'run-many' requires --traces")
+    monitor = api.compile(flat, _compile_options(args))
+    run_options = _run_options(args)
+    traces = [_read_trace(path, flat) for path in args.traces]
+
+    handle = open(args.output, "w") if args.output else sys.stdout
+
+    def on_result(result):
+        if result.error is not None:
+            print(
+                f"warning: trace {result.index}"
+                f" ({args.traces[result.index]}) failed: {result.error}",
+                file=sys.stderr,
+            )
+            return
+        for name, ts, value in result.outputs or []:
+            handle.write(f"{result.index},{ts},{name},{value}\n")
+
+    try:
+        pool_result = api.run_many(
+            monitor, traces, run_options, on_result=on_result
+        )
+    finally:
+        if handle is not sys.stdout:
+            handle.close()
+    if args.report:
+        print(pool_result.report.to_json(), file=sys.stderr)
     return 0
 
 
@@ -558,6 +611,7 @@ def main(argv=None) -> int:
             "emit",
             "emit-scala",
             "run",
+            "run-many",
             "profile",
             "optimize",
         ],
@@ -565,6 +619,13 @@ def main(argv=None) -> int:
     parser.add_argument("spec", help="path to the specification file")
     parser.add_argument(
         "--trace", help="CSV event trace (required for 'run')"
+    )
+    parser.add_argument(
+        "--traces",
+        nargs="+",
+        metavar="FILE",
+        help="CSV event traces (required for 'run-many'; one"
+        " independent run of the monitor per file)",
     )
     parser.add_argument(
         "--json",
@@ -635,9 +696,35 @@ def main(argv=None) -> int:
         type=int,
         default=1,
         metavar="N",
-        help="worker threads for --partition=auto (for 'run'); a spec"
-        " with one alias-closed component ignores this and runs"
+        help="worker count: partitions per batch for 'run'"
+        " --partition=auto, pool workers for 'run-many'; 1 runs"
         " sequentially",
+    )
+    parser.add_argument(
+        "--pool-backend",
+        choices=["process", "thread"],
+        default="process",
+        help="for 'run-many': supervised forked workers (process, the"
+        " default — scales pure-Python engines past the GIL) or"
+        " in-process threads",
+    )
+    parser.add_argument(
+        "--trace-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="for 'run-many' (process backend): per-trace wall-clock"
+        " deadline; a trace outliving it is killed and re-dispatched",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="for 'run-many': re-dispatches a failing or interrupted"
+        " trace may consume after its first attempt (0 disables"
+        " retries); an exhausted trace is quarantined or, under"
+        " fail-fast, aborts the pool",
     )
     parser.add_argument(
         "--partition",
@@ -783,6 +870,8 @@ def main(argv=None) -> int:
                     name: result.backend_for(name) for name in flat.streams
                 }
             print(generate_scala_source(flat, order, backends))
+        elif args.command == "run-many":
+            return _cmd_run_many(args, flat)
         elif args.command == "profile":
             return _cmd_profile(args, flat)
         elif args.command == "optimize":

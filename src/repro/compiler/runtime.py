@@ -89,6 +89,16 @@ class RunReport:
     #: conflict is sticky so merging is associative: once ambiguous,
     #: ``resumed_from`` stays ``None`` no matter what merges in later.
     resume_conflict: bool = False
+    #: Trace attempts re-dispatched by the supervised worker pool after
+    #: a worker crash, hang, timeout or task exception.
+    retries: int = 0
+    #: Worker processes restarted by the pool supervisor after a death
+    #: (exitcode) or a forced kill (missed heartbeats / deadline).
+    worker_restarts: int = 0
+    #: Traces that exhausted their retry budget and were quarantined as
+    #: poison traces (surfaced on their ``TraceResult``, never silently
+    #: dropped).
+    traces_quarantined: int = 0
     #: Metric snapshot of an instrumented run (see :mod:`repro.obs`);
     #: ``None`` when the run was not instrumented.
     metrics: Optional[Dict[str, Any]] = None
@@ -124,6 +134,9 @@ class RunReport:
             "events_skipped_on_resume": self.events_skipped_on_resume,
             "resumed_from": self.resumed_from,
             "resume_conflict": self.resume_conflict,
+            "retries": self.retries,
+            "worker_restarts": self.worker_restarts,
+            "traces_quarantined": self.traces_quarantined,
             "metrics": self.metrics,
             "faults_absorbed": self.faults_absorbed(),
         }
@@ -156,6 +169,9 @@ class RunReport:
         "batches",
         "checkpoints_written",
         "events_skipped_on_resume",
+        "retries",
+        "worker_restarts",
+        "traces_quarantined",
     )
 
     def merge(self, other: "RunReport") -> "RunReport":

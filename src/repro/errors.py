@@ -49,6 +49,14 @@ class ErrorValue:
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("ErrorValue is immutable")
 
+    def __reduce__(self):
+        # Default slot-state pickling would call __setattr__ on
+        # unpickling and hit the immutability guard; reconstruct
+        # through __init__ instead.  Error values must cross process
+        # boundaries intact — the supervised worker pool ships them
+        # home in trace outputs under the propagate policy.
+        return (ErrorValue, (self.message, self.origin, self.ts))
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, ErrorValue):
             return NotImplemented
@@ -108,3 +116,31 @@ def coerce_policy(policy: Any) -> Optional[ErrorPolicy]:
 
 class LiftError(Exception):
     """Raised under ``ErrorPolicy.FAIL_FAST`` when evaluation fails."""
+
+
+class PoolError(RuntimeError):
+    """A multi-trace worker pool aborted under a fail-fast error policy.
+
+    Carries the supervision context as structured attributes so callers
+    (and the CLI's one-line diagnostic) can name exactly what died:
+    ``trace_index`` (submission index of the trace that sank the pool),
+    ``worker_id`` (the worker running the final attempt, if any) and
+    ``attempts`` (the full attempt history, one human-readable string
+    per attempt).  The formatted message is always a single line.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        trace_index: Optional[int] = None,
+        worker_id: Optional[str] = None,
+        attempts: Any = (),
+    ) -> None:
+        self.trace_index = trace_index
+        self.worker_id = worker_id
+        self.attempts = tuple(str(record) for record in attempts)
+        detail = message
+        if self.attempts:
+            detail += " [" + "; ".join(self.attempts) + "]"
+        super().__init__(" ".join(detail.split()))

@@ -42,11 +42,29 @@ from typing import Any, Callable, Dict, Optional
 __all__ = [
     "DEFAULT_REGISTRY",
     "MetricsRegistry",
+    "POOL_HEARTBEATS",
+    "POOL_MISSED_HEARTBEATS",
+    "POOL_QUARANTINED",
+    "POOL_RESTARTS",
+    "POOL_RETRIES",
+    "POOL_TASKS",
     "StreamStats",
     "diff_snapshots",
     "instrument_lift",
     "merge_snapshots",
 ]
+
+#: Counter names bumped on :data:`DEFAULT_REGISTRY` by the supervised
+#: worker pool (:mod:`repro.parallel.supervisor`).  Like the plan-cache
+#: counters these are always-present call sites: writes are single-branch
+#: no-ops until the registry is enabled (``repro profile``, the
+#: Prometheus exporter, tests).
+POOL_TASKS = "pool_tasks_dispatched"
+POOL_RETRIES = "pool_retries"
+POOL_RESTARTS = "pool_worker_restarts"
+POOL_HEARTBEATS = "pool_heartbeats"
+POOL_MISSED_HEARTBEATS = "pool_missed_heartbeats"
+POOL_QUARANTINED = "pool_traces_quarantined"
 
 
 class StreamStats:

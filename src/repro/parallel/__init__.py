@@ -16,14 +16,19 @@ static analysis:
   batch with a barrier at batch boundaries, merging outputs back into
   the exact emission order of the single-process monitor.
 
-* **Multi-trace data parallelism** (:mod:`repro.parallel.pool`) — one
-  compiled specification over many independent traces/sessions across
-  a ``multiprocessing`` worker pool.  Workers warm-start from the
-  on-disk plan cache (only the spec text and fingerprint-keyed cache
-  files cross the process boundary), in-flight batches are bounded
-  (backpressure), results are collected in submission order, and a
-  crashing worker degrades per the compiled spec's
-  :class:`~repro.errors.ErrorPolicy`.
+* **Multi-trace data parallelism** (:mod:`repro.parallel.pool`,
+  :mod:`repro.parallel.supervisor`) — one compiled specification over
+  many independent traces/sessions across a *supervised* worker pool.
+  The process backend forks workers warm-started from the on-disk plan
+  cache (only the spec text and fingerprint-keyed cache files cross
+  the process boundary) and oversees them with per-trace leases:
+  heartbeats, deadlines, death/hang detection, automatic restarts,
+  capped-exponential-backoff re-dispatch (:class:`RetryPolicy`) and
+  poison-trace quarantine (:class:`FaultPlan` injects the whole
+  failure matrix deterministically for tests).  In-flight batches are
+  bounded (backpressure), results are collected exactly once in
+  submission order, and exhausted traces degrade per the compiled
+  spec's :class:`~repro.errors.ErrorPolicy`.
 
 Both axes are reachable from :mod:`repro.api`
 (``RunOptions(partition="auto", jobs=N)`` and :func:`repro.api.run_many`)
@@ -41,15 +46,29 @@ from .partition import (
 )
 from .partitioned import PartitionedRunner
 from .pool import MonitorPool, PoolError, PoolResult, TraceResult
+from .supervisor import (
+    AttemptRecord,
+    FaultPlan,
+    PoisonTraceError,
+    RetryPolicy,
+    Supervisor,
+    SupervisorStats,
+)
 
 __all__ = [
+    "AttemptRecord",
+    "FaultPlan",
     "Partition",
     "PartitionError",
     "PartitionPlan",
     "PartitionedRunner",
     "MonitorPool",
+    "PoisonTraceError",
     "PoolError",
     "PoolResult",
+    "RetryPolicy",
+    "Supervisor",
+    "SupervisorStats",
     "TraceResult",
     "partition_flatspec",
     "partition_spec",

@@ -1,40 +1,58 @@
-"""Multi-trace data parallelism: one spec, many traces, many processes.
+"""Multi-trace data parallelism: one spec, many traces, many workers.
 
 :class:`MonitorPool` runs one compiled specification over many
-independent traces (sessions, log shards, tenants) across a
-``multiprocessing`` worker pool:
+independent traces (sessions, log shards, tenants) across a worker
+pool with a selectable backend:
+
+* ``backend="process"`` (default) — forked worker processes overseen
+  by the :class:`~repro.parallel.supervisor.Supervisor`: per-trace
+  leases with heartbeats and deadlines, worker death/hang detection,
+  automatic restarts, capped-exponential-backoff re-dispatch
+  (:class:`~repro.parallel.supervisor.RetryPolicy`) and poison-trace
+  quarantine.  The only backend that scales pure-Python engines past
+  the GIL.
+* ``backend="thread"`` — an in-process thread pool.  No processes to
+  babysit, so supervision degrades gracefully: retries and quarantine
+  still apply (a task exception is a failed attempt), but kill/hang
+  detection is moot — a thread cannot be SIGKILLed and a hung thread
+  would hang the process anyway.  Useful where ``fork`` is unavailable
+  or engines release the GIL.
+
+Shared semantics, regardless of backend:
 
 * **Warm-start compilation** — when the pool is built from
   specification text plus :class:`~repro.api.CompileOptions` carrying
-  a plan cache directory, each worker compiles through
+  a plan cache directory, each worker process compiles through
   ``repro.api.compile`` and hits the text-keyed on-disk cache: only
   the spec text and the fingerprint-keyed cache files cross the
   process boundary, no pickled monitors.  Pools built from an
   already-compiled :class:`~repro.compiler.pipeline.CompiledSpec`
-  rely on ``fork`` inheriting the parent's memory (initializer
-  arguments are not pickled under the fork start method).
+  rely on ``fork`` inheriting the parent's memory.
 * **Backpressure** — at most ``max_in_flight`` traces are outstanding
   at any moment; submission of trace *k + max_in_flight* waits for
   trace *k*'s slot, so a million-session driver never materializes a
-  million task payloads in the pool's queue.
-* **Ordered collection** — results come back in submission order
-  regardless of worker scheduling.
-* **Degradation** — a worker that raises is governed by the compiled
-  spec's :class:`~repro.errors.ErrorPolicy`: ``FAIL_FAST`` (and the
-  default ``None``) aborts the whole pool with :class:`PoolError`;
-  ``PROPAGATE``/``SUBSTITUTE_DEFAULT`` record the failure on that
-  trace's :class:`TraceResult` and keep the other workers running —
-  the pool-level analogue of the hardened runtime's per-event
-  policies.
+  million task payloads at once.
+* **Ordered, exactly-once collection** — results come back in
+  submission order regardless of worker scheduling, retries or
+  restarts, and are byte-identical to a fault-free sequential run.
+* **Degradation** — trace failure is governed by the compiled spec's
+  :class:`~repro.errors.ErrorPolicy`: after a trace exhausts its
+  retry budget, ``FAIL_FAST`` (and the default ``None``) aborts the
+  whole pool with :class:`~repro.errors.PoolError` naming the trace
+  index, worker id and attempt history; ``PROPAGATE``/
+  ``SUBSTITUTE_DEFAULT`` quarantine the trace on its
+  :class:`TraceResult` and keep the pool draining — the pool-level
+  analogue of the hardened runtime's per-event policies.
 
-``jobs <= 1``, a single trace, or a platform without ``fork`` all fall
-back to an in-process sequential loop — no pool spin-up, identical
-results.
+``jobs <= 1``, or ``backend="process"`` on a platform without
+``fork``, falls back to an in-process sequential loop — no pool
+spin-up, identical results, same retry/quarantine semantics.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import (
     Any,
     Callable,
@@ -48,28 +66,52 @@ from typing import (
 
 from ..compiler.monitor import freeze
 from ..compiler.runtime import MonitorRunner, RunReport
-from ..errors import ErrorPolicy
+from ..errors import ErrorPolicy, PoolError
+from ..obs.metrics import (
+    DEFAULT_REGISTRY,
+    POOL_QUARANTINED,
+    POOL_RETRIES,
+    POOL_TASKS,
+)
+from .supervisor import (
+    AttemptRecord,
+    FaultPlan,
+    RetryPolicy,
+    Supervisor,
+    SupervisorStats,
+)
 
 Event = Tuple[int, str, Any]
 OutputEvent = Tuple[str, int, Any]
 
-
-class PoolError(RuntimeError):
-    """A worker failed under a fail-fast error policy."""
+BACKENDS = ("process", "thread")
 
 
 @dataclass
 class TraceResult:
-    """The outcome of one trace's run (in submission order)."""
+    """The outcome of one trace's run (in submission order).
+
+    ``attempts`` is the supervision history — one
+    :class:`~repro.parallel.supervisor.AttemptRecord` per try, so a
+    trace that survived a worker crash shows it.  ``worker`` names the
+    worker that produced the final outcome.
+    """
 
     index: int
     outputs: Optional[List[OutputEvent]]
     report: Optional[RunReport]
     error: Optional[str] = None
+    attempts: List[AttemptRecord] = field(default_factory=list)
+    worker: Optional[str] = None
 
     @property
     def ok(self) -> bool:
         return self.error is None
+
+    @property
+    def quarantined(self) -> bool:
+        """True iff this trace exhausted its retry budget."""
+        return self.error is not None and self.error.startswith("quarantined")
 
 
 @dataclass
@@ -77,11 +119,17 @@ class PoolResult:
     """Everything a :meth:`MonitorPool.run_many` call produced."""
 
     results: List[TraceResult]
-    #: All per-trace reports merged (counters summed).
+    #: All per-trace reports merged (counters summed), including the
+    #: pool-level ``retries`` / ``worker_restarts`` /
+    #: ``traces_quarantined`` counters.
     report: RunReport
-    #: Worker processes actually used (1 — sequential fallback).
+    #: Worker processes/threads actually used (1 — sequential fallback).
     workers: int
     failures: int = 0
+    #: Which backend actually ran ("process", "thread", "sequential").
+    backend: str = "sequential"
+    #: Submission indexes of quarantined (poison) traces.
+    quarantined: List[int] = field(default_factory=list)
 
     def outputs(self) -> List[List[OutputEvent]]:
         """Per-trace output lists, in submission order."""
@@ -103,9 +151,6 @@ class _WorkerRunOptions:
     metrics: bool = False
 
 
-#: Per-process compiled monitor, set by the pool initializer.
-_WORKER_COMPILED: Any = None
-_WORKER_OPTIONS: Optional[_WorkerRunOptions] = None
 #: Per-process instrumented twins, keyed by id() of the uninstrumented
 #: compiled spec — built lazily on the first metrics trace in each
 #: process and reused for the rest of that process's traces.
@@ -121,19 +166,6 @@ def _instrumented(compiled: Any) -> Any:
         twin = instrumented_twin(compiled, MetricsRegistry())
         _INSTRUMENTED_TWINS[id(compiled)] = twin
     return twin
-
-
-def _pool_init(payload: Any, options: Any, run_options: _WorkerRunOptions):
-    """Worker initializer: obtain a compiled monitor in this process."""
-    global _WORKER_COMPILED, _WORKER_OPTIONS
-    if isinstance(payload, str):
-        from .. import api
-
-        _WORKER_COMPILED = api.compile(payload, options).compiled
-    else:
-        # A CompiledSpec inherited through fork (not pickled).
-        _WORKER_COMPILED = payload
-    _WORKER_OPTIONS = run_options
 
 
 def _run_one(
@@ -170,16 +202,44 @@ def _run_one(
     return outputs, report
 
 
-def _pool_task(args: Tuple[int, Sequence[Event]]):
-    """One trace in a worker; never raises (errors are data)."""
-    index, events = args
-    try:
-        outputs, report = _run_one(
-            _WORKER_COMPILED, events, _WORKER_OPTIONS
+def _attempt_trace(
+    compiled: Any,
+    index: int,
+    events: Sequence[Event],
+    run_options: _WorkerRunOptions,
+    retry: RetryPolicy,
+    worker: str,
+) -> TraceResult:
+    """Run one trace with the in-process retry loop (thread/sequential).
+
+    Never raises: exhaustion produces a quarantined
+    :class:`TraceResult`; the caller decides (per error policy) whether
+    that aborts the pool.
+    """
+    attempts: List[AttemptRecord] = []
+    for attempt in range(1, retry.max_attempts + 1):
+        DEFAULT_REGISTRY.inc(POOL_TASKS)
+        try:
+            outputs, report = _run_one(compiled, events, run_options)
+        except Exception as exc:  # noqa: BLE001 - failure is data here
+            attempts.append(
+                AttemptRecord(
+                    attempt, worker, "error", f"{type(exc).__name__}: {exc}"
+                )
+            )
+            if attempt < retry.max_attempts:
+                time.sleep(retry.delay(index, attempt))
+            continue
+        attempts.append(AttemptRecord(attempt, worker, "ok"))
+        return TraceResult(
+            index, outputs, report, None, attempts=attempts, worker=worker
         )
-        return index, outputs, report, None
-    except Exception as exc:  # noqa: BLE001 - crossing a process boundary
-        return index, None, None, f"{type(exc).__name__}: {exc}"
+    error = (
+        f"quarantined after {len(attempts)} attempts; last: {attempts[-1]}"
+    )
+    return TraceResult(
+        index, None, None, error, attempts=attempts, worker=worker
+    )
 
 
 class MonitorPool:
@@ -197,9 +257,26 @@ class MonitorPool:
         (only meaningful for text *spec*); give it a ``plan_cache``
         directory so workers skip the analysis.
     jobs:
-        Worker process count.  ``<= 1`` runs sequentially in-process.
+        Worker count.  ``<= 1`` runs sequentially in-process.
     max_in_flight:
         Bound on outstanding traces (default ``2 * jobs``).
+    backend:
+        ``"process"`` (supervised fork workers, the default) or
+        ``"thread"``.
+    retry:
+        The :class:`~repro.parallel.supervisor.RetryPolicy` applied to
+        every trace on every backend (default: 3 attempts, 50 ms base
+        backoff).
+    trace_timeout:
+        Per-trace wall-clock deadline in seconds (process backend
+        only); a lease outliving it is killed and re-dispatched.
+    heartbeat_interval / heartbeat_timeout:
+        Worker heartbeat cadence and the silence threshold after which
+        a worker is declared hung (process backend only;
+        ``heartbeat_timeout`` defaults to ``max(1.0, 10 * interval)``).
+    fault_plan:
+        A :class:`~repro.parallel.supervisor.FaultPlan` for
+        deterministic chaos injection (process backend only).
     """
 
     def __init__(
@@ -209,13 +286,29 @@ class MonitorPool:
         compile_options: Any = None,
         jobs: int = 2,
         max_in_flight: Optional[int] = None,
+        backend: str = "process",
+        retry: Optional[RetryPolicy] = None,
+        trace_timeout: Optional[float] = None,
+        heartbeat_interval: float = 0.1,
+        heartbeat_timeout: Optional[float] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {backend!r}"
+            )
         self.jobs = max(1, int(jobs))
         self.max_in_flight = (
             max(1, int(max_in_flight))
             if max_in_flight is not None
             else 2 * self.jobs
         )
+        self.backend = backend
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.trace_timeout = trace_timeout
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.fault_plan = fault_plan
         self._options = compile_options
         self._payload, self._compiled = self._normalize(spec, compile_options)
 
@@ -276,9 +369,11 @@ class MonitorPool:
             collect_outputs=collect_outputs,
             metrics=metrics,
         )
+        if self.backend == "thread" and self.jobs > 1:
+            return self._run_threaded(traces, run_options, on_result)
         if self.jobs <= 1 or not self._fork_available():
             return self._run_sequential(traces, run_options, on_result)
-        return self._run_pooled(traces, run_options, on_result)
+        return self._run_supervised(traces, run_options, on_result)
 
     @staticmethod
     def _fork_available() -> bool:
@@ -287,7 +382,12 @@ class MonitorPool:
         return "fork" in multiprocessing.get_all_start_methods()
 
     @staticmethod
-    def _finalize(results: List[TraceResult], workers: int) -> PoolResult:
+    def _finalize(
+        results: List[TraceResult],
+        workers: int,
+        backend: str,
+        stats: SupervisorStats,
+    ) -> PoolResult:
         merged = RunReport()
         failures = 0
         for result in results:
@@ -295,16 +395,44 @@ class MonitorPool:
                 merged.merge(result.report)
             if result.error is not None:
                 failures += 1
+        merged.retries += stats.retries
+        merged.worker_restarts += stats.worker_restarts
+        merged.traces_quarantined += len(stats.quarantined)
         return PoolResult(
             results=results,
             report=merged,
             workers=workers,
             failures=failures,
+            backend=backend,
+            quarantined=sorted(stats.quarantined),
         )
 
     def _fail_fast(self) -> bool:
         policy = self.error_policy
         return policy is None or policy is ErrorPolicy.FAIL_FAST
+
+    def _keep_or_abort(
+        self,
+        result: TraceResult,
+        fail_fast: bool,
+        stats: SupervisorStats,
+    ) -> None:
+        """Account one finished in-process trace; abort on exhaustion."""
+        stats.retries += max(0, len(result.attempts) - 1)
+        if len(result.attempts) > 1:
+            DEFAULT_REGISTRY.inc(POOL_RETRIES, len(result.attempts) - 1)
+        if result.error is None:
+            return
+        if fail_fast:
+            raise PoolError(
+                f"trace {result.index} failed after"
+                f" {len(result.attempts)} attempts",
+                trace_index=result.index,
+                worker_id=result.worker,
+                attempts=result.attempts,
+            )
+        stats.quarantined.append(result.index)
+        DEFAULT_REGISTRY.inc(POOL_QUARANTINED)
 
     def _run_sequential(
         self,
@@ -314,75 +442,95 @@ class MonitorPool:
     ) -> PoolResult:
         """In-process fallback: same results, no pool spin-up."""
         compiled = self._local_compiled()
+        fail_fast = self._fail_fast()
+        stats = SupervisorStats()
         results: List[TraceResult] = []
         for index, events in enumerate(traces):
-            try:
-                outputs, report = _run_one(compiled, events, run_options)
-                result = TraceResult(index, outputs, report)
-            except Exception as exc:  # noqa: BLE001 - mirrors the pool
-                if self._fail_fast():
-                    raise PoolError(
-                        f"trace {index} failed:"
-                        f" {type(exc).__name__}: {exc}"
-                    ) from exc
-                result = TraceResult(
-                    index, None, None, f"{type(exc).__name__}: {exc}"
-                )
+            result = _attempt_trace(
+                compiled, index, events, run_options, self.retry, "seq"
+            )
+            self._keep_or_abort(result, fail_fast, stats)
             if on_result is not None:
                 on_result(result)
             results.append(result)
-        return self._finalize(results, 1)
+        return self._finalize(results, 1, "sequential", stats)
 
-    def _run_pooled(
+    def _run_threaded(
         self,
         traces: Iterable[Sequence[Event]],
         run_options: _WorkerRunOptions,
         on_result: Optional[Callable[[TraceResult], None]],
     ) -> PoolResult:
-        import multiprocessing
+        """Thread backend: shared-memory workers, graceful supervision.
+
+        Threads cannot be killed, so crash/hang detection does not
+        apply; retries and quarantine work exactly as on the process
+        backend (a task exception is a failed attempt).  Ordered
+        delivery falls out of draining futures in submission order.
+        """
         from collections import deque
+        from concurrent.futures import ThreadPoolExecutor
 
-        context = multiprocessing.get_context("fork")
+        compiled = self._local_compiled()
         fail_fast = self._fail_fast()
-        results: Dict[int, TraceResult] = {}
-        delivered = 0
-        ordered: List[TraceResult] = []
+        stats = SupervisorStats()
+        results: List[TraceResult] = []
 
-        with context.Pool(
-            processes=self.jobs,
-            initializer=_pool_init,
-            initargs=(self._payload, self._options, run_options),
-        ) as pool:
+        def task(index: int, events: Sequence[Event]) -> TraceResult:
+            import threading
+
+            return _attempt_trace(
+                compiled,
+                index,
+                events,
+                run_options,
+                self.retry,
+                threading.current_thread().name,
+            )
+
+        with ThreadPoolExecutor(
+            max_workers=self.jobs, thread_name_prefix="pool"
+        ) as executor:
+            stats.workers_started = self.jobs
             in_flight: deque = deque()
 
             def drain_one() -> None:
-                nonlocal delivered
-                async_result = in_flight.popleft()
-                index, outputs, report, error = async_result.get()
-                if error is not None and fail_fast:
-                    raise PoolError(f"trace {index} failed: {error}")
-                results[index] = TraceResult(index, outputs, report, error)
-                # Deliver in submission order as soon as contiguous.
-                while delivered in results:
-                    result = results[delivered]
-                    ordered.append(result)
-                    if on_result is not None:
-                        on_result(result)
-                    delivered += 1
+                result = in_flight.popleft().result()
+                self._keep_or_abort(result, fail_fast, stats)
+                if on_result is not None:
+                    on_result(result)
+                results.append(result)
 
-            try:
-                for index, events in enumerate(traces):
-                    while len(in_flight) >= self.max_in_flight:
-                        drain_one()  # backpressure
-                    in_flight.append(
-                        pool.apply_async(_pool_task, ((index, events),))
-                    )
-                while in_flight:
-                    drain_one()
-            except PoolError:
-                pool.terminate()
-                raise
-        return self._finalize(ordered, self.jobs)
+            for index, events in enumerate(traces):
+                while len(in_flight) >= self.max_in_flight:
+                    drain_one()  # backpressure
+                in_flight.append(executor.submit(task, index, list(events)))
+            while in_flight:
+                drain_one()
+        return self._finalize(results, self.jobs, "thread", stats)
+
+    def _run_supervised(
+        self,
+        traces: Iterable[Sequence[Event]],
+        run_options: _WorkerRunOptions,
+        on_result: Optional[Callable[[TraceResult], None]],
+    ) -> PoolResult:
+        """Process backend: forked workers under the Supervisor."""
+        supervisor = Supervisor(
+            self._payload,
+            self._options,
+            run_options,
+            jobs=self.jobs,
+            retry=self.retry,
+            trace_timeout=self.trace_timeout,
+            heartbeat_interval=self.heartbeat_interval,
+            heartbeat_timeout=self.heartbeat_timeout,
+            fault_plan=self.fault_plan,
+            fail_fast=self._fail_fast(),
+            max_in_flight=self.max_in_flight,
+        )
+        ordered = supervisor.run(traces, on_result=on_result)
+        return self._finalize(ordered, self.jobs, "process", supervisor.stats)
 
 
 def run_many(
@@ -392,6 +540,12 @@ def run_many(
     compile_options: Any = None,
     jobs: int = 2,
     max_in_flight: Optional[int] = None,
+    backend: str = "process",
+    retry: Optional[RetryPolicy] = None,
+    trace_timeout: Optional[float] = None,
+    heartbeat_interval: float = 0.1,
+    heartbeat_timeout: Optional[float] = None,
+    fault_plan: Optional[FaultPlan] = None,
     **run_kwargs: Any,
 ) -> PoolResult:
     """One-shot convenience around :class:`MonitorPool`."""
@@ -400,14 +554,23 @@ def run_many(
         compile_options=compile_options,
         jobs=jobs,
         max_in_flight=max_in_flight,
+        backend=backend,
+        retry=retry,
+        trace_timeout=trace_timeout,
+        heartbeat_interval=heartbeat_interval,
+        heartbeat_timeout=heartbeat_timeout,
+        fault_plan=fault_plan,
     )
     return pool.run_many(traces, **run_kwargs)
 
 
 __all__ = [
+    "BACKENDS",
+    "FaultPlan",
     "MonitorPool",
     "PoolError",
     "PoolResult",
+    "RetryPolicy",
     "TraceResult",
     "run_many",
 ]

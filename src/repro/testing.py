@@ -130,6 +130,10 @@ class ChaosPlan:
     corrupt_rate: float = 0.0
     reorder_rate: float = 0.0
 
+    def replay(self) -> str:
+        """The ``(seed, plan)`` replay key stamped into failure messages."""
+        return f"seed={self.seed} plan={self!r}"
+
 
 @dataclass
 class FaultLog:
@@ -193,6 +197,8 @@ def flaky(impl, failure_rate: float, seed: int = 0, exception=ChaosFault):
 
     Use inside a custom :class:`~repro.lang.builtins.LiftedFunction`'s
     ``make_impl`` to inject lift exceptions into a compiled monitor.
+    The injected message carries the ``(seed, failure_rate)`` pair, so
+    any failure it surfaces names its own replay.
     """
     rng = random.Random(seed)
 
@@ -200,10 +206,21 @@ def flaky(impl, failure_rate: float, seed: int = 0, exception=ChaosFault):
         if rng.random() < failure_rate:
             raise exception(
                 f"injected fault in {getattr(impl, '__name__', 'lift')}"
+                f" (replay: seed={seed} failure_rate={failure_rate})"
             )
         return impl(*args)
 
     return wrapped
+
+
+class ChaosReplayError(Exception):
+    """A chaos-induced failure, stamped with its replay key.
+
+    Raised (chained from the original exception) when a
+    :func:`chaos_run` escapes its never-raise contract: the message
+    always carries the ``(seed, plan)`` pair, so the exact perturbation
+    can be replayed deterministically.
+    """
 
 
 @dataclass
@@ -214,6 +231,8 @@ class ChaosResult:
     report: RunReport
     faults: FaultLog
     ingest: IngestStats
+    #: The plan that produced this run (replay with ``plan.replay()``).
+    plan: Optional[ChaosPlan] = None
 
 
 #: Ingestion policy used by :func:`chaos_run`: swallow every bad-input
@@ -258,14 +277,23 @@ def chaos_run(
         validate_inputs=validate_inputs,
         **runner_kwargs,
     )
-    runner.feed(reader.events(perturbed, lambda event: event))
-    runner.finish(end_time=end_time)
+    try:
+        runner.feed(reader.events(perturbed, lambda event: event))
+        runner.finish(end_time=end_time)
+    except Exception as exc:
+        # The hardened runtime's contract is that this never happens
+        # under the default configuration; when it does, the failure
+        # must name its own reproduction.
+        raise ChaosReplayError(
+            f"{type(exc).__name__}: {exc} (chaos replay: {plan.replay()})"
+        ) from exc
     runner.report.absorb_ingest(reader.stats)
     return ChaosResult(
         outputs=outputs,
         report=runner.report,
         faults=fault_log,
         ingest=reader.stats,
+        plan=plan,
     )
 
 
@@ -321,6 +349,90 @@ def crash_and_resume(
     resumed.finish(end_time=end_time)
     recovered = pre_crash[:kept] + post_crash
     return expected, recovered
+
+
+# -- worker-pool fault injection ----------------------------------------------
+#
+# The process-backend MonitorPool is supervised (heartbeats, retries,
+# quarantine — see repro.parallel.supervisor); these constructors build
+# the deterministic FaultPlans its tests and chaos CI run under.  They
+# re-export the plan type from the supervisor so test code needs only
+# repro.testing.
+
+from .parallel.supervisor import FaultPlan, PoisonTraceError  # noqa: E402
+
+
+def kill_worker_after(
+    trace_index: int, attempts: int = 1, *, seed: int = 0
+) -> FaultPlan:
+    """A plan under which the worker running *trace_index* SIGKILLs
+    itself mid-trace on its first *attempts* tries (later tries run
+    clean) — the supervisor must detect the death, restart a worker,
+    and re-dispatch the trace."""
+    return FaultPlan(kill={trace_index: attempts}, seed=seed)
+
+
+def hang_worker(
+    trace_index: int,
+    attempts: int = 1,
+    *,
+    hang_seconds: float = 3600.0,
+    seed: int = 0,
+) -> FaultPlan:
+    """A plan under which the worker running *trace_index* freezes
+    (heartbeats stop) on its first *attempts* tries — the supervisor
+    must detect the missed heartbeats, kill the worker, and re-dispatch
+    the trace."""
+    return FaultPlan(
+        hang={trace_index: attempts}, hang_seconds=hang_seconds, seed=seed
+    )
+
+
+def poison_trace(*trace_indexes: int, seed: int = 0) -> FaultPlan:
+    """A plan under which every attempt of the given traces raises
+    :class:`~repro.parallel.supervisor.PoisonTraceError` — the
+    supervisor must exhaust the retry budget and quarantine (or, under
+    fail-fast, abort naming the trace)."""
+    return FaultPlan(poison=tuple(sorted(trace_indexes)), seed=seed)
+
+
+def chaos_pool_run(
+    spec: Any,
+    traces: Iterable[Iterable[Tuple[int, str, Any]]],
+    fault_plan: FaultPlan,
+    *,
+    compile_options: Any = None,
+    jobs: int = 2,
+    max_attempts: int = 4,
+    heartbeat_interval: float = 0.02,
+    heartbeat_timeout: float = 0.3,
+    trace_timeout: Optional[float] = None,
+    **run_kwargs: Any,
+):
+    """Run the supervised process pool under *fault_plan* with fast
+    supervision clocks (tight heartbeats, small backoff) — the chaos
+    matrix in one call.  Returns the
+    :class:`~repro.parallel.pool.PoolResult`; the acceptance property
+    is that its outputs are byte-identical to a fault-free sequential
+    run whenever every trace survives its retry budget.
+    """
+    from .parallel.pool import MonitorPool
+    from .parallel.supervisor import RetryPolicy
+
+    pool = MonitorPool(
+        spec,
+        compile_options=compile_options,
+        jobs=jobs,
+        backend="process",
+        retry=RetryPolicy(
+            max_attempts=max_attempts, base_delay=0.01, max_delay=0.05
+        ),
+        heartbeat_interval=heartbeat_interval,
+        heartbeat_timeout=heartbeat_timeout,
+        trace_timeout=trace_timeout,
+        fault_plan=fault_plan,
+    )
+    return pool.run_many(traces, **run_kwargs)
 
 
 def _first_difference(reference: OutputTraces, candidate: OutputTraces) -> str:

@@ -54,6 +54,53 @@ class TestCounters:
         )
 
 
+class TestSupervisionCounters:
+    """The supervised pool's retry/restart/quarantine counters are
+    plain counters: they must sum and stay associative like the rest."""
+
+    def test_supervision_counters_sum(self):
+        a = RunReport(retries=2, worker_restarts=1)
+        b = RunReport(retries=1, traces_quarantined=1)
+        a.merge(b)
+        assert a.retries == 3
+        assert a.worker_restarts == 1
+        assert a.traces_quarantined == 1
+
+    def test_three_way_associative(self):
+        reports = [
+            RunReport(retries=1, worker_restarts=2),
+            RunReport(traces_quarantined=1, retries=4),
+            RunReport(worker_restarts=1, events_in=9),
+        ]
+        assert observable(fold_left(reports)) == observable(
+            fold_right(reports)
+        )
+
+    def test_counters_appear_in_as_dict(self):
+        report = RunReport(retries=5, worker_restarts=2, traces_quarantined=1)
+        as_dict = report.as_dict()
+        assert as_dict["retries"] == 5
+        assert as_dict["worker_restarts"] == 2
+        assert as_dict["traces_quarantined"] == 1
+
+    @pytest.mark.parametrize(
+        "values",
+        list(itertools.product([0, 1, 3], repeat=3)),
+        ids=lambda v: "-".join(str(x) for x in v),
+    )
+    def test_all_triples_associative_with_tri_state_neighbors(self, values):
+        # The awkward interaction: supervision counters folding next to
+        # the tri-state plan_cache_hit must not depend on fold order.
+        tri_states = [None, True, False]
+        reports = [
+            RunReport(retries=v, plan_cache_hit=tri_states[i])
+            for i, v in enumerate(values)
+        ]
+        assert observable(fold_left(reports)) == observable(
+            fold_right(reports)
+        )
+
+
 class TestPlanCacheHit:
     @pytest.mark.parametrize(
         "values",
