@@ -83,6 +83,8 @@ CATALOG: Dict[str, Any] = {
     "OPT005": ("dead stream eliminated", Severity.NOTE),
     "OPT006": ("never-firing stream normalized to nil", Severity.NOTE),
     "OPT007": ("rewrite rejected by mutable-share guard", Severity.NOTE),
+    "VEC001": ("vector-ineligible family (plan fallback)", Severity.NOTE),
+    "VEC002": ("vector engine unavailable (numpy missing)", Severity.NOTE),
 }
 
 

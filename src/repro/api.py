@@ -61,7 +61,7 @@ __all__ = [
     "run_many",
 ]
 
-_ENGINES = ("codegen", "interpreted", "plan")
+_ENGINES = ("auto", "codegen", "interpreted", "plan", "vector")
 _PARTITION_MODES = ("off", "auto")
 _POOL_BACKENDS = ("process", "thread")
 
@@ -85,8 +85,15 @@ class CompileOptions:
     #: Force one backend everywhere (e.g. ``"copying"`` for the
     #: naive-copy ablation); overrides ``optimize``.
     backend: Union[Backend, str, None] = None
-    #: Execution engine: ``"codegen"``, ``"interpreted"`` or ``"plan"``.
-    engine: str = "codegen"
+    #: Execution engine: ``"auto"`` (the default — resolve per spec:
+    #: the columnar :mod:`vector <repro.compiler.vector>` engine when
+    #: every output-reachable stream family is vector-eligible and
+    #: numpy is importable, else ``"plan"``), or one of the explicit
+    #: engines ``"codegen"``, ``"interpreted"``, ``"plan"``,
+    #: ``"vector"``.  The resolved engine is observable as
+    #: :attr:`Monitor.engine_resolved`; per-family fallbacks surface as
+    #: ``VEC001`` diagnostics.
+    engine: str = "auto"
     #: Hardened error-propagating evaluation (``None`` — seed-exact).
     error_policy: Union[ErrorPolicy, str, None] = None
     #: Swap mutable backends for alias-guarded twins (sanitizer).
@@ -306,6 +313,24 @@ class Monitor:
         return self.compiled.fingerprint
 
     @property
+    def engine_requested(self) -> str:
+        """The engine string the compile options asked for (may be
+        ``"auto"``)."""
+        return self.compiled.engine_requested or self.compiled.engine
+
+    @property
+    def engine_resolved(self) -> str:
+        """The engine actually compiled — never ``"auto"``.
+
+        With ``engine="auto"`` this is ``"vector"`` when every
+        output-reachable stream family passed the vector-eligibility
+        classification (and numpy is importable), else ``"plan"``.
+        The resolved engine — not the ``"auto"`` request — is what
+        enters :attr:`fingerprint`.
+        """
+        return self.compiled.engine
+
+    @property
     def source(self) -> str:
         """The generated Python source (engine-dependent)."""
         return self.compiled.source
@@ -351,6 +376,33 @@ class Monitor:
     ) -> Dict[str, Any]:
         """Whole-trace convenience; returns frozen output streams."""
         return self.compiled.run_traces(inputs, end_time=end_time)
+
+    def feed_columns(
+        self,
+        timestamps: Any,
+        columns: Mapping[str, Any],
+        options: Optional["RunOptions"] = None,
+        *,
+        on_output: Optional[Callable[[str, int, Any], None]] = None,
+    ) -> RunReport:
+        """One-shot columnar run: feed whole timestamp-aligned columns.
+
+        *timestamps* is a strictly increasing sequence (list or numpy
+        array) and *columns* maps input-stream names to equally long
+        value arrays (``None`` entries mark absent events).  Under the
+        vector engine the arrays are consumed zero-copy as SoA batch
+        buffers; other engines transparently fall back to a row
+        conversion, so outputs are byte-identical either way.  Returns
+        the finished run's :class:`~repro.compiler.runtime.RunReport`.
+        """
+        options = options or RunOptions()
+        runner = MonitorRunner(
+            self.compiled,
+            on_output,
+            validate_inputs=options.validate_inputs,
+        )
+        runner.feed_columns(timestamps, columns)
+        return runner.finish(end_time=options.end_time)
 
     def __repr__(self) -> str:
         return (

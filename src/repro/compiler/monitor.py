@@ -215,6 +215,48 @@ class MonitorBase:
             self._pending_ts = pending
         return count
 
+    def feed_columns(
+        self,
+        timestamps: Any,
+        columns: Any,
+    ) -> int:
+        """Feed dense columnar input: shared timestamps plus one value
+        array per stream.
+
+        Every stream in *columns* has an event at every timestamp;
+        streams absent from *columns* have none.  Timestamps must be
+        strictly increasing.  This base implementation is a row-
+        conversion shim over :meth:`feed_batch` (numpy scalars are
+        converted back to Python values so outputs stay byte-identical
+        across engines); the vector engine overrides it with a
+        zero-copy columnar path.
+        """
+        ts_list = (
+            timestamps.tolist()
+            if hasattr(timestamps, "tolist")
+            else list(timestamps)
+        )
+        converted: Dict[str, list] = {}
+        for name, column in columns.items():
+            if name not in self.INPUTS:
+                raise MonitorError(f"unknown input stream {name!r}")
+            values = (
+                column.tolist() if hasattr(column, "tolist") else list(column)
+            )
+            if len(values) != len(ts_list):
+                raise MonitorError(
+                    f"column {name!r} has {len(values)} values for"
+                    f" {len(ts_list)} timestamps"
+                )
+            converted[name] = values
+        names = [n for n in self.INPUTS if n in converted]
+        events = []
+        append = events.append
+        for index, ts in enumerate(ts_list):
+            for name in names:
+                append((ts, name, converted[name][index]))
+        return self.feed_batch(events)
+
     def finish(
         self, end_time: Optional[int] = None, max_steps: int = 1_000_000
     ) -> None:

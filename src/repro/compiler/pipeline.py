@@ -65,8 +65,16 @@ class CompiledSpec:
     #: True when mutable backends were swapped for their alias-guarded
     #: twins (the runtime sanitizer of the mutability analysis).
     alias_guard: bool = False
-    #: The execution engine the monitor class was built with.
+    #: The execution engine the monitor class was built with.  Always a
+    #: concrete engine — ``"auto"`` is resolved before compilation.
     engine: str = "codegen"
+    #: The engine string the caller asked for (``"auto"`` before
+    #: resolution; equal to ``engine`` for explicit requests).
+    engine_requested: str = ""
+    #: The :class:`~repro.compiler.vector.VectorClassification` computed
+    #: for ``auto``/``vector`` engine requests, or ``None``.  Carries the
+    #: per-family eligibility verdicts behind the ``VEC00x`` diagnostics.
+    vector_info: Optional[Any] = None
     #: Content + options fingerprint (sha256 hex).  Keys the plan cache
     #: and the durable checkpoints: two compilations differing in any
     #: result-shaping option never share either.
@@ -120,6 +128,11 @@ class CompiledSpec:
         if self.rewrite_result is not None:
             diags.extend(self.rewrite_result.diagnostics())
             diags.sort(key=lambda d: (d.code, d.stream, d.message))
+        if self.vector_info is not None:
+            vector_diags = self.vector_info.diagnostics()
+            if vector_diags:
+                diags.extend(vector_diags)
+                diags.sort(key=lambda d: (d.code, d.stream, d.message))
         return diags
 
     def persistence_witnesses(self) -> Dict[str, list]:
@@ -247,6 +260,26 @@ def build_compiled_spec(
             )
         flat = rewrite_result.flat
 
+    # Engine negotiation: "auto" resolves to the vector engine when
+    # every output-owning alias-closed family is vector-eligible (and
+    # numpy is importable), else to the plan engine.  The classification
+    # is cheap and syntactic, so it also runs on warm cache hits; the
+    # resolved engine — not "auto" — enters the fingerprint below.
+    requested_engine = engine
+    vector_info: Optional[Any] = None
+    if engine in ("auto", "vector"):
+        from .vector import classify_vector
+
+        vector_info = classify_vector(flat, error_policy=policy)
+        if engine == "auto":
+            engine = vector_info.auto_engine
+        elif not vector_info.numpy_ok:
+            raise ValueError(
+                "engine='vector' requires numpy; install the optional"
+                " extra (pip install 'repro[vector]') or use"
+                " engine='auto' to fall back to the plan engine"
+            )
+
     if isinstance(plan_cache, str):
         plan_cache = PlanCache(plan_cache)
     fingerprint = plan_fingerprint(
@@ -362,6 +395,18 @@ def build_compiled_spec(
                     error_policy=policy,
                     metrics=metrics,
                 )
+            elif engine == "vector":
+                from .vector import make_vector_class
+
+                monitor_class = make_vector_class(
+                    flat,
+                    order,
+                    backends,
+                    class_name=class_name,
+                    error_policy=policy,
+                    metrics=metrics,
+                    classification=vector_info,
+                )
             else:
                 raise ValueError(f"unknown engine {engine!r}")
 
@@ -405,6 +450,8 @@ def build_compiled_spec(
         error_policy=policy,
         alias_guard=alias_guard,
         engine=engine,
+        engine_requested=requested_engine,
+        vector_info=vector_info,
         fingerprint=fingerprint,
         plan_cache_hit=plan_cache_hit,
         cached_mutable=cached_mutable,
@@ -456,6 +503,18 @@ def instrumented_twin(compiled: CompiledSpec, metrics: Any) -> CompiledSpec:
             class_name=class_name,
             error_policy=compiled.error_policy,
             metrics=metrics,
+        )
+    elif compiled.engine == "vector":
+        from .vector import make_vector_class
+
+        monitor_class = make_vector_class(
+            flat,
+            compiled.order,
+            compiled.backends,
+            class_name=class_name,
+            error_policy=compiled.error_policy,
+            metrics=metrics,
+            classification=compiled.vector_info,
         )
     else:
         raise ValueError(f"unknown engine {compiled.engine!r}")
@@ -576,6 +635,7 @@ def build_compiled_spec_from_text(
                     error_policy=policy,
                     alias_guard=alias_guard,
                     engine=engine,
+                    engine_requested=engine,
                     fingerprint=cached.plan_key or text_key,
                     plan_cache_hit=True,
                     cached_mutable=cached.mutable,

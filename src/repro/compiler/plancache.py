@@ -82,6 +82,19 @@ def _ruleset_version() -> int:
     return RULESET_VERSION
 
 
+def _numpy_bit(engine: str) -> Optional[bool]:
+    """Numpy availability, keyed only for numpy-sensitive engines.
+
+    ``None`` for engines whose compiled artifact cannot depend on
+    numpy, so their keys are unchanged by numpy installs/removals.
+    """
+    if engine not in ("vector", "auto"):
+        return None
+    from .kernels import numpy_available
+
+    return numpy_available()
+
+
 def plan_fingerprint(
     flat: Any,
     *,
@@ -101,9 +114,14 @@ def plan_fingerprint(
     The rewrite-optimizer flag and its rule-set version are part of the
     options tuple: toggling ``rewrite`` (or changing what the rules do)
     can never serve a plan cached under the other configuration.
+
+    For the vector engine (and ``auto``, which resolves depending on
+    numpy's presence) the numpy-availability bit is part of the key: a
+    warm cache shared across environments must never replay a
+    vector-engine plan into a numpy-less process.
     """
     options = (
-        "opts-v2",
+        "opts-v3",
         bool(optimize),
         backend_override.name if backend_override is not None else None,
         bool(alias_guard),
@@ -111,6 +129,7 @@ def plan_fingerprint(
         engine,
         bool(rewrite),
         _ruleset_version() if rewrite else 0,
+        _numpy_bit(engine),
     )
     digest = hashlib.sha256()
     digest.update(flat_fingerprint(flat).encode())
@@ -142,7 +161,7 @@ def text_fingerprint(
     the flags would serve a stale plan across a toggle.
     """
     options = (
-        "text-opts-v2",
+        "text-opts-v3",
         bool(optimize),
         backend_override.name if backend_override is not None else None,
         bool(alias_guard),
@@ -151,6 +170,7 @@ def text_fingerprint(
         bool(prune_dead),
         bool(rewrite),
         _ruleset_version() if rewrite else 0,
+        _numpy_bit(engine),
     )
     digest = hashlib.sha256()
     digest.update(b"text-v1\n")

@@ -1,0 +1,1403 @@
+"""Columnar vectorized batch engine (``engine="vector"``).
+
+The paper's mutability analysis decides which stream variables can be
+updated in place; the same structural facts — scalar data types, no
+aggregate structures, no data-dependent clock feedback — are exactly the
+eligibility condition for columnar execution.  This module classifies
+each alias-closed stream family (the partitioner's union-find over
+usage edges and :class:`~repro.analysis.aliasing.AliasAnalysis`) as
+*vector-eligible* and lowers the eligible part of the translation order
+to whole-column numpy kernels:
+
+* one structure-of-arrays buffer pair per stream variable — a value
+  column plus a boolean presence mask over the batch's unique
+  timestamps (``Unit`` streams are mask-only);
+* masked writes for sub-clocked streams: a kernel is applied either to
+  full columns (every lane has an event) or to a compressed gather of
+  the event lanes, so value lanes without events are never read;
+* ``last`` as a shifted-column read (``maximum.accumulate`` over event
+  indices) seeded from the plan engine's cross-batch carry cells;
+* in-place column writes only where a batch-local last-use liveness
+  pass certifies the argument buffer dead — the column analogue of the
+  paper's in-place update rule (the spec-level mutability analysis
+  covers aggregate types only; scalar columns get the same
+  "no later reader" certificate per batch instead).
+
+Ineligible families — aggregate types, ``delay`` feedback, ad-hoc
+lifts — fall back *per family* to the plan engine inside the same
+monitor: the vectorized slice pass computes eligible columns first,
+then a scalar per-timestamp loop runs the remaining plan ops, bridging
+eligible values in by timestamp index.  Every spec still compiles.
+
+:class:`VectorMonitorBase` subclasses the plan engine's monitor, so the
+per-event ``push`` path, snapshot/restore and checkpointing reuse the
+plan state (slot values, last cells, delay cells) unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from ..errors import ErrorPolicy
+from ..lang import types as ty
+from ..lang.ast import Delay, Last, Lift, Nil, TimeExpr, UnitExpr, free_vars
+from ..lang.builtins import REGISTRY, EventPattern
+from ..lang.spec import FlatSpec
+from ..structures import Backend
+from . import kernels
+from .monitor import UNIT_VALUE, MonitorError
+from .plan import (
+    OP_DELAY,
+    OP_LAST,
+    OP_LIFT_ALL,
+    OP_LIFT_ANY,
+    OP_MERGE,
+    OP_TIME,
+    OP_UNIT,
+    ExecutionPlan,
+    PlanMonitorBase,
+    build_plan,
+)
+
+__all__ = [
+    "FamilyVerdict",
+    "VectorClassification",
+    "classify_vector",
+    "make_vector_class",
+    "VectorMonitorBase",
+]
+
+
+# ---------------------------------------------------------------------------
+# Eligibility classification
+
+
+@dataclass(frozen=True)
+class FamilyVerdict:
+    """Vector eligibility of one alias-closed stream family."""
+
+    #: Defined member streams (with replicated scalar prefix), definition order.
+    streams: Tuple[str, ...]
+    #: Output streams owned by the family.
+    outputs: Tuple[str, ...]
+    eligible: bool
+    #: ``(stream, reason)`` pairs for ineligible members; empty when eligible.
+    reasons: Tuple[Tuple[str, str], ...] = ()
+
+
+@dataclass(frozen=True)
+class VectorClassification:
+    """Per-family vector eligibility for one flat specification."""
+
+    verdicts: Tuple[FamilyVerdict, ...]
+    #: Streams (inputs and definitions) executed columnar.
+    eligible: FrozenSet[str]
+    #: Topological execution order of the eligible defined streams.
+    order: Tuple[str, ...]
+    #: Ineligible stream → first reason (structural, family-independent).
+    reasons: Mapping[str, str]
+    numpy_ok: bool
+    error_mode: bool
+
+    @property
+    def auto_engine(self) -> str:
+        """Engine ``engine="auto"`` resolves to: vector iff every
+        output-owning family is eligible (and numpy is importable)."""
+        if not self.numpy_ok or self.error_mode or not self.eligible:
+            return "plan"
+        for verdict in self.verdicts:
+            if verdict.outputs and not verdict.eligible:
+                return "plan"
+        return "vector"
+
+    def diagnostics(self) -> List[Any]:
+        """VEC00x NOTE diagnostics explaining any plan fallback."""
+        from ..analysis.diagnostics import Diagnostic, Severity
+
+        out: List[Any] = []
+        if not self.numpy_ok:
+            out.append(
+                Diagnostic(
+                    code="VEC002",
+                    severity=Severity.NOTE,
+                    stream="",
+                    message=(
+                        "numpy is not importable: engine='auto' resolves to"
+                        " the plan engine (install the 'vector' extra)"
+                    ),
+                    source="vector",
+                    witness={"rule": "numpy-missing"},
+                )
+            )
+        for verdict in self.verdicts:
+            if verdict.eligible:
+                continue
+            anchor = (
+                verdict.streams[0]
+                if verdict.streams
+                else (verdict.outputs[0] if verdict.outputs else "")
+            )
+            detail = "; ".join(
+                f"{stream}: {reason}" for stream, reason in verdict.reasons
+            )
+            out.append(
+                Diagnostic(
+                    code="VEC001",
+                    severity=Severity.NOTE,
+                    stream=anchor,
+                    message=(
+                        "family falls back to the plan engine — " + detail
+                    ),
+                    source="vector",
+                    witness={
+                        "rule": "vector-fallback",
+                        "family": list(verdict.streams),
+                        "reasons": {s: r for s, r in verdict.reasons},
+                    },
+                )
+            )
+        return out
+
+
+def _expr_deps(expr: Any) -> Set[str]:
+    return set(free_vars(expr))
+
+
+def _local_reason(flat: FlatSpec, name: str) -> Optional[str]:
+    """Family-independent ineligibility reason for one stream, or None."""
+    stream_type = flat.types.get(name)
+    if stream_type is None or kernels.dtype_name_for(stream_type) is None:
+        return f"type {stream_type} has no column representation"
+    expr = flat.definitions.get(name)
+    if expr is None:
+        return None  # scalar-typed input
+    if isinstance(expr, (Nil, UnitExpr, TimeExpr, Last)):
+        return None
+    if isinstance(expr, Delay):
+        return "delay introduces data-dependent clock feedback in the batch slice"
+    assert isinstance(expr, Lift)
+    func = expr.func
+    if func.name == "merge":
+        return None
+    if (
+        func.name.startswith("const(")
+        and func.pattern is EventPattern.ALL
+        and func.arity == 1
+    ):
+        return None
+    if REGISTRY.get(func.name) is not func:
+        # pointwise()/fused lifts: arbitrary Python, no kernel table entry.
+        return f"ad-hoc lift {func.name!r} has no vector kernel"
+    if func.name in ("filter", "at"):
+        return None
+    if kernels.kernel_for(func.name) is None:
+        return f"no vector kernel for lift {func.name!r}"
+    if stream_type == ty.UNIT:
+        return f"unit-typed result of lift {func.name!r}"
+    for arg in expr.args:
+        if flat.types.get(arg.name) == ty.UNIT:
+            return f"unit-typed argument {arg.name!r} to lift {func.name!r}"
+    return None
+
+
+def classify_vector(
+    flat: FlatSpec,
+    *,
+    error_policy: Optional[ErrorPolicy] = None,
+) -> VectorClassification:
+    """Classify every alias-closed family of *flat* as vector-eligible.
+
+    Purely syntactic over the typed flat spec (plus the partitioner's
+    alias-closed family structure), so it is cheap enough to run on
+    every compile — including warm plan-cache hits — for ``auto``
+    engine resolution.
+    """
+    from ..parallel.partition import partition_spec
+
+    defined = flat.definitions
+    reasons: Dict[str, str] = {}
+    for name in flat.streams:
+        reason = _local_reason(flat, name)
+        if reason is not None:
+            reasons[name] = reason
+
+    # Dependency-closure demotion + cycle detection via Kahn's algorithm:
+    # a stream is placed once all of its dependencies are eligible and
+    # placed; leftovers either depend on an ineligible stream or sit on
+    # an in-batch feedback cycle through ``last``.
+    deps_of: Dict[str, Set[str]] = {
+        name: _expr_deps(expr)
+        for name, expr in defined.items()
+        if name not in reasons
+    }
+    order: List[str] = []
+    placed: Set[str] = set()
+    remaining = list(deps_of)
+    progress = True
+    while progress and remaining:
+        progress = False
+        still: List[str] = []
+        for name in remaining:
+            ready = True
+            for dep in deps_of[name]:
+                if dep in reasons or (dep in defined and dep not in placed):
+                    ready = False
+                    break
+            if ready:
+                order.append(name)
+                placed.add(name)
+                progress = True
+            else:
+                still.append(name)
+        remaining = still
+    changed = True
+    while changed:
+        changed = False
+        for name in remaining:
+            if name in reasons:
+                continue
+            for dep in deps_of[name]:
+                if dep in reasons:
+                    reasons[name] = f"depends on ineligible stream {dep!r}"
+                    changed = True
+                    break
+    for name in remaining:
+        reasons.setdefault(
+            name, "recursive: in-batch feedback through last"
+        )
+
+    # Family granularity: the alias-closed partitions (union-find over
+    # usage edges, AliasAnalysis classes never split, replicable scalar
+    # prefix copied per family).  An ineligible member demotes its whole
+    # family to the scalar plan path.
+    plan_partitions = partition_spec(flat)
+    verdicts: List[FamilyVerdict] = []
+    eligible: Set[str] = set()
+    for part in plan_partitions.partitions:
+        bad: List[Tuple[str, str]] = [
+            (stream, reasons[stream])
+            for stream in part.streams
+            if stream in reasons
+        ]
+        for out in part.outputs:
+            # Passthrough outputs (an input re-exported) have no defining
+            # member; their type still has to be columnar.
+            if out in flat.inputs and out in reasons:
+                bad.append((out, reasons[out]))
+        verdict = FamilyVerdict(
+            streams=part.streams,
+            outputs=part.outputs,
+            eligible=not bad,
+            reasons=tuple(bad),
+        )
+        verdicts.append(verdict)
+        if verdict.eligible:
+            eligible.update(part.streams)
+            eligible.update(
+                name for name in part.inputs if name not in reasons
+            )
+            eligible.update(
+                name
+                for name in part.outputs
+                if name in flat.inputs and name not in reasons
+            )
+
+    return VectorClassification(
+        verdicts=tuple(verdicts),
+        eligible=frozenset(eligible),
+        order=tuple(name for name in order if name in eligible),
+        reasons=reasons,
+        numpy_ok=kernels.numpy_available(),
+        error_mode=error_policy is not None,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Vector program lowering
+
+VOP_UNIT = 0
+VOP_TIME = 1
+VOP_NIL = 2
+VOP_MERGE = 3
+VOP_LAST = 4
+VOP_CONST = 5
+VOP_FILTER = 6
+VOP_AT = 7
+VOP_KERNEL = 8
+
+
+@dataclass(frozen=True)
+class VectorProgram:
+    """The columnar half of a hybrid vector/plan monitor."""
+
+    n_vslots: int
+    vslot_of: Mapping[str, int]
+    #: Eligible inputs: ``(name, vslot, dtype_name)`` (``"unit"`` → mask only).
+    col_inputs: Tuple[Tuple[str, int, str], ...]
+    #: Ineligible inputs routed to the scalar loop: ``(name, plan_slot)``.
+    row_inputs: Tuple[Tuple[str, int], ...]
+    steps: Tuple[tuple, ...]
+    #: True when the whole batch slice runs columnar (no scalar ops, no
+    #: delays, every output eligible).
+    pure: bool
+    #: Plan ops of the ineligible streams, original order.
+    scalar_ops: Tuple[tuple, ...]
+    #: Eligible values read by the scalar section: ``(plan_slot, vslot, is_unit)``.
+    bridge: Tuple[Tuple[int, int, bool], ...]
+    #: All outputs in declaration order: ``(name, plan_slot, vslot|None, is_unit)``.
+    out_sched: Tuple[Tuple[str, int, Optional[int], bool], ...]
+    #: Eligible ``last`` sources: ``(vslot, cell_index, is_unit)``.
+    last_vec: Tuple[Tuple[int, int, bool], ...]
+    #: Ineligible ``last`` sources: ``(plan_slot, cell_index)``.
+    last_scalar: Tuple[Tuple[int, int], ...]
+    #: Kernel steps certified for in-place buffer reuse (step position).
+    inplace_steps: Tuple[int, ...] = ()
+
+
+def _step_reads(step: tuple) -> Tuple[int, ...]:
+    kind = step[0]
+    if kind in (VOP_UNIT, VOP_NIL):
+        return ()
+    if kind == VOP_TIME:
+        return (step[2],)
+    if kind == VOP_MERGE:
+        return (step[2], step[3])
+    if kind == VOP_LAST:
+        return (step[3], step[4])
+    if kind == VOP_CONST:
+        return (step[2],)
+    if kind in (VOP_FILTER, VOP_AT):
+        return (step[2], step[3])
+    return tuple(step[2])  # VOP_KERNEL
+
+
+def build_vector_program(
+    flat: FlatSpec,
+    plan: ExecutionPlan,
+    classification: VectorClassification,
+    default_backend: Backend = Backend.PERSISTENT,
+) -> VectorProgram:
+    """Lower the eligible streams of *flat* to columnar steps."""
+    eligible = classification.eligible
+    name_of_slot = {slot: name for name, slot in plan.slot_of.items()}
+
+    vslot_of: Dict[str, int] = {}
+    col_inputs: List[Tuple[str, int, str]] = []
+    for name in flat.inputs:
+        if name in eligible:
+            vslot = len(vslot_of)
+            vslot_of[name] = vslot
+            col_inputs.append(
+                (name, vslot, kernels.dtype_name_for(flat.types[name]))
+            )
+    for name in classification.order:
+        vslot_of[name] = len(vslot_of)
+    row_inputs = tuple(
+        (name, plan.slot_of[name])
+        for name in flat.inputs
+        if name not in eligible
+    )
+
+    vslot_dtype: List[Optional[str]] = [None] * len(vslot_of)
+    for name, vslot in vslot_of.items():
+        vslot_dtype[vslot] = kernels.dtype_name_for(flat.types[name])
+
+    # Replicate build_plan's last-cell numbering (keyed by source stream).
+    last_index: Dict[str, int] = {}
+    for expr in flat.definitions.values():
+        if isinstance(expr, Last):
+            last_index.setdefault(expr.value.name, len(last_index))
+
+    protected: Set[int] = {vslot for _, vslot, _ in col_inputs}
+    steps: List[list] = []
+    for name in classification.order:
+        expr = flat.definitions[name]
+        dst = vslot_of[name]
+        dtn = vslot_dtype[dst]
+        is_unit = dtn == "unit"
+        if isinstance(expr, UnitExpr):
+            steps.append([VOP_UNIT, dst])
+        elif isinstance(expr, Nil):
+            steps.append([VOP_NIL, dst, None if is_unit else dtn])
+        elif isinstance(expr, TimeExpr):
+            steps.append([VOP_TIME, dst, vslot_of[expr.operand.name]])
+            protected.add(dst)  # column aliases the shared ts array
+        elif isinstance(expr, Last):
+            src = vslot_of[expr.value.name]
+            steps.append(
+                [
+                    VOP_LAST,
+                    dst,
+                    last_index[expr.value.name],
+                    src,
+                    vslot_of[expr.trigger.name],
+                    is_unit,
+                ]
+            )
+        else:
+            assert isinstance(expr, Lift)
+            func = expr.func
+            if func.name == "merge":
+                a, b = (vslot_of[arg.name] for arg in expr.args)
+                steps.append([VOP_MERGE, dst, a, b, is_unit])
+            elif func.name == "filter":
+                value, cond = (vslot_of[arg.name] for arg in expr.args)
+                steps.append([VOP_FILTER, dst, value, cond, is_unit])
+                protected.add(value)  # result column aliases the value column
+                protected.add(dst)
+            elif func.name == "at":
+                value, trigger = (vslot_of[arg.name] for arg in expr.args)
+                steps.append([VOP_AT, dst, value, trigger, is_unit])
+                protected.add(value)
+                protected.add(dst)
+            elif func.name.startswith("const("):
+                value = func.bind(default_backend)(UNIT_VALUE)
+                trigger = vslot_of[expr.args[0].name]
+                steps.append([VOP_CONST, dst, trigger, value, dtn])
+            else:
+                kernel = kernels.kernel_for(func.name)
+                assert kernel is not None, func.name
+                arg_vslots = tuple(vslot_of[arg.name] for arg in expr.args)
+                steps.append(
+                    [VOP_KERNEL, dst, arg_vslots, kernel, dtn, -1, name]
+                )
+
+    # Scalar section: plan ops whose destination stream is ineligible.
+    scalar_ops = tuple(
+        op for op in plan.ops if name_of_slot[op[1]] not in eligible
+    )
+    eligible_slots = {
+        plan.slot_of[name] for name in eligible if name in plan.slot_of
+    }
+    bridge_slots: Set[int] = set()
+    for opcode, _dst, args, _fn in scalar_ops:
+        if opcode == OP_DELAY or opcode == OP_UNIT:
+            continue
+        candidates = (args[1],) if opcode == OP_LAST else args
+        for slot in candidates:
+            if slot in eligible_slots:
+                bridge_slots.add(slot)
+    for _cell, _own, reset_slot, amount_slot in plan.delay_arms:
+        for slot in (reset_slot, amount_slot):
+            if slot in eligible_slots:
+                bridge_slots.add(slot)
+    bridge = tuple(
+        (
+            slot,
+            vslot_of[name_of_slot[slot]],
+            flat.types[name_of_slot[slot]] == ty.UNIT,
+        )
+        for slot in sorted(bridge_slots)
+    )
+
+    out_sched = tuple(
+        (
+            name,
+            slot,
+            vslot_of.get(name),
+            flat.types[name] == ty.UNIT,
+        )
+        for name, slot in plan.outputs
+    )
+    last_vec: List[Tuple[int, int, bool]] = []
+    last_scalar: List[Tuple[int, int]] = []
+    for src_slot, cell in plan.last_stores:
+        src_name = name_of_slot[src_slot]
+        if src_name in eligible:
+            last_vec.append(
+                (vslot_of[src_name], cell, flat.types[src_name] == ty.UNIT)
+            )
+        else:
+            last_scalar.append((src_slot, cell))
+
+    pure = (
+        not scalar_ops
+        and plan.n_delays == 0
+        and not last_scalar
+        and all(vslot is not None for _n, _s, vslot, _u in out_sched)
+    )
+
+    # Batch-local liveness: a kernel may overwrite an argument column
+    # in place iff this step is the argument's last read and nothing
+    # outside the step order (outputs, last carries, the scalar bridge,
+    # input buffers, aliased columns) can observe it afterwards.
+    for _name, _slot, vslot, _unit in out_sched:
+        if vslot is not None:
+            protected.add(vslot)
+    for vslot, _cell, _unit in last_vec:
+        protected.add(vslot)
+    for _slot, vslot, _unit in bridge:
+        protected.add(vslot)
+    last_read: Dict[int, int] = {}
+    for position, step in enumerate(steps):
+        for vslot in _step_reads(tuple(step)):
+            last_read[vslot] = position
+    inplace_steps: List[int] = []
+    for position, step in enumerate(steps):
+        if step[0] != VOP_KERNEL:
+            continue
+        kernel = step[3]
+        if not kernel.supports_out or step[4] == "unit":
+            continue
+        for arg_pos, vslot in enumerate(step[2]):
+            if vslot in protected:
+                continue
+            if last_read.get(vslot) != position:
+                continue
+            if vslot_dtype[vslot] != step[4]:
+                continue
+            step[5] = arg_pos
+            inplace_steps.append(position)
+            break
+
+    return VectorProgram(
+        n_vslots=len(vslot_of),
+        vslot_of=dict(vslot_of),
+        col_inputs=tuple(col_inputs),
+        row_inputs=row_inputs,
+        steps=tuple(tuple(step) for step in steps),
+        pure=pure,
+        scalar_ops=scalar_ops,
+        bridge=bridge,
+        out_sched=out_sched,
+        last_vec=tuple(last_vec),
+        last_scalar=tuple(last_scalar),
+        inplace_steps=tuple(inplace_steps),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Runtime
+
+
+class VectorMonitorBase(PlanMonitorBase):
+    """Hybrid columnar/plan monitor.
+
+    ``feed_batch``/``feed_columns`` run the eligible streams as whole
+    columns over the batch's timestamp slice; ineligible streams run in
+    the inherited plan loop.  Per-event ``push``, ``snapshot``/
+    ``restore`` and the delay machinery are inherited unchanged — the
+    only cross-batch state is the plan state (last cells, delay cells,
+    pending input attributes).
+    """
+
+    VPROG: Optional[VectorProgram] = None
+    NP: Any = None
+    METRICS: Any = None
+    SOURCE = "<vector engine — columnar numpy kernels, no generated source>"
+
+    # -- batched ingestion -------------------------------------------------
+
+    def feed_batch(self, events: Iterable[Tuple[int, str, Any]]) -> int:
+        if self._finished:
+            raise MonitorError("feed_batch() after finish()")
+        if not isinstance(events, list):
+            events = list(events)
+        if not events:
+            return 0
+        if self.VPROG is None:
+            return super().feed_batch(events)
+        packed = self._pack_batch(events)
+        if packed is not None:
+            return self._feed_batch_fast(events, *packed)
+        error_index, error = self._validate_batch(events)
+        if error is not None:
+            # Replay the valid prefix through the scalar path so the
+            # partial progress is byte-identical to a push loop.
+            if error_index:
+                super().feed_batch(events[:error_index])
+            raise error
+
+        input_attrs = type(self).INPUT_ATTRS
+        tail_ts = events[-1][0]
+        prepend: List[Tuple[int, str, Any]] = []
+        pending = self._pending_ts
+        if pending is not None:
+            if events[0][0] == pending:
+                for name in self.INPUTS:
+                    attr = input_attrs[name]
+                    value = getattr(self, attr)
+                    if value is not None:
+                        prepend.append((pending, name, value))
+                        setattr(self, attr, None)
+            else:
+                self._run_calc(pending)
+            self._pending_ts = None
+        all_events = prepend + events if prepend else events
+
+        split = len(all_events)
+        while split > 0 and all_events[split - 1][0] == tail_ts:
+            split -= 1
+        slice_events = all_events[:split]
+        tail_events = all_events[split:]
+
+        if not slice_events:
+            self._catch_up(tail_ts)
+        else:
+            if self._done_ts < 0 and slice_events[0][0] > 0:
+                self._run_calc(0)
+            from ..obs.trace import TRACER
+
+            if TRACER.enabled:
+                with TRACER.span("run.vector_batch"):
+                    self._vector_slice(slice_events, tail_ts)
+            else:
+                self._vector_slice(slice_events, tail_ts)
+        for _ts, name, value in tail_events:
+            setattr(self, input_attrs[name], value)
+        self._pending_ts = tail_ts
+        return len(events)
+
+    def _pack_batch(
+        self, events: List[Tuple[int, str, Any]]
+    ) -> Optional[Tuple[Any, tuple, tuple]]:
+        """Columnar transpose + wholesale validation for the hot path.
+
+        Returns ``(ts_arr, name_tuple, value_tuple)`` only when the
+        batch provably passes every per-event protocol check, so the
+        caller can skip the row loop entirely.  Any irregularity —
+        malformed rows, unknown streams, None payloads, reordered or
+        pending-merging timestamps, row-shim inputs — returns None and
+        the scalar path takes over to report the exact offending index
+        with its exact message.
+        """
+        prog = self.VPROG
+        if prog.row_inputs or len(events) < 64:
+            return None
+        np = self.NP
+        try:
+            ts_tuple, name_tuple, value_tuple = zip(*events)
+            ts_arr = np.asarray(ts_tuple, dtype=np.int64)
+        except Exception:
+            return None
+        if ts_arr.ndim != 1 or ts_arr.shape[0] != len(events):
+            return None
+        try:
+            if None in value_tuple:
+                return None
+        except Exception:
+            # Exotic payloads with ambiguous __eq__ (e.g. arrays):
+            # let the scalar validator look at them one by one.
+            return None
+        if not set(name_tuple) <= type(self).INPUT_ATTRS.keys():
+            return None
+        first = int(ts_arr[0])
+        if first < 0 or not bool((ts_arr[1:] >= ts_arr[:-1]).all()):
+            return None
+        pending = self._pending_ts
+        if pending is not None:
+            # first == pending is the (legal) merge corner; the row
+            # path prepends the stored attrs, so hand it over.
+            if first <= pending:
+                return None
+        elif first <= self._done_ts:
+            return None
+        return ts_arr, name_tuple, value_tuple
+
+    def _feed_batch_fast(
+        self,
+        events: List[Tuple[int, str, Any]],
+        ts_arr: Any,
+        name_tuple: tuple,
+        value_tuple: tuple,
+    ) -> int:
+        np = self.NP
+        pending = self._pending_ts
+        if pending is not None:
+            # _pack_batch guarantees the batch starts past it.
+            self._run_calc(pending)
+            self._pending_ts = None
+        tail_ts = int(ts_arr[-1])
+        split = int(np.searchsorted(ts_arr, tail_ts, side="left"))
+        input_attrs = type(self).INPUT_ATTRS
+        if split == 0:
+            self._catch_up(tail_ts)
+        else:
+            if self._done_ts < 0 and int(ts_arr[0]) > 0:
+                self._run_calc(0)
+            ts_slice, cols, masks = self._scatter_columns(
+                np, ts_arr[:split], name_tuple[:split], value_tuple[:split]
+            )
+            ts_list = ts_slice.tolist()
+            from ..obs.trace import TRACER
+
+            if TRACER.enabled:
+                with TRACER.span("run.vector_batch"):
+                    self._vector_exec(
+                        ts_list, cols, masks, None, tail_ts, ts_slice
+                    )
+            else:
+                self._vector_exec(
+                    ts_list, cols, masks, None, tail_ts, ts_slice
+                )
+        for _ts, name, value in events[split:]:
+            setattr(self, input_attrs[name], value)
+        self._pending_ts = tail_ts
+        return len(events)
+
+    def _scatter_columns(
+        self, np: Any, ts_arr: Any, name_tuple: tuple, value_tuple: tuple
+    ) -> Tuple[Any, List[Any], List[Any]]:
+        """Scatter validated rows into per-stream columns, loop-free.
+
+        Duplicate (timestamp, stream) rows keep numpy's fancy-index
+        last-write-wins, matching the row loop's overwrite behavior.
+        """
+        prog = self.VPROG
+        n = ts_arr.shape[0]
+        keep = np.empty(n, dtype=bool)
+        keep[0] = True
+        np.not_equal(ts_arr[1:], ts_arr[:-1], out=keep[1:])
+        positions = np.cumsum(keep) - 1
+        ts_slice = ts_arr[keep]
+        length = int(ts_slice.shape[0])
+        cols: List[Any] = [None] * prog.n_vslots
+        masks: List[Any] = [None] * prog.n_vslots
+        names_arr = np.empty(n, dtype=object)
+        names_arr[:] = name_tuple
+        value_arr = None
+        for name, vslot, dtype_name in prog.col_inputs:
+            mask = np.zeros(length, dtype=bool)
+            sel = names_arr == name
+            pos = positions[sel]
+            mask[pos] = True
+            masks[vslot] = mask
+            if dtype_name != "unit":
+                if value_arr is None:
+                    value_arr = np.empty(n, dtype=object)
+                    value_arr[:] = value_tuple
+                column = np.zeros(
+                    length, dtype=kernels.resolve_dtype(np, dtype_name)
+                )
+                column[pos] = value_arr[sel]
+                cols[vslot] = column
+        return ts_slice, cols, masks
+
+    def _validate_batch(
+        self, events: List[Tuple[int, str, Any]]
+    ) -> Tuple[int, Optional[MonitorError]]:
+        """Mirror the scalar ``feed_batch`` checks without executing.
+
+        Returns ``(index_of_offending_event, error)`` — the prefix
+        before the index is exactly what a push loop would have
+        consumed before raising.
+        """
+        input_attrs = type(self).INPUT_ATTRS
+        pending = self._pending_ts
+        done = self._done_ts
+        for index, (ts, name, value) in enumerate(events):
+            if name not in input_attrs:
+                return index, MonitorError(f"unknown input stream {name!r}")
+            if value is None:
+                return index, MonitorError(
+                    "None is the no-event value; not a valid payload"
+                )
+            if ts != pending:
+                if pending is not None:
+                    if ts < pending:
+                        return index, MonitorError(
+                            f"out-of-order event: t={ts} after t={pending}"
+                        )
+                    done = pending
+                    pending = None
+                if ts < 0:
+                    return index, MonitorError(f"negative timestamp {ts}")
+                if ts <= done:
+                    return index, MonitorError(
+                        f"event at t={ts} arrived after t={done} was"
+                        " calculated"
+                    )
+                pending = ts
+        return -1, None
+
+    def feed_columns(
+        self,
+        timestamps: Sequence[int],
+        columns: Mapping[str, Sequence[Any]],
+    ) -> int:
+        """Columnar ingestion: zero-copy handoff to the vector engine.
+
+        Dense semantics: every stream in *columns* has an event at
+        every timestamp; streams absent from *columns* have none.
+        Timestamps must be strictly increasing.  Caller arrays are
+        never mutated; eligible numeric columns are consumed as numpy
+        views without row conversion.  The final timestamp stays
+        pending, exactly as with :meth:`feed_batch`.
+        """
+        prog = self.VPROG
+        if prog is None or self._finished or self._pending_ts is not None:
+            # Scalar engines / pending-merge corner: row-convert.
+            return super().feed_columns(timestamps, columns)
+        np = self.NP
+        ts_arr = np.asarray(timestamps)
+        if ts_arr.dtype != np.int64:
+            ts_arr = ts_arr.astype(np.int64)
+        total = int(ts_arr.shape[0])
+        if total == 0:
+            return 0
+        input_attrs = type(self).INPUT_ATTRS
+        for name, column in columns.items():
+            if name not in input_attrs:
+                raise MonitorError(f"unknown input stream {name!r}")
+            if len(column) != total:
+                raise MonitorError(
+                    f"column {name!r} has {len(column)} values for"
+                    f" {total} timestamps"
+                )
+            # Dense semantics: a hole is not expressible as None (that
+            # is the no-event value) — validated eagerly, before any
+            # slice executes, since numeric dtype conversion would
+            # otherwise turn it into an opaque TypeError mid-batch.
+            if (
+                not hasattr(column, "dtype")
+                or getattr(column.dtype, "kind", "O") == "O"
+            ) and any(value is None for value in column):
+                raise MonitorError(
+                    "None is the no-event value; not a valid payload"
+                )
+        ts_list = ts_arr.tolist()
+        if ts_list[0] < 0:
+            raise MonitorError(f"negative timestamp {ts_list[0]}")
+        if ts_list[0] <= self._done_ts:
+            raise MonitorError(
+                f"event at t={ts_list[0]} arrived after t={self._done_ts}"
+                " was calculated"
+            )
+        if total > 1 and bool((ts_arr[1:] <= ts_arr[:-1]).any()):
+            raise MonitorError(
+                "feed_columns() timestamps must be strictly increasing"
+            )
+
+        tail_ts = ts_list[-1]
+        count = total * len(columns)
+        if total == 1:
+            self._catch_up(tail_ts)
+            self._set_column_tail(columns, 0)
+            self._pending_ts = tail_ts
+            return count
+
+        sliced = total - 1
+        n_vslots = prog.n_vslots
+        cols: List[Any] = [None] * n_vslots
+        masks: List[Any] = [None] * n_vslots
+        for name, vslot, dtype_name in prog.col_inputs:
+            column = columns.get(name)
+            if column is None:
+                masks[vslot] = np.zeros(sliced, dtype=bool)
+                if dtype_name != "unit":
+                    cols[vslot] = np.zeros(
+                        sliced, dtype=kernels.resolve_dtype(np, dtype_name)
+                    )
+            else:
+                masks[vslot] = np.ones(sliced, dtype=bool)
+                if dtype_name != "unit":
+                    arr = np.asarray(column)
+                    target = kernels.resolve_dtype(np, dtype_name)
+                    if arr.dtype != target:
+                        arr = arr.astype(target)
+                    cols[vslot] = arr[:sliced]
+        row_values: Optional[Dict[str, List[Any]]] = None
+        if prog.row_inputs:
+            row_values = {}
+            for name, _slot in prog.row_inputs:
+                column = columns.get(name)
+                if column is None:
+                    row_values[name] = [None] * sliced
+                else:
+                    values = (
+                        column.tolist()
+                        if hasattr(column, "tolist")
+                        else list(column)
+                    )
+                    row_values[name] = values[:sliced]
+
+        if self._done_ts < 0 and ts_list[0] > 0:
+            self._run_calc(0)
+        from ..obs.trace import TRACER
+
+        if TRACER.enabled:
+            with TRACER.span("run.vector_batch"):
+                self._vector_exec(
+                    ts_list[:sliced], cols, masks, row_values, tail_ts
+                )
+        else:
+            self._vector_exec(
+                ts_list[:sliced], cols, masks, row_values, tail_ts
+            )
+        self._set_column_tail(columns, total - 1)
+        self._pending_ts = tail_ts
+        return count
+
+    def _set_column_tail(
+        self, columns: Mapping[str, Sequence[Any]], index: int
+    ) -> None:
+        input_attrs = type(self).INPUT_ATTRS
+        for name, column in columns.items():
+            value = column[index]
+            if hasattr(value, "item"):
+                value = value.item()
+            if value is None:
+                raise MonitorError(
+                    "None is the no-event value; not a valid payload"
+                )
+            setattr(self, input_attrs[name], value)
+
+    # -- columnar execution ------------------------------------------------
+
+    def _vector_slice(
+        self, events: List[Tuple[int, str, Any]], bound_ts: int
+    ) -> None:
+        """Run one slice of row events through the columnar pass."""
+        np = self.NP
+        prog = self.VPROG
+        ts_list: List[int] = []
+        previous = None
+        for event in events:
+            ts = event[0]
+            if ts != previous:
+                ts_list.append(ts)
+                previous = ts
+        length = len(ts_list)
+        n_vslots = prog.n_vslots
+        cols: List[Any] = [None] * n_vslots
+        masks: List[Any] = [None] * n_vslots
+        col_slot_by_name: Dict[str, int] = {}
+        for name, vslot, dtype_name in prog.col_inputs:
+            masks[vslot] = np.zeros(length, dtype=bool)
+            if dtype_name != "unit":
+                cols[vslot] = np.zeros(
+                    length, dtype=kernels.resolve_dtype(np, dtype_name)
+                )
+            col_slot_by_name[name] = vslot
+        row_values: Optional[Dict[str, List[Any]]] = None
+        if prog.row_inputs:
+            row_values = {
+                name: [None] * length for name, _slot in prog.row_inputs
+            }
+        position = -1
+        previous = None
+        for ts, name, value in events:
+            if ts != previous:
+                position += 1
+                previous = ts
+            vslot = col_slot_by_name.get(name)
+            if vslot is not None:
+                masks[vslot][position] = True
+                column = cols[vslot]
+                if column is not None:
+                    column[position] = value
+            else:
+                row_values[name][position] = value
+        self._vector_exec(ts_list, cols, masks, row_values, bound_ts)
+
+    def _vector_exec(
+        self,
+        ts_list: List[int],
+        cols: List[Any],
+        masks: List[Any],
+        row_values: Optional[Dict[str, List[Any]]],
+        bound_ts: int,
+        ts_arr: Any = None,
+    ) -> None:
+        np = self.NP
+        prog = self.VPROG
+        registry = self.METRICS
+        length = len(ts_list)
+        if ts_arr is None:
+            ts_arr = np.asarray(ts_list, dtype=np.int64)
+        arange = np.arange(length)
+        if registry is not None:
+            registry.inc("vector.batches")
+            registry.inc("vector.rows", length)
+        for step in prog.steps:
+            kind = step[0]
+            if kind == VOP_KERNEL:
+                self._exec_kernel(np, length, cols, masks, step, registry)
+            elif kind == VOP_MERGE:
+                _k, dst, a, b, is_unit = step
+                mask_a = masks[a]
+                masks[dst] = mask_a | masks[b]
+                cols[dst] = (
+                    None if is_unit else np.where(mask_a, cols[a], cols[b])
+                )
+            elif kind == VOP_LAST:
+                self._exec_last(np, length, arange, cols, masks, step)
+            elif kind == VOP_FILTER:
+                _k, dst, value, cond, is_unit = step
+                mask = masks[value] & masks[cond] & cols[cond]
+                masks[dst] = mask
+                cols[dst] = None if is_unit else cols[value]
+            elif kind == VOP_AT:
+                _k, dst, value, trigger, is_unit = step
+                masks[dst] = masks[value] & masks[trigger]
+                cols[dst] = None if is_unit else cols[value]
+            elif kind == VOP_CONST:
+                _k, dst, trigger, value, dtype_name = step
+                masks[dst] = masks[trigger]
+                cols[dst] = np.full(
+                    length, value, dtype=kernels.resolve_dtype(np, dtype_name)
+                )
+            elif kind == VOP_TIME:
+                masks[step[1]] = masks[step[2]]
+                cols[step[1]] = ts_arr
+            elif kind == VOP_UNIT:
+                masks[step[1]] = ts_arr == 0
+            else:  # VOP_NIL
+                _k, dst, dtype_name = step
+                masks[dst] = np.zeros(length, dtype=bool)
+                cols[dst] = (
+                    None
+                    if dtype_name is None
+                    else np.zeros(
+                        length, dtype=kernels.resolve_dtype(np, dtype_name)
+                    )
+                )
+        if prog.pure:
+            self._emit_columns(ts_list, cols, masks)
+            self._store_last_columns(np, cols, masks)
+            self._done_ts = ts_list[-1]
+        else:
+            self._hybrid_loop(ts_list, cols, masks, row_values, bound_ts)
+
+    def _exec_kernel(
+        self,
+        np: Any,
+        length: int,
+        cols: List[Any],
+        masks: List[Any],
+        step: tuple,
+        registry: Any,
+    ) -> None:
+        _kind, dst, arg_vslots, kernel, dtype_name, donate, name = step
+        mask = masks[arg_vslots[0]]
+        for vslot in arg_vslots[1:]:
+            mask = mask & masks[vslot]
+        masks[dst] = mask
+        if not mask.any():
+            cols[dst] = np.empty(
+                length, dtype=kernels.resolve_dtype(np, dtype_name)
+            )
+            return
+        out = cols[arg_vslots[donate]] if donate >= 0 else None
+        if mask.all():
+            result = kernel.fn(np, out, *[cols[v] for v in arg_vslots])
+        else:
+            indices = np.flatnonzero(mask)
+            gathered = [cols[v][indices] for v in arg_vslots]
+            partial = kernel.fn(np, None, *gathered)
+            buffer = (
+                out
+                if out is not None
+                else np.empty(
+                    length, dtype=kernels.resolve_dtype(np, dtype_name)
+                )
+            )
+            buffer[indices] = partial
+            result = buffer
+        cols[dst] = result
+        if registry is not None:
+            registry.inc("vector.kernel." + kernel.name)
+            stats = registry.stream(name)
+            written = int(mask.sum())
+            if donate >= 0:
+                stats.inplace_updates += written
+            else:
+                stats.copies_performed += written
+
+    def _exec_last(
+        self,
+        np: Any,
+        length: int,
+        arange: Any,
+        cols: List[Any],
+        masks: List[Any],
+        step: tuple,
+    ) -> None:
+        _kind, dst, cell, src, trigger, is_unit = step
+        mask_src = masks[src]
+        mask_trigger = masks[trigger]
+        carry = self._last_cells[cell]
+        event_at = np.where(mask_src, arange, -1)
+        running = np.maximum.accumulate(event_at)
+        previous = np.empty(length, dtype=np.int64)
+        previous[0] = -1
+        previous[1:] = running[:-1]
+        if is_unit:
+            if carry is not None:
+                masks[dst] = mask_trigger
+            else:
+                masks[dst] = mask_trigger & (previous >= 0)
+            cols[dst] = None
+            return
+        gathered = cols[src][np.maximum(previous, 0)]
+        if carry is None:
+            masks[dst] = mask_trigger & (previous >= 0)
+            cols[dst] = gathered
+        else:
+            masks[dst] = mask_trigger
+            cols[dst] = np.where(previous >= 0, gathered, carry)
+
+    def _emit_columns(
+        self, ts_list: List[int], cols: List[Any], masks: List[Any]
+    ) -> None:
+        # Iterate only the rows where something fires: monitors whose
+        # outputs are sparse alerts pay for firings, not batch length.
+        prog = self.VPROG
+        emit = self._on_output
+        np = self.NP
+        sched = prog.out_sched
+        if len(sched) == 1:
+            name, _slot, vslot, is_unit = sched[0]
+            indices = np.flatnonzero(masks[vslot])
+            if not indices.size:
+                return
+            if is_unit:
+                for index in indices.tolist():
+                    emit(name, ts_list[index], UNIT_VALUE)
+            else:
+                values = cols[vslot][indices].tolist()
+                for index, value in zip(indices.tolist(), values):
+                    emit(name, ts_list[index], value)
+            return
+        any_mask = masks[sched[0][2]]
+        for _name, _slot, vslot, _is_unit in sched[1:]:
+            any_mask = any_mask | masks[vslot]
+        rows = np.flatnonzero(any_mask).tolist()
+        if not rows:
+            return
+        outputs = [
+            (
+                name,
+                masks[vslot].tolist(),
+                None if is_unit else cols[vslot].tolist(),
+            )
+            for name, _slot, vslot, is_unit in sched
+        ]
+        for index in rows:
+            ts = ts_list[index]
+            for name, mask_list, value_list in outputs:
+                if mask_list[index]:
+                    emit(
+                        name,
+                        ts,
+                        UNIT_VALUE
+                        if value_list is None
+                        else value_list[index],
+                    )
+
+    def _store_last_columns(
+        self, np: Any, cols: List[Any], masks: List[Any]
+    ) -> None:
+        cells = self._last_cells
+        for vslot, cell, is_unit in self.VPROG.last_vec:
+            indices = np.flatnonzero(masks[vslot])
+            if indices.size:
+                cells[cell] = (
+                    UNIT_VALUE if is_unit else cols[vslot][indices[-1]].item()
+                )
+
+    def _hybrid_loop(
+        self,
+        ts_list: List[int],
+        cols: List[Any],
+        masks: List[Any],
+        row_values: Optional[Dict[str, List[Any]]],
+        bound_ts: int,
+    ) -> None:
+        """Per-timestamp scalar loop for the ineligible streams.
+
+        Eligible values computed by the columnar pass are bridged in by
+        timestamp index; delay-generated timestamps carry no eligible
+        events (eligibility is dependency-closed away from delays).
+        """
+        prog = self.VPROG
+        plan = self.PLAN
+        bridge = [
+            (slot, masks[vslot].tolist(), None if is_unit else cols[vslot].tolist())
+            for slot, vslot, is_unit in prog.bridge
+        ]
+        outputs = []
+        for name, slot, vslot, is_unit in prog.out_sched:
+            if vslot is None:
+                outputs.append((name, slot, None, None))
+            else:
+                outputs.append(
+                    (
+                        name,
+                        slot,
+                        masks[vslot].tolist(),
+                        None if is_unit else cols[vslot].tolist(),
+                    )
+                )
+        vector_lasts = [
+            (cell, masks[vslot].tolist(), None if is_unit else cols[vslot].tolist())
+            for vslot, cell, is_unit in prog.last_vec
+        ]
+        values = self._values
+        cells = self._last_cells
+        nxt = self._next_cells
+        emit = self._on_output
+        has_delays = self.HAS_DELAYS
+        n_slots = len(values)
+        length = len(ts_list)
+        index = 0
+        while True:
+            upcoming = self._next_delay() if has_delays else None
+            if index < length:
+                input_ts = ts_list[index]
+                if upcoming is not None and upcoming < input_ts:
+                    ts, column_index = upcoming, None
+                else:
+                    ts, column_index = input_ts, index
+            elif upcoming is not None and upcoming < bound_ts:
+                ts, column_index = upcoming, None
+            else:
+                break
+            for slot in range(n_slots):
+                values[slot] = None
+            if column_index is not None:
+                if row_values is not None:
+                    for name, slot in prog.row_inputs:
+                        value = row_values[name][column_index]
+                        if value is not None:
+                            values[slot] = value
+                for slot, mask_list, value_list in bridge:
+                    if mask_list[column_index]:
+                        values[slot] = (
+                            UNIT_VALUE
+                            if value_list is None
+                            else value_list[column_index]
+                        )
+            for opcode, dst, args, fn in prog.scalar_ops:
+                if opcode == OP_LIFT_ALL:
+                    triggered = True
+                    for a in args:
+                        if values[a] is None:
+                            triggered = False
+                            break
+                    if triggered:
+                        values[dst] = fn(*[values[a] for a in args])
+                elif opcode == OP_MERGE:
+                    first = values[args[0]]
+                    values[dst] = (
+                        first if first is not None else values[args[1]]
+                    )
+                elif opcode == OP_LIFT_ANY:
+                    triggered = False
+                    for a in args:
+                        if values[a] is not None:
+                            triggered = True
+                            break
+                    if triggered:
+                        values[dst] = fn(*[values[a] for a in args])
+                elif opcode == OP_LAST:
+                    if values[args[1]] is not None:
+                        values[dst] = cells[args[0]]
+                elif opcode == OP_TIME:
+                    if values[args[0]] is not None:
+                        values[dst] = ts
+                elif opcode == OP_UNIT:
+                    if ts == 0:
+                        values[dst] = UNIT_VALUE
+                else:  # OP_DELAY
+                    if nxt[args[0]] == ts:
+                        values[dst] = UNIT_VALUE
+            for name, slot, mask_list, value_list in outputs:
+                if mask_list is None:
+                    value = values[slot]
+                    if value is not None:
+                        emit(name, ts, value)
+                elif column_index is not None and mask_list[column_index]:
+                    emit(
+                        name,
+                        ts,
+                        UNIT_VALUE
+                        if value_list is None
+                        else value_list[column_index],
+                    )
+            for cell, mask_list, value_list in vector_lasts:
+                if column_index is not None and mask_list[column_index]:
+                    cells[cell] = (
+                        UNIT_VALUE
+                        if value_list is None
+                        else value_list[column_index]
+                    )
+            for slot, cell in prog.last_scalar:
+                value = values[slot]
+                if value is not None:
+                    cells[cell] = value
+            for cell, own_slot, reset_slot, amount_slot in plan.delay_arms:
+                if (
+                    values[reset_slot] is not None
+                    or values[own_slot] is not None
+                ):
+                    amount = values[amount_slot]
+                    nxt[cell] = ts + amount if amount is not None else None
+            self._done_ts = ts
+            if column_index is not None:
+                index += 1
+
+
+# ---------------------------------------------------------------------------
+# Class builder
+
+
+def make_vector_class(
+    flat: FlatSpec,
+    order: Sequence[str],
+    backends: Mapping[str, Backend],
+    default_backend: Backend = Backend.PERSISTENT,
+    class_name: str = "VectorMonitor",
+    error_policy: Optional[ErrorPolicy] = None,
+    metrics: Optional[Any] = None,
+    classification: Optional[VectorClassification] = None,
+) -> type:
+    """Build a vector-engine monitor class for *flat*.
+
+    The full execution plan is always built (per-event path, scalar
+    fallback section); the columnar program covers the eligible
+    families.  With an error policy — or nothing eligible — the class
+    degrades to plain plan-engine behavior, error semantics included.
+    """
+    np = kernels.numpy_module()
+    plan = build_plan(
+        flat,
+        order,
+        backends,
+        default_backend=default_backend,
+        error_policy=error_policy,
+        metrics=metrics,
+    )
+    if classification is None:
+        classification = classify_vector(flat, error_policy=error_policy)
+    if error_policy is not None or not classification.eligible:
+        program = None
+    else:
+        program = build_vector_program(
+            flat, plan, classification, default_backend=default_backend
+        )
+    return type(
+        class_name,
+        (VectorMonitorBase,),
+        {
+            "INPUTS": tuple(flat.inputs),
+            "OUTPUTS": tuple(flat.outputs),
+            "HAS_DELAYS": plan.n_delays > 0,
+            "PLAN": plan,
+            "VPROG": program,
+            "NP": np,
+            "METRICS": metrics if (metrics and getattr(metrics, "enabled", True)) else None,
+        },
+    )

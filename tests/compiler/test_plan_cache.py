@@ -259,15 +259,18 @@ class TestTextKeyedFastPath:
         return collected
 
     def test_warm_hit_defers_parsing(self, tmp_path):
+        # Deferred parsing is the *codegen* text fast path (the cached
+        # source/code pair replaces the frontend); the default
+        # engine="auto" must classify the flat spec, so it is pinned
+        # explicitly here.
         from repro import api
         from repro.compiler.pipeline import _LazyFlat
 
-        api.compile(
-            SEEN_SET_TEXT, api.CompileOptions(plan_cache=str(tmp_path))
+        opts = api.CompileOptions(
+            engine="codegen", plan_cache=str(tmp_path)
         )
-        warm = api.compile(
-            SEEN_SET_TEXT, api.CompileOptions(plan_cache=str(tmp_path))
-        )
+        api.compile(SEEN_SET_TEXT, opts)
+        warm = api.compile(SEEN_SET_TEXT, opts)
         assert warm.plan_cache_hit is True
         lazy = warm.compiled.flat
         assert isinstance(lazy, _LazyFlat)

@@ -1,0 +1,346 @@
+"""Behavioral tests for the columnar vector engine.
+
+The vector monitor must be indistinguishable from the plan engine on
+every observable surface: outputs (byte-identical Python values), the
+batch protocol's error messages and partial-progress contract, carry
+state across batch boundaries, per-event ``push`` interleaving, and
+snapshot/restore.  Where it *is* allowed to differ — per-kernel
+metrics, the ``SOURCE`` sentinel — those are pinned here too.
+"""
+
+import pytest
+
+from repro.compiler import build_compiled_spec, kernels
+from repro.compiler.monitor import MonitorError
+from repro.frontend import parse_spec
+from repro.lang import check_types, flatten
+
+pytestmark = pytest.mark.skipif(
+    not kernels.numpy_available(), reason="numpy not installed"
+)
+
+SCALAR_CHAIN = """
+in i: Int
+def prev := last(i, i)
+def d := sub(i, prev)
+def neg := lt(d, 0)
+out d
+out neg
+"""
+
+TWO_INPUT = """
+in a: Int
+in b: Int
+def s := add(a, b)
+def m := merge(s, a)
+def f := filter(m, gt(m, 4))
+out m
+out f
+"""
+
+HYBRID = """
+in i: Int
+def agg := count(i)
+def dbl := add(i, i)
+out agg
+out dbl
+"""
+
+DELAYED = """
+in a: Int
+in r: Unit
+def d := delay(a, r)
+def t := time(d)
+def dbl := add(a, a)
+out t
+out dbl
+"""
+
+
+def compile_pair(text, **kwargs):
+    flat = flatten(parse_spec(text))
+    check_types(flat)
+    vec = build_compiled_spec(flat, engine="vector", **kwargs)
+    plan = build_compiled_spec(flat, engine="plan", **kwargs)
+    return vec, plan
+
+
+def run_batches(compiled, event_batches, end_time=None):
+    collected = []
+    monitor = compiled.new_monitor(lambda n, t, v: collected.append((n, t, v)))
+    for batch in event_batches:
+        monitor.feed_batch(batch)
+    monitor.finish(end_time=end_time)
+    return collected
+
+
+def chain_events(n=60):
+    return [(t, "i", (t * 7) % 13 - 6) for t in range(1, n + 1)]
+
+
+class TestProgramShape:
+    def test_pure_spec_gets_vector_program(self):
+        vec, _ = compile_pair(SCALAR_CHAIN)
+        cls = vec.monitor_class
+        assert cls.VPROG is not None
+        assert cls.VPROG.pure
+        assert "columnar numpy kernels" in cls.SOURCE
+
+    def test_hybrid_spec_gets_scalar_ops(self):
+        vec, _ = compile_pair(HYBRID)
+        prog = vec.monitor_class.VPROG
+        assert prog is not None and not prog.pure
+        assert prog.scalar_ops  # the count-aggregate family
+
+    def test_error_policy_degrades_to_plan_program(self):
+        vec, _ = compile_pair(SCALAR_CHAIN, error_policy="propagate")
+        assert vec.monitor_class.VPROG is None
+
+    def test_fully_ineligible_spec_has_no_program(self):
+        from repro.speclib import seen_set
+
+        compiled = build_compiled_spec(seen_set(), engine="vector")
+        assert compiled.monitor_class.VPROG is None
+
+
+class TestBatchBoundaries:
+    @pytest.mark.parametrize("split", [1, 2, 7, 13, 59])
+    def test_last_carries_across_batches(self, split):
+        vec, plan = compile_pair(SCALAR_CHAIN)
+        events = chain_events()
+        batches = [
+            events[i : i + split] for i in range(0, len(events), split)
+        ]
+        assert run_batches(vec, batches) == run_batches(plan, [events])
+
+    def test_batch_boundary_inside_timestamp(self):
+        vec, plan = compile_pair(TWO_INPUT)
+        events = [(1, "a", 1), (1, "b", 2), (2, "a", 3), (2, "b", 4)]
+        split = [events[:1], events[1:3], events[3:]]
+        assert run_batches(vec, split) == run_batches(plan, [events])
+
+    def test_push_and_batch_interleave(self):
+        vec, plan = compile_pair(SCALAR_CHAIN)
+        events = chain_events(30)
+        expected = run_batches(plan, [events])
+        collected = []
+        monitor = vec.new_monitor(lambda n, t, v: collected.append((n, t, v)))
+        for ts, name, value in events[:10]:
+            monitor.push(name, ts, value)
+        monitor.feed_batch(events[10:25])
+        for ts, name, value in events[25:]:
+            monitor.push(name, ts, value)
+        monitor.finish()
+        assert collected == expected
+
+    def test_delay_spec_agrees(self):
+        vec, plan = compile_pair(DELAYED)
+        events = []
+        for t in range(1, 100, 3):
+            events.append((t, "a", t % 5 + 1))
+            events.append((t, "r", ()))
+        got_vec = run_batches(vec, [events], end_time=120)
+        got_plan = run_batches(plan, [events], end_time=120)
+        assert got_vec == got_plan
+
+    def test_outputs_are_python_scalars(self):
+        vec, _ = compile_pair(SCALAR_CHAIN)
+        collected = run_batches(vec, [chain_events(20)])
+        for _, _, value in collected:
+            assert type(value) in (int, bool)
+
+
+class TestBatchProtocol:
+    def make(self, text=TWO_INPUT):
+        vec, _ = compile_pair(text)
+        collected = []
+        return vec.new_monitor(lambda n, t, v: collected.append((n, t, v))), collected
+
+    def test_unknown_stream(self):
+        monitor, _ = self.make()
+        with pytest.raises(MonitorError, match="unknown input stream"):
+            monitor.feed_batch([(1, "nope", 1)])
+
+    def test_none_payload(self):
+        monitor, _ = self.make()
+        with pytest.raises(MonitorError, match="no-event value"):
+            monitor.feed_batch([(1, "a", None)])
+
+    def test_out_of_order_keeps_partial_progress(self):
+        # The scalar loop consumes events up to the offender; the
+        # vectorized batch path must honor that exact contract.
+        vec, plan = compile_pair(TWO_INPUT)
+        got = {}
+        for compiled in (vec, plan):
+            collected = []
+            monitor = compiled.new_monitor(lambda n, t, v: collected.append((n, t, v)))
+            with pytest.raises(MonitorError, match="out-of-order"):
+                monitor.feed_batch(
+                    [(1, "a", 1), (2, "a", 2), (1, "b", 9)]
+                )
+            # valid prefix (t=1) was calculated; t=2 is still pending
+            monitor.feed_batch([(3, "a", 3)])
+            monitor.finish()
+            got[compiled.engine] = collected
+        assert got["vector"] == got["plan"]
+
+    def test_after_finish(self):
+        monitor, _ = self.make()
+        monitor.finish()
+        with pytest.raises(MonitorError, match="after finish"):
+            monitor.feed_batch([(1, "a", 1)])
+
+
+class TestFeedColumns:
+    def test_matches_row_feeding(self):
+        vec, plan = compile_pair(TWO_INPUT)
+        ts = list(range(1, 50))
+        cols = {"a": [t % 7 for t in ts], "b": [t % 5 for t in ts]}
+        vec_out, plan_out = [], []
+        mv = vec.new_monitor(lambda n, t, v: vec_out.append((n, t, v)))
+        mv.feed_columns(ts, cols)
+        mv.finish()
+        mp = plan.new_monitor(lambda n, t, v: plan_out.append((n, t, v)))
+        mp.feed_columns(ts, cols)
+        mp.finish()
+        assert vec_out == plan_out
+
+    def test_numpy_columns_zero_copy_path(self):
+        np = kernels.numpy_module()
+        vec, plan = compile_pair(TWO_INPUT)
+        ts = np.arange(1, 50)
+        cols = {
+            "a": np.arange(1, 50) % 7,
+            "b": np.arange(1, 50) % 5,
+        }
+        vec_out, plan_out = [], []
+        mv = vec.new_monitor(lambda n, t, v: vec_out.append((n, t, v)))
+        mv.feed_columns(ts, cols)
+        mv.finish()
+        mp = plan.new_monitor(lambda n, t, v: plan_out.append((n, t, v)))
+        mp.feed_columns(
+            ts.tolist(), {k: v.tolist() for k, v in cols.items()}
+        )
+        mp.finish()
+        assert vec_out == plan_out
+        assert all(type(v) in (int, bool) for _, _, v in vec_out)
+
+    def test_partial_column_set(self):
+        # Streams absent from the column mapping simply have no events.
+        vec, plan = compile_pair(TWO_INPUT)
+        ts = list(range(1, 20))
+        cols = {"a": [t + 1 for t in ts]}
+        out = {}
+        for compiled in (vec, plan):
+            collected = []
+            m = compiled.new_monitor(lambda n, t, v: collected.append((n, t, v)))
+            m.feed_columns(ts, cols)
+            m.finish()
+            out[compiled.engine] = collected
+        assert out["vector"] == out["plan"]
+
+    def test_unknown_stream(self):
+        vec, _ = compile_pair(TWO_INPUT)
+        monitor = vec.new_monitor()
+        with pytest.raises(MonitorError, match="unknown input stream"):
+            monitor.feed_columns([1, 2], {"nope": [1, 2]})
+
+    def test_length_mismatch(self):
+        vec, _ = compile_pair(TWO_INPUT)
+        monitor = vec.new_monitor()
+        with pytest.raises(MonitorError, match="values"):
+            monitor.feed_columns([1, 2, 3], {"a": [1, 2]})
+
+    def test_non_increasing_timestamps(self):
+        vec, _ = compile_pair(TWO_INPUT)
+        monitor = vec.new_monitor()
+        with pytest.raises(MonitorError, match="strictly increasing"):
+            monitor.feed_columns([1, 1], {"a": [1, 2]})
+
+    def test_none_hole_rejected_like_rows(self):
+        vec, _ = compile_pair(TWO_INPUT)
+        monitor = vec.new_monitor()
+        with pytest.raises(MonitorError, match="no-event value"):
+            monitor.feed_columns([1, 2], {"a": [1, None]})
+
+    def test_after_pending_rows(self):
+        # feed_columns after a partially-consumed row batch must merge
+        # with the pending timestamp, exactly like another feed_batch.
+        vec, plan = compile_pair(TWO_INPUT)
+        out = {}
+        for compiled in (vec, plan):
+            collected = []
+            m = compiled.new_monitor(lambda n, t, v: collected.append((n, t, v)))
+            m.feed_batch([(1, "a", 1), (2, "a", 2)])  # t=2 pending
+            m.feed_columns([3, 4], {"b": [7, 8]})
+            m.finish()
+            out[compiled.engine] = collected
+        assert out["vector"] == out["plan"]
+
+
+class TestStatefulness:
+    def test_snapshot_restore_roundtrip(self):
+        vec, plan = compile_pair(SCALAR_CHAIN)
+        events = chain_events(40)
+        expected = run_batches(plan, [events])
+        first = []
+        m1 = vec.new_monitor(lambda n, t, v: first.append((n, t, v)))
+        m1.feed_batch(events[:20])
+        state = m1.snapshot()
+        m2 = vec.new_monitor(lambda n, t, v: first.append((n, t, v)))
+        m2.restore(state)
+        m2.feed_batch(events[20:])
+        m2.finish()
+        assert first == expected
+
+    def test_vector_and_plan_snapshots_interchange(self):
+        # Both engines share the plan-slot state layout, so a vector
+        # snapshot restores into a plan monitor and vice versa.
+        vec, plan = compile_pair(SCALAR_CHAIN)
+        events = chain_events(40)
+        expected = run_batches(plan, [events])
+        collected = []
+        m1 = vec.new_monitor(lambda n, t, v: collected.append((n, t, v)))
+        m1.feed_batch(events[:20])
+        m2 = plan.new_monitor(lambda n, t, v: collected.append((n, t, v)))
+        m2.restore(m1.snapshot())
+        m2.feed_batch(events[20:])
+        m2.finish()
+        assert collected == expected
+
+
+class TestMetrics:
+    def test_kernel_counters_recorded(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        flat = flatten(parse_spec(SCALAR_CHAIN))
+        check_types(flat)
+        registry = MetricsRegistry()
+        registry.enabled = True
+        compiled = build_compiled_spec(
+            flat, engine="vector", metrics=registry
+        )
+        monitor = compiled.new_monitor()
+        monitor.feed_batch(chain_events(30))
+        monitor.finish()
+        snap = registry.snapshot()
+        counters = snap["counters"]
+        assert counters["vector.batches"] >= 1
+        assert counters["vector.rows"] >= 29
+        assert any(k.startswith("vector.kernel.") for k in counters)
+
+    def test_metrics_do_not_change_outputs(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        flat = flatten(parse_spec(SCALAR_CHAIN))
+        check_types(flat)
+        plain = build_compiled_spec(flat, engine="vector")
+        registry = MetricsRegistry()
+        registry.enabled = True
+        metered = build_compiled_spec(
+            flat, engine="vector", metrics=registry
+        )
+        events = chain_events(50)
+        assert run_batches(metered, [events]) == run_batches(
+            plain, [events]
+        )

@@ -1,0 +1,211 @@
+"""Differential matrix for the vector engine.
+
+For every paper-figure spec, every Table 1 evaluation monitor and every
+de-normalized fixture, the vector engine must reproduce the reference
+interpreter's outputs event-for-event — under per-event feeding, the
+``feed_batch`` hot path at several batch sizes, and (for dense scalar
+workloads) ``feed_columns`` — with the rewrite optimizer both off and
+on.  Ineligible specs must take the certified per-family fallback and
+still match byte-for-byte.
+"""
+
+import random
+
+import pytest
+
+from repro import api
+from repro.bench.table1 import scenarios
+from repro.compiler import freeze, kernels
+from repro.speclib import (
+    DENORMALIZED,
+    fig1_spec,
+    fig4_lower_spec,
+    fig4_upper_spec,
+    map_window,
+    queue_window,
+    seen_set,
+)
+from repro.testing import reference_outputs
+
+pytestmark = pytest.mark.skipif(
+    not kernels.numpy_available(), reason="numpy not installed"
+)
+
+
+def random_trace(names, length, domain, seed, start=1):
+    rng = random.Random(seed)
+    traces = {name: [] for name in names}
+    t = start
+    for _ in range(length):
+        name = rng.choice(names)
+        traces[name].append((t, rng.randrange(domain)))
+        t += rng.randint(1, 3)
+    return traces
+
+
+WORKLOADS = {
+    "fig1": (fig1_spec, random_trace(["i"], 60, 8, 0)),
+    "fig4_upper": (fig4_upper_spec, random_trace(["i1", "i2"], 60, 8, 1)),
+    "fig4_lower": (fig4_lower_spec, random_trace(["i1", "i2"], 60, 8, 2)),
+    "seen_set": (seen_set, random_trace(["i"], 80, 6, 3)),
+    "map_window": (lambda: map_window(4), random_trace(["i"], 60, 50, 4)),
+    "queue_window": (
+        lambda: queue_window(4),
+        random_trace(["i"], 60, 50, 5),
+    ),
+    "denorm_dup_writer": (
+        DENORMALIZED["dup_writer"],
+        random_trace(["i"], 60, 8, 6),
+    ),
+    "denorm_dead_writer": (
+        DENORMALIZED["dead_writer"],
+        random_trace(["i", "j"], 60, 8, 7),
+    ),
+    "denorm_nil_merge": (
+        DENORMALIZED["nil_merge"],
+        random_trace(["i"], 60, 8, 8),
+    ),
+    "denorm_scalar_chain": (
+        DENORMALIZED["scalar_chain"],
+        random_trace(["x"], 60, 20, 9),
+    ),
+}
+
+
+def as_events(inputs):
+    events = [
+        (ts, name, value)
+        for name, trace in inputs.items()
+        for ts, value in trace
+    ]
+    events.sort(key=lambda e: e[0])
+    return events
+
+
+def vector_outputs(spec, inputs, *, rewrite=False, batch_size=None):
+    monitor = api.compile(
+        spec, api.CompileOptions(engine="vector", rewrite=rewrite)
+    )
+    collected = {}
+    api.run(
+        monitor,
+        as_events(inputs),
+        api.RunOptions(batch_size=batch_size),
+        on_output=lambda n, t, v: collected.setdefault(n, []).append(
+            (t, freeze(v))
+        ),
+    )
+    for name in monitor.outputs:
+        collected.setdefault(name, [])
+    return collected
+
+
+@pytest.mark.parametrize("rewrite", [False, True], ids=["plain", "rewrite"])
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+class TestWorkloads:
+    def test_per_event(self, name, rewrite):
+        factory, inputs = WORKLOADS[name]
+        reference = reference_outputs(factory(), inputs)
+        assert vector_outputs(factory(), inputs, rewrite=rewrite) == reference
+
+    @pytest.mark.parametrize("batch_size", [1, 16, 4096])
+    def test_feed_batch(self, name, rewrite, batch_size):
+        factory, inputs = WORKLOADS[name]
+        reference = reference_outputs(factory(), inputs)
+        got = vector_outputs(
+            factory(), inputs, rewrite=rewrite, batch_size=batch_size
+        )
+        assert got == reference
+
+
+@pytest.mark.parametrize("rewrite", [False, True], ids=["plain", "rewrite"])
+@pytest.mark.parametrize("name", sorted(scenarios(200)))
+class TestTable1:
+    def test_feed_batch(self, name, rewrite):
+        spec, inputs = scenarios(200)[name]
+        reference = reference_outputs(spec, inputs)
+        got = vector_outputs(spec, inputs, rewrite=rewrite, batch_size=64)
+        assert got == reference
+
+
+DENSE_SCALAR = """
+in a: Int
+in b: Int
+def prev := last(a, a)
+def diff := sub(a, prev)
+def s := add(diff, b)
+def hot := gt(s, 0)
+out s
+out hot
+"""
+
+
+class TestFeedColumnsMatrix:
+    """Dense columnar ingestion vs the row paths, all engines."""
+
+    def dense_columns(self, n=300, seed=11):
+        rng = random.Random(seed)
+        ts = list(range(1, n + 1))
+        return ts, {
+            "a": [rng.randrange(-20, 20) for _ in ts],
+            "b": [rng.randrange(-20, 20) for _ in ts],
+        }
+
+    @pytest.mark.parametrize("rewrite", [False, True])
+    def test_columns_match_rows_across_engines(self, rewrite):
+        ts, cols = self.dense_columns()
+        results = {}
+        for engine in ("plan", "codegen", "vector"):
+            monitor = api.compile(
+                DENSE_SCALAR,
+                api.CompileOptions(engine=engine, rewrite=rewrite),
+            )
+            collected = []
+            monitor.feed_columns(
+                ts,
+                cols,
+                on_output=lambda n, t, v: collected.append((n, t, v)),
+            )
+            results[engine] = collected
+        assert results["vector"] == results["plan"] == results["codegen"]
+
+    def test_columns_match_reference(self):
+        ts, cols = self.dense_columns()
+        inputs = {
+            name: list(zip(ts, values)) for name, values in cols.items()
+        }
+        monitor = api.compile(
+            DENSE_SCALAR, api.CompileOptions(engine="vector")
+        )
+        collected = {}
+        monitor.feed_columns(
+            ts,
+            cols,
+            on_output=lambda n, t, v: collected.setdefault(n, []).append(
+                (t, freeze(v))
+            ),
+        )
+        for name in monitor.outputs:
+            collected.setdefault(name, [])
+        from repro.lang import check_types, flatten
+        from repro.frontend import parse_spec
+
+        flat = flatten(parse_spec(DENSE_SCALAR))
+        check_types(flat)
+        assert collected == reference_outputs(flat, inputs)
+
+
+class TestFallbackIdentity:
+    """Ineligible specs under engine='vector' fall back per family and
+    stay byte-identical, with the fallback visible as VEC001."""
+
+    def test_seen_set_fallback_diagnostic_and_identity(self):
+        inputs = random_trace(["i"], 80, 6, 3)
+        reference = reference_outputs(seen_set(), inputs)
+        monitor = api.compile(
+            seen_set(), api.CompileOptions(engine="vector")
+        )
+        codes = [d.code for d in monitor.diagnostics()]
+        assert "VEC001" in codes
+        got = vector_outputs(seen_set(), inputs, batch_size=16)
+        assert got == reference
