@@ -1,31 +1,50 @@
 """Bench-parallel: multi-trace worker-pool scaling, recorded as JSON.
 
-Measures aggregate events/sec of :class:`repro.parallel.MonitorPool`
-running the paper's Fig. 1 Seen Set monitor over many independent
-Fig. 9 synthetic traces, at 1/2/4/8 workers, on **both** pool
-backends: the supervised ``process`` backend (forked workers,
-heartbeats, restart/retry machinery live but idle on the fault-free
-path) and the ``thread`` backend (the GIL-bound baseline).
-Compilation happens once per worker against a warm on-disk plan cache
-and is excluded from the timed region (a pool is primed with one tiny
-warm-up trace before the clock starts), so the curves isolate run
-throughput — the quantity the worker count actually scales.
+Two sections, one artifact:
 
-Each backend's section carries its own provenance stamp
-(``pool_backend``, supervision ``retries`` observed during the timed
-runs) so a chaos artifact can never be mistaken for a clean one; this
-bench runs fault-free, so ``retries`` is expected to be 0.
+* ``scaling`` — aggregate events/sec of :class:`repro.parallel.MonitorPool`
+  running the paper's Fig. 1 Seen Set monitor over many independent
+  Fig. 9 synthetic traces, at 1/2/4/8 workers, on **both** pool
+  backends: the supervised ``process`` backend (forked workers,
+  heartbeats, restart/retry machinery live but idle on the fault-free
+  path) and the ``thread`` backend (the GIL-bound baseline).
+* ``transport`` — the same pool on a vector-eligible spec over dense
+  >= 50k-event traces, process backend, ``pipe`` vs ``shm`` trace
+  transports side by side.  The shm transport packs each trace once
+  into a shared-memory arena and ships only a descriptor per dispatch;
+  the pipe transport pickles the full event list per dispatch.  The
+  thread backend is recorded alongside for reference — it has no
+  process boundary, so its transport is honestly stamped ``inline``.
+
+Compilation happens once per worker against a warm on-disk plan cache
+and is excluded from the timed region.  Every (backend, jobs,
+transport) cell gets a **full warm-up round** — the complete workload
+runs once untimed before the clock starts — so fork cost, page-cache
+state and allocator warm-up never pollute the curves.
+
+Each section's cells carry their own provenance stamp
+(``pool_backend``, resolved ``transport``, ``payload_bytes`` moved per
+data path, supervision ``retries`` observed during the timed runs) so
+a chaos or degraded-transport artifact can never be mistaken for a
+clean one; this bench runs fault-free, so ``retries`` is expected to
+be 0.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_parallel.py [--out BENCH_parallel.json]
 
-Exit status is non-zero when the process backend's 4-worker speedup
-over 1 worker falls below the acceptance threshold — *enforced only on
-machines with at least 4 CPUs*.  On smaller machines (the curve cannot
-physically materialize there) the artifact records the measurements
-with ``threshold_enforced: false`` instead of fabricating a pass or
-fail.
+Exit status is non-zero — *enforced only on machines with at least 4
+CPUs* — when any of these fail:
+
+* the process backend's 4-worker speedup over 1 worker falls below the
+  scaling threshold (default 2.5x),
+* shm throughput at 4 workers falls below ``--transport-threshold``
+  (default 2.0x) times pipe throughput on the transport workload,
+* the shm transport's own 4-vs-1 scaling is not > 1.0.
+
+On smaller machines (the curves cannot physically materialize there)
+the artifact records the measurements with ``threshold_enforced:
+false`` instead of fabricating a pass or fail.
 """
 
 import argparse
@@ -38,6 +57,11 @@ import time
 
 from repro import api
 from repro.bench.meta import bench_metadata
+from repro.obs.metrics import (
+    DEFAULT_REGISTRY,
+    POOL_BYTES_PICKLED,
+    POOL_BYTES_SHARED,
+)
 from repro.parallel import MonitorPool
 from repro.workloads import seen_set_trace
 
@@ -53,6 +77,17 @@ def s  := set_contains(yl, i)
 out s
 """
 
+# The transport workload: vector-eligible, so per-event compute is
+# cheap and the trace data path (pickle-per-dispatch vs shared arena)
+# dominates the wall clock — the quantity this section isolates.
+VECTOR_TEXT = """\
+in i: Int
+
+def dbl := add(i, i)
+
+out dbl
+"""
+
 TRACES = 32
 EVENTS_PER_TRACE = 2_000
 DOMAIN = 64
@@ -62,8 +97,13 @@ JOB_COUNTS = (1, 2, 4, 8)
 BACKENDS = ("process", "thread")
 THRESHOLD = 2.5
 
+TRANSPORT_TRACES = 8
+TRANSPORT_EVENTS_PER_TRACE = 50_000
+TRANSPORT_REPEATS = 2
+TRANSPORT_THRESHOLD = 2.0
 
-def _traces():
+
+def _seen_set_traces():
     all_traces = []
     for seed in range(TRACES):
         raw = seen_set_trace(EVENTS_PER_TRACE, DOMAIN, seed=seed)
@@ -73,16 +113,43 @@ def _traces():
     return all_traces
 
 
-def _measure(backend, jobs, traces, cache_dir):
-    """Best-of-N wall time for one pool size; returns (seconds, retries)."""
+def _vector_traces():
+    # Dense single-stream int traces: shm packs them columnar and the
+    # worker feeds the mapped columns zero-copy.
+    return [
+        [
+            (t, "i", (t * 7 + seed) % 1_000_003)
+            for t in range(TRANSPORT_EVENTS_PER_TRACE)
+        ]
+        for seed in range(TRANSPORT_TRACES)
+    ]
+
+
+def _measure(
+    spec_text,
+    backend,
+    jobs,
+    traces,
+    cache_dir,
+    *,
+    transport="auto",
+    repeats=REPEATS,
+):
+    """Best-of-N wall time for one pool cell.
+
+    Returns ``(seconds, retries, resolved_transport, payload_bytes)``.
+    The full workload runs once untimed first (worker fork/compile via
+    the warm plan cache plus one complete data pass), then N timed
+    rounds.  Payload byte counters cover the timed rounds only.
+    """
     options = api.CompileOptions(plan_cache=cache_dir)
     pool = MonitorPool(
-        SEEN_SET_TEXT,
+        spec_text,
         compile_options=options,
         jobs=jobs,
         backend=backend,
+        transport=transport,
     )
-    warmup = traces[0][:10]
 
     def run():
         result = pool.run_many(
@@ -91,18 +158,68 @@ def _measure(backend, jobs, traces, cache_dir):
         assert result.failures == 0
         return result
 
-    # Warm-up: fork/spawn the workers and compile (cache hit) outside
-    # the timed region.
-    pool.run_many([warmup], collect_outputs=False)
+    # Full warm-up round outside the timed region.
+    warm = run()
 
+    was_enabled = DEFAULT_REGISTRY.enabled
+    base = DEFAULT_REGISTRY.snapshot()["counters"]
+    DEFAULT_REGISTRY.enabled = True
     best = float("inf")
     retries = 0
-    for _ in range(REPEATS):
-        start = time.perf_counter()
-        result = run()
-        best = min(best, time.perf_counter() - start)
-        retries += result.report.retries
-    return best, retries
+    try:
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = run()
+            best = min(best, time.perf_counter() - start)
+            retries += result.report.retries
+    finally:
+        DEFAULT_REGISTRY.enabled = was_enabled
+    counters = DEFAULT_REGISTRY.snapshot()["counters"]
+    payload_bytes = {
+        "shared": counters.get(POOL_BYTES_SHARED, 0)
+        - base.get(POOL_BYTES_SHARED, 0),
+        "pickled": counters.get(POOL_BYTES_PICKLED, 0)
+        - base.get(POOL_BYTES_PICKLED, 0),
+    }
+    return best, retries, warm.transport, payload_bytes
+
+
+def _curve(
+    spec_text, backend, traces, cache, total_events, *, transport, repeats
+):
+    curve = {}
+    retries_total = 0
+    resolved = None
+    payload = {"shared": 0, "pickled": 0}
+    for jobs in JOB_COUNTS:
+        seconds, retries, resolved, cell_payload = _measure(
+            spec_text,
+            backend,
+            jobs,
+            traces,
+            cache,
+            transport=transport,
+            repeats=repeats,
+        )
+        retries_total += retries
+        payload["shared"] += cell_payload["shared"]
+        payload["pickled"] += cell_payload["pickled"]
+        curve[str(jobs)] = {
+            "seconds": round(seconds, 6),
+            "events_per_sec": round(total_events / seconds),
+        }
+    return {
+        "jobs": curve,
+        "speedup_4_vs_1": round(
+            curve["1"]["seconds"] / curve["4"]["seconds"], 2
+        ),
+        "meta": bench_metadata(
+            pool_backend=backend,
+            retries=retries_total,
+            transport=resolved,
+            payload_bytes=payload,
+        ),
+    }
 
 
 def main(argv=None):
@@ -117,44 +234,74 @@ def main(argv=None):
         help="minimum process-backend 4-worker vs 1-worker events/sec"
         " ratio (enforced only when the machine has >= 4 CPUs)",
     )
+    parser.add_argument(
+        "--transport-threshold",
+        type=float,
+        default=TRANSPORT_THRESHOLD,
+        help="minimum shm vs pipe events/sec ratio at 4 process workers"
+        " on the transport workload (enforced only when the machine has"
+        " >= 4 CPUs)",
+    )
     args = parser.parse_args(argv)
 
-    traces = _traces()
+    traces = _seen_set_traces()
     total_events = sum(len(t) for t in traces)
+    vec_traces = _vector_traces()
+    vec_total = sum(len(t) for t in vec_traces)
     cpus = os.cpu_count() or 1
 
-    # Prime the plan cache once; every worker warm-starts from it.
+    # Prime the plan caches once; every worker warm-starts from them.
     gc_was_enabled = gc.isenabled()
     gc.disable()
     backends = {}
+    transport_curves = {}
     try:
         with tempfile.TemporaryDirectory(prefix="plan-cache-") as cache:
             api.compile(SEEN_SET_TEXT, api.CompileOptions(plan_cache=cache))
+            api.compile(VECTOR_TEXT, api.CompileOptions(plan_cache=cache))
             for backend in BACKENDS:
-                curve = {}
-                retries_total = 0
-                for jobs in JOB_COUNTS:
-                    seconds, retries = _measure(backend, jobs, traces, cache)
-                    retries_total += retries
-                    curve[str(jobs)] = {
-                        "seconds": round(seconds, 6),
-                        "events_per_sec": round(total_events / seconds),
-                    }
-                backends[backend] = {
-                    "jobs": curve,
-                    "speedup_4_vs_1": round(
-                        curve["1"]["seconds"] / curve["4"]["seconds"], 2
-                    ),
-                    "meta": bench_metadata(
-                        pool_backend=backend, retries=retries_total
-                    ),
-                }
+                backends[backend] = _curve(
+                    SEEN_SET_TEXT,
+                    backend,
+                    traces,
+                    cache,
+                    total_events,
+                    transport="auto",
+                    repeats=REPEATS,
+                )
+            for transport in ("pipe", "shm"):
+                transport_curves[transport] = _curve(
+                    VECTOR_TEXT,
+                    "process",
+                    vec_traces,
+                    cache,
+                    vec_total,
+                    transport=transport,
+                    repeats=TRANSPORT_REPEATS,
+                )
+            # The thread backend has no process boundary; recorded for
+            # reference, stamped with its honest "inline" transport.
+            transport_curves["thread"] = _curve(
+                VECTOR_TEXT,
+                "thread",
+                vec_traces,
+                cache,
+                vec_total,
+                transport="auto",
+                repeats=TRANSPORT_REPEATS,
+            )
     finally:
         if gc_was_enabled:
             gc.enable()
 
     process = backends["process"]
     speedup_4 = process["speedup_4_vs_1"]
+    shm_vs_pipe_4 = round(
+        transport_curves["shm"]["jobs"]["4"]["events_per_sec"]
+        / transport_curves["pipe"]["jobs"]["4"]["events_per_sec"],
+        2,
+    )
+    shm_speedup_4 = transport_curves["shm"]["speedup_4_vs_1"]
     threshold_enforced = cpus >= 4
     result = {
         "benchmark": "parallel-pool-scaling",
@@ -169,7 +316,7 @@ def main(argv=None):
         "batch_size": BATCH_SIZE,
         "repeats": REPEATS,
         "timing": "run-only (workers started and compiled against a warm"
-        " plan cache before the clock starts), best of N",
+        " plan cache, one full untimed warm-up round per cell), best of N",
         "backends": backends,
         # Headline numbers are the supervised process backend, the one
         # that can actually scale pure-Python engines past the GIL.
@@ -177,12 +324,28 @@ def main(argv=None):
         "speedup_4_vs_1": speedup_4,
         "threshold": args.threshold,
         "threshold_enforced": threshold_enforced,
+        "transport": {
+            "workload": (
+                f"{TRANSPORT_TRACES} dense single-stream int traces,"
+                f" {TRANSPORT_EVENTS_PER_TRACE} events each"
+            ),
+            "spec": "dbl := add(i, i) (vector-eligible)",
+            "traces": TRANSPORT_TRACES,
+            "events_total": vec_total,
+            "repeats": TRANSPORT_REPEATS,
+            "curves": transport_curves,
+            "shm_vs_pipe_4_workers": shm_vs_pipe_4,
+            "shm_speedup_4_vs_1": shm_speedup_4,
+            "threshold": args.transport_threshold,
+            "threshold_enforced": threshold_enforced,
+        },
     }
     with open(args.out, "w") as handle:
         json.dump(result, handle, indent=2, sort_keys=True)
         handle.write("\n")
 
     print(json.dumps(result, indent=2, sort_keys=True))
+    failed = False
     if threshold_enforced and speedup_4 < args.threshold:
         print(
             f"FAIL: process-backend 4-worker speedup {speedup_4:.2f}x is"
@@ -190,7 +353,7 @@ def main(argv=None):
             f" {cpus}-CPU machine",
             file=sys.stderr,
         )
-        return 1
+        failed = True
     if threshold_enforced and speedup_4 < backends["thread"]["speedup_4_vs_1"]:
         print(
             "FAIL: process backend scales worse than the thread backend"
@@ -198,15 +361,36 @@ def main(argv=None):
             f" {backends['thread']['speedup_4_vs_1']:.2f}x)",
             file=sys.stderr,
         )
+        failed = True
+    if threshold_enforced and shm_vs_pipe_4 < args.transport_threshold:
+        print(
+            f"FAIL: shm transport is {shm_vs_pipe_4:.2f}x pipe at 4"
+            f" workers, below the {args.transport_threshold:.1f}x"
+            f" threshold on a {cpus}-CPU machine",
+            file=sys.stderr,
+        )
+        failed = True
+    if threshold_enforced and shm_speedup_4 <= 1.0:
+        print(
+            f"FAIL: shm transport 4-vs-1 speedup {shm_speedup_4:.2f}x"
+            " does not scale",
+            file=sys.stderr,
+        )
+        failed = True
+    if failed:
         return 1
     if not threshold_enforced:
         print(
-            f"note: threshold not enforced ({cpus} CPU(s) < 4);"
+            f"note: thresholds not enforced ({cpus} CPU(s) < 4);"
             f" measured process 4-vs-1 speedup {speedup_4:.2f}x,"
-            f" thread {backends['thread']['speedup_4_vs_1']:.2f}x"
+            f" thread {backends['thread']['speedup_4_vs_1']:.2f}x,"
+            f" shm-vs-pipe at 4 workers {shm_vs_pipe_4:.2f}x"
         )
     else:
-        print(f"ok: 4 process workers are {speedup_4:.2f}x one worker")
+        print(
+            f"ok: 4 process workers are {speedup_4:.2f}x one worker;"
+            f" shm is {shm_vs_pipe_4:.2f}x pipe at 4 workers"
+        )
     return 0
 
 

@@ -64,6 +64,7 @@ __all__ = [
 _ENGINES = ("auto", "codegen", "interpreted", "plan", "vector")
 _PARTITION_MODES = ("off", "auto")
 _POOL_BACKENDS = ("process", "thread")
+_POOL_TRANSPORTS = ("auto", "shm", "pipe")
 
 
 @dataclass(frozen=True)
@@ -216,6 +217,15 @@ class RunOptions:
     #: forked workers (heartbeats, restarts, the only way pure-Python
     #: engines scale past the GIL); ``"thread"`` — in-process threads.
     pool_backend: str = "process"
+    #: Trace payload transport for the process backend of
+    #: :func:`run_many`: ``"auto"`` (the default) packs each trace
+    #: once into parent-owned shared-memory segments and dispatches
+    #: only an arena descriptor — retries re-read instead of
+    #: re-pickling — degrading to the pickle-over-pipe path where the
+    #: platform lacks shared memory; ``"shm"``/``"pipe"`` force a
+    #: transport.  Thread/sequential execution ignores this (no
+    #: process boundary).
+    pool_transport: str = "auto"
     #: Per-trace wall-clock deadline in seconds for the process
     #: backend; a trace outliving it is killed and re-dispatched.
     trace_timeout: Optional[float] = None
@@ -251,6 +261,11 @@ class RunOptions:
             raise ValueError(
                 f"unknown pool backend {self.pool_backend!r}; expected"
                 f" one of {_POOL_BACKENDS}"
+            )
+        if self.pool_transport not in _POOL_TRANSPORTS:
+            raise ValueError(
+                f"unknown pool transport {self.pool_transport!r}; expected"
+                f" one of {_POOL_TRANSPORTS}"
             )
         if self.trace_timeout is not None and self.trace_timeout <= 0:
             raise ValueError(
@@ -709,11 +724,19 @@ def run_many(
         backend=options.pool_backend,
         retry=RetryPolicy(max_attempts=options.max_retries + 1),
         trace_timeout=options.trace_timeout,
+        transport=options.pool_transport,
     )
+
+    def _listed(source):
+        # Lazy pass-through: each trace is pulled (and materialized)
+        # exactly once, when the pool's backpressure window reaches it.
+        # The pool parses it once into its transport payload; retries
+        # reuse that payload and never re-iterate the source.
+        for trace in source:
+            yield trace if isinstance(trace, list) else list(trace)
+
     return pool.run_many(
-        [list(trace) for trace in traces]
-        if not isinstance(traces, list)
-        else traces,
+        traces if isinstance(traces, list) else _listed(traces),
         end_time=options.end_time,
         batch_size=options.batch_size,
         validate_inputs=options.validate_inputs,

@@ -39,6 +39,8 @@ def bench_metadata(
     pool_backend: Optional[str] = None,
     retries: Optional[int] = None,
     fault_injection: Optional[Dict[str, object]] = None,
+    transport: Optional[str] = None,
+    payload_bytes: Optional[Dict[str, int]] = None,
 ) -> Dict[str, object]:
     """The standard provenance block for benchmark JSON artifacts.
 
@@ -47,10 +49,13 @@ def bench_metadata(
 
     Pool benchmarks additionally stamp their execution conditions —
     ``pool_backend`` (which worker backend produced the numbers),
-    ``retries`` (supervision retries absorbed during the run) and
-    ``fault_injection`` (the chaos configuration, if any) — so a
-    BENCH artifact from a chaos run can never be mistaken for a clean
-    one.  These keys appear only when given.
+    ``retries`` (supervision retries absorbed during the run),
+    ``fault_injection`` (the chaos configuration, if any),
+    ``transport`` (the resolved trace data path: ``pipe``, ``shm`` or
+    ``inline``) and ``payload_bytes`` (bytes moved per data path, e.g.
+    ``{"shared": ..., "pickled": ...}``) — so a BENCH artifact from a
+    chaos run or a degraded transport can never be mistaken for a
+    clean one.  These keys appear only when given.
     """
     meta: Dict[str, object] = {
         "commit": _git_commit(cwd),
@@ -67,6 +72,10 @@ def bench_metadata(
         meta["retries"] = retries
     if fault_injection is not None:
         meta["fault_injection"] = fault_injection
+    if transport is not None:
+        meta["transport"] = transport
+    if payload_bytes is not None:
+        meta["payload_bytes"] = payload_bytes
     return meta
 
 

@@ -13,7 +13,8 @@ Subcommands over a textual specification file:
   (lines ``timestamp,stream,value``) and print outputs as CSV;
 * ``run-many`` — run the monitor over many independent CSV traces
   (``--traces a.csv b.csv ...``) on the supervised worker pool
-  (``--jobs``, ``--pool-backend process|thread``, ``--trace-timeout``,
+  (``--jobs``, ``--pool-backend process|thread``,
+  ``--pool-transport auto|shm|pipe``, ``--trace-timeout``,
   ``--max-retries``) and print outputs as ``trace,ts,stream,value``
   lines in submission order; quarantined traces warn on stderr, and a
   fail-fast abort is the usual one-line ``error:`` diagnostic naming
@@ -215,6 +216,7 @@ def _run_options(args) -> "api.RunOptions":
         jobs=args.jobs,
         partition=args.partition,
         pool_backend=args.pool_backend,
+        pool_transport=args.pool_transport,
         trace_timeout=args.trace_timeout,
         max_retries=args.max_retries,
     )
@@ -363,10 +365,12 @@ def _cmd_run(args, flat) -> int:
 def _cmd_run_many(args, flat) -> int:
     """The ``run-many`` subcommand: one spec, many traces, worker pool.
 
-    Reads every ``--traces`` CSV file, distributes them over the
-    supervised :class:`~repro.parallel.MonitorPool`
-    (``--jobs``/``--pool-backend``/``--trace-timeout``/
-    ``--max-retries``), and streams results in submission order as
+    Reads each ``--traces`` CSV file exactly once (lazily, under the
+    pool's backpressure window), distributes them over the supervised
+    :class:`~repro.parallel.MonitorPool`
+    (``--jobs``/``--pool-backend``/``--pool-transport``/
+    ``--trace-timeout``/``--max-retries``), and streams results in
+    submission order as
     ``trace,ts,stream,value`` CSV lines.  A quarantined trace prints a
     one-line ``warning:`` on stderr and the run keeps draining; under
     fail-fast (the default error policy) a poison trace aborts with the
@@ -376,7 +380,12 @@ def _cmd_run_many(args, flat) -> int:
         raise CliError("'run-many' requires --traces")
     monitor = api.compile(flat, _compile_options(args))
     run_options = _run_options(args)
-    traces = [_read_trace(path, flat) for path in args.traces]
+    # Lazy and parse-once: each CSV file is read when the pool's
+    # backpressure window reaches it, exactly once — the parsed trace
+    # lands in the pool's transport payload (shared-memory arena on
+    # the shm transport) and every retry re-reads that payload, never
+    # the file.
+    traces = (_read_trace(path, flat) for path in args.traces)
 
     handle = open(args.output, "w") if args.output else sys.stdout
 
@@ -734,6 +743,16 @@ def main(argv=None) -> int:
         help="for 'run-many': supervised forked workers (process, the"
         " default — scales pure-Python engines past the GIL) or"
         " in-process threads",
+    )
+    parser.add_argument(
+        "--pool-transport",
+        choices=["auto", "shm", "pipe"],
+        default="auto",
+        help="for 'run-many' (process backend): how trace payloads"
+        " reach the workers — shared-memory arena segments with"
+        " descriptor-only dispatch (shm; retries re-read instead of"
+        " re-pickling), pickled event lists per attempt (pipe), or"
+        " shm wherever the platform supports it (auto, the default)",
     )
     parser.add_argument(
         "--trace-timeout",

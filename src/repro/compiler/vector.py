@@ -1221,30 +1221,42 @@ class VectorMonitorBase(PlanMonitorBase):
         Eligible values computed by the columnar pass are bridged in by
         timestamp index; delay-generated timestamps carry no eligible
         events (eligibility is dependency-closed away from delays).
+
+        The bridge is *sparse*: instead of materializing every eligible
+        column as a full Python list per batch (paying O(batch length)
+        per bridged stream even when it rarely fires), each bridged
+        slot keeps only its firing positions and the values gathered at
+        those positions, walked by a cursor that advances monotonically
+        with ``column_index``.  The loop still visits every timestamp,
+        but conversion cost is proportional to firings.
         """
         prog = self.VPROG
         plan = self.PLAN
-        bridge = [
-            (slot, masks[vslot].tolist(), None if is_unit else cols[vslot].tolist())
-            for slot, vslot, is_unit in prog.bridge
-        ]
+        np = self.NP
+
+        def _sparse(vslot: int, is_unit: bool) -> Tuple[List[int], Any]:
+            positions = np.flatnonzero(masks[vslot])
+            gathered = (
+                None if is_unit else cols[vslot][positions].tolist()
+            )
+            return positions.tolist(), gathered
+
+        # Mutable entries: the last element is the cursor into positions.
+        bridge = []
+        for slot, vslot, is_unit in prog.bridge:
+            positions, gathered = _sparse(vslot, is_unit)
+            bridge.append([slot, positions, gathered, 0])
         outputs = []
         for name, slot, vslot, is_unit in prog.out_sched:
             if vslot is None:
-                outputs.append((name, slot, None, None))
+                outputs.append([name, slot, None, None, 0])
             else:
-                outputs.append(
-                    (
-                        name,
-                        slot,
-                        masks[vslot].tolist(),
-                        None if is_unit else cols[vslot].tolist(),
-                    )
-                )
-        vector_lasts = [
-            (cell, masks[vslot].tolist(), None if is_unit else cols[vslot].tolist())
-            for vslot, cell, is_unit in prog.last_vec
-        ]
+                positions, gathered = _sparse(vslot, is_unit)
+                outputs.append([name, slot, positions, gathered, 0])
+        vector_lasts = []
+        for vslot, cell, is_unit in prog.last_vec:
+            positions, gathered = _sparse(vslot, is_unit)
+            vector_lasts.append([cell, positions, gathered, 0])
         values = self._values
         cells = self._last_cells
         nxt = self._next_cells
@@ -1273,13 +1285,20 @@ class VectorMonitorBase(PlanMonitorBase):
                         value = row_values[name][column_index]
                         if value is not None:
                             values[slot] = value
-                for slot, mask_list, value_list in bridge:
-                    if mask_list[column_index]:
-                        values[slot] = (
+                for entry in bridge:
+                    positions = entry[1]
+                    cursor = entry[3]
+                    if (
+                        cursor < len(positions)
+                        and positions[cursor] == column_index
+                    ):
+                        gathered = entry[2]
+                        values[entry[0]] = (
                             UNIT_VALUE
-                            if value_list is None
-                            else value_list[column_index]
+                            if gathered is None
+                            else gathered[cursor]
                         )
+                        entry[3] = cursor + 1
             for opcode, dst, args, fn in prog.scalar_ops:
                 if opcode == OP_LIFT_ALL:
                     triggered = True
@@ -1314,26 +1333,42 @@ class VectorMonitorBase(PlanMonitorBase):
                 else:  # OP_DELAY
                     if nxt[args[0]] == ts:
                         values[dst] = UNIT_VALUE
-            for name, slot, mask_list, value_list in outputs:
-                if mask_list is None:
-                    value = values[slot]
+            for entry in outputs:
+                positions = entry[2]
+                if positions is None:
+                    value = values[entry[1]]
                     if value is not None:
-                        emit(name, ts, value)
-                elif column_index is not None and mask_list[column_index]:
-                    emit(
-                        name,
-                        ts,
-                        UNIT_VALUE
-                        if value_list is None
-                        else value_list[column_index],
-                    )
-            for cell, mask_list, value_list in vector_lasts:
-                if column_index is not None and mask_list[column_index]:
-                    cells[cell] = (
-                        UNIT_VALUE
-                        if value_list is None
-                        else value_list[column_index]
-                    )
+                        emit(entry[0], ts, value)
+                elif column_index is not None:
+                    cursor = entry[4]
+                    if (
+                        cursor < len(positions)
+                        and positions[cursor] == column_index
+                    ):
+                        gathered = entry[3]
+                        emit(
+                            entry[0],
+                            ts,
+                            UNIT_VALUE
+                            if gathered is None
+                            else gathered[cursor],
+                        )
+                        entry[4] = cursor + 1
+            for entry in vector_lasts:
+                if column_index is not None:
+                    positions = entry[1]
+                    cursor = entry[3]
+                    if (
+                        cursor < len(positions)
+                        and positions[cursor] == column_index
+                    ):
+                        gathered = entry[2]
+                        cells[entry[0]] = (
+                            UNIT_VALUE
+                            if gathered is None
+                            else gathered[cursor]
+                        )
+                        entry[3] = cursor + 1
             for slot, cell in prog.last_scalar:
                 value = values[slot]
                 if value is not None:

@@ -42,6 +42,9 @@ from typing import Any, Callable, Dict, Optional
 __all__ = [
     "DEFAULT_REGISTRY",
     "MetricsRegistry",
+    "POOL_ARENA_ATTACH",
+    "POOL_BYTES_PICKLED",
+    "POOL_BYTES_SHARED",
     "POOL_HEARTBEATS",
     "POOL_MISSED_HEARTBEATS",
     "POOL_QUARANTINED",
@@ -65,6 +68,13 @@ POOL_RESTARTS = "pool_worker_restarts"
 POOL_HEARTBEATS = "pool_heartbeats"
 POOL_MISSED_HEARTBEATS = "pool_missed_heartbeats"
 POOL_QUARANTINED = "pool_traces_quarantined"
+#: Shared-memory trace transport (:mod:`repro.parallel.shm`):
+#: payload bytes packed columnar into segments, payload bytes packed as
+#: pickled blobs (the fallback encoding), and worker arena attaches
+#: (one per dispatched attempt over the shm transport).
+POOL_BYTES_SHARED = "pool_bytes_shared"
+POOL_BYTES_PICKLED = "pool_bytes_pickled"
+POOL_ARENA_ATTACH = "pool_arena_attach"
 
 
 class StreamStats:

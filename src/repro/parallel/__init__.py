@@ -46,6 +46,7 @@ from .partition import (
 )
 from .partitioned import PartitionedRunner
 from .pool import MonitorPool, PoolError, PoolResult, TraceResult
+from .shm import ArenaDescriptor, TraceArena
 from .supervisor import (
     AttemptRecord,
     FaultPlan,
@@ -56,6 +57,7 @@ from .supervisor import (
 )
 
 __all__ = [
+    "ArenaDescriptor",
     "AttemptRecord",
     "FaultPlan",
     "Partition",
@@ -69,6 +71,7 @@ __all__ = [
     "RetryPolicy",
     "Supervisor",
     "SupervisorStats",
+    "TraceArena",
     "TraceResult",
     "partition_flatspec",
     "partition_spec",

@@ -85,6 +85,13 @@ Event = Tuple[int, str, Any]
 OutputEvent = Tuple[str, int, Any]
 
 BACKENDS = ("process", "thread")
+#: How trace payloads reach process workers: ``"shm"`` — packed once
+#: into parent-owned shared-memory segments, descriptor-only dispatch
+#: (see :mod:`repro.parallel.shm`); ``"pipe"`` — pickled event lists
+#: per attempt (the pre-arena behavior); ``"auto"`` — shm whenever the
+#: platform supports it.  Thread/sequential execution has no process
+#: boundary and always runs inline.
+TRANSPORTS = ("auto", "shm", "pipe")
 
 
 @dataclass
@@ -130,6 +137,10 @@ class PoolResult:
     backend: str = "sequential"
     #: Submission indexes of quarantined (poison) traces.
     quarantined: List[int] = field(default_factory=list)
+    #: How trace payloads reached the workers: ``"shm"``/``"pipe"`` on
+    #: the process backend, ``"inline"`` when no process boundary was
+    #: crossed (thread backend, sequential fallback).
+    transport: str = "inline"
 
     def outputs(self) -> List[List[OutputEvent]]:
         """Per-trace output lists, in submission order."""
@@ -200,6 +211,82 @@ def _run_one(
 
         report.metrics = diff_snapshots(before, registry.snapshot())
     return outputs, report
+
+
+def _run_one_columns(
+    compiled: Any,
+    timestamps: Any,
+    columns: Dict[str, Any],
+    options: _WorkerRunOptions,
+) -> Tuple[List[OutputEvent], RunReport]:
+    """Run one dense columnar block through ``feed_columns``.
+
+    The shm-transport twin of :func:`_run_one`: same output collection,
+    same metrics instrumentation, but the input is the arena's shared
+    timestamp/value arrays handed zero-copy to the runner (the vector
+    engine consumes them as views; scalar engines row-shim internally).
+    Outputs are byte-identical to the row path by the engine's
+    ``feed_columns`` contract, and for dense blocks the consumed-event
+    count equals the row count, so ``RunReport.events_in`` parity with
+    the pipe transport holds.
+    """
+    outputs: Optional[List[OutputEvent]] = None
+    on_output = None
+    if options.collect_outputs:
+        collected: List[OutputEvent] = []
+
+        def on_output(name: str, ts: int, value: Any) -> None:
+            collected.append((name, ts, freeze(value)))
+
+        outputs = collected
+
+    registry = None
+    before = None
+    if options.metrics:
+        compiled = _instrumented(compiled)
+        registry = compiled.metrics
+        before = registry.snapshot()
+    runner = MonitorRunner(
+        compiled, on_output, validate_inputs=options.validate_inputs
+    )
+    runner.feed_columns(timestamps, columns)
+    report = runner.finish(end_time=options.end_time)
+    if registry is not None:
+        from ..obs.metrics import diff_snapshots
+
+        report.metrics = diff_snapshots(before, registry.snapshot())
+    return outputs, report
+
+
+def _run_attached(
+    compiled: Any,
+    attached: Any,
+    options: _WorkerRunOptions,
+    prefix: bool = False,
+) -> Tuple[List[OutputEvent], RunReport]:
+    """Run one shm-attached trace (worker side of the shm transport).
+
+    Dense columnar payloads go through the ``feed_columns`` zero-copy
+    path; sparse/blob payloads reconstruct the exact original rows and
+    run through :func:`_run_one` unchanged.  ``prefix=True`` runs only
+    the first half (the chaos kill injector's mid-trace progress).
+    Input validation always takes the row path so error ordering
+    matches the pipe transport event for event.
+    """
+    block = None if options.validate_inputs else attached.dense_block()
+    if block is not None:
+        timestamps, columns = block
+        if prefix:
+            half = max(1, len(timestamps) // 2)
+            timestamps = timestamps[:half]
+            columns = {
+                name: column[:half] for name, column in columns.items()
+            }
+        return _run_one_columns(compiled, timestamps, columns, options)
+    events = attached.rows()
+    if prefix:
+        events = events[: max(1, len(events) // 2)]
+    return _run_one(compiled, events, options)
 
 
 def _attempt_trace(
@@ -277,6 +364,11 @@ class MonitorPool:
     fault_plan:
         A :class:`~repro.parallel.supervisor.FaultPlan` for
         deterministic chaos injection (process backend only).
+    transport:
+        How trace payloads reach process workers: ``"auto"`` (the
+        default — shared memory whenever the platform supports it),
+        ``"shm"`` or ``"pipe"``.  See :data:`TRANSPORTS` and
+        :mod:`repro.parallel.shm`.
     """
 
     def __init__(
@@ -292,10 +384,15 @@ class MonitorPool:
         heartbeat_interval: float = 0.1,
         heartbeat_timeout: Optional[float] = None,
         fault_plan: Optional[FaultPlan] = None,
+        transport: str = "auto",
     ) -> None:
         if backend not in BACKENDS:
             raise ValueError(
                 f"backend must be one of {BACKENDS}, got {backend!r}"
+            )
+        if transport not in TRANSPORTS:
+            raise ValueError(
+                f"transport must be one of {TRANSPORTS}, got {transport!r}"
             )
         self.jobs = max(1, int(jobs))
         self.max_in_flight = (
@@ -304,6 +401,7 @@ class MonitorPool:
             else 2 * self.jobs
         )
         self.backend = backend
+        self.transport = transport
         self.retry = retry if retry is not None else RetryPolicy()
         self.trace_timeout = trace_timeout
         self.heartbeat_interval = heartbeat_interval
@@ -381,12 +479,24 @@ class MonitorPool:
 
         return "fork" in multiprocessing.get_all_start_methods()
 
+    def _resolve_transport(self) -> str:
+        """The transport a supervised run will actually use."""
+        if self.transport == "pipe":
+            return "pipe"
+        from .shm import shm_available
+
+        # "auto" and "shm" both degrade cleanly when the platform has
+        # no shared_memory support; "shm" is a preference, not a
+        # hard requirement, so numpy-less and exotic hosts still run.
+        return "shm" if shm_available() else "pipe"
+
     @staticmethod
     def _finalize(
         results: List[TraceResult],
         workers: int,
         backend: str,
         stats: SupervisorStats,
+        transport: str = "inline",
     ) -> PoolResult:
         merged = RunReport()
         failures = 0
@@ -405,6 +515,7 @@ class MonitorPool:
             failures=failures,
             backend=backend,
             quarantined=sorted(stats.quarantined),
+            transport=transport,
         )
 
     def _fail_fast(self) -> bool:
@@ -516,6 +627,7 @@ class MonitorPool:
         on_result: Optional[Callable[[TraceResult], None]],
     ) -> PoolResult:
         """Process backend: forked workers under the Supervisor."""
+        transport = self._resolve_transport()
         supervisor = Supervisor(
             self._payload,
             self._options,
@@ -528,9 +640,12 @@ class MonitorPool:
             fault_plan=self.fault_plan,
             fail_fast=self._fail_fast(),
             max_in_flight=self.max_in_flight,
+            transport=transport,
         )
         ordered = supervisor.run(traces, on_result=on_result)
-        return self._finalize(ordered, self.jobs, "process", supervisor.stats)
+        return self._finalize(
+            ordered, self.jobs, "process", supervisor.stats, transport
+        )
 
 
 def run_many(
@@ -546,6 +661,7 @@ def run_many(
     heartbeat_interval: float = 0.1,
     heartbeat_timeout: Optional[float] = None,
     fault_plan: Optional[FaultPlan] = None,
+    transport: str = "auto",
     **run_kwargs: Any,
 ) -> PoolResult:
     """One-shot convenience around :class:`MonitorPool`."""
@@ -560,12 +676,14 @@ def run_many(
         heartbeat_interval=heartbeat_interval,
         heartbeat_timeout=heartbeat_timeout,
         fault_plan=fault_plan,
+        transport=transport,
     )
     return pool.run_many(traces, **run_kwargs)
 
 
 __all__ = [
     "BACKENDS",
+    "TRANSPORTS",
     "FaultPlan",
     "MonitorPool",
     "PoolError",

@@ -67,6 +67,7 @@ from typing import (
 from ..errors import PoolError
 from ..obs.metrics import (
     DEFAULT_REGISTRY,
+    POOL_ARENA_ATTACH,
     POOL_HEARTBEATS,
     POOL_MISSED_HEARTBEATS,
     POOL_QUARANTINED,
@@ -314,8 +315,16 @@ def _worker_main(
     in the unsupervised pool: text payloads compile through
     ``repro.api`` (hitting the text-keyed on-disk plan cache), compiled
     payloads are inherited through ``fork``.
+
+    A task's payload is either the event list itself (pipe transport)
+    or an :class:`~repro.parallel.shm.ArenaDescriptor` (shm transport)
+    — then the worker attaches the parent-owned segment read-only,
+    feeds it (zero-copy columns when dense and the engine allows,
+    exact reconstructed rows otherwise) and closes its mapping
+    afterwards; it never unlinks.
     """
-    from .pool import _run_one
+    from .pool import _run_attached, _run_one
+    from .shm import ArenaDescriptor, attach
 
     send_lock = threading.Lock()
 
@@ -349,25 +358,43 @@ def _worker_main(
             break
         if message[0] == "stop":
             break
-        _, index, attempt, events = message
+        _, index, attempt, payload = message
         send(("start", wid, index, attempt))
         heartbeat.begin(index, attempt)
         outputs = report = error = None
+        attached = None
         try:
-            _apply_fault(
-                fault_plan,
-                index,
-                attempt,
-                heartbeat,
-                lambda: _run_one(
-                    compiled,
-                    events[: max(1, len(events) // 2)],
-                    run_options,
-                ),
-            )
-            outputs, report = _run_one(compiled, events, run_options)
+            if isinstance(payload, ArenaDescriptor):
+                attached = attach(payload)
+
+                def run_prefix() -> Any:
+                    return _run_attached(
+                        compiled, attached, run_options, prefix=True
+                    )
+
+                def run_full() -> Any:
+                    return _run_attached(compiled, attached, run_options)
+
+            else:
+                events = payload
+
+                def run_prefix() -> Any:
+                    return _run_one(
+                        compiled,
+                        events[: max(1, len(events) // 2)],
+                        run_options,
+                    )
+
+                def run_full() -> Any:
+                    return _run_one(compiled, events, run_options)
+
+            _apply_fault(fault_plan, index, attempt, heartbeat, run_prefix)
+            outputs, report = run_full()
         except Exception as exc:  # noqa: BLE001 - crossing a process boundary
             error = f"{type(exc).__name__}: {exc}"
+        finally:
+            if attached is not None:
+                attached.close()
         heartbeat.end()
         send(("done", wid, index, attempt, outputs, report, error))
 
@@ -376,13 +403,28 @@ def _worker_main(
 
 
 class _Task:
-    """One trace's supervision state: events, attempts, backoff clock."""
+    """One trace's supervision state: payload, attempts, backoff clock.
 
-    __slots__ = ("index", "events", "attempts", "eligible_at", "resolved")
+    Under the shm transport ``descriptor`` replaces ``events`` once the
+    trace is packed into the arena: every (re-)dispatch sends the same
+    tiny descriptor and the parent drops its row copy.  ``events``
+    survives only on the pipe transport or when packing failed for this
+    trace (per-trace degrade).
+    """
+
+    __slots__ = (
+        "index",
+        "events",
+        "descriptor",
+        "attempts",
+        "eligible_at",
+        "resolved",
+    )
 
     def __init__(self, index: int, events: Sequence[Any]) -> None:
         self.index = index
-        self.events = list(events)
+        self.events: Optional[List[Any]] = list(events)
+        self.descriptor: Optional[Any] = None
         self.attempts: List[AttemptRecord] = []
         self.eligible_at = 0.0
         self.resolved = False
@@ -445,6 +487,7 @@ class Supervisor:
         fault_plan: Optional[FaultPlan] = None,
         fail_fast: bool = True,
         max_in_flight: Optional[int] = None,
+        transport: str = "pipe",
     ) -> None:
         self.payload = payload
         self.compile_options = compile_options
@@ -461,6 +504,11 @@ class Supervisor:
         )
         self.fault_plan = fault_plan
         self.fail_fast = fail_fast
+        if transport not in ("pipe", "shm"):
+            raise ValueError(
+                f"transport must be 'pipe' or 'shm', got {transport!r}"
+            )
+        self.transport = transport
         self.max_in_flight = (
             max(1, int(max_in_flight))
             if max_in_flight is not None
@@ -482,6 +530,17 @@ class Supervisor:
         from .pool import TraceResult
 
         ctx = multiprocessing.get_context("fork")
+        arena = None
+        if self.transport == "shm":
+            from .shm import TraceArena
+
+            arena = TraceArena()
+        # Input validation reports errors in original row order; the
+        # columnar encoding canonicalizes within-timestamp order, so
+        # validated runs pack the exact rows (blob encoding) instead.
+        allow_columnar = not getattr(
+            self.run_options, "validate_inputs", False
+        )
         trace_iter = iter(enumerate(traces))
         tasks: Dict[int, _Task] = {}
         pending: deque = deque()
@@ -529,6 +588,11 @@ class Supervisor:
                 pending.remove(task.index)
             except ValueError:
                 pass
+            if arena is not None:
+                # The lease chain for this trace is over (success or
+                # quarantine): drop the segment exactly once.  Late
+                # duplicate results hit the idempotent no-op path.
+                arena.release(task.index)
             results[task.index] = result
             deliver()
 
@@ -705,6 +769,20 @@ class Supervisor:
                     state["input_done"] = True
                     return
                 task = _Task(index, events)
+                if arena is not None:
+                    # Pack once; retries re-send the descriptor and
+                    # re-read the same segment.  A pack failure (e.g.
+                    # /dev/shm exhaustion) degrades this one trace to
+                    # the pipe payload.
+                    try:
+                        task.descriptor = arena.pack(
+                            index,
+                            task.events,
+                            allow_columnar=allow_columnar,
+                        )
+                        task.events = None
+                    except Exception:  # noqa: BLE001 - per-trace degrade
+                        task.descriptor = None
                 tasks[index] = task
                 pending.append(index)
 
@@ -729,9 +807,14 @@ class Supervisor:
                 if index is None:
                     return
                 task = tasks[index]
+                payload = (
+                    task.descriptor
+                    if task.descriptor is not None
+                    else task.events
+                )
                 try:
                     handle.conn.send(
-                        ("task", index, task.next_attempt, task.events)
+                        ("task", index, task.next_attempt, payload)
                     )
                 except (OSError, ValueError, BrokenPipeError):
                     pending.appendleft(index)
@@ -742,6 +825,11 @@ class Supervisor:
                 handle.lease_started = now
                 handle.last_heartbeat = now
                 DEFAULT_REGISTRY.inc(POOL_TASKS)
+                if task.descriptor is not None:
+                    # One descriptor dispatch == one worker attach;
+                    # counted here because worker registries are
+                    # process-local and die with the fork.
+                    DEFAULT_REGISTRY.inc(POOL_ARENA_ATTACH)
 
         def check_leases(now: float) -> None:
             for handle in list(workers.values()):
@@ -816,6 +904,13 @@ class Supervisor:
         except BaseException:
             self._shutdown(workers, graceful=False)
             raise
+        finally:
+            # Exactly-once unlink for whatever the run still owns: on
+            # the normal path every segment was already released at
+            # resolution (no-op); on abort/kill paths the workers are
+            # dead by now and the leftover segments go here.
+            if arena is not None:
+                arena.close_all()
         self._shutdown(workers, graceful=True)
         return ordered
 

@@ -344,3 +344,109 @@ class TestMetrics:
         assert run_batches(metered, [events]) == run_batches(
             plain, [events]
         )
+
+
+SPARSE_BRIDGE = """
+in a: Int
+in b: Int
+def agg := count(a)
+def mix := add(a, b)
+out agg
+out mix
+"""
+
+HYBRID_LAST = """
+in a: Int
+in t: Unit
+def dbl := add(a, a)
+def agg := count(t)
+def prev := last(a, t)
+out dbl
+out agg
+out prev
+"""
+
+HYBRID_DELAY = """
+in a: Int
+in r: Unit
+def d := delay(a, r)
+def t := time(d)
+def dbl := add(a, a)
+out t
+out dbl
+"""
+
+
+class TestHybridSparseBridge:
+    """The hybrid loop's bridge is cursor-walked over firing positions
+    only — conversion cost scales with firings, not batch length.  The
+    observable contract stays byte-identical to the plan engine."""
+
+    def _sparse_events(self, n=240):
+        # `a` (the bridged stream) fires on ~1/5 of timestamps; `b`
+        # fires on all of them — the bridge cursor must skip quiet rows.
+        events = []
+        for t in range(1, n + 1):
+            if t % 5 == 0:
+                events.append((t, "a", (t * 7) % 11))
+            events.append((t, "b", t % 9))
+        return events
+
+    @pytest.mark.parametrize("split", [1, 3, 17, 240])
+    def test_sparse_bridge_differential(self, split):
+        vec, plan = compile_pair(SPARSE_BRIDGE)
+        prog = vec.monitor_class.VPROG
+        assert prog is not None and not prog.pure
+        assert prog.bridge, "spec must exercise the eligible->scalar bridge"
+        events = self._sparse_events()
+        batches = [
+            events[i : i + split] for i in range(0, len(events), split)
+        ]
+        assert run_batches(vec, batches) == run_batches(plan, [events])
+
+    @pytest.mark.parametrize("split", [2, 11, 120])
+    def test_vector_last_cells_differential(self, split):
+        vec, plan = compile_pair(HYBRID_LAST)
+        prog = vec.monitor_class.VPROG
+        assert prog is not None and prog.last_vec and prog.bridge
+        events = []
+        for t in range(1, 121):
+            if t % 3 == 0:
+                events.append((t, "a", t * 2))
+            if t % 4 == 0:
+                events.append((t, "t", ()))
+        batches = [
+            events[i : i + split] for i in range(0, len(events), split)
+        ]
+        assert run_batches(vec, batches) == run_batches(plan, [events])
+
+    @pytest.mark.parametrize("split", [1, 5, 60])
+    def test_delay_timestamps_do_not_advance_cursors(self, split):
+        # Delay-generated timestamps have no column index; the bridge,
+        # output and last-cell cursors must hold still across them.
+        vec, plan = compile_pair(HYBRID_DELAY)
+        prog = vec.monitor_class.VPROG
+        assert prog is not None and prog.bridge
+        events = []
+        t = 1
+        for k in range(60):
+            events.append((t, "a", k % 9 + 1))
+            if k % 4 == 0:
+                events.append((t, "r", ()))
+            t += 3
+        batches = [
+            events[i : i + split] for i in range(0, len(events), split)
+        ]
+        assert run_batches(vec, batches, end_time=t + 10) == run_batches(
+            plan, [events], end_time=t + 10
+        )
+
+    def test_all_firing_rows_bridge(self):
+        # Dense case: every timestamp fires every stream; the cursors
+        # advance in lock-step with the column index.
+        vec, plan = compile_pair(SPARSE_BRIDGE)
+        events = []
+        for t in range(1, 101):
+            events.append((t, "a", t))
+            events.append((t, "b", t + 4))
+        assert run_batches(vec, [events]) == run_batches(plan, [events])

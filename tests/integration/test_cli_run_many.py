@@ -289,3 +289,71 @@ class TestFailFastDiagnostic:
         assert warnings[0].startswith("warning: trace 1")
         assert "quarantined after 2 attempts" in warnings[0]
         assert "timeout" in warnings[0]
+
+
+class TestParseOnce:
+    def test_each_trace_file_is_read_exactly_once(
+        self, tmp_path, loop_spec, capsys, monkeypatch
+    ):
+        # Trace 1 wedges its worker until the per-trace deadline kills
+        # it; the supervisor re-dispatches it once before quarantining.
+        # Every re-dispatch must reuse the already-parsed payload — the
+        # CSV file is read exactly once per trace regardless of attempt
+        # count.
+        import repro.cli as cli
+
+        calls = []
+        original = cli._read_trace
+
+        def counting(path, flat):
+            calls.append(path)
+            return original(path, flat)
+
+        monkeypatch.setattr(cli, "_read_trace", counting)
+        traces = write_traces(
+            tmp_path, "a", [[(1, 5)], [(1, 0)], [(1, 3)]]
+        )
+        rc = main(
+            [
+                "run-many",
+                loop_spec,
+                "--traces",
+                *traces,
+                "--jobs",
+                "2",
+                "--max-retries",
+                "1",
+                "--trace-timeout",
+                "0.3",
+                "--error-policy",
+                "propagate",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0, captured.err
+        # The retry path ran (two attempts on the wedged trace) ...
+        assert "quarantined after 2 attempts" in captured.err
+        # ... and still, one parse per file.
+        assert sorted(calls) == sorted(traces)
+
+    @pytest.mark.parametrize("transport", ["pipe", "shm", "auto"])
+    def test_pool_transport_flag_accepted(
+        self, tmp_path, seen_spec, capsys, transport
+    ):
+        traces = write_traces(tmp_path, "i", [[(1, 3), (2, 3)]])
+        rc = main(
+            [
+                "run-many",
+                seen_spec,
+                "--traces",
+                *traces,
+                "--jobs",
+                "2",
+                "--pool-transport",
+                transport,
+            ]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert captured.err == ""
+        assert "0,2,s,True" in captured.out
