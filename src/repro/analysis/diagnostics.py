@@ -85,6 +85,9 @@ CATALOG: Dict[str, Any] = {
     "OPT007": ("rewrite rejected by mutable-share guard", Severity.NOTE),
     "VEC001": ("vector-ineligible family (plan fallback)", Severity.NOTE),
     "VEC002": ("vector engine unavailable (numpy missing)", Severity.NOTE),
+    "WIN001": ("window aggregate on the O(1) delta path", Severity.NOTE),
+    "WIN002": ("window aggregate recomputed by fold", Severity.NOTE),
+    "WIN003": ("window parameter conflict", Severity.WARNING),
 }
 
 
@@ -280,6 +283,63 @@ def mutability_diagnostics(result: MutabilityResult) -> List[Diagnostic]:
     return diags
 
 
+def window_diagnostics(flat: FlatSpec) -> List[Diagnostic]:
+    """Eligibility notes for specs built by the windowing macros.
+
+    Reads the ``window_info`` metadata the macros attach (and flattening
+    carries over): which streams maintain the aggregate by O(1) deltas
+    (WIN001) vs. O(window) fold recomputation (WIN002), plus parameter
+    combinations the macro ignored (WIN003).
+    """
+    info = getattr(flat, "window_info", None)
+    if not info:
+        return []
+    diags: List[Diagnostic] = []
+    describe = info.get("describe", info.get("kind", "window"))
+    aggregate = info.get("aggregate", "?")
+    for stream in info.get("delta_streams", ()):
+        diags.append(
+            Diagnostic(
+                code="WIN001",
+                severity=Severity.NOTE,
+                stream=stream,
+                message=(
+                    f"{describe} {aggregate}: invertible aggregate maintained"
+                    " by delta updates (add new, subtract expired)"
+                ),
+                source="window",
+                witness={"rule": "delta-path", "aggregate": aggregate},
+            )
+        )
+    for stream in info.get("fold_streams", ()):
+        diags.append(
+            Diagnostic(
+                code="WIN002",
+                severity=Severity.NOTE,
+                stream=stream,
+                message=(
+                    f"{describe} {aggregate}: no inverse — recomputed by"
+                    " folding over the window contents"
+                ),
+                source="window",
+                witness={"rule": "fold-fallback", "aggregate": aggregate},
+            )
+        )
+    output = info.get("output", "win")
+    for conflict in info.get("conflicts", ()):
+        diags.append(
+            Diagnostic(
+                code="WIN003",
+                severity=Severity.WARNING,
+                stream=output,
+                message=f"{describe}: {conflict}",
+                source="window",
+                witness={"rule": "parameter-conflict"},
+            )
+        )
+    return diags
+
+
 def collect_diagnostics(
     flat: FlatSpec, result: Optional[MutabilityResult] = None
 ) -> List[Diagnostic]:
@@ -288,6 +348,7 @@ def collect_diagnostics(
         result = analyze_mutability(flat)
     diags = [lint_diagnostic(w) for w in lint(flat)]
     diags.extend(mutability_diagnostics(result))
+    diags.extend(window_diagnostics(flat))
     return sorted(diags, key=lambda d: (d.code, d.stream, d.message))
 
 

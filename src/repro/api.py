@@ -497,6 +497,7 @@ def run(
     on_output: Optional[Callable[[str, int, Any], None]] = None,
     on_checkpoint: Optional[Callable[[], None]] = None,
     on_resume: Optional[Callable[[Optional[Dict[str, Any]]], None]] = None,
+    checkpoint_gate: Optional[Callable[[], bool]] = None,
 ) -> RunReport:
     """Run a compiled monitor over *events*; return the run report.
 
@@ -511,6 +512,14 @@ def run(
     event is fed — ``meta`` is the checkpoint metadata (``None`` when
     no valid checkpoint existed) and the caller must rewind its output
     sink to ``meta["outputs_emitted"]`` records.
+    ``checkpoint_gate()`` is consulted before every checkpoint write;
+    return ``False`` to suppress the write.  Callers that feed from
+    their own :class:`~repro.semantics.traceio.TolerantReader` should
+    pass ``lambda: not reader.draining`` so checkpoints stop once the
+    reader's end-of-input drain starts delivering events in positions
+    a re-read of the full input would not reproduce.  When *options*
+    configure a tolerant reader internally, that gate is applied
+    automatically and composed with any caller-supplied one.
     """
     options = options or RunOptions()
     compiled = monitor.compiled if isinstance(monitor, Monitor) else monitor
@@ -530,11 +539,24 @@ def run(
         compiled, registry = _instrumented_for(monitor, compiled)
         before = registry.snapshot()
 
+    event_iter, stats, reader = _ingest(compiled, events, options)
+    gate = checkpoint_gate
+    if reader is not None:
+        # Drained deliveries are not replay-stable; stop checkpointing
+        # once the reader's end-of-input drain begins (see
+        # MonitorRunner's checkpoint_gate docs).
+        user_gate = gate
+        if user_gate is None:
+            gate = lambda: not reader.draining  # noqa: E731
+        else:
+            gate = lambda: not reader.draining and user_gate()  # noqa: E731
+
     runner_kwargs: Dict[str, Any] = {
         "validate_inputs": options.validate_inputs,
         "checkpoint_every": options.checkpoint_every,
         "checkpoint_keep": options.checkpoint_keep,
         "on_checkpoint": on_checkpoint,
+        "checkpoint_gate": gate,
     }
     meta: Optional[Dict[str, Any]] = None
     if options.resume:
@@ -555,8 +577,6 @@ def run(
             **runner_kwargs,
         )
 
-    event_iter, stats = _ingest(compiled, events, options)
-
     if options.resume:
         runner.feed_from_start(event_iter)
     elif options.batch_size is not None:
@@ -570,8 +590,16 @@ def run(
     if stats is not None:
         report.absorb_ingest(stats)
     if registry is not None:
-        from .obs.metrics import diff_snapshots
+        from .obs.metrics import WINDOW_LATE_DROPS, diff_snapshots
 
+        if (
+            stats is not None
+            and stats.out_of_order_dropped
+            and getattr(compiled.flat, "window_info", None)
+        ):
+            # Windowed specs observe late data as reorder-buffer drops:
+            # events later than the skew bound never reach their window.
+            registry.inc(WINDOW_LATE_DROPS, stats.out_of_order_dropped)
         report.metrics = diff_snapshots(before, registry.snapshot())
     return report
 
@@ -599,9 +627,15 @@ def _instrumented_for(
 
 
 def _ingest(compiled, events, options):
-    """Normalize run input, wrapping the tolerant reader if configured."""
+    """Normalize run input, wrapping the tolerant reader if configured.
+
+    Returns ``(event_iter, stats, reader)``; *stats* and *reader* are
+    ``None`` when no tolerant policy is configured.  The reader handle
+    is exposed so callers can gate checkpoints on ``reader.draining``.
+    """
     event_iter = _as_event_iter(events)
     stats = None
+    reader = None
     if options.tolerant:
         from .semantics.traceio import IngestPolicy, TolerantReader
 
@@ -616,7 +650,7 @@ def _ingest(compiled, events, options):
         )
         stats = reader.stats
         event_iter = reader.events(event_iter, lambda item: item)
-    return event_iter, stats
+    return event_iter, stats, reader
 
 
 def _partitioned_run(
@@ -670,7 +704,7 @@ def _partitioned_run(
         jobs=options.jobs,
         validate_inputs=options.validate_inputs,
     )
-    event_iter, stats = _ingest(compiled, events, options)
+    event_iter, stats, _reader = _ingest(compiled, events, options)
     runner.feed(event_iter, batch_size=options.batch_size)
     report = runner.finish(end_time=options.end_time)
     if stats is not None:

@@ -230,7 +230,7 @@ def _cmd_run(args, flat) -> int:
         TolerantReader,
         TraceError,
         format_value,
-        iter_trace_events,
+        parse_line,
         read_trace,
     )
 
@@ -255,6 +255,22 @@ def _cmd_run(args, flat) -> int:
         on_out_of_order=args.on_out_of_order,
         max_skew=args.max_skew,
     )
+    # The reader handle, when a tolerant reader feeds this run: the
+    # checkpoint gate below stops checkpoint writes once the reader's
+    # end-of-input drain starts (drained deliveries are not
+    # replay-stable, so a checkpoint taken then could not be resumed
+    # against a re-read of the trace).
+    reader_box = {"reader": None}
+
+    def tolerant_reader():
+        reader = TolerantReader(policy, known_streams=flat.inputs)
+        reader.stats = stats
+        reader_box["reader"] = reader
+        return reader
+
+    def checkpoint_gate():
+        reader = reader_box["reader"]
+        return reader is None or not reader.draining
 
     if args.format == "tessla":
         def render(name, ts, value):
@@ -262,11 +278,9 @@ def _cmd_run(args, flat) -> int:
 
         def load_events():
             if tolerant:
-                return iter_trace_events(
-                    open(args.trace),
-                    policy,
-                    known_streams=flat.inputs,
-                    stats=stats,
+                return tolerant_reader().events(
+                    enumerate(open(args.trace), 1),
+                    lambda item: parse_line(item[1], item[0]),
                 )
             # strict batch semantics: the text may list events in any
             # order; everything is read, validated, and sorted up front
@@ -290,9 +304,7 @@ def _cmd_run(args, flat) -> int:
 
         def load_events():
             if tolerant:
-                reader = TolerantReader(policy, known_streams=flat.inputs)
-                reader.stats = stats
-                return reader.events(
+                return tolerant_reader().events(
                     enumerate(open(args.trace), 1),
                     lambda item: _parse_csv_line(
                         item[1], item[0], flat, args.trace
@@ -352,6 +364,7 @@ def _cmd_run(args, flat) -> int:
             on_output=emit,
             on_checkpoint=make_outputs_durable,
             on_resume=rewind_outputs,
+            checkpoint_gate=checkpoint_gate,
         )
     finally:
         if out_handle is not None:
@@ -531,6 +544,46 @@ def _cmd_profile(args, flat) -> int:
     return 0
 
 
+def _cmd_windows(args) -> int:
+    """The ``windows`` subcommand: print the aggregate eligibility table.
+
+    One row per supported window aggregate: whether it rides the O(1)
+    delta path or the O(window) fold fallback, the per-window state the
+    lowering keeps, and the diagnostic code a compiled spec reports
+    (WIN001 delta / WIN002 fold).  ``--json`` emits the rows as a JSON
+    array.
+    """
+    from .lang.windows import eligibility_table
+
+    rows = eligibility_table()
+    if args.json:
+        import json as json_mod
+
+        print(
+            json_mod.dumps(
+                [
+                    {
+                        "aggregate": agg,
+                        "path": path,
+                        "state": state,
+                        "diagnostic": code,
+                    }
+                    for agg, path, state, code in rows
+                ],
+                indent=2,
+            )
+        )
+        return 0
+    header = ("aggregate", "path", "state", "diagnostic")
+    table = [header] + [tuple(row) for row in rows]
+    widths = [max(len(r[i]) for r in table) for i in range(len(header))]
+    for index, row in enumerate(table):
+        print("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        if index == 0:
+            print("  ".join("-" * w for w in widths))
+    return 0
+
+
 def _cmd_optimize(args, flat) -> int:
     """The ``optimize`` subcommand: run the rewrite pass, show its work.
 
@@ -647,9 +700,13 @@ def main(argv=None) -> int:
             "run-many",
             "profile",
             "optimize",
+            "windows",
         ],
     )
-    parser.add_argument("spec", help="path to the specification file")
+    parser.add_argument(
+        "spec",
+        help="path to the specification file (not used by 'windows')",
+    )
     parser.add_argument(
         "--trace", help="CSV event trace (required for 'run')"
     )
@@ -848,6 +905,14 @@ def main(argv=None) -> int:
         help="runtime sanitizer: guard mutable aggregates against"
         " stale-reference access",
     )
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    if argv[:1] == ["windows"]:
+        # 'windows' prints the static aggregate table and takes no spec
+        # file; satisfy the positional so argparse keeps rejecting a
+        # missing spec on every other command.
+        argv.insert(1, "-")
     args = parser.parse_args(argv)
 
     if args.engine is not None and args.command in _ENGINELESS_COMMANDS:
@@ -860,6 +925,9 @@ def main(argv=None) -> int:
             " repro.api.CompileOptions(engine=...) on commands that"
             " execute a monitor ('run', 'run-many', 'profile', 'emit')",
         )
+
+    if args.command == "windows":
+        return _cmd_windows(args)
 
     try:
         with open(args.spec) as handle:

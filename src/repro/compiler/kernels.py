@@ -118,6 +118,39 @@ def kernel_for(name: str) -> Optional[Kernel]:
     return KERNELS.get(name)
 
 
+# ---------------------------------------------------------------------------
+# Prefix scans
+#
+# Self-recursive running aggregates (``s = merge(op(last(s, x), x), x)``)
+# execute a whole batch as one seeded ``ufunc.accumulate`` instead of the
+# scalar feedback loop.  ``accumulate`` folds strictly left-to-right
+# (``r[i] = op(r[i-1], a[i])``), exactly the order the per-event loop
+# uses, so results match bit-for-bit — for float addition/multiplication
+# too.  ``max``/``min`` are restricted to int64 columns: their scalar
+# kernels are ``np.where`` comparisons whose NaN behaviour differs from
+# ``np.maximum``/``np.minimum``.
+
+#: builtin name → (numpy ufunc name, allowed column dtypes)
+SCAN_UFUNCS: Dict[str, Tuple[str, Tuple[str, ...]]] = {
+    "add": ("add", ("int64",)),
+    "fadd": ("add", ("float64",)),
+    "mul": ("multiply", ("int64",)),
+    "fmul": ("multiply", ("float64",)),
+    "max": ("maximum", ("int64",)),
+    "min": ("minimum", ("int64",)),
+}
+
+
+def scan_ufunc_for(name: str, dtype_name: str) -> Optional[str]:
+    """Numpy ufunc name for a scan over *name*, or ``None`` if the
+    builtin has no order-exact accumulate on that column dtype."""
+    entry = SCAN_UFUNCS.get(name)
+    if entry is None:
+        return None
+    ufunc_name, dtypes = entry
+    return ufunc_name if dtype_name in dtypes else None
+
+
 # Integer arithmetic ---------------------------------------------------------
 
 

@@ -60,6 +60,63 @@ def freeze(value: Any) -> Any:
     return value
 
 
+def validate_columns(
+    ts_list: List[int],
+    columns: Mapping[str, Any],
+    inputs: Iterable[str],
+    done_ts: int,
+) -> Dict[str, list]:
+    """Eagerly validate a columnar batch; return row-converted columns.
+
+    One validation pass shared by every ``feed_columns`` entry point
+    (the base row shim, the runner's validating row conversion), with
+    checks and messages matching the vector engine's eager columnar
+    validation exactly — so rejecting a bad batch is byte-identical
+    across engines and never makes partial progress.  Raises
+    :class:`MonitorError`; the (possibly empty) ``ts_list`` itself is
+    only checked when non-empty, mirroring the vector path.
+    """
+    converted: Dict[str, list] = {}
+    input_set = set(inputs)
+    for name, column in columns.items():
+        if name not in input_set:
+            raise MonitorError(f"unknown input stream {name!r}")
+        values = (
+            column.tolist() if hasattr(column, "tolist") else list(column)
+        )
+        if len(values) != len(ts_list):
+            raise MonitorError(
+                f"column {name!r} has {len(values)} values for"
+                f" {len(ts_list)} timestamps"
+            )
+        # Dense semantics: a hole is not expressible as None (that is
+        # the no-event value).  Numeric numpy columns cannot hold None,
+        # so scanning the row-converted values matches the vector
+        # engine's object-dtype scan.
+        if any(value is None for value in values):
+            raise MonitorError(
+                "None is the no-event value; not a valid payload"
+            )
+        converted[name] = values
+    if not ts_list:
+        return converted
+    if ts_list[0] < 0:
+        raise MonitorError(f"negative timestamp {ts_list[0]}")
+    if ts_list[0] <= done_ts:
+        raise MonitorError(
+            f"event at t={ts_list[0]} arrived after t={done_ts}"
+            " was calculated"
+        )
+    prev = ts_list[0]
+    for ts in ts_list[1:]:
+        if ts <= prev:
+            raise MonitorError(
+                "feed_columns() timestamps must be strictly increasing"
+            )
+        prev = ts
+    return converted
+
+
 class MonitorBase:
     """Base class of all generated monitors."""
 
@@ -236,19 +293,11 @@ class MonitorBase:
             if hasattr(timestamps, "tolist")
             else list(timestamps)
         )
-        converted: Dict[str, list] = {}
-        for name, column in columns.items():
-            if name not in self.INPUTS:
-                raise MonitorError(f"unknown input stream {name!r}")
-            values = (
-                column.tolist() if hasattr(column, "tolist") else list(column)
-            )
-            if len(values) != len(ts_list):
-                raise MonitorError(
-                    f"column {name!r} has {len(values)} values for"
-                    f" {len(ts_list)} timestamps"
-                )
-            converted[name] = values
+        converted = validate_columns(
+            ts_list, columns, self.INPUTS, self._done_ts
+        )
+        if not ts_list:
+            return 0
         names = [n for n in self.INPUTS if n in converted]
         events = []
         append = events.append

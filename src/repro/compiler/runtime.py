@@ -38,7 +38,7 @@ from ..obs.trace import TRACER
 from ..structures.guard import AliasGuardError
 from ..structures.interface import MapBase, QueueBase, SetBase, VectorBase
 from .checkpoint import CheckpointManager, spec_fingerprint
-from .monitor import MonitorError
+from .monitor import MonitorError, validate_columns
 
 
 @dataclass
@@ -357,6 +357,7 @@ class MonitorRunner:
         checkpoint_every: int = 1000,
         checkpoint_keep: int = 3,
         on_checkpoint: Optional[Callable[[], None]] = None,
+        checkpoint_gate: Optional[Callable[[], bool]] = None,
         report: Optional[RunReport] = None,
     ) -> None:
         self.compiled = compiled
@@ -385,6 +386,15 @@ class MonitorRunner:
         #: sink must flush here, or a hard kill can leave the file
         #: behind the watermark and resume past a hole.
         self._pre_checkpoint = on_checkpoint or (lambda: None)
+        #: Consulted before every checkpoint write.  Resume replays the
+        #: original trace from offset ``events_consumed``, so a
+        #: checkpoint is only sound while the delivery order seen so
+        #: far is a prefix of what a fresh read of the full input would
+        #: deliver.  A tolerant reader's end-of-input drain breaks that
+        #: (buffered events flush early, in positions a longer read
+        #: would never produce), so ingestion passes a gate that turns
+        #: False once draining begins.
+        self._checkpoint_gate = checkpoint_gate or (lambda: True)
         self._manager: Optional[CheckpointManager] = None
         if checkpoint_dir is not None:
             # Prefer the full plan fingerprint (spec content + every
@@ -512,8 +522,10 @@ class MonitorRunner:
         self.report.events_in += consumed + dropped
         self.events_consumed += consumed + dropped
         self.report.batches += 1
-        if self._manager is not None and self._manager.due_since(
-            before, self.events_consumed
+        if (
+            self._manager is not None
+            and self._manager.due_since(before, self.events_consumed)
+            and self._checkpoint_gate()
         ):
             self._pre_checkpoint()
             self._manager.write(
@@ -539,20 +551,14 @@ class MonitorRunner:
                 if hasattr(timestamps, "tolist")
                 else list(timestamps)
             )
-            converted = {}
-            for name, column in columns.items():
-                if name not in inputs:
-                    raise MonitorError(f"unknown input stream {name!r}")
-                converted[name] = (
-                    column.tolist()
-                    if hasattr(column, "tolist")
-                    else list(column)
-                )
-                if len(converted[name]) != len(ts_list):
-                    raise MonitorError(
-                        f"column {name!r} has {len(converted[name])} values"
-                        f" for {len(ts_list)} timestamps"
-                    )
+            converted = validate_columns(
+                ts_list,
+                columns,
+                inputs,
+                getattr(self.monitor, "_done_ts", -1),
+            )
+            if not ts_list:
+                return 0
             names = [n for n in inputs if n in converted]
             events = [
                 (ts, name, converted[name][index])
@@ -619,8 +625,13 @@ class MonitorRunner:
     # -- checkpointing ---------------------------------------------------
 
     def checkpoint(self) -> Optional[str]:
-        """Force a durable checkpoint now (no-op without a directory)."""
-        if self._manager is None:
+        """Force a durable checkpoint now (no-op without a directory).
+
+        Also a no-op while the checkpoint gate is closed: a forced
+        checkpoint of non-replayable progress would be just as unsound
+        as a cadence one.
+        """
+        if self._manager is None or not self._checkpoint_gate():
             return None
         self._pre_checkpoint()
         path = self._manager.write(
@@ -630,8 +641,10 @@ class MonitorRunner:
         return path
 
     def _maybe_checkpoint(self) -> None:
-        if self._manager is not None and self._manager.due(
-            self.events_consumed
+        if (
+            self._manager is not None
+            and self._manager.due(self.events_consumed)
+            and self._checkpoint_gate()
         ):
             self._pre_checkpoint()
             self._manager.write(

@@ -110,6 +110,10 @@ class VectorClassification:
     reasons: Mapping[str, str]
     numpy_ok: bool
     error_mode: bool
+    #: Recognized running-aggregate feedback triples, executed as one
+    #: seeded prefix scan each: ``(h, k, s, x, op_name, ufunc, dtype)``
+    #: for ``h = last(s, x); k = op(h, x); s = merge(k, x)``.
+    scans: Tuple[Tuple[str, str, str, str, str, str, str], ...] = ()
 
     @property
     def auto_engine(self) -> str:
@@ -212,6 +216,68 @@ def _local_reason(flat: FlatSpec, name: str) -> Optional[str]:
     return None
 
 
+def _find_scan_triple(
+    flat: FlatSpec,
+    remaining: Sequence[str],
+    reasons: Mapping[str, str],
+    placed: Set[str],
+) -> Optional[Tuple[str, str, str, str, str, str, str]]:
+    """Find one running-aggregate feedback triple among *remaining*.
+
+    The shape is the self-seeded accumulator the spec library lowers
+    ``running_aggregate`` to::
+
+        h = last(s, x)          # previous total (absent on first event)
+        k = op(h, x)            # combine — add/fadd/mul/fmul/max/min
+        s = merge(k, x)         # seeded by the first event itself
+
+    which is exactly ``op.accumulate`` over the batch's ``x`` column,
+    seeded by the cross-batch last cell of ``s``.  Every member of the
+    table is commutative, so ``op(h, x)`` and ``op(x, h)`` both match;
+    ``merge`` argument order is significant (``merge(x, k)`` would shadow
+    the accumulator) and must be ``merge(k, x)``.
+    """
+    defined = flat.definitions
+    pending = set(remaining)
+    for s in remaining:
+        expr = defined[s]
+        if not isinstance(expr, Lift) or expr.func.name != "merge":
+            continue
+        k, x = (arg.name for arg in expr.args)
+        if k not in pending or x == k:
+            continue
+        if x in reasons or (x in defined and x not in placed):
+            continue
+        k_expr = defined.get(k)
+        if not isinstance(k_expr, Lift) or len(k_expr.args) != 2:
+            continue
+        func = k_expr.func
+        if REGISTRY.get(func.name) is not func:
+            continue
+        if func.pattern is not EventPattern.ALL:
+            continue
+        dtype_name = kernels.dtype_name_for(flat.types[s])
+        if dtype_name is None:
+            continue
+        ufunc_name = kernels.scan_ufunc_for(func.name, dtype_name)
+        if ufunc_name is None:
+            continue
+        a, b = (arg.name for arg in k_expr.args)
+        h = b if a == x else (a if b == x else None)
+        if h is None or h == x or h not in pending:
+            continue
+        h_expr = defined.get(h)
+        if not isinstance(h_expr, Last):
+            continue
+        if h_expr.value.name != s or h_expr.trigger.name != x:
+            continue
+        if not (flat.types[h] == flat.types[k] == flat.types[s]
+                == flat.types[x]):
+            continue
+        return (h, k, s, x, func.name, ufunc_name, dtype_name)
+    return None
+
+
 def classify_vector(
     flat: FlatSpec,
     *,
@@ -236,7 +302,10 @@ def classify_vector(
     # Dependency-closure demotion + cycle detection via Kahn's algorithm:
     # a stream is placed once all of its dependencies are eligible and
     # placed; leftovers either depend on an ineligible stream or sit on
-    # an in-batch feedback cycle through ``last``.
+    # an in-batch feedback cycle through ``last``.  One cycle shape is
+    # salvageable: the running-aggregate triple, which lowers to a
+    # seeded ``ufunc.accumulate`` — when a pass stalls, recognized
+    # triples are placed as a unit and the loop resumes.
     deps_of: Dict[str, Set[str]] = {
         name: _expr_deps(expr)
         for name, expr in defined.items()
@@ -244,9 +313,9 @@ def classify_vector(
     }
     order: List[str] = []
     placed: Set[str] = set()
+    scans: List[Tuple[str, str, str, str, str, str, str]] = []
     remaining = list(deps_of)
-    progress = True
-    while progress and remaining:
+    while remaining:
         progress = False
         still: List[str] = []
         for name in remaining:
@@ -262,6 +331,16 @@ def classify_vector(
             else:
                 still.append(name)
         remaining = still
+        if progress:
+            continue
+        triple = _find_scan_triple(flat, remaining, reasons, placed)
+        if triple is None:
+            break
+        scans.append(triple)
+        for member in triple[:3]:  # h, k, s — scan step order
+            order.append(member)
+            placed.add(member)
+            remaining.remove(member)
     changed = True
     while changed:
         changed = False
@@ -321,6 +400,13 @@ def classify_vector(
         reasons=reasons,
         numpy_ok=kernels.numpy_available(),
         error_mode=error_policy is not None,
+        scans=tuple(
+            triple
+            for triple in scans
+            # A demoted family drops its members from the order; the
+            # scan only survives with all three streams columnar.
+            if all(member in eligible for member in triple[:3])
+        ),
     )
 
 
@@ -336,6 +422,7 @@ VOP_CONST = 5
 VOP_FILTER = 6
 VOP_AT = 7
 VOP_KERNEL = 8
+VOP_SCAN = 9
 
 
 @dataclass(frozen=True)
@@ -380,6 +467,8 @@ def _step_reads(step: tuple) -> Tuple[int, ...]:
         return (step[2],)
     if kind in (VOP_FILTER, VOP_AT):
         return (step[2], step[3])
+    if kind == VOP_SCAN:
+        return (step[5],)  # src_x — h/k/s are all written, never read
     return tuple(step[2])  # VOP_KERNEL
 
 
@@ -421,8 +510,34 @@ def build_vector_program(
             last_index.setdefault(expr.value.name, len(last_index))
 
     protected: Set[int] = {vslot for _, vslot, _ in col_inputs}
+    # Scan triples lower to one VOP_SCAN at the ``h`` member computing
+    # all three columns; ``k`` and ``s`` emit no step of their own.
+    scan_at: Dict[str, Tuple[str, str, str, str, str, str, str]] = {}
+    scan_skip: Set[str] = set()
+    for triple in classification.scans:
+        scan_at[triple[0]] = triple
+        scan_skip.update(triple[1:3])
     steps: List[list] = []
     for name in classification.order:
+        if name in scan_skip:
+            continue
+        triple = scan_at.get(name)
+        if triple is not None:
+            h, k, s, x, _op_name, ufunc_name, scan_dtype = triple
+            steps.append(
+                [
+                    VOP_SCAN,
+                    vslot_of[h],
+                    vslot_of[k],
+                    vslot_of[s],
+                    last_index[s],
+                    vslot_of[x],
+                    ufunc_name,
+                    scan_dtype,
+                    k,
+                ]
+            )
+            continue
         expr = flat.definitions[name]
         dst = vslot_of[name]
         dtn = vslot_dtype[dst]
@@ -845,8 +960,6 @@ class VectorMonitorBase(PlanMonitorBase):
         if ts_arr.dtype != np.int64:
             ts_arr = ts_arr.astype(np.int64)
         total = int(ts_arr.shape[0])
-        if total == 0:
-            return 0
         input_attrs = type(self).INPUT_ATTRS
         for name, column in columns.items():
             if name not in input_attrs:
@@ -867,6 +980,11 @@ class VectorMonitorBase(PlanMonitorBase):
                 raise MonitorError(
                     "None is the no-event value; not a valid payload"
                 )
+        if total == 0:
+            # After column validation: an unknown or ragged column is
+            # reported even for an empty batch, exactly as the row shim
+            # does.
+            return 0
         ts_list = ts_arr.tolist()
         if ts_list[0] < 0:
             raise MonitorError(f"negative timestamp {ts_list[0]}")
@@ -1034,6 +1152,8 @@ class VectorMonitorBase(PlanMonitorBase):
                 )
             elif kind == VOP_LAST:
                 self._exec_last(np, length, arange, cols, masks, step)
+            elif kind == VOP_SCAN:
+                self._exec_scan(np, length, cols, masks, step, registry)
             elif kind == VOP_FILTER:
                 _k, dst, value, cond, is_unit = step
                 mask = masks[value] & masks[cond] & cols[cond]
@@ -1148,6 +1268,71 @@ class VectorMonitorBase(PlanMonitorBase):
         else:
             masks[dst] = mask_trigger
             cols[dst] = np.where(previous >= 0, gathered, carry)
+
+    def _exec_scan(
+        self,
+        np: Any,
+        length: int,
+        cols: List[Any],
+        masks: List[Any],
+        step: tuple,
+        registry: Any,
+    ) -> None:
+        """One running-aggregate triple as a seeded prefix scan.
+
+        ``ufunc.accumulate`` folds strictly left-to-right — the same
+        order as the per-event feedback loop, so results are
+        bit-identical (the dtype gate in :data:`kernels.SCAN_UFUNCS`
+        excludes the one divergent case, float ``max``/``min``).  The
+        cross-batch seed is the plan engine's last cell for ``s``,
+        which ``_store_last_columns`` keeps current because ``s`` is a
+        ``last`` source.
+        """
+        (_kind, dst_h, dst_k, dst_s, cell, src_x,
+         ufunc_name, dtype_name, name) = step
+        mask = masks[src_x]
+        dtype = kernels.resolve_dtype(np, dtype_name)
+        ufunc = getattr(np, ufunc_name)
+        carry = self._last_cells[cell]
+        idx = np.flatnonzero(mask)
+        vals = cols[src_x][idx]
+        col_h = np.zeros(length, dtype=dtype)
+        col_k = np.zeros(length, dtype=dtype)
+        col_s = np.zeros(length, dtype=dtype)
+        if carry is not None:
+            seeded = np.empty(idx.size + 1, dtype=dtype)
+            seeded[0] = carry
+            seeded[1:] = vals
+            acc = ufunc.accumulate(seeded)
+            col_h[idx] = acc[:-1]
+            col_k[idx] = acc[1:]
+            col_s[idx] = acc[1:]
+            masks[dst_h] = mask
+            masks[dst_k] = mask
+            masks[dst_s] = mask
+        else:
+            acc = ufunc.accumulate(vals)
+            col_s[idx] = acc
+            masks[dst_s] = mask
+            if idx.size:
+                # No seed: the first event only initializes ``s``; the
+                # combine fires from the second event on.
+                sub = mask.copy()
+                sub[idx[0]] = False
+                col_h[idx[1:]] = acc[:-1]
+                col_k[idx[1:]] = acc[1:]
+                masks[dst_h] = sub
+                masks[dst_k] = sub
+            else:
+                masks[dst_h] = mask
+                masks[dst_k] = mask
+        cols[dst_h] = col_h
+        cols[dst_k] = col_k
+        cols[dst_s] = col_s
+        if registry is not None:
+            registry.inc("vector.kernel.scan_" + ufunc_name)
+            stats = registry.stream(name)
+            stats.copies_performed += int(idx.size)
 
     def _emit_columns(
         self, ts_list: List[int], cols: List[Any], masks: List[Any]

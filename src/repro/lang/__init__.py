@@ -28,6 +28,7 @@ from .builtins import (
 )
 from .flatten import desugar, flatten
 from .spec import FlatSpec, SpecError, Specification, spec
+from .windows import AGGREGATES, AggregateInfo, WindowParams, eligibility_table
 from .typecheck import check_types
 from .types import (
     BOOL,
@@ -45,6 +46,10 @@ from .types import (
 )
 
 __all__ = [
+    "AGGREGATES",
+    "AggregateInfo",
+    "WindowParams",
+    "eligibility_table",
     "Access",
     "BOOL",
     "Const",

@@ -105,6 +105,7 @@ class LiftedFunction:
         "custom_trigger",
         "scala_template",
         "scala_option_template",
+        "metric_name",
     )
 
     def __init__(
@@ -118,6 +119,7 @@ class LiftedFunction:
         custom_trigger: TriggerSpec = None,
         scala_template: Optional[str] = None,
         scala_option_template: Optional[str] = None,
+        metric_name: Optional[str] = None,
     ) -> None:
         if len(access) != len(arg_types):
             raise ValueError(f"{name}: access/arity mismatch")
@@ -133,6 +135,9 @@ class LiftedFunction:
         self.scala_template = scala_template
         #: Template over Option values, for non-strict functions.
         self.scala_option_template = scala_option_template
+        #: Optional counter name bumped per invocation when the monitor
+        #: runs instrumented (see :func:`repro.obs.metrics.instrument_lift`).
+        self.metric_name = metric_name
 
     @property
     def trigger(self) -> TriggerSpec:
@@ -331,6 +336,7 @@ def pointwise(
     arg_types: Sequence[Type],
     result_type: Type,
     access: Optional[Sequence[Access]] = None,
+    metric_name: Optional[str] = None,
 ) -> LiftedFunction:
     """Create an ad-hoc (unregistered) strict lifted function.
 
@@ -342,7 +348,13 @@ def pointwise(
     if access is None:
         access = tuple(_R if t.is_complex else _N for t in arg_types)
     return LiftedFunction(
-        name, EventPattern.ALL, access, arg_types, result_type, _simple(fn)
+        name,
+        EventPattern.ALL,
+        access,
+        arg_types,
+        result_type,
+        _simple(fn),
+        metric_name=metric_name,
     )
 
 

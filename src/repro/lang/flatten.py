@@ -178,9 +178,11 @@ class _Flattener:
             self.resolve(k) if k in self.aliases else k: v
             for k, v in self.spec.type_annotations.items()
         }
-        return FlatSpec(
+        flat = FlatSpec(
             self.spec.inputs, self.flat, outputs, self.synthetic, annotations
         )
+        flat.window_info = getattr(self.spec, "window_info", None)
+        return flat
 
 
 def flatten(spec: Specification) -> FlatSpec:

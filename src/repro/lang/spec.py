@@ -52,6 +52,10 @@ class Specification:
             list(outputs) if outputs is not None else list(self.definitions)
         )
         self.type_annotations: Dict[str, Type] = dict(type_annotations or {})
+        #: Optional window metadata attached by the windowing macros
+        #: (:mod:`repro.lang.windows`): carried through flattening so the
+        #: diagnostics pass can report aggregate eligibility (WIN00x).
+        self.window_info: Optional[Dict[str, object]] = None
         self.validate_names()
 
     # -- validation --------------------------------------------------------
@@ -102,6 +106,9 @@ class FlatSpec:
         self.type_annotations: Dict[str, Type] = dict(type_annotations or {})
         #: Stream types, filled in by the type checker.
         self.types: Dict[str, Type] = {}
+        #: Window metadata (see :class:`Specification`), copied by
+        #: :func:`repro.lang.flatten.flatten`.
+        self.window_info: Optional[Dict[str, object]] = None
         self._check_flat()
         self.check_recursion()
 

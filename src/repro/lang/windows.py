@@ -1,0 +1,160 @@
+"""Window parameters and the invertible-aggregate registry.
+
+Event-time windows (tumbling, sliding, session) are macros over the six
+basic operators: the window content lives in two FIFO queues (arrival
+timestamps and values) kept in the paper's Fig. 1 shape, so the
+mutability analysis certifies the per-event evict-and-push updates as
+in-place.  Whether the *aggregate* over the window can also be
+maintained in O(1) depends on the aggregate function: COUNT/SUM/AVG are
+invertible (the contribution of an expired event can be subtracted),
+MIN/MAX/DISTINCT are not and fall back to an O(window) fold.
+
+This module holds the value-level vocabulary of that decision: the
+:data:`AGGREGATES` registry consulted by the macros in
+:mod:`repro.speclib.windows`, and :class:`WindowParams`, whose
+validation records ignored/contradictory parameter combinations so the
+diagnostics pass can surface them as ``WIN003`` instead of silently
+dropping them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "AGGREGATES",
+    "AggregateInfo",
+    "WindowParams",
+    "eligibility_table",
+]
+
+#: Window kinds understood by the macros.
+KINDS = ("tumbling", "sliding", "session")
+
+
+@dataclass(frozen=True)
+class AggregateInfo:
+    """Eligibility record for one window aggregate.
+
+    ``invertible`` aggregates are maintained by delta updates (add the
+    new event's contribution, subtract the expired ones); the rest are
+    recomputed by folding over the live window contents.  ``state`` is a
+    human-readable description of the per-window state the lowering
+    keeps, shown in the CLI eligibility table.
+    """
+
+    name: str
+    invertible: bool
+    state: str
+    #: Diagnostic emitted for this aggregate: WIN001 (delta path) or
+    #: WIN002 (fold fallback).
+    diagnostic: str = field(init=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "diagnostic", "WIN001" if self.invertible else "WIN002"
+        )
+
+
+AGGREGATES: Dict[str, AggregateInfo] = {
+    info.name: info
+    for info in (
+        AggregateInfo("count", True, "event count (int)"),
+        AggregateInfo("sum", True, "running sum (int)"),
+        AggregateInfo("avg", True, "running sum + count (int pair)"),
+        AggregateInfo("min", False, "value queue fold"),
+        AggregateInfo("max", False, "value queue fold"),
+        AggregateInfo("distinct", False, "value queue fold (set)"),
+    )
+}
+
+
+def eligibility_table() -> List[Tuple[str, str, str, str]]:
+    """Rows of (aggregate, path, state, diagnostic) for the CLI table."""
+    return [
+        (
+            info.name,
+            "delta (O(1))" if info.invertible else "fold (O(window))",
+            info.state,
+            info.diagnostic,
+        )
+        for info in AGGREGATES.values()
+    ]
+
+
+@dataclass(frozen=True)
+class WindowParams:
+    """Validated parameters of one window macro instantiation.
+
+    Parameters that do not apply to the chosen kind are *ignored*, but
+    never silently: each such combination is recorded in ``conflicts``
+    and reported as a ``WIN003`` warning by the diagnostics pass.
+
+    ``watermark`` (tumbling) delays bucket flushes so late events that
+    the bounded-skew reorder buffer re-sorts still land in their bucket;
+    events later than the ingestion skew bound are dropped there and
+    surface as the ``window.late_drops`` metric.
+    """
+
+    kind: str
+    period: Optional[int] = None
+    gap: Optional[int] = None
+    watermark: int = 0
+    min_separation: int = 0
+    conflicts: Tuple[str, ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown window kind {self.kind!r}; expected one of {KINDS}"
+            )
+        if self.kind == "session":
+            if self.gap is None or self.gap <= 0:
+                raise ValueError("session windows need a positive gap")
+        else:
+            if self.period is None or self.period <= 0:
+                raise ValueError(f"{self.kind} windows need a positive period")
+        if self.watermark < 0:
+            raise ValueError("watermark must be non-negative")
+        if self.min_separation < 0:
+            raise ValueError("min_separation must be non-negative")
+
+        conflicts: List[str] = []
+        if self.kind != "tumbling" and self.watermark:
+            conflicts.append(
+                f"watermark={self.watermark} is ignored for {self.kind} windows"
+                " (late data is handled by the ingestion reorder buffer)"
+            )
+        if self.kind != "sliding" and self.min_separation:
+            conflicts.append(
+                f"min_separation={self.min_separation} is ignored for"
+                f" {self.kind} windows (they emit once per close)"
+            )
+        if self.kind == "session" and self.period is not None:
+            conflicts.append(
+                f"period={self.period} is ignored for session windows"
+                " (use gap)"
+            )
+        if self.kind != "session" and self.gap is not None:
+            conflicts.append(
+                f"gap={self.gap} is ignored for {self.kind} windows"
+                " (use period)"
+            )
+        if self.kind == "sliding" and self.min_separation >= (self.period or 0) > 0:
+            conflicts.append(
+                f"min_separation={self.min_separation} >= period={self.period}"
+                " suppresses all but one emission per window span"
+            )
+        object.__setattr__(self, "conflicts", tuple(conflicts))
+
+    def describe(self) -> str:
+        if self.kind == "session":
+            parts = [f"gap={self.gap}"]
+        else:
+            parts = [f"period={self.period}"]
+        if self.watermark:
+            parts.append(f"watermark={self.watermark}")
+        if self.min_separation:
+            parts.append(f"min_separation={self.min_separation}")
+        return f"{self.kind}({', '.join(parts)})"

@@ -75,6 +75,15 @@ POOL_QUARANTINED = "pool_traces_quarantined"
 POOL_BYTES_SHARED = "pool_bytes_shared"
 POOL_BYTES_PICKLED = "pool_bytes_pickled"
 POOL_ARENA_ATTACH = "pool_arena_attach"
+#: Windowing library (:mod:`repro.speclib.windows`): aggregate updates
+#: served by the O(1) delta path vs. O(window) fold recomputations, and
+#: events the bounded-skew reorder buffer dropped as too late for their
+#: window.  The first two are bumped through ``metric_name``-tagged
+#: lifts (see :func:`instrument_lift`); the drop counter is wired by
+#: ``repro.api.run`` from the ingestion stats.
+WINDOW_DELTA_UPDATES = "window.delta_updates"
+WINDOW_RECOMPUTES = "window.recomputes"
+WINDOW_LATE_DROPS = "window.late_drops"
 
 
 class StreamStats:
@@ -278,30 +287,37 @@ def instrument_lift(
 
     *func* is the :class:`~repro.lang.builtins.LiftedFunction` the impl
     was bound from; lifts without a WRITE access slot (scalar lifts,
-    constructors) are returned unwrapped.  The stats cell is registered
-    eagerly so ``repro profile`` tables list every write stream even
-    when its count stayed zero.
+    constructors) are returned unwrapped — unless the lift carries a
+    ``metric_name``, in which case a per-invocation counter of that name
+    is bumped instead (how the windowing library separates delta updates
+    from fold recomputations).  The stats cell is registered eagerly so
+    ``repro profile`` tables list every write stream even when its count
+    stayed zero.
     """
     from ..lang.builtins import Access
 
+    metric = getattr(func, "metric_name", None)
     write_index = -1
     for i, access in enumerate(func.access):
         if access is Access.WRITE:
             write_index = i
             break
-    if write_index < 0:
+    if write_index < 0 and metric is None:
         return impl
 
-    stats = registry.stream(stream)
+    stats = registry.stream(stream) if write_index >= 0 else None
 
     def counted(*args: Any) -> Any:
-        target = args[write_index]
         result = impl(*args)
-        if target is not None and result is not None:
-            if getattr(target, "IN_PLACE", False):
-                stats.inplace_updates += 1
-            elif result is not target:
-                stats.copies_performed += 1
+        if metric is not None and result is not None:
+            registry.inc(metric)
+        if stats is not None:
+            target = args[write_index]
+            if target is not None and result is not None:
+                if getattr(target, "IN_PLACE", False):
+                    stats.inplace_updates += 1
+                elif result is not target:
+                    stats.copies_performed += 1
         return result
 
     counted.__name__ = getattr(impl, "__name__", "lift") + "_counted"

@@ -190,6 +190,7 @@ def _rebuild(
         }
         if extra_types:
             rebuilt.types.update(extra_types)
+    rebuilt.window_info = getattr(flat, "window_info", None)
     return rebuilt
 
 

@@ -262,6 +262,11 @@ class IngestStats:
     #: Events that arrived behind a later-stamped one but were delivered
     #: in order thanks to the reorder buffer.
     reordered_events: int = 0
+    #: Events flushed by the end-of-input drain rather than by the skew
+    #: rule.  Drained deliveries are *not* replay-stable: re-reading a
+    #: longer version of the same input interleaves them differently,
+    #: which is why checkpoint cadences stop once draining begins.
+    drained_events: int = 0
 
 
 class TolerantReader:
@@ -280,10 +285,28 @@ class TolerantReader:
         known_streams: Optional[Iterable[str]] = None,
     ) -> None:
         self.policy = policy if policy is not None else IngestPolicy()
+        names = list(known_streams) if known_streams is not None else None
         self.known_streams = (
-            frozenset(known_streams) if known_streams is not None else None
+            frozenset(names) if names is not None else None
         )
+        # Tie-break rank for equal-timestamp flushes: stream declaration
+        # order when the caller passed an ordered iterable (FlatSpec
+        # inputs are), lexicographic for unordered sets so delivery
+        # never depends on hash seeds.
+        if names is None:
+            ordered: List[str] = []
+        elif isinstance(known_streams, (set, frozenset)):
+            ordered = sorted(names)
+        else:
+            ordered = names
+        self._stream_rank = {name: i for i, name in enumerate(ordered)}
         self.stats = IngestStats()
+        #: True once :meth:`events` has exhausted its input and started
+        #: flushing whatever the reorder buffer still holds.  Deliveries
+        #: from that point on are not replay-stable (see
+        #: :attr:`IngestStats.drained_events`); checkpointing callers
+        #: use this flag to stop writing checkpoints.
+        self.draining = False
 
     def events(
         self,
@@ -294,10 +317,18 @@ class TolerantReader:
         policy = self.policy
         stats = self.stats
         buffering = policy.on_out_of_order == BUFFER
-        heap: List[Tuple[int, int, str, Any]] = []
-        seq = 0  # tie-break: stable arrival order within a timestamp
+        # Heap entries are (ts, rank, name, seq, value): equal-timestamp
+        # events flush in stream-declaration order (matching a pre-sorted
+        # run of the same trace), not buffer-arrival order; ``seq`` keeps
+        # same-stream duplicates in arrival order and shields ``value``
+        # from ever being compared.
+        heap: List[Tuple[int, int, str, int, Any]] = []
+        rank_of = self._stream_rank
+        unknown_rank = len(rank_of)
+        seq = 0
         frontier: Optional[int] = None  # highest ts already delivered
         max_seen: Optional[int] = None
+        self.draining = False
         for item in items:
             stats.lines_read += 1
             try:
@@ -341,20 +372,24 @@ class TolerantReader:
                 continue
             if max_seen is not None and ts < max_seen:
                 stats.reordered_events += 1
-            heapq.heappush(heap, (ts, seq, name, value))
+            heapq.heappush(
+                heap, (ts, rank_of.get(name, unknown_rank), name, seq, value)
+            )
             seq += 1
             if max_seen is None or ts > max_seen:
                 max_seen = ts
             # everything at least max_skew ticks behind the newest
             # arrival can no longer be overtaken — deliver it
             while heap and heap[0][0] <= max_seen - policy.max_skew:
-                ets, _, ename, evalue = heapq.heappop(heap)
+                ets, _, ename, _, evalue = heapq.heappop(heap)
                 frontier = ets
                 stats.events_ingested += 1
                 yield ets, ename, evalue
+        self.draining = True
         while heap:
-            ets, _, ename, evalue = heapq.heappop(heap)
+            ets, _, ename, _, evalue = heapq.heappop(heap)
             stats.events_ingested += 1
+            stats.drained_events += 1
             yield ets, ename, evalue
 
 

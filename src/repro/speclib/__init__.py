@@ -20,6 +20,13 @@ from .denormalized import (
     denorm_scalar_chain,
 )
 from .paper_figures import fig1_spec, fig4_lower_spec, fig4_upper_spec
+from .windows import (
+    running_aggregate,
+    session_window,
+    sliding_window,
+    tumbling_window,
+    window,
+)
 
 __all__ = [
     "DENORMALIZED",
@@ -35,8 +42,13 @@ __all__ = [
     "map_window",
     "peak_detection",
     "queue_window",
+    "running_aggregate",
     "seen_set",
+    "session_window",
+    "sliding_window",
     "spectrum_calculation",
+    "tumbling_window",
     "vector_window",
     "watchdog",
+    "window",
 ]

@@ -1,0 +1,439 @@
+"""Event-time windows as Fig. 1-shaped macros over the basic operators.
+
+Each window keeps its content in FIFO queues — arrival timestamps
+(``tq``) and, when the aggregate needs them, values (``vq``) — in the
+paper's Fig. 1 shape: the queue is merged with its empty constructor, a
+``last`` samples it at the input, a ``queue_enq`` admits the new event
+and a ``win_pop_n`` evicts the expired prefix.  The mutability analysis
+certifies both writes as in-place, so the per-event window maintenance
+runs without structural copies.
+
+Aggregates split by invertibility (:data:`repro.lang.windows.AGGREGATES`):
+
+* COUNT/SUM/AVG are maintained by an O(1) **delta** — add the new
+  event's contribution, subtract what the eviction removed — in a
+  scalar Fig. 1 group (``s := s_last + new − expired``).
+* MIN/MAX/DISTINCT have no inverse; they are **recomputed** by folding
+  over the live value queue (sliding) or the expired prefix (tumbling /
+  session) — the guarded O(window) fallback.
+
+The two paths are observable: delta lifts carry the
+``window.delta_updates`` metric, fold lifts ``window.recomputes``
+(bumped when the monitor runs instrumented, e.g. ``repro run
+--metrics``), and the diagnostics pass reports the chosen path per spec
+as ``WIN001``/``WIN002`` notes.
+
+Timestamp 0 is the initialization instant of the Fig. 1 groups (the
+``last`` samples strictly earlier events), so window inputs follow the
+repo-wide convention that payload events start at t ≥ 1.  Windows close
+on event arrival: a trailing partial window is not flushed at end of
+input — feed a heartbeat event past the horizon to force the flush.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..lang import (
+    BOOL,
+    FLOAT,
+    INT,
+    Const,
+    Last,
+    Lift,
+    Merge,
+    QueueType,
+    Specification,
+    TimeExpr,
+    UnitExpr,
+    Var,
+)
+from ..lang.builtins import Access, builtin, pointwise
+from ..lang.windows import AGGREGATES, WindowParams
+from ..obs.metrics import WINDOW_DELTA_UPDATES, WINDOW_RECOMPUTES
+
+_R = Access.READ
+_N = Access.NONE
+_W = Access.WRITE
+
+_QI = QueueType(INT)
+
+
+def _empty(constructor: str) -> Lift:
+    return Lift(builtin(constructor), (UnitExpr(),))
+
+
+def _pop_n(q, n):
+    for _ in range(n):
+        q = q.dequeue()
+    return q
+
+
+#: Evict the expired prefix: pop *n* entries off the front.  The single
+#: Write edge of the queue group's second chained update (the first is
+#: the ``queue_enq`` admitting the new event).
+_WIN_POP_N = pointwise("win_pop_n", _pop_n, (_QI, INT), _QI, access=(_W, _N))
+
+
+def _expired_count(tq, limit):
+    count = 0
+    for ts in tq:
+        if ts > limit:
+            break
+        count += 1
+    return count
+
+
+def _expired_sum(tq, vq, limit):
+    total = 0
+    for ts, value in zip(tq, vq):
+        if ts > limit:
+            break
+        total += value
+    return total
+
+
+#: Number of front entries at or before the eviction limit.  Early-exits
+#: at the first surviving timestamp, so the per-event cost is
+#: O(expired + 1), not O(window).
+_WIN_EXPIRED_COUNT = pointwise(
+    "win_expired_count", _expired_count, (_QI, INT), INT, access=(_R, _N)
+)
+_WIN_EXPIRED_SUM = pointwise(
+    "win_expired_sum", _expired_sum, (_QI, _QI, INT), INT, access=(_R, _R, _N)
+)
+
+#: O(1) delta maintenance for the invertible aggregates.
+_WIN_SUM_DELTA = pointwise(
+    "win_sum_delta",
+    lambda s, new, expired: s + new - expired,
+    (INT, INT, INT),
+    INT,
+    metric_name=WINDOW_DELTA_UPDATES,
+)
+_WIN_COUNT_DELTA = pointwise(
+    "win_count_delta",
+    lambda c, expired: c + 1 - expired,
+    (INT, INT),
+    INT,
+    metric_name=WINDOW_DELTA_UPDATES,
+)
+_WIN_AVG = pointwise(
+    "win_avg",
+    lambda s, c: s / c if c else 0.0,
+    (INT, INT),
+    FLOAT,
+)
+
+_GT0 = pointwise("win_gt0", lambda n: n > 0, (INT,), BOOL)
+
+
+def _fold_fn(aggregate: str):
+    if aggregate == "min":
+        return min
+    if aggregate == "max":
+        return max
+    return lambda values: len(set(values))
+
+
+def _live_fold(aggregate: str):
+    """Fold over the whole (non-empty) live value queue."""
+    fold = _fold_fn(aggregate)
+    return pointwise(
+        f"win_fold_{aggregate}",
+        lambda vq, _fold=fold: _fold(list(vq)),
+        (_QI,),
+        INT,
+        access=(_R,),
+        metric_name=WINDOW_RECOMPUTES,
+    )
+
+
+def _expired_fold(aggregate: str):
+    """Fold over the expired prefix (0 when nothing expired; the result
+    is only emitted behind an ``exp_cnt > 0`` filter)."""
+    fold = _fold_fn(aggregate)
+
+    def run(tq, vq, limit, _fold=fold):
+        expired = []
+        for ts, value in zip(tq, vq):
+            if ts > limit:
+                break
+            expired.append(value)
+        return _fold(expired) if expired else 0
+
+    return pointwise(
+        f"win_expired_{aggregate}",
+        run,
+        (_QI, _QI, INT),
+        INT,
+        access=(_R, _R, _N),
+        metric_name=WINDOW_RECOMPUTES,
+    )
+
+
+def _limit_lift(params: WindowParams):
+    """The eviction limit: entries with ``ts <= limit`` leave the window."""
+    if params.kind == "sliding":
+        period = params.period
+
+        def slide(t, _p=period):
+            return t - _p
+
+        return pointwise(f"win_limit_slide{period}", slide, (INT,), INT)
+    assert params.kind == "tumbling"
+    period, watermark = params.period, params.watermark
+
+    def tumble(t, _p=period, _w=watermark):
+        # Flush buckets whose end has passed the watermark; bucket k is
+        # [k*p, (k+1)*p), so everything before the current bucket start
+        # (computed on the watermark-delayed clock) expires.
+        return ((t - _w) // _p) * _p - 1 if t >= _w else -1
+
+    return pointwise(f"win_limit_tumble{period}w{watermark}", tumble, (INT,), INT)
+
+
+def window(
+    aggregate: str,
+    *,
+    kind: str,
+    period: Optional[int] = None,
+    gap: Optional[int] = None,
+    watermark: int = 0,
+    min_separation: int = 0,
+) -> Specification:
+    """An event-time window monitor over one INT input stream ``x``.
+
+    Emits the aggregate on stream ``win``: at every input event for
+    sliding windows (optionally rate-limited by *min_separation*), and
+    at window close for tumbling and session windows.  A tumbling flush
+    that was delayed past several bucket ends (sparse input) coalesces
+    those buckets into one emission.
+    """
+    agg = AGGREGATES.get(aggregate)
+    if agg is None:
+        raise ValueError(
+            f"unknown window aggregate {aggregate!r};"
+            f" expected one of {sorted(AGGREGATES)}"
+        )
+    params = WindowParams(
+        kind=kind,
+        period=period,
+        gap=gap,
+        watermark=watermark,
+        min_separation=min_separation,
+    )
+
+    x = Var("x")
+    needs_values = agg.name != "count"
+    defs: Dict[str, object] = {"t_now": TimeExpr(x)}
+    delta_streams: List[str] = []
+    fold_streams: List[str] = []
+
+    # --- eviction limit ---------------------------------------------------
+    if params.kind == "session":
+        gap_v = params.gap
+
+        def session_limit(t, prev, _g=gap_v):
+            return t - 1 if t - prev > _g else -1
+
+        defs["tm"] = Merge(Var("t_now"), Const(-1))
+        defs["t_prev"] = Last(Var("tm"), x)
+        defs["limit"] = Lift(
+            pointwise(f"win_limit_session{gap_v}", session_limit, (INT, INT), INT),
+            (Var("t_now"), Var("t_prev")),
+        )
+    else:
+        defs["limit"] = Lift(_limit_lift(params), (Var("t_now"),))
+
+    # --- timestamp queue (Fig. 1 shape, two chained writes) ---------------
+    defs["tq_m"] = Merge(Var("tq"), _empty("queue_empty"))
+    defs["tq_l"] = Last(Var("tq_m"), x)
+    defs["tq1"] = Lift(builtin("queue_enq"), (Var("tq_l"), Var("t_now")))
+    defs["exp_cnt"] = Lift(_WIN_EXPIRED_COUNT, (Var("tq1"), Var("limit")))
+    defs["tq"] = Lift(_WIN_POP_N, (Var("tq1"), Var("exp_cnt")))
+
+    # --- value queue (only when the aggregate reads values) ---------------
+    if needs_values:
+        defs["vq_m"] = Merge(Var("vq"), _empty("queue_empty"))
+        defs["vq_l"] = Last(Var("vq_m"), x)
+        defs["vq1"] = Lift(builtin("queue_enq"), (Var("vq_l"), x))
+        defs["vq"] = Lift(_WIN_POP_N, (Var("vq1"), Var("exp_cnt")))
+
+    # --- aggregate value --------------------------------------------------
+    if params.kind == "sliding":
+        gated = bool(params.min_separation)
+        raw = _sliding_aggregate(
+            agg.name,
+            defs,
+            x,
+            delta_streams,
+            fold_streams,
+            out="win_raw" if gated else "win",
+        )
+        if gated:
+            min_sep = params.min_separation
+            defs["e_m"] = Merge(Var("e_t"), Const(-min_sep))
+            defs["e_l"] = Last(Var("e_m"), x)
+            defs["ok"] = Lift(
+                pointwise(
+                    f"win_minsep{min_sep}",
+                    lambda t, e, _m=min_sep: t - e >= _m,
+                    (INT, INT),
+                    BOOL,
+                ),
+                (Var("t_now"), Var("e_l")),
+            )
+            defs["e_t"] = Lift(
+                pointwise(
+                    "win_emit_t",
+                    lambda t, e, ok: t if ok else e,
+                    (INT, INT, BOOL),
+                    INT,
+                ),
+                (Var("t_now"), Var("e_l"), Var("ok")),
+            )
+            defs["win"] = Lift(builtin("filter"), (Var(raw), Var("ok")))
+    else:
+        raw = _closing_aggregate(agg.name, defs, fold_streams)
+        defs["closed"] = Lift(_GT0, (Var("exp_cnt"),))
+        defs["win"] = Lift(builtin("filter"), (Var(raw), Var("closed")))
+
+    spec = Specification(
+        inputs={"x": INT},
+        definitions=defs,
+        outputs=["win"],
+    )
+    spec.window_info = {
+        "kind": params.kind,
+        "describe": params.describe(),
+        "aggregate": agg.name,
+        "invertible": agg.invertible,
+        "delta_streams": delta_streams,
+        "fold_streams": fold_streams,
+        "conflicts": list(params.conflicts),
+        "queues": ["tq", "vq"] if needs_values else ["tq"],
+        "output": "win",
+    }
+    return spec
+
+
+def _sliding_aggregate(
+    aggregate: str,
+    defs: Dict[str, object],
+    x: Var,
+    delta_streams: List[str],
+    fold_streams: List[str],
+    out: str,
+) -> str:
+    """Define the per-event aggregate value on stream *out*."""
+    if aggregate == "count":
+        defs["c_m"] = Merge(Var(out), Const(0))
+        defs["c_l"] = Last(Var("c_m"), x)
+        defs[out] = Lift(_WIN_COUNT_DELTA, (Var("c_l"), Var("exp_cnt")))
+        delta_streams.append(out)
+        return out
+    if aggregate in ("sum", "avg"):
+        defs["exp_sum"] = Lift(
+            _WIN_EXPIRED_SUM, (Var("tq1"), Var("vq1"), Var("limit"))
+        )
+        sum_name = out if aggregate == "sum" else "win_s"
+        defs["s_m"] = Merge(Var(sum_name), Const(0))
+        defs["s_l"] = Last(Var("s_m"), x)
+        defs[sum_name] = Lift(_WIN_SUM_DELTA, (Var("s_l"), x, Var("exp_sum")))
+        delta_streams.append(sum_name)
+        if aggregate == "sum":
+            return out
+        defs["c_m"] = Merge(Var("win_c"), Const(0))
+        defs["c_l"] = Last(Var("c_m"), x)
+        defs["win_c"] = Lift(_WIN_COUNT_DELTA, (Var("c_l"), Var("exp_cnt")))
+        delta_streams.append("win_c")
+        defs[out] = Lift(_WIN_AVG, (Var("win_s"), Var("win_c")))
+        return out
+    # Non-invertible: fold the live window after the eviction write (the
+    # post-write read of the Fig. 1 group, like PeakDetection's size
+    # probe); the queue always holds at least the current event.
+    defs[out] = Lift(_live_fold(aggregate), (Var("vq"),))
+    fold_streams.append(out)
+    return out
+
+
+def _closing_aggregate(
+    aggregate: str, defs: Dict[str, object], fold_streams: List[str]
+) -> str:
+    """Define the flushed-window aggregate; return its stream name."""
+    if aggregate == "count":
+        return "exp_cnt"
+    if aggregate in ("sum", "avg"):
+        defs["exp_sum"] = Lift(
+            _WIN_EXPIRED_SUM, (Var("tq1"), Var("vq1"), Var("limit"))
+        )
+        if aggregate == "sum":
+            return "exp_sum"
+        defs["win_a"] = Lift(_WIN_AVG, (Var("exp_sum"), Var("exp_cnt")))
+        return "win_a"
+    defs["win_f"] = Lift(
+        _expired_fold(aggregate), (Var("tq1"), Var("vq1"), Var("limit"))
+    )
+    fold_streams.append("win_f")
+    return "win_f"
+
+
+def tumbling_window(aggregate: str, period: int, watermark: int = 0) -> Specification:
+    """Aligned buckets ``[k*period, (k+1)*period)``; a bucket is flushed
+    once an event arrives past its end plus *watermark*."""
+    return window(aggregate, kind="tumbling", period=period, watermark=watermark)
+
+
+def sliding_window(
+    aggregate: str, period: int, min_separation: int = 0
+) -> Specification:
+    """Aggregate over ``(t - period, t]``, emitted at every event — or at
+    most once per *min_separation* time units when given."""
+    return window(
+        aggregate, kind="sliding", period=period, min_separation=min_separation
+    )
+
+
+def session_window(aggregate: str, gap: int) -> Specification:
+    """Sessions separated by silences longer than *gap*; the finished
+    session's aggregate is emitted on the first event after the silence."""
+    return window(aggregate, kind="session", gap=gap)
+
+
+def running_aggregate(aggregate: str) -> Specification:
+    """An unbounded (never-evicting) aggregate: ``win = op(win_last, x)``.
+
+    Lowered in the exact self-seeded scan shape the vector engine
+    recognizes (``merge(op(last(win, x), x), x)``), so batches execute as
+    a NumPy prefix scan (``np.add.accumulate`` & friends) instead of the
+    scalar feedback loop.  Supported: ``sum``, ``max``, ``min``.
+    """
+    ops = {"sum": "add", "max": "max", "min": "min"}
+    op = ops.get(aggregate)
+    if op is None:
+        raise ValueError(
+            f"running_aggregate supports {sorted(ops)}, not {aggregate!r}"
+        )
+    x = Var("x")
+    spec = Specification(
+        inputs={"x": INT},
+        definitions={
+            "h": Last(Var("win"), x),
+            "k": Lift(builtin(op), (Var("h"), x)),
+            "win": Merge(Var("k"), x),
+        },
+        outputs=["win"],
+    )
+    spec.window_info = {
+        "kind": "running",
+        "describe": f"running({aggregate})",
+        "aggregate": aggregate,
+        "invertible": True,
+        "delta_streams": ["win"],
+        "fold_streams": [],
+        "conflicts": [],
+        "queues": [],
+        "output": "win",
+    }
+    return spec

@@ -263,6 +263,91 @@ class TestFeedColumns:
         with pytest.raises(MonitorError, match="no-event value"):
             monitor.feed_columns([1, 2], {"a": [1, None]})
 
+    def test_row_shim_rejects_unsorted_timestamps(self):
+        # Regression: the base row shim used to accept an unsorted (or
+        # merely non-strict) timestamps array that the vector path
+        # rejects — the plan engine silently consumed it.
+        _, plan = compile_pair(TWO_INPUT)
+        for bad_ts in ([1, 1], [2, 1]):
+            monitor = plan.new_monitor()
+            with pytest.raises(MonitorError, match="strictly increasing"):
+                monitor.feed_columns(bad_ts, {"a": [1, 2]})
+
+    BAD_BATCHES = [
+        ("equal-ts", [1, 1], {"a": [1, 2]}),
+        ("descending-ts", [2, 1], {"a": [1, 2]}),
+        ("negative-ts", [-1, 2], {"a": [1, 2]}),
+        ("none-hole", [1, 2], {"a": [1, None]}),
+        ("unknown-stream", [1, 2], {"nope": [1, 2]}),
+        ("ragged-column", [1, 2, 3], {"a": [1, 2]}),
+        ("empty-unknown", [], {"nope": []}),
+    ]
+
+    @pytest.mark.parametrize(
+        "ts,cols",
+        [(ts, cols) for _, ts, cols in BAD_BATCHES],
+        ids=[label for label, _, _ in BAD_BATCHES],
+    )
+    def test_rejection_identical_across_engines(self, ts, cols):
+        # Error message AND partial progress must be byte-identical:
+        # a rejected columnar batch consumes nothing on either engine,
+        # so a clean batch afterwards produces identical outputs.
+        vec, plan = compile_pair(TWO_INPUT)
+        results = {}
+        for compiled in (vec, plan):
+            collected = []
+            m = compiled.new_monitor(
+                lambda n, t, v: collected.append((n, t, v))
+            )
+            with pytest.raises(MonitorError) as exc:
+                m.feed_columns(ts, cols)
+            m.feed_columns([5, 6], {"a": [5, 6], "b": [1, 2]})
+            m.finish()
+            results[compiled.engine] = (str(exc.value), collected)
+        assert results["vector"] == results["plan"]
+
+    def test_stale_timestamp_identical_across_engines(self):
+        vec, plan = compile_pair(TWO_INPUT)
+        results = {}
+        for compiled in (vec, plan):
+            m = compiled.new_monitor()
+            m.feed_columns([1, 2, 3], {"a": [1, 2, 3]})
+            with pytest.raises(MonitorError) as exc:
+                m.feed_columns([1, 2], {"a": [9, 9]})
+            results[compiled.engine] = str(exc.value)
+        assert results["vector"] == results["plan"]
+
+    def test_empty_batch_validates_columns(self):
+        # Zero timestamps is a no-op, but unknown or ragged columns
+        # are still reported — on both engines.
+        vec, plan = compile_pair(TWO_INPUT)
+        for compiled in (vec, plan):
+            monitor = compiled.new_monitor()
+            assert monitor.feed_columns([], {"a": []}) == 0
+            with pytest.raises(MonitorError, match="unknown input stream"):
+                monitor.feed_columns([], {"nope": []})
+
+    def test_runner_validating_path_matches(self):
+        # The runner's validating row conversion must reject with the
+        # same message and zero partial progress as the raw monitor.
+        from repro.compiler.runtime import MonitorRunner
+
+        vec, plan = compile_pair(TWO_INPUT)
+        results = {}
+        for compiled in (vec, plan):
+            collected = []
+            runner = MonitorRunner(
+                compiled,
+                lambda n, t, v: collected.append((n, t, v)),
+                validate_inputs=True,
+            )
+            with pytest.raises(MonitorError) as exc:
+                runner.feed_columns([3, 1], {"a": [1, 2]})
+            runner.feed_columns([5, 6], {"a": [5, 6], "b": [1, 2]})
+            runner.finish()
+            results[compiled.engine] = (str(exc.value), collected)
+        assert results["vector"] == results["plan"]
+
     def test_after_pending_rows(self):
         # feed_columns after a partially-consumed row batch must merge
         # with the pending timestamp, exactly like another feed_batch.

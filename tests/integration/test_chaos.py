@@ -210,3 +210,97 @@ class TestCrashRecoveryUnderChaos:
             checkpoint_every=5,
         )
         assert recovered == expected
+
+
+class TestResumeWithReorderedPending:
+    """--resume taken mid-batch with pending (reordered) timestamps.
+
+    Regression: a crashed run whose input *ended* early (truncated
+    trace, broken pipe) drains the reorder buffer, so buffered events
+    are consumed — and checkpointed — in positions a re-read of the
+    full trace never reproduces.  Resume then skipped events the
+    crashed run had never processed and replayed the drained ones
+    twice.  Checkpoint writes now stop once draining begins.
+    """
+
+    SPEC = """
+    in x: Int
+    def total := merge(add(last(total, x), x), 0)
+    out total
+    """
+
+    @staticmethod
+    def _arrivals(n, seed, skew=3):
+        import random
+
+        events = [(t, "x", t) for t in range(1, n + 1)]
+        rng = random.Random(seed)
+        for i in range(len(events) - 1):
+            j = min(i + rng.randrange(0, skew), len(events) - 1)
+            events[i], events[j] = events[j], events[i]
+        return events
+
+    def _run(self, monitor, events, out, *, ckpt_dir=None, every=4,
+             resume=False, meta_box=None):
+        from repro import api
+
+        options = api.RunOptions(
+            batch_size=7,
+            on_out_of_order="buffer",
+            max_skew=4,
+            checkpoint_dir=ckpt_dir,
+            checkpoint_every=every,
+            resume=resume,
+        )
+        return api.run(
+            monitor, events, options,
+            on_output=lambda n, t, v: out.append((n, t, v)),
+            on_resume=(
+                (lambda meta: meta_box.update(meta or {}))
+                if resume
+                else None
+            ),
+        )
+
+    @pytest.mark.parametrize("seed,crash_after", [(0, 11), (3, 17), (7, 29)])
+    def test_truncated_run_resumes_exactly(self, tmp_path, seed, crash_after):
+        from repro import api
+
+        events = self._arrivals(48, seed)
+        monitor = api.compile(self.SPEC)
+        expected = []
+        self._run(monitor, events, expected)
+
+        ckpt = str(tmp_path / f"{seed}_{crash_after}")
+        pre = []
+        # The "crash": the input ends after crash_after arrivals, so
+        # the reader drains its pending reordered tail into the run.
+        self._run(monitor, events[:crash_after], pre, ckpt_dir=ckpt)
+
+        post, meta = [], {}
+        self._run(
+            monitor, events, post,
+            ckpt_dir=ckpt, resume=True, meta_box=meta,
+        )
+        kept = meta.get("outputs_emitted", 0)
+        assert pre[:kept] + post == expected
+
+    def test_drained_tail_not_checkpointed(self, tmp_path):
+        from repro import api
+        from repro.compiler.checkpoint import CheckpointManager
+
+        events = self._arrivals(48, 0)
+        monitor = api.compile(self.SPEC)
+        out = []
+        # every=1: without the gate, the drain at end-of-input would
+        # checkpoint after every drained event.
+        report = self._run(
+            monitor, events[:11], out, ckpt_dir=str(tmp_path), every=1
+        )
+        assert report.reordered_events > 0
+        found = CheckpointManager(str(tmp_path), every=1).latest()
+        assert found is not None
+        _, _, meta = found
+        # The last checkpoint predates the drain: fewer events than
+        # the truncated run consumed in total.
+        assert meta["events_consumed"] < report.events_in

@@ -225,6 +225,85 @@ class TestTolerantIngestion:
         assert reader.stats.malformed_lines == 1
 
 
+class TestEqualTimestampTieBreak:
+    """Equal-timestamp events must flush in stream-declaration order.
+
+    Regression: the reorder buffer used to emit equal-timestamp events
+    in buffer-arrival order when they flushed at the skew boundary, so
+    the output differed from a pre-sorted run of the same trace.
+    """
+
+    POLICY = IngestPolicy(on_out_of_order="buffer", max_skew=2)
+
+    def test_skew_boundary_flush_uses_declaration_order(self):
+        reader = TolerantReader(self.POLICY, known_streams=["a", "b"])
+        # b's event *arrives* first; the t=8 arrival forces both t=5
+        # events out at the skew boundary (mid-stream, not end-drain).
+        arrivals = [(5, "b", 1), (5, "a", 2), (8, "a", 3)]
+        delivered = list(reader.events(arrivals, lambda item: item))
+        assert delivered == [(5, "a", 2), (5, "b", 1), (8, "a", 3)]
+
+    def test_matches_pre_sorted_run(self):
+        streams = ["a", "b"]
+        arrivals = [
+            (2, "b", 20), (1, "a", 1), (2, "a", 2),
+            (1, "b", 10), (3, "b", 30), (3, "a", 3),
+        ]
+        shuffled = TolerantReader(
+            IngestPolicy(on_out_of_order="buffer", max_skew=5),
+            known_streams=streams,
+        )
+        delivered = list(shuffled.events(arrivals, lambda item: item))
+        assert delivered == sorted(arrivals)
+
+    def test_unordered_known_streams_sort_lexicographically(self):
+        # A set carries no declaration order; the tie-break must still
+        # be deterministic (never hash-seed dependent).
+        reader = TolerantReader(
+            self.POLICY, known_streams={"b", "a"}
+        )
+        arrivals = [(5, "b", 1), (5, "a", 2), (8, "a", 3)]
+        delivered = list(reader.events(arrivals, lambda item: item))
+        assert delivered == [(5, "a", 2), (5, "b", 1), (8, "a", 3)]
+
+    def test_same_stream_duplicates_keep_arrival_order(self):
+        reader = TolerantReader(self.POLICY, known_streams=["a"])
+        arrivals = [(5, "a", "first"), (5, "a", "second"), (8, "a", 3)]
+        delivered = list(reader.events(arrivals, lambda item: item))
+        assert delivered == [
+            (5, "a", "first"), (5, "a", "second"), (8, "a", 3)
+        ]
+
+
+class TestDrainTracking:
+    """The reader marks its end-of-input drain (checkpoint gating)."""
+
+    def test_draining_flag_and_drained_count(self):
+        policy = IngestPolicy(on_out_of_order="buffer", max_skew=1)
+        reader = TolerantReader(policy, known_streams=["x"])
+        arrivals = [(1, "x", 1), (3, "x", 3), (2, "x", 2)]
+        seen = []
+        for event in reader.events(arrivals, lambda item: item):
+            seen.append((event, reader.draining))
+        # t=1 and t=2 flush at the skew boundary while input is still
+        # arriving; t=3 only flushes once the input ends — it drains.
+        assert seen == [
+            ((1, "x", 1), False),
+            ((2, "x", 2), False),
+            ((3, "x", 3), True),
+        ]
+        assert reader.stats.drained_events == 1
+
+    def test_no_drain_without_buffering(self):
+        policy = IngestPolicy(on_out_of_order="buffer", max_skew=2)
+        reader = TolerantReader(policy, known_streams=["x"])
+        arrivals = [(1, "x", 1), (2, "x", 2), (10, "x", 10)]
+        delivered = list(reader.events(arrivals, lambda item: item))
+        assert delivered == arrivals
+        # t=10 never left the buffer until end-of-input: it drains.
+        assert reader.stats.drained_events == 1
+
+
 class TestWriteTrace:
     def test_chronological_merge(self):
         text = write_trace({"b": [(2, True)], "a": [(1, 5), (3, 7)]})
